@@ -1,0 +1,62 @@
+//! E12 — the binary buddy disk allocator (§2, after Biliris ICDE'92):
+//! allocation/free throughput across block sizes and allocation patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bess_bench::workload::rng;
+use bess_storage::{AreaConfig, AreaId, BuddyExtent, StorageArea};
+use rand::Rng;
+
+fn bench_buddy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E12_buddy");
+
+    // Raw extent: alloc+free pairs at each order.
+    for &order in &[0u8, 2, 4, 6] {
+        group.bench_with_input(
+            BenchmarkId::new("extent_alloc_free", 1u32 << order),
+            &order,
+            |b, &order| {
+                let mut ext = BuddyExtent::new(8);
+                b.iter(|| {
+                    let off = ext.alloc(order).unwrap();
+                    ext.free(black_box(off), order).unwrap();
+                })
+            },
+        );
+    }
+
+    // Random mixed sizes with a live set — the steady-state pattern of
+    // object-segment allocation.
+    group.bench_function("extent_random_mix", |b| {
+        let mut ext = BuddyExtent::new(10); // 1024 pages
+        let mut live: Vec<(u32, u8)> = Vec::new();
+        let mut r = rng(99);
+        b.iter(|| {
+            if live.len() < 64 && r.gen::<bool>() {
+                let order = r.gen_range(0u8..5);
+                if let Some(off) = ext.alloc(order) {
+                    live.push((off, order));
+                }
+            } else if let Some(i) = (!live.is_empty()).then(|| r.gen_range(0..live.len())) {
+                let (off, order) = live.swap_remove(i);
+                ext.free(off, order).unwrap();
+            }
+        })
+    });
+
+    // Through the full storage area (extent metadata persisted per
+    // mutation).
+    group.bench_function("area_alloc_free_4p", |b| {
+        let area = StorageArea::create_mem(AreaId(0), AreaConfig::default()).unwrap();
+        b.iter(|| {
+            let seg = area.alloc(4).unwrap();
+            area.free(black_box(seg)).unwrap();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_buddy);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E1 — pointer dereference: swizzled `ref<T>` vs OID-based
+//! `global_ref<T>` (the EOS baseline the paper compares against in §5:
+//! "pointer dereference in EOS is somewhat slow because inter-object
+//! references are OIDs. BeSS offers a fast pointer dereference mechanism by
+//! using virtual memory pointers").
+//!
+//! Expected shape: warm `Ref` dereference is several times cheaper than
+//! OID resolution, and both are dwarfed by a cold (three-wave) first touch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bess_bench::segment_env;
+use bess_segment::{ProtectionPolicy, TYPE_BYTES};
+
+fn bench_deref(c: &mut Criterion) {
+    let (_areas, _types, _catalog, mgr) = segment_env(ProtectionPolicy::Protected, 4096);
+    let seg = mgr.create_segment(0, 1024, 64).unwrap();
+    let objs: Vec<_> = (0..512)
+        .map(|i| {
+            let o = mgr.create_object(seg, TYPE_BYTES, 64).unwrap();
+            mgr.write_object(o.addr, 0, &(i as u64).to_le_bytes()).unwrap();
+            o
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("E1_deref");
+
+    // The fast path: a swizzled reference is one protected load of the
+    // slot plus one of the data.
+    let mut i = 0;
+    group.bench_function("ref_swizzled", |b| {
+        b.iter(|| {
+            let o = &objs[i % objs.len()];
+            i += 1;
+            black_box(mgr.deref(black_box(o.addr)).unwrap())
+        })
+    });
+
+    // The slow path the paper contrasts: resolve the 96-bit OID through
+    // segment + slot + uniquifier validation, then dereference.
+    let mut i = 0;
+    group.bench_function("global_ref_oid", |b| {
+        b.iter(|| {
+            let o = &objs[i % objs.len()];
+            i += 1;
+            let addr = mgr.resolve_oid(black_box(o.oid)).unwrap();
+            black_box(mgr.deref(addr).unwrap())
+        })
+    });
+
+    // Full object read through each path.
+    let mut i = 0;
+    group.bench_function("read_via_ref", |b| {
+        b.iter(|| {
+            let o = &objs[i % objs.len()];
+            i += 1;
+            black_box(mgr.read_object(o.addr).unwrap())
+        })
+    });
+    let mut i = 0;
+    group.bench_function("read_via_oid", |b| {
+        b.iter(|| {
+            let o = &objs[i % objs.len()];
+            i += 1;
+            let addr = mgr.resolve_oid(o.oid).unwrap();
+            black_box(mgr.read_object(addr).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_deref);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E13 — hook dispatch overhead (§2.4): firing a primitive event with
+//! 0/1/4 registered hooks, against a direct (hard-coded) counter as the
+//! baseline the paper's "impractical solution" represents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bess_core::{Event, EventKind, HookRegistry};
+
+fn bench_hooks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E13_hooks");
+
+    // Baseline: measurement code compiled into the application.
+    let counter = AtomicU64::new(0);
+    group.bench_function("direct_counter", |b| {
+        b.iter(|| black_box(counter.fetch_add(1, Ordering::Relaxed)))
+    });
+
+    for &n in &[0usize, 1, 4] {
+        let hooks = HookRegistry::new();
+        let shared = Arc::new(AtomicU64::new(0));
+        for _ in 0..n {
+            let s = Arc::clone(&shared);
+            hooks.register(
+                EventKind::TxnCommit,
+                Arc::new(move |_| {
+                    s.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        let event = Event::default();
+        group.bench_with_input(BenchmarkId::new("fire", n), &n, |b, _| {
+            b.iter(|| hooks.fire(EventKind::TxnCommit, black_box(&event)))
+        });
+        // The `wants` fast path that guards event construction.
+        group.bench_with_input(BenchmarkId::new("wants", n), &n, |b, _| {
+            b.iter(|| black_box(hooks.wants(EventKind::TxnCommit)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hooks);
+criterion_main!(benches);

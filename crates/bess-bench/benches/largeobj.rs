@@ -1,0 +1,138 @@
+//! E11 — large objects (§2.1, after Biliris ICDE'92/SIGMOD'92): byte-range
+//! operations on the segment tree vs a flat rewrite-everything baseline.
+//!
+//! Expected shape: tree insert/delete cost grows ~logarithmically (plus one
+//! leaf's worth of shifting) while the flat baseline degrades linearly with
+//! object size; reads of small ranges are cheap on both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use bess_largeobj::{seg_read, seg_write, LargeObject, LoConfig};
+use bess_storage::{AreaConfig, AreaId, DiskSpace, StorageArea};
+
+fn area() -> Arc<StorageArea> {
+    let cfg = AreaConfig {
+        extent_pages_log2: 12, // 16 MiB extents: the flat baseline needs one 8 MiB segment
+        ..AreaConfig::default()
+    };
+    Arc::new(StorageArea::create_mem(AreaId(0), cfg).unwrap())
+}
+
+/// The baseline: an object stored as one contiguous disk segment; every
+/// insert rewrites the tail (or the whole object on growth).
+struct FlatObject {
+    area: Arc<StorageArea>,
+    seg: bess_storage::DiskPtr,
+    len: u64,
+}
+
+impl FlatObject {
+    fn create(area: Arc<StorageArea>, data: &[u8]) -> FlatObject {
+        let pages = (data.len() as u64).div_ceil(area.page_size() as u64).max(1) as u32;
+        // Over-allocate 2x so inserts do not constantly reallocate.
+        let seg = bess_storage::StorageArea::alloc(&area, pages * 2).unwrap();
+        seg_write(&*area, seg, 0, data).unwrap();
+        FlatObject {
+            area,
+            seg,
+            len: data.len() as u64,
+        }
+    }
+
+    fn insert(&mut self, offset: u64, data: &[u8]) {
+        // Shift the tail right by reading and rewriting it — O(len).
+        let tail_len = self.len - offset;
+        let mut tail = vec![0u8; tail_len as usize];
+        seg_read(&*self.area, self.seg, offset, &mut tail).unwrap();
+        seg_write(&*self.area, self.seg, offset + data.len() as u64, &tail).unwrap();
+        seg_write(&*self.area, self.seg, offset, data).unwrap();
+        self.len += data.len() as u64;
+    }
+
+    fn read(&self, offset: u64, buf: &mut [u8]) {
+        seg_read(&*self.area, self.seg, offset, buf).unwrap();
+    }
+}
+
+fn bench_largeobj(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_largeobj");
+    group.sample_size(20);
+
+    for &size in &[64 * 1024u64, 1024 * 1024, 4 * 1024 * 1024] {
+        let payload = vec![7u8; size as usize];
+
+        // ---- append throughput (tree) -----------------------------------
+        group.throughput(Throughput::Bytes(size));
+        group.bench_with_input(BenchmarkId::new("tree_append", size), &size, |b, _| {
+            b.iter(|| {
+                let a = area();
+                let mut lo = LargeObject::create_in(
+                    Arc::clone(&a) as Arc<dyn DiskSpace>,
+                    0,
+                    LoConfig::with_size_hint(size, a.page_size()),
+                );
+                lo.append(&payload).unwrap();
+                black_box(lo.len())
+            })
+        });
+
+        // ---- mid-object insert: tree vs flat ----------------------------
+        // Default (small-leaf) config: size hints favour appends/scans,
+        // small leaves bound the in-leaf shift an insert pays.
+        let a = area();
+        let mut tree = LargeObject::create_in(
+            Arc::clone(&a) as Arc<dyn DiskSpace>,
+            0,
+            LoConfig::default(),
+        );
+        tree.append(&payload).unwrap();
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("tree_insert_mid", size), &size, |b, _| {
+            b.iter(|| {
+                // Keep the object near its nominal size so iterations do
+                // not compound (the flat baseline resets likewise).
+                if tree.len() > size + 4096 {
+                    tree.truncate(size).unwrap();
+                }
+                tree.insert(size / 2, b"splice!").unwrap();
+            })
+        });
+
+        let a2 = area();
+        let mut flat = FlatObject::create(Arc::clone(&a2), &payload);
+        group.bench_with_input(BenchmarkId::new("flat_insert_mid", size), &size, |b, _| {
+            b.iter(|| {
+                // Keep the flat object from growing past its segment.
+                if flat.len + 8 > size * 2 - 64 {
+                    flat.len = size;
+                }
+                flat.insert(size / 2, b"splice!");
+            })
+        });
+
+        // ---- small random reads ------------------------------------------
+        let mut buf = [0u8; 256];
+        group.bench_with_input(BenchmarkId::new("tree_read_256b", size), &size, |b, _| {
+            let mut at = 0u64;
+            b.iter(|| {
+                at = (at + 4093) % (size - 256);
+                tree.read(at, &mut buf).unwrap();
+                black_box(buf[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flat_read_256b", size), &size, |b, _| {
+            let mut at = 0u64;
+            b.iter(|| {
+                at = (at + 4093) % (size - 256);
+                flat.read(at, &mut buf);
+                black_box(buf[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_largeobj);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! E7 — operation modes (§4.1): copy-on-access vs shared-memory
+//! transaction cost as transaction length varies.
+//!
+//! "In-place access offers the potential for high performance, especially
+//! for short transactions, since it avoids interprocess communication and
+//! the cost of copying data to a private space and back to the cache."
+//!
+//! Expected shape: shared memory wins clearly at 1-page transactions;
+//! the relative gap narrows as per-transaction work grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bess_bench::World;
+use bess_cache::DbPage;
+use bess_core::ShmSession;
+use bess_lock::LockMode;
+use bess_net::NodeId;
+use bess_server::{ClientConfig, ClientConn, PageUpdate};
+
+fn bench_modes(c: &mut Criterion) {
+    // A small wire latency makes the IPC cost visible, as on the paper's
+    // LAN.
+    let world = World::new(&[&[0]], Duration::from_micros(30));
+    let pages: Vec<DbPage> = (0..32)
+        .map(|_| {
+            let seg = world.area_sets[0].get(0).unwrap().alloc(1).unwrap();
+            DbPage {
+                area: 0,
+                page: seg.start_page,
+            }
+        })
+        .collect();
+    let ns = world.node_server(50);
+
+    let mut group = c.benchmark_group("E7_modes");
+    group.sample_size(20);
+
+    for &txn_pages in &[1usize, 4, 16] {
+        // ---- shared memory: in-place, no IPC ----------------------------
+        let shm = ShmSession::attach(ns.handle());
+        // Warm the cache.
+        {
+            shm.begin().unwrap();
+            let mut b = [0u8; 1];
+            for p in &pages {
+                shm.read(*p, 0, &mut b).unwrap();
+            }
+            shm.commit().unwrap();
+        }
+        group.bench_with_input(
+            BenchmarkId::new("shared_memory", txn_pages),
+            &txn_pages,
+            |b, &n| {
+                let mut round = 0usize;
+                b.iter(|| {
+                    shm.begin().unwrap();
+                    let mut buf = [0u8; 8];
+                    for k in 0..n {
+                        let p = pages[(round + k) % pages.len()];
+                        shm.read(p, 0, &mut buf).unwrap();
+                    }
+                    // One write per txn.
+                    let p = pages[round % pages.len()];
+                    shm.write(p, 8, &(round as u64).to_le_bytes()).unwrap();
+                    shm.commit().unwrap();
+                    round += 1;
+                })
+            },
+        );
+
+        // ---- copy on access: IPC to the node server ---------------------
+        let mut cfg = ClientConfig::new(NodeId(60), ns.node());
+        cfg.gateway = Some(ns.node());
+        let conn: Arc<ClientConn> =
+            ClientConn::connect(&world.net, Arc::clone(&world.dir), cfg);
+        group.bench_with_input(
+            BenchmarkId::new("copy_on_access", txn_pages),
+            &txn_pages,
+            |b, &n| {
+                let mut round = 0usize;
+                b.iter(|| {
+                    conn.begin().unwrap();
+                    let mut first = None;
+                    for k in 0..n {
+                        let p = pages[(round + k) % pages.len()];
+                        let data = conn.fetch_page(p, LockMode::S).unwrap();
+                        if k == 0 {
+                            first = Some((p, data));
+                        }
+                    }
+                    let (p, data) = first.unwrap();
+                    conn.lock(
+                        bess_lock::LockName::Page {
+                            area: p.area,
+                            page: p.page,
+                        },
+                        LockMode::X,
+                    )
+                    .unwrap();
+                    conn.commit(vec![PageUpdate {
+                        page: p,
+                        offset: 8,
+                        before: data[8..16].to_vec(),
+                        after: (round as u64).to_le_bytes().to_vec(),
+                    }])
+                    .unwrap();
+                    round += 1;
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

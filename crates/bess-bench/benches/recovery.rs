@@ -1,0 +1,97 @@
+//! E14 — ARIES restart recovery (§3): analysis + redo + undo time as the
+//! log grows, with and without a checkpoint, and with loser transactions
+//! to undo.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bess_wal::{recover, take_checkpoint, LogBody, LogManager, LogPageId, Lsn, MemTarget};
+
+/// Writes `txns` transactions of `updates_per_txn` updates each;
+/// `loser_every` makes every n-th transaction a loser (no commit).
+fn build_log(txns: u64, updates_per_txn: u64, loser_every: u64, checkpoint_at: Option<u64>) -> LogManager {
+    let log = LogManager::create_mem();
+    for t in 1..=txns {
+        let mut prev = log.append(t, Lsn::NULL, LogBody::Begin);
+        for u in 0..updates_per_txn {
+            prev = log.append(
+                t,
+                prev,
+                LogBody::Update {
+                    page: LogPageId {
+                        area: 0,
+                        page: (t * 17 + u) % 512,
+                    },
+                    offset: ((u * 64) % 4000) as u32,
+                    before: vec![0u8; 32],
+                    after: vec![(t % 251) as u8; 32],
+                },
+            );
+        }
+        let is_loser = loser_every != 0 && t % loser_every == 0;
+        if !is_loser {
+            let commit = log.append(t, prev, LogBody::Commit);
+            log.append(t, commit, LogBody::End);
+        }
+        if Some(t) == checkpoint_at {
+            // All earlier pages pretend-flushed; active table empty-ish.
+            take_checkpoint(&log, vec![], vec![]).unwrap();
+        }
+    }
+    log.flush_all().unwrap();
+    log
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E14_recovery");
+    group.sample_size(10);
+
+    // Restart time grows with log length (no checkpoint).
+    for &txns in &[100u64, 1000, 4000] {
+        let log = build_log(txns, 8, 0, None);
+        group.bench_with_input(BenchmarkId::new("no_checkpoint", txns), &txns, |b, _| {
+            b.iter(|| {
+                let crashed = log.simulate_crash().unwrap();
+                let mut disk = MemTarget::default();
+                black_box(recover(&crashed, &mut disk).unwrap())
+            })
+        });
+    }
+
+    // A checkpoint late in the log collapses the analysis/redo work.
+    for &txns in &[1000u64, 4000] {
+        let log = build_log(txns, 8, 0, Some(txns - 50));
+        group.bench_with_input(
+            BenchmarkId::new("late_checkpoint", txns),
+            &txns,
+            |b, _| {
+                b.iter(|| {
+                    let crashed = log.simulate_crash().unwrap();
+                    let mut disk = MemTarget::default();
+                    black_box(recover(&crashed, &mut disk).unwrap())
+                })
+            },
+        );
+    }
+
+    // Losers add an undo pass (CLR writing).
+    for &loser_every in &[0u64, 4, 2] {
+        let log = build_log(1000, 8, loser_every, None);
+        group.bench_with_input(
+            BenchmarkId::new("with_losers_every", loser_every),
+            &loser_every,
+            |b, _| {
+                b.iter(|| {
+                    let crashed = log.simulate_crash().unwrap();
+                    let mut disk = MemTarget::default();
+                    black_box(recover(&crashed, &mut disk).unwrap())
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

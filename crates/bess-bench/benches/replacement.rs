@@ -1,0 +1,68 @@
+//! E8 — cache replacement (§4.2): timing of the frame-state clock's access
+//! paths under a capacity-constrained pool. (Hit-rate comparisons against
+//! LRU/FIFO across workloads are in `cargo run -p bess-bench --bin
+//! report`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use bess_bench::workload::{rng, Zipf};
+use bess_cache::{DbPage, MapIo, PageIo, PrivatePool};
+use bess_vm::{AddressSpace, Protect, VRange};
+
+fn bench_replacement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_replacement");
+
+    // A pool of 256 frames over 1024 pages of backing store.
+    let space = Arc::new(AddressSpace::new());
+    let io = Arc::new(MapIo::new());
+    let pool = PrivatePool::new(Arc::clone(&space), Arc::clone(&io) as Arc<dyn PageIo>, 256);
+    let ranges: Vec<VRange> = (0..1024).map(|_| space.reserve(4096, None)).collect();
+    let page = |i: usize| DbPage {
+        area: 0,
+        page: i as u64,
+    };
+
+    // Warm-hit path: the page is resident and accessible.
+    pool.fault_in(page(0), ranges[0].start(), Protect::Read).unwrap();
+    group.bench_function("resident_hit", |b| {
+        b.iter(|| {
+            black_box(
+                pool.fault_in(page(0), ranges[0].start(), Protect::Read)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Zipf access over 4x the capacity: a mix of hits, re-protections and
+    // clock evictions — the steady state of §4.2.
+    let zipf = Zipf::new(1024, 0.99);
+    let mut r = rng(1234);
+    group.bench_function("zipf_steady_state", |b| {
+        b.iter(|| {
+            let i = zipf.sample(&mut r);
+            black_box(
+                pool.fault_in(page(i), ranges[i].start(), Protect::Read)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Worst case: a pure scan, every access evicts.
+    let mut at = 0usize;
+    group.bench_function("scan_all_misses", |b| {
+        b.iter(|| {
+            at = (at + 1) % 1024;
+            black_box(
+                pool.fault_in(page(at), ranges[at].start(), Protect::Read)
+                    .unwrap(),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_replacement);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E6 — update detection: hardware (fault-based, §2.3) vs the software
+//! baseline ("other storage systems (e.g., Exodus and early implementations
+//! of EOS) follow a software approach where the programmer explicitly
+//! indicates dirty data via a function call").
+//!
+//! Expected shape: the hardware approach pays one trap per page per
+//! transaction and nothing afterwards; the software approach pays a call
+//! per *update*. Few large writes per page favour hardware; the crossover
+//! appears when updates per page are very few.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bess_bench::segment_env;
+use bess_cache::DbPage;
+use bess_segment::{ProtectionPolicy, WriteObserver, TYPE_BYTES};
+
+struct CountingObserver(AtomicU64);
+
+impl WriteObserver for CountingObserver {
+    fn on_first_write(&self, _page: DbPage) -> Result<(), String> {
+        // Stands in for "record the update, perform locking" (§2.3).
+        self.0.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+fn bench_update_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_update_detection");
+
+    for &writes_per_page in &[1u32, 4, 16, 64] {
+        // ---- hardware: first write traps, later writes are free --------
+        let (_a, _t, _cat, mgr) = segment_env(ProtectionPolicy::Protected, 4096);
+        let obs = Arc::new(CountingObserver(AtomicU64::new(0)));
+        mgr.set_write_observer(Some(Arc::clone(&obs) as Arc<dyn WriteObserver>));
+        let seg = mgr.create_segment(0, 256, 64).unwrap();
+        // One object per page-ish (4000-byte objects).
+        let objs: Vec<_> = (0..32)
+            .map(|_| mgr.create_object(seg, TYPE_BYTES, 4000).unwrap())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("hardware_trap", writes_per_page),
+            &writes_per_page,
+            |b, &wpp| {
+                b.iter(|| {
+                    for o in &objs {
+                        for k in 0..wpp {
+                            mgr.write_object(o.addr, k * 8, &u64::from(k).to_le_bytes())
+                                .unwrap();
+                        }
+                    }
+                })
+            },
+        );
+
+        // ---- software: an explicit "mark dirty" call per update --------
+        let (_a2, _t2, _cat2, mgr2) = segment_env(ProtectionPolicy::Unprotected, 4096);
+        let seg2 = mgr2.create_segment(0, 256, 64).unwrap();
+        let objs2: Vec<_> = (0..32)
+            .map(|_| mgr2.create_object(seg2, TYPE_BYTES, 4000).unwrap())
+            .collect();
+        let dirty_calls = AtomicU64::new(0);
+        group.bench_with_input(
+            BenchmarkId::new("software_explicit", writes_per_page),
+            &writes_per_page,
+            |b, &wpp| {
+                b.iter(|| {
+                    for o in &objs2 {
+                        for k in 0..wpp {
+                            // The Exodus-style discipline: tell the system
+                            // before every update. Forgetting this call is
+                            // the bug class §2.3 warns about.
+                            black_box(dirty_calls.fetch_add(1, Ordering::Relaxed));
+                            mgr2.write_object(o.addr, k * 8, &u64::from(k).to_le_bytes())
+                                .unwrap();
+                        }
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_detection);
+criterion_main!(benches);

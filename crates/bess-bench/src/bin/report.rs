@@ -1,0 +1,552 @@
+//! The experiment report harness: regenerates every *counting* experiment
+//! of DESIGN.md §4 (E2-E5, E8-E10) and prints the tables recorded in
+//! EXPERIMENTS.md. Timing experiments (E1, E6, E7, E11-E14) live in the
+//! criterion benches.
+//!
+//! Run with: `cargo run --release -p bess-bench --bin report`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bess_bench::workload::{rng, HotCold, Scan, Zipf};
+use bess_bench::{make_manager, segment_env, World};
+use bess_cache::{DbPage, MapIo, PageIo, PrivatePool};
+use bess_lock::LockMode;
+use bess_segment::{ProtectionPolicy, TypeDesc, TYPE_BYTES};
+use bess_server::PageUpdate;
+use bess_vm::{AddressSpace, Protect, VRange};
+use rand::rngs::StdRng;
+
+fn main() {
+    println!("# BeSS experiment report\n");
+    e2_reservation();
+    e3_waves();
+    e4_reorg();
+    e5_protection();
+    e8_hit_rates();
+    e9_callback();
+    e10_two_pc();
+    e17_deadlock_policy();
+    println!("\nreport complete.");
+}
+
+// ---------------------------------------------------------------------------
+// E2 — address-space greed: lazy (BeSS) vs greedy (ObjectStore-style).
+// ---------------------------------------------------------------------------
+fn e2_reservation() {
+    println!("## E2 — address-space reservation: lazy (BeSS) vs greedy\n");
+    const SEGMENTS: usize = 64;
+    const OBJS_PER_SEG: usize = 16;
+
+    let (_areas, types, catalog, mgr) = segment_env(ProtectionPolicy::Protected, 8192);
+    let node = types.register(TypeDesc {
+        name: "E2Node".into(),
+        size: 32,
+        ref_offsets: vec![24],
+    });
+    let mut roots = Vec::new();
+    for s in 0..SEGMENTS {
+        let seg = mgr.create_segment(0, 64, 4).unwrap();
+        let mut prev = None;
+        for _ in 0..OBJS_PER_SEG {
+            let o = mgr.create_object(seg, node, 32).unwrap();
+            if let Some(p) = prev {
+                mgr.store_ref(o.addr, 24, Some(p)).unwrap();
+            }
+            prev = Some(o.addr);
+        }
+        if s == 0 {
+            roots.push(mgr.oid_of(prev.unwrap()).unwrap());
+        }
+    }
+    mgr.flush_all();
+
+    // Fresh epoch, BeSS-lazy: touch ONE object.
+    let areas = _areas;
+    let mgr2 = make_manager(&areas, &types, &catalog, ProtectionPolicy::Protected, 8192);
+    let before = mgr2.space().stats().snapshot();
+    let addr = mgr2.resolve_oid(roots[0]).unwrap();
+    let _ = mgr2.read_object(addr).unwrap();
+    let after = mgr2.space().stats().snapshot();
+    let lazy_reserved = after.reserved_bytes - before.reserved_bytes;
+    let lazy_mapped = (after.map_calls - before.map_calls) * 4096;
+
+    // Greedy baseline: reserve every known segment's ranges up front, as
+    // the reserve-on-open schemes of [19,30,34] would.
+    let mgr3 = make_manager(&areas, &types, &catalog, ProtectionPolicy::Protected, 8192);
+    let before = mgr3.space().stats().snapshot();
+    for seg in catalog.list() {
+        mgr3.load_segment(seg).unwrap(); // maps slotted + reserves data
+    }
+    let addr = mgr3.resolve_oid(roots[0]).unwrap();
+    let _ = mgr3.read_object(addr).unwrap();
+    let after = mgr3.space().stats().snapshot();
+    let greedy_reserved = after.reserved_bytes - before.reserved_bytes;
+    let greedy_mapped = (after.map_calls - before.map_calls) * 4096;
+
+    println!("| scheme | segments touched | bytes reserved | bytes mapped |");
+    println!("|---|---|---|---|");
+    println!("| BeSS lazy | 1 of {SEGMENTS} | {lazy_reserved} | {lazy_mapped} |");
+    println!("| greedy (reserve-all) | 1 of {SEGMENTS} | {greedy_reserved} | {greedy_mapped} |");
+    println!(
+        "| ratio | | {:.1}x | {:.1}x |\n",
+        greedy_reserved as f64 / lazy_reserved as f64,
+        greedy_mapped as f64 / lazy_mapped.max(1) as f64
+    );
+}
+
+// ---------------------------------------------------------------------------
+// E3 — the three fault waves (§2.1).
+// ---------------------------------------------------------------------------
+fn e3_waves() {
+    println!("## E3 — three-wave faulting: cold vs warm traversal\n");
+    const CHAIN: usize = 10;
+
+    let (areas, types, catalog, mgr) = segment_env(ProtectionPolicy::Protected, 8192);
+    let node = types.register(TypeDesc {
+        name: "E3Node".into(),
+        size: 32,
+        ref_offsets: vec![24],
+    });
+    // A chain crossing CHAIN distinct segments.
+    let mut prev = None;
+    let mut head = None;
+    for _ in 0..CHAIN {
+        let seg = mgr.create_segment(0, 8, 2).unwrap();
+        let o = mgr.create_object(seg, node, 32).unwrap();
+        if let Some(p) = prev {
+            mgr.store_ref(p, 24, Some(o.addr)).unwrap();
+        } else {
+            head = Some(mgr.oid_of(o.addr).unwrap());
+        }
+        prev = Some(o.addr);
+    }
+    mgr.flush_all();
+
+    let mgr2 = make_manager(&areas, &types, &catalog, ProtectionPolicy::Protected, 8192);
+    let walk = |mgr: &Arc<bess_segment::SegmentManager>, start: bess_vm::VAddr| {
+        let mut cursor = Some(start);
+        let mut n = 0;
+        while let Some(a) = cursor {
+            n += 1;
+            cursor = mgr.load_ref(a, 24).unwrap();
+        }
+        n
+    };
+
+    let s0 = mgr2.stats().snapshot();
+    let v0 = mgr2.space().stats().snapshot();
+    let start = mgr2.resolve_oid(head.unwrap()).unwrap();
+    let n = walk(&mgr2, start);
+    let s1 = mgr2.stats().snapshot();
+    let v1 = mgr2.space().stats().snapshot();
+    assert_eq!(n, CHAIN);
+
+    println!("| traversal | faults | wave1 reservations | wave2 slotted loads | wave3 data loads | DP fixups | refs swizzled |");
+    println!("|---|---|---|---|---|---|---|");
+    println!(
+        "| cold ({CHAIN}-segment chain) | {} | {} | {} | {} | {} | {} |",
+        v1.faults() - v0.faults(),
+        s1.slotted_reserved - s0.slotted_reserved,
+        s1.slotted_loads - s0.slotted_loads,
+        s1.data_loads - s0.data_loads,
+        s1.dp_fixups - s0.dp_fixups,
+        s1.refs_swizzled - s0.refs_swizzled,
+    );
+    let v2 = mgr2.space().stats().snapshot();
+    let n = walk(&mgr2, start);
+    assert_eq!(n, CHAIN);
+    let v3 = mgr2.space().stats().snapshot();
+    println!(
+        "| warm (same chain) | {} | 0 | 0 | 0 | 0 | 0 |\n",
+        v3.faults() - v2.faults()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// E4 — on-the-fly reorganisation (§2.1).
+// ---------------------------------------------------------------------------
+fn e4_reorg() {
+    println!("## E4 — reorganisation with live references\n");
+    let (_areas, types, catalog, mgr) = segment_env(ProtectionPolicy::Protected, 8192);
+    let _ = (&types, &catalog);
+    let seg = mgr.create_segment(0, 512, 32).unwrap();
+    let mut objs = Vec::new();
+    for i in 0..400u32 {
+        let o = mgr.create_object(seg, TYPE_BYTES, 200).unwrap();
+        mgr.write_object(o.addr, 0, &i.to_le_bytes()).unwrap();
+        objs.push(o);
+    }
+    // Delete half to create holes.
+    for o in objs.iter().step_by(2) {
+        mgr.delete_object(o.addr).unwrap();
+    }
+    let verify = |tag: &str| {
+        for (i, o) in objs.iter().enumerate() {
+            if i % 2 == 1 {
+                let d = mgr.read_object(o.addr).unwrap();
+                assert_eq!(u32::from_le_bytes(d[0..4].try_into().unwrap()), i as u32, "{tag}");
+            }
+        }
+    };
+
+    println!("| operation | wall time | refs valid after |");
+    println!("|---|---|---|");
+    for (name, op) in [
+        ("compact", Box::new(|| mgr.compact_segment(seg).unwrap()) as Box<dyn Fn()>),
+        ("move to area 1", Box::new(|| mgr.move_data_segment(seg, 1).unwrap())),
+        ("move back to area 0", Box::new(|| mgr.move_data_segment(seg, 0).unwrap())),
+        ("resize (grow 2x)", Box::new(|| mgr.resize_data(seg, 32).unwrap())),
+    ] {
+        let t = Instant::now();
+        op();
+        let dt = t.elapsed();
+        verify(name);
+        println!("| {name} | {dt:?} | yes (200/200 objects) |");
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E5 — corruption prevention cost (§2.2).
+// ---------------------------------------------------------------------------
+fn e5_protection() {
+    println!("## E5 — protection: cost and coverage\n");
+    println!("(workload: 2000 object create+delete pairs — every slot mutation");
+    println!("unprotects and reprotects the slotted segment, §2.2)\n");
+    println!("| policy | protect syscalls | protect cycles | stray writes caught | wall time |");
+    println!("|---|---|---|---|---|");
+    for policy in [ProtectionPolicy::Protected, ProtectionPolicy::Unprotected] {
+        let (_areas, _t, _c, mgr) = segment_env(policy, 8192);
+        let seg = mgr.create_segment(0, 128, 16).unwrap();
+        let probe = mgr.create_object(seg, TYPE_BYTES, 64).unwrap();
+        let v0 = mgr.space().stats().snapshot();
+        let s0 = mgr.stats().snapshot();
+        let t = Instant::now();
+        for k in 0..2000u64 {
+            let o = mgr.create_object(seg, TYPE_BYTES, 64).unwrap();
+            mgr.write_object(o.addr, 0, &k.to_le_bytes()).unwrap();
+            mgr.delete_object(o.addr).unwrap();
+        }
+        let dt = t.elapsed();
+        let v1 = mgr.space().stats().snapshot();
+        let s1 = mgr.stats().snapshot();
+        // Fault-inject: one stray write aimed at a slot header.
+        let caught = mgr.space().write_u64(probe.addr, 0xBAD).is_err();
+        println!(
+            "| {policy:?} | {} | {} | {} | {dt:?} |",
+            v1.protect_calls - v0.protect_calls,
+            s1.protect_cycles - s0.protect_cycles,
+            if caught { "yes" } else { "NO (silent corruption)" },
+        );
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E8 — replacement hit rates: frame-state clock vs LRU vs FIFO.
+// ---------------------------------------------------------------------------
+struct LruSim {
+    cap: usize,
+    queue: Vec<usize>, // front = LRU
+}
+
+impl LruSim {
+    fn access(&mut self, p: usize) -> bool {
+        if let Some(pos) = self.queue.iter().position(|&q| q == p) {
+            self.queue.remove(pos);
+            self.queue.push(p);
+            true
+        } else {
+            if self.queue.len() >= self.cap {
+                self.queue.remove(0);
+            }
+            self.queue.push(p);
+            false
+        }
+    }
+}
+
+struct FifoSim {
+    cap: usize,
+    queue: Vec<usize>,
+}
+
+impl FifoSim {
+    fn access(&mut self, p: usize) -> bool {
+        if self.queue.contains(&p) {
+            true
+        } else {
+            if self.queue.len() >= self.cap {
+                self.queue.remove(0);
+            }
+            self.queue.push(p);
+            false
+        }
+    }
+}
+
+fn e8_hit_rates() {
+    println!("## E8 — replacement: frame-state clock vs LRU vs FIFO (cap 256 of 1024 pages, 20k accesses)\n");
+    const N: usize = 1024;
+    const CAP: usize = 256;
+    const ACCESSES: usize = 20_000;
+
+    let trace = |name: &str, mut next: Box<dyn FnMut(&mut StdRng) -> usize>| {
+        let mut r = rng(2024);
+        // Clock (the real pool).
+        let space = Arc::new(AddressSpace::new());
+        let io = Arc::new(MapIo::new());
+        let pool = PrivatePool::new(Arc::clone(&space), Arc::clone(&io) as Arc<dyn PageIo>, CAP);
+        let ranges: Vec<VRange> = (0..N).map(|_| space.reserve(4096, None)).collect();
+        for k in 0..ACCESSES {
+            let i = next(&mut r);
+            let _ = k;
+            pool.fault_in(
+                DbPage { area: 0, page: i as u64 },
+                ranges[i].start(),
+                Protect::Read,
+            )
+            .unwrap();
+        }
+        let s = pool.stats().snapshot();
+        let clock_hit = s.hits as f64 / (s.hits + s.loads) as f64;
+
+        // LRU and FIFO models on the same trace.
+        let mut r = rng(2024);
+        let mut lru = LruSim { cap: CAP, queue: Vec::new() };
+        let mut lru_hits = 0;
+        for _ in 0..ACCESSES {
+            if lru.access(next(&mut r)) {
+                lru_hits += 1;
+            }
+        }
+        let mut r = rng(2024);
+        let mut fifo = FifoSim { cap: CAP, queue: Vec::new() };
+        let mut fifo_hits = 0;
+        for _ in 0..ACCESSES {
+            if fifo.access(next(&mut r)) {
+                fifo_hits += 1;
+            }
+        }
+        println!(
+            "| {name} | {:.1}% | {:.1}% | {:.1}% |",
+            clock_hit * 100.0,
+            lru_hits as f64 / ACCESSES as f64 * 100.0,
+            fifo_hits as f64 / ACCESSES as f64 * 100.0
+        );
+    };
+
+    println!("| workload | clock (BeSS) | LRU | FIFO |");
+    println!("|---|---|---|---|");
+    let zipf = Zipf::new(N, 0.99);
+    trace("zipf 0.99", Box::new(move |r| zipf.sample(r)));
+    let hot = HotCold::new(N, 0.1, 0.8);
+    trace("hotcold 80/10", Box::new(move |r| hot.sample(r)));
+    trace("uniform", Box::new(move |r| {
+        use rand::Rng;
+        r.gen_range(0..N)
+    }));
+    let mut scan = Scan::new(N);
+    trace("scan", Box::new(move |_| scan.sample()));
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E9 — callback locking: inter-transaction caching vs per-transaction locks.
+// ---------------------------------------------------------------------------
+fn e9_callback() {
+    // Full sessions: inter-transaction caching covers data (pool) AND
+    // locks (lock cache); callbacks keep both consistent (§3).
+    println!("## E9 — callback locking: messages per transaction (100 txns, 8 object reads + 1 write)\n");
+    println!("| sharing | client mode | messages/txn | callbacks | server locks granted |");
+    println!("|---|---|---|---|---|");
+
+    for (label, shared_writer) in [("private (no sharing)", false), ("shared hot object", true)] {
+        for caching in [true, false] {
+            let world = World::new(&[&[0]], Duration::ZERO);
+            // Bootstrap a database with 64 objects, embedded at the server.
+            let set = Arc::clone(&world.area_sets[0]);
+            let db = bess_core::Database::create(&*set, "e9", 1, 1, 0).unwrap();
+            let boot = bess_core::Session::embedded(
+                Arc::clone(&db),
+                Arc::clone(&set),
+                None,
+                None,
+                bess_core::SessionConfig::default(),
+            );
+            boot.begin().unwrap();
+            let seg = boot.create_segment(0, 128, 32).unwrap();
+            let objs: Vec<_> = (0..64)
+                .map(|_| boot.create_bytes(seg, &[0u8; 512]).unwrap())
+                .collect();
+            let oids: Vec<_> = objs
+                .iter()
+                .map(|r| boot.global(*r).unwrap().oid())
+                .collect();
+            boot.commit().unwrap();
+            boot.save_db().unwrap();
+
+            let mk_session = |node: u32, caching: bool| {
+                let db = bess_core::Database::open(&*set, 0).unwrap();
+                let mut cfg = bess_server::ClientConfig::new(
+                    bess_net::NodeId(node),
+                    world.servers[0].node(),
+                );
+                cfg.caching = caching;
+                let conn = bess_server::ClientConn::connect(
+                    &world.net,
+                    Arc::clone(&world.dir),
+                    cfg,
+                );
+                bess_core::Session::remote(db, conn, bess_core::SessionConfig::default())
+            };
+            let s = mk_session(1, caching);
+            let competitor = shared_writer.then(|| mk_session(2, true));
+
+            let mut r = rng(7);
+            let hot = HotCold::new(64, 0.25, 0.9);
+            let before = world.net.stats().snapshot();
+            const TXNS: usize = 100;
+            for t in 0..TXNS {
+                loop {
+                    s.begin().unwrap();
+                    let run = (|| -> Result<(), bess_core::BessError> {
+                        let mut touched = Vec::new();
+                        for _ in 0..8 {
+                            let oid = oids[hot.sample(&mut r)];
+                            let addr = s.manager().resolve_oid(oid)?;
+                            let _ = s.manager().read_object(addr)?;
+                            touched.push(addr);
+                        }
+                        s.manager()
+                            .write_object(touched[0], 0, &(t as u64).to_le_bytes())?;
+                        Ok(())
+                    })();
+                    match run {
+                        Ok(()) => {
+                            if s.commit().is_ok() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            let _ = s.abort();
+                        }
+                    }
+                }
+                if let Some(comp) = &competitor {
+                    if t % 10 == 0 {
+                        comp.begin().unwrap();
+                        if let Ok(addr) = comp.manager().resolve_oid(oids[0]) {
+                            let _ =
+                                comp.manager().write_object(addr, 8, &(t as u64).to_le_bytes());
+                        }
+                        let _ = comp.commit();
+                    }
+                }
+            }
+            let delta = world.net.stats().snapshot().since(&before);
+            let srv = world.servers[0].stats().snapshot();
+            println!(
+                "| {label} | {} | {:.1} | {} | {} |",
+                if caching { "callback caching" } else { "per-txn locks (C2PL)" },
+                delta.messages() as f64 / TXNS as f64,
+                srv.callbacks_sent,
+                srv.locks_granted + srv.fetches,
+            );
+        }
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E17 (ablation) — deadlock resolution: the paper's timeouts vs a
+// waits-for-graph detector.
+// ---------------------------------------------------------------------------
+fn e17_deadlock_policy() {
+    use bess_lock::{DeadlockPolicy, LockManager, LockMode, LockName, TxnId};
+    println!("## E17 — deadlock resolution: timeout (paper) vs waits-for detection (ablation)\n");
+    println!("| policy | resolution latency (2-txn cycle) | victim work wasted |");
+    println!("|---|---|---|");
+    for (label, policy, timeout) in [
+        ("timeout 100ms (paper §3)", DeadlockPolicy::Timeout, Duration::from_millis(100)),
+        ("timeout 500ms (paper §3)", DeadlockPolicy::Timeout, Duration::from_millis(500)),
+        ("waits-for detection", DeadlockPolicy::Detect, Duration::from_secs(5)),
+    ] {
+        let mut total = Duration::ZERO;
+        const ROUNDS: u32 = 5;
+        for r in 0..ROUNDS {
+            let m = Arc::new(LockManager::with_policy(timeout, policy));
+            let p1 = LockName::Page { area: 0, page: u64::from(r) * 2 };
+            let p2 = LockName::Page { area: 0, page: u64::from(r) * 2 + 1 };
+            m.lock(TxnId(1), p1, LockMode::X).unwrap();
+            m.lock(TxnId(2), p2, LockMode::X).unwrap();
+            let m1 = Arc::clone(&m);
+            let h = std::thread::spawn(move || {
+                let _ = m1.lock(TxnId(1), p2, LockMode::X);
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            let t0 = Instant::now();
+            let _ = m.lock(TxnId(2), p1, LockMode::X); // closes the cycle
+            total += t0.elapsed();
+            m.unlock_all(TxnId(2));
+            h.join().unwrap();
+            m.unlock_all(TxnId(1));
+        }
+        println!(
+            "| {label} | {:?} | {} |",
+            total / ROUNDS,
+            if policy == DeadlockPolicy::Detect {
+                "none (refused before waiting)"
+            } else {
+                "one full timeout of blocking"
+            }
+        );
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E10 — two-phase commit across servers.
+// ---------------------------------------------------------------------------
+fn e10_two_pc() {
+    println!("## E10 — distributed commit: cost vs participating servers (30us wire latency)\n");
+    println!("| servers | messages/commit | wall time/commit |");
+    println!("|---|---|---|");
+    for &n_servers in &[1usize, 2, 3, 4] {
+        let area_lists: Vec<Vec<u32>> = (0..n_servers).map(|i| vec![i as u32]).collect();
+        let refs: Vec<&[u32]> = area_lists.iter().map(|v| v.as_slice()).collect();
+        let world = World::new(&refs, Duration::from_micros(30));
+        let pages: Vec<DbPage> = (0..n_servers)
+            .map(|i| {
+                let seg = world.area_sets[i].get(i as u32).unwrap().alloc(1).unwrap();
+                DbPage { area: i as u32, page: seg.start_page }
+            })
+            .collect();
+        let c = world.client(1, true);
+        const TXNS: usize = 20;
+        let before = world.net.stats().snapshot();
+        let t0 = Instant::now();
+        for t in 0..TXNS {
+            c.begin().unwrap();
+            let mut updates = Vec::new();
+            for p in &pages {
+                let d = c.fetch_page(*p, LockMode::X).unwrap();
+                updates.push(PageUpdate {
+                    page: *p,
+                    offset: 0,
+                    before: d[0..8].to_vec(),
+                    after: (t as u64).to_le_bytes().to_vec(),
+                });
+            }
+            c.commit(updates).unwrap();
+        }
+        let wall = t0.elapsed() / TXNS as u32;
+        let delta = world.net.stats().snapshot().since(&before);
+        println!(
+            "| {n_servers} | {:.1} | {wall:?} |",
+            delta.messages() as f64 / TXNS as f64
+        );
+    }
+    println!();
+}

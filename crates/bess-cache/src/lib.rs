@@ -1,0 +1,39 @@
+//! # bess-cache — buffer management for BeSS
+//!
+//! Implements §4 of "A High Performance Configurable Storage Manager"
+//! (Biliris & Panagos, ICDE 1995):
+//!
+//! * [`SharedCache`] — the client cache established by the node server
+//!   (Figure 3): a contiguous pool of page-sized frames plus the **shared
+//!   mapping table (SMT)** that gives every database page a sticky virtual
+//!   frame, creating the illusion of a shared virtual address space (SVMA)
+//!   whose offsets ([`Svma`]) are valid pointers in every process;
+//! * [`SharedView`] — one process's PVMA attachment (Figure 4): faults map
+//!   PVMA frames onto cache slots, and the **first-level clock** demotes
+//!   accessible frames to protected and invalidates protected ones,
+//!   releasing the per-slot access counters that drive the **second-level
+//!   clock**'s replacement decisions (§4.2);
+//! * [`PrivatePool`] — the copy-on-access private buffer pool (§4.1.1)
+//!   with the single-process frame-state clock.
+//!
+//! The frame-state clock exists because "the cache manager does not have
+//! enough information indicating which slots have been accessed recently
+//! due to the memory mapping architecture" (§4.2) — there are no reference
+//! bits, so protection state stands in for them.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod areaset;
+mod page;
+mod private;
+mod shared;
+mod view;
+
+pub use areaset::AreaSet;
+pub use page::{DbPage, MapIo, PageIo};
+pub use private::{PoolError, PoolStats, PoolStatsSnapshot, PrivatePool};
+pub use shared::{
+    CacheError, Evicted, GetOutcome, SharedCache, SharedCacheSnapshot, SharedCacheStats,
+};
+pub use view::{SharedView, Svma, ViewStats, ViewStatsSnapshot};

@@ -1,0 +1,547 @@
+//! The private buffer pool of copy-on-access mode.
+//!
+//! §4.1.1: "each process has a private buffer pool to cache segments. The
+//! buffer pool is implemented as a fixed size file divided into a number of
+//! frames whose size is equal to the BeSS page size," mapped into the
+//! process's address space. Replacement uses the frame-state clock of §4.2:
+//! because the memory-mapped architecture leaves no reference bits, the
+//! clock demotes *accessible* frames to *protected* and evicts frames still
+//! *protected* on the next visit (they were not touched in between — a
+//! touch would have faulted them back to accessible).
+//!
+//! Unlike the shared cache, pages here live at arbitrary reserved addresses
+//! (the per-segment ranges of the swizzling scheme, §2.1), so the pool
+//! records where each page is mapped in order to flip its protection.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bess_vm::{AddressSpace, FrameId, FrameState, HeapStore, PageStore, Protect, VAddr, VRange};
+use parking_lot::Mutex;
+
+use crate::page::{DbPage, PageIo};
+
+/// Errors from private-pool operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// Every frame is in active use and nothing could be evicted.
+    PoolExhausted,
+    /// The page is already mapped at a different address.
+    AlreadyMapped {
+        /// The page in question.
+        page: DbPage,
+    },
+    /// The page source failed (e.g. a remote lock denied by the deadlock
+    /// timeout).
+    LoadFailed {
+        /// The page in question.
+        page: DbPage,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::PoolExhausted => write!(f, "private buffer pool exhausted"),
+            PoolError::AlreadyMapped { page } => {
+                write!(f, "page {page} already mapped at another address")
+            }
+            PoolError::LoadFailed { page } => write!(f, "load of page {page} failed"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+struct Resident {
+    frame: FrameId,
+    addr: VAddr,
+    dirty: bool,
+    pinned: bool,
+}
+
+struct PoolInner {
+    resident: HashMap<DbPage, Resident>,
+    ring: Vec<DbPage>,
+    hand: usize,
+}
+
+/// Counters kept by a [`PrivatePool`].
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Pages faulted in (loads from the page source).
+    pub loads: AtomicU64,
+    /// Faults satisfied by a resident frame (re-protection only).
+    pub hits: AtomicU64,
+    /// Frames evicted.
+    pub evictions: AtomicU64,
+    /// Dirty evictions written back.
+    pub write_backs: AtomicU64,
+    /// Accessible -> protected clock demotions.
+    pub clock_protected: AtomicU64,
+}
+
+impl PoolStats {
+    /// Takes a snapshot for reporting.
+    pub fn snapshot(&self) -> PoolStatsSnapshot {
+        PoolStatsSnapshot {
+            loads: self.loads.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            write_backs: self.write_backs.load(Ordering::Relaxed),
+            clock_protected: self.clock_protected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`PoolStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStatsSnapshot {
+    /// Pages faulted in.
+    pub loads: u64,
+    /// Resident re-protections.
+    pub hits: u64,
+    /// Frames evicted.
+    pub evictions: u64,
+    /// Dirty evictions.
+    pub write_backs: u64,
+    /// Clock demotions.
+    pub clock_protected: u64,
+}
+
+/// A fixed-capacity private buffer pool bound to one process's address
+/// space.
+pub struct PrivatePool {
+    space: Arc<AddressSpace>,
+    store: Arc<HeapStore>,
+    io: Arc<dyn PageIo>,
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+    stats: PoolStats,
+}
+
+impl PrivatePool {
+    /// Creates a pool of `capacity` frames over `space`, filling misses
+    /// from `io`.
+    pub fn new(space: Arc<AddressSpace>, io: Arc<dyn PageIo>, capacity: usize) -> Self {
+        assert!(capacity > 0, "pool needs at least one frame");
+        let store = Arc::new(HeapStore::new(space.page_size() as usize));
+        PrivatePool {
+            space,
+            store,
+            io,
+            capacity,
+            inner: Mutex::new(PoolInner {
+                resident: HashMap::new(),
+                ring: Vec::new(),
+                hand: 0,
+            }),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// The pool's address space.
+    pub fn space(&self) -> &Arc<AddressSpace> {
+        &self.space
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Frames currently resident.
+    pub fn resident_count(&self) -> usize {
+        self.inner.lock().resident.len()
+    }
+
+    /// Pool capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn page_range(&self, addr: VAddr) -> VRange {
+        VRange::new(addr.page_base(self.space.page_size()), self.space.page_size())
+    }
+
+    /// Faults `page` in at page-aligned address `addr` with protection
+    /// `want`. If the page is already resident at `addr`, only its
+    /// protection is raised. Evicts via the clock when full.
+    pub fn fault_in(&self, page: DbPage, addr: VAddr, want: Protect) -> Result<FrameId, PoolError> {
+        let addr = addr.page_base(self.space.page_size());
+        {
+            let mut inner = self.inner.lock();
+            if let Some(res) = inner.resident.get_mut(&page) {
+                if res.addr != addr {
+                    return Err(PoolError::AlreadyMapped { page });
+                }
+                if want == Protect::ReadWrite {
+                    res.dirty = true;
+                }
+                let frame = res.frame;
+                drop(inner);
+                self.space
+                    .protect(self.page_range(addr), want)
+                    .expect("page reserved by segment layer");
+                AtomicU64::fetch_add(&self.stats.hits, 1, Ordering::Relaxed);
+                return Ok(frame);
+            }
+            if inner.resident.len() >= self.capacity {
+                self.evict_one(&mut inner)?;
+            }
+        }
+        // Load outside the lock.
+        let mut buf = vec![0u8; self.space.page_size() as usize];
+        if self.io.load(page, &mut buf).is_err() {
+            return Err(PoolError::LoadFailed { page });
+        }
+        let frame = self.store.alloc();
+        self.store.write(frame, 0, &buf);
+        let store: Arc<dyn PageStore> = Arc::clone(&self.store) as Arc<dyn PageStore>;
+        self.space
+            .map_page(addr, store, frame, want)
+            .expect("page reserved by segment layer");
+        {
+            let mut inner = self.inner.lock();
+            inner.resident.insert(
+                page,
+                Resident {
+                    frame,
+                    addr,
+                    dirty: want == Protect::ReadWrite,
+                    pinned: false,
+                },
+            );
+            inner.ring.push(page);
+        }
+        AtomicU64::fetch_add(&self.stats.loads, 1, Ordering::Relaxed);
+        Ok(frame)
+    }
+
+    /// One full clock rotation (at most), evicting the first victim.
+    fn evict_one(&self, inner: &mut PoolInner) -> Result<(), PoolError> {
+        // Two passes: the first demotes accessible frames, the second can
+        // then find a protected victim.
+        for _ in 0..inner.ring.len() * 2 {
+            if inner.ring.is_empty() {
+                break;
+            }
+            let idx = inner.hand % inner.ring.len();
+            let page = inner.ring[idx];
+            let res = inner.resident.get(&page).expect("ring entry resident");
+            if res.pinned {
+                inner.hand = (inner.hand + 1) % inner.ring.len().max(1);
+                continue;
+            }
+            match self.space.frame_state(res.addr) {
+                FrameState::Accessible => {
+                    self.space
+                        .protect(self.page_range(res.addr), Protect::None)
+                        .expect("mapped page");
+                    AtomicU64::fetch_add(&self.stats.clock_protected, 1, Ordering::Relaxed);
+                    inner.hand = (inner.hand + 1) % inner.ring.len();
+                }
+                FrameState::Protected => {
+                    self.do_evict(inner, page);
+                    return Ok(());
+                }
+                FrameState::Invalid => {
+                    // Unmapped behind our back (segment released); drop it.
+                    self.do_evict(inner, page);
+                    return Ok(());
+                }
+            }
+        }
+        Err(PoolError::PoolExhausted)
+    }
+
+    fn do_evict(&self, inner: &mut PoolInner, page: DbPage) {
+        let res = inner.resident.remove(&page).expect("resident");
+        inner.ring.retain(|&p| p != page);
+        if inner.hand >= inner.ring.len() {
+            inner.hand = 0;
+        }
+        if res.dirty {
+            let mut buf = vec![0u8; self.space.page_size() as usize];
+            self.store.read(res.frame, 0, &mut buf);
+            self.io.write_back(page, &buf);
+            AtomicU64::fetch_add(&self.stats.write_backs, 1, Ordering::Relaxed);
+        }
+        if self.space.frame_state(res.addr) != FrameState::Invalid {
+            self.space.unmap_page(res.addr).expect("mapped page");
+        }
+        self.store.free(res.frame);
+        AtomicU64::fetch_add(&self.stats.evictions, 1, Ordering::Relaxed);
+    }
+
+    /// Copies out the current content of a resident page (used by the
+    /// commit path to diff against the before-image).
+    pub fn read_page_copy(&self, page: DbPage) -> Option<Vec<u8>> {
+        let inner = self.inner.lock();
+        let res = inner.resident.get(&page)?;
+        let mut buf = vec![0u8; self.space.page_size() as usize];
+        self.store.read(res.frame, 0, &mut buf);
+        Some(buf)
+    }
+
+    /// Drops a resident page *without* writing it back, even if dirty —
+    /// the abort path discards uncommitted content this way.
+    pub fn discard(&self, page: DbPage) {
+        let mut inner = self.inner.lock();
+        if let Some(res) = inner.resident.get_mut(&page) {
+            res.dirty = false;
+        }
+        if inner.resident.contains_key(&page) {
+            self.do_evict(&mut inner, page);
+        }
+    }
+
+    /// Re-protects a resident page (e.g. back to read-only at commit so
+    /// the next transaction's first write traps again, §2.3).
+    pub fn protect_page(&self, page: DbPage, prot: Protect) {
+        let inner = self.inner.lock();
+        if let Some(res) = inner.resident.get(&page) {
+            self.space
+                .protect(self.page_range(res.addr), prot)
+                .expect("resident page mapped");
+        }
+    }
+
+    /// Clears every dirty flag without writing anything (the caller has
+    /// already made the content durable through another channel, e.g. a
+    /// commit that shipped page diffs).
+    pub fn clear_dirty_flags(&self) {
+        for (_, r) in self.inner.lock().resident.iter_mut() {
+            r.dirty = false;
+        }
+    }
+
+    /// Pages currently dirty.
+    pub fn dirty_pages(&self) -> Vec<DbPage> {
+        self.inner
+            .lock()
+            .resident
+            .iter()
+            .filter(|(_, r)| r.dirty)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Marks `page` dirty (its process took a write fault).
+    pub fn mark_dirty(&self, page: DbPage) {
+        if let Some(res) = self.inner.lock().resident.get_mut(&page) {
+            res.dirty = true;
+        }
+    }
+
+    /// Pins `page` against eviction while the caller works on it directly.
+    pub fn pin(&self, page: DbPage, pinned: bool) {
+        if let Some(res) = self.inner.lock().resident.get_mut(&page) {
+            res.pinned = pinned;
+        }
+    }
+
+    /// Explicitly evicts `page` (e.g. the segment moved or the cache is
+    /// being purged by a callback). Dirty content is written back.
+    pub fn evict(&self, page: DbPage) {
+        let mut inner = self.inner.lock();
+        if inner.resident.contains_key(&page) {
+            self.do_evict(&mut inner, page);
+        }
+    }
+
+    /// Writes back every dirty page, keeping them resident (commit-time
+    /// flush).
+    pub fn flush_dirty(&self) {
+        let mut inner = self.inner.lock();
+        let page_size = self.space.page_size() as usize;
+        for (page, res) in inner.resident.iter_mut() {
+            if res.dirty {
+                let mut buf = vec![0u8; page_size];
+                self.store.read(res.frame, 0, &mut buf);
+                self.io.write_back(*page, &buf);
+                res.dirty = false;
+                AtomicU64::fetch_add(&self.stats.write_backs, 1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Evicts everything (end of transaction for cache-less clients, §3:
+    /// "when the transaction terminates, it ... cleans its private buffer
+    /// pool").
+    pub fn clear(&self) {
+        let pages: Vec<DbPage> = self.inner.lock().resident.keys().copied().collect();
+        for page in pages {
+            self.evict(page);
+        }
+    }
+}
+
+impl std::fmt::Debug for PrivatePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrivatePool")
+            .field("capacity", &self.capacity)
+            .field("resident", &self.resident_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::MapIo;
+
+    const PS: u64 = 256;
+
+    fn setup(capacity: usize) -> (Arc<AddressSpace>, Arc<MapIo>, PrivatePool) {
+        let space = Arc::new(AddressSpace::with_page_size(PS));
+        let io = Arc::new(MapIo::new());
+        let pool = PrivatePool::new(
+            Arc::clone(&space),
+            Arc::clone(&io) as Arc<dyn PageIo>,
+            capacity,
+        );
+        (space, io, pool)
+    }
+
+    fn page(p: u64) -> DbPage {
+        DbPage { area: 0, page: p }
+    }
+
+    #[test]
+    fn fault_in_and_read() {
+        let (space, io, pool) = setup(4);
+        io.put(page(1), vec![0x42; PS as usize]);
+        let range = space.reserve(PS, None);
+        pool.fault_in(page(1), range.start(), Protect::Read).unwrap();
+        assert_eq!(space.read_u32(range.start()).unwrap(), 0x42424242);
+    }
+
+    #[test]
+    fn clock_evicts_lru_like_victim() {
+        let (space, io, pool) = setup(2);
+        let ranges: Vec<_> = (0..3).map(|_| space.reserve(PS, None)).collect();
+        for (i, r) in ranges.iter().enumerate().take(2) {
+            io.put(page(i as u64), vec![i as u8; PS as usize]);
+            pool.fault_in(page(i as u64), r.start(), Protect::Read).unwrap();
+        }
+        assert_eq!(pool.resident_count(), 2);
+        // Touch page 1 by re-reading after a demote cycle happens inside
+        // the next fault_in; then bring in page 2 — the clock picks a
+        // victim among untouched frames.
+        pool.fault_in(page(2), ranges[2].start(), Protect::Read).unwrap();
+        assert_eq!(pool.resident_count(), 2);
+        assert_eq!(pool.stats().snapshot().evictions, 1);
+    }
+
+    #[test]
+    fn touched_pages_get_second_chance() {
+        let (space, io, pool) = setup(2);
+        let r0 = space.reserve(PS, None);
+        let r1 = space.reserve(PS, None);
+        let r2 = space.reserve(PS, None);
+        io.put(page(0), vec![10; PS as usize]);
+        io.put(page(1), vec![11; PS as usize]);
+        io.put(page(2), vec![12; PS as usize]);
+        pool.fault_in(page(0), r0.start(), Protect::Read).unwrap();
+        pool.fault_in(page(1), r1.start(), Protect::Read).unwrap();
+        // Demote both (first clock pass behaviour): simulate by an explicit
+        // eviction attempt that protects everything but evicts one. Then
+        // touch page 0 so it is accessible again.
+        pool.fault_in(page(2), r2.start(), Protect::Read).unwrap(); // evicts one of 0/1
+        let survivor = if pool.resident_count() == 2 {
+            // figure out which survived
+            let s0 = space.frame_state(r0.start()) != FrameState::Invalid;
+            if s0 {
+                0
+            } else {
+                1
+            }
+        } else {
+            panic!("expected 2 resident")
+        };
+        // Touch the survivor: faults back to accessible.
+        let addr = if survivor == 0 { r0.start() } else { r1.start() };
+        // After eviction sweep it is protected; direct read faults — but
+        // pool pages at reserved ranges have no handler, so re-protect via
+        // fault_in (the segment layer's handler does this in real use).
+        pool.fault_in(page(survivor), addr, Protect::Read).unwrap();
+        assert_eq!(space.frame_state(addr), FrameState::Accessible);
+        assert_eq!(pool.stats().snapshot().hits, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let (space, io, pool) = setup(1);
+        let r0 = space.reserve(PS, None);
+        let r1 = space.reserve(PS, None);
+        pool.fault_in(page(0), r0.start(), Protect::ReadWrite).unwrap();
+        space.write_u32(r0.start(), 0xDEADBEEF).unwrap();
+        pool.fault_in(page(1), r1.start(), Protect::Read).unwrap();
+        assert_eq!(io.write_backs(), 1);
+        assert_eq!(
+            u32::from_le_bytes(io.get(page(0), PS as usize)[0..4].try_into().unwrap()),
+            0xDEADBEEF
+        );
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction() {
+        let (space, io, pool) = setup(1);
+        let _ = io;
+        let r0 = space.reserve(PS, None);
+        let r1 = space.reserve(PS, None);
+        pool.fault_in(page(0), r0.start(), Protect::Read).unwrap();
+        pool.pin(page(0), true);
+        assert_eq!(
+            pool.fault_in(page(1), r1.start(), Protect::Read).unwrap_err(),
+            PoolError::PoolExhausted
+        );
+        pool.pin(page(0), false);
+        pool.fault_in(page(1), r1.start(), Protect::Read).unwrap();
+    }
+
+    #[test]
+    fn flush_dirty_keeps_pages_resident() {
+        let (space, io, pool) = setup(2);
+        let r0 = space.reserve(PS, None);
+        pool.fault_in(page(0), r0.start(), Protect::ReadWrite).unwrap();
+        space.write_u32(r0.start(), 77).unwrap();
+        pool.flush_dirty();
+        assert_eq!(io.write_backs(), 1);
+        assert_eq!(pool.resident_count(), 1);
+        // Second flush: nothing dirty.
+        pool.flush_dirty();
+        assert_eq!(io.write_backs(), 1);
+    }
+
+    #[test]
+    fn clear_empties_pool() {
+        let (space, io, pool) = setup(4);
+        let _ = io;
+        for p in 0..3 {
+            let r = space.reserve(PS, None);
+            pool.fault_in(page(p), r.start(), Protect::Read).unwrap();
+        }
+        pool.clear();
+        assert_eq!(pool.resident_count(), 0);
+    }
+
+    #[test]
+    fn remap_at_other_address_rejected() {
+        let (space, io, pool) = setup(4);
+        let _ = io;
+        let r0 = space.reserve(PS, None);
+        let r1 = space.reserve(PS, None);
+        pool.fault_in(page(0), r0.start(), Protect::Read).unwrap();
+        assert!(matches!(
+            pool.fault_in(page(0), r1.start(), Protect::Read),
+            Err(PoolError::AlreadyMapped { .. })
+        ));
+        // After explicit eviction the page can move (data segment
+        // relocation, §2.1).
+        pool.evict(page(0));
+        pool.fault_in(page(0), r1.start(), Protect::Read).unwrap();
+    }
+}

@@ -1,0 +1,663 @@
+//! The shared cache and its shared mapping table (SMT).
+//!
+//! Figure 3 of the paper: the node server creates a cache "viewed as a
+//! contiguous sequence of equal length frames, and the size of each frame is
+//! equal to the page size". In shared-memory mode (§4.1.2) pointer validity
+//! across processes is achieved by (a) mapping each database page to the
+//! same **virtual frame** index in every process (the SMT), and (b) using
+//! offsets in that fictitious address space (SVMA) as shared pointers.
+//!
+//! Replacement is the second level of the two-level clock of §4.2: each
+//! cache slot carries a counter of "the number of processes that can access
+//! that slot"; the first-level (per-process) clocks decrement it by
+//! invalidating their PVMA frames; a slot with counter zero may be evicted.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bess_vm::{FrameId, HeapStore, PageStore};
+use parking_lot::{Condvar, Mutex};
+
+use crate::page::DbPage;
+
+/// Errors from shared-cache operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheError {
+    /// Every slot is pinned, loading, or still accessible to some process;
+    /// the caller should run its first-level clock and retry.
+    NoEvictableSlot,
+    /// The virtual frame table is exhausted (too many distinct pages touched
+    /// without releasing any).
+    VframesExhausted,
+    /// The page is not known to the SMT.
+    UnknownPage(DbPage),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::NoEvictableSlot => write!(f, "no evictable cache slot"),
+            CacheError::VframesExhausted => write!(f, "virtual frame table exhausted"),
+            CacheError::UnknownPage(p) => write!(f, "page {p} unknown to the SMT"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotState {
+    Empty,
+    Loading(DbPage),
+    Resident(DbPage),
+}
+
+struct Slot {
+    frame: FrameId,
+    state: SlotState,
+    /// Processes that can currently access this slot (the §4.2 counter).
+    access: u32,
+    /// Node-server pins (never evict while pinned).
+    pins: u32,
+    dirty: bool,
+}
+
+struct PageState {
+    vframe: usize,
+    slot: Option<usize>,
+}
+
+struct Inner {
+    slots: Vec<Slot>,
+    hand: usize,
+    /// Virtual frame table: index -> page currently assigned there.
+    vframes: Vec<Option<DbPage>>,
+    free_vframes: Vec<usize>,
+    by_page: HashMap<DbPage, PageState>,
+}
+
+/// Counters kept by a [`SharedCache`].
+#[derive(Debug, Default)]
+pub struct SharedCacheStats {
+    /// `get` calls finding the page resident.
+    pub hits: AtomicU64,
+    /// `get` calls that had to load.
+    pub loads: AtomicU64,
+    /// Slots evicted by the second-level clock.
+    pub evictions: AtomicU64,
+    /// Dirty evictions (write-backs required).
+    pub dirty_evictions: AtomicU64,
+    /// Virtual frames assigned.
+    pub vframe_assigns: AtomicU64,
+}
+
+impl SharedCacheStats {
+    /// Takes a snapshot for reporting.
+    pub fn snapshot(&self) -> SharedCacheSnapshot {
+        SharedCacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            loads: self.loads.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            dirty_evictions: self.dirty_evictions.load(Ordering::Relaxed),
+            vframe_assigns: self.vframe_assigns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`SharedCacheStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharedCacheSnapshot {
+    /// `get` calls finding the page resident.
+    pub hits: u64,
+    /// `get` calls that had to load.
+    pub loads: u64,
+    /// Slots evicted.
+    pub evictions: u64,
+    /// Dirty evictions.
+    pub dirty_evictions: u64,
+    /// Virtual frames assigned.
+    pub vframe_assigns: u64,
+}
+
+/// Outcome of [`SharedCache::get`].
+#[derive(Debug)]
+pub enum GetOutcome {
+    /// The page is resident; the caller's access is already counted.
+    Resident {
+        /// Slot index.
+        slot: usize,
+        /// The slot's frame in the cache store.
+        frame: FrameId,
+    },
+    /// The caller must fill `frame` with the page's content (fetching from
+    /// the server or disk) and then call [`SharedCache::finish_load`].
+    MustLoad {
+        /// Slot index.
+        slot: usize,
+        /// The slot's frame in the cache store.
+        frame: FrameId,
+        /// A dirty page evicted to make room; the caller must write it
+        /// back *before* loading over it is observable (the data has
+        /// already been copied out).
+        evicted: Option<Evicted>,
+    },
+}
+
+/// A dirty page evicted from the cache.
+#[derive(Debug)]
+pub struct Evicted {
+    /// The page that was evicted.
+    pub page: DbPage,
+    /// Its bytes at eviction time.
+    pub data: Vec<u8>,
+}
+
+/// The shared client cache of Figure 3.
+pub struct SharedCache {
+    store: Arc<HeapStore>,
+    page_size: usize,
+    inner: Mutex<Inner>,
+    load_done: Condvar,
+    stats: SharedCacheStats,
+}
+
+impl SharedCache {
+    /// Creates a cache of `num_slots` frames, addressable through
+    /// `num_vframes` virtual frames (`num_vframes >= num_slots`; the PVMA
+    /// "may be much larger than the size of the shared cache", §4.1.2).
+    pub fn new(num_slots: usize, num_vframes: usize, page_size: usize) -> Arc<Self> {
+        assert!(num_slots > 0, "cache needs at least one slot");
+        assert!(
+            num_vframes >= num_slots,
+            "virtual frames must cover the cache"
+        );
+        let store = Arc::new(HeapStore::new(page_size));
+        let slots = (0..num_slots)
+            .map(|_| Slot {
+                frame: store.alloc(),
+                state: SlotState::Empty,
+                access: 0,
+                pins: 0,
+                dirty: false,
+            })
+            .collect();
+        Arc::new(SharedCache {
+            store,
+            page_size,
+            inner: Mutex::new(Inner {
+                slots,
+                hand: 0,
+                vframes: vec![None; num_vframes],
+                free_vframes: (0..num_vframes).rev().collect(),
+                by_page: HashMap::new(),
+            }),
+            load_done: Condvar::new(),
+            stats: SharedCacheStats::default(),
+        })
+    }
+
+    /// The frame store backing the cache slots. Processes map their PVMA
+    /// pages onto these frames.
+    pub fn store(&self) -> &Arc<HeapStore> {
+        &self.store
+    }
+
+    /// Bytes per frame.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of cache slots.
+    pub fn num_slots(&self) -> usize {
+        self.inner.lock().slots.len()
+    }
+
+    /// Number of virtual frames.
+    pub fn num_vframes(&self) -> usize {
+        self.inner.lock().vframes.len()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &SharedCacheStats {
+        &self.stats
+    }
+
+    /// The sticky virtual frame of `page`, assigning one if needed. "If a
+    /// process maps a page at some frame, all processes see this page at
+    /// this frame" (§4.1.2).
+    pub fn vframe_of(&self, page: DbPage) -> Result<usize, CacheError> {
+        let mut inner = self.inner.lock();
+        if let Some(state) = inner.by_page.get(&page) {
+            return Ok(state.vframe);
+        }
+        let Some(vf) = inner.free_vframes.pop() else {
+            return Err(CacheError::VframesExhausted);
+        };
+        inner.vframes[vf] = Some(page);
+        inner.by_page.insert(page, PageState { vframe: vf, slot: None });
+        AtomicU64::fetch_add(&self.stats.vframe_assigns, 1, Ordering::Relaxed);
+        Ok(vf)
+    }
+
+    /// The page assigned to virtual frame `vframe`, if any.
+    pub fn page_at_vframe(&self, vframe: usize) -> Option<DbPage> {
+        self.inner.lock().vframes.get(vframe).copied().flatten()
+    }
+
+    /// Releases a page's virtual frame (no process references it anymore —
+    /// e.g. its segment was unmapped at end of transaction). The page may
+    /// stay resident; only the SVMA naming is released.
+    pub fn release_vframe(&self, page: DbPage) {
+        let mut inner = self.inner.lock();
+        if let Some(state) = inner.by_page.get(&page) {
+            if state.slot.is_none() {
+                let vf = state.vframe;
+                inner.vframes[vf] = None;
+                inner.free_vframes.push(vf);
+                inner.by_page.remove(&page);
+            }
+            // If still resident we keep the naming: pointers may be
+            // re-validated cheaply. Residents are fully forgotten on
+            // eviction via `forget_if_unnamed`.
+        }
+    }
+
+    /// Makes `page` resident, counting the caller as an accessor of the
+    /// slot. Blocks while another caller is loading the same page.
+    pub fn get(&self, page: DbPage) -> Result<GetOutcome, CacheError> {
+        let mut inner = self.inner.lock();
+        loop {
+            // Ensure the page has a vframe (SMT entry).
+            if !inner.by_page.contains_key(&page) {
+                let Some(vf) = inner.free_vframes.pop() else {
+                    return Err(CacheError::VframesExhausted);
+                };
+                inner.vframes[vf] = Some(page);
+                inner.by_page.insert(page, PageState { vframe: vf, slot: None });
+                AtomicU64::fetch_add(&self.stats.vframe_assigns, 1, Ordering::Relaxed);
+            }
+            if let Some(slot_idx) = inner.by_page[&page].slot {
+                match inner.slots[slot_idx].state {
+                    SlotState::Resident(p) => {
+                        debug_assert_eq!(p, page);
+                        inner.slots[slot_idx].access += 1;
+                        AtomicU64::fetch_add(&self.stats.hits, 1, Ordering::Relaxed);
+                        return Ok(GetOutcome::Resident {
+                            slot: slot_idx,
+                            frame: inner.slots[slot_idx].frame,
+                        });
+                    }
+                    SlotState::Loading(p) => {
+                        debug_assert_eq!(p, page);
+                        self.load_done.wait(&mut inner);
+                        continue; // re-evaluate from scratch
+                    }
+                    SlotState::Empty => unreachable!("slot mapped but empty"),
+                }
+            }
+            // Not resident: find a slot.
+            let (slot_idx, evicted) = self.find_slot(&mut inner)?;
+            let frame = inner.slots[slot_idx].frame;
+            inner.slots[slot_idx].state = SlotState::Loading(page);
+            inner.slots[slot_idx].access = 1; // the loading caller
+            inner.slots[slot_idx].dirty = false;
+            if let Some(state) = inner.by_page.get_mut(&page) {
+                state.slot = Some(slot_idx);
+            }
+            AtomicU64::fetch_add(&self.stats.loads, 1, Ordering::Relaxed);
+            return Ok(GetOutcome::MustLoad {
+                slot: slot_idx,
+                frame,
+                evicted,
+            });
+        }
+    }
+
+    /// Second-level clock: selects an empty slot or evicts one with a zero
+    /// access counter.
+    fn find_slot(&self, inner: &mut Inner) -> Result<(usize, Option<Evicted>), CacheError> {
+        // Prefer empty slots.
+        if let Some(idx) = inner
+            .slots
+            .iter()
+            .position(|s| matches!(s.state, SlotState::Empty))
+        {
+            return Ok((idx, None));
+        }
+        let n = inner.slots.len();
+        for _ in 0..n {
+            let idx = inner.hand;
+            inner.hand = (inner.hand + 1) % n;
+            let slot = &inner.slots[idx];
+            if slot.pins > 0 || slot.access > 0 {
+                continue;
+            }
+            let SlotState::Resident(old_page) = slot.state else {
+                continue; // Loading slots are never evicted.
+            };
+            // Evict.
+            let evicted = if slot.dirty {
+                let mut data = vec![0u8; self.page_size];
+                self.store.read(slot.frame, 0, &mut data);
+                AtomicU64::fetch_add(&self.stats.dirty_evictions, 1, Ordering::Relaxed);
+                Some(Evicted {
+                    page: old_page,
+                    data,
+                })
+            } else {
+                None
+            };
+            AtomicU64::fetch_add(&self.stats.evictions, 1, Ordering::Relaxed);
+            let slot = &mut inner.slots[idx];
+            slot.state = SlotState::Empty;
+            slot.dirty = false;
+            if let Some(state) = inner.by_page.get_mut(&old_page) {
+                state.slot = None;
+            }
+            return Ok((idx, evicted));
+        }
+        Err(CacheError::NoEvictableSlot)
+    }
+
+    /// Marks a load complete; waiters on the page proceed.
+    pub fn finish_load(&self, slot: usize, page: DbPage) {
+        let mut inner = self.inner.lock();
+        debug_assert_eq!(inner.slots[slot].state, SlotState::Loading(page));
+        inner.slots[slot].state = SlotState::Resident(page);
+        drop(inner);
+        self.load_done.notify_all();
+    }
+
+    /// Abandons a failed load, emptying the slot.
+    pub fn abort_load(&self, slot: usize, page: DbPage) {
+        let mut inner = self.inner.lock();
+        debug_assert_eq!(inner.slots[slot].state, SlotState::Loading(page));
+        inner.slots[slot].state = SlotState::Empty;
+        inner.slots[slot].access = 0;
+        if let Some(state) = inner.by_page.get_mut(&page) {
+            state.slot = None;
+        }
+        drop(inner);
+        self.load_done.notify_all();
+    }
+
+    /// Decrements a slot's access counter (a first-level clock invalidated
+    /// one process's mapping of it).
+    pub fn dec_access(&self, slot: usize) {
+        let mut inner = self.inner.lock();
+        let s = &mut inner.slots[slot];
+        debug_assert!(s.access > 0, "access counter underflow");
+        s.access = s.access.saturating_sub(1);
+    }
+
+    /// Marks the page in `slot` dirty (a process took a write fault on it).
+    pub fn mark_dirty(&self, slot: usize) {
+        self.inner.lock().slots[slot].dirty = true;
+    }
+
+    /// Pins a slot against eviction (node-server internal use).
+    pub fn pin(&self, slot: usize) {
+        self.inner.lock().slots[slot].pins += 1;
+    }
+
+    /// Releases a pin.
+    pub fn unpin(&self, slot: usize) {
+        let mut inner = self.inner.lock();
+        let s = &mut inner.slots[slot];
+        debug_assert!(s.pins > 0);
+        s.pins = s.pins.saturating_sub(1);
+    }
+
+    /// The current slot of `page`, if resident.
+    pub fn slot_of(&self, page: DbPage) -> Option<(usize, FrameId)> {
+        let inner = self.inner.lock();
+        let slot = inner.by_page.get(&page)?.slot?;
+        matches!(inner.slots[slot].state, SlotState::Resident(_))
+            .then(|| (slot, inner.slots[slot].frame))
+    }
+
+    /// The access counter of `slot` (diagnostics, tests).
+    pub fn access_count(&self, slot: usize) -> u32 {
+        self.inner.lock().slots[slot].access
+    }
+
+    /// Copies out every dirty resident page and clears the dirty bits
+    /// (used at commit/checkpoint by the node server).
+    pub fn drain_dirty(&self) -> Vec<(DbPage, Vec<u8>)> {
+        let mut inner = self.inner.lock();
+        let mut out = Vec::new();
+        let page_size = self.page_size;
+        for slot in inner.slots.iter_mut() {
+            if slot.dirty {
+                if let SlotState::Resident(page) = slot.state {
+                    let mut data = vec![0u8; page_size];
+                    self.store.read(slot.frame, 0, &mut data);
+                    out.push((page, data));
+                    slot.dirty = false;
+                }
+            }
+        }
+        out
+    }
+
+    /// Drops a resident clean page from the cache if nobody can access it
+    /// (used when a callback forces a page out of client caches).
+    pub fn purge(&self, page: DbPage) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(state) = inner.by_page.get(&page) else {
+            return true;
+        };
+        let Some(slot_idx) = state.slot else {
+            return true;
+        };
+        let slot = &inner.slots[slot_idx];
+        if slot.access > 0 || slot.pins > 0 || !matches!(slot.state, SlotState::Resident(_)) {
+            return false;
+        }
+        let vf = state.vframe;
+        inner.slots[slot_idx].state = SlotState::Empty;
+        inner.slots[slot_idx].dirty = false;
+        inner.by_page.remove(&page);
+        inner.vframes[vf] = None;
+        inner.free_vframes.push(vf);
+        true
+    }
+}
+
+impl std::fmt::Debug for SharedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("SharedCache")
+            .field("slots", &inner.slots.len())
+            .field("vframes", &inner.vframes.len())
+            .field("resident", &inner.by_page.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(p: u64) -> DbPage {
+        DbPage { area: 0, page: p }
+    }
+
+    fn fill(cache: &SharedCache, outcome: &GetOutcome, byte: u8) {
+        if let GetOutcome::MustLoad { slot, frame, .. } = outcome {
+            let data = vec![byte; cache.page_size()];
+            cache.store().write(*frame, 0, &data);
+            let p = match cache.inner.lock().slots[*slot].state {
+                SlotState::Loading(p) => p,
+                other => panic!("slot not loading: {other:?}"),
+            };
+            cache.finish_load(*slot, p);
+        }
+    }
+
+    #[test]
+    fn miss_load_then_hit() {
+        let cache = SharedCache::new(4, 8, 256);
+        let out = cache.get(page(1)).unwrap();
+        assert!(matches!(out, GetOutcome::MustLoad { .. }));
+        fill(&cache, &out, 0xAA);
+        let out2 = cache.get(page(1)).unwrap();
+        let GetOutcome::Resident { slot, frame } = out2 else {
+            panic!("expected resident");
+        };
+        let mut buf = vec![0u8; 256];
+        cache.store().read(frame, 0, &mut buf);
+        assert_eq!(buf[0], 0xAA);
+        assert_eq!(cache.access_count(slot), 2);
+        let s = cache.stats().snapshot();
+        assert_eq!((s.hits, s.loads), (1, 1));
+    }
+
+    #[test]
+    fn vframes_are_sticky_and_shared() {
+        let cache = SharedCache::new(2, 16, 256);
+        let vf1 = cache.vframe_of(page(1)).unwrap();
+        let vf1_again = cache.vframe_of(page(1)).unwrap();
+        assert_eq!(vf1, vf1_again);
+        let vf2 = cache.vframe_of(page(2)).unwrap();
+        assert_ne!(vf1, vf2);
+        assert_eq!(cache.page_at_vframe(vf1), Some(page(1)));
+    }
+
+    #[test]
+    fn eviction_skips_accessed_slots() {
+        let cache = SharedCache::new(2, 16, 256);
+        let a = cache.get(page(1)).unwrap();
+        fill(&cache, &a, 1);
+        let b = cache.get(page(2)).unwrap();
+        fill(&cache, &b, 2);
+        // Both slots have access == 1 (the loading caller): no eviction.
+        assert_eq!(cache.get(page(3)).unwrap_err(), CacheError::NoEvictableSlot);
+        // A first-level clock releases page 1's slot.
+        let GetOutcome::MustLoad { slot: s1, .. } = a else {
+            panic!()
+        };
+        cache.dec_access(s1);
+        let c = cache.get(page(3)).unwrap();
+        assert!(matches!(c, GetOutcome::MustLoad { .. }));
+        fill(&cache, &c, 3);
+        // Page 1 no longer resident.
+        assert!(cache.slot_of(page(1)).is_none());
+        assert!(cache.slot_of(page(3)).is_some());
+    }
+
+    #[test]
+    fn dirty_eviction_returns_data() {
+        let cache = SharedCache::new(1, 16, 64);
+        let a = cache.get(page(1)).unwrap();
+        fill(&cache, &a, 7);
+        let GetOutcome::MustLoad { slot, .. } = a else {
+            panic!()
+        };
+        cache.mark_dirty(slot);
+        cache.dec_access(slot);
+        let b = cache.get(page(2)).unwrap();
+        let GetOutcome::MustLoad { evicted, .. } = &b else {
+            panic!()
+        };
+        let ev = evicted.as_ref().expect("dirty page must be handed back");
+        assert_eq!(ev.page, page(1));
+        assert_eq!(ev.data, vec![7u8; 64]);
+    }
+
+    #[test]
+    fn clean_eviction_returns_nothing() {
+        let cache = SharedCache::new(1, 16, 64);
+        let a = cache.get(page(1)).unwrap();
+        fill(&cache, &a, 7);
+        let GetOutcome::MustLoad { slot, .. } = a else {
+            panic!()
+        };
+        cache.dec_access(slot);
+        let b = cache.get(page(2)).unwrap();
+        let GetOutcome::MustLoad { evicted, .. } = &b else {
+            panic!()
+        };
+        assert!(evicted.is_none());
+    }
+
+    #[test]
+    fn pinned_slots_survive() {
+        let cache = SharedCache::new(1, 16, 64);
+        let a = cache.get(page(1)).unwrap();
+        fill(&cache, &a, 7);
+        let GetOutcome::MustLoad { slot, .. } = a else {
+            panic!()
+        };
+        cache.pin(slot);
+        cache.dec_access(slot);
+        assert_eq!(cache.get(page(2)).unwrap_err(), CacheError::NoEvictableSlot);
+        cache.unpin(slot);
+        assert!(cache.get(page(2)).is_ok());
+    }
+
+    #[test]
+    fn vframe_exhaustion() {
+        let cache = SharedCache::new(2, 2, 64);
+        cache.vframe_of(page(1)).unwrap();
+        cache.vframe_of(page(2)).unwrap();
+        assert_eq!(
+            cache.vframe_of(page(3)).unwrap_err(),
+            CacheError::VframesExhausted
+        );
+        cache.release_vframe(page(1));
+        cache.vframe_of(page(3)).unwrap();
+    }
+
+    #[test]
+    fn concurrent_loads_of_same_page_wait() {
+        use std::thread;
+        let cache = SharedCache::new(4, 16, 64);
+        let loader = cache.get(page(1)).unwrap();
+        let GetOutcome::MustLoad { slot, frame, .. } = loader else {
+            panic!()
+        };
+        let cache2 = Arc::clone(&cache);
+        let waiter = thread::spawn(move || {
+            // This get should block until finish_load, then be a hit.
+            let out = cache2.get(page(1)).unwrap();
+            matches!(out, GetOutcome::Resident { .. })
+        });
+        thread::sleep(std::time::Duration::from_millis(50));
+        cache.store().write(frame, 0, &[9u8; 64]);
+        cache.finish_load(slot, page(1));
+        assert!(waiter.join().unwrap());
+        assert_eq!(cache.stats().snapshot().loads, 1, "only one real load");
+    }
+
+    #[test]
+    fn purge_respects_access() {
+        let cache = SharedCache::new(2, 16, 64);
+        let a = cache.get(page(1)).unwrap();
+        fill(&cache, &a, 1);
+        assert!(!cache.purge(page(1)), "still accessed");
+        let GetOutcome::MustLoad { slot, .. } = a else {
+            panic!()
+        };
+        cache.dec_access(slot);
+        assert!(cache.purge(page(1)));
+        assert!(cache.slot_of(page(1)).is_none());
+    }
+
+    #[test]
+    fn drain_dirty_clears_bits() {
+        let cache = SharedCache::new(2, 16, 64);
+        let a = cache.get(page(1)).unwrap();
+        fill(&cache, &a, 5);
+        let GetOutcome::MustLoad { slot, .. } = a else {
+            panic!()
+        };
+        cache.mark_dirty(slot);
+        let drained = cache.drain_dirty();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].0, page(1));
+        assert_eq!(drained[0].1, vec![5u8; 64]);
+        assert!(cache.drain_dirty().is_empty());
+    }
+}

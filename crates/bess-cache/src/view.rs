@@ -1,0 +1,567 @@
+//! A process's view of the shared cache: PVMA frames, SVMA translation,
+//! and the first-level clock.
+//!
+//! §4.1.2: "Each process P maps the shared cache in a number of frames —
+//! each having size equal to database page — in the process' private
+//! virtual memory address range, referred to as PVMA. ... Mapping of
+//! database pages to virtual frames is performed via a mapping table,
+//! referred to as SMT, shared by all processes. ... The shared mapping
+//! table in conjunction with the use of offsets gives the illusion of a
+//! shared virtual address space, referred to as SVMA."
+//!
+//! Here a [`SharedView`] reserves `num_vframes` pages in the process's
+//! [`AddressSpace`]; faults map the touched PVMA frame onto whichever cache
+//! slot currently holds the page the SMT assigns to that virtual frame. A
+//! shared pointer is an [`Svma`] offset, valid in every process.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+use bess_vm::{
+    Access, AddressSpace, Fault, FaultHandler, FaultOutcome, FrameState, PageStore, Protect,
+    VAddr, VRange,
+};
+use parking_lot::Mutex;
+
+use crate::page::{DbPage, PageIo};
+use crate::shared::{CacheError, GetOutcome, SharedCache};
+
+/// A pointer in the shared virtual address space: an offset from the start
+/// of the PVMA region, identical in every process (`vframe * page_size +
+/// offset_in_page`). This is what a `shm_ref<T>` stores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Svma(pub u64);
+
+/// Counters kept by a [`SharedView`].
+#[derive(Debug, Default)]
+pub struct ViewStats {
+    /// Faults that only re-enabled a protected frame.
+    pub revalidations: AtomicU64,
+    /// Faults that mapped a frame to a resident slot.
+    pub attach_hits: AtomicU64,
+    /// Faults that loaded the page into the cache.
+    pub attach_loads: AtomicU64,
+    /// Frames moved accessible -> protected by the first-level clock.
+    pub clock_protected: AtomicU64,
+    /// Frames invalidated (unmapped, access count released).
+    pub clock_invalidated: AtomicU64,
+}
+
+impl ViewStats {
+    /// Takes a snapshot for reporting.
+    pub fn snapshot(&self) -> ViewStatsSnapshot {
+        ViewStatsSnapshot {
+            revalidations: self.revalidations.load(Ordering::Relaxed),
+            attach_hits: self.attach_hits.load(Ordering::Relaxed),
+            attach_loads: self.attach_loads.load(Ordering::Relaxed),
+            clock_protected: self.clock_protected.load(Ordering::Relaxed),
+            clock_invalidated: self.clock_invalidated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ViewStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ViewStatsSnapshot {
+    /// Faults that only re-enabled a protected frame.
+    pub revalidations: u64,
+    /// Faults mapped to already-resident slots.
+    pub attach_hits: u64,
+    /// Faults that loaded pages.
+    pub attach_loads: u64,
+    /// Accessible -> protected transitions.
+    pub clock_protected: u64,
+    /// Invalidations.
+    pub clock_invalidated: u64,
+}
+
+/// One process's attachment to the shared cache (Figure 4's P1/P2).
+pub struct SharedView {
+    space: Arc<AddressSpace>,
+    cache: Arc<SharedCache>,
+    io: Arc<dyn PageIo>,
+    base: VRange,
+    /// vframe -> slot currently mapped by *this* process.
+    mapped: Mutex<std::collections::HashMap<usize, usize>>,
+    hand: AtomicUsize,
+    stats: ViewStats,
+}
+
+struct ViewHandler(Weak<SharedView>);
+
+impl FaultHandler for ViewHandler {
+    fn handle(&self, _space: &AddressSpace, fault: Fault) -> FaultOutcome {
+        match self.0.upgrade() {
+            Some(view) => view.handle_fault(fault),
+            None => FaultOutcome::Deny,
+        }
+    }
+}
+
+impl SharedView {
+    /// Attaches `space` (one process's address space) to the shared cache,
+    /// reserving the PVMA region. All processes must attach to caches with
+    /// the same `num_vframes` ("for our scheme to work all processes must
+    /// reserve the same number of PVMA frames", §4.1.2).
+    pub fn attach(
+        space: Arc<AddressSpace>,
+        cache: Arc<SharedCache>,
+        io: Arc<dyn PageIo>,
+    ) -> Arc<SharedView> {
+        assert_eq!(
+            cache.page_size() as u64,
+            space.page_size(),
+            "cache frame size must match the address-space page size"
+        );
+        let len = cache.num_vframes() as u64 * space.page_size();
+        let base = space.reserve(len, None);
+        let view = Arc::new(SharedView {
+            space: Arc::clone(&space),
+            cache,
+            io,
+            base,
+            mapped: Mutex::new(std::collections::HashMap::new()),
+            hand: AtomicUsize::new(0),
+            stats: ViewStats::default(),
+        });
+        let handler: Arc<dyn FaultHandler> = Arc::new(ViewHandler(Arc::downgrade(&view)));
+        space
+            .set_handler(base.start(), Some(handler))
+            .expect("fresh region");
+        view
+    }
+
+    /// The process's address space.
+    pub fn space(&self) -> &Arc<AddressSpace> {
+        &self.space
+    }
+
+    /// The attached shared cache.
+    pub fn cache(&self) -> &Arc<SharedCache> {
+        &self.cache
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &ViewStats {
+        &self.stats
+    }
+
+    /// The local virtual address of a shared pointer.
+    pub fn to_local(&self, svma: Svma) -> VAddr {
+        self.base.start().add(svma.0)
+    }
+
+    /// The shared pointer for a local address inside the PVMA region.
+    ///
+    /// # Panics
+    /// Panics if `addr` is outside the PVMA region.
+    pub fn to_svma(&self, addr: VAddr) -> Svma {
+        assert!(self.base.contains(addr), "address outside PVMA");
+        Svma(addr.offset_from(self.base.start()))
+    }
+
+    /// The shared pointer to byte `offset` of `page`, assigning the page a
+    /// virtual frame if it has none.
+    pub fn svma_of(&self, page: DbPage, offset: u64) -> Result<Svma, CacheError> {
+        let vf = self.cache.vframe_of(page)?;
+        Ok(Svma(vf as u64 * self.space.page_size() + offset))
+    }
+
+    /// Local address of byte `offset` of `page`.
+    pub fn addr_of(&self, page: DbPage, offset: u64) -> Result<VAddr, CacheError> {
+        Ok(self.to_local(self.svma_of(page, offset)?))
+    }
+
+    fn vframe_of_addr(&self, addr: VAddr) -> usize {
+        (addr.offset_from(self.base.start()) / self.space.page_size()) as usize
+    }
+
+    fn frame_addr(&self, vframe: usize) -> VAddr {
+        self.base.start().add(vframe as u64 * self.space.page_size())
+    }
+
+    fn handle_fault(&self, fault: Fault) -> FaultOutcome {
+        let vframe = self.vframe_of_addr(fault.addr);
+        let Some(page) = self.cache.page_at_vframe(vframe) else {
+            // Touching a virtual frame the SMT assigned no page: a stray
+            // pointer.
+            return FaultOutcome::Deny;
+        };
+        let addr = self.frame_addr(vframe);
+        let want = match fault.access {
+            Access::Read => Protect::Read,
+            Access::Write => Protect::ReadWrite,
+        };
+
+        // Case 1: the frame is already mapped — either the first-level
+        // clock demoted it (protected) or a write hit a read-only mapping;
+        // restore/upgrade access in place (and dirty-track writes).
+        if self.space.frame_state(addr) != FrameState::Invalid {
+            if let Some(&slot) = self.mapped.lock().get(&vframe) {
+                if fault.access == Access::Write {
+                    self.cache.mark_dirty(slot);
+                }
+                let page_range = VRange::new(addr, self.space.page_size());
+                self.space
+                    .protect(page_range, want)
+                    .expect("pvma page reserved");
+                AtomicU64::fetch_add(&self.stats.revalidations, 1, Ordering::Relaxed);
+                return FaultOutcome::Resume;
+            }
+        }
+
+        // Case 2: frame invalid — attach to the cache slot, loading if
+        // needed. On a full cache run our own first-level clock and retry;
+        // if every slot is claimed by *other* processes, wait for their
+        // clocks to release claims (bounded).
+        let mut attempts = 0u32;
+        loop {
+            match self.cache.get(page) {
+                Ok(GetOutcome::Resident { slot, frame }) => {
+                    self.attach_frame(vframe, addr, slot, frame, want, fault.access);
+                    AtomicU64::fetch_add(&self.stats.attach_hits, 1, Ordering::Relaxed);
+                    return FaultOutcome::Resume;
+                }
+                Ok(GetOutcome::MustLoad {
+                    slot,
+                    frame,
+                    evicted,
+                }) => {
+                    if let Some(ev) = evicted {
+                        self.io.write_back(ev.page, &ev.data);
+                    }
+                    let mut buf = vec![0u8; self.cache.page_size()];
+                    if self.io.load(page, &mut buf).is_err() {
+                        self.cache.abort_load(slot, page);
+                        return FaultOutcome::Deny;
+                    }
+                    self.cache.store().write(frame, 0, &buf);
+                    self.cache.finish_load(slot, page);
+                    self.attach_frame(vframe, addr, slot, frame, want, fault.access);
+                    AtomicU64::fetch_add(&self.stats.attach_loads, 1, Ordering::Relaxed);
+                    return FaultOutcome::Resume;
+                }
+                Err(CacheError::NoEvictableSlot) if attempts < 200 => {
+                    attempts += 1;
+                    // Free our own claims first; afterwards the wait is on
+                    // the other processes' first-level clocks.
+                    self.sweep(self.cache.num_vframes() * 2);
+                    if attempts > 1 {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+                Err(_) => return FaultOutcome::Deny,
+            }
+        }
+    }
+
+    fn attach_frame(
+        &self,
+        vframe: usize,
+        addr: VAddr,
+        slot: usize,
+        frame: bess_vm::FrameId,
+        want: Protect,
+        access: Access,
+    ) {
+        if access == Access::Write {
+            self.cache.mark_dirty(slot);
+        }
+        let store: Arc<dyn PageStore> = Arc::clone(self.cache.store()) as Arc<dyn PageStore>;
+        self.space
+            .map_page(addr, store, frame, want)
+            .expect("pvma page reserved");
+        let prev = self.mapped.lock().insert(vframe, slot);
+        debug_assert!(prev.is_none(), "frame attached twice");
+    }
+
+    /// Runs the first-level clock over up to `steps` virtual frames:
+    /// accessible frames are demoted to protected; protected frames are
+    /// invalidated, releasing this process's claim on the cache slot
+    /// (decrementing its counter). Returns the number of invalidations.
+    pub fn sweep(&self, steps: usize) -> usize {
+        let n = self.cache.num_vframes();
+        let mut invalidated = 0;
+        for _ in 0..steps {
+            let vf = self.hand.fetch_add(1, Ordering::Relaxed) % n;
+            let addr = self.frame_addr(vf);
+            match self.space.frame_state(addr) {
+                FrameState::Invalid => {}
+                FrameState::Accessible => {
+                    let page_range = VRange::new(addr, self.space.page_size());
+                    self.space
+                        .protect(page_range, Protect::None)
+                        .expect("pvma page reserved");
+                    AtomicU64::fetch_add(&self.stats.clock_protected, 1, Ordering::Relaxed);
+                }
+                FrameState::Protected => {
+                    if let Some(slot) = self.mapped.lock().remove(&vf) {
+                        self.space.unmap_page(addr).expect("pvma page reserved");
+                        self.cache.dec_access(slot);
+                        AtomicU64::fetch_add(&self.stats.clock_invalidated, 1, Ordering::Relaxed);
+                        invalidated += 1;
+                    }
+                }
+            }
+        }
+        invalidated
+    }
+
+    /// Invalidates every frame this process has mapped (end of transaction
+    /// for clients without inter-transaction caching, §3; or detach).
+    pub fn invalidate_all(&self) {
+        let mapped: Vec<(usize, usize)> = self.mapped.lock().drain().collect();
+        for (vf, slot) in mapped {
+            let addr = self.frame_addr(vf);
+            self.space.unmap_page(addr).expect("pvma page reserved");
+            self.cache.dec_access(slot);
+            AtomicU64::fetch_add(&self.stats.clock_invalidated, 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads `buf.len()` bytes at shared pointer `svma` through the normal
+    /// faulting path.
+    pub fn read(&self, svma: Svma, buf: &mut [u8]) -> bess_vm::VmResult<()> {
+        self.space.read(self.to_local(svma), buf)
+    }
+
+    /// Writes `data` at shared pointer `svma` through the normal faulting
+    /// path (first write to a page faults and marks it dirty).
+    pub fn write(&self, svma: Svma, data: &[u8]) -> bess_vm::VmResult<()> {
+        self.space.write(self.to_local(svma), data)
+    }
+}
+
+impl std::fmt::Debug for SharedView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedView")
+            .field("base", &self.base)
+            .field("mapped", &self.mapped.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::MapIo;
+
+    fn setup(slots: usize, vframes: usize) -> (Arc<SharedCache>, Arc<MapIo>) {
+        let cache = SharedCache::new(slots, vframes, 256);
+        let io = Arc::new(MapIo::new());
+        (cache, io)
+    }
+
+    fn attach(cache: &Arc<SharedCache>, io: &Arc<MapIo>) -> Arc<SharedView> {
+        let space = Arc::new(AddressSpace::with_page_size(256));
+        SharedView::attach(space, Arc::clone(cache), Arc::clone(io) as Arc<dyn PageIo>)
+    }
+
+    fn page(p: u64) -> DbPage {
+        DbPage { area: 0, page: p }
+    }
+
+    #[test]
+    fn fault_loads_page_and_reads_content() {
+        let (cache, io) = setup(4, 8);
+        io.put(page(1), {
+            let mut v = vec![0u8; 256];
+            v[10] = 0x5A;
+            v
+        });
+        let view = attach(&cache, &io);
+        let svma = view.svma_of(page(1), 10).unwrap();
+        let mut buf = [0u8; 1];
+        view.read(svma, &mut buf).unwrap();
+        assert_eq!(buf[0], 0x5A);
+        assert_eq!(view.stats().snapshot().attach_loads, 1);
+        // Second read: no fault at all.
+        view.read(svma, &mut buf).unwrap();
+        assert_eq!(view.space().stats().snapshot().read_faults, 1);
+    }
+
+    #[test]
+    fn two_processes_share_one_load_and_see_writes() {
+        let (cache, io) = setup(4, 8);
+        let p1 = attach(&cache, &io);
+        let p2 = attach(&cache, &io);
+        let svma = p1.svma_of(page(7), 0).unwrap();
+        // Same SVMA in both processes (that is the point of the SMT).
+        assert_eq!(svma, p2.svma_of(page(7), 0).unwrap());
+        // But (possibly) different local addresses.
+        p1.write(svma, b"shared!").unwrap();
+        let mut buf = [0u8; 7];
+        p2.read(svma, &mut buf).unwrap();
+        assert_eq!(&buf, b"shared!");
+        assert_eq!(cache.stats().snapshot().loads, 1, "one load served both");
+    }
+
+    #[test]
+    fn figure4_walkthrough() {
+        // The exact §4.1.2 scenario: 2-slot cache, processes P1 and P2,
+        // pages A, B, C.
+        let (cache, io) = setup(2, 8);
+        io.put(page(0xA), vec![0xA; 256]);
+        io.put(page(0xB), vec![0xB; 256]);
+        io.put(page(0xC), vec![0xC; 256]);
+        let p1 = attach(&cache, &io);
+        let p2 = attach(&cache, &io);
+
+        // (a) P1 accesses A; P2 accesses B.
+        let a = p1.svma_of(page(0xA), 0).unwrap();
+        let b = p2.svma_of(page(0xB), 0).unwrap();
+        let mut buf = [0u8; 1];
+        p1.read(a, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xA);
+        p2.read(b, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xB);
+
+        // (b) P2 wants C. The cache is full; P2's first-level clock must
+        // give up its claim on B before a slot frees up.
+        p2.sweep(16); // accessible -> protected
+        p2.sweep(16); // protected -> invalid (decrements B's slot counter)
+        let c = p2.svma_of(page(0xC), 0).unwrap();
+        p2.read(c, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xC);
+        assert!(cache.slot_of(page(0xB)).is_none(), "B was replaced");
+
+        // P1 can still read A (its claim was preserved: P1's clock did not
+        // run) and can reach C at the same SVMA P2 used.
+        p1.read(a, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xA);
+        p1.read(c, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xC);
+        assert_eq!(c, p1.svma_of(page(0xC), 0).unwrap());
+    }
+
+    #[test]
+    fn clock_revalidation_is_cheap() {
+        let (cache, io) = setup(4, 8);
+        let view = attach(&cache, &io);
+        let svma = view.svma_of(page(1), 0).unwrap();
+        let mut buf = [0u8; 1];
+        view.read(svma, &mut buf).unwrap();
+        // Demote to protected; next access revalidates without cache calls.
+        view.sweep(8);
+        let loads_before = cache.stats().snapshot().loads;
+        view.read(svma, &mut buf).unwrap();
+        assert_eq!(view.stats().snapshot().revalidations, 1);
+        assert_eq!(cache.stats().snapshot().loads, loads_before);
+    }
+
+    #[test]
+    fn write_fault_marks_dirty_and_write_back_on_eviction() {
+        let (cache, io) = setup(1, 8);
+        let view = attach(&cache, &io);
+        let svma = view.svma_of(page(1), 3).unwrap();
+        view.write(svma, b"dirty").unwrap();
+        // Invalidate and touch another page: eviction must write back.
+        view.sweep(16);
+        view.sweep(16);
+        let other = view.svma_of(page(2), 0).unwrap();
+        let mut buf = [0u8; 1];
+        view.read(other, &mut buf).unwrap();
+        assert_eq!(io.write_backs(), 1);
+        assert_eq!(&io.get(page(1), 256)[3..8], b"dirty");
+    }
+
+    #[test]
+    fn full_cache_self_heals_via_own_clock() {
+        let (cache, io) = setup(2, 8);
+        let view = attach(&cache, &io);
+        let mut buf = [0u8; 1];
+        // Touch three pages through a 2-slot cache; the handler must run
+        // the first-level clock internally.
+        for p in 1..=3 {
+            let svma = view.svma_of(page(p), 0).unwrap();
+            view.read(svma, &mut buf).unwrap();
+        }
+        assert!(cache.slot_of(page(3)).is_some());
+    }
+
+    #[test]
+    fn stray_frame_access_denied() {
+        let (cache, io) = setup(2, 8);
+        let view = attach(&cache, &io);
+        // vframe 5 has no page assigned; direct access must be a caught
+        // protection violation.
+        let addr = view.to_local(Svma(5 * 256));
+        let err = view.space().read_u32(addr).unwrap_err();
+        assert!(matches!(err, bess_vm::VmError::ProtectionViolation { .. }));
+    }
+
+    #[test]
+    fn invalidate_all_releases_claims() {
+        let (cache, io) = setup(2, 8);
+        let view = attach(&cache, &io);
+        let mut buf = [0u8; 1];
+        for p in 1..=2 {
+            let svma = view.svma_of(page(p), 0).unwrap();
+            view.read(svma, &mut buf).unwrap();
+        }
+        view.invalidate_all();
+        let (slot1, _) = cache.slot_of(page(1)).unwrap();
+        assert_eq!(cache.access_count(slot1), 0);
+    }
+}
+
+#[cfg(test)]
+mod concurrency_tests {
+    use super::*;
+    use crate::page::MapIo;
+    use crate::shared::SharedCache;
+    use std::thread;
+
+    /// Many "processes" hammer a small shared cache concurrently: every
+    /// read must observe exactly the per-page stamp that was seeded,
+    /// through any interleaving of faults, first-level clock sweeps, and
+    /// second-level replacements.
+    #[test]
+    fn many_views_small_cache_stay_coherent() {
+        const PS: usize = 256;
+        const PAGES: u64 = 64;
+        let cache = SharedCache::new(8, 128, PS);
+        let io = Arc::new(MapIo::new());
+        for p in 0..PAGES {
+            let mut content = vec![0u8; PS];
+            content[..8].copy_from_slice(&p.to_le_bytes());
+            content[PS - 1] = (p % 251) as u8;
+            io.put(DbPage { area: 0, page: p }, content);
+        }
+
+        let mut handles = Vec::new();
+        for t in 0..6u64 {
+            let cache = Arc::clone(&cache);
+            let io = Arc::clone(&io);
+            handles.push(thread::spawn(move || {
+                let space = Arc::new(AddressSpace::with_page_size(PS as u64));
+                let view =
+                    SharedView::attach(space, cache, io as Arc<dyn crate::page::PageIo>);
+                let mut buf8 = [0u8; 8];
+                let mut buf1 = [0u8; 1];
+                for i in 0..2000u64 {
+                    let p = (i.wrapping_mul(31).wrapping_add(t * 17)) % PAGES;
+                    let svma = view.svma_of(DbPage { area: 0, page: p }, 0).unwrap();
+                    view.read(svma, &mut buf8).unwrap();
+                    assert_eq!(u64::from_le_bytes(buf8), p, "thread {t} page {p}");
+                    let tail = view
+                        .svma_of(DbPage { area: 0, page: p }, PS as u64 - 1)
+                        .unwrap();
+                    view.read(tail, &mut buf1).unwrap();
+                    assert_eq!(buf1[0], (p % 251) as u8);
+                    // Periodically run the first-level clock to release
+                    // claims (and force replacement churn).
+                    if i % 64 == 0 {
+                        view.sweep(256);
+                    }
+                }
+                view.invalidate_all();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats().snapshot();
+        assert!(s.evictions > 0, "an 8-slot cache must churn: {s:?}");
+    }
+}

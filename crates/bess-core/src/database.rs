@@ -1,0 +1,709 @@
+//! Databases, named root objects, BeSS files and multifiles (§2, §2.5).
+//!
+//! "At the conceptual level, BeSS manipulates databases that are
+//! collections of BeSS files. BeSS files contain object segments in which
+//! objects are stored." Files group objects for cursor retrieval; all
+//! objects of a file live in one storage area — except **multifiles**,
+//! which "expand over multiple physical storage areas and therefore their
+//! sizes are not limited by the operating system", and enable parallel I/O
+//! when the areas sit on different devices.
+//!
+//! "For such so called 'named' or 'root' objects, BeSS maintains a
+//! directory which is implemented as a pair of hash tables. BeSS enforces
+//! the referential integrity between root objects and their names" (§2.5).
+//!
+//! The database descriptor (types, segment catalog, roots, files) is
+//! persisted in a dedicated disk segment at a well-known location in the
+//! primary area, written by [`Database::save`] and reloaded by
+//! [`Database::open`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bess_largeobj::{seg_read, seg_write};
+use bess_segment::{Oid, SegId, SegmentCatalog, TypeRegistry};
+use bess_storage::{AreaId, DiskPtr, DiskSpace, StorageError};
+use parking_lot::RwLock;
+
+/// Errors from database metadata operations.
+#[derive(Debug)]
+pub enum DbError {
+    /// Storage failure.
+    Storage(StorageError),
+    /// The descriptor failed validation.
+    Corrupt(String),
+    /// The descriptor outgrew its segment.
+    MetaOverflow {
+        /// Bytes needed.
+        need: usize,
+        /// Bytes available.
+        cap: usize,
+    },
+    /// A root name is already bound.
+    RootExists(String),
+    /// No such root.
+    NoSuchRoot(String),
+    /// A file name is already bound.
+    FileExists(String),
+    /// No such file.
+    NoSuchFile(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Storage(e) => write!(f, "storage error: {e}"),
+            DbError::Corrupt(m) => write!(f, "corrupt database descriptor: {m}"),
+            DbError::MetaOverflow { need, cap } => {
+                write!(f, "database descriptor of {need} bytes exceeds {cap}")
+            }
+            DbError::RootExists(n) => write!(f, "root '{n}' already exists"),
+            DbError::NoSuchRoot(n) => write!(f, "no root named '{n}'"),
+            DbError::FileExists(n) => write!(f, "file '{n}' already exists"),
+            DbError::NoSuchFile(n) => write!(f, "no file named '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<StorageError> for DbError {
+    fn from(e: StorageError) -> Self {
+        DbError::Storage(e)
+    }
+}
+
+/// Result alias for database operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+const META_MAGIC: u32 = 0x4244_424D; // "BDBM"
+const META_VERSION: u32 = 1;
+/// Pages reserved for the database descriptor.
+pub const META_PAGES: u32 = 64;
+
+/// Metadata of one BeSS file (or multifile).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileMeta {
+    /// The file's name.
+    pub name: String,
+    /// Storage areas the file may place segments in (one area = regular
+    /// file; several = multifile).
+    pub areas: Vec<u32>,
+    /// The file's object segments, in creation order.
+    pub segments: Vec<SegId>,
+    /// Slot capacity for newly created segments.
+    pub slot_cap: u32,
+    /// Data pages for newly created segments.
+    pub data_pages: u32,
+    /// Round-robin cursor over `areas` for the next segment (spreads a
+    /// multifile across devices for parallel I/O, §2).
+    pub next_area: u32,
+}
+
+impl FileMeta {
+    /// Whether this is a multifile.
+    pub fn is_multifile(&self) -> bool {
+        self.areas.len() > 1
+    }
+}
+
+#[derive(Default)]
+struct DbInner {
+    roots_by_name: HashMap<String, Oid>,
+    roots_by_oid: HashMap<Oid, String>,
+    files: HashMap<String, FileMeta>,
+}
+
+/// A BeSS database: types, segment catalog, named roots, and files.
+pub struct Database {
+    name: String,
+    host: u16,
+    db_id: u16,
+    primary_area: u32,
+    meta_seg: DiskPtr,
+    types: Arc<TypeRegistry>,
+    catalog: Arc<SegmentCatalog>,
+    inner: RwLock<DbInner>,
+}
+
+impl Database {
+    /// Creates a database on `disk`, allocating its descriptor segment in
+    /// `primary_area`. Create the database **before** any other allocation
+    /// in the area so the descriptor lands at the well-known first disk
+    /// segment ([`Database::open`] relies on that).
+    pub fn create(
+        disk: &dyn DiskSpace,
+        name: &str,
+        host: u16,
+        db_id: u16,
+        primary_area: u32,
+    ) -> DbResult<Arc<Database>> {
+        let meta_seg = disk.alloc(primary_area, META_PAGES)?;
+        let db = Arc::new(Database {
+            name: name.to_string(),
+            host,
+            db_id,
+            primary_area,
+            meta_seg,
+            types: Arc::new(TypeRegistry::new()),
+            catalog: Arc::new(SegmentCatalog::new()),
+            inner: RwLock::new(DbInner::default()),
+        });
+        db.save(disk)?;
+        Ok(db)
+    }
+
+    /// Opens a database whose descriptor starts at `meta_start` of
+    /// `primary_area` (pass [`Database::default_meta_page`] when the
+    /// database was the area's first allocation).
+    pub fn open_at(
+        disk: &dyn DiskSpace,
+        primary_area: u32,
+        meta_start: u64,
+    ) -> DbResult<Arc<Database>> {
+        let meta_seg = DiskPtr {
+            area: AreaId(primary_area),
+            start_page: meta_start,
+            pages: META_PAGES,
+        };
+        let mut head = [0u8; 8];
+        seg_read(disk, meta_seg, 0, &mut head)?;
+        let len = u64::from_le_bytes(head) as usize;
+        let cap = META_PAGES as usize * disk.page_size();
+        if len == 0 || len + 8 > cap {
+            return Err(DbError::Corrupt("bad descriptor length".into()));
+        }
+        let mut bytes = vec![0u8; len];
+        seg_read(disk, meta_seg, 8, &mut bytes)?;
+        Self::deserialize(&bytes, meta_seg)
+    }
+
+    /// Opens a database created as the first allocation of its area.
+    pub fn open(disk: &dyn DiskSpace, primary_area: u32) -> DbResult<Arc<Database>> {
+        Self::open_at(disk, primary_area, Self::default_meta_page())
+    }
+
+    /// The page where [`Database::create`]'s descriptor lands in a fresh
+    /// area (after the area header and the first extent's metadata page).
+    pub fn default_meta_page() -> u64 {
+        2
+    }
+
+    /// Persists the descriptor.
+    pub fn save(&self, disk: &dyn DiskSpace) -> DbResult<()> {
+        let bytes = self.serialize();
+        let cap = META_PAGES as usize * disk.page_size();
+        if bytes.len() + 8 > cap {
+            return Err(DbError::MetaOverflow {
+                need: bytes.len() + 8,
+                cap,
+            });
+        }
+        let mut framed = Vec::with_capacity(bytes.len() + 8);
+        framed.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        framed.extend_from_slice(&bytes);
+        seg_write(disk, self.meta_seg, 0, &framed)?;
+        Ok(())
+    }
+
+    /// The database's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Host machine number (for OIDs).
+    pub fn host(&self) -> u16 {
+        self.host
+    }
+
+    /// Database number (for OIDs).
+    pub fn db_id(&self) -> u16 {
+        self.db_id
+    }
+
+    /// The primary storage area.
+    pub fn primary_area(&self) -> u32 {
+        self.primary_area
+    }
+
+    /// The type registry.
+    pub fn types(&self) -> &Arc<TypeRegistry> {
+        &self.types
+    }
+
+    /// The segment catalog.
+    pub fn catalog(&self) -> &Arc<SegmentCatalog> {
+        &self.catalog
+    }
+
+    // ---- named roots (§2.5) ---------------------------------------------
+
+    /// Binds `name` to `oid`. Fails if the name is taken (use
+    /// [`Self::remove_root`] first to rebind).
+    pub fn set_root(&self, name: &str, oid: Oid) -> DbResult<()> {
+        let mut inner = self.inner.write();
+        if inner.roots_by_name.contains_key(name) {
+            return Err(DbError::RootExists(name.to_string()));
+        }
+        inner.roots_by_name.insert(name.to_string(), oid);
+        inner.roots_by_oid.insert(oid, name.to_string());
+        Ok(())
+    }
+
+    /// Looks a root up by name (one of the two hash tables).
+    pub fn get_root(&self, name: &str) -> Option<Oid> {
+        self.inner.read().roots_by_name.get(name).copied()
+    }
+
+    /// Looks a root's name up by OID (the other hash table).
+    pub fn root_name_of(&self, oid: Oid) -> Option<String> {
+        self.inner.read().roots_by_oid.get(&oid).cloned()
+    }
+
+    /// Unbinds a name.
+    pub fn remove_root(&self, name: &str) -> DbResult<Oid> {
+        let mut inner = self.inner.write();
+        let oid = inner
+            .roots_by_name
+            .remove(name)
+            .ok_or_else(|| DbError::NoSuchRoot(name.to_string()))?;
+        inner.roots_by_oid.remove(&oid);
+        Ok(oid)
+    }
+
+    /// Referential integrity (§2.5): "when a root object is removed from a
+    /// database so is the name of the object". Called by the session's
+    /// delete path.
+    pub fn forget_root_of(&self, oid: Oid) -> Option<String> {
+        let mut inner = self.inner.write();
+        let name = inner.roots_by_oid.remove(&oid)?;
+        inner.roots_by_name.remove(&name);
+        Some(name)
+    }
+
+    /// All root names, sorted.
+    pub fn root_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().roots_by_name.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    // ---- files and multifiles ---------------------------------------------
+
+    /// Creates a file over `areas` (several areas = multifile).
+    pub fn create_file(
+        &self,
+        name: &str,
+        areas: Vec<u32>,
+        slot_cap: u32,
+        data_pages: u32,
+    ) -> DbResult<()> {
+        assert!(!areas.is_empty(), "a file needs at least one area");
+        let mut inner = self.inner.write();
+        if inner.files.contains_key(name) {
+            return Err(DbError::FileExists(name.to_string()));
+        }
+        inner.files.insert(
+            name.to_string(),
+            FileMeta {
+                name: name.to_string(),
+                areas,
+                segments: Vec::new(),
+                slot_cap,
+                data_pages,
+                next_area: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// A file's metadata.
+    pub fn file(&self, name: &str) -> DbResult<FileMeta> {
+        self.inner
+            .read()
+            .files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::NoSuchFile(name.to_string()))
+    }
+
+    /// All file names, sorted.
+    pub fn file_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().files.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Appends a segment to a file and advances the round-robin area
+    /// cursor. Returns the area the *next* segment should use.
+    pub fn record_file_segment(&self, name: &str, seg: SegId) -> DbResult<()> {
+        let mut inner = self.inner.write();
+        let file = inner
+            .files
+            .get_mut(name)
+            .ok_or_else(|| DbError::NoSuchFile(name.to_string()))?;
+        file.segments.push(seg);
+        file.next_area = (file.next_area + 1) % file.areas.len() as u32;
+        Ok(())
+    }
+
+    /// Skips the file's current area (it failed to allocate — e.g. a full
+    /// fixed-size area): advances the round-robin cursor so a multifile
+    /// spills over to its next storage area, which is how BeSS files
+    /// escape the single-area size limit (§2).
+    pub fn skip_file_area(&self, name: &str) -> DbResult<()> {
+        let mut inner = self.inner.write();
+        let file = inner
+            .files
+            .get_mut(name)
+            .ok_or_else(|| DbError::NoSuchFile(name.to_string()))?;
+        file.next_area = (file.next_area + 1) % file.areas.len() as u32;
+        Ok(())
+    }
+
+    /// The area the next segment of `name` should be created in (round
+    /// robin across the file's areas).
+    pub fn next_file_area(&self, name: &str) -> DbResult<u32> {
+        let inner = self.inner.read();
+        let file = inner
+            .files
+            .get(name)
+            .ok_or_else(|| DbError::NoSuchFile(name.to_string()))?;
+        Ok(file.areas[file.next_area as usize % file.areas.len()])
+    }
+
+    /// Removes a file's metadata (its segments must already be gone).
+    pub fn remove_file(&self, name: &str) -> DbResult<FileMeta> {
+        self.inner
+            .write()
+            .files
+            .remove(name)
+            .ok_or_else(|| DbError::NoSuchFile(name.to_string()))
+    }
+
+    // ---- serialization -----------------------------------------------------
+
+    fn serialize(&self) -> Vec<u8> {
+        let inner = self.inner.read();
+        let mut out = Vec::new();
+        out.extend_from_slice(&META_MAGIC.to_le_bytes());
+        out.extend_from_slice(&META_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.host.to_le_bytes());
+        out.extend_from_slice(&self.db_id.to_le_bytes());
+        out.extend_from_slice(&self.primary_area.to_le_bytes());
+        put_str(&mut out, &self.name);
+        put_blob(&mut out, &self.types.to_bytes());
+        put_blob(&mut out, &self.catalog.to_bytes());
+        out.extend_from_slice(&(inner.roots_by_name.len() as u32).to_le_bytes());
+        let mut roots: Vec<(&String, &Oid)> = inner.roots_by_name.iter().collect();
+        roots.sort_by_key(|(n, _)| n.as_str().to_string());
+        for (name, oid) in roots {
+            put_str(&mut out, name);
+            out.extend_from_slice(&oid.to_bytes());
+        }
+        out.extend_from_slice(&(inner.files.len() as u32).to_le_bytes());
+        let mut files: Vec<&FileMeta> = inner.files.values().collect();
+        files.sort_by_key(|f| f.name.clone());
+        for f in files {
+            put_str(&mut out, &f.name);
+            out.extend_from_slice(&f.slot_cap.to_le_bytes());
+            out.extend_from_slice(&f.data_pages.to_le_bytes());
+            out.extend_from_slice(&f.next_area.to_le_bytes());
+            out.extend_from_slice(&(f.areas.len() as u32).to_le_bytes());
+            for a in &f.areas {
+                out.extend_from_slice(&a.to_le_bytes());
+            }
+            out.extend_from_slice(&(f.segments.len() as u32).to_le_bytes());
+            for s in &f.segments {
+                out.extend_from_slice(&s.area.to_le_bytes());
+                out.extend_from_slice(&s.start_page.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn deserialize(bytes: &[u8], meta_seg: DiskPtr) -> DbResult<Arc<Database>> {
+        let mut pos = 0usize;
+        let magic = get_u32(bytes, &mut pos)?;
+        if magic != META_MAGIC {
+            return Err(DbError::Corrupt("bad magic".into()));
+        }
+        let version = get_u32(bytes, &mut pos)?;
+        if version != META_VERSION {
+            return Err(DbError::Corrupt(format!("unsupported version {version}")));
+        }
+        let host = get_u16(bytes, &mut pos)?;
+        let db_id = get_u16(bytes, &mut pos)?;
+        let primary_area = get_u32(bytes, &mut pos)?;
+        let name = get_str(bytes, &mut pos)?;
+        let types_blob = get_blob(bytes, &mut pos)?;
+        let catalog_blob = get_blob(bytes, &mut pos)?;
+        let types = TypeRegistry::from_bytes(&types_blob)
+            .ok_or_else(|| DbError::Corrupt("bad type registry".into()))?;
+        let catalog = SegmentCatalog::from_bytes(&catalog_blob)
+            .ok_or_else(|| DbError::Corrupt("bad segment catalog".into()))?;
+
+        let mut inner = DbInner::default();
+        let n_roots = get_u32(bytes, &mut pos)? as usize;
+        for _ in 0..n_roots {
+            let rname = get_str(bytes, &mut pos)?;
+            let mut oid_bytes = [0u8; 20];
+            let end = pos + 20;
+            oid_bytes.copy_from_slice(
+                bytes
+                    .get(pos..end)
+                    .ok_or_else(|| DbError::Corrupt("truncated roots".into()))?,
+            );
+            pos = end;
+            let oid = Oid::from_bytes(&oid_bytes);
+            inner.roots_by_oid.insert(oid, rname.clone());
+            inner.roots_by_name.insert(rname, oid);
+        }
+        let n_files = get_u32(bytes, &mut pos)? as usize;
+        for _ in 0..n_files {
+            let fname = get_str(bytes, &mut pos)?;
+            let slot_cap = get_u32(bytes, &mut pos)?;
+            let data_pages = get_u32(bytes, &mut pos)?;
+            let next_area = get_u32(bytes, &mut pos)?;
+            let n_areas = get_u32(bytes, &mut pos)? as usize;
+            let mut areas = Vec::with_capacity(n_areas);
+            for _ in 0..n_areas {
+                areas.push(get_u32(bytes, &mut pos)?);
+            }
+            let n_segs = get_u32(bytes, &mut pos)? as usize;
+            let mut segments = Vec::with_capacity(n_segs);
+            for _ in 0..n_segs {
+                let area = get_u32(bytes, &mut pos)?;
+                let start_page = get_u64(bytes, &mut pos)?;
+                segments.push(SegId { area, start_page });
+            }
+            inner.files.insert(
+                fname.clone(),
+                FileMeta {
+                    name: fname,
+                    areas,
+                    segments,
+                    slot_cap,
+                    data_pages,
+                    next_area,
+                },
+            );
+        }
+        if pos != bytes.len() {
+            return Err(DbError::Corrupt("trailing bytes".into()));
+        }
+        Ok(Arc::new(Database {
+            name,
+            host,
+            db_id,
+            primary_area,
+            meta_seg,
+            types: Arc::new(types),
+            catalog: Arc::new(catalog),
+            inner: RwLock::new(inner),
+        }))
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("name", &self.name)
+            .field("primary_area", &self.primary_area)
+            .field("segments", &self.catalog.list().len())
+            .field("roots", &self.inner.read().roots_by_name.len())
+            .field("files", &self.inner.read().files.len())
+            .finish()
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_blob(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn get_u16(b: &[u8], pos: &mut usize) -> DbResult<u16> {
+    let end = *pos + 2;
+    let v = u16::from_le_bytes(
+        b.get(*pos..end)
+            .ok_or_else(|| DbError::Corrupt("truncated".into()))?
+            .try_into()
+            .unwrap(),
+    );
+    *pos = end;
+    Ok(v)
+}
+
+fn get_u32(b: &[u8], pos: &mut usize) -> DbResult<u32> {
+    let end = *pos + 4;
+    let v = u32::from_le_bytes(
+        b.get(*pos..end)
+            .ok_or_else(|| DbError::Corrupt("truncated".into()))?
+            .try_into()
+            .unwrap(),
+    );
+    *pos = end;
+    Ok(v)
+}
+
+fn get_u64(b: &[u8], pos: &mut usize) -> DbResult<u64> {
+    let end = *pos + 8;
+    let v = u64::from_le_bytes(
+        b.get(*pos..end)
+            .ok_or_else(|| DbError::Corrupt("truncated".into()))?
+            .try_into()
+            .unwrap(),
+    );
+    *pos = end;
+    Ok(v)
+}
+
+fn get_str(b: &[u8], pos: &mut usize) -> DbResult<String> {
+    let len = get_u32(b, pos)? as usize;
+    let end = *pos + len;
+    let s = String::from_utf8(
+        b.get(*pos..end)
+            .ok_or_else(|| DbError::Corrupt("truncated string".into()))?
+            .to_vec(),
+    )
+    .map_err(|_| DbError::Corrupt("bad utf8".into()))?;
+    *pos = end;
+    Ok(s)
+}
+
+fn get_blob(b: &[u8], pos: &mut usize) -> DbResult<Vec<u8>> {
+    let len = get_u32(b, pos)? as usize;
+    let end = *pos + len;
+    let v = b
+        .get(*pos..end)
+        .ok_or_else(|| DbError::Corrupt("truncated blob".into()))?
+        .to_vec();
+    *pos = end;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bess_storage::{AreaConfig, StorageArea};
+
+    fn disk() -> StorageArea {
+        StorageArea::create_mem(AreaId(0), AreaConfig::default()).unwrap()
+    }
+
+    fn oid(slot: u32) -> Oid {
+        Oid {
+            host: 1,
+            db: 1,
+            seg: SegId {
+                area: 0,
+                start_page: 100,
+            },
+            slot,
+            uniq: 0,
+        }
+    }
+
+    #[test]
+    fn create_save_open_round_trip() {
+        let disk = disk();
+        let db = Database::create(&disk, "testdb", 1, 1, 0).unwrap();
+        db.set_root("top", oid(1)).unwrap();
+        db.create_file("docs", vec![0], 64, 4).unwrap();
+        db.record_file_segment(
+            "docs",
+            SegId {
+                area: 0,
+                start_page: 200,
+            },
+        )
+        .unwrap();
+        db.types().register(bess_segment::TypeDesc {
+            name: "Doc".into(),
+            size: 32,
+            ref_offsets: vec![24],
+        });
+        db.save(&disk).unwrap();
+
+        let db2 = Database::open(&disk, 0).unwrap();
+        assert_eq!(db2.name(), "testdb");
+        assert_eq!(db2.get_root("top"), Some(oid(1)));
+        assert_eq!(db2.root_name_of(oid(1)), Some("top".into()));
+        let f = db2.file("docs").unwrap();
+        assert_eq!(f.segments.len(), 1);
+        assert!(!f.is_multifile());
+        assert!(db2.types().id_of("Doc").is_some());
+    }
+
+    #[test]
+    fn roots_referential_integrity() {
+        let disk = disk();
+        let db = Database::create(&disk, "db", 1, 1, 0).unwrap();
+        db.set_root("a", oid(1)).unwrap();
+        assert!(matches!(db.set_root("a", oid(2)), Err(DbError::RootExists(_))));
+        // Deleting the object forgets the name (§2.5).
+        assert_eq!(db.forget_root_of(oid(1)), Some("a".into()));
+        assert_eq!(db.get_root("a"), None);
+        assert!(db.remove_root("a").is_err());
+    }
+
+    #[test]
+    fn multifile_round_robin() {
+        let disk = disk();
+        let db = Database::create(&disk, "db", 1, 1, 0).unwrap();
+        db.create_file("media", vec![0, 1, 2], 32, 8).unwrap();
+        assert!(db.file("media").unwrap().is_multifile());
+        assert_eq!(db.next_file_area("media").unwrap(), 0);
+        db.record_file_segment(
+            "media",
+            SegId {
+                area: 0,
+                start_page: 10,
+            },
+        )
+        .unwrap();
+        assert_eq!(db.next_file_area("media").unwrap(), 1);
+        db.record_file_segment(
+            "media",
+            SegId {
+                area: 1,
+                start_page: 10,
+            },
+        )
+        .unwrap();
+        assert_eq!(db.next_file_area("media").unwrap(), 2);
+        db.record_file_segment(
+            "media",
+            SegId {
+                area: 2,
+                start_page: 10,
+            },
+        )
+        .unwrap();
+        assert_eq!(db.next_file_area("media").unwrap(), 0, "wraps around");
+    }
+
+    #[test]
+    fn open_garbage_fails() {
+        let disk = disk();
+        // Nothing written at the meta location.
+        let _ = disk.alloc(META_PAGES).unwrap();
+        assert!(Database::open(&disk, 0).is_err());
+    }
+
+    #[test]
+    fn duplicate_file_rejected() {
+        let disk = disk();
+        let db = Database::create(&disk, "db", 1, 1, 0).unwrap();
+        db.create_file("f", vec![0], 8, 1).unwrap();
+        assert!(matches!(
+            db.create_file("f", vec![0], 8, 1),
+            Err(DbError::FileExists(_))
+        ));
+    }
+}

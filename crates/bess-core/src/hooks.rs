@@ -1,0 +1,249 @@
+//! Primitive events and hook functions (§2.4).
+//!
+//! "Programmers have controlled access to a number of entry points in the
+//! system via the notion of primitive events and hook functions. In this
+//! way, users may enhance or modify the behavior of BeSS and their
+//! applications without changing the application code or changing the
+//! internals of the BeSS system."
+//!
+//! Hooks are registered against an [`EventKind`]; when BeSS detects the
+//! event it fires every registered hook with an [`Event`] payload. The
+//! §2.4 examples are all expressible: a commit counter, segment-fault
+//! tracing, and the large-object compression pair ([`HookRegistry::
+//! set_compression`]) applied when blobs are stored and fetched.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bess_cache::DbPage;
+use bess_segment::{Oid, SegId};
+use parking_lot::RwLock;
+
+/// The kinds of primitive events BeSS detects (§2.4 lists segment fault or
+/// replacement, database open, locking, transaction commit, deadlocks, and
+/// the hardware protection-violation signals).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A database was opened.
+    DatabaseOpen,
+    /// A database was closed/saved.
+    DatabaseClose,
+    /// A transaction began.
+    TxnBegin,
+    /// A transaction committed.
+    TxnCommit,
+    /// A transaction aborted.
+    TxnAbort,
+    /// A lock was denied by the deadlock timeout.
+    Deadlock,
+    /// A data page took its first write fault (update detection, §2.3).
+    PageWrite,
+    /// An object was created.
+    ObjectCreated,
+    /// An object was deleted.
+    ObjectDeleted,
+    /// An object segment was created.
+    SegmentCreated,
+    /// The hardware caught a protection violation (the SIGSEGV/SIGBUS trap
+    /// of §2.4) that BeSS did not resolve — a stray pointer.
+    ProtectionViolation,
+    /// A large object is being stored (compression point).
+    BlobStore,
+    /// A large object is being fetched (decompression point).
+    BlobFetch,
+}
+
+/// Payload delivered to hooks.
+#[derive(Clone, Debug, Default)]
+pub struct Event {
+    /// The transaction involved, if any.
+    pub txn: Option<u64>,
+    /// The page involved, if any.
+    pub page: Option<DbPage>,
+    /// The object involved, if any.
+    pub oid: Option<Oid>,
+    /// The segment involved, if any.
+    pub seg: Option<SegId>,
+    /// Free-form detail.
+    pub detail: Option<String>,
+}
+
+/// A registered hook.
+pub type Hook = Arc<dyn Fn(&Event) + Send + Sync>;
+
+/// A byte-transforming hook (compression/decompression).
+pub type ByteHook = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+
+/// The per-session registry of hooks.
+#[derive(Default)]
+pub struct HookRegistry {
+    hooks: RwLock<HashMap<EventKind, Vec<Hook>>>,
+    compress: RwLock<Option<(ByteHook, ByteHook)>>,
+    fired: AtomicU64,
+}
+
+impl HookRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `hook` for `kind`. "The hooks must be registered with
+    /// BeSS, usually before any access to persistent data is initiated."
+    pub fn register(&self, kind: EventKind, hook: Hook) {
+        self.hooks.write().entry(kind).or_default().push(hook);
+    }
+
+    /// Removes every hook for `kind`.
+    pub fn clear(&self, kind: EventKind) {
+        self.hooks.write().remove(&kind);
+    }
+
+    /// Fires every hook registered for `kind`.
+    pub fn fire(&self, kind: EventKind, event: &Event) {
+        let hooks = self.hooks.read();
+        if let Some(list) = hooks.get(&kind) {
+            self.fired.fetch_add(list.len() as u64, Ordering::Relaxed);
+            for hook in list {
+                hook(event);
+            }
+        }
+    }
+
+    /// Whether any hook is registered for `kind` (lets hot paths skip
+    /// event construction).
+    pub fn wants(&self, kind: EventKind) -> bool {
+        self.hooks.read().get(&kind).is_some_and(|l| !l.is_empty())
+    }
+
+    /// Total hook invocations.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Registers the large-object compression pair: `compress` runs when a
+    /// blob is stored, `decompress` when it is fetched (§2.4: "hooks have
+    /// also been used to more effectively deal with very large objects by
+    /// compressing them when they are stored on disk").
+    pub fn set_compression(&self, compress: ByteHook, decompress: ByteHook) {
+        *self.compress.write() = Some((compress, decompress));
+    }
+
+    /// Removes the compression pair.
+    pub fn clear_compression(&self) {
+        *self.compress.write() = None;
+    }
+
+    /// Applies the store-side transform, if registered.
+    pub fn compress(&self, data: &[u8]) -> Option<Vec<u8>> {
+        self.compress.read().as_ref().map(|(c, _)| c(data))
+    }
+
+    /// Applies the fetch-side transform, if registered.
+    pub fn decompress(&self, data: &[u8]) -> Option<Vec<u8>> {
+        self.compress.read().as_ref().map(|(_, d)| d(data))
+    }
+}
+
+impl std::fmt::Debug for HookRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HookRegistry")
+            .field("kinds", &self.hooks.read().len())
+            .field("fired", &self.fired())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn commit_counter_scenario() {
+        // The §2.4 motivating example: count commits without touching
+        // application code or BeSS internals.
+        let hooks = HookRegistry::new();
+        let count = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&count);
+        hooks.register(
+            EventKind::TxnCommit,
+            Arc::new(move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        for txn in 0..5 {
+            hooks.fire(
+                EventKind::TxnCommit,
+                &Event {
+                    txn: Some(txn),
+                    ..Event::default()
+                },
+            );
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+        assert_eq!(hooks.fired(), 5);
+    }
+
+    #[test]
+    fn multiple_hooks_fire_in_order() {
+        let hooks = HookRegistry::new();
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for tag in ["first", "second"] {
+            let log = Arc::clone(&log);
+            hooks.register(
+                EventKind::TxnAbort,
+                Arc::new(move |_| log.lock().push(tag)),
+            );
+        }
+        hooks.fire(EventKind::TxnAbort, &Event::default());
+        assert_eq!(*log.lock(), vec!["first", "second"]);
+    }
+
+    #[test]
+    fn wants_and_clear() {
+        let hooks = HookRegistry::new();
+        assert!(!hooks.wants(EventKind::PageWrite));
+        hooks.register(EventKind::PageWrite, Arc::new(|_| {}));
+        assert!(hooks.wants(EventKind::PageWrite));
+        hooks.clear(EventKind::PageWrite);
+        assert!(!hooks.wants(EventKind::PageWrite));
+    }
+
+    #[test]
+    fn compression_round_trip() {
+        let hooks = HookRegistry::new();
+        assert!(hooks.compress(b"abc").is_none());
+        // A toy RLE stands in for the user's compressor.
+        hooks.set_compression(
+            Arc::new(|d| {
+                let mut out = Vec::new();
+                let mut iter = d.iter().peekable();
+                while let Some(&b) = iter.next() {
+                    let mut run = 1u8;
+                    while run < 255 && iter.peek() == Some(&&b) {
+                        iter.next();
+                        run += 1;
+                    }
+                    out.push(run);
+                    out.push(b);
+                }
+                out
+            }),
+            Arc::new(|d| {
+                let mut out = Vec::new();
+                for pair in d.chunks(2) {
+                    out.extend(std::iter::repeat_n(pair[1], pair[0] as usize));
+                }
+                out
+            }),
+        );
+        let data = vec![7u8; 1000];
+        let packed = hooks.compress(&data).unwrap();
+        assert!(packed.len() < 20);
+        assert_eq!(hooks.decompress(&packed).unwrap(), data);
+        hooks.clear_compression();
+        assert!(hooks.compress(&data).is_none());
+    }
+}

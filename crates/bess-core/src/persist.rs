@@ -1,0 +1,266 @@
+//! Typed references and persistent types (§2.5).
+//!
+//! "Object retrieval is implicit — i.e., via dereference — using a number
+//! of BeSS typed references that are based on the ODMG-93 standard. For
+//! example, the C++ class `ref<T>` encapsulates a pointer to an object
+//! header... Also, explicit retrieval can be performed using the class
+//! `global_ref<T>` that encapsulates an OID but access via this mechanism
+//! is somewhat slower."
+//!
+//! Rust cannot transmute mapped bytes into `&T` safely, so a [`Persist`]
+//! type declares its layout (a [`TypeDesc`] with the reference offsets the
+//! swizzler needs) and encodes/decodes itself from its mapped image. A
+//! [`Ref<T>`] is the swizzled form — the virtual address of the object's
+//! slot, dereferenced with a plain protected load; a [`GlobalRef<T>`] is
+//! the OID form, resolved through the (slower) segment/slot/uniquifier
+//! lookup.
+
+use std::marker::PhantomData;
+
+use bess_segment::{Oid, TypeDesc};
+use bess_vm::VAddr;
+
+/// A type whose instances can be stored as BeSS objects.
+pub trait Persist: Sized {
+    /// The type's descriptor: name, fixed byte size, and the byte offsets
+    /// of its inter-object references ("type descriptors contain the
+    /// offsets of pointers within the objects they describe", §2.1).
+    fn type_desc() -> TypeDesc;
+
+    /// Encodes the instance into exactly `type_desc().size` bytes.
+    /// Reference fields are encoded as the raw address of the target's
+    /// slot (0 for null) — i.e. [`Ref::raw`].
+    fn encode(&self) -> Vec<u8>;
+
+    /// Decodes an instance from its mapped image. Reference fields hold
+    /// current (swizzled) slot addresses.
+    fn decode(bytes: &[u8]) -> Self;
+}
+
+/// The swizzled typed reference: wraps the virtual address of the target
+/// object's header (slot). `Copy`, 8 bytes, and dereferenceable with a
+/// single protected load — the paper's "fast object reference".
+pub struct Ref<T> {
+    addr: VAddr,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Ref<T> {
+    /// Wraps a slot address.
+    pub fn new(addr: VAddr) -> Self {
+        Ref {
+            addr,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Constructs from a raw stored value (0 = null).
+    pub fn from_raw(raw: u64) -> Option<Self> {
+        VAddr::new(raw).map(Ref::new)
+    }
+
+    /// The slot address.
+    pub fn addr(&self) -> VAddr {
+        self.addr
+    }
+
+    /// The raw value as stored inside objects.
+    pub fn raw(&self) -> u64 {
+        self.addr.raw()
+    }
+
+    /// Reinterprets the target type (the `cast` of §2.5's creation
+    /// functions, which "return a pointer to the object header ... which
+    /// may then be cast to the appropriate type").
+    pub fn cast<U>(self) -> Ref<U> {
+        Ref::new(self.addr)
+    }
+}
+
+impl<T> Clone for Ref<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Ref<T> {}
+
+impl<T> PartialEq for Ref<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.addr == other.addr
+    }
+}
+impl<T> Eq for Ref<T> {}
+
+impl<T> std::fmt::Debug for Ref<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Ref<{}>({})", std::any::type_name::<T>(), self.addr)
+    }
+}
+
+/// The OID-based typed reference: location-independent and valid across
+/// sessions and machines, but slower to dereference (§2.5).
+pub struct GlobalRef<T> {
+    oid: Oid,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> GlobalRef<T> {
+    /// Wraps an OID.
+    pub fn new(oid: Oid) -> Self {
+        GlobalRef {
+            oid,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The OID.
+    pub fn oid(&self) -> Oid {
+        self.oid
+    }
+}
+
+impl<T> Clone for GlobalRef<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for GlobalRef<T> {}
+
+impl<T> PartialEq for GlobalRef<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.oid == other.oid
+    }
+}
+impl<T> Eq for GlobalRef<T> {}
+
+impl<T> std::fmt::Debug for GlobalRef<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GlobalRef<{}>({})", std::any::type_name::<T>(), self.oid)
+    }
+}
+
+/// Raw, untyped persistent bytes (type id 0).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawBytes(pub Vec<u8>);
+
+/// Little-endian field codec helpers for hand-written [`Persist`] impls.
+pub mod codec {
+    use super::Ref;
+    use bess_vm::VAddr;
+
+    /// Reads a `u64` at `off`.
+    pub fn get_u64(bytes: &[u8], off: usize) -> u64 {
+        u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap())
+    }
+
+    /// Writes a `u64` at `off`.
+    pub fn put_u64(bytes: &mut [u8], off: usize, v: u64) {
+        bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a `u32` at `off`.
+    pub fn get_u32(bytes: &[u8], off: usize) -> u32 {
+        u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
+    }
+
+    /// Writes a `u32` at `off`.
+    pub fn put_u32(bytes: &mut [u8], off: usize, v: u32) {
+        bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a fixed-capacity string (NUL-padded) at `off..off+cap`.
+    pub fn get_str(bytes: &[u8], off: usize, cap: usize) -> String {
+        let raw = &bytes[off..off + cap];
+        let end = raw.iter().position(|&b| b == 0).unwrap_or(cap);
+        String::from_utf8_lossy(&raw[..end]).into_owned()
+    }
+
+    /// Writes a string NUL-padded into `off..off+cap` (truncating).
+    pub fn put_str(bytes: &mut [u8], off: usize, cap: usize, s: &str) {
+        let data = s.as_bytes();
+        let n = data.len().min(cap);
+        bytes[off..off + n].copy_from_slice(&data[..n]);
+        for b in bytes[off + n..off + cap].iter_mut() {
+            *b = 0;
+        }
+    }
+
+    /// Reads a nullable reference at `off`.
+    pub fn get_ref<T>(bytes: &[u8], off: usize) -> Option<Ref<T>> {
+        VAddr::new(get_u64(bytes, off)).map(Ref::new)
+    }
+
+    /// Writes a nullable reference at `off`.
+    pub fn put_ref<T>(bytes: &mut [u8], off: usize, r: Option<Ref<T>>) {
+        put_u64(bytes, off, r.map(|r| r.raw()).unwrap_or(0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pair {
+        a: u64,
+        next: Option<Ref<Pair>>,
+    }
+
+    impl Persist for Pair {
+        fn type_desc() -> TypeDesc {
+            TypeDesc {
+                name: "Pair".into(),
+                size: 16,
+                ref_offsets: vec![8],
+            }
+        }
+
+        fn encode(&self) -> Vec<u8> {
+            let mut b = vec![0u8; 16];
+            codec::put_u64(&mut b, 0, self.a);
+            codec::put_ref(&mut b, 8, self.next);
+            b
+        }
+
+        fn decode(bytes: &[u8]) -> Self {
+            Pair {
+                a: codec::get_u64(bytes, 0),
+                next: codec::get_ref(bytes, 8),
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let r = Ref::<Pair>::from_raw(0xAB00).unwrap();
+        let p = Pair {
+            a: 42,
+            next: Some(r),
+        };
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), 16);
+        let q = Pair::decode(&bytes);
+        assert_eq!(q.a, 42);
+        assert_eq!(q.next, Some(r));
+
+        let none = Pair { a: 1, next: None };
+        assert_eq!(Pair::decode(&none.encode()).next, None);
+    }
+
+    #[test]
+    fn refs_are_copy_and_comparable() {
+        let a = Ref::<Pair>::from_raw(8).unwrap();
+        let b = a;
+        assert_eq!(a, b);
+        let c: Ref<RawBytes> = a.cast();
+        assert_eq!(c.raw(), 8);
+    }
+
+    #[test]
+    fn codec_strings() {
+        let mut b = vec![0u8; 16];
+        codec::put_str(&mut b, 0, 8, "bess");
+        assert_eq!(codec::get_str(&b, 0, 8), "bess");
+        codec::put_str(&mut b, 0, 8, "a-very-long-name");
+        assert_eq!(codec::get_str(&b, 0, 8), "a-very-l");
+    }
+}

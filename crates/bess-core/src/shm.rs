@@ -1,0 +1,199 @@
+//! Shared-memory-mode sessions (§4.1.2).
+//!
+//! "In the former case [in-place access or shared memory], each process
+//! gains access to the shared cache and all control data... The shared
+//! memory mode enables sophisticated users with well tested and debugged
+//! code to tailor the storage system and build multiple specialized
+//! servers."
+//!
+//! A [`ShmSession`] attaches one "process" (here: a thread with its own
+//! simulated address space) to the node server's shared cache through a
+//! [`SharedView`]: PVMA frames map cache slots on fault, and shared
+//! pointers are [`Svma`] offsets valid in every attached process. No IPC
+//! happens on access — only cache misses reach the owning servers, through
+//! the node server's in-process fetch logic.
+//!
+//! Transactions write in place; the before-image of every written page is
+//! kept so abort can restore it (undo happens *in* the shared cache, under
+//! the still-held X lock), and commit diffs pages into the byte-range
+//! updates shipped by the node server.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bess_cache::{DbPage, SharedView, Svma};
+use bess_lock::{LockMode, LockName};
+use bess_server::{NodeHandle, PageUpdate};
+use bess_vm::AddressSpace;
+use parking_lot::Mutex;
+
+use crate::session::{BessError, BessResult};
+
+struct ShmTxn {
+    id: u64,
+    snapshots: HashMap<DbPage, Vec<u8>>,
+}
+
+/// One process's shared-memory attachment to a node server.
+pub struct ShmSession {
+    node: NodeHandle,
+    view: Arc<SharedView>,
+    page_size: usize,
+    txn: Mutex<Option<ShmTxn>>,
+}
+
+impl ShmSession {
+    /// Attaches a new "process" to the node server's shared cache.
+    pub fn attach(node: NodeHandle) -> ShmSession {
+        let page_size = node.shared_cache().page_size();
+        let space = Arc::new(AddressSpace::with_page_size(page_size as u64));
+        let view = SharedView::attach(
+            space,
+            Arc::clone(node.shared_cache()),
+            node.shared_io(),
+        );
+        ShmSession {
+            node,
+            view,
+            page_size,
+            txn: Mutex::new(None),
+        }
+    }
+
+    /// The underlying view (diagnostics; e.g. first-level clock sweeps).
+    pub fn view(&self) -> &Arc<SharedView> {
+        &self.view
+    }
+
+    /// The shared pointer to byte `offset` of `page` — identical in every
+    /// attached process (the `shm_ref<T>` of §4.1.2).
+    pub fn shm_ref(&self, page: DbPage, offset: u64) -> BessResult<Svma> {
+        self.view
+            .svma_of(page, offset)
+            .map_err(|e| BessError::Other(e.to_string()))
+    }
+
+    /// Begins a transaction at the node server (no IPC: in-process call).
+    pub fn begin(&self) -> BessResult<u64> {
+        let mut txn = self.txn.lock();
+        if txn.is_some() {
+            return Err(BessError::TxnActive);
+        }
+        let id = self.node.begin();
+        *txn = Some(ShmTxn {
+            id,
+            snapshots: HashMap::new(),
+        });
+        Ok(id)
+    }
+
+    /// The active transaction, if any.
+    pub fn current_txn(&self) -> Option<u64> {
+        self.txn.lock().as_ref().map(|t| t.id)
+    }
+
+    fn lock(&self, page: DbPage, mode: LockMode) -> BessResult<u64> {
+        let txn = self
+            .txn
+            .lock()
+            .as_ref()
+            .map(|t| t.id)
+            .ok_or(BessError::NoTxn)?;
+        self.node
+            .lock(
+                txn,
+                LockName::Page {
+                    area: page.area,
+                    page: page.page,
+                },
+                mode,
+            )
+            .map_err(BessError::Deadlock)?;
+        Ok(txn)
+    }
+
+    /// Reads bytes from a page under an S lock, directly from the shared
+    /// cache (faulting it in on first touch).
+    pub fn read(&self, page: DbPage, offset: u64, buf: &mut [u8]) -> BessResult<()> {
+        self.lock(page, LockMode::S)?;
+        let svma = self.shm_ref(page, offset)?;
+        self.view.read(svma, buf)?;
+        Ok(())
+    }
+
+    /// Reads through a shared pointer (no implicit locking — the caller
+    /// synchronises, as §4.1.2's latch discipline does).
+    pub fn read_at(&self, svma: Svma, buf: &mut [u8]) -> BessResult<()> {
+        self.view.read(svma, buf)?;
+        Ok(())
+    }
+
+    /// Writes bytes into a page under an X lock, in place in the shared
+    /// cache. The first write to a page snapshots its before-image.
+    pub fn write(&self, page: DbPage, offset: u64, data: &[u8]) -> BessResult<()> {
+        self.lock(page, LockMode::X)?;
+        {
+            let mut txn = self.txn.lock();
+            let state = txn.as_mut().ok_or(BessError::NoTxn)?;
+            if let std::collections::hash_map::Entry::Vacant(e) = state.snapshots.entry(page) {
+                let mut before = vec![0u8; self.page_size];
+                let base = self.shm_ref(page, 0)?;
+                self.view.read(base, &mut before)?;
+                e.insert(before);
+            }
+        }
+        let svma = self.shm_ref(page, offset)?;
+        self.view.write(svma, data)?;
+        Ok(())
+    }
+
+    /// Commits: page diffs are computed in place and shipped through the
+    /// node server (which runs 2PC when several servers own data).
+    pub fn commit(&self) -> BessResult<()> {
+        let state = self.txn.lock().take().ok_or(BessError::NoTxn)?;
+        let mut updates = Vec::new();
+        for (&page, before) in &state.snapshots {
+            let mut current = vec![0u8; self.page_size];
+            let base = self.shm_ref(page, 0)?;
+            self.view.read(base, &mut current)?;
+            if let Some(first) = before.iter().zip(&current).position(|(a, b)| a != b) {
+                let last = before
+                    .iter()
+                    .zip(&current)
+                    .rposition(|(a, b)| a != b)
+                    .expect("diff exists");
+                updates.push(PageUpdate {
+                    page,
+                    offset: first as u32,
+                    before: before[first..=last].to_vec(),
+                    after: current[first..=last].to_vec(),
+                });
+            }
+        }
+        updates.sort_by_key(|u| (u.page.area, u.page.page, u.offset));
+        self.node
+            .commit(state.id, updates)
+            .map_err(BessError::Other)?;
+        Ok(())
+    }
+
+    /// Aborts: before-images are restored *in place* in the shared cache
+    /// (under the still-held X locks), then the locks are released.
+    pub fn abort(&self) -> BessResult<()> {
+        let state = self.txn.lock().take().ok_or(BessError::NoTxn)?;
+        for (&page, before) in &state.snapshots {
+            let base = self.shm_ref(page, 0)?;
+            self.view.write(base, before)?;
+        }
+        self.node.abort(state.id);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ShmSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShmSession")
+            .field("txn", &self.current_txn())
+            .finish()
+    }
+}

@@ -1,0 +1,279 @@
+//! # bess-largeobj — very large objects with byte-range operations
+//!
+//! Implements the large-object machinery of §2.1 of "A High Performance
+//! Configurable Storage Manager" (Biliris & Panagos, ICDE 1995): objects too
+//! big to build in memory are stored as "a sequence of variable-size
+//! segments indexed by a tree structure" (the EOS large-object design of
+//! Biliris, ICDE'92/SIGMOD'92), supporting **read, write, insert, delete**
+//! at arbitrary byte positions and **append** at the end, with user size
+//! hints pre-sizing the leaf segments.
+//!
+//! The tree root serialises to a compact descriptor
+//! ([`LargeObject::to_descriptor`]) that the segment layer stores in the
+//! overflow segment.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use bess_largeobj::{LargeObject, LoConfig};
+//! use bess_storage::{AreaConfig, AreaId, StorageArea};
+//!
+//! let area = Arc::new(StorageArea::create_mem(AreaId(1), AreaConfig::default()).unwrap());
+//! let mut lo = LargeObject::create(area, LoConfig::default());
+//! lo.append(b"hello world").unwrap();
+//! lo.insert(5, b",").unwrap();
+//! lo.delete(0, 7).unwrap(); // drop "hello, "
+//! assert_eq!(lo.read_vec(0, 5).unwrap(), b"world");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod object;
+mod segio;
+mod tree;
+
+pub use object::{LargeObject, LoConfig, LoError, LoResult};
+pub use segio::{seg_move, seg_read, seg_write};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bess_storage::{AreaConfig, AreaId, StorageArea};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn area() -> Arc<StorageArea> {
+        Arc::new(StorageArea::create_mem(AreaId(1), AreaConfig::default()).unwrap())
+    }
+
+    fn lo(area: &Arc<StorageArea>) -> LargeObject {
+        LargeObject::create(Arc::clone(area), LoConfig::default())
+    }
+
+    #[test]
+    fn empty_object() {
+        let a = area();
+        let o = lo(&a);
+        assert_eq!(o.len(), 0);
+        assert!(o.is_empty());
+        assert!(o.read_vec(0, 1).is_err());
+    }
+
+    #[test]
+    fn append_and_read_small() {
+        let a = area();
+        let mut o = lo(&a);
+        o.append(b"persistent").unwrap();
+        assert_eq!(o.len(), 10);
+        assert_eq!(o.read_vec(0, 10).unwrap(), b"persistent");
+        assert_eq!(o.read_vec(3, 4).unwrap(), b"sist");
+        o.check_invariants();
+    }
+
+    #[test]
+    fn append_grows_across_many_segments() {
+        let a = area();
+        let mut o = lo(&a);
+        let chunk = vec![7u8; 10_000];
+        for _ in 0..50 {
+            o.append(&chunk).unwrap();
+        }
+        assert_eq!(o.len(), 500_000);
+        assert!(o.num_leaves() > 1);
+        assert!(o.depth() >= 2);
+        o.check_invariants();
+        // Spot-check contents.
+        assert_eq!(o.read_vec(499_990, 10).unwrap(), vec![7u8; 10]);
+        assert_eq!(o.read_vec(123_456, 3).unwrap(), vec![7u8; 3]);
+    }
+
+    #[test]
+    fn overwrite_in_place() {
+        let a = area();
+        let mut o = lo(&a);
+        o.append(&vec![0u8; 100_000]).unwrap();
+        o.write(50_000, b"MARKER").unwrap();
+        assert_eq!(o.read_vec(50_000, 6).unwrap(), b"MARKER");
+        assert_eq!(o.read_vec(49_999, 1).unwrap(), vec![0]);
+        assert_eq!(o.len(), 100_000);
+    }
+
+    #[test]
+    fn insert_in_middle() {
+        let a = area();
+        let mut o = lo(&a);
+        o.append(b"hello world").unwrap();
+        o.insert(5, b" brave new").unwrap();
+        assert_eq!(
+            o.read_vec(0, o.len() as usize).unwrap(),
+            b"hello brave new world"
+        );
+        o.check_invariants();
+    }
+
+    #[test]
+    fn insert_large_block_in_middle_splits_leaves() {
+        let a = area();
+        let mut o = lo(&a);
+        o.append(&vec![1u8; 40_000]).unwrap();
+        let before_leaves = o.num_leaves();
+        o.insert(20_000, &vec![2u8; 200_000]).unwrap();
+        assert!(o.num_leaves() > before_leaves);
+        assert_eq!(o.len(), 240_000);
+        assert_eq!(o.read_vec(19_999, 2).unwrap(), vec![1, 2]);
+        assert_eq!(o.read_vec(219_999, 2).unwrap(), vec![2, 1]);
+        o.check_invariants();
+    }
+
+    #[test]
+    fn delete_middle_and_ends() {
+        let a = area();
+        let mut o = lo(&a);
+        o.append(b"0123456789").unwrap();
+        o.delete(3, 4).unwrap(); // -> 012789
+        assert_eq!(o.read_vec(0, 6).unwrap(), b"012789");
+        o.delete(0, 2).unwrap(); // -> 2789
+        assert_eq!(o.read_vec(0, 4).unwrap(), b"2789");
+        o.delete(2, 2).unwrap(); // -> 27
+        assert_eq!(o.read_vec(0, 2).unwrap(), b"27");
+        o.check_invariants();
+    }
+
+    #[test]
+    fn delete_frees_segments() {
+        let a = area();
+        let mut o = lo(&a);
+        o.append(&vec![9u8; 300_000]).unwrap();
+        let allocated = a.allocated_pages();
+        o.delete(0, 300_000).unwrap();
+        assert_eq!(o.len(), 0);
+        assert!(a.allocated_pages() < allocated);
+        o.check_invariants();
+        // Reusable afterwards.
+        o.append(b"again").unwrap();
+        assert_eq!(o.read_vec(0, 5).unwrap(), b"again");
+    }
+
+    #[test]
+    fn truncate() {
+        let a = area();
+        let mut o = lo(&a);
+        o.append(&(0..=255u8).cycle().take(100_000).collect::<Vec<_>>())
+            .unwrap();
+        o.truncate(10).unwrap();
+        assert_eq!(o.len(), 10);
+        assert_eq!(o.read_vec(0, 10).unwrap(), (0..10u8).collect::<Vec<_>>());
+        assert!(o.truncate(11).is_err());
+    }
+
+    #[test]
+    fn destroy_frees_everything() {
+        let a = area();
+        let mut o = lo(&a);
+        o.append(&vec![1u8; 100_000]).unwrap();
+        assert!(a.allocated_pages() > 0);
+        o.destroy().unwrap();
+        assert_eq!(a.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn size_hint_reduces_segment_count() {
+        let a = area();
+        let mut small = LargeObject::create(Arc::clone(&a), LoConfig::default());
+        let mut hinted = LargeObject::create(
+            Arc::clone(&a),
+            LoConfig::with_size_hint(1 << 20, a.page_size()),
+        );
+        let data = vec![3u8; 500_000];
+        small.append(&data).unwrap();
+        hinted.append(&data).unwrap();
+        assert!(
+            hinted.num_leaves() <= small.num_leaves(),
+            "hinted {} vs default {}",
+            hinted.num_leaves(),
+            small.num_leaves()
+        );
+    }
+
+    #[test]
+    fn descriptor_round_trip() {
+        let a = area();
+        let mut o = lo(&a);
+        o.append(&vec![5u8; 123_456]).unwrap();
+        o.insert(1000, b"needle").unwrap();
+        let desc = o.to_descriptor();
+        let restored = LargeObject::from_descriptor(Arc::clone(&a), &desc).unwrap();
+        assert_eq!(restored.len(), o.len());
+        assert_eq!(restored.read_vec(1000, 6).unwrap(), b"needle");
+        restored.check_invariants();
+    }
+
+    #[test]
+    fn bad_descriptor_rejected() {
+        let a = area();
+        assert!(LargeObject::from_descriptor(Arc::clone(&a), &[]).is_err());
+        assert!(LargeObject::from_descriptor(Arc::clone(&a), &[0u8; 9]).is_err());
+    }
+
+    /// Random byte-range operations checked against a `Vec<u8>` model.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Append(Vec<u8>),
+        Insert(u64, Vec<u8>),
+        Delete(u64, u64),
+        Write(u64, Vec<u8>),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        let data = prop::collection::vec(any::<u8>(), 1..3000);
+        prop_oneof![
+            data.clone().prop_map(Op::Append),
+            (any::<u64>(), data.clone()).prop_map(|(o, d)| Op::Insert(o, d)),
+            (any::<u64>(), 0u64..4000).prop_map(|(o, l)| Op::Delete(o, l)),
+            (any::<u64>(), data).prop_map(|(o, d)| Op::Write(o, d)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn matches_vec_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+            let a = area();
+            let mut o = lo(&a);
+            let mut model: Vec<u8> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Append(d) => {
+                        o.append(&d).unwrap();
+                        model.extend_from_slice(&d);
+                    }
+                    Op::Insert(off, d) => {
+                        let off = if model.is_empty() { 0 } else { off % (model.len() as u64 + 1) };
+                        o.insert(off, &d).unwrap();
+                        let mut tail = model.split_off(off as usize);
+                        model.extend_from_slice(&d);
+                        model.append(&mut tail);
+                    }
+                    Op::Delete(off, l) => {
+                        if model.is_empty() { continue; }
+                        let off = off % model.len() as u64;
+                        let l = l.min(model.len() as u64 - off);
+                        o.delete(off, l).unwrap();
+                        model.drain(off as usize..(off + l) as usize);
+                    }
+                    Op::Write(off, d) => {
+                        if model.is_empty() { continue; }
+                        let off = off % model.len() as u64;
+                        let l = (d.len() as u64).min(model.len() as u64 - off) as usize;
+                        o.write(off, &d[..l]).unwrap();
+                        model[off as usize..off as usize + l].copy_from_slice(&d[..l]);
+                    }
+                }
+                o.check_invariants();
+                prop_assert_eq!(o.len(), model.len() as u64);
+            }
+            let contents = o.read_vec(0, model.len()).unwrap();
+            prop_assert_eq!(contents, model);
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! The large-object interface: byte-range operations over the positional
+//! tree.
+//!
+//! "BeSS offers a class interface for very large objects that includes byte
+//! range operations — such as read, write, insert, delete a number of bytes
+//! starting at some arbitrary byte position within the object, and append
+//! bytes at the end of the object. In anticipation of object growth, hints
+//! about the potential size of the object can be provided by the user."
+//! (§2.1)
+
+use std::fmt;
+use std::sync::Arc;
+
+use bess_storage::{DiskPtr, DiskSpace, StorageError};
+
+use crate::tree::{Ctx, GrowState, Internal, Leaf, Node};
+
+/// Errors from large-object operations.
+#[derive(Debug)]
+pub enum LoError {
+    /// A byte range fell outside the object.
+    OutOfRange {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Current object size.
+        size: u64,
+    },
+    /// The storage layer failed.
+    Storage(StorageError),
+    /// A persisted descriptor failed validation.
+    BadDescriptor(String),
+}
+
+impl fmt::Display for LoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoError::OutOfRange { offset, len, size } => {
+                write!(f, "byte range {offset}+{len} outside object of {size} bytes")
+            }
+            LoError::Storage(e) => write!(f, "storage error: {e}"),
+            LoError::BadDescriptor(m) => write!(f, "bad large-object descriptor: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for LoError {
+    fn from(e: StorageError) -> Self {
+        LoError::Storage(e)
+    }
+}
+
+/// Result alias for large-object operations.
+pub type LoResult<T> = Result<T, LoError>;
+
+/// Sizing policy for a large object.
+#[derive(Clone, Copy, Debug)]
+pub struct LoConfig {
+    /// Pages of the first append-allocated leaf segment.
+    pub initial_leaf_pages: u32,
+    /// Ceiling for the doubling growth of leaf segments.
+    pub max_leaf_pages: u32,
+}
+
+impl Default for LoConfig {
+    fn default() -> Self {
+        LoConfig {
+            initial_leaf_pages: 4,
+            max_leaf_pages: 16,
+        }
+    }
+}
+
+impl LoConfig {
+    /// Derives a config from the user's size hint (§2.1): leaves start
+    /// large enough that an object of `hint_bytes` needs only a handful of
+    /// segments.
+    pub fn with_size_hint(hint_bytes: u64, page_size: usize) -> Self {
+        let pages = hint_bytes.div_ceil(page_size as u64).clamp(1, 64) as u32;
+        LoConfig {
+            initial_leaf_pages: pages.next_power_of_two().min(64),
+            max_leaf_pages: 64,
+        }
+    }
+}
+
+/// A large object: a mutable, persistent byte sequence of unbounded size.
+pub struct LargeObject {
+    space: Arc<dyn DiskSpace>,
+    area: u32,
+    root: Node,
+    grow: GrowState,
+}
+
+impl LargeObject {
+    /// Creates an empty large object allocating from storage area `area`
+    /// of `space`.
+    pub fn create_in(space: Arc<dyn DiskSpace>, area: u32, config: LoConfig) -> Self {
+        LargeObject {
+            space,
+            area,
+            root: Node::Internal(Internal::default()),
+            grow: GrowState {
+                next_pages: config.initial_leaf_pages.max(1),
+                max_pages: config.max_leaf_pages.max(config.initial_leaf_pages).max(1),
+            },
+        }
+    }
+
+    /// Convenience: creates a large object on a single [`StorageArea`].
+    pub fn create(area: Arc<bess_storage::StorageArea>, config: LoConfig) -> Self {
+        let id = area.id().0;
+        Self::create_in(area as Arc<dyn DiskSpace>, id, config)
+    }
+
+    /// Convenience: restores a large object from a single [`StorageArea`].
+    ///
+    /// [`StorageArea`]: bess_storage::StorageArea
+    pub fn from_descriptor(
+        area: Arc<bess_storage::StorageArea>,
+        desc: &[u8],
+    ) -> LoResult<Self> {
+        let id = area.id().0;
+        Self::from_descriptor_in(area as Arc<dyn DiskSpace>, id, desc)
+    }
+
+    /// Current size in bytes.
+    pub fn len(&self) -> u64 {
+        self.root.len()
+    }
+
+    /// Whether the object holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tree depth (for diagnostics and benchmarks).
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Number of leaf segments (for diagnostics and benchmarks).
+    pub fn num_leaves(&self) -> usize {
+        self.root.num_leaves()
+    }
+
+    fn check_range(&self, offset: u64, len: u64) -> LoResult<()> {
+        if offset.checked_add(len).is_none_or(|end| end > self.len()) {
+            return Err(LoError::OutOfRange {
+                offset,
+                len,
+                size: self.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset`.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) -> LoResult<()> {
+        self.check_range(offset, buf.len() as u64)?;
+        self.root.read_into(self.space.as_ref(), offset, buf)?;
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset` into a fresh vector.
+    pub fn read_vec(&self, offset: u64, len: usize) -> LoResult<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        self.read(offset, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Overwrites bytes at `offset` (entirely within the object).
+    pub fn write(&mut self, offset: u64, data: &[u8]) -> LoResult<()> {
+        self.check_range(offset, data.len() as u64)?;
+        self.root.write_over(self.space.as_ref(), offset, data)?;
+        Ok(())
+    }
+
+    /// Inserts `data` at byte position `offset` (≤ current length),
+    /// shifting the tail of the object right.
+    pub fn insert(&mut self, offset: u64, data: &[u8]) -> LoResult<()> {
+        if offset > self.len() {
+            return Err(LoError::OutOfRange {
+                offset,
+                len: data.len() as u64,
+                size: self.len(),
+            });
+        }
+        if data.is_empty() {
+            return Ok(());
+        }
+        let mut ctx = Ctx {
+            space: self.space.as_ref(),
+            area: self.area,
+            grow: &mut self.grow,
+        };
+        let siblings = self.root.insert(&mut ctx, offset, data)?;
+        if !siblings.is_empty() {
+            // Root split: grow the tree by one level.
+            let old = std::mem::replace(&mut self.root, Node::Internal(Internal::default()));
+            let mut children = vec![old];
+            children.extend(siblings);
+            let len = children.iter().map(Node::len).sum();
+            self.root = Node::Internal(Internal { children, len });
+        }
+        Ok(())
+    }
+
+    /// Appends `data` at the end of the object.
+    pub fn append(&mut self, data: &[u8]) -> LoResult<()> {
+        self.insert(self.len(), data)
+    }
+
+    /// Deletes `len` bytes starting at `offset`, shifting the tail left
+    /// and freeing vacated segments.
+    pub fn delete(&mut self, offset: u64, len: u64) -> LoResult<()> {
+        self.check_range(offset, len)?;
+        if len == 0 {
+            return Ok(());
+        }
+        let mut freed = Vec::new();
+        self.root.delete(self.space.as_ref(), offset, len, &mut freed)?;
+        for seg in freed {
+            self.space.free(seg)?;
+        }
+        self.collapse_root();
+        Ok(())
+    }
+
+    /// Truncates the object to `new_len` bytes (must not exceed the
+    /// current length).
+    pub fn truncate(&mut self, new_len: u64) -> LoResult<()> {
+        let len = self.len();
+        if new_len > len {
+            return Err(LoError::OutOfRange {
+                offset: new_len,
+                len: 0,
+                size: len,
+            });
+        }
+        self.delete(new_len, len - new_len)
+    }
+
+    /// Destroys the object, freeing every segment.
+    pub fn destroy(self) -> LoResult<()> {
+        let mut freed = Vec::new();
+        self.root.destroy(&mut freed);
+        for seg in freed {
+            self.space.free(seg)?;
+        }
+        Ok(())
+    }
+
+    fn collapse_root(&mut self) {
+        loop {
+            let Node::Internal(ref mut i) = self.root else {
+                return;
+            };
+            if i.children.len() == 1 && matches!(i.children[0], Node::Internal(_)) {
+                let child = i.children.pop().expect("one child");
+                self.root = child;
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Validates internal invariants (testing hook).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.root.check_invariants();
+    }
+
+    // ---- descriptor persistence ----------------------------------------
+
+    /// Serialises the tree into a descriptor, as stored in the overflow
+    /// segment of the owning object segment ("the root of the tree is
+    /// placed in the overflow segment", §2.1).
+    pub fn to_descriptor(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.grow.next_pages.to_le_bytes());
+        out.extend_from_slice(&self.grow.max_pages.to_le_bytes());
+        out.extend_from_slice(&self.area.to_le_bytes());
+        encode_node(&self.root, &mut out);
+        out
+    }
+
+    /// Rebuilds a large object from a descriptor produced by
+    /// [`Self::to_descriptor`]. New allocations go to storage area `area`.
+    pub fn from_descriptor_in(space: Arc<dyn DiskSpace>, area: u32, desc: &[u8]) -> LoResult<Self> {
+        let mut pos = 0usize;
+        let next_pages = read_u32(desc, &mut pos)?;
+        let max_pages = read_u32(desc, &mut pos)?;
+        let stored_area = read_u32(desc, &mut pos)?;
+        let _ = stored_area;
+        let root = decode_node(desc, &mut pos, space.page_size() as u64)?;
+        if pos != desc.len() {
+            return Err(LoError::BadDescriptor("trailing bytes".into()));
+        }
+        // The root must be an internal node for insert's split handling.
+        let root = match root {
+            Node::Internal(_) => root,
+            leaf @ Node::Leaf(_) => {
+                let len = leaf.len();
+                Node::Internal(Internal {
+                    children: vec![leaf],
+                    len,
+                })
+            }
+        };
+        Ok(LargeObject {
+            space,
+            area,
+            root,
+            grow: GrowState {
+                next_pages: next_pages.max(1),
+                max_pages: max_pages.max(1),
+            },
+        })
+    }
+}
+
+impl fmt::Debug for LargeObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LargeObject")
+            .field("len", &self.len())
+            .field("depth", &self.depth())
+            .field("leaves", &self.num_leaves())
+            .finish()
+    }
+}
+
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+
+fn encode_node(node: &Node, out: &mut Vec<u8>) {
+    match node {
+        Node::Leaf(l) => {
+            out.push(TAG_LEAF);
+            out.extend_from_slice(&l.seg.area.0.to_le_bytes());
+            out.extend_from_slice(&l.seg.start_page.to_le_bytes());
+            out.extend_from_slice(&l.seg.pages.to_le_bytes());
+            out.extend_from_slice(&l.len.to_le_bytes());
+        }
+        Node::Internal(i) => {
+            out.push(TAG_INTERNAL);
+            out.extend_from_slice(&(i.children.len() as u32).to_le_bytes());
+            for c in &i.children {
+                encode_node(c, out);
+            }
+        }
+    }
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> LoResult<u32> {
+    let end = *pos + 4;
+    if end > buf.len() {
+        return Err(LoError::BadDescriptor("truncated".into()));
+    }
+    let v = u32::from_le_bytes(buf[*pos..end].try_into().unwrap());
+    *pos = end;
+    Ok(v)
+}
+
+fn read_u64(buf: &[u8], pos: &mut usize) -> LoResult<u64> {
+    let end = *pos + 8;
+    if end > buf.len() {
+        return Err(LoError::BadDescriptor("truncated".into()));
+    }
+    let v = u64::from_le_bytes(buf[*pos..end].try_into().unwrap());
+    *pos = end;
+    Ok(v)
+}
+
+fn decode_node(buf: &[u8], pos: &mut usize, page_size: u64) -> LoResult<Node> {
+    if *pos >= buf.len() {
+        return Err(LoError::BadDescriptor("truncated".into()));
+    }
+    let tag = buf[*pos];
+    *pos += 1;
+    match tag {
+        TAG_LEAF => {
+            let area = read_u32(buf, pos)?;
+            let start_page = read_u64(buf, pos)?;
+            let pages = read_u32(buf, pos)?;
+            let len = read_u64(buf, pos)?;
+            let cap = u64::from(pages) * page_size;
+            if len > cap {
+                return Err(LoError::BadDescriptor("leaf len exceeds capacity".into()));
+            }
+            Ok(Node::Leaf(Leaf {
+                seg: DiskPtr {
+                    area: bess_storage::AreaId(area),
+                    start_page,
+                    pages,
+                },
+                len,
+                cap,
+            }))
+        }
+        TAG_INTERNAL => {
+            let n = read_u32(buf, pos)? as usize;
+            if n > crate::tree::MAX_FANOUT {
+                return Err(LoError::BadDescriptor("fanout overflow".into()));
+            }
+            let mut children = Vec::with_capacity(n);
+            for _ in 0..n {
+                children.push(decode_node(buf, pos, page_size)?);
+            }
+            let len = children.iter().map(Node::len).sum();
+            Ok(Node::Internal(Internal { children, len }))
+        }
+        _ => Err(LoError::BadDescriptor(format!("unknown node tag {tag}"))),
+    }
+}

@@ -1,0 +1,387 @@
+//! The positional tree over variable-size disk segments.
+//!
+//! "The large object is stored in a sequence of variable-size segments
+//! indexed by a tree structure" (§2.1 of the paper, citing Biliris ICDE'92
+//! and SIGMOD'92). Leaves reference buddy-allocated disk segments that may
+//! be partially full (slack absorbs inserts and appends without copying
+//! whole objects); internal nodes index children by cumulative byte count,
+//! so any byte offset is located in `O(depth)`.
+//!
+//! All structural operations keep leaf depth uniform: inserts add sibling
+//! leaves and split overfull internals upward, exactly like a B+-tree keyed
+//! by position.
+
+use bess_storage::{DiskPtr, DiskSpace, StorageResult};
+
+use crate::segio::{seg_move, seg_read, seg_write};
+
+/// Maximum children per internal node.
+pub(crate) const MAX_FANOUT: usize = 16;
+
+/// Leaf-allocation growth state: appends allocate progressively larger
+/// segments, from `next_pages` doubling up to `max_pages` (the paper's
+/// "hints about the potential size of the object" seed `next_pages`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GrowState {
+    pub next_pages: u32,
+    pub max_pages: u32,
+}
+
+impl GrowState {
+    fn take(&mut self) -> u32 {
+        let pages = self.next_pages;
+        self.next_pages = (self.next_pages * 2).min(self.max_pages);
+        pages
+    }
+}
+
+pub(crate) struct Ctx<'a> {
+    pub space: &'a dyn DiskSpace,
+    pub area: u32,
+    pub grow: &'a mut GrowState,
+}
+
+impl Ctx<'_> {
+    /// Allocates a leaf big enough for `bytes` (used for split tails).
+    fn alloc_exact(&mut self, bytes: u64) -> StorageResult<Leaf> {
+        let page_size = self.space.page_size() as u64;
+        let pages = (bytes.div_ceil(page_size).max(1)) as u32;
+        let seg = self.space.alloc(self.area, pages)?;
+        Ok(Leaf {
+            seg,
+            len: 0,
+            cap: u64::from(seg.pages) * page_size,
+        })
+    }
+
+    /// Allocates a leaf following the growth policy (used for appends and
+    /// bulk inserts).
+    fn alloc_growing(&mut self) -> StorageResult<Leaf> {
+        let pages = self.grow.take();
+        let seg = self.space.alloc(self.area, pages)?;
+        Ok(Leaf {
+            seg,
+            len: 0,
+            cap: u64::from(seg.pages) * self.space.page_size() as u64,
+        })
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Leaf {
+    pub seg: DiskPtr,
+    /// Bytes used.
+    pub len: u64,
+    /// Bytes available (`pages * page_size`).
+    pub cap: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Internal {
+    pub children: Vec<Node>,
+    /// Cached subtree byte length.
+    pub len: u64,
+}
+
+#[derive(Debug)]
+pub(crate) enum Node {
+    Leaf(Leaf),
+    Internal(Internal),
+}
+
+impl Node {
+    pub fn len(&self) -> u64 {
+        match self {
+            Node::Leaf(l) => l.len,
+            Node::Internal(i) => i.len,
+        }
+    }
+
+    pub fn read_into(
+        &self,
+        area: &dyn DiskSpace,
+        mut offset: u64,
+        buf: &mut [u8],
+    ) -> StorageResult<()> {
+        match self {
+            Node::Leaf(l) => seg_read(area, l.seg, offset, buf),
+            Node::Internal(i) => {
+                let mut done = 0usize;
+                for child in &i.children {
+                    if done == buf.len() {
+                        break;
+                    }
+                    let clen = child.len();
+                    if offset >= clen {
+                        offset -= clen;
+                        continue;
+                    }
+                    let take = ((clen - offset) as usize).min(buf.len() - done);
+                    child.read_into(area, offset, &mut buf[done..done + take])?;
+                    done += take;
+                    offset = 0;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Overwrites bytes in place without changing length or structure.
+    pub fn write_over(
+        &self,
+        area: &dyn DiskSpace,
+        mut offset: u64,
+        data: &[u8],
+    ) -> StorageResult<()> {
+        match self {
+            Node::Leaf(l) => seg_write(area, l.seg, offset, data),
+            Node::Internal(i) => {
+                let mut done = 0usize;
+                for child in &i.children {
+                    if done == data.len() {
+                        break;
+                    }
+                    let clen = child.len();
+                    if offset >= clen {
+                        offset -= clen;
+                        continue;
+                    }
+                    let take = ((clen - offset) as usize).min(data.len() - done);
+                    child.write_over(area, offset, &data[done..done + take])?;
+                    done += take;
+                    offset = 0;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Inserts `data` at `offset` (≤ `self.len()`), returning any new right
+    /// siblings the parent must add after this node.
+    pub fn insert(&mut self, ctx: &mut Ctx<'_>, offset: u64, data: &[u8]) -> StorageResult<Vec<Node>> {
+        match self {
+            Node::Leaf(leaf) => leaf_insert(leaf, ctx, offset, data),
+            Node::Internal(node) => {
+                if node.children.is_empty() {
+                    // Empty tree: materialise the data as fresh leaves.
+                    debug_assert_eq!(offset, 0);
+                    let mut rest = data;
+                    while !rest.is_empty() {
+                        let mut fresh = ctx.alloc_growing()?;
+                        let take = (fresh.cap as usize).min(rest.len());
+                        seg_write(ctx.space, fresh.seg, 0, &rest[..take])?;
+                        fresh.len = take as u64;
+                        node.children.push(Node::Leaf(fresh));
+                        rest = &rest[take..];
+                    }
+                    node.len = data.len() as u64;
+                    if node.children.len() <= MAX_FANOUT {
+                        return Ok(Vec::new());
+                    }
+                    let all: Vec<Node> = std::mem::take(&mut node.children);
+                    let mut groups = chunk_children(all);
+                    let first = groups.remove(0);
+                    node.len = first.iter().map(Node::len).sum();
+                    node.children = first;
+                    return Ok(groups
+                        .into_iter()
+                        .map(|g| {
+                            let len = g.iter().map(Node::len).sum();
+                            Node::Internal(Internal { children: g, len })
+                        })
+                        .collect());
+                }
+                // Choose the child containing the offset; boundary offsets
+                // go to the left neighbour so its slack is used first. An
+                // append (offset == len) targets the last child.
+                let mut idx = node.children.len() - 1;
+                let mut local = offset;
+                for (i, child) in node.children.iter().enumerate() {
+                    if local <= child.len() {
+                        idx = i;
+                        break;
+                    }
+                    local -= child.len();
+                }
+                let siblings = node.children[idx].insert(ctx, local, data)?;
+                node.children
+                    .splice(idx + 1..idx + 1, siblings);
+                node.len += data.len() as u64;
+                if node.children.len() <= MAX_FANOUT {
+                    return Ok(Vec::new());
+                }
+                // Overflow: keep the first chunk here, return the rest
+                // wrapped in internals of the same depth.
+                let all: Vec<Node> = std::mem::take(&mut node.children);
+                let mut groups = chunk_children(all);
+                let first = groups.remove(0);
+                node.len = first.iter().map(Node::len).sum();
+                node.children = first;
+                Ok(groups
+                    .into_iter()
+                    .map(|g| {
+                        let len = g.iter().map(Node::len).sum();
+                        Node::Internal(Internal { children: g, len })
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    /// Deletes `dlen` bytes at `offset`, freeing fully vacated segments.
+    /// The node may end up empty (`len() == 0`); parents prune such nodes.
+    pub fn delete(
+        &mut self,
+        area: &dyn DiskSpace,
+        offset: u64,
+        dlen: u64,
+        freed: &mut Vec<DiskPtr>,
+    ) -> StorageResult<()> {
+        match self {
+            Node::Leaf(leaf) => {
+                debug_assert!(offset + dlen <= leaf.len);
+                if offset == 0 && dlen == leaf.len {
+                    freed.push(leaf.seg);
+                    leaf.len = 0;
+                } else {
+                    let tail = leaf.len - offset - dlen;
+                    seg_move(area, leaf.seg, offset + dlen, offset, tail)?;
+                    leaf.len -= dlen;
+                }
+                Ok(())
+            }
+            Node::Internal(node) => {
+                let mut remaining = dlen;
+                let mut local = offset;
+                for child in node.children.iter_mut() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let clen = child.len();
+                    if local >= clen {
+                        local -= clen;
+                        continue;
+                    }
+                    let here = (clen - local).min(remaining);
+                    child.delete(area, local, here, freed)?;
+                    remaining -= here;
+                    local = 0;
+                }
+                node.children.retain(|c| c.len() > 0);
+                node.len -= dlen;
+                Ok(())
+            }
+        }
+    }
+
+    /// Frees every segment in the subtree.
+    pub fn destroy(&self, freed: &mut Vec<DiskPtr>) {
+        match self {
+            Node::Leaf(l) => freed.push(l.seg),
+            Node::Internal(i) => {
+                for c in &i.children {
+                    c.destroy(freed);
+                }
+            }
+        }
+    }
+
+    /// Depth of the subtree (a lone leaf is depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 1,
+            Node::Internal(i) => 1 + i.children.iter().map(Node::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Number of leaves in the subtree.
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 1,
+            Node::Internal(i) => i.children.iter().map(Node::num_leaves).sum(),
+        }
+    }
+
+    /// Validates cached lengths, fanout, and uniform leaf depth.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> u64 {
+        match self {
+            Node::Leaf(l) => {
+                assert!(l.len <= l.cap, "leaf len {} exceeds cap {}", l.len, l.cap);
+                l.len
+            }
+            Node::Internal(i) => {
+                assert!(i.children.len() <= MAX_FANOUT, "fanout overflow");
+                let sum: u64 = i.children.iter().map(Node::check_invariants).sum();
+                assert_eq!(sum, i.len, "cached len mismatch");
+                let depths: Vec<usize> = i.children.iter().map(Node::depth).collect();
+                if let (Some(min), Some(max)) = (depths.iter().min(), depths.iter().max()) {
+                    assert_eq!(min, max, "non-uniform leaf depth");
+                }
+                sum
+            }
+        }
+    }
+}
+
+/// Splits `children` into groups of at most `MAX_FANOUT`, each at least
+/// `MAX_FANOUT / 2` where possible.
+fn chunk_children(children: Vec<Node>) -> Vec<Vec<Node>> {
+    let n = children.len();
+    let groups = n.div_ceil(MAX_FANOUT);
+    let per = n.div_ceil(groups);
+    let mut out = Vec::with_capacity(groups);
+    let mut iter = children.into_iter();
+    loop {
+        let group: Vec<Node> = iter.by_ref().take(per).collect();
+        if group.is_empty() {
+            break;
+        }
+        out.push(group);
+    }
+    out
+}
+
+fn leaf_insert(leaf: &mut Leaf, ctx: &mut Ctx<'_>, offset: u64, data: &[u8]) -> StorageResult<Vec<Node>> {
+    let n = data.len() as u64;
+    let slack = leaf.cap - leaf.len;
+    if n <= slack {
+        // Shift the tail right and write in place.
+        seg_move(ctx.space, leaf.seg, offset, offset + n, leaf.len - offset)?;
+        seg_write(ctx.space, leaf.seg, offset, data)?;
+        leaf.len += n;
+        return Ok(Vec::new());
+    }
+    // Split: move the tail [offset..len) into its own leaf.
+    let mut siblings = Vec::new();
+    let tail_len = leaf.len - offset;
+    if tail_len > 0 {
+        let mut tail_leaf = ctx.alloc_exact(tail_len)?;
+        let mut buf = vec![0u8; tail_len as usize];
+        seg_read(ctx.space, leaf.seg, offset, &mut buf)?;
+        seg_write(ctx.space, tail_leaf.seg, 0, &buf)?;
+        tail_leaf.len = tail_len;
+        siblings.push(tail_leaf);
+        leaf.len = offset;
+    }
+    // Fill this leaf's remaining capacity with the head of the data.
+    let head = ((leaf.cap - leaf.len) as usize).min(data.len());
+    if head > 0 {
+        seg_write(ctx.space, leaf.seg, leaf.len, &data[..head])?;
+        leaf.len += head as u64;
+    }
+    // Remaining data goes into fresh leaves placed before the tail.
+    let mut rest = &data[head..];
+    let mut data_leaves = Vec::new();
+    while !rest.is_empty() {
+        let mut fresh = ctx.alloc_growing()?;
+        let take = (fresh.cap as usize).min(rest.len());
+        seg_write(ctx.space, fresh.seg, 0, &rest[..take])?;
+        fresh.len = take as u64;
+        data_leaves.push(fresh);
+        rest = &rest[take..];
+    }
+    let mut out: Vec<Node> = data_leaves.into_iter().map(Node::Leaf).collect();
+    out.extend(siblings.into_iter().map(Node::Leaf));
+    Ok(out)
+}

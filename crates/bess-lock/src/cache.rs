@@ -1,0 +1,375 @@
+//! The client-side lock cache for callback locking.
+//!
+//! "Client-server interaction is minimized by caching data and locks
+//! between transactions running on the same client. Cache consistency is
+//! provided by employing the callback locking algorithm" (§3, citing
+//! Howard et al. and Lamb et al.).
+//!
+//! A [`LockCache`] lives on each client (or node server). Locks obtained
+//! from a server are *cached* here when the transaction that acquired them
+//! finishes; a later local transaction that needs a covered mode hits the
+//! cache and avoids a server round trip. When another client wants a
+//! conflicting lock, the server issues a **callback**; the cache releases
+//! the lock immediately if no local transaction is using it, otherwise the
+//! callback is deferred until the last local user finishes.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::mode::LockMode;
+use crate::name::{LockName, TxnId};
+
+/// Outcome of a local lock probe against the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheDecision {
+    /// The cache holds a covering lock; no server message needed.
+    Hit,
+    /// The server must be asked for `need` (either nothing is cached or the
+    /// cached mode is too weak).
+    Miss {
+        /// The mode to request from the server.
+        need: LockMode,
+    },
+}
+
+/// Response to a server callback for one resource.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallbackResponse {
+    /// The lock was dropped from the cache; the server may grant the
+    /// conflicting request.
+    Released,
+    /// A local transaction is using the lock; the release will happen when
+    /// the last user finishes ([`LockCache::finish_txn`] returns it).
+    Deferred,
+    /// The resource was not cached here (e.g. raced with an earlier
+    /// release); nothing to do.
+    NotCached,
+}
+
+#[derive(Debug)]
+struct CachedLock {
+    mode: LockMode,
+    users: HashSet<TxnId>,
+    callback_pending: bool,
+}
+
+/// Counters kept by a [`LockCache`].
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Probes answered from the cache.
+    pub hits: AtomicU64,
+    /// Probes that required a server request.
+    pub misses: AtomicU64,
+    /// Callbacks received.
+    pub callbacks: AtomicU64,
+    /// Callbacks answered with immediate release.
+    pub callback_released: AtomicU64,
+    /// Callbacks deferred because the lock was in use.
+    pub callback_deferred: AtomicU64,
+}
+
+impl CacheStats {
+    /// Takes a snapshot for reporting.
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            callbacks: self.callbacks.load(Ordering::Relaxed),
+            callback_released: self.callback_released.load(Ordering::Relaxed),
+            callback_deferred: self.callback_deferred.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`CacheStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that required a server request.
+    pub misses: u64,
+    /// Callbacks received.
+    pub callbacks: u64,
+    /// Callbacks answered with immediate release.
+    pub callback_released: u64,
+    /// Callbacks deferred.
+    pub callback_deferred: u64,
+}
+
+/// The per-client cache of locks granted by servers.
+pub struct LockCache {
+    locks: Mutex<HashMap<LockName, CachedLock>>,
+    stats: CacheStats,
+}
+
+impl LockCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        LockCache {
+            locks: Mutex::new(HashMap::new()),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache activity counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Probes the cache on behalf of local transaction `txn` wanting
+    /// `mode`. On [`CacheDecision::Hit`] the transaction is registered as a
+    /// user of the cached lock.
+    pub fn acquire(&self, txn: TxnId, name: LockName, mode: LockMode) -> CacheDecision {
+        let mut locks = self.locks.lock();
+        match locks.get_mut(&name) {
+            Some(cached) if cached.mode.covers(mode) && !cached.callback_pending => {
+                cached.users.insert(txn);
+                AtomicU64::fetch_add(&self.stats.hits, 1, Ordering::Relaxed);
+                CacheDecision::Hit
+            }
+            Some(cached) if !cached.callback_pending => {
+                // Cached but too weak: the server must upgrade to the
+                // supremum of what is cached and what is wanted.
+                AtomicU64::fetch_add(&self.stats.misses, 1, Ordering::Relaxed);
+                CacheDecision::Miss {
+                    need: cached.mode.supremum(mode),
+                }
+            }
+            _ => {
+                AtomicU64::fetch_add(&self.stats.misses, 1, Ordering::Relaxed);
+                CacheDecision::Miss { need: mode }
+            }
+        }
+    }
+
+    /// Records a lock granted by the server for `txn`.
+    pub fn grant(&self, txn: TxnId, name: LockName, mode: LockMode) {
+        let mut locks = self.locks.lock();
+        let entry = locks.entry(name).or_insert_with(|| CachedLock {
+            mode,
+            users: HashSet::new(),
+            callback_pending: false,
+        });
+        entry.mode = entry.mode.supremum(mode);
+        entry.users.insert(txn);
+    }
+
+    /// Handles a server callback for `name`. Returns how the cache
+    /// responded; on [`CallbackResponse::Deferred`] the eventual release is
+    /// reported by [`Self::finish_txn`].
+    pub fn callback(&self, name: LockName) -> CallbackResponse {
+        AtomicU64::fetch_add(&self.stats.callbacks, 1, Ordering::Relaxed);
+        let mut locks = self.locks.lock();
+        match locks.get_mut(&name) {
+            None => CallbackResponse::NotCached,
+            Some(cached) if cached.users.is_empty() => {
+                locks.remove(&name);
+                AtomicU64::fetch_add(&self.stats.callback_released, 1, Ordering::Relaxed);
+                CallbackResponse::Released
+            }
+            Some(cached) => {
+                cached.callback_pending = true;
+                AtomicU64::fetch_add(&self.stats.callback_deferred, 1, Ordering::Relaxed);
+                CallbackResponse::Deferred
+            }
+        }
+    }
+
+    /// A server may also *downgrade-callback* a cached X lock to S (enough
+    /// for a remote reader). If no local user holds it, the cached mode is
+    /// weakened in place and `true` is returned.
+    pub fn callback_downgrade(&self, name: LockName, to: LockMode) -> bool {
+        AtomicU64::fetch_add(&self.stats.callbacks, 1, Ordering::Relaxed);
+        let mut locks = self.locks.lock();
+        match locks.get_mut(&name) {
+            Some(cached) if cached.users.is_empty() && cached.mode.covers(to) => {
+                cached.mode = to;
+                AtomicU64::fetch_add(&self.stats.callback_released, 1, Ordering::Relaxed);
+                true
+            }
+            None => true,
+            _ => {
+                if let Some(cached) = locks.get_mut(&name) {
+                    cached.callback_pending = true;
+                }
+                AtomicU64::fetch_add(&self.stats.callback_deferred, 1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Marks a cached lock as having a pending callback (used when a
+    /// callback raced the grant of the lock: the release happens when the
+    /// last user finishes). Returns whether the lock was cached.
+    pub fn mark_callback_pending(&self, name: LockName) -> bool {
+        let mut locks = self.locks.lock();
+        match locks.get_mut(&name) {
+            Some(cached) => {
+                cached.callback_pending = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ends `txn` locally: the transaction stops using its cached locks but
+    /// the locks *stay cached* for future transactions (the whole point of
+    /// callback locking). Returns the resources whose deferred callbacks
+    /// can now be answered — the caller must send the releases to the
+    /// server.
+    pub fn finish_txn(&self, txn: TxnId) -> Vec<LockName> {
+        let mut released = Vec::new();
+        let mut locks = self.locks.lock();
+        locks.retain(|name, cached| {
+            cached.users.remove(&txn);
+            if cached.callback_pending && cached.users.is_empty() {
+                released.push(*name);
+                false
+            } else {
+                true
+            }
+        });
+        released
+    }
+
+    /// Drops every cached lock (client shutdown, or a client without a node
+    /// server whose locks are only cached for the transaction duration,
+    /// §3). Returns the names so the caller can notify servers.
+    pub fn clear(&self) -> Vec<LockName> {
+        let mut locks = self.locks.lock();
+        let names = locks.keys().copied().collect();
+        locks.clear();
+        names
+    }
+
+    /// The cached mode for `name`, if any.
+    pub fn cached_mode(&self, name: LockName) -> Option<LockMode> {
+        self.locks.lock().get(&name).map(|c| c.mode)
+    }
+
+    /// Number of cached locks.
+    pub fn len(&self) -> usize {
+        self.locks.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locks.lock().is_empty()
+    }
+}
+
+impl Default for LockCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(p: u64) -> LockName {
+        LockName::Page { area: 0, page: p }
+    }
+
+    #[test]
+    fn miss_then_grant_then_hit() {
+        let cache = LockCache::new();
+        assert_eq!(
+            cache.acquire(TxnId(1), page(1), LockMode::S),
+            CacheDecision::Miss { need: LockMode::S }
+        );
+        cache.grant(TxnId(1), page(1), LockMode::S);
+        cache.finish_txn(TxnId(1));
+        // Next transaction hits without a server message.
+        assert_eq!(cache.acquire(TxnId(2), page(1), LockMode::S), CacheDecision::Hit);
+        let s = cache.stats().snapshot();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn weak_cached_mode_asks_for_supremum() {
+        let cache = LockCache::new();
+        cache.grant(TxnId(1), page(1), LockMode::S);
+        cache.finish_txn(TxnId(1));
+        assert_eq!(
+            cache.acquire(TxnId(2), page(1), LockMode::X),
+            CacheDecision::Miss { need: LockMode::X }
+        );
+        cache.grant(TxnId(2), page(1), LockMode::X);
+        assert_eq!(cache.cached_mode(page(1)), Some(LockMode::X));
+    }
+
+    #[test]
+    fn callback_on_idle_lock_releases_immediately() {
+        let cache = LockCache::new();
+        cache.grant(TxnId(1), page(1), LockMode::X);
+        cache.finish_txn(TxnId(1));
+        assert_eq!(cache.callback(page(1)), CallbackResponse::Released);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn callback_on_lock_in_use_defers_until_finish() {
+        let cache = LockCache::new();
+        cache.grant(TxnId(1), page(1), LockMode::X);
+        assert_eq!(cache.callback(page(1)), CallbackResponse::Deferred);
+        // While deferred, new local transactions cannot use it.
+        assert!(matches!(
+            cache.acquire(TxnId(2), page(1), LockMode::S),
+            CacheDecision::Miss { .. }
+        ));
+        let released = cache.finish_txn(TxnId(1));
+        assert_eq!(released, vec![page(1)]);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn callback_for_unknown_resource() {
+        let cache = LockCache::new();
+        assert_eq!(cache.callback(page(9)), CallbackResponse::NotCached);
+    }
+
+    #[test]
+    fn downgrade_callback_weakens_idle_lock() {
+        let cache = LockCache::new();
+        cache.grant(TxnId(1), page(1), LockMode::X);
+        cache.finish_txn(TxnId(1));
+        assert!(cache.callback_downgrade(page(1), LockMode::S));
+        assert_eq!(cache.cached_mode(page(1)), Some(LockMode::S));
+        // Another local reader now hits.
+        assert_eq!(cache.acquire(TxnId(2), page(1), LockMode::S), CacheDecision::Hit);
+    }
+
+    #[test]
+    fn downgrade_callback_defers_when_in_use() {
+        let cache = LockCache::new();
+        cache.grant(TxnId(1), page(1), LockMode::X);
+        assert!(!cache.callback_downgrade(page(1), LockMode::S));
+        let released = cache.finish_txn(TxnId(1));
+        assert_eq!(released, vec![page(1)]);
+    }
+
+    #[test]
+    fn clear_returns_all_names() {
+        let cache = LockCache::new();
+        cache.grant(TxnId(1), page(1), LockMode::S);
+        cache.grant(TxnId(1), page(2), LockMode::X);
+        let mut names = cache.clear();
+        names.sort();
+        assert_eq!(names, vec![page(1), page(2)]);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn multiple_users_share_cached_lock() {
+        let cache = LockCache::new();
+        cache.grant(TxnId(1), page(1), LockMode::S);
+        assert_eq!(cache.acquire(TxnId(2), page(1), LockMode::S), CacheDecision::Hit);
+        assert_eq!(cache.callback(page(1)), CallbackResponse::Deferred);
+        assert!(cache.finish_txn(TxnId(1)).is_empty(), "txn2 still using");
+        assert_eq!(cache.finish_txn(TxnId(2)), vec![page(1)]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # bess-lock — concurrency control for BeSS
+//!
+//! Implements the locking machinery of §3 of "A High Performance
+//! Configurable Storage Manager" (Biliris & Panagos, ICDE 1995):
+//!
+//! * [`LockManager`] — strict two-phase locking over hierarchical modes
+//!   (IS/IX/S/SIX/X) with FIFO queues, in-place upgrades and **timeout
+//!   based deadlock detection**, exactly the paper's policy;
+//! * [`LockCache`] — the per-client cache of data *locks* retained between
+//!   transactions, with the **callback locking** responses (release /
+//!   defer) the servers drive cache consistency with.
+//!
+//! ```
+//! use std::time::Duration;
+//! use bess_lock::{LockManager, LockMode, LockName, TxnId};
+//!
+//! let mgr = LockManager::new(Duration::from_millis(100));
+//! let page = LockName::Page { area: 0, page: 7 };
+//! mgr.lock(TxnId(1), page, LockMode::S).unwrap();
+//! mgr.lock(TxnId(2), page, LockMode::S).unwrap(); // shared: both granted
+//! mgr.unlock_all(TxnId(1));
+//! mgr.unlock_all(TxnId(2));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod manager;
+mod mode;
+mod name;
+
+pub use cache::{CacheDecision, CacheStats, CacheStatsSnapshot, CallbackResponse, LockCache};
+pub use manager::{DeadlockPolicy, LockError, LockManager, LockResult, LockStats, LockStatsSnapshot};
+pub use mode::LockMode;
+pub use name::{LockName, TxnId};

@@ -1,0 +1,134 @@
+//! Lock modes and the compatibility matrix.
+//!
+//! BeSS uses "the strict two phase locking algorithm ... for concurrency
+//! control" (§3). The mode set is the classic hierarchical one (Gray), which
+//! the paper's page/segment/file/database granularities require.
+
+/// A lock mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Intention shared.
+    IS,
+    /// Intention exclusive.
+    IX,
+    /// Shared.
+    S,
+    /// Shared + intention exclusive.
+    SIX,
+    /// Exclusive.
+    X,
+}
+
+impl LockMode {
+    /// Whether a holder of `self` is compatible with a holder of `other`.
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (IS, X) | (X, IS) => false,
+            (IS, _) | (_, IS) => true,
+            (IX, IX) => true,
+            (IX, S) | (S, IX) => false,
+            (IX, SIX) | (SIX, IX) => false,
+            (IX, X) | (X, IX) => false,
+            (S, S) => true,
+            (S, SIX) | (SIX, S) => false,
+            (S, X) | (X, S) => false,
+            (SIX, SIX) => false,
+            (SIX, X) | (X, SIX) => false,
+            (X, X) => false,
+        }
+    }
+
+    /// The least mode at least as strong as both, used for upgrades
+    /// (e.g. holding `S` and requesting `IX` needs `SIX`).
+    pub fn supremum(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (IS, m) | (m, IS) => m,
+            (IX, S) | (S, IX) => SIX,
+            (IX, SIX) | (SIX, IX) => SIX,
+            (IX, X) | (X, IX) => X,
+            (S, SIX) | (SIX, S) => SIX,
+            (S, X) | (X, S) => X,
+            (SIX, X) | (X, SIX) => X,
+            _ => unreachable!("equal modes handled above"),
+        }
+    }
+
+    /// Whether `self` is at least as strong as `other`
+    /// (i.e. `self.supremum(other) == self`).
+    pub fn covers(self, other: LockMode) -> bool {
+        self.supremum(other) == self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    const ALL: [LockMode; 5] = [IS, IX, S, SIX, X];
+
+    #[test]
+    fn compatibility_matrix_matches_gray() {
+        // Rows/cols in order IS, IX, S, SIX, X.
+        let expected = [
+            [true, true, true, true, false],
+            [true, true, false, false, false],
+            [true, false, true, false, false],
+            [true, false, false, false, false],
+            [false, false, false, false, false],
+        ];
+        for (i, a) in ALL.iter().enumerate() {
+            for (j, b) in ALL.iter().enumerate() {
+                assert_eq!(
+                    a.compatible(*b),
+                    expected[i][j],
+                    "compat({a:?},{b:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.compatible(b), b.compatible(a));
+            }
+        }
+    }
+
+    #[test]
+    fn supremum_is_commutative_and_covers_both() {
+        for a in ALL {
+            for b in ALL {
+                let s = a.supremum(b);
+                assert_eq!(s, b.supremum(a));
+                assert!(s.covers(a), "{s:?} covers {a:?}");
+                assert!(s.covers(b), "{s:?} covers {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn specific_suprema() {
+        assert_eq!(S.supremum(IX), SIX);
+        assert_eq!(IS.supremum(X), X);
+        assert_eq!(S.supremum(S), S);
+        assert_eq!(SIX.supremum(IX), SIX);
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_x_covers_all() {
+        for a in ALL {
+            assert!(a.covers(a));
+            assert!(X.covers(a));
+        }
+        assert!(!S.covers(IX));
+        assert!(!IX.covers(S));
+    }
+}

@@ -1,0 +1,446 @@
+//! # bess-net — simulated network for the BeSS client-server architecture
+//!
+//! The paper's BeSS runs on a LAN of workstations (Figure 2). This crate
+//! reproduces that substrate in-process: nodes register endpoints on a
+//! [`Network`], exchange one-way messages and blocking RPC calls over
+//! crossbeam channels, and every message is counted (and optionally
+//! delayed) so experiments can report message counts and simulated wire
+//! time — the dominant cost the callback-locking and copy-on-access
+//! analyses care about.
+//!
+//! The message type is generic; `bess-server` instantiates it with the
+//! BeSS protocol.
+//!
+//! ```
+//! use bess_net::{Network, NodeId};
+//! use std::time::Duration;
+//!
+//! let net = Network::<String>::new(Duration::ZERO);
+//! let a = net.register(NodeId(1));
+//! let b = net.register(NodeId(2));
+//! std::thread::spawn(move || {
+//!     let env = b.recv(Duration::from_secs(1)).unwrap();
+//!     env.reply("pong".to_string());
+//! });
+//! let reply = a.call(NodeId(2), "ping".to_string(), Duration::from_secs(1)).unwrap();
+//! assert_eq!(reply, "pong");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// Identifies a node (machine) in the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Errors from network operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination node has no registered endpoint.
+    Unreachable(NodeId),
+    /// No reply (or no message) arrived within the timeout.
+    Timeout,
+    /// The peer dropped the connection mid-call.
+    Disconnected,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Unreachable(n) => write!(f, "{n} is unreachable"),
+            NetError::Timeout => write!(f, "network timeout"),
+            NetError::Disconnected => write!(f, "peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A delivered message, carrying an optional reply channel.
+pub struct Envelope<M> {
+    /// The sending node.
+    pub from: NodeId,
+    /// The payload.
+    pub msg: M,
+    reply: Option<Sender<M>>,
+}
+
+impl<M> Envelope<M> {
+    /// Whether the sender expects a reply.
+    pub fn wants_reply(&self) -> bool {
+        self.reply.is_some()
+    }
+
+    /// Replies to an RPC (no-op for one-way messages whose sender went
+    /// away).
+    pub fn reply(self, msg: M) {
+        if let Some(tx) = self.reply {
+            let _ = tx.send(msg);
+        }
+    }
+}
+
+/// Counters kept by a [`Network`].
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// One-way messages sent.
+    pub sends: AtomicU64,
+    /// RPC calls completed (request + reply pairs).
+    pub calls: AtomicU64,
+    /// Messages dropped for unreachable nodes.
+    pub unreachable: AtomicU64,
+}
+
+impl NetStats {
+    /// Takes a snapshot for reporting.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            sends: self.sends.load(Ordering::Relaxed),
+            calls: self.calls.load(Ordering::Relaxed),
+            unreachable: self.unreachable.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`NetStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// One-way messages sent.
+    pub sends: u64,
+    /// RPC calls completed.
+    pub calls: u64,
+    /// Undeliverable messages.
+    pub unreachable: u64,
+}
+
+impl NetStatsSnapshot {
+    /// Total messages on the wire (a call is two messages).
+    pub fn messages(&self) -> u64 {
+        self.sends + 2 * self.calls
+    }
+
+    /// Element-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &NetStatsSnapshot) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            sends: self.sends - earlier.sends,
+            calls: self.calls - earlier.calls,
+            unreachable: self.unreachable - earlier.unreachable,
+        }
+    }
+}
+
+/// The simulated network.
+pub struct Network<M> {
+    endpoints: Mutex<HashMap<u32, Sender<Envelope<M>>>>,
+    latency: Duration,
+    stats: NetStats,
+}
+
+impl<M: Send + 'static> Network<M> {
+    /// Creates a network whose RPCs incur `latency` per direction.
+    pub fn new(latency: Duration) -> Arc<Self> {
+        Arc::new(Network {
+            endpoints: Mutex::new(HashMap::new()),
+            latency,
+            stats: NetStats::default(),
+        })
+    }
+
+    /// Message counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The configured one-way latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// Registers a node, returning its endpoint. Re-registering a node
+    /// replaces the previous endpoint (a "rebooted machine").
+    pub fn register(self: &Arc<Self>, node: NodeId) -> Endpoint<M> {
+        let (tx, rx) = unbounded();
+        self.endpoints.lock().insert(node.0, tx);
+        Endpoint {
+            node,
+            net: Arc::clone(self),
+            rx,
+        }
+    }
+
+    /// Removes a node (a crashed machine: its queued messages vanish).
+    pub fn unregister(&self, node: NodeId) {
+        self.endpoints.lock().remove(&node.0);
+    }
+
+    fn sender_to(&self, to: NodeId) -> Result<Sender<Envelope<M>>, NetError> {
+        self.endpoints
+            .lock()
+            .get(&to.0)
+            .cloned()
+            .ok_or(NetError::Unreachable(to))
+    }
+
+    /// Creates an outbound-only handle that sends and calls as `node`
+    /// without owning the node's receive queue. Server worker threads use
+    /// this to issue callbacks while the main loop owns the endpoint.
+    pub fn caller(self: &Arc<Self>, node: NodeId) -> Caller<M> {
+        Caller {
+            node,
+            net: Arc::clone(self),
+        }
+    }
+}
+
+/// An outbound-only attachment: can send and call, cannot receive.
+#[derive(Clone)]
+pub struct Caller<M> {
+    node: NodeId,
+    net: Arc<Network<M>>,
+}
+
+impl<M: Send + 'static> Caller<M> {
+    /// The identity messages are sent as.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends a one-way message. See [`Endpoint::send`].
+    pub fn send(&self, to: NodeId, msg: M) -> Result<(), NetError> {
+        let tx = self.net.sender_to(to).inspect_err(|_| {
+            AtomicU64::fetch_add(&self.net.stats.unreachable, 1, Ordering::Relaxed);
+        })?;
+        tx.send(Envelope {
+            from: self.node,
+            msg,
+            reply: None,
+        })
+        .map_err(|_| NetError::Disconnected)?;
+        AtomicU64::fetch_add(&self.net.stats.sends, 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Performs a blocking RPC. See [`Endpoint::call`].
+    pub fn call(&self, to: NodeId, msg: M, timeout: Duration) -> Result<M, NetError> {
+        let tx = self.net.sender_to(to).inspect_err(|_| {
+            AtomicU64::fetch_add(&self.net.stats.unreachable, 1, Ordering::Relaxed);
+        })?;
+        let (reply_tx, reply_rx) = bounded(1);
+        if !self.net.latency.is_zero() {
+            std::thread::sleep(self.net.latency);
+        }
+        tx.send(Envelope {
+            from: self.node,
+            msg,
+            reply: Some(reply_tx),
+        })
+        .map_err(|_| NetError::Disconnected)?;
+        let reply = reply_rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => NetError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })?;
+        if !self.net.latency.is_zero() {
+            std::thread::sleep(self.net.latency);
+        }
+        AtomicU64::fetch_add(&self.net.stats.calls, 1, Ordering::Relaxed);
+        Ok(reply)
+    }
+}
+
+/// One node's attachment to the network.
+pub struct Endpoint<M> {
+    node: NodeId,
+    net: Arc<Network<M>>,
+    rx: Receiver<Envelope<M>>,
+}
+
+impl<M: Send + 'static> Endpoint<M> {
+    /// This endpoint's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The owning network.
+    pub fn network(&self) -> &Arc<Network<M>> {
+        &self.net
+    }
+
+    /// Sends a one-way message.
+    pub fn send(&self, to: NodeId, msg: M) -> Result<(), NetError> {
+        let tx = self.net.sender_to(to).inspect_err(|_| {
+            AtomicU64::fetch_add(&self.net.stats.unreachable, 1, Ordering::Relaxed);
+        })?;
+        tx.send(Envelope {
+            from: self.node,
+            msg,
+            reply: None,
+        })
+        .map_err(|_| NetError::Disconnected)?;
+        AtomicU64::fetch_add(&self.net.stats.sends, 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Performs a blocking RPC: sends `msg` to `to` and waits up to
+    /// `timeout` for the reply. Each direction incurs the network latency.
+    pub fn call(&self, to: NodeId, msg: M, timeout: Duration) -> Result<M, NetError> {
+        let tx = self.net.sender_to(to).inspect_err(|_| {
+            AtomicU64::fetch_add(&self.net.stats.unreachable, 1, Ordering::Relaxed);
+        })?;
+        let (reply_tx, reply_rx) = bounded(1);
+        if !self.net.latency.is_zero() {
+            std::thread::sleep(self.net.latency);
+        }
+        tx.send(Envelope {
+            from: self.node,
+            msg,
+            reply: Some(reply_tx),
+        })
+        .map_err(|_| NetError::Disconnected)?;
+        let reply = reply_rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => NetError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })?;
+        if !self.net.latency.is_zero() {
+            std::thread::sleep(self.net.latency);
+        }
+        AtomicU64::fetch_add(&self.net.stats.calls, 1, Ordering::Relaxed);
+        Ok(reply)
+    }
+
+    /// Waits up to `timeout` for an incoming message.
+    pub fn recv(&self, timeout: Duration) -> Result<Envelope<M>, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => NetError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+
+    /// Returns a pending message if one is queued.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn one_way_send() {
+        let net = Network::<u32>::new(Duration::ZERO);
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        a.send(NodeId(2), 42).unwrap();
+        let env = b.recv(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.msg, 42);
+        assert_eq!(env.from, NodeId(1));
+        assert!(!env.wants_reply());
+        assert_eq!(net.stats().snapshot().sends, 1);
+    }
+
+    #[test]
+    fn rpc_round_trip() {
+        let net = Network::<String>::new(Duration::ZERO);
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        let server = thread::spawn(move || {
+            let env = b.recv(Duration::from_secs(5)).unwrap();
+            assert!(env.wants_reply());
+            let msg = env.msg.clone();
+            env.reply(format!("echo:{msg}"));
+        });
+        let reply = a
+            .call(NodeId(2), "hi".into(), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(reply, "echo:hi");
+        server.join().unwrap();
+        assert_eq!(net.stats().snapshot().calls, 1);
+        assert_eq!(net.stats().snapshot().messages(), 2);
+    }
+
+    #[test]
+    fn unreachable_node() {
+        let net = Network::<u32>::new(Duration::ZERO);
+        let a = net.register(NodeId(1));
+        assert_eq!(a.send(NodeId(9), 1), Err(NetError::Unreachable(NodeId(9))));
+        assert_eq!(net.stats().snapshot().unreachable, 1);
+    }
+
+    #[test]
+    fn call_times_out_when_peer_ignores() {
+        let net = Network::<u32>::new(Duration::ZERO);
+        let a = net.register(NodeId(1));
+        let _b = net.register(NodeId(2)); // never replies
+        assert_eq!(
+            a.call(NodeId(2), 1, Duration::from_millis(50)),
+            Err(NetError::Timeout)
+        );
+    }
+
+    #[test]
+    fn unregister_models_crash() {
+        let net = Network::<u32>::new(Duration::ZERO);
+        let a = net.register(NodeId(1));
+        let _b = net.register(NodeId(2));
+        net.unregister(NodeId(2));
+        assert!(matches!(a.send(NodeId(2), 1), Err(NetError::Unreachable(_))));
+    }
+
+    #[test]
+    fn latency_is_applied_to_calls() {
+        let net = Network::<u32>::new(Duration::from_millis(20));
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        thread::spawn(move || {
+            let env = b.recv(Duration::from_secs(5)).unwrap();
+            env.reply(0);
+        });
+        let t0 = std::time::Instant::now();
+        a.call(NodeId(2), 1, Duration::from_secs(5)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(40), "two hops");
+    }
+
+    #[test]
+    fn concurrent_servers_and_clients() {
+        let net = Network::<u64>::new(Duration::ZERO);
+        let server_ep = net.register(NodeId(0));
+        let server = thread::spawn(move || {
+            let mut served = 0;
+            while let Ok(env) = server_ep.recv(Duration::from_millis(300)) {
+                let v = env.msg;
+                env.reply(v * 2);
+                served += 1;
+            }
+            served
+        });
+        let mut clients = Vec::new();
+        for c in 1..=4u32 {
+            let ep = net.register(NodeId(c));
+            clients.push(thread::spawn(move || {
+                for i in 0..25u64 {
+                    let r = ep.call(NodeId(0), i, Duration::from_secs(5)).unwrap();
+                    assert_eq!(r, i * 2);
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        assert_eq!(server.join().unwrap(), 100);
+    }
+}

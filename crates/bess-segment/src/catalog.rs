@@ -1,0 +1,182 @@
+//! The segment catalog: where each object segment's slotted segment lives.
+//!
+//! Slotted segments are never relocated (§2.1), so the catalog is
+//! essentially append-only metadata: `SegId -> (disk location, slot
+//! capacity, reference-table capacity)`. Everything else about a segment
+//! (its data segment's location, free lists, reference bases) lives in the
+//! slotted segment header itself and moves with it through the cache.
+
+use std::collections::HashMap;
+
+use bess_storage::DiskPtr;
+use parking_lot::RwLock;
+
+use crate::oid::SegId;
+
+/// Catalog entry for one object segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Disk location of the slotted segment (never changes).
+    pub slotted: DiskPtr,
+    /// Maximum slots.
+    pub slot_cap: u32,
+    /// Maximum reference-table entries.
+    pub ref_cap: u32,
+}
+
+/// The per-database segment catalog.
+#[derive(Debug, Default)]
+pub struct SegmentCatalog {
+    inner: RwLock<HashMap<SegId, CatalogEntry>>,
+}
+
+impl SegmentCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a segment.
+    pub fn add(&self, id: SegId, entry: CatalogEntry) {
+        self.inner.write().insert(id, entry);
+    }
+
+    /// Looks a segment up.
+    pub fn get(&self, id: SegId) -> Option<CatalogEntry> {
+        self.inner.read().get(&id).copied()
+    }
+
+    /// Removes a segment (segment destruction).
+    pub fn remove(&self, id: SegId) -> Option<CatalogEntry> {
+        self.inner.write().remove(&id)
+    }
+
+    /// All registered segments, sorted.
+    pub fn list(&self) -> Vec<SegId> {
+        let mut v: Vec<SegId> = self.inner.read().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Serialises the catalog (stored in the database's root structures).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let inner = self.inner.read();
+        let mut ids: Vec<&SegId> = inner.keys().collect();
+        ids.sort_unstable();
+        let mut out = Vec::new();
+        out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        for id in ids {
+            let e = &inner[id];
+            out.extend_from_slice(&id.area.to_le_bytes());
+            out.extend_from_slice(&id.start_page.to_le_bytes());
+            out.extend_from_slice(&e.slotted.pages.to_le_bytes());
+            out.extend_from_slice(&e.slot_cap.to_le_bytes());
+            out.extend_from_slice(&e.ref_cap.to_le_bytes());
+        }
+        out
+    }
+
+    /// Restores a catalog serialised by [`Self::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Option<SegmentCatalog> {
+        let mut pos = 0usize;
+        let rd_u32 = |data: &[u8], pos: &mut usize| -> Option<u32> {
+            let end = *pos + 4;
+            let v = u32::from_le_bytes(data.get(*pos..end)?.try_into().ok()?);
+            *pos = end;
+            Some(v)
+        };
+        let rd_u64 = |data: &[u8], pos: &mut usize| -> Option<u64> {
+            let end = *pos + 8;
+            let v = u64::from_le_bytes(data.get(*pos..end)?.try_into().ok()?);
+            *pos = end;
+            Some(v)
+        };
+        let count = rd_u32(data, &mut pos)?;
+        let mut map = HashMap::new();
+        for _ in 0..count {
+            let area = rd_u32(data, &mut pos)?;
+            let start_page = rd_u64(data, &mut pos)?;
+            let pages = rd_u32(data, &mut pos)?;
+            let slot_cap = rd_u32(data, &mut pos)?;
+            let ref_cap = rd_u32(data, &mut pos)?;
+            let id = SegId { area, start_page };
+            map.insert(
+                id,
+                CatalogEntry {
+                    slotted: DiskPtr {
+                        area: bess_storage::AreaId(area),
+                        start_page,
+                        pages,
+                    },
+                    slot_cap,
+                    ref_cap,
+                },
+            );
+        }
+        (pos == data.len()).then(|| SegmentCatalog {
+            inner: RwLock::new(map),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_remove() {
+        let cat = SegmentCatalog::new();
+        let id = SegId {
+            area: 1,
+            start_page: 10,
+        };
+        let entry = CatalogEntry {
+            slotted: DiskPtr {
+                area: bess_storage::AreaId(1),
+                start_page: 10,
+                pages: 2,
+            },
+            slot_cap: 100,
+            ref_cap: 16,
+        };
+        cat.add(id, entry);
+        assert_eq!(cat.get(id), Some(entry));
+        assert_eq!(cat.list(), vec![id]);
+        assert_eq!(cat.remove(id), Some(entry));
+        assert_eq!(cat.get(id), None);
+    }
+
+    #[test]
+    fn serialisation_round_trip() {
+        let cat = SegmentCatalog::new();
+        for i in 0..5u32 {
+            let id = SegId {
+                area: i,
+                start_page: u64::from(i) * 100,
+            };
+            cat.add(
+                id,
+                CatalogEntry {
+                    slotted: DiskPtr {
+                        area: bess_storage::AreaId(i),
+                        start_page: u64::from(i) * 100,
+                        pages: i + 1,
+                    },
+                    slot_cap: 10 * i,
+                    ref_cap: i,
+                },
+            );
+        }
+        let bytes = cat.to_bytes();
+        let back = SegmentCatalog::from_bytes(&bytes).unwrap();
+        assert_eq!(back.list(), cat.list());
+        for id in cat.list() {
+            assert_eq!(back.get(id), cat.get(id));
+        }
+    }
+
+    #[test]
+    fn bad_bytes_rejected() {
+        assert!(SegmentCatalog::from_bytes(&[9]).is_none());
+    }
+}

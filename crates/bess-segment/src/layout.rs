@@ -1,0 +1,521 @@
+//! In-memory/on-disk layout of object segments (Figure 1 of the paper).
+//!
+//! An object segment's **slotted segment** is a header followed by an array
+//! of fixed-size slots (object headers) and a table of reference bases. The
+//! layout is identical on disk and in memory — the segment is mapped, not
+//! unmarshalled — except that `DP` and reference fields hold virtual
+//! addresses that are *fixed up* when the segment is mapped (§2.1).
+//!
+//! ```text
+//! +--------------------+  base
+//! |  header (96 B)     |
+//! +--------------------+  base + HDR_SIZE
+//! |  slot 0 (40 B)     |   object headers: TP, DP, size, uniq, flags
+//! |  slot 1            |
+//! |  ...               |
+//! +--------------------+  base + HDR_SIZE + slot_cap * SLOT_SIZE
+//! |  ref table (24 B/e)|   (target SegId, base its refs were written at)
+//! +--------------------+
+//! ```
+
+use bess_storage::DiskPtr;
+use bess_vm::{AddressSpace, VAddr, VmResult};
+
+use crate::oid::SegId;
+use crate::types::TypeId;
+
+/// Magic identifying an initialised slotted segment.
+pub const SEG_MAGIC: u32 = 0x42534547; // "BSEG"
+/// Bytes of the fixed header.
+pub const HDR_SIZE: u64 = 96;
+/// Bytes per slot (object header).
+pub const SLOT_SIZE: u64 = 40;
+/// Bytes per reference-table entry.
+pub const REF_ENTRY_SIZE: u64 = 24;
+/// Sentinel for "no free slot".
+pub const NO_SLOT: u32 = u32::MAX;
+
+// Header field offsets.
+const OFF_MAGIC: u64 = 0;
+const OFF_SLOT_CAP: u64 = 8;
+const OFF_NUM_SLOTS: u64 = 12;
+const OFF_FREE_HEAD: u64 = 16;
+const OFF_LIVE: u64 = 20;
+const OFF_DATA_USED: u64 = 24;
+const OFF_LAST_DATA_BASE: u64 = 40;
+const OFF_DATA_AREA: u64 = 48;
+const OFF_DATA_PAGES: u64 = 52;
+const OFF_DATA_START: u64 = 56;
+const OFF_OVF_AREA: u64 = 64;
+const OFF_OVF_PAGES: u64 = 68;
+const OFF_OVF_START: u64 = 72;
+const OFF_OVF_USED: u64 = 80;
+const OFF_REF_COUNT: u64 = 84;
+
+// Slot field offsets.
+const SOFF_FLAGS: u64 = 0;
+const SOFF_TYPE: u64 = 4;
+const SOFF_UNIQ: u64 = 8;
+const SOFF_SIZE: u64 = 12;
+const SOFF_DP: u64 = 16;
+const SOFF_AUX0: u64 = 24;
+const SOFF_AUX1: u64 = 32;
+
+/// What a slot holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotKind {
+    /// A small object living in the data segment.
+    Small,
+    /// A fixed-size large object (≤ 64 KB) with its own disk segment,
+    /// accessed transparently through a reserved range (§2.1).
+    BigFixed,
+    /// A very large object: an EOS tree whose descriptor lives in the
+    /// overflow segment; accessed through the class interface.
+    Huge,
+    /// A forward object holding the address of an object in another
+    /// database (§2.1 inter-database references).
+    Forward,
+}
+
+impl SlotKind {
+    fn to_bits(self) -> u32 {
+        match self {
+            SlotKind::Small => 0,
+            SlotKind::BigFixed => 1,
+            SlotKind::Huge => 2,
+            SlotKind::Forward => 3,
+        }
+    }
+
+    fn from_bits(bits: u32) -> SlotKind {
+        match bits {
+            0 => SlotKind::Small,
+            1 => SlotKind::BigFixed,
+            2 => SlotKind::Huge,
+            _ => SlotKind::Forward,
+        }
+    }
+}
+
+const FLAG_USED: u32 = 1;
+
+/// A decoded object header (slot).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slot {
+    /// Whether the slot holds a live object.
+    pub used: bool,
+    /// What the slot describes.
+    pub kind: SlotKind,
+    /// The object's type (TP).
+    pub type_id: TypeId,
+    /// OID uniquifier, bumped on reuse.
+    pub uniq: u32,
+    /// Object size in bytes.
+    pub size: u32,
+    /// Data pointer (DP): virtual address of the object's data. For free
+    /// slots this is the next free slot index.
+    pub dp: u64,
+    /// Kind-specific: BigFixed packs `(area, pages)`, Huge packs the
+    /// overflow `(offset, len)` of its descriptor, Forward packs the remote
+    /// `(host, db)`.
+    pub aux0: u64,
+    /// Kind-specific: BigFixed holds `start_page`; Huge unused; Forward
+    /// packs the remote slot/uniq.
+    pub aux1: u64,
+}
+
+impl Slot {
+    /// A fresh, unused slot.
+    pub fn free(next_free: u32, uniq: u32) -> Slot {
+        Slot {
+            used: false,
+            kind: SlotKind::Small,
+            type_id: TypeId(0),
+            uniq,
+            size: 0,
+            dp: u64::from(next_free),
+            aux0: 0,
+            aux1: 0,
+        }
+    }
+}
+
+/// A reference-table entry: refs in this segment's data segment aimed at
+/// `target` were written while `target`'s slotted segment was mapped at
+/// `base`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RefEntry {
+    /// The referenced segment.
+    pub target: SegId,
+    /// The virtual base its slot addresses were expressed against.
+    pub base: u64,
+}
+
+/// Typed accessors over a mapped slotted segment.
+///
+/// All accesses are *trusted* (protection-ignoring) — callers are the BeSS
+/// engine itself, which manages protection explicitly around updates
+/// (§2.2). User code never sees this type; it reaches objects through the
+/// faulting path.
+#[derive(Clone, Copy)]
+pub struct SlottedView<'a> {
+    space: &'a AddressSpace,
+    base: VAddr,
+}
+
+impl<'a> SlottedView<'a> {
+    /// Creates a view of the slotted segment mapped at `base`.
+    pub fn new(space: &'a AddressSpace, base: VAddr) -> Self {
+        SlottedView { space, base }
+    }
+
+    fn rd_u32(&self, off: u64) -> VmResult<u32> {
+        let mut b = [0u8; 4];
+        self.space.read_unchecked(self.base.add(off), &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn rd_u64(&self, off: u64) -> VmResult<u64> {
+        let mut b = [0u8; 8];
+        self.space.read_unchecked(self.base.add(off), &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn wr_u32(&self, off: u64, v: u32) -> VmResult<()> {
+        self.space.write_unchecked(self.base.add(off), &v.to_le_bytes())
+    }
+
+    fn wr_u64(&self, off: u64, v: u64) -> VmResult<()> {
+        self.space.write_unchecked(self.base.add(off), &v.to_le_bytes())
+    }
+
+    /// Whether the header carries the segment magic (an uninitialised
+    /// segment reads as zeroes).
+    pub fn is_initialised(&self) -> VmResult<bool> {
+        Ok(self.rd_u32(OFF_MAGIC)? == SEG_MAGIC)
+    }
+
+    /// Writes the magic, marking the segment initialised.
+    pub fn set_initialised(&self) -> VmResult<()> {
+        self.wr_u32(OFF_MAGIC, SEG_MAGIC)
+    }
+
+    /// Slot capacity.
+    pub fn slot_cap(&self) -> VmResult<u32> {
+        self.rd_u32(OFF_SLOT_CAP)
+    }
+    /// Sets the slot capacity.
+    pub fn set_slot_cap(&self, v: u32) -> VmResult<()> {
+        self.wr_u32(OFF_SLOT_CAP, v)
+    }
+    /// High-water mark of slots ever used.
+    pub fn num_slots(&self) -> VmResult<u32> {
+        self.rd_u32(OFF_NUM_SLOTS)
+    }
+    /// Sets the slot high-water mark.
+    pub fn set_num_slots(&self, v: u32) -> VmResult<()> {
+        self.wr_u32(OFF_NUM_SLOTS, v)
+    }
+    /// Head of the free-slot list ([`NO_SLOT`] if empty).
+    pub fn free_head(&self) -> VmResult<u32> {
+        self.rd_u32(OFF_FREE_HEAD)
+    }
+    /// Sets the free-slot list head.
+    pub fn set_free_head(&self, v: u32) -> VmResult<()> {
+        self.wr_u32(OFF_FREE_HEAD, v)
+    }
+    /// Number of live objects.
+    pub fn live_objects(&self) -> VmResult<u32> {
+        self.rd_u32(OFF_LIVE)
+    }
+    /// Sets the live-object count.
+    pub fn set_live_objects(&self, v: u32) -> VmResult<()> {
+        self.wr_u32(OFF_LIVE, v)
+    }
+    /// Bytes consumed in the data segment (bump allocator).
+    pub fn data_used(&self) -> VmResult<u32> {
+        self.rd_u32(OFF_DATA_USED)
+    }
+    /// Sets the data-bytes-used counter.
+    pub fn set_data_used(&self, v: u32) -> VmResult<()> {
+        self.wr_u32(OFF_DATA_USED, v)
+    }
+    /// The virtual base the data segment was mapped at last time — the DP
+    /// fixup of §2.1 subtracts this and adds the new base.
+    pub fn last_data_base(&self) -> VmResult<u64> {
+        self.rd_u64(OFF_LAST_DATA_BASE)
+    }
+    /// Records the data segment's current virtual base.
+    pub fn set_last_data_base(&self, v: u64) -> VmResult<()> {
+        self.wr_u64(OFF_LAST_DATA_BASE, v)
+    }
+
+    /// The data segment's disk location.
+    pub fn data_ptr(&self) -> VmResult<DiskPtr> {
+        Ok(DiskPtr {
+            area: bess_storage::AreaId(self.rd_u32(OFF_DATA_AREA)?),
+            pages: self.rd_u32(OFF_DATA_PAGES)?,
+            start_page: self.rd_u64(OFF_DATA_START)?,
+        })
+    }
+
+    /// Sets the data segment's disk location (resize/relocation, §2.1).
+    pub fn set_data_ptr(&self, ptr: DiskPtr) -> VmResult<()> {
+        self.wr_u32(OFF_DATA_AREA, ptr.area.0)?;
+        self.wr_u32(OFF_DATA_PAGES, ptr.pages)?;
+        self.wr_u64(OFF_DATA_START, ptr.start_page)
+    }
+
+    /// The overflow segment's disk location (`pages == 0` means none).
+    pub fn overflow_ptr(&self) -> VmResult<Option<DiskPtr>> {
+        let pages = self.rd_u32(OFF_OVF_PAGES)?;
+        if pages == 0 {
+            return Ok(None);
+        }
+        Ok(Some(DiskPtr {
+            area: bess_storage::AreaId(self.rd_u32(OFF_OVF_AREA)?),
+            pages,
+            start_page: self.rd_u64(OFF_OVF_START)?,
+        }))
+    }
+
+    /// Sets the overflow segment's disk location.
+    pub fn set_overflow_ptr(&self, ptr: Option<DiskPtr>) -> VmResult<()> {
+        match ptr {
+            Some(p) => {
+                self.wr_u32(OFF_OVF_AREA, p.area.0)?;
+                self.wr_u32(OFF_OVF_PAGES, p.pages)?;
+                self.wr_u64(OFF_OVF_START, p.start_page)
+            }
+            None => {
+                self.wr_u32(OFF_OVF_AREA, 0)?;
+                self.wr_u32(OFF_OVF_PAGES, 0)?;
+                self.wr_u64(OFF_OVF_START, 0)
+            }
+        }
+    }
+
+    /// Bytes consumed in the overflow segment.
+    pub fn overflow_used(&self) -> VmResult<u32> {
+        self.rd_u32(OFF_OVF_USED)
+    }
+    /// Sets the overflow-bytes-used counter.
+    pub fn set_overflow_used(&self, v: u32) -> VmResult<()> {
+        self.wr_u32(OFF_OVF_USED, v)
+    }
+
+    /// The virtual address of slot `i`'s header — what object references
+    /// point at.
+    pub fn slot_addr(&self, i: u32) -> VAddr {
+        self.base.add(HDR_SIZE + u64::from(i) * SLOT_SIZE)
+    }
+
+    /// The slot index whose header sits at `addr`, if `addr` is a valid
+    /// slot address for a segment of `slot_cap` slots.
+    pub fn slot_of_addr(&self, addr: VAddr, slot_cap: u32) -> Option<u32> {
+        let delta = addr.raw().checked_sub(self.base.add(HDR_SIZE).raw())?;
+        if delta % SLOT_SIZE != 0 {
+            return None;
+        }
+        let i = delta / SLOT_SIZE;
+        (i < u64::from(slot_cap)).then_some(i as u32)
+    }
+
+    /// Reads slot `i`.
+    pub fn slot(&self, i: u32) -> VmResult<Slot> {
+        let s = self.slot_addr(i);
+        let mut b = [0u8; SLOT_SIZE as usize];
+        self.space.read_unchecked(s, &mut b)?;
+        let flags = u32::from_le_bytes(b[SOFF_FLAGS as usize..4].try_into().unwrap());
+        Ok(Slot {
+            used: flags & FLAG_USED != 0,
+            kind: SlotKind::from_bits((flags >> 8) & 0xFF),
+            type_id: TypeId(u32::from_le_bytes(
+                b[SOFF_TYPE as usize..8].try_into().unwrap(),
+            )),
+            uniq: u32::from_le_bytes(b[SOFF_UNIQ as usize..12].try_into().unwrap()),
+            size: u32::from_le_bytes(b[SOFF_SIZE as usize..16].try_into().unwrap()),
+            dp: u64::from_le_bytes(b[SOFF_DP as usize..24].try_into().unwrap()),
+            aux0: u64::from_le_bytes(b[SOFF_AUX0 as usize..32].try_into().unwrap()),
+            aux1: u64::from_le_bytes(b[SOFF_AUX1 as usize..40].try_into().unwrap()),
+        })
+    }
+
+    /// Writes slot `i`.
+    pub fn set_slot(&self, i: u32, slot: Slot) -> VmResult<()> {
+        let mut b = [0u8; SLOT_SIZE as usize];
+        let flags =
+            (if slot.used { FLAG_USED } else { 0 }) | (slot.kind.to_bits() << 8);
+        b[0..4].copy_from_slice(&flags.to_le_bytes());
+        b[4..8].copy_from_slice(&slot.type_id.0.to_le_bytes());
+        b[8..12].copy_from_slice(&slot.uniq.to_le_bytes());
+        b[12..16].copy_from_slice(&slot.size.to_le_bytes());
+        b[16..24].copy_from_slice(&slot.dp.to_le_bytes());
+        b[24..32].copy_from_slice(&slot.aux0.to_le_bytes());
+        b[32..40].copy_from_slice(&slot.aux1.to_le_bytes());
+        self.space.write_unchecked(self.slot_addr(i), &b)
+    }
+
+    /// Writes only slot `i`'s DP field (the two-arithmetic-ops fixup).
+    pub fn set_slot_dp(&self, i: u32, dp: u64) -> VmResult<()> {
+        self.space
+            .write_unchecked(self.slot_addr(i).add(SOFF_DP), &dp.to_le_bytes())
+    }
+
+    // ---- reference table ----------------------------------------------
+
+    fn ref_table_base(&self, slot_cap: u32) -> VAddr {
+        self.base
+            .add(HDR_SIZE + u64::from(slot_cap) * SLOT_SIZE)
+    }
+
+    /// Reads the reference table.
+    pub fn ref_table(&self) -> VmResult<Vec<RefEntry>> {
+        let slot_cap = self.slot_cap()?;
+        let count = self.rd_u32(OFF_REF_COUNT)?;
+        let base = self.ref_table_base(slot_cap);
+        let mut out = Vec::with_capacity(count as usize);
+        for i in 0..u64::from(count) {
+            let mut b = [0u8; REF_ENTRY_SIZE as usize];
+            self.space
+                .read_unchecked(base.add(i * REF_ENTRY_SIZE), &mut b)?;
+            out.push(RefEntry {
+                target: SegId {
+                    area: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+                    start_page: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+                },
+                base: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Writes the reference table.
+    pub fn set_ref_table(&self, entries: &[RefEntry]) -> VmResult<()> {
+        let slot_cap = self.slot_cap()?;
+        let base = self.ref_table_base(slot_cap);
+        for (i, e) in entries.iter().enumerate() {
+            let mut b = [0u8; REF_ENTRY_SIZE as usize];
+            b[0..4].copy_from_slice(&e.target.area.to_le_bytes());
+            b[8..16].copy_from_slice(&e.target.start_page.to_le_bytes());
+            b[16..24].copy_from_slice(&e.base.to_le_bytes());
+            self.space
+                .write_unchecked(base.add(i as u64 * REF_ENTRY_SIZE), &b)?;
+        }
+        self.wr_u32(OFF_REF_COUNT, entries.len() as u32)
+    }
+}
+
+/// Pages needed for a slotted segment of `slot_cap` slots with room for
+/// `ref_cap` reference-table entries.
+pub fn slotted_pages(slot_cap: u32, ref_cap: u32, page_size: usize) -> u32 {
+    let bytes =
+        HDR_SIZE + u64::from(slot_cap) * SLOT_SIZE + u64::from(ref_cap) * REF_ENTRY_SIZE;
+    bytes.div_ceil(page_size as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bess_vm::Protect;
+
+    fn space_with_seg() -> (AddressSpace, VAddr) {
+        let space = AddressSpace::new();
+        let range = space.alloc_anon(8192, Protect::ReadWrite);
+        (space, range.start())
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let (space, base) = space_with_seg();
+        let v = SlottedView::new(&space, base);
+        assert!(!v.is_initialised().unwrap());
+        v.set_initialised().unwrap();
+        v.set_slot_cap(64).unwrap();
+        v.set_num_slots(3).unwrap();
+        v.set_free_head(NO_SLOT).unwrap();
+        v.set_data_used(1234).unwrap();
+        v.set_last_data_base(0xAB000).unwrap();
+        let dp = DiskPtr {
+            area: bess_storage::AreaId(2),
+            start_page: 77,
+            pages: 8,
+        };
+        v.set_data_ptr(dp).unwrap();
+        assert!(v.is_initialised().unwrap());
+        assert_eq!(v.slot_cap().unwrap(), 64);
+        assert_eq!(v.num_slots().unwrap(), 3);
+        assert_eq!(v.free_head().unwrap(), NO_SLOT);
+        assert_eq!(v.data_used().unwrap(), 1234);
+        assert_eq!(v.last_data_base().unwrap(), 0xAB000);
+        assert_eq!(v.data_ptr().unwrap(), dp);
+        assert_eq!(v.overflow_ptr().unwrap(), None);
+    }
+
+    #[test]
+    fn slot_round_trip() {
+        let (space, base) = space_with_seg();
+        let v = SlottedView::new(&space, base);
+        v.set_slot_cap(16).unwrap();
+        let slot = Slot {
+            used: true,
+            kind: SlotKind::BigFixed,
+            type_id: TypeId(9),
+            uniq: 3,
+            size: 4096,
+            dp: 0xCAFE_0000,
+            aux0: 42,
+            aux1: 99,
+        };
+        v.set_slot(5, slot).unwrap();
+        assert_eq!(v.slot(5).unwrap(), slot);
+        v.set_slot_dp(5, 0xBEEF_0000).unwrap();
+        assert_eq!(v.slot(5).unwrap().dp, 0xBEEF_0000);
+        // Neighbouring slot untouched.
+        assert!(!v.slot(4).unwrap().used);
+    }
+
+    #[test]
+    fn slot_addr_round_trip() {
+        let (space, base) = space_with_seg();
+        let v = SlottedView::new(&space, base);
+        let addr = v.slot_addr(7);
+        assert_eq!(v.slot_of_addr(addr, 16), Some(7));
+        assert_eq!(v.slot_of_addr(addr.add(1), 16), None, "misaligned");
+        assert_eq!(v.slot_of_addr(v.slot_addr(16), 16), None, "past cap");
+    }
+
+    #[test]
+    fn ref_table_round_trip() {
+        let (space, base) = space_with_seg();
+        let v = SlottedView::new(&space, base);
+        v.set_slot_cap(8).unwrap();
+        let entries = vec![
+            RefEntry {
+                target: SegId {
+                    area: 1,
+                    start_page: 100,
+                },
+                base: 0x10000,
+            },
+            RefEntry {
+                target: SegId {
+                    area: 2,
+                    start_page: 200,
+                },
+                base: 0x20000,
+            },
+        ];
+        v.set_ref_table(&entries).unwrap();
+        assert_eq!(v.ref_table().unwrap(), entries);
+        v.set_ref_table(&entries[..1]).unwrap();
+        assert_eq!(v.ref_table().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn slotted_pages_math() {
+        assert_eq!(slotted_pages(16, 8, 4096), 1);
+        // 96 + 200*40 + 16*24 = 8480 -> 3 pages
+        assert_eq!(slotted_pages(200, 16, 4096), 3);
+    }
+}

@@ -1,0 +1,691 @@
+//! # bess-segment — object segments, fast references, and swizzling
+//!
+//! The core contribution of "A High Performance Configurable Storage
+//! Manager" (Biliris & Panagos, ICDE 1995), §2: object segments split into
+//! a **slotted segment** (object headers — never relocated, write-protected)
+//! and a **data segment** (object bytes — freely compacted, resized, or
+//! moved between storage areas without invalidating a single reference),
+//! plus an optional **overflow segment** for large-object descriptors.
+//!
+//! Inter-object references are virtual addresses of *slots*; dereference is
+//! a plain protected load. Faults drive the three waves of §2.1:
+//! reservation, slotted load (+ two-arithmetic-op DP fixups), data load
+//! (+ type-descriptor-guided swizzling). Update detection (§2.3) and
+//! stray-pointer protection (§2.2) ride the same mechanism.
+//!
+//! See [`SegmentManager`] for the entry point.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod catalog;
+mod layout;
+mod manager;
+mod oid;
+mod types;
+
+pub use catalog::{CatalogEntry, SegmentCatalog};
+pub use layout::{
+    slotted_pages, RefEntry, Slot, SlotKind, SlottedView, HDR_SIZE, NO_SLOT, REF_ENTRY_SIZE,
+    SEG_MAGIC, SLOT_SIZE,
+};
+pub use manager::{
+    ObjInfo, ObjRef, ProtectionPolicy, SegError, SegResult, SegStats, SegStatsSnapshot,
+    SegmentManager, WriteObserver,
+};
+pub use oid::{Oid, SegId};
+pub use types::{TypeDesc, TypeId, TypeRegistry, TYPE_BYTES};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bess_cache::{AreaSet, DbPage, PageIo, PrivatePool};
+    use bess_storage::{AreaConfig, AreaId, StorageArea};
+    use bess_vm::{AddressSpace, VmError};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    struct Env {
+        areas: Arc<AreaSet>,
+        types: Arc<TypeRegistry>,
+        catalog: Arc<SegmentCatalog>,
+        mgr: Arc<SegmentManager>,
+    }
+
+    fn fresh_env() -> Env {
+        let areas = Arc::new(AreaSet::new());
+        areas.add(Arc::new(
+            StorageArea::create_mem(AreaId(0), AreaConfig::default()).unwrap(),
+        ));
+        areas.add(Arc::new(
+            StorageArea::create_mem(AreaId(1), AreaConfig::default()).unwrap(),
+        ));
+        let types = Arc::new(TypeRegistry::new());
+        let catalog = Arc::new(SegmentCatalog::new());
+        Env {
+            mgr: make_mgr(&areas, &types, &catalog, ProtectionPolicy::Protected, 512),
+            areas,
+            types,
+            catalog,
+        }
+    }
+
+    fn make_mgr(
+        areas: &Arc<AreaSet>,
+        types: &Arc<TypeRegistry>,
+        catalog: &Arc<SegmentCatalog>,
+        policy: ProtectionPolicy,
+        pool_frames: usize,
+    ) -> Arc<SegmentManager> {
+        let space = Arc::new(AddressSpace::new());
+        let pool = Arc::new(PrivatePool::new(
+            Arc::clone(&space),
+            Arc::clone(areas) as Arc<dyn PageIo>,
+            pool_frames,
+        ));
+        SegmentManager::new(
+            space,
+            pool,
+            Arc::clone(areas) as Arc<dyn bess_storage::DiskSpace>,
+            Arc::clone(types),
+            Arc::clone(catalog),
+            policy,
+            1,
+            1,
+        )
+    }
+
+    /// Flush the current manager and start a new "process" (mapping epoch)
+    /// over the same storage.
+    fn new_epoch(env: &Env) -> Arc<SegmentManager> {
+        env.mgr.flush_all();
+        make_mgr(
+            &env.areas,
+            &env.types,
+            &env.catalog,
+            ProtectionPolicy::Protected,
+            512,
+        )
+    }
+
+    #[test]
+    fn create_and_read_object() {
+        let env = fresh_env();
+        let seg = env.mgr.create_segment(0, 64, 4).unwrap();
+        let obj = env.mgr.create_object(seg, TYPE_BYTES, 32).unwrap();
+        env.mgr.write_object(obj.addr, 0, b"hello objects").unwrap();
+        let data = env.mgr.read_object(obj.addr).unwrap();
+        assert_eq!(&data[..13], b"hello objects");
+        assert_eq!(env.mgr.live_objects(seg).unwrap(), 1);
+    }
+
+    #[test]
+    fn object_survives_epoch_change() {
+        let env = fresh_env();
+        let seg = env.mgr.create_segment(0, 64, 4).unwrap();
+        let obj = env.mgr.create_object(seg, TYPE_BYTES, 16).unwrap();
+        env.mgr.write_object(obj.addr, 0, b"durable").unwrap();
+
+        let mgr2 = new_epoch(&env);
+        let addr2 = mgr2.resolve_oid(obj.oid).unwrap();
+        let data = mgr2.read_object(addr2).unwrap();
+        assert_eq!(&data[..7], b"durable");
+        // The three waves ran: one reservation, one slotted load, one data
+        // load.
+        let s = mgr2.stats().snapshot();
+        assert_eq!(s.slotted_reserved, 1);
+        assert_eq!(s.slotted_loads, 1);
+        assert_eq!(s.data_loads, 1);
+        assert!(s.dp_fixups >= 1);
+    }
+
+    #[test]
+    fn references_swizzle_across_epochs() {
+        let env = fresh_env();
+        let person = env.types.register(TypeDesc {
+            name: "Person".into(),
+            size: 24,
+            ref_offsets: vec![16], // one ref at offset 16
+        });
+        let seg = env.mgr.create_segment(0, 64, 4).unwrap();
+        let alice = env.mgr.create_object(seg, person, 24).unwrap();
+        let bob = env.mgr.create_object(seg, person, 24).unwrap();
+        env.mgr.write_object(alice.addr, 0, b"alice").unwrap();
+        env.mgr.write_object(bob.addr, 0, b"bob").unwrap();
+        env.mgr.store_ref(alice.addr, 16, Some(bob.addr)).unwrap();
+
+        // Follow the reference in this epoch.
+        let t = env.mgr.load_ref(alice.addr, 16).unwrap().unwrap();
+        assert_eq!(t, bob.addr);
+
+        // New epoch: addresses all change; the swizzler must fix the ref.
+        let mgr2 = new_epoch(&env);
+        let alice2 = mgr2.resolve_oid(alice.oid).unwrap();
+        let bob_addr = mgr2.load_ref(alice2, 16).unwrap().unwrap();
+        let data = mgr2.read_object(bob_addr).unwrap();
+        assert_eq!(&data[..3], b"bob");
+        assert!(mgr2.stats().snapshot().refs_swizzled >= 1);
+        assert_eq!(mgr2.stats().snapshot().refs_unresolved, 0);
+    }
+
+    #[test]
+    fn cross_segment_references_trigger_wave1() {
+        let env = fresh_env();
+        let node = env.types.register(TypeDesc {
+            name: "Node".into(),
+            size: 16,
+            ref_offsets: vec![8],
+        });
+        let seg_a = env.mgr.create_segment(0, 16, 2).unwrap();
+        let seg_b = env.mgr.create_segment(0, 16, 2).unwrap();
+        let a = env.mgr.create_object(seg_a, node, 16).unwrap();
+        let b = env.mgr.create_object(seg_b, node, 16).unwrap();
+        env.mgr.write_object(b.addr, 0, b"targetB!").unwrap();
+        env.mgr.store_ref(a.addr, 8, Some(b.addr)).unwrap();
+
+        let mgr2 = new_epoch(&env);
+        let a2 = mgr2.resolve_oid(a.oid).unwrap();
+        let before = mgr2.stats().snapshot();
+        // Reading A's data segment swizzles the ref to B, reserving B's
+        // slotted range (wave 1) without loading it.
+        let b_addr = mgr2.load_ref(a2, 8).unwrap().unwrap();
+        let mid = mgr2.stats().snapshot();
+        assert_eq!(mid.slotted_reserved - before.slotted_reserved, 1);
+        // Only dereferencing B loads it (wave 2 + 3).
+        let data = mgr2.read_object(b_addr).unwrap();
+        assert_eq!(&data[..8], b"targetB!");
+        let after = mgr2.stats().snapshot();
+        assert_eq!(after.slotted_loads, 2); // A and B
+    }
+
+    #[test]
+    fn stray_write_into_slotted_segment_is_caught() {
+        let env = fresh_env();
+        let seg = env.mgr.create_segment(0, 16, 2).unwrap();
+        let obj = env.mgr.create_object(seg, TYPE_BYTES, 8).unwrap();
+        // A stray user write aimed at the object *header* (slot) — the
+        // §2.2 scenario — must be denied by the protection hardware.
+        let err = env.mgr.space().write_u64(obj.addr, 0xBAD).unwrap_err();
+        assert!(matches!(err, VmError::ProtectionViolation { .. }));
+        assert!(env.mgr.stats().snapshot().stray_writes_denied >= 1);
+        // The object is intact.
+        assert!(env.mgr.deref(obj.addr).is_ok());
+    }
+
+    #[test]
+    fn unprotected_policy_allows_the_same_write() {
+        let env = fresh_env();
+        let mgr = make_mgr(
+            &env.areas,
+            &env.types,
+            &env.catalog,
+            ProtectionPolicy::Unprotected,
+            512,
+        );
+        let seg = mgr.create_segment(0, 16, 2).unwrap();
+        let obj = mgr.create_object(seg, TYPE_BYTES, 8).unwrap();
+        // With protection off the stray write silently corrupts — the
+        // baseline the paper argues against.
+        mgr.space().write_u64(obj.addr, 0xBAD).unwrap();
+        assert_eq!(mgr.stats().snapshot().stray_writes_denied, 0);
+    }
+
+    #[test]
+    fn update_detection_fires_once_per_page() {
+        let env = fresh_env();
+        let seg = env.mgr.create_segment(0, 16, 2).unwrap();
+        let obj = env.mgr.create_object(seg, TYPE_BYTES, 64).unwrap();
+
+        struct Recorder(Mutex<Vec<DbPage>>);
+        impl WriteObserver for Recorder {
+            fn on_first_write(&self, page: DbPage) -> Result<(), String> {
+                self.0.lock().push(page);
+                Ok(())
+            }
+        }
+        // New epoch so data pages start protected.
+        env.mgr.flush_all();
+        let mgr2 = new_epoch(&env);
+        let rec = Arc::new(Recorder(Mutex::new(Vec::new())));
+        mgr2.set_write_observer(Some(Arc::clone(&rec) as Arc<dyn WriteObserver>));
+        let addr = mgr2.resolve_oid(obj.oid).unwrap();
+        mgr2.write_object(addr, 0, b"x").unwrap();
+        mgr2.write_object(addr, 1, b"y").unwrap(); // same page: no new trap
+        assert_eq!(rec.0.lock().len(), 1, "one detection per page");
+    }
+
+    #[test]
+    fn delete_reuses_slot_and_stales_oid() {
+        let env = fresh_env();
+        let seg = env.mgr.create_segment(0, 4, 2).unwrap();
+        let a = env.mgr.create_object(seg, TYPE_BYTES, 8).unwrap();
+        env.mgr.delete_object(a.addr).unwrap();
+        assert!(matches!(
+            env.mgr.resolve_oid(a.oid),
+            Err(SegError::StaleOid(_))
+        ));
+        let b = env.mgr.create_object(seg, TYPE_BYTES, 8).unwrap();
+        // Slot reused with a bumped uniquifier.
+        assert_eq!(b.addr, a.addr);
+        assert_ne!(b.oid.uniq, a.oid.uniq);
+        assert!(env.mgr.resolve_oid(b.oid).is_ok());
+        assert!(matches!(
+            env.mgr.resolve_oid(a.oid),
+            Err(SegError::StaleOid(_))
+        ));
+    }
+
+    #[test]
+    fn segment_full() {
+        let env = fresh_env();
+        let seg = env.mgr.create_segment(0, 2, 2).unwrap();
+        env.mgr.create_object(seg, TYPE_BYTES, 8).unwrap();
+        env.mgr.create_object(seg, TYPE_BYTES, 8).unwrap();
+        assert!(matches!(
+            env.mgr.create_object(seg, TYPE_BYTES, 8),
+            Err(SegError::SegmentFull(_))
+        ));
+    }
+
+    #[test]
+    fn data_segment_grows_on_demand() {
+        let env = fresh_env();
+        let seg = env.mgr.create_segment(0, 64, 1).unwrap(); // 1 data page
+        let mut objs = Vec::new();
+        for i in 0..10 {
+            // 10 * 1000 bytes > 1 page: forces growth.
+            let o = env.mgr.create_object(seg, TYPE_BYTES, 1000).unwrap();
+            env.mgr
+                .write_object(o.addr, 0, format!("obj{i}").as_bytes())
+                .unwrap();
+            objs.push(o);
+        }
+        for (i, o) in objs.iter().enumerate() {
+            let data = env.mgr.read_object(o.addr).unwrap();
+            assert_eq!(&data[..4], format!("obj{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn move_data_segment_preserves_references() {
+        let env = fresh_env();
+        let node = env.types.register(TypeDesc {
+            name: "N2".into(),
+            size: 16,
+            ref_offsets: vec![8],
+        });
+        let seg = env.mgr.create_segment(0, 16, 2).unwrap();
+        let a = env.mgr.create_object(seg, node, 16).unwrap();
+        let b = env.mgr.create_object(seg, node, 16).unwrap();
+        env.mgr.write_object(b.addr, 0, b"moved ok").unwrap();
+        env.mgr.store_ref(a.addr, 8, Some(b.addr)).unwrap();
+
+        // Move the data segment to another storage area (§2.1 federated
+        // reorganisation). References keep working, same epoch.
+        env.mgr.move_data_segment(seg, 1).unwrap();
+        let b_addr = env.mgr.load_ref(a.addr, 8).unwrap().unwrap();
+        assert_eq!(b_addr, b.addr, "references unchanged");
+        assert_eq!(&env.mgr.read_object(b_addr).unwrap()[..8], b"moved ok");
+
+        // And across an epoch.
+        let mgr2 = new_epoch(&env);
+        let a2 = mgr2.resolve_oid(a.oid).unwrap();
+        let b2 = mgr2.load_ref(a2, 8).unwrap().unwrap();
+        assert_eq!(&mgr2.read_object(b2).unwrap()[..8], b"moved ok");
+    }
+
+    #[test]
+    fn compaction_reclaims_holes_without_breaking_refs() {
+        let env = fresh_env();
+        let seg = env.mgr.create_segment(0, 64, 2).unwrap();
+        let mut objs = Vec::new();
+        for _ in 0..8 {
+            objs.push(env.mgr.create_object(seg, TYPE_BYTES, 256).unwrap());
+        }
+        // Delete every other object, leaving holes.
+        for o in objs.iter().step_by(2) {
+            env.mgr.delete_object(o.addr).unwrap();
+        }
+        for (i, o) in objs.iter().enumerate() {
+            if i % 2 == 1 {
+                env.mgr
+                    .write_object(o.addr, 0, format!("keep{i}").as_bytes())
+                    .unwrap();
+            }
+        }
+        env.mgr.compact_segment(seg).unwrap();
+        for (i, o) in objs.iter().enumerate() {
+            if i % 2 == 1 {
+                let data = env.mgr.read_object(o.addr).unwrap();
+                assert_eq!(&data[..5], format!("keep{i}").as_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn resize_data_segment() {
+        let env = fresh_env();
+        let seg = env.mgr.create_segment(0, 16, 8).unwrap();
+        let o = env.mgr.create_object(seg, TYPE_BYTES, 100).unwrap();
+        env.mgr.write_object(o.addr, 0, b"resize me").unwrap();
+        env.mgr.resize_data(seg, 1).unwrap(); // shrink 8 -> 1 page
+        assert_eq!(&env.mgr.read_object(o.addr).unwrap()[..9], b"resize me");
+    }
+
+    #[test]
+    fn big_fixed_object_round_trip() {
+        let env = fresh_env();
+        let seg = env.mgr.create_segment(0, 16, 2).unwrap();
+        let obj = env.mgr.create_big_object(seg, TYPE_BYTES, 20_000).unwrap();
+        let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        env.mgr.write_object(obj.addr, 0, &payload).unwrap();
+        assert_eq!(env.mgr.read_object(obj.addr).unwrap(), payload);
+
+        // Across an epoch the object is fetched transparently on fault.
+        let mgr2 = new_epoch(&env);
+        let addr2 = mgr2.resolve_oid(obj.oid).unwrap();
+        assert_eq!(mgr2.read_object(addr2).unwrap(), payload);
+    }
+
+    #[test]
+    fn big_object_size_limit() {
+        let env = fresh_env();
+        let seg = env.mgr.create_segment(0, 16, 2).unwrap();
+        assert!(env
+            .mgr
+            .create_big_object(seg, TYPE_BYTES, 64 * 1024 + 1)
+            .is_err());
+    }
+
+    #[test]
+    fn huge_object_via_class_interface() {
+        let env = fresh_env();
+        let seg = env.mgr.create_segment(0, 16, 2).unwrap();
+        let (obj, mut lo) = env
+            .mgr
+            .create_huge_object(seg, TYPE_BYTES, bess_largeobj::LoConfig::default())
+            .unwrap();
+        lo.append(&vec![7u8; 300_000]).unwrap();
+        lo.insert(100, b"needle").unwrap();
+        env.mgr.save_huge_object(obj.addr, &lo).unwrap();
+
+        let mgr2 = new_epoch(&env);
+        let addr2 = mgr2.resolve_oid(obj.oid).unwrap();
+        let lo2 = mgr2.open_huge_object(addr2).unwrap();
+        assert_eq!(lo2.len(), 300_006);
+        assert_eq!(lo2.read_vec(100, 6).unwrap(), b"needle");
+    }
+
+    #[test]
+    fn forward_object_holds_remote_oid() {
+        let env = fresh_env();
+        let seg = env.mgr.create_segment(0, 16, 2).unwrap();
+        let remote = Oid {
+            host: 9,
+            db: 4,
+            seg: SegId {
+                area: 2,
+                start_page: 55,
+            },
+            slot: 3,
+            uniq: 1,
+        };
+        let fwd = env.mgr.create_forward_object(seg, remote).unwrap();
+        assert_eq!(env.mgr.read_forward(fwd.addr).unwrap(), remote);
+        // Forward objects survive epochs like any object.
+        let mgr2 = new_epoch(&env);
+        let addr2 = mgr2.resolve_oid(fwd.oid).unwrap();
+        assert_eq!(mgr2.read_forward(addr2).unwrap(), remote);
+    }
+
+    #[test]
+    fn lazy_reservation_is_less_greedy_than_loading() {
+        // Touching one object in a graph of segments reserves only the
+        // directly-referenced segments and loads only what is touched.
+        let env = fresh_env();
+        let node = env.types.register(TypeDesc {
+            name: "Chain".into(),
+            size: 16,
+            ref_offsets: vec![8],
+        });
+        let mut segs = Vec::new();
+        let mut objs = Vec::new();
+        for _ in 0..8 {
+            let seg = env.mgr.create_segment(0, 4, 2).unwrap();
+            objs.push(env.mgr.create_object(seg, node, 16).unwrap());
+            segs.push(seg);
+        }
+        for i in 0..7 {
+            env.mgr
+                .store_ref(objs[i].addr, 8, Some(objs[i + 1].addr))
+                .unwrap();
+        }
+        let mgr2 = new_epoch(&env);
+        let head = mgr2.resolve_oid(objs[0].oid).unwrap();
+        let _ = mgr2.load_ref(head, 8).unwrap();
+        let s = mgr2.stats().snapshot();
+        assert_eq!(s.slotted_loads, 1, "only the head segment loaded");
+        assert_eq!(s.data_loads, 1);
+        assert_eq!(s.slotted_reserved, 2, "head + its direct target only");
+    }
+
+    #[test]
+    fn protection_cycles_are_counted() {
+        let env = fresh_env();
+        let before = env.mgr.stats().snapshot().protect_cycles;
+        let seg = env.mgr.create_segment(0, 16, 2).unwrap();
+        env.mgr.create_object(seg, TYPE_BYTES, 8).unwrap();
+        let after = env.mgr.stats().snapshot().protect_cycles;
+        assert!(after > before, "engine updates unprotect/reprotect");
+
+        // Unprotected ablation performs none.
+        let mgr_u = make_mgr(
+            &env.areas,
+            &env.types,
+            &env.catalog,
+            ProtectionPolicy::Unprotected,
+            512,
+        );
+        let seg2 = mgr_u.create_segment(0, 16, 2).unwrap();
+        mgr_u.create_object(seg2, TYPE_BYTES, 8).unwrap();
+        assert_eq!(mgr_u.stats().snapshot().protect_cycles, 0);
+    }
+
+    #[test]
+    fn deref_of_garbage_address_fails_cleanly() {
+        let env = fresh_env();
+        assert!(env
+            .mgr
+            .deref(bess_vm::VAddr::from_raw(0xDEAD_BEEF))
+            .is_err());
+        let seg = env.mgr.create_segment(0, 16, 2).unwrap();
+        let o = env.mgr.create_object(seg, TYPE_BYTES, 8).unwrap();
+        // An address *inside* the slotted segment but not a slot boundary.
+        assert!(env.mgr.oid_of(o.addr.add(1)).is_err());
+    }
+
+    #[test]
+    fn many_objects_under_tiny_pool_survive_thrashing() {
+        // A pool smaller than the working set forces eviction of slotted
+        // and data pages mid-operation; residency guards must recover.
+        let env = fresh_env();
+        let mgr = make_mgr(
+            &env.areas,
+            &env.types,
+            &env.catalog,
+            ProtectionPolicy::Protected,
+            8, // tiny pool
+        );
+        let seg = mgr.create_segment(0, 128, 2).unwrap();
+        let mut objs = Vec::new();
+        for i in 0..100u32 {
+            let o = mgr.create_object(seg, TYPE_BYTES, 128).unwrap();
+            mgr.write_object(o.addr, 0, &i.to_le_bytes()).unwrap();
+            objs.push(o);
+        }
+        for (i, o) in objs.iter().enumerate() {
+            let data = mgr.read_object(o.addr).unwrap();
+            assert_eq!(u32::from_le_bytes(data[0..4].try_into().unwrap()), i as u32);
+        }
+        assert!(mgr.stats().snapshot().objects_created == 100);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use bess_cache::{AreaSet, PageIo, PrivatePool};
+    use bess_storage::{AreaConfig, AreaId, StorageArea};
+    use bess_vm::AddressSpace;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Create { size: u16 },
+        Write { obj: u8, byte: u8 },
+        Delete { obj: u8 },
+        Compact,
+        MoveArea,
+        Resize { pages: u8 },
+        NewEpoch,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            4 => (8u16..600).prop_map(|size| Op::Create { size }),
+            6 => (any::<u8>(), any::<u8>()).prop_map(|(obj, byte)| Op::Write { obj, byte }),
+            2 => any::<u8>().prop_map(|obj| Op::Delete { obj }),
+            1 => Just(Op::Compact),
+            1 => Just(Op::MoveArea),
+            1 => (1u8..8).prop_map(|pages| Op::Resize { pages }),
+            1 => Just(Op::NewEpoch),
+        ]
+    }
+
+    fn build_mgr(
+        areas: &Arc<AreaSet>,
+        types: &Arc<TypeRegistry>,
+        catalog: &Arc<SegmentCatalog>,
+    ) -> Arc<SegmentManager> {
+        let space = Arc::new(AddressSpace::new());
+        let pool = Arc::new(PrivatePool::new(
+            Arc::clone(&space),
+            Arc::clone(areas) as Arc<dyn PageIo>,
+            512,
+        ));
+        SegmentManager::new(
+            space,
+            pool,
+            Arc::clone(areas) as Arc<dyn bess_storage::DiskSpace>,
+            Arc::clone(types),
+            Arc::clone(catalog),
+            ProtectionPolicy::Protected,
+            1,
+            1,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Random object lifecycles interleaved with reorganisation and
+        /// mapping-epoch changes always agree with a simple model keyed by
+        /// OID: live objects keep their content, deleted OIDs stay stale,
+        /// and every reorganisation preserves everything.
+        #[test]
+        fn object_store_matches_model(ops in prop::collection::vec(op_strategy(), 1..35)) {
+            let areas = Arc::new(AreaSet::new());
+            for id in [0u32, 1] {
+                areas.add(Arc::new(
+                    StorageArea::create_mem(AreaId(id), AreaConfig::default()).unwrap(),
+                ));
+            }
+            let types = Arc::new(TypeRegistry::new());
+            let catalog = Arc::new(SegmentCatalog::new());
+            let mut mgr = build_mgr(&areas, &types, &catalog);
+            let seg = mgr.create_segment(0, 128, 2).unwrap();
+            let mut data_area = 0u32;
+
+            // Model: OID -> content. Live handles carry (oid, current addr).
+            let mut model: HashMap<Oid, Vec<u8>> = HashMap::new();
+            let mut live: Vec<(Oid, bess_vm::VAddr)> = Vec::new();
+            let mut dead: Vec<Oid> = Vec::new();
+
+            for op in ops {
+                match op {
+                    Op::Create { size } => {
+                        match mgr.create_object(seg, TYPE_BYTES, u32::from(size)) {
+                            Ok(o) => {
+                                let content = vec![0u8; size as usize];
+                                mgr.write_object(o.addr, 0, &content).unwrap();
+                                model.insert(o.oid, content);
+                                live.push((o.oid, o.addr));
+                            }
+                            Err(SegError::SegmentFull(_)) => {}
+                            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        }
+                    }
+                    Op::Write { obj, byte } => {
+                        if live.is_empty() { continue; }
+                        let (oid, addr) = live[obj as usize % live.len()];
+                        let content = model.get_mut(&oid).unwrap();
+                        let off = (usize::from(byte) * 7) % content.len();
+                        mgr.write_object(addr, off as u32, &[byte]).unwrap();
+                        content[off] = byte;
+                    }
+                    Op::Delete { obj } => {
+                        if live.is_empty() { continue; }
+                        let (oid, addr) = live.swap_remove(obj as usize % live.len());
+                        mgr.delete_object(addr).unwrap();
+                        model.remove(&oid);
+                        dead.push(oid);
+                    }
+                    Op::Compact => mgr.compact_segment(seg).unwrap(),
+                    Op::MoveArea => {
+                        data_area = 1 - data_area;
+                        mgr.move_data_segment(seg, data_area).unwrap();
+                    }
+                    Op::Resize { pages } => {
+                        match mgr.resize_data(seg, u32::from(pages)) {
+                            Ok(()) | Err(SegError::DataFull(_)) => {}
+                            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        }
+                    }
+                    Op::NewEpoch => {
+                        mgr.flush_all();
+                        mgr = build_mgr(&areas, &types, &catalog);
+                        // All addresses changed: re-resolve through OIDs.
+                        for (oid, addr) in live.iter_mut() {
+                            *addr = mgr.resolve_oid(*oid).unwrap();
+                        }
+                    }
+                }
+            }
+
+            // Final verification: every live object matches the model...
+            for (oid, addr) in &live {
+                let got = mgr.read_object(*addr).unwrap();
+                prop_assert_eq!(&got, model.get(oid).unwrap());
+                // ...and resolves consistently through its OID too.
+                let via_oid = mgr.resolve_oid(*oid).unwrap();
+                prop_assert_eq!(via_oid, *addr);
+            }
+            // Every deleted OID stays stale (uniquifier protection),
+            // unless its slot has not been reused — then it must never
+            // resolve to different content silently.
+            for oid in &dead {
+                if let Ok(addr) = mgr.resolve_oid(*oid) {
+                    // Slot reused with same uniq is impossible; resolving
+                    // means some live object wears this OID — forbidden.
+                    prop_assert!(
+                        false,
+                        "deleted oid {} resolved to {}",
+                        oid,
+                        addr
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Object and segment identity.
+
+use std::fmt;
+
+/// Identifies an object segment by its slotted segment's permanent disk
+/// location. "Slotted segments (and their slots) are allocated from one
+/// storage area and they are never relocated" (§2.1), so this id is stable
+/// for the lifetime of the segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegId {
+    /// Storage area of the slotted segment.
+    pub area: u32,
+    /// First page of the slotted segment.
+    pub start_page: u64,
+}
+
+impl fmt::Display for SegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg@{}:{}", self.area, self.start_page)
+    }
+}
+
+/// The 96-bit BeSS object identifier (§2.1): "it contains the host machine
+/// number, the database number, the offset of the object's header within
+/// the database, and a number to approximate unique oids — this number is
+/// stored in every slot and it is modified every time the slot is re-used."
+///
+/// Here the "offset of the object's header" is `(segment, slot)`: the
+/// slotted segment's permanent disk address plus the slot index, which is
+/// exactly the header's location since slotted segments never move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid {
+    /// Host machine number.
+    pub host: u16,
+    /// Database number on that host.
+    pub db: u16,
+    /// The object's slotted segment.
+    pub seg: SegId,
+    /// Slot index within the segment.
+    pub slot: u32,
+    /// Uniquifier: incremented whenever the slot is reused, so stale OIDs
+    /// are detected instead of silently resolving to a new object.
+    pub uniq: u32,
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "oid<{}.{}/{}:{}[{}]#{}>",
+            self.host, self.db, self.seg.area, self.seg.start_page, self.slot, self.uniq
+        )
+    }
+}
+
+impl Oid {
+    /// Packs the OID into 20 bytes (wire/disk form).
+    pub fn to_bytes(&self) -> [u8; 20] {
+        let mut b = [0u8; 20];
+        b[0..2].copy_from_slice(&self.host.to_le_bytes());
+        b[2..4].copy_from_slice(&self.db.to_le_bytes());
+        b[4..8].copy_from_slice(&self.seg.area.to_le_bytes());
+        b[8..16].copy_from_slice(&self.seg.start_page.to_le_bytes());
+        b[16..20].copy_from_slice(&((self.slot & 0xFFFF) | (self.uniq << 16)).to_le_bytes());
+        b
+    }
+
+    /// Unpacks an OID from its 20-byte form.
+    pub fn from_bytes(b: &[u8; 20]) -> Oid {
+        let packed = u32::from_le_bytes(b[16..20].try_into().unwrap());
+        Oid {
+            host: u16::from_le_bytes(b[0..2].try_into().unwrap()),
+            db: u16::from_le_bytes(b[2..4].try_into().unwrap()),
+            seg: SegId {
+                area: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+                start_page: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            },
+            slot: packed & 0xFFFF,
+            uniq: packed >> 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oid_round_trip() {
+        let oid = Oid {
+            host: 3,
+            db: 9,
+            seg: SegId {
+                area: 7,
+                start_page: 123_456,
+            },
+            slot: 42,
+            uniq: 17,
+        };
+        assert_eq!(Oid::from_bytes(&oid.to_bytes()), oid);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let oid = Oid {
+            host: 1,
+            db: 2,
+            seg: SegId {
+                area: 3,
+                start_page: 4,
+            },
+            slot: 5,
+            uniq: 6,
+        };
+        assert_eq!(oid.to_string(), "oid<1.2/3:4[5]#6>");
+    }
+}

@@ -1,0 +1,249 @@
+//! Type descriptors.
+//!
+//! "The object header contains ... a pointer to the object's type (TP) ...
+//! Type descriptors contain the offsets of pointers within the objects they
+//! describe" (§2.1). The swizzler walks these offsets to locate inter-object
+//! references when a data segment is fetched.
+//!
+//! In the original C++ system TP is itself a persistent pointer to a type
+//! object; here types live in a per-database [`TypeRegistry`] keyed by a
+//! compact [`TypeId`] stored in the slot, which the registry can serialise
+//! into a catalog object. The indirection is identical in behaviour: given
+//! a slot, the engine reaches the descriptor in O(1).
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+/// Identifies an object type within a database.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+/// The raw-bytes type: no declared references.
+pub const TYPE_BYTES: TypeId = TypeId(0);
+
+/// A type descriptor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeDesc {
+    /// Human-readable name.
+    pub name: String,
+    /// Fixed size in bytes of instances (0 = variable).
+    pub size: u32,
+    /// Byte offsets of the inter-object references (each 8 bytes) within an
+    /// instance.
+    pub ref_offsets: Vec<u32>,
+}
+
+/// The per-database registry of type descriptors.
+#[derive(Debug, Default)]
+pub struct TypeRegistry {
+    inner: RwLock<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    by_id: HashMap<u32, TypeDesc>,
+    by_name: HashMap<String, u32>,
+    next: u32,
+}
+
+impl TypeRegistry {
+    /// Creates a registry containing only [`TYPE_BYTES`].
+    pub fn new() -> Self {
+        let reg = TypeRegistry::default();
+        {
+            let mut inner = reg.inner.write();
+            inner.by_id.insert(
+                0,
+                TypeDesc {
+                    name: "bytes".into(),
+                    size: 0,
+                    ref_offsets: Vec::new(),
+                },
+            );
+            inner.by_name.insert("bytes".into(), 0);
+            inner.next = 1;
+        }
+        reg
+    }
+
+    /// Registers a type, returning its id. Registering an identical
+    /// descriptor under an existing name returns the existing id; a
+    /// conflicting descriptor panics (schema error).
+    pub fn register(&self, desc: TypeDesc) -> TypeId {
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_name.get(&desc.name) {
+            assert_eq!(
+                inner.by_id[&id], desc,
+                "conflicting re-registration of type {}",
+                desc.name
+            );
+            return TypeId(id);
+        }
+        let id = inner.next;
+        inner.next += 1;
+        inner.by_name.insert(desc.name.clone(), id);
+        inner.by_id.insert(id, desc);
+        TypeId(id)
+    }
+
+    /// Looks up a descriptor.
+    pub fn get(&self, id: TypeId) -> Option<TypeDesc> {
+        self.inner.read().by_id.get(&id.0).cloned()
+    }
+
+    /// Looks up a type id by name.
+    pub fn id_of(&self, name: &str) -> Option<TypeId> {
+        self.inner.read().by_name.get(name).copied().map(TypeId)
+    }
+
+    /// The reference offsets for `id` (empty for unknown/bytes types).
+    pub fn ref_offsets(&self, id: TypeId) -> Vec<u32> {
+        self.inner
+            .read()
+            .by_id
+            .get(&id.0)
+            .map(|d| d.ref_offsets.clone())
+            .unwrap_or_default()
+    }
+
+    /// Serialises every descriptor (for the database catalog).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let inner = self.inner.read();
+        let mut ids: Vec<&u32> = inner.by_id.keys().collect();
+        ids.sort_unstable();
+        let mut out = Vec::new();
+        out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        for id in ids {
+            let d = &inner.by_id[id];
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(d.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(d.name.as_bytes());
+            out.extend_from_slice(&d.size.to_le_bytes());
+            out.extend_from_slice(&(d.ref_offsets.len() as u32).to_le_bytes());
+            for off in &d.ref_offsets {
+                out.extend_from_slice(&off.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Restores a registry serialised by [`Self::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Option<TypeRegistry> {
+        let mut pos = 0usize;
+        let rd_u32 = |data: &[u8], pos: &mut usize| -> Option<u32> {
+            let end = *pos + 4;
+            let v = u32::from_le_bytes(data.get(*pos..end)?.try_into().ok()?);
+            *pos = end;
+            Some(v)
+        };
+        let count = rd_u32(data, &mut pos)?;
+        let mut by_id = HashMap::new();
+        let mut by_name = HashMap::new();
+        let mut next = 1;
+        for _ in 0..count {
+            let id = rd_u32(data, &mut pos)?;
+            let name_len = rd_u32(data, &mut pos)? as usize;
+            let name = String::from_utf8(data.get(pos..pos + name_len)?.to_vec()).ok()?;
+            pos += name_len;
+            let size = rd_u32(data, &mut pos)?;
+            let n_refs = rd_u32(data, &mut pos)? as usize;
+            let mut ref_offsets = Vec::with_capacity(n_refs);
+            for _ in 0..n_refs {
+                ref_offsets.push(rd_u32(data, &mut pos)?);
+            }
+            next = next.max(id + 1);
+            by_name.insert(name.clone(), id);
+            by_id.insert(
+                id,
+                TypeDesc {
+                    name,
+                    size,
+                    ref_offsets,
+                },
+            );
+        }
+        (pos == data.len()).then(|| TypeRegistry {
+            inner: RwLock::new(RegistryInner { by_id, by_name, next }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = TypeRegistry::new();
+        let id = reg.register(TypeDesc {
+            name: "Person".into(),
+            size: 64,
+            ref_offsets: vec![16, 24],
+        });
+        assert_eq!(reg.id_of("Person"), Some(id));
+        assert_eq!(reg.ref_offsets(id), vec![16, 24]);
+        assert_eq!(reg.get(TYPE_BYTES).unwrap().name, "bytes");
+    }
+
+    #[test]
+    fn idempotent_re_registration() {
+        let reg = TypeRegistry::new();
+        let d = TypeDesc {
+            name: "T".into(),
+            size: 8,
+            ref_offsets: vec![],
+        };
+        assert_eq!(reg.register(d.clone()), reg.register(d));
+    }
+
+    #[test]
+    #[should_panic]
+    fn conflicting_registration_panics() {
+        let reg = TypeRegistry::new();
+        reg.register(TypeDesc {
+            name: "T".into(),
+            size: 8,
+            ref_offsets: vec![],
+        });
+        reg.register(TypeDesc {
+            name: "T".into(),
+            size: 16,
+            ref_offsets: vec![0],
+        });
+    }
+
+    #[test]
+    fn serialisation_round_trip() {
+        let reg = TypeRegistry::new();
+        reg.register(TypeDesc {
+            name: "Person".into(),
+            size: 64,
+            ref_offsets: vec![16, 24],
+        });
+        reg.register(TypeDesc {
+            name: "Dept".into(),
+            size: 32,
+            ref_offsets: vec![8],
+        });
+        let bytes = reg.to_bytes();
+        let back = TypeRegistry::from_bytes(&bytes).unwrap();
+        assert_eq!(back.id_of("Person"), reg.id_of("Person"));
+        assert_eq!(
+            back.ref_offsets(back.id_of("Dept").unwrap()),
+            vec![8]
+        );
+        // New registrations do not collide with restored ids.
+        let new_id = back.register(TypeDesc {
+            name: "New".into(),
+            size: 1,
+            ref_offsets: vec![],
+        });
+        assert!(new_id.0 > back.id_of("Dept").unwrap().0);
+    }
+
+    #[test]
+    fn bad_bytes_rejected() {
+        assert!(TypeRegistry::from_bytes(&[1, 2, 3]).is_none());
+    }
+}

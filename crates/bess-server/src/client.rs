@@ -1,0 +1,731 @@
+//! The client connection: transactions, lock caching, callbacks.
+//!
+//! A [`ClientConn`] is one application machine's attachment to the BeSS
+//! world. It speaks the [`Msg`] protocol to whichever server owns the data
+//! (per the [`Directory`]), caches locks between transactions when
+//! `caching` is on (the §3 inter-transaction caching that callback locking
+//! makes consistent), answers server callbacks from a listener thread, and
+//! keeps a local *overlay* of dirty pages so uncommitted state never
+//! reaches a server before commit.
+//!
+//! It also implements [`PageIo`] (cache fills / write-backs for the
+//! client's buffer pools) and [`DiskSpace`] (disk allocation and raw byte
+//! I/O over RPC), which lets the entire `bess-segment` object machinery run
+//! unchanged on a remote client.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bess_cache::{DbPage, PageIo};
+use bess_lock::{CacheDecision, CallbackResponse, LockCache, LockMode, LockName, TxnId};
+use bess_net::{Caller, NetError, Network, NodeId};
+use bess_storage::{AreaId, DiskPtr, DiskSpace, StorageError, StorageResult};
+use parking_lot::{Mutex, RwLock};
+
+use crate::directory::Directory;
+use crate::proto::{Msg, PageUpdate};
+
+/// Hook invoked when a callback releases a cached lock.
+pub type PurgeHook = Arc<dyn Fn(LockName) + Send + Sync>;
+
+/// Errors from client operations.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The network failed.
+    Net(NetError),
+    /// A lock was denied (deadlock timeout).
+    Denied(String),
+    /// The server reported an error.
+    Server(String),
+    /// No transaction is active.
+    NoTxn,
+    /// No server owns the addressed area.
+    NoOwner(u32),
+    /// The distributed commit aborted.
+    GlobalAbort,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Net(e) => write!(f, "network error: {e}"),
+            ClientError::Denied(m) => write!(f, "lock denied: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::NoTxn => write!(f, "no active transaction"),
+            ClientError::NoOwner(a) => write!(f, "no server owns area {a}"),
+            ClientError::GlobalAbort => write!(f, "distributed commit aborted"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<NetError> for ClientError {
+    fn from(e: NetError) -> Self {
+        ClientError::Net(e)
+    }
+}
+
+/// Result alias for client operations.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// Client configuration.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// This client machine's node id.
+    pub node: NodeId,
+    /// The first server connected to — the 2PC coordinator for this
+    /// client's distributed transactions (§3).
+    pub home: NodeId,
+    /// Whether data and locks are cached *between* transactions (clients
+    /// with a node server / server on their machine). Without caching,
+    /// locks are released and the cache is purged at end of transaction
+    /// (§3, applications like the one on node 1 of Figure 2).
+    pub caching: bool,
+    /// RPC timeout.
+    pub rpc_timeout: Duration,
+    /// Page size (must match the servers').
+    pub page_size: usize,
+    /// When the application runs on a node with a node server, *every*
+    /// request goes through it: "applications running on nodes with a BeSS
+    /// server or a node server can access the entire distributed database
+    /// space by communicating only with the local BeSS server or node
+    /// server" (§3).
+    pub gateway: Option<NodeId>,
+}
+
+impl ClientConfig {
+    /// A config with test defaults.
+    pub fn new(node: NodeId, home: NodeId) -> Self {
+        ClientConfig {
+            node,
+            home,
+            caching: true,
+            rpc_timeout: Duration::from_secs(5),
+            page_size: bess_storage::PAGE_SIZE,
+            gateway: None,
+        }
+    }
+}
+
+/// Counters kept by a client connection.
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    /// Lock RPCs sent (cache misses).
+    pub lock_rpcs: AtomicU64,
+    /// Lock requests served from the lock cache.
+    pub lock_cache_hits: AtomicU64,
+    /// Combined fetch (lock+data) RPCs.
+    pub fetch_rpcs: AtomicU64,
+    /// Data-only read RPCs.
+    pub read_rpcs: AtomicU64,
+    /// Commits performed.
+    pub commits: AtomicU64,
+    /// Aborts performed.
+    pub aborts: AtomicU64,
+    /// Callbacks received.
+    pub callbacks: AtomicU64,
+}
+
+impl ClientStats {
+    /// Takes a snapshot for reporting.
+    pub fn snapshot(&self) -> ClientStatsSnapshot {
+        ClientStatsSnapshot {
+            lock_rpcs: self.lock_rpcs.load(Ordering::Relaxed),
+            lock_cache_hits: self.lock_cache_hits.load(Ordering::Relaxed),
+            fetch_rpcs: self.fetch_rpcs.load(Ordering::Relaxed),
+            read_rpcs: self.read_rpcs.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            callbacks: self.callbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ClientStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStatsSnapshot {
+    /// Lock RPCs sent.
+    pub lock_rpcs: u64,
+    /// Lock-cache hits.
+    pub lock_cache_hits: u64,
+    /// Fetch RPCs.
+    pub fetch_rpcs: u64,
+    /// Read RPCs.
+    pub read_rpcs: u64,
+    /// Commits.
+    pub commits: u64,
+    /// Aborts.
+    pub aborts: u64,
+    /// Callbacks received.
+    pub callbacks: u64,
+}
+
+/// A client machine's connection to the BeSS servers.
+pub struct ClientConn {
+    cfg: ClientConfig,
+    dir: Arc<Directory>,
+    caller: Caller<Msg>,
+    lock_cache: Arc<LockCache>,
+    overlay: Mutex<HashMap<DbPage, Vec<u8>>>,
+    current_txn: Mutex<Option<u64>>,
+    servers_touched: Mutex<HashSet<NodeId>>,
+    /// Lock requests currently in flight. A callback that races the grant
+    /// of one of these must be deferred, not answered "not cached" — the
+    /// server may have granted us the lock an instant ago.
+    pending_locks: Mutex<std::collections::HashSet<LockName>>,
+    raced_callbacks: Mutex<std::collections::HashSet<LockName>>,
+    /// Called when a callback releases a page lock so the owning pool can
+    /// drop its copy of the page (cache consistency).
+    purge_hook: RwLock<Option<PurgeHook>>,
+    /// Lock mode used for implicit read fetches (S by default; IS when the
+    /// session runs software object-level locking and serialises on object
+    /// locks instead).
+    read_mode: Mutex<LockMode>,
+    running: Arc<AtomicBool>,
+    listener: Mutex<Option<JoinHandle<()>>>,
+    stats: ClientStats,
+}
+
+impl ClientConn {
+    /// Connects to the network and starts the callback listener.
+    pub fn connect(
+        net: &Arc<Network<Msg>>,
+        dir: Arc<Directory>,
+        cfg: ClientConfig,
+    ) -> Arc<ClientConn> {
+        let endpoint = net.register(cfg.node);
+        let conn = Arc::new(ClientConn {
+            caller: net.caller(cfg.node),
+            cfg,
+            dir,
+            lock_cache: Arc::new(LockCache::new()),
+            overlay: Mutex::new(HashMap::new()),
+            current_txn: Mutex::new(None),
+            servers_touched: Mutex::new(HashSet::new()),
+            pending_locks: Mutex::new(std::collections::HashSet::new()),
+            raced_callbacks: Mutex::new(std::collections::HashSet::new()),
+            purge_hook: RwLock::new(None),
+            read_mode: Mutex::new(LockMode::S),
+            running: Arc::new(AtomicBool::new(true)),
+            listener: Mutex::new(None),
+            stats: ClientStats::default(),
+        });
+        let listener_conn = Arc::clone(&conn);
+        let running = Arc::clone(&conn.running);
+        let handle = std::thread::spawn(move || {
+            while running.load(Ordering::Relaxed) {
+                match endpoint.recv(Duration::from_millis(50)) {
+                    Ok(env) => {
+                        let reply = listener_conn.handle_callback(&env.msg);
+                        env.reply(reply);
+                    }
+                    Err(NetError::Timeout) => continue,
+                    Err(_) => break,
+                }
+            }
+        });
+        *conn.listener.lock() = Some(handle);
+        conn
+    }
+
+    /// This client's node id.
+    pub fn node(&self) -> NodeId {
+        self.cfg.node
+    }
+
+    /// The page size.
+    pub fn page_size(&self) -> usize {
+        self.cfg.page_size
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// The client's lock cache (for inspection in tests/benches).
+    pub fn lock_cache(&self) -> &Arc<LockCache> {
+        &self.lock_cache
+    }
+
+    /// Registers the hook called when a callback releases a lock (the
+    /// session layer evicts the page from its buffer pool here).
+    pub fn set_purge_hook(&self, hook: Option<PurgeHook>) {
+        *self.purge_hook.write() = hook;
+    }
+
+    /// Sets the lock mode used by implicit read fetches ([`RemoteIo`]).
+    pub fn set_read_mode(&self, mode: LockMode) {
+        *self.read_mode.lock() = mode;
+    }
+
+    /// The current implicit read-fetch mode.
+    pub fn read_mode(&self) -> LockMode {
+        *self.read_mode.lock()
+    }
+
+    fn handle_callback(&self, msg: &Msg) -> Msg {
+        match msg {
+            Msg::Callback { name } => {
+                AtomicU64::fetch_add(&self.stats.callbacks, 1, Ordering::Relaxed);
+                match self.lock_cache.callback(*name) {
+                    CallbackResponse::Released => {
+                        if let Some(hook) = self.purge_hook.read().clone() {
+                            hook(*name);
+                        }
+                        Msg::CallbackReleased
+                    }
+                    CallbackResponse::NotCached => {
+                        // The grant may be in flight: defer until the
+                        // request completes and the lock lands in the
+                        // cache.
+                        if self.pending_locks.lock().contains(name) {
+                            self.raced_callbacks.lock().insert(*name);
+                            Msg::CallbackDeferred
+                        } else {
+                            if let Some(hook) = self.purge_hook.read().clone() {
+                                hook(*name);
+                            }
+                            Msg::CallbackReleased
+                        }
+                    }
+                    CallbackResponse::Deferred => Msg::CallbackDeferred,
+                }
+            }
+            Msg::CallbackDowngrade { name, to } => {
+                AtomicU64::fetch_add(&self.stats.callbacks, 1, Ordering::Relaxed);
+                if self.lock_cache.callback_downgrade(*name, *to) {
+                    // The page content stays valid for reading; no purge.
+                    Msg::CallbackReleased
+                } else {
+                    Msg::CallbackDeferred
+                }
+            }
+            other => Msg::Err(format!("client got unexpected message: {other:?}")),
+        }
+    }
+
+    /// Completes an in-flight lock request: if a callback raced it, mark
+    /// the (now cached) lock for release when its users finish.
+    fn finish_pending(&self, name: LockName) {
+        self.pending_locks.lock().remove(&name);
+        if self.raced_callbacks.lock().remove(&name) {
+            self.lock_cache.mark_callback_pending(name);
+        }
+    }
+
+    fn owner_of(&self, area: u32) -> ClientResult<NodeId> {
+        if let Some(gw) = self.cfg.gateway {
+            return Ok(gw);
+        }
+        self.dir.owner(area).ok_or(ClientError::NoOwner(area))
+    }
+
+    fn owner_of_name(&self, name: &LockName) -> ClientResult<NodeId> {
+        if let Some(gw) = self.cfg.gateway {
+            return Ok(gw);
+        }
+        match name {
+            LockName::Page { area, .. }
+            | LockName::Segment { area, .. }
+            | LockName::Object { area, .. } => self.owner_of(*area),
+            LockName::Database(_) | LockName::File { .. } => Ok(self.cfg.home),
+        }
+    }
+
+    fn rpc(&self, to: NodeId, msg: Msg) -> ClientResult<Msg> {
+        self.servers_touched.lock().insert(to);
+        Ok(self.caller.call(to, msg, self.cfg.rpc_timeout)?)
+    }
+
+    // ---- transactions ----------------------------------------------------
+
+    /// Begins a transaction at the home server.
+    pub fn begin(&self) -> ClientResult<u64> {
+        match self.rpc(self.cfg.home, Msg::BeginTxn)? {
+            Msg::TxnId(t) => {
+                *self.current_txn.lock() = Some(t);
+                Ok(t)
+            }
+            Msg::Err(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Server(format!("bad reply {other:?}"))),
+        }
+    }
+
+    /// The active transaction, if any.
+    pub fn current_txn(&self) -> Option<u64> {
+        *self.current_txn.lock()
+    }
+
+    /// Acquires `mode` on `name` for the active transaction, consulting the
+    /// lock cache first (§3: "data and locks accessed by a transaction
+    /// remain cached on the client").
+    pub fn lock(&self, name: LockName, mode: LockMode) -> ClientResult<()> {
+        let txn = self.current_txn().ok_or(ClientError::NoTxn)?;
+        match self.lock_cache.acquire(TxnId(txn), name, mode) {
+            CacheDecision::Hit => {
+                AtomicU64::fetch_add(&self.stats.lock_cache_hits, 1, Ordering::Relaxed);
+                Ok(())
+            }
+            CacheDecision::Miss { need } => {
+                AtomicU64::fetch_add(&self.stats.lock_rpcs, 1, Ordering::Relaxed);
+                let owner = self.owner_of_name(&name)?;
+                self.pending_locks.lock().insert(name);
+                let reply = self.rpc(owner, Msg::Lock { name, mode: need });
+                let out = match reply {
+                    Ok(Msg::Granted) => {
+                        self.lock_cache.grant(TxnId(txn), name, need);
+                        Ok(())
+                    }
+                    Ok(Msg::Denied(m)) => Err(ClientError::Denied(m)),
+                    Ok(Msg::Err(e)) => Err(ClientError::Server(e)),
+                    Ok(other) => Err(ClientError::Server(format!("bad reply {other:?}"))),
+                    Err(e) => Err(e),
+                };
+                self.finish_pending(name);
+                out
+            }
+        }
+    }
+
+    /// Fetches a page under `mode`, combining lock acquisition and data
+    /// transfer in one message on a lock-cache miss.
+    pub fn fetch_page(&self, page: DbPage, mode: LockMode) -> ClientResult<Vec<u8>> {
+        let txn = self.current_txn().ok_or(ClientError::NoTxn)?;
+        // Uncommitted local state shadows the server.
+        if let Some(data) = self.overlay.lock().get(&page) {
+            let data = data.clone();
+            self.lock(
+                LockName::Page {
+                    area: page.area,
+                    page: page.page,
+                },
+                mode,
+            )?;
+            return Ok(data);
+        }
+        let name = LockName::Page {
+            area: page.area,
+            page: page.page,
+        };
+        match self.lock_cache.acquire(TxnId(txn), name, mode) {
+            CacheDecision::Hit => {
+                AtomicU64::fetch_add(&self.stats.lock_cache_hits, 1, Ordering::Relaxed);
+                self.read_page(page)
+            }
+            CacheDecision::Miss { need } => {
+                AtomicU64::fetch_add(&self.stats.fetch_rpcs, 1, Ordering::Relaxed);
+                let owner = self.owner_of(page.area)?;
+                self.pending_locks.lock().insert(name);
+                let reply = self.rpc(owner, Msg::FetchPage { page, mode: need });
+                let out = match reply {
+                    Ok(Msg::PageData(data)) => {
+                        self.lock_cache.grant(TxnId(txn), name, need);
+                        Ok(data)
+                    }
+                    Ok(Msg::Denied(m)) => Err(ClientError::Denied(m)),
+                    Ok(Msg::Err(e)) => Err(ClientError::Server(e)),
+                    Ok(other) => Err(ClientError::Server(format!("bad reply {other:?}"))),
+                    Err(e) => Err(e),
+                };
+                self.finish_pending(name);
+                out
+            }
+        }
+    }
+
+    /// Reads a page without locking (the lock is already held/cached).
+    pub fn read_page(&self, page: DbPage) -> ClientResult<Vec<u8>> {
+        if let Some(data) = self.overlay.lock().get(&page) {
+            return Ok(data.clone());
+        }
+        AtomicU64::fetch_add(&self.stats.read_rpcs, 1, Ordering::Relaxed);
+        let owner = self.owner_of(page.area)?;
+        match self.rpc(owner, Msg::ReadPage { page })? {
+            Msg::PageData(data) => Ok(data),
+            Msg::Err(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Server(format!("bad reply {other:?}"))),
+        }
+    }
+
+    /// Commits the active transaction with the given page updates. Groups
+    /// updates by owning server; multiple owners trigger two-phase commit
+    /// through the home server (§3).
+    pub fn commit(&self, updates: Vec<PageUpdate>) -> ClientResult<()> {
+        let txn = self.current_txn().ok_or(ClientError::NoTxn)?;
+        let mut by_owner: HashMap<NodeId, Vec<PageUpdate>> = HashMap::new();
+        for u in updates {
+            by_owner.entry(self.owner_of(u.page.area)?).or_default().push(u);
+        }
+        let result = match by_owner.len() {
+            0 => Ok(()),
+            1 => {
+                let (owner, updates) = by_owner.into_iter().next().expect("one entry");
+                match self.rpc(owner, Msg::Commit { txn, updates })? {
+                    Msg::Ok => Ok(()),
+                    Msg::Err(e) => Err(ClientError::Server(e)),
+                    other => Err(ClientError::Server(format!("bad reply {other:?}"))),
+                }
+            }
+            _ => {
+                // Distributed commit: ship updates, then ask the home
+                // server to coordinate.
+                let gtxn = match self.rpc(self.cfg.home, Msg::BeginGlobal)? {
+                    Msg::TxnId(g) => g,
+                    other => return Err(ClientError::Server(format!("bad reply {other:?}"))),
+                };
+                let participants: Vec<u32> = by_owner.keys().map(|n| n.0).collect();
+                for (owner, updates) in by_owner {
+                    match self.rpc(owner, Msg::ShipUpdates { gtxn, updates })? {
+                        Msg::Ok => {}
+                        Msg::Err(e) => return Err(ClientError::Server(e)),
+                        other => {
+                            return Err(ClientError::Server(format!("bad reply {other:?}")))
+                        }
+                    }
+                }
+                match self.rpc(
+                    self.cfg.home,
+                    Msg::CommitGlobal { gtxn, participants },
+                )? {
+                    Msg::Decision { committed: true } => Ok(()),
+                    Msg::Decision { committed: false } => Err(ClientError::GlobalAbort),
+                    Msg::Err(e) => Err(ClientError::Server(e)),
+                    other => Err(ClientError::Server(format!("bad reply {other:?}"))),
+                }
+            }
+        };
+        AtomicU64::fetch_add(&self.stats.commits, 1, Ordering::Relaxed);
+        self.end_txn(txn)?;
+        result
+    }
+
+    /// Aborts the active transaction: uncommitted pages are discarded and
+    /// (for non-caching clients) locks released.
+    pub fn abort(&self) -> ClientResult<()> {
+        let txn = self.current_txn().ok_or(ClientError::NoTxn)?;
+        let _ = self.rpc(self.cfg.home, Msg::Abort { txn });
+        AtomicU64::fetch_add(&self.stats.aborts, 1, Ordering::Relaxed);
+        self.end_txn(txn)
+    }
+
+    /// Whether this connection caches locks between transactions. Behind
+    /// a node-server gateway the answer is always no: the *node server*
+    /// performs the inter-transaction caching (§3), and it releases its
+    /// local application locks at end of transaction — a client-side cache
+    /// would bypass that and lose serialisation.
+    fn effective_caching(&self) -> bool {
+        self.cfg.caching && self.cfg.gateway.is_none()
+    }
+
+    fn end_txn(&self, txn: u64) -> ClientResult<()> {
+        self.overlay.lock().clear();
+        *self.current_txn.lock() = None;
+        if self.effective_caching() {
+            // Locks stay cached; answer deferred callbacks now.
+            let released = self.lock_cache.finish_txn(TxnId(txn));
+            let mut by_owner: HashMap<NodeId, Vec<LockName>> = HashMap::new();
+            for name in released {
+                if let Some(hook) = self.purge_hook.read().clone() {
+                    hook(name);
+                }
+                if let Ok(owner) = self.owner_of_name(&name) {
+                    by_owner.entry(owner).or_default().push(name);
+                }
+            }
+            for (owner, names) in by_owner {
+                let _ = self.rpc(owner, Msg::ReleaseCached { names });
+            }
+        } else {
+            // Transaction-duration caching (§3): drop everything.
+            self.lock_cache.clear();
+            let touched: Vec<NodeId> = self.servers_touched.lock().drain().collect();
+            for server in touched {
+                let _ = self.caller.call(server, Msg::ReleaseAll, self.cfg.rpc_timeout);
+            }
+        }
+        Ok(())
+    }
+
+    /// Disconnects: stops the listener and releases every cached lock.
+    pub fn disconnect(&self) {
+        let names = self.lock_cache.clear();
+        let mut by_owner: HashMap<NodeId, Vec<LockName>> = HashMap::new();
+        for name in names {
+            if let Ok(owner) = self.owner_of_name(&name) {
+                by_owner.entry(owner).or_default().push(name);
+            }
+        }
+        for (owner, names) in by_owner {
+            let _ = self.caller.call(
+                owner,
+                Msg::ReleaseCached { names },
+                self.cfg.rpc_timeout,
+            );
+        }
+        self.running.store(false, Ordering::Relaxed);
+        if let Some(h) = self.listener.lock().take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stores uncommitted page content locally (buffer-pool eviction of a
+    /// dirty page mid-transaction lands here, never at the server).
+    pub fn overlay_put(&self, page: DbPage, data: Vec<u8>) {
+        self.overlay.lock().insert(page, data);
+    }
+
+    /// Current overlay content of a page.
+    pub fn overlay_get(&self, page: DbPage) -> Option<Vec<u8>> {
+        self.overlay.lock().get(&page).cloned()
+    }
+
+    /// Pages currently shadowed by the overlay.
+    pub fn overlay_pages(&self) -> Vec<DbPage> {
+        self.overlay.lock().keys().copied().collect()
+    }
+}
+
+impl Drop for ClientConn {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::Relaxed);
+        if let Some(h) = self.listener.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// [`PageIo`] over a client connection: loads consult the uncommitted
+/// overlay, then fetch from the owning server with an S page lock when a
+/// transaction is active; write-backs of dirty pages go to the overlay
+/// (uncommitted data never reaches a server).
+pub struct RemoteIo(pub Arc<ClientConn>);
+
+impl PageIo for RemoteIo {
+    fn load(&self, page: DbPage, buf: &mut [u8]) -> Result<(), String> {
+        let data = if self.0.current_txn().is_some() {
+            self.0.fetch_page(page, self.0.read_mode())
+        } else {
+            self.0.read_page(page)
+        }
+        .map_err(|e| e.to_string())?;
+        buf.copy_from_slice(&data[..buf.len()]);
+        Ok(())
+    }
+
+    fn write_back(&self, page: DbPage, data: &[u8]) {
+        self.0.overlay_put(page, data.to_vec());
+    }
+}
+
+/// [`DiskSpace`] over a client connection: disk allocation and raw byte
+/// I/O are served by the owning servers via RPC.
+pub struct RemoteSpace(pub Arc<ClientConn>);
+
+impl DiskSpace for RemoteSpace {
+    fn page_size(&self) -> usize {
+        self.0.cfg.page_size
+    }
+
+    fn alloc(&self, area: u32, pages: u32) -> StorageResult<DiskPtr> {
+        let owner = self
+            .0
+            .owner_of(area)
+            .map_err(|e| StorageError::Corrupt(e.to_string()))?;
+        match self
+            .0
+            .rpc(owner, Msg::AllocSegment { area, pages })
+            .map_err(|e| StorageError::Corrupt(e.to_string()))?
+        {
+            Msg::DiskSeg {
+                area,
+                start_page,
+                pages,
+            } => Ok(DiskPtr {
+                area: AreaId(area),
+                start_page,
+                pages,
+            }),
+            Msg::Err(e) => Err(StorageError::Corrupt(e)),
+            other => Err(StorageError::Corrupt(format!("bad reply {other:?}"))),
+        }
+    }
+
+    fn free(&self, ptr: DiskPtr) -> StorageResult<()> {
+        let owner = self
+            .0
+            .owner_of(ptr.area.0)
+            .map_err(|e| StorageError::Corrupt(e.to_string()))?;
+        match self
+            .0
+            .rpc(
+                owner,
+                Msg::FreeSegment {
+                    area: ptr.area.0,
+                    start_page: ptr.start_page,
+                    pages: ptr.pages,
+                },
+            )
+            .map_err(|e| StorageError::Corrupt(e.to_string()))?
+        {
+            Msg::Ok => Ok(()),
+            Msg::Err(e) => Err(StorageError::Corrupt(e)),
+            other => Err(StorageError::Corrupt(format!("bad reply {other:?}"))),
+        }
+    }
+
+    fn read_at(&self, area: u32, page: u64, offset: usize, buf: &mut [u8]) -> StorageResult<()> {
+        let owner = self
+            .0
+            .owner_of(area)
+            .map_err(|e| StorageError::Corrupt(e.to_string()))?;
+        match self
+            .0
+            .rpc(
+                owner,
+                Msg::ReadAt {
+                    area,
+                    page,
+                    offset: offset as u32,
+                    len: buf.len() as u32,
+                },
+            )
+            .map_err(|e| StorageError::Corrupt(e.to_string()))?
+        {
+            Msg::Bytes(data) => {
+                buf.copy_from_slice(&data);
+                Ok(())
+            }
+            Msg::Err(e) => Err(StorageError::Corrupt(e)),
+            other => Err(StorageError::Corrupt(format!("bad reply {other:?}"))),
+        }
+    }
+
+    fn write_at(&self, area: u32, page: u64, offset: usize, data: &[u8]) -> StorageResult<()> {
+        let owner = self
+            .0
+            .owner_of(area)
+            .map_err(|e| StorageError::Corrupt(e.to_string()))?;
+        match self
+            .0
+            .rpc(
+                owner,
+                Msg::WriteAt {
+                    area,
+                    page,
+                    offset: offset as u32,
+                    data: data.to_vec(),
+                },
+            )
+            .map_err(|e| StorageError::Corrupt(e.to_string()))?
+        {
+            Msg::Ok => Ok(()),
+            Msg::Err(e) => Err(StorageError::Corrupt(e)),
+            other => Err(StorageError::Corrupt(format!("bad reply {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,798 @@
+//! # bess-server — the BeSS multi-client multi-server architecture
+//!
+//! Implements §3 of "A High Performance Configurable Storage Manager"
+//! (Biliris & Panagos, ICDE 1995):
+//!
+//! * [`BessServer`] — owns storage areas; strict 2PL with timeout deadlock
+//!   detection, ARIES-like WAL with restart recovery, **callback locking**
+//!   towards clients, and presumed-abort **two-phase commit** (coordinator
+//!   and participant roles);
+//! * [`NodeServer`] — a diskless BeSS server: client of the real servers,
+//!   server for its node's applications, with the shared client cache of
+//!   Figure 3 and the two operation modes of §4 (copy-on-access over the
+//!   message protocol, shared memory in-process);
+//! * [`ClientConn`] — an application machine's connection: transactions,
+//!   inter-transaction lock caching, callbacks, uncommitted-page overlay,
+//!   and `PageIo`/`DiskSpace` adapters that let the whole object layer run
+//!   remotely;
+//! * [`Directory`] — which server owns which storage area;
+//! * [`Msg`] — the wire protocol.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod client;
+mod directory;
+mod nodeserver;
+mod proto;
+mod server;
+
+pub use client::{
+    ClientConfig, ClientConn, ClientError, ClientResult, ClientStats, ClientStatsSnapshot,
+    RemoteIo, RemoteSpace,
+};
+pub use directory::Directory;
+pub use nodeserver::{NodeHandle, NodeServer, NodeServerConfig, NodeServerStats, NodeServerStatsSnapshot};
+pub use proto::{coordinator_of, GTxn, Msg, PageUpdate};
+pub use server::{
+    register_areas, AreaTarget, BessServer, ServerConfig, ServerStats, ServerStatsSnapshot,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bess_cache::{AreaSet, DbPage};
+    use bess_lock::{LockMode, LockName};
+    use bess_net::{Network, NodeId};
+    use bess_storage::{AreaConfig, AreaId, StorageArea};
+    use bess_wal::LogManager;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn make_area_set(ids: &[u32]) -> Arc<AreaSet> {
+        let set = Arc::new(AreaSet::new());
+        for &id in ids {
+            set.add(Arc::new(
+                StorageArea::create_mem(AreaId(id), AreaConfig::default()).unwrap(),
+            ));
+        }
+        set
+    }
+
+    struct World {
+        net: Arc<Network<Msg>>,
+        dir: Arc<Directory>,
+        servers: Vec<BessServer>,
+    }
+
+    /// One server per entry; entry i owns the listed areas.
+    fn world(server_areas: &[&[u32]]) -> World {
+        let net = Network::new(Duration::ZERO);
+        let dir = Arc::new(Directory::new());
+        let mut servers = Vec::new();
+        for (i, areas) in server_areas.iter().enumerate() {
+            let node = NodeId(100 + i as u32);
+            let set = make_area_set(areas);
+            register_areas(&dir, node, &set);
+            let (server, report) = BessServer::start(
+                ServerConfig::new(node),
+                set,
+                LogManager::create_mem(),
+                &net,
+            );
+            assert!(report.losers.is_empty());
+            servers.push(server);
+        }
+        World { net, dir, servers }
+    }
+
+    fn client(w: &World, node: u32, caching: bool) -> Arc<ClientConn> {
+        let mut cfg = ClientConfig::new(NodeId(node), w.servers[0].node());
+        cfg.caching = caching;
+        ClientConn::connect(&w.net, Arc::clone(&w.dir), cfg)
+    }
+
+    fn page(area: u32, p: u64) -> DbPage {
+        DbPage { area, page: p }
+    }
+
+    fn seg_page(w: &World, server: usize) -> DbPage {
+        let areas = w.servers[server].areas();
+        let id = areas.ids()[0];
+        let seg = areas.get(id).unwrap().alloc(1).unwrap();
+        page(id, seg.start_page)
+    }
+
+    fn update(p: DbPage, offset: u32, before: &[u8], after: &[u8]) -> PageUpdate {
+        PageUpdate {
+            page: p,
+            offset,
+            before: before.to_vec(),
+            after: after.to_vec(),
+        }
+    }
+
+    #[test]
+    fn begin_fetch_commit_roundtrip() {
+        let w = world(&[&[0]]);
+        let c = client(&w, 1, true);
+        let p = seg_page(&w, 0);
+        c.begin().unwrap();
+        let data = c.fetch_page(p, LockMode::X).unwrap();
+        assert_eq!(data[0], 0);
+        c.commit(vec![update(p, 0, &[0, 0], b"hi")]).unwrap();
+
+        // A second transaction reads the committed bytes.
+        c.begin().unwrap();
+        let data = c.fetch_page(p, LockMode::S).unwrap();
+        assert_eq!(&data[0..2], b"hi");
+        c.commit(vec![]).unwrap();
+        assert_eq!(w.servers[0].stats().snapshot().commits, 1);
+    }
+
+    #[test]
+    fn lock_cache_avoids_second_rpc() {
+        let w = world(&[&[0]]);
+        let c = client(&w, 1, true);
+        let p = seg_page(&w, 0);
+        c.begin().unwrap();
+        c.fetch_page(p, LockMode::S).unwrap();
+        c.commit(vec![]).unwrap();
+        let before = c.stats().snapshot();
+        c.begin().unwrap();
+        // Lock is cached from the previous transaction: no lock RPC.
+        c.lock(
+            LockName::Page {
+                area: p.area,
+                page: p.page,
+            },
+            LockMode::S,
+        )
+        .unwrap();
+        c.commit(vec![]).unwrap();
+        let after = c.stats().snapshot();
+        assert_eq!(after.lock_rpcs, before.lock_rpcs);
+        assert_eq!(after.lock_cache_hits, before.lock_cache_hits + 1);
+    }
+
+    #[test]
+    fn callback_revokes_idle_cached_lock() {
+        let w = world(&[&[0]]);
+        let a = client(&w, 1, true);
+        let b = client(&w, 2, true);
+        let p = seg_page(&w, 0);
+
+        a.begin().unwrap();
+        a.fetch_page(p, LockMode::X).unwrap();
+        a.commit(vec![update(p, 0, &[0], &[7])]).unwrap();
+        // A's X lock is cached but idle.
+        assert!(a
+            .lock_cache()
+            .cached_mode(LockName::Page {
+                area: p.area,
+                page: p.page
+            })
+            .is_some());
+
+        b.begin().unwrap();
+        let data = b.fetch_page(p, LockMode::S).unwrap();
+        assert_eq!(data[0], 7);
+        b.commit(vec![]).unwrap();
+
+        // The callback-read optimisation: A's cached X was *downgraded* to
+        // S (its data stays readable), not revoked.
+        assert_eq!(
+            a.lock_cache().cached_mode(LockName::Page {
+                area: p.area,
+                page: p.page
+            }),
+            Some(LockMode::S)
+        );
+        assert!(w.servers[0].stats().snapshot().callbacks_sent >= 1);
+        assert!(w.servers[0].stats().snapshot().callback_downgrades >= 1);
+        assert!(a.stats().snapshot().callbacks >= 1);
+
+        // A full revocation still happens when B wants X.
+        b.begin().unwrap();
+        let data = b.fetch_page(p, LockMode::X).unwrap();
+        b.commit(vec![update(p, 0, &data[0..1], &[8])]).unwrap();
+        assert!(a
+            .lock_cache()
+            .cached_mode(LockName::Page {
+                area: p.area,
+                page: p.page
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn callback_defers_while_lock_in_use() {
+        let w = world(&[&[0]]);
+        let a = client(&w, 1, true);
+        let b = client(&w, 2, true);
+        let p = seg_page(&w, 0);
+
+        a.begin().unwrap();
+        a.fetch_page(p, LockMode::X).unwrap();
+        // A's transaction is still running; B's conflicting fetch is
+        // deferred until A commits.
+        b.begin().unwrap();
+        let b2 = Arc::clone(&b);
+        let fetcher = std::thread::spawn(move || b2.fetch_page(p, LockMode::S));
+        std::thread::sleep(Duration::from_millis(100));
+        // A commits, releasing its server lock via the deferred callback.
+        a.commit(vec![update(p, 0, &[0], &[9])]).unwrap();
+        let data = fetcher.join().unwrap().unwrap();
+        assert_eq!(data[0], 9);
+        b.commit(vec![]).unwrap();
+        assert!(w.servers[0].stats().snapshot().callback_deferred >= 1);
+    }
+
+    #[test]
+    fn conflicting_writers_are_serialized() {
+        let w = world(&[&[0]]);
+        let p = seg_page(&w, 0);
+        let mut handles = Vec::new();
+        for i in 0..4u32 {
+            let net = Arc::clone(&w.net);
+            let dir = Arc::clone(&w.dir);
+            let home = w.servers[0].node();
+            handles.push(std::thread::spawn(move || {
+                let mut cfg = ClientConfig::new(NodeId(10 + i), home);
+                cfg.caching = true;
+                let c = ClientConn::connect(&net, dir, cfg);
+                for _ in 0..5 {
+                    loop {
+                        c.begin().unwrap();
+                        match c.fetch_page(p, LockMode::X) {
+                            Ok(data) => {
+                                let v = u32::from_le_bytes(data[0..4].try_into().unwrap());
+                                let new = (v + 1).to_le_bytes();
+                                c.commit(vec![update(p, 0, &data[0..4], &new)]).unwrap();
+                                break;
+                            }
+                            Err(_) => {
+                                // Deadlock timeout under contention: retry.
+                                let _ = c.abort();
+                            }
+                        }
+                    }
+                }
+                c.disconnect();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Count survives: 4 clients * 5 increments, fully serialized.
+        let area = w.servers[0].areas().get(p.area).unwrap();
+        let mut buf = vec![0u8; area.page_size()];
+        area.read_page(p.page, &mut buf).unwrap();
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 20);
+    }
+
+    #[test]
+    fn committed_data_survives_server_crash() {
+        let net = Network::new(Duration::ZERO);
+        let dir = Arc::new(Directory::new());
+        let set = make_area_set(&[0]);
+        let node = NodeId(100);
+        register_areas(&dir, node, &set);
+        let log = LogManager::create_mem();
+        let (server, _) = BessServer::start(ServerConfig::new(node), Arc::clone(&set), log, &net);
+
+        let c = ClientConn::connect(&net, Arc::clone(&dir), ClientConfig::new(NodeId(1), node));
+        let seg = set.get(0).unwrap().alloc(1).unwrap();
+        let p = page(0, seg.start_page);
+        c.begin().unwrap();
+        c.fetch_page(p, LockMode::X).unwrap();
+        c.commit(vec![update(p, 0, &[0; 7], b"durable")]).unwrap();
+
+        // Crash the server process; areas and flushed log survive.
+        let crashed_log = server.log().simulate_crash().unwrap();
+        server.shutdown();
+        net.unregister(node);
+        let (server2, report) =
+            BessServer::start(ServerConfig::new(node), Arc::clone(&set), crashed_log, &net);
+        assert!(!report.winners.is_empty());
+        let area = server2.areas().get(0).unwrap();
+        let mut buf = vec![0u8; area.page_size()];
+        area.read_page(p.page, &mut buf).unwrap();
+        assert_eq!(&buf[0..7], b"durable");
+    }
+
+    #[test]
+    fn two_phase_commit_across_servers() {
+        let w = world(&[&[0], &[1]]);
+        let c = client(&w, 1, true);
+        let p0 = seg_page(&w, 0);
+        let p1 = seg_page(&w, 1);
+        c.begin().unwrap();
+        c.fetch_page(p0, LockMode::X).unwrap();
+        c.fetch_page(p1, LockMode::X).unwrap();
+        c.commit(vec![
+            update(p0, 0, &[0; 4], b"2pc0"),
+            update(p1, 0, &[0; 4], b"2pc1"),
+        ])
+        .unwrap();
+
+        for (i, p) in [(0usize, p0), (1usize, p1)] {
+            let area = w.servers[i].areas().get(p.area).unwrap();
+            let mut buf = vec![0u8; area.page_size()];
+            area.read_page(p.page, &mut buf).unwrap();
+            assert_eq!(&buf[0..4], format!("2pc{i}").as_bytes());
+        }
+        assert!(w.servers[0].stats().snapshot().coordinated >= 1);
+        assert_eq!(w.servers[1].stats().snapshot().prepares, 1);
+    }
+
+    #[test]
+    fn in_doubt_participant_resolves_with_coordinator() {
+        // Participant crashes after Prepare, before the decision arrives;
+        // on restart it asks the coordinator and commits.
+        let net = Network::new(Duration::ZERO);
+        let dir = Arc::new(Directory::new());
+        let set0 = make_area_set(&[0]);
+        let set1 = make_area_set(&[1]);
+        register_areas(&dir, NodeId(100), &set0);
+        register_areas(&dir, NodeId(101), &set1);
+        let (coord, _) = BessServer::start(
+            ServerConfig::new(NodeId(100)),
+            Arc::clone(&set0),
+            LogManager::create_mem(),
+            &net,
+        );
+        let (part, _) = BessServer::start(
+            ServerConfig::new(NodeId(101)),
+            Arc::clone(&set1),
+            LogManager::create_mem(),
+            &net,
+        );
+        let seg = set1.get(1).unwrap().alloc(1).unwrap();
+        let p = page(1, seg.start_page);
+
+        // Drive prepare directly (no client machinery needed).
+        let driver = net.register(NodeId(7));
+        let gtxn: u64 = match driver
+            .call(NodeId(100), Msg::BeginGlobal, Duration::from_secs(2))
+            .unwrap()
+        {
+            Msg::TxnId(g) => g,
+            other => panic!("{other:?}"),
+        };
+        driver
+            .call(
+                NodeId(101),
+                Msg::ShipUpdates {
+                    gtxn,
+                    updates: vec![update(p, 0, &[0; 5], b"doubt")],
+                },
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert!(matches!(
+            driver
+                .call(NodeId(101), Msg::Prepare { gtxn }, Duration::from_secs(2))
+                .unwrap(),
+            Msg::VoteYes
+        ));
+        // Coordinator decides commit durably, but the participant crashes
+        // before hearing it. Restart the coordinator so its decision table
+        // is rebuilt from its log.
+        let l = coord
+            .log()
+            .append(gtxn, bess_wal::Lsn::NULL, bess_wal::LogBody::Commit);
+        coord.log().flush(l).unwrap();
+        let coord_log = coord.log().simulate_crash().unwrap();
+        coord.shutdown();
+        net.unregister(NodeId(100));
+        let (_coord2, _) = BessServer::start(ServerConfig::new(NodeId(100)), set0, coord_log, &net);
+
+        let part_log = part.log().simulate_crash().unwrap();
+        part.shutdown();
+        net.unregister(NodeId(101));
+        let (part2, report) = BessServer::start(
+            ServerConfig::new(NodeId(101)),
+            Arc::clone(&set1),
+            part_log,
+            &net,
+        );
+        assert_eq!(report.in_doubt, vec![gtxn]);
+        assert_eq!(part2.in_doubt(), vec![gtxn]);
+        part2.resolve_in_doubt();
+        assert!(part2.in_doubt().is_empty());
+        let area = part2.areas().get(1).unwrap();
+        let mut buf = vec![0u8; area.page_size()];
+        area.read_page(p.page, &mut buf).unwrap();
+        assert_eq!(&buf[0..5], b"doubt");
+    }
+
+    #[test]
+    fn in_doubt_presumed_abort_when_coordinator_forgot() {
+        let net = Network::new(Duration::ZERO);
+        let dir = Arc::new(Directory::new());
+        let set0 = make_area_set(&[0]);
+        let set1 = make_area_set(&[1]);
+        register_areas(&dir, NodeId(100), &set0);
+        register_areas(&dir, NodeId(101), &set1);
+        let (_coord, _) = BessServer::start(
+            ServerConfig::new(NodeId(100)),
+            set0,
+            LogManager::create_mem(),
+            &net,
+        );
+        let (part, _) = BessServer::start(
+            ServerConfig::new(NodeId(101)),
+            Arc::clone(&set1),
+            LogManager::create_mem(),
+            &net,
+        );
+        let seg = set1.get(1).unwrap().alloc(1).unwrap();
+        let p = page(1, seg.start_page);
+
+        let driver = net.register(NodeId(7));
+        let gtxn = (100u64 << 32) | 999; // coordinator never heard of it
+        driver
+            .call(
+                NodeId(101),
+                Msg::ShipUpdates {
+                    gtxn,
+                    updates: vec![update(p, 0, &[0; 3], b"bad")],
+                },
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        driver
+            .call(NodeId(101), Msg::Prepare { gtxn }, Duration::from_secs(2))
+            .unwrap();
+
+        let part_log = part.log().simulate_crash().unwrap();
+        part.shutdown();
+        net.unregister(NodeId(101));
+        let (part2, report) = BessServer::start(
+            ServerConfig::new(NodeId(101)),
+            Arc::clone(&set1),
+            part_log,
+            &net,
+        );
+        assert_eq!(report.in_doubt, vec![gtxn]);
+        part2.resolve_in_doubt();
+        assert!(part2.in_doubt().is_empty());
+        // Presumed abort: the page is untouched.
+        let area = part2.areas().get(1).unwrap();
+        let mut buf = vec![0u8; area.page_size()];
+        area.read_page(p.page, &mut buf).unwrap();
+        assert_eq!(&buf[0..3], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn node_server_serves_and_caches() {
+        let w = world(&[&[0]]);
+        let ns = NodeServer::start(
+            NodeServerConfig::new(NodeId(50)),
+            Arc::clone(&w.dir),
+            &w.net,
+        );
+        let p = seg_page(&w, 0);
+        // A local app connects to the node server as its "home".
+        let mut cfg = ClientConfig::new(NodeId(51), ns.node());
+        cfg.caching = true;
+        cfg.gateway = Some(ns.node());
+        let app = ClientConn::connect(&w.net, Arc::clone(&w.dir), cfg);
+
+        app.begin().unwrap();
+        let d1 = app.fetch_page(p, LockMode::S).unwrap();
+        assert_eq!(d1[0], 0);
+        app.commit(vec![]).unwrap();
+
+        app.begin().unwrap();
+        let _d2 = app.fetch_page(p, LockMode::S).unwrap();
+        app.commit(vec![]).unwrap();
+        let s = ns.stats().snapshot();
+        assert_eq!(s.remote_fetches, 1, "second fetch served from node cache");
+        assert!(s.cache_hits >= 1);
+    }
+
+    #[test]
+    fn node_server_commit_updates_shared_cache() {
+        let w = world(&[&[0]]);
+        let ns = NodeServer::start(
+            NodeServerConfig::new(NodeId(50)),
+            Arc::clone(&w.dir),
+            &w.net,
+        );
+        let p = seg_page(&w, 0);
+        let mut cfg = ClientConfig::new(NodeId(51), ns.node());
+        cfg.caching = true;
+        cfg.gateway = Some(ns.node());
+        let app = ClientConn::connect(&w.net, Arc::clone(&w.dir), cfg);
+
+        app.begin().unwrap();
+        app.fetch_page(p, LockMode::X).unwrap();
+        app.commit(vec![update(p, 0, &[0; 5], b"local")]).unwrap();
+
+        // The committed bytes are on the owning server...
+        let area = w.servers[0].areas().get(p.area).unwrap();
+        let mut buf = vec![0u8; area.page_size()];
+        area.read_page(p.page, &mut buf).unwrap();
+        assert_eq!(&buf[0..5], b"local");
+        // ...and visible through the node server without refetch.
+        app.begin().unwrap();
+        let data = app.fetch_page(p, LockMode::S).unwrap();
+        assert_eq!(&data[0..5], b"local");
+        app.commit(vec![]).unwrap();
+    }
+
+    #[test]
+    fn node_server_answers_server_callbacks() {
+        let w = world(&[&[0]]);
+        let ns = NodeServer::start(
+            NodeServerConfig::new(NodeId(50)),
+            Arc::clone(&w.dir),
+            &w.net,
+        );
+        let p = seg_page(&w, 0);
+        // Local app (through node server) takes and caches an X lock.
+        let mut cfg = ClientConfig::new(NodeId(51), ns.node());
+        cfg.caching = true;
+        cfg.gateway = Some(ns.node());
+        let app = ClientConn::connect(&w.net, Arc::clone(&w.dir), cfg);
+        app.begin().unwrap();
+        app.fetch_page(p, LockMode::X).unwrap();
+        app.commit(vec![update(p, 0, &[0], &[3])]).unwrap();
+
+        // A direct client of the server now wants the page: the server
+        // calls the node server back, which releases its idle cached lock.
+        let direct = client(&w, 60, true);
+        direct.begin().unwrap();
+        let data = direct.fetch_page(p, LockMode::X).unwrap();
+        assert_eq!(data[0], 3);
+        direct.commit(vec![update(p, 0, &[3], &[4])]).unwrap();
+        assert!(ns.stats().snapshot().callbacks >= 1);
+    }
+
+    #[test]
+    fn deadlock_between_clients_times_out() {
+        let w = world(&[&[0]]);
+        let p1 = seg_page(&w, 0);
+        let p2 = seg_page(&w, 0);
+        let a = client(&w, 1, false);
+        let b = client(&w, 2, false);
+        a.begin().unwrap();
+        b.begin().unwrap();
+        a.fetch_page(p1, LockMode::X).unwrap();
+        b.fetch_page(p2, LockMode::X).unwrap();
+        let a2 = Arc::clone(&a);
+        let t1 = std::thread::spawn(move || a2.fetch_page(p2, LockMode::X));
+        let b2 = Arc::clone(&b);
+        let t2 = std::thread::spawn(move || b2.fetch_page(p1, LockMode::X));
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(
+            r1.is_err() || r2.is_err(),
+            "timeout must break the distributed deadlock"
+        );
+        let _ = a.abort();
+        let _ = b.abort();
+    }
+
+    #[test]
+    fn non_caching_client_releases_locks_at_txn_end() {
+        let w = world(&[&[0]]);
+        let a = client(&w, 1, false);
+        let b = client(&w, 2, false);
+        let p = seg_page(&w, 0);
+        a.begin().unwrap();
+        a.fetch_page(p, LockMode::X).unwrap();
+        a.commit(vec![update(p, 0, &[0], &[1])]).unwrap();
+        // No callback needed: A released at commit. B acquires immediately.
+        b.begin().unwrap();
+        b.fetch_page(p, LockMode::X).unwrap();
+        b.commit(vec![update(p, 0, &[1], &[2])]).unwrap();
+        assert_eq!(w.servers[0].stats().snapshot().callbacks_sent, 0);
+    }
+}
+
+#[cfg(test)]
+mod client_logging_tests {
+    //! §6 of the paper — "exploiting client disks": the node server commits
+    //! local transactions on its own log, ships write-behind, and recovers
+    //! unshipped commits after a node crash.
+    use super::*;
+    use bess_cache::{AreaSet, DbPage};
+    use bess_lock::LockMode;
+    use bess_net::{Network, NodeId};
+    use bess_storage::{AreaConfig, AreaId, StorageArea};
+    use bess_wal::LogManager;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn world() -> (
+        Arc<Network<Msg>>,
+        Arc<Directory>,
+        Arc<AreaSet>,
+        BessServer,
+        DbPage,
+    ) {
+        let net = Network::new(Duration::ZERO);
+        let dir = Arc::new(Directory::new());
+        let set = Arc::new(AreaSet::new());
+        set.add(Arc::new(
+            StorageArea::create_mem(AreaId(0), AreaConfig::default()).unwrap(),
+        ));
+        register_areas(&dir, NodeId(100), &set);
+        let (server, _) = BessServer::start(
+            ServerConfig::new(NodeId(100)),
+            Arc::clone(&set),
+            LogManager::create_mem(),
+            &net,
+        );
+        let seg = set.get(0).unwrap().alloc(1).unwrap();
+        let page = DbPage {
+            area: 0,
+            page: seg.start_page,
+        };
+        (net, dir, set, server, page)
+    }
+
+    fn app(net: &Arc<Network<Msg>>, dir: &Arc<Directory>, ns: &NodeServer, node: u32) -> Arc<ClientConn> {
+        let mut cfg = ClientConfig::new(NodeId(node), ns.node());
+        cfg.gateway = Some(ns.node());
+        ClientConn::connect(net, Arc::clone(dir), cfg)
+    }
+
+    fn upd(page: DbPage, before: &[u8], after: &[u8]) -> PageUpdate {
+        PageUpdate {
+            page,
+            offset: 0,
+            before: before.to_vec(),
+            after: after.to_vec(),
+        }
+    }
+
+    #[test]
+    fn write_behind_ship_completes() {
+        let (net, dir, set, _server, page) = world();
+        let (ns, reshipped) = NodeServer::start_with_log(
+            NodeServerConfig::new(NodeId(50)),
+            Arc::clone(&dir),
+            &net,
+            LogManager::create_mem(),
+        );
+        assert_eq!(reshipped, 0);
+        let a = app(&net, &dir, &ns, 51);
+        a.begin().unwrap();
+        a.fetch_page(page, LockMode::X).unwrap();
+        a.commit(vec![upd(page, &[0; 4], b"ship")]).unwrap();
+        ns.drain_shipments();
+        // The owner server has the bytes.
+        let area = set.get(0).unwrap();
+        let mut buf = vec![0u8; area.page_size()];
+        area.read_page(page.page, &mut buf).unwrap();
+        assert_eq!(&buf[0..4], b"ship");
+        assert_eq!(ns.stats().snapshot().local_commits, 1);
+    }
+
+    #[test]
+    fn local_commit_survives_owner_outage_and_node_crash() {
+        let (net, dir, set, server, page) = world();
+        let (ns, _) = NodeServer::start_with_log(
+            NodeServerConfig::new(NodeId(50)),
+            Arc::clone(&dir),
+            &net,
+            LogManager::create_mem(),
+        );
+        let a = app(&net, &dir, &ns, 51);
+        // Take the lock while the owner is still reachable.
+        a.begin().unwrap();
+        a.fetch_page(page, LockMode::X).unwrap();
+
+        // The owner server "goes down" before the commit.
+        net.unregister(server.node());
+
+        // The commit still succeeds: it is durable on the node's log (§6:
+        // "the BeSS node server will be able to commit local transactions").
+        a.commit(vec![upd(page, &[0; 7], b"durable")]).unwrap();
+        assert_eq!(ns.stats().snapshot().local_commits, 1);
+
+        // Node crashes before ever shipping. Keep only the flushed log.
+        let node_log = ns.local_log().unwrap().simulate_crash().unwrap();
+        ns.shutdown();
+        net.unregister(NodeId(50));
+
+        // Owner comes back (same storage, fresh process).
+        let (server2, _) = BessServer::start(
+            ServerConfig::new(NodeId(100)),
+            Arc::clone(&set),
+            LogManager::create_mem(),
+            &net,
+        );
+        let _ = server2;
+
+        // Node restarts over its log: recovery re-ships the commit.
+        let (ns2, reshipped) = NodeServer::start_with_log(
+            NodeServerConfig::new(NodeId(50)),
+            Arc::clone(&dir),
+            &net,
+            node_log,
+        );
+        assert_eq!(reshipped, 1);
+        assert_eq!(ns2.stats().snapshot().reshipped, 1);
+        let area = set.get(0).unwrap();
+        let mut buf = vec![0u8; area.page_size()];
+        area.read_page(page.page, &mut buf).unwrap();
+        assert_eq!(&buf[0..7], b"durable");
+    }
+
+    #[test]
+    fn commit_latency_is_independent_of_owner_latency() {
+        // The §6 payoff: with client logging, commit latency is the local
+        // log force, not the server round trip.
+        let net: Arc<Network<Msg>> = Network::new(Duration::from_millis(5));
+        let dir = Arc::new(Directory::new());
+        let set = Arc::new(AreaSet::new());
+        set.add(Arc::new(
+            StorageArea::create_mem(AreaId(0), AreaConfig::default()).unwrap(),
+        ));
+        register_areas(&dir, NodeId(100), &set);
+        let (_server, _) = BessServer::start(
+            ServerConfig::new(NodeId(100)),
+            Arc::clone(&set),
+            LogManager::create_mem(),
+            &net,
+        );
+        let seg = set.get(0).unwrap().alloc(1).unwrap();
+        let page = DbPage {
+            area: 0,
+            page: seg.start_page,
+        };
+
+        let time_commits = |with_log: bool| -> Duration {
+            let node = if with_log { 60 } else { 61 };
+            let ns = if with_log {
+                NodeServer::start_with_log(
+                    NodeServerConfig::new(NodeId(node)),
+                    Arc::clone(&dir),
+                    &net,
+                    LogManager::create_mem(),
+                )
+                .0
+            } else {
+                NodeServer::start(
+                    NodeServerConfig::new(NodeId(node)),
+                    Arc::clone(&dir),
+                    &net,
+                )
+            };
+            // Shared-memory app: commit goes through the node server
+            // in-process, so the only wire cost is the ship.
+            let h = ns.handle();
+            // Warm: fault the page in and take the lock once.
+            let txn = h.begin();
+            h.lock(
+                txn,
+                bess_lock::LockName::Page {
+                    area: page.area,
+                    page: page.page,
+                },
+                LockMode::X,
+            )
+            .unwrap();
+            let t0 = std::time::Instant::now();
+            h.commit(txn, vec![upd(page, &[0], &[1])]).unwrap();
+            let dt = t0.elapsed();
+            ns.drain_shipments();
+            // Graceful shutdown releases the cached server locks so the
+            // next node server acquires them without callbacks.
+            ns.shutdown();
+            dt
+        };
+
+        let with_log = time_commits(true);
+        let without = time_commits(false);
+        assert!(
+            with_log < without / 2,
+            "local-log commit {with_log:?} should be much faster than synchronous ship {without:?}"
+        );
+    }
+}

@@ -1,0 +1,899 @@
+//! The BeSS node server.
+//!
+//! "A BeSS node server is a BeSS server that does not own any storage
+//! areas. Consequently, each BeSS node server is a client of the BeSS
+//! servers that acts as a server for the local applications. The BeSS node
+//! server establishes a cache on the node it is running and it is
+//! responsible for fetching the data requested by the local applications
+//! from the BeSS servers that own the data. In addition, the BeSS node
+//! server acquires locks on behalf of the local applications and responds
+//! to callback requests issued by BeSS servers." (§3)
+//!
+//! Local applications reach the node server two ways (§4.1):
+//!
+//! * **copy on access** — over the message protocol (the simulated IPC),
+//!   like any remote client, but served from the node's shared cache;
+//! * **shared memory** — in-process, through [`NodeServer::shared_cache`]
+//!   and the direct `local_*` methods, paying no IPC at all.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bess_cache::{DbPage, GetOutcome, PageIo, SharedCache};
+use bess_lock::{CacheDecision, CallbackResponse, LockCache, LockManager, LockMode, LockName, TxnId};
+use bess_net::{Caller, Endpoint, NetError, Network, NodeId};
+use bess_vm::PageStore;
+use bess_wal::{LogBody, LogManager, LogPageId, Lsn};
+use parking_lot::{Condvar, Mutex};
+
+use crate::directory::Directory;
+use crate::proto::{Msg, PageUpdate};
+
+/// Node-server configuration.
+#[derive(Clone, Debug)]
+pub struct NodeServerConfig {
+    /// The node this server runs on.
+    pub node: NodeId,
+    /// Cache slots in the shared cache.
+    pub cache_slots: usize,
+    /// Virtual frames (PVMA size) — may exceed `cache_slots` (§4.1.2).
+    pub cache_vframes: usize,
+    /// Page size.
+    pub page_size: usize,
+    /// Lock timeout for local lock waits.
+    pub lock_timeout: Duration,
+    /// RPC timeout towards owning servers.
+    pub rpc_timeout: Duration,
+}
+
+impl NodeServerConfig {
+    /// A config with test defaults.
+    pub fn new(node: NodeId) -> Self {
+        NodeServerConfig {
+            node,
+            cache_slots: 256,
+            cache_vframes: 1024,
+            page_size: bess_storage::PAGE_SIZE,
+            lock_timeout: Duration::from_millis(500),
+            rpc_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Counters kept by a node server.
+#[derive(Debug, Default)]
+pub struct NodeServerStats {
+    /// Requests served from the shared cache without contacting a server.
+    pub cache_hits: AtomicU64,
+    /// Pages fetched from owning servers.
+    pub remote_fetches: AtomicU64,
+    /// Lock requests resolved locally (node-level lock already cached).
+    pub lock_local: AtomicU64,
+    /// Lock requests forwarded to owning servers.
+    pub lock_remote: AtomicU64,
+    /// Callbacks received from servers.
+    pub callbacks: AtomicU64,
+    /// Commits forwarded.
+    pub commits: AtomicU64,
+    /// Distributed (2PC) commits forwarded.
+    pub global_commits: AtomicU64,
+    /// Commits made durable on the node's local log before shipping
+    /// (§6 client logging).
+    pub local_commits: AtomicU64,
+    /// Locally-committed transactions re-shipped after a node restart.
+    pub reshipped: AtomicU64,
+}
+
+impl NodeServerStats {
+    /// Takes a snapshot for reporting.
+    pub fn snapshot(&self) -> NodeServerStatsSnapshot {
+        NodeServerStatsSnapshot {
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            remote_fetches: self.remote_fetches.load(Ordering::Relaxed),
+            lock_local: self.lock_local.load(Ordering::Relaxed),
+            lock_remote: self.lock_remote.load(Ordering::Relaxed),
+            callbacks: self.callbacks.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            global_commits: self.global_commits.load(Ordering::Relaxed),
+            local_commits: self.local_commits.load(Ordering::Relaxed),
+            reshipped: self.reshipped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`NodeServerStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeServerStatsSnapshot {
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Remote fetches.
+    pub remote_fetches: u64,
+    /// Locally-resolved lock requests.
+    pub lock_local: u64,
+    /// Forwarded lock requests.
+    pub lock_remote: u64,
+    /// Callbacks received.
+    pub callbacks: u64,
+    /// Commits forwarded.
+    pub commits: u64,
+    /// 2PC commits forwarded.
+    pub global_commits: u64,
+    /// Local-log commits.
+    pub local_commits: u64,
+    /// Re-shipped after restart.
+    pub reshipped: u64,
+}
+
+struct NsInner {
+    cfg: NodeServerConfig,
+    dir: Arc<Directory>,
+    caller: Caller<Msg>,
+    cache: Arc<SharedCache>,
+    /// Local strict-2PL among the node's applications.
+    local_locks: LockManager,
+    /// Node-level cache of locks granted by the owning servers.
+    lock_cache: Arc<LockCache>,
+    pending_locks: Mutex<std::collections::HashSet<LockName>>,
+    raced_callbacks: Mutex<std::collections::HashSet<LockName>>,
+    /// §6 client logging: the node's local write-ahead log. Commits become
+    /// durable here first; shipping to the owning servers is write-behind.
+    local_log: Option<Arc<LogManager>>,
+    /// Transactions locally committed but not yet acknowledged by their
+    /// owning servers: `txn -> (commit LSN, updates)`.
+    unshipped: Mutex<HashMap<u64, (Lsn, Vec<PageUpdate>)>>,
+    ship_done: Condvar,
+    next_txn: AtomicU64,
+    running: AtomicBool,
+    stats: NodeServerStats,
+}
+
+/// A running node server.
+pub struct NodeServer {
+    inner: Arc<NsInner>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl NodeServer {
+    /// Starts a node server on the network.
+    pub fn start(
+        cfg: NodeServerConfig,
+        dir: Arc<Directory>,
+        net: &Arc<Network<Msg>>,
+    ) -> NodeServer {
+        Self::start_inner(cfg, dir, net, None).0
+    }
+
+    /// Starts a node server with **client logging** (§6 of the paper): the
+    /// node's local disk holds a WAL; local transactions commit as soon as
+    /// their records are forced there, and the updates ship to the owning
+    /// servers write-behind. On restart over an existing log, commits the
+    /// servers never acknowledged are re-shipped (the node's cached server
+    /// locks still guard them). Returns the server and the number of
+    /// transactions re-shipped during recovery.
+    pub fn start_with_log(
+        cfg: NodeServerConfig,
+        dir: Arc<Directory>,
+        net: &Arc<Network<Msg>>,
+        log: LogManager,
+    ) -> (NodeServer, u64) {
+        Self::start_inner(cfg, dir, net, Some(Arc::new(log)))
+    }
+
+    fn start_inner(
+        cfg: NodeServerConfig,
+        dir: Arc<Directory>,
+        net: &Arc<Network<Msg>>,
+        local_log: Option<Arc<LogManager>>,
+    ) -> (NodeServer, u64) {
+        let cache = SharedCache::new(cfg.cache_slots, cfg.cache_vframes, cfg.page_size);
+        let inner = Arc::new(NsInner {
+            caller: net.caller(cfg.node),
+            local_locks: LockManager::new(cfg.lock_timeout),
+            lock_cache: Arc::new(LockCache::new()),
+            pending_locks: Mutex::new(std::collections::HashSet::new()),
+            raced_callbacks: Mutex::new(std::collections::HashSet::new()),
+            local_log,
+            unshipped: Mutex::new(HashMap::new()),
+            ship_done: Condvar::new(),
+            cache,
+            dir,
+            next_txn: AtomicU64::new(1),
+            running: AtomicBool::new(true),
+            stats: NodeServerStats::default(),
+            cfg,
+        });
+        // Node-crash recovery: re-ship locally-committed transactions the
+        // owners never acknowledged.
+        let reshipped = inner.recover_local_log();
+        let endpoint = net.register(inner.cfg.node);
+        let loop_inner = Arc::clone(&inner);
+        let handle = std::thread::spawn(move || ns_loop(loop_inner, endpoint));
+        (
+            NodeServer {
+                inner,
+                handle: Some(handle),
+            },
+            reshipped,
+        )
+    }
+
+    /// The node's local log, when client logging is enabled.
+    pub fn local_log(&self) -> Option<&Arc<LogManager>> {
+        self.inner.local_log.as_ref()
+    }
+
+    /// Blocks until every locally-committed transaction has been shipped
+    /// to (and acknowledged by) its owning servers.
+    pub fn drain_shipments(&self) {
+        let mut pending = self.inner.unshipped.lock();
+        while !pending.is_empty() {
+            self.inner.ship_done.wait(&mut pending);
+        }
+    }
+
+    /// This node server's node id.
+    pub fn node(&self) -> NodeId {
+        self.inner.cfg.node
+    }
+
+    /// The shared cache (Figure 3) — shared-memory-mode applications attach
+    /// [`bess_cache::SharedView`]s to it directly.
+    pub fn shared_cache(&self) -> &Arc<SharedCache> {
+        &self.inner.cache
+    }
+
+    /// A [`PageIo`] that shared-memory-mode views use to fill misses: it
+    /// routes through the node server's fetch logic (locks at the owning
+    /// server under the node's identity) without any IPC.
+    pub fn shared_io(&self) -> Arc<dyn PageIo> {
+        Arc::new(NsIo(Arc::clone(&self.inner)))
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &NodeServerStats {
+        &self.inner.stats
+    }
+
+    /// The node-level lock cache (inspection).
+    pub fn lock_cache(&self) -> &Arc<LockCache> {
+        &self.inner.lock_cache
+    }
+
+    // ---- the shared-memory (in-process) interface -----------------------
+    // "Note also that the interface provided by the node server is the same
+    // in both modes, it is just the process boundaries that differ" (§4.1).
+
+    /// Begins a transaction for a local shared-memory application.
+    pub fn local_begin(&self) -> u64 {
+        let seq = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
+        (u64::from(self.inner.cfg.node.0) << 32) | seq
+    }
+
+    /// Acquires a lock for local application transaction `txn`.
+    pub fn local_lock(&self, txn: u64, name: LockName, mode: LockMode) -> Result<(), String> {
+        self.inner.lock_for(TxnId(txn), name, mode)
+    }
+
+    /// Commits a local application transaction with its page updates.
+    pub fn local_commit(&self, txn: u64, updates: Vec<PageUpdate>) -> Result<(), String> {
+        let r = self.inner.commit_for(txn, updates);
+        self.inner.end_local_txn(TxnId(txn));
+        r
+    }
+
+    /// Aborts a local application transaction.
+    pub fn local_abort(&self, txn: u64) {
+        // Purge dirty (uncommitted) pages so later readers refetch clean
+        // content from the owning servers.
+        for (page, _) in self.inner.cache.drain_dirty() {
+            self.inner.cache.purge(page);
+        }
+        self.inner.end_local_txn(TxnId(txn));
+    }
+
+    /// A cloneable, owner-independent handle to this node server, for
+    /// shared-memory sessions that live in the same process (§4.1.2).
+    pub fn handle(&self) -> NodeHandle {
+        NodeHandle(Arc::clone(&self.inner))
+    }
+
+    /// Stops the node server gracefully: pending shipments drain and every
+    /// lock cached at the owning servers is released. (Dropping without
+    /// calling this models a node *crash*: the servers keep the node's
+    /// locks, which is exactly what §6 re-shipping relies on.)
+    pub fn shutdown(mut self) {
+        {
+            // Bounded drain: shipments that cannot complete (an owner is
+            // down) stay in the local log and re-ship at the next start.
+            let deadline = std::time::Instant::now() + self.inner.cfg.rpc_timeout;
+            let mut pending = self.inner.unshipped.lock();
+            while !pending.is_empty() && std::time::Instant::now() < deadline {
+                if self
+                    .inner
+                    .ship_done
+                    .wait_until(&mut pending, deadline)
+                    .timed_out()
+                {
+                    break;
+                }
+            }
+            if !pending.is_empty() {
+                // Keep the unshipped transactions' locks at the servers:
+                // skip the lock release below for safety.
+                drop(pending);
+                self.inner.running.store(false, Ordering::Relaxed);
+                if let Some(h) = self.handle.take() {
+                    let _ = h.join();
+                }
+                return;
+            }
+        }
+        let names = self.inner.lock_cache.clear();
+        let mut by_owner: HashMap<NodeId, Vec<LockName>> = HashMap::new();
+        for name in names {
+            let owner = match name {
+                LockName::Page { area, .. }
+                | LockName::Segment { area, .. }
+                | LockName::Object { area, .. } => self.inner.dir.owner(area),
+                _ => self.inner.dir.servers().first().copied(),
+            };
+            if let Some(owner) = owner {
+                by_owner.entry(owner).or_default().push(name);
+            }
+        }
+        for (owner, names) in by_owner {
+            let _ = self.inner.caller.call(
+                owner,
+                Msg::ReleaseCached { names },
+                self.inner.cfg.rpc_timeout,
+            );
+        }
+        self.inner.running.store(false, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NodeServer {
+    fn drop(&mut self) {
+        self.inner.running.store(false, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn ns_loop(inner: Arc<NsInner>, endpoint: Endpoint<Msg>) {
+    while inner.running.load(Ordering::Relaxed) {
+        match endpoint.recv(Duration::from_millis(50)) {
+            Ok(env) => {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || {
+                    let from = env.from;
+                    let msg = env.msg.clone();
+                    let reply = inner.handle(from, msg);
+                    env.reply(reply);
+                });
+            }
+            Err(NetError::Timeout) => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+impl NsInner {
+    fn handle(self: &Arc<Self>, from: NodeId, msg: Msg) -> Msg {
+        match msg {
+            Msg::BeginTxn => {
+                let seq = self.next_txn.fetch_add(1, Ordering::Relaxed);
+                Msg::TxnId((u64::from(self.cfg.node.0) << 32) | seq)
+            }
+            Msg::Lock { name, mode } => {
+                match self.lock_for(TxnId(u64::from(from.0)), name, mode) {
+                    Ok(()) => Msg::Granted,
+                    Err(e) => Msg::Denied(e),
+                }
+            }
+            Msg::FetchPage { page, mode } => {
+                let name = LockName::Page {
+                    area: page.area,
+                    page: page.page,
+                };
+                if let Err(e) = self.lock_for(TxnId(u64::from(from.0)), name, mode) {
+                    return Msg::Denied(e);
+                }
+                match self.page_bytes(page) {
+                    Ok(data) => Msg::PageData(data),
+                    Err(e) => Msg::Err(e),
+                }
+            }
+            Msg::ReadPage { page } => match self.page_bytes(page) {
+                Ok(data) => Msg::PageData(data),
+                Err(e) => Msg::Err(e),
+            },
+            Msg::Commit { txn, updates } => {
+                let r = self.commit_for(txn, updates);
+                self.end_local_txn(TxnId(u64::from(from.0)));
+                match r {
+                    Ok(()) => Msg::Ok,
+                    Err(e) => Msg::Err(e),
+                }
+            }
+            Msg::Abort { txn } => {
+                let _ = txn;
+                for (page, _) in self.cache.drain_dirty() {
+                    self.cache.purge(page);
+                }
+                self.end_local_txn(TxnId(u64::from(from.0)));
+                Msg::Ok
+            }
+            Msg::ReleaseAll => {
+                self.end_local_txn(TxnId(u64::from(from.0)));
+                Msg::Ok
+            }
+            // Disk-space requests are forwarded to the owning server.
+            Msg::AllocSegment { area, .. }
+            | Msg::FreeSegment { area, .. }
+            | Msg::ReadAt { area, .. }
+            | Msg::WriteAt { area, .. } => match self.dir.owner(area) {
+                Some(owner) => self
+                    .caller
+                    .call(owner, msg, self.cfg.rpc_timeout)
+                    .unwrap_or_else(|e| Msg::Err(e.to_string())),
+                None => Msg::Err(format!("no owner for area {area}")),
+            },
+            // A server calls back a lock this node caches.
+            Msg::Callback { name } => {
+                AtomicU64::fetch_add(&self.stats.callbacks, 1, Ordering::Relaxed);
+                self.wait_unshipped_for(&name);
+                match self.lock_cache.callback(name) {
+                    CallbackResponse::Released => {
+                        if let LockName::Page { area, page } = name {
+                            self.cache.purge(DbPage { area, page });
+                        }
+                        Msg::CallbackReleased
+                    }
+                    CallbackResponse::NotCached => {
+                        if self.pending_locks.lock().contains(&name) {
+                            self.raced_callbacks.lock().insert(name);
+                            Msg::CallbackDeferred
+                        } else {
+                            if let LockName::Page { area, page } = name {
+                                self.cache.purge(DbPage { area, page });
+                            }
+                            Msg::CallbackReleased
+                        }
+                    }
+                    CallbackResponse::Deferred => Msg::CallbackDeferred,
+                }
+            }
+            Msg::CallbackDowngrade { name, to } => {
+                AtomicU64::fetch_add(&self.stats.callbacks, 1, Ordering::Relaxed);
+                self.wait_unshipped_for(&name);
+                if self.lock_cache.callback_downgrade(name, to) {
+                    Msg::CallbackReleased
+                } else {
+                    Msg::CallbackDeferred
+                }
+            }
+            other => Msg::Err(format!("node server got unexpected: {other:?}")),
+        }
+    }
+
+    /// Two-level locking: local strict 2PL among this node's applications,
+    /// plus a node-level lock at the owning server (cached between
+    /// transactions).
+    fn lock_for(&self, txn: TxnId, name: LockName, mode: LockMode) -> Result<(), String> {
+        self.local_locks
+            .lock(txn, name, mode)
+            .map_err(|e| e.to_string())?;
+        match self.lock_cache.acquire(txn, name, mode) {
+            CacheDecision::Hit => {
+                AtomicU64::fetch_add(&self.stats.lock_local, 1, Ordering::Relaxed);
+                Ok(())
+            }
+            CacheDecision::Miss { need } => {
+                AtomicU64::fetch_add(&self.stats.lock_remote, 1, Ordering::Relaxed);
+                let owner = match name {
+                    LockName::Page { area, .. }
+                    | LockName::Segment { area, .. }
+                    | LockName::Object { area, .. } => self
+                        .dir
+                        .owner(area)
+                        .ok_or_else(|| format!("no owner for area {area}"))?,
+                    _ => self
+                        .dir
+                        .servers()
+                        .first()
+                        .copied()
+                        .ok_or_else(|| "no servers".to_string())?,
+                };
+                self.pending_locks.lock().insert(name);
+                let reply = self
+                    .caller
+                    .call(owner, Msg::Lock { name, mode: need }, self.cfg.rpc_timeout);
+                let out = match reply {
+                    Ok(Msg::Granted) => {
+                        self.lock_cache.grant(txn, name, need);
+                        Ok(())
+                    }
+                    Ok(Msg::Denied(m)) => {
+                        let _ = self.local_locks.unlock(txn, name);
+                        Err(m)
+                    }
+                    Ok(other) => Err(format!("bad reply {other:?}")),
+                    Err(e) => Err(e.to_string()),
+                };
+                self.pending_locks.lock().remove(&name);
+                if self.raced_callbacks.lock().remove(&name) {
+                    self.lock_cache.mark_callback_pending(name);
+                }
+                out
+            }
+        }
+    }
+
+    /// Serves page bytes from the shared cache, fetching from the owning
+    /// server on a miss.
+    fn page_bytes(&self, page: DbPage) -> Result<Vec<u8>, String> {
+        match self.cache.get(page) {
+            Ok(GetOutcome::Resident { slot, frame }) => {
+                AtomicU64::fetch_add(&self.stats.cache_hits, 1, Ordering::Relaxed);
+                let mut buf = vec![0u8; self.cfg.page_size];
+                self.cache.store().read(frame, 0, &mut buf);
+                self.cache.dec_access(slot);
+                Ok(buf)
+            }
+            Ok(GetOutcome::MustLoad {
+                slot,
+                frame,
+                evicted,
+            }) => {
+                // The node server never holds uncommitted data, so dirty
+                // evictions cannot occur; drop clean evictions silently.
+                drop(evicted);
+                match self.fetch_remote(page) {
+                    Ok(data) => {
+                        self.cache.store().write(frame, 0, &data);
+                        self.cache.finish_load(slot, page);
+                        self.cache.dec_access(slot);
+                        Ok(data)
+                    }
+                    Err(e) => {
+                        self.cache.abort_load(slot, page);
+                        Err(e)
+                    }
+                }
+            }
+            Err(e) => {
+                // Cache saturated: serve without caching.
+                let _ = e;
+                self.fetch_remote(page)
+            }
+        }
+    }
+
+    fn fetch_remote(&self, page: DbPage) -> Result<Vec<u8>, String> {
+        AtomicU64::fetch_add(&self.stats.remote_fetches, 1, Ordering::Relaxed);
+        let owner = self
+            .dir
+            .owner(page.area)
+            .ok_or_else(|| format!("no owner for area {}", page.area))?;
+        match self
+            .caller
+            .call(owner, Msg::ReadPage { page }, self.cfg.rpc_timeout)
+        {
+            Ok(Msg::PageData(data)) => Ok(data),
+            Ok(Msg::Err(e)) => Err(e),
+            Ok(other) => Err(format!("bad reply {other:?}")),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Commits a local transaction. With a local log (§6), durability is
+    /// local — the updates ship to the owning servers afterwards; without
+    /// one, the commit is forwarded synchronously (2PC when several
+    /// servers own data).
+    fn commit_for(self: &Arc<Self>, txn: u64, updates: Vec<PageUpdate>) -> Result<(), String> {
+        if let Some(log) = self.local_log.clone() {
+            if !updates.is_empty() {
+                // 1. Locally durable commit.
+                let begin = log.append(txn, Lsn::NULL, LogBody::Begin);
+                let mut prev = begin;
+                for u in &updates {
+                    prev = log.append(
+                        txn,
+                        prev,
+                        LogBody::Update {
+                            page: LogPageId {
+                                area: u.page.area,
+                                page: u.page.page,
+                            },
+                            offset: u.offset,
+                            before: u.before.clone(),
+                            after: u.after.clone(),
+                        },
+                    );
+                }
+                let commit = log.append(txn, prev, LogBody::Commit);
+                log.flush(commit).map_err(|e| e.to_string())?;
+                AtomicU64::fetch_add(&self.stats.local_commits, 1, Ordering::Relaxed);
+                // 2. Refresh the shared cache now: the node is the
+                //    authority for its committed transactions.
+                self.refresh_cache(&updates);
+                self.unshipped.lock().insert(txn, (commit, updates.clone()));
+                // 3. Write-behind shipping.
+                let inner = Arc::clone(self);
+                std::thread::spawn(move || {
+                    let ok = inner.ship(txn, &updates).is_ok();
+                    let mut pending = inner.unshipped.lock();
+                    if ok {
+                        if let Some((commit, _)) = pending.remove(&txn) {
+                            log.append(txn, commit, LogBody::End);
+                        }
+                    }
+                    inner.ship_done.notify_all();
+                });
+                return Ok(());
+            }
+            return Ok(());
+        }
+        let r = self.ship(txn, &updates);
+        if r.is_ok() {
+            self.refresh_cache(&updates);
+        }
+        r
+    }
+
+    fn refresh_cache(&self, updates: &[PageUpdate]) {
+        for u in updates {
+            if let Some((_, frame)) = self.cache.slot_of(u.page) {
+                self.cache
+                    .store()
+                    .write(frame, u.offset as usize, &u.after);
+            }
+        }
+        self.cache.drain_dirty();
+    }
+
+    /// Node-restart recovery for the local log: find locally-committed
+    /// transactions without a shipped (`End`) marker and re-ship them.
+    fn recover_local_log(self: &Arc<Self>) -> u64 {
+        let Some(log) = self.local_log.clone() else {
+            return 0;
+        };
+        let mut txn_updates: HashMap<u64, Vec<PageUpdate>> = HashMap::new();
+        let mut committed: HashMap<u64, Lsn> = HashMap::new();
+        let mut shipped: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for rec in log.iter() {
+            match rec.body {
+                LogBody::Update {
+                    page,
+                    offset,
+                    ref before,
+                    ref after,
+                } => {
+                    txn_updates.entry(rec.txn).or_default().push(PageUpdate {
+                        page: DbPage {
+                            area: page.area,
+                            page: page.page,
+                        },
+                        offset,
+                        before: before.clone(),
+                        after: after.clone(),
+                    });
+                }
+                LogBody::Commit => {
+                    committed.insert(rec.txn, rec.lsn);
+                }
+                LogBody::End => {
+                    shipped.insert(rec.txn);
+                }
+                _ => {}
+            }
+        }
+        let mut reshipped = 0;
+        let mut to_ship: Vec<(u64, Lsn)> = committed
+            .iter()
+            .filter(|(t, _)| !shipped.contains(t))
+            .map(|(&t, &l)| (t, l))
+            .collect();
+        to_ship.sort_by_key(|&(_, l)| l);
+        for (txn, commit) in to_ship {
+            let updates = txn_updates.remove(&txn).unwrap_or_default();
+            if self.ship(txn, &updates).is_ok() {
+                log.append(txn, commit, LogBody::End);
+                reshipped += 1;
+                AtomicU64::fetch_add(&self.stats.reshipped, 1, Ordering::Relaxed);
+            }
+        }
+        let _ = log.flush_all();
+        reshipped
+    }
+
+    /// Ships a commit to the owning servers (2PC when several own data).
+    fn ship(&self, txn: u64, updates: &[PageUpdate]) -> Result<(), String> {
+        let updates = updates.to_vec();
+        let mut by_owner: HashMap<NodeId, Vec<PageUpdate>> = HashMap::new();
+        for u in &updates {
+            let owner = self
+                .dir
+                .owner(u.page.area)
+                .ok_or_else(|| format!("no owner for area {}", u.page.area))?;
+            by_owner.entry(owner).or_default().push(u.clone());
+        }
+        let outcome = match by_owner.len() {
+            0 => Ok(()),
+            1 => {
+                AtomicU64::fetch_add(&self.stats.commits, 1, Ordering::Relaxed);
+                let (owner, ups) = by_owner.into_iter().next().expect("one");
+                match self
+                    .caller
+                    .call(owner, Msg::Commit { txn, updates: ups }, self.cfg.rpc_timeout)
+                {
+                    Ok(Msg::Ok) => Ok(()),
+                    Ok(Msg::Err(e)) => Err(e),
+                    Ok(other) => Err(format!("bad reply {other:?}")),
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            _ => {
+                AtomicU64::fetch_add(&self.stats.global_commits, 1, Ordering::Relaxed);
+                let coordinator = *by_owner.keys().min().expect("nonempty");
+                let gtxn = match self
+                    .caller
+                    .call(coordinator, Msg::BeginGlobal, self.cfg.rpc_timeout)
+                {
+                    Ok(Msg::TxnId(g)) => g,
+                    Ok(other) => return Err(format!("bad reply {other:?}")),
+                    Err(e) => return Err(e.to_string()),
+                };
+                let participants: Vec<u32> = by_owner.keys().map(|n| n.0).collect();
+                for (owner, ups) in by_owner {
+                    match self.caller.call(
+                        owner,
+                        Msg::ShipUpdates {
+                            gtxn,
+                            updates: ups,
+                        },
+                        self.cfg.rpc_timeout,
+                    ) {
+                        Ok(Msg::Ok) => {}
+                        Ok(other) => return Err(format!("bad reply {other:?}")),
+                        Err(e) => return Err(e.to_string()),
+                    }
+                }
+                match self.caller.call(
+                    coordinator,
+                    Msg::CommitGlobal { gtxn, participants },
+                    self.cfg.rpc_timeout,
+                ) {
+                    Ok(Msg::Decision { committed: true }) => Ok(()),
+                    Ok(Msg::Decision { committed: false }) => Err("2PC aborted".into()),
+                    Ok(other) => Err(format!("bad reply {other:?}")),
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+        };
+        outcome
+    }
+
+    /// Callback safety under write-behind shipping: before releasing a
+    /// cached lock back to a server, every locally-committed-but-unshipped
+    /// transaction touching that resource must reach the server, or the
+    /// next reader would see stale bytes.
+    fn wait_unshipped_for(&self, name: &LockName) {
+        let LockName::Page { area, page } = *name else {
+            // Conservative: wait for everything on non-page names.
+            let mut pending = self.unshipped.lock();
+            while !pending.is_empty() {
+                self.ship_done.wait(&mut pending);
+            }
+            return;
+        };
+        let target = DbPage { area, page };
+        let mut pending = self.unshipped.lock();
+        while pending
+            .values()
+            .any(|(_, ups)| ups.iter().any(|u| u.page == target))
+        {
+            self.ship_done.wait(&mut pending);
+        }
+    }
+
+    fn end_local_txn(&self, txn: TxnId) {
+        self.local_locks.unlock_all(txn);
+        let released = self.lock_cache.finish_txn(txn);
+        let mut by_owner: HashMap<NodeId, Vec<LockName>> = HashMap::new();
+        for name in released {
+            if let LockName::Page { area, page } = name {
+                self.cache.purge(DbPage { area, page });
+            }
+            let owner = match name {
+                LockName::Page { area, .. }
+                | LockName::Segment { area, .. }
+                | LockName::Object { area, .. } => self.dir.owner(area),
+                _ => self.dir.servers().first().copied(),
+            };
+            if let Some(owner) = owner {
+                by_owner.entry(owner).or_default().push(name);
+            }
+        }
+        for (owner, names) in by_owner {
+            let _ = self
+                .caller
+                .call(owner, Msg::ReleaseCached { names }, self.cfg.rpc_timeout);
+        }
+    }
+}
+
+/// A cloneable handle to a running node server, exposing the in-process
+/// (shared-memory-mode) interface: "the interface provided by the node
+/// server is the same in both modes, it is just the process boundaries
+/// that differ" (§4.1).
+#[derive(Clone)]
+pub struct NodeHandle(Arc<NsInner>);
+
+impl NodeHandle {
+    /// The node server's shared cache.
+    pub fn shared_cache(&self) -> &Arc<SharedCache> {
+        &self.0.cache
+    }
+
+    /// A page source for shared-memory views (no IPC).
+    pub fn shared_io(&self) -> Arc<dyn PageIo> {
+        Arc::new(NsIo(Arc::clone(&self.0)))
+    }
+
+    /// Begins a local transaction.
+    pub fn begin(&self) -> u64 {
+        let seq = self.0.next_txn.fetch_add(1, Ordering::Relaxed);
+        (u64::from(self.0.cfg.node.0) << 32) | seq
+    }
+
+    /// Acquires a lock for a local transaction.
+    pub fn lock(&self, txn: u64, name: LockName, mode: LockMode) -> Result<(), String> {
+        self.0.lock_for(TxnId(txn), name, mode)
+    }
+
+    /// Commits a local transaction with its page updates.
+    pub fn commit(&self, txn: u64, updates: Vec<PageUpdate>) -> Result<(), String> {
+        let r = self.0.commit_for(txn, updates);
+        self.0.end_local_txn(TxnId(txn));
+        r
+    }
+
+    /// Aborts a local transaction.
+    pub fn abort(&self, txn: u64) {
+        for (page, _) in self.0.cache.drain_dirty() {
+            self.0.cache.purge(page);
+        }
+        self.0.end_local_txn(TxnId(txn));
+    }
+}
+
+/// [`PageIo`] for shared-memory views attached to the node server's cache:
+/// loads go through the node server's fetch logic (no IPC — this is the
+/// in-process path); dirty write-backs never reach the servers directly
+/// (commits ship diffs instead), so they are dropped.
+struct NsIo(Arc<NsInner>);
+
+impl PageIo for NsIo {
+    fn load(&self, page: DbPage, buf: &mut [u8]) -> Result<(), String> {
+        let data = self.0.fetch_remote(page)?;
+        buf.copy_from_slice(&data[..buf.len()]);
+        Ok(())
+    }
+
+    fn write_back(&self, page: DbPage, _data: &[u8]) {
+        // Uncommitted shared-cache pages must not overwrite server state;
+        // the commit path ships diffs. Eviction of a dirty shared page
+        // before commit would lose data, so purge-before-evict is enforced
+        // by keeping dirty pages accessed (see SharedView).
+        let _ = page;
+    }
+}

@@ -1,0 +1,229 @@
+//! The BeSS client-server wire protocol.
+//!
+//! One message enum covers client→server requests, the 2PC coordination
+//! traffic between servers, and the server→client **callback** messages of
+//! the callback locking algorithm (§3).
+
+use bess_cache::DbPage;
+use bess_lock::{LockMode, LockName};
+
+/// A global (distributed) transaction id: `(coordinator_node << 32) | seq`.
+pub type GTxn = u64;
+
+/// The coordinator node encoded in a global transaction id.
+pub fn coordinator_of(gtxn: GTxn) -> u32 {
+    (gtxn >> 32) as u32
+}
+
+/// A physical byte-range page update shipped at commit: the client's
+/// write-detection machinery captured the before-image at the first write
+/// fault (§2.3); the after-image is the page diff at commit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageUpdate {
+    /// The updated page.
+    pub page: DbPage,
+    /// Byte offset within the page.
+    pub offset: u32,
+    /// Overwritten bytes.
+    pub before: Vec<u8>,
+    /// New bytes.
+    pub after: Vec<u8>,
+}
+
+/// Protocol messages.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    // ---- client -> server requests -----------------------------------
+    /// Start a transaction; reply: [`Msg::TxnId`].
+    BeginTxn,
+    /// Acquire a lock (owner = requesting node) and return the page bytes;
+    /// reply: [`Msg::PageData`] or [`Msg::Denied`].
+    FetchPage {
+        /// The page.
+        page: DbPage,
+        /// Requested mode.
+        mode: LockMode,
+    },
+    /// Return page bytes without locking (the lock is already cached);
+    /// reply: [`Msg::PageData`].
+    ReadPage {
+        /// The page.
+        page: DbPage,
+    },
+    /// Acquire a lock (owner = requesting node); reply: [`Msg::Granted`] or
+    /// [`Msg::Denied`].
+    Lock {
+        /// Resource.
+        name: LockName,
+        /// Mode.
+        mode: LockMode,
+    },
+    /// Drop cached locks after a deferred callback; reply: [`Msg::Ok`].
+    ReleaseCached {
+        /// The resources to release.
+        names: Vec<LockName>,
+    },
+    /// Release every lock held by the requesting node (transaction-duration
+    /// caching clients, §3); reply: [`Msg::Ok`].
+    ReleaseAll,
+    /// Allocate a disk segment; reply: [`Msg::DiskSeg`].
+    AllocSegment {
+        /// Storage area.
+        area: u32,
+        /// Pages.
+        pages: u32,
+    },
+    /// Free a disk segment; reply: [`Msg::Ok`].
+    FreeSegment {
+        /// Storage area.
+        area: u32,
+        /// First page.
+        start_page: u64,
+        /// Requested page count at allocation.
+        pages: u32,
+    },
+    /// Raw byte read (overflow segments, large objects); reply:
+    /// [`Msg::Bytes`].
+    ReadAt {
+        /// Storage area.
+        area: u32,
+        /// Page.
+        page: u64,
+        /// Byte offset in page.
+        offset: u32,
+        /// Bytes wanted.
+        len: u32,
+    },
+    /// Raw byte write; reply: [`Msg::Ok`].
+    WriteAt {
+        /// Storage area.
+        area: u32,
+        /// Page.
+        page: u64,
+        /// Byte offset in page.
+        offset: u32,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Single-server commit: log + apply the updates; reply: [`Msg::Ok`].
+    Commit {
+        /// Server-assigned transaction id (from [`Msg::BeginTxn`]).
+        txn: u64,
+        /// The page updates.
+        updates: Vec<PageUpdate>,
+    },
+    /// Abort notice (client discards its own state); reply: [`Msg::Ok`].
+    Abort {
+        /// Transaction id.
+        txn: u64,
+    },
+
+    // ---- two-phase commit (§3) ----------------------------------------
+    /// Ship a distributed transaction's updates to a participant ahead of
+    /// prepare; reply: [`Msg::Ok`].
+    ShipUpdates {
+        /// Global transaction.
+        gtxn: GTxn,
+        /// Updates owned by this participant.
+        updates: Vec<PageUpdate>,
+    },
+    /// Ask the coordinator (the client's first server, §3) to run 2PC;
+    /// reply: [`Msg::Decision`].
+    CommitGlobal {
+        /// Global transaction.
+        gtxn: GTxn,
+        /// Participant nodes (may include the coordinator).
+        participants: Vec<u32>,
+    },
+    /// Coordinator → participant phase 1; reply: [`Msg::VoteYes`] or
+    /// [`Msg::VoteNo`].
+    Prepare {
+        /// Global transaction.
+        gtxn: GTxn,
+    },
+    /// Coordinator → participant phase 2; reply: [`Msg::Ok`].
+    Decide {
+        /// Global transaction.
+        gtxn: GTxn,
+        /// Whether to commit.
+        commit: bool,
+    },
+    /// Recovering participant asks the coordinator for a verdict; reply:
+    /// [`Msg::Decision`] or [`Msg::Unknown`].
+    QueryDecision {
+        /// Global transaction.
+        gtxn: GTxn,
+    },
+    /// Allocate a fresh global transaction id; reply: [`Msg::TxnId`].
+    BeginGlobal,
+
+    // ---- server -> client ----------------------------------------------
+    /// Callback request: give back the cached lock on `name` (§3); reply:
+    /// [`Msg::CallbackReleased`] or [`Msg::CallbackDeferred`].
+    Callback {
+        /// The contested resource.
+        name: LockName,
+    },
+    /// Downgrade callback (the callback-read optimisation): weaken the
+    /// cached lock on `name` to `to` instead of giving it up entirely, so
+    /// the holder keeps read permission cached; reply:
+    /// [`Msg::CallbackReleased`] (downgraded) or [`Msg::CallbackDeferred`].
+    CallbackDowngrade {
+        /// The contested resource.
+        name: LockName,
+        /// The weaker mode to keep (usually `S`).
+        to: LockMode,
+    },
+
+    // ---- replies ---------------------------------------------------------
+    /// Generic success.
+    Ok,
+    /// Generic failure.
+    Err(String),
+    /// A transaction id.
+    TxnId(u64),
+    /// Page content.
+    PageData(Vec<u8>),
+    /// Lock granted.
+    Granted,
+    /// Lock denied (timeout — possible deadlock).
+    Denied(String),
+    /// An allocated disk segment.
+    DiskSeg {
+        /// Storage area.
+        area: u32,
+        /// First page.
+        start_page: u64,
+        /// Requested page count.
+        pages: u32,
+    },
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// The callback released the lock.
+    CallbackReleased,
+    /// The lock is in use; release will follow via
+    /// [`Msg::ReleaseCached`].
+    CallbackDeferred,
+    /// Participant votes yes.
+    VoteYes,
+    /// Participant votes no.
+    VoteNo,
+    /// Coordinator's 2PC verdict.
+    Decision {
+        /// Whether the transaction committed.
+        committed: bool,
+    },
+    /// The coordinator has no record of the transaction.
+    Unknown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtxn_encoding() {
+        let gtxn: GTxn = (7u64 << 32) | 99;
+        assert_eq!(coordinator_of(gtxn), 7);
+    }
+}

@@ -1,0 +1,751 @@
+//! The BeSS server.
+//!
+//! "Each BeSS server manages a number of storage areas and it provides
+//! distributed transaction management, concurrency control and recovery
+//! for the databases stored in these areas. The two phase commit (2PC)
+//! protocol is employed for distributed commits and timeouts are used for
+//! distributed deadlock detection. The strict two phase locking algorithm
+//! is used for concurrency control and recovery is based on an ARIES-like
+//! write-ahead log (WAL) protocol. Moreover, client-server interaction is
+//! minimized by caching data and locks between transactions running on the
+//! same client. Cache consistency is provided by employing the callback
+//! locking algorithm." (§3)
+//!
+//! All of that lives here. Locks are granted to *client nodes* (the
+//! callback-locking ownership model); when a conflicting request arrives
+//! the server calls the holding clients back, releasing idle cached locks
+//! immediately and waiting (bounded by the deadlock timeout) for locks in
+//! use. Commits log physical byte-range updates, force the log, then apply
+//! the after-images to the storage areas. Distributed commits run
+//! presumed-abort 2PC with the client's first server as coordinator.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bess_cache::AreaSet;
+use bess_lock::{LockManager, LockMode, LockName, TxnId};
+use bess_net::{Caller, Endpoint, Network, NodeId};
+use bess_storage::{AreaId, DiskPtr};
+use bess_wal::{
+    recover, take_checkpoint, undo_transactions, LogBody, LogManager, LogPageId, Lsn,
+    RecoveryReport, RedoTarget, TxnStatus,
+};
+use parking_lot::Mutex;
+
+use crate::directory::Directory;
+use crate::proto::{coordinator_of, GTxn, Msg, PageUpdate};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// This server's node id.
+    pub node: NodeId,
+    /// Deadlock timeout for lock waits (§3: "timeouts are used for
+    /// distributed deadlock detection").
+    pub lock_timeout: Duration,
+    /// Timeout for server-initiated RPCs (callbacks, 2PC rounds).
+    pub rpc_timeout: Duration,
+}
+
+impl ServerConfig {
+    /// A config with sensible test defaults.
+    pub fn new(node: NodeId) -> Self {
+        ServerConfig {
+            node,
+            lock_timeout: Duration::from_millis(500),
+            rpc_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Counters kept by a server.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Transactions begun.
+    pub txns: AtomicU64,
+    /// Local commits.
+    pub commits: AtomicU64,
+    /// Aborts processed.
+    pub aborts: AtomicU64,
+    /// Page fetches served.
+    pub fetches: AtomicU64,
+    /// Lock-free page reads served.
+    pub reads: AtomicU64,
+    /// Lock requests granted.
+    pub locks_granted: AtomicU64,
+    /// Lock requests denied (deadlock timeouts).
+    pub locks_denied: AtomicU64,
+    /// Callbacks sent to clients.
+    pub callbacks_sent: AtomicU64,
+    /// Callbacks answered with an immediate release.
+    pub callback_releases: AtomicU64,
+    /// Callbacks deferred by clients.
+    pub callback_deferred: AtomicU64,
+    /// Downgrade callbacks answered with a downgrade (callback-read).
+    pub callback_downgrades: AtomicU64,
+    /// 2PC prepares voted yes.
+    pub prepares: AtomicU64,
+    /// 2PC transactions coordinated.
+    pub coordinated: AtomicU64,
+}
+
+impl ServerStats {
+    /// Takes a snapshot for reporting.
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            txns: self.txns.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            fetches: self.fetches.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            locks_granted: self.locks_granted.load(Ordering::Relaxed),
+            locks_denied: self.locks_denied.load(Ordering::Relaxed),
+            callbacks_sent: self.callbacks_sent.load(Ordering::Relaxed),
+            callback_releases: self.callback_releases.load(Ordering::Relaxed),
+            callback_deferred: self.callback_deferred.load(Ordering::Relaxed),
+            callback_downgrades: self.callback_downgrades.load(Ordering::Relaxed),
+            prepares: self.prepares.load(Ordering::Relaxed),
+            coordinated: self.coordinated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Transactions begun.
+    pub txns: u64,
+    /// Local commits.
+    pub commits: u64,
+    /// Aborts processed.
+    pub aborts: u64,
+    /// Page fetches served.
+    pub fetches: u64,
+    /// Lock-free page reads served.
+    pub reads: u64,
+    /// Lock requests granted.
+    pub locks_granted: u64,
+    /// Lock requests denied.
+    pub locks_denied: u64,
+    /// Callbacks sent.
+    pub callbacks_sent: u64,
+    /// Immediate callback releases.
+    pub callback_releases: u64,
+    /// Deferred callbacks.
+    pub callback_deferred: u64,
+    /// Downgrades performed.
+    pub callback_downgrades: u64,
+    /// Prepares voted yes.
+    pub prepares: u64,
+    /// 2PC rounds coordinated.
+    pub coordinated: u64,
+}
+
+/// Applies redo/undo images to the server's storage areas.
+pub struct AreaTarget(pub Arc<AreaSet>);
+
+impl RedoTarget for AreaTarget {
+    fn apply(&mut self, page: LogPageId, offset: u32, bytes: &[u8]) {
+        if let Some(area) = self.0.get(page.area) {
+            area.write_at(page.page, offset as usize, bytes)
+                .expect("redo write");
+        }
+    }
+}
+
+struct PreparedTxn {
+    updates: Vec<PageUpdate>,
+    last_lsn: Lsn,
+}
+
+struct ServerInner {
+    cfg: ServerConfig,
+    areas: Arc<AreaSet>,
+    locks: LockManager,
+    log: Arc<LogManager>,
+    caller: Caller<Msg>,
+    decisions: Mutex<HashMap<GTxn, bool>>,
+    pending: Mutex<HashMap<GTxn, Vec<PageUpdate>>>,
+    prepared: Mutex<HashMap<GTxn, PreparedTxn>>,
+    /// Callbacks currently awaiting a client's answer. A new request from
+    /// the *called-back holder* for the same resource must wait until the
+    /// answer is processed, otherwise its covered-mode re-grant races the
+    /// release and a lock can be silently lost.
+    callbacks_in_flight: Mutex<std::collections::HashSet<(LockName, TxnId)>>,
+    next_txn: AtomicU64,
+    running: AtomicBool,
+    stats: ServerStats,
+}
+
+/// A running BeSS server.
+pub struct BessServer {
+    inner: Arc<ServerInner>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl BessServer {
+    /// Recovers from `log` and starts serving. Returns the server and the
+    /// restart-recovery report.
+    pub fn start(
+        cfg: ServerConfig,
+        areas: Arc<AreaSet>,
+        log: LogManager,
+        net: &Arc<Network<Msg>>,
+    ) -> (BessServer, RecoveryReport) {
+        let log = Arc::new(log);
+        let mut target = AreaTarget(Arc::clone(&areas));
+        let report = recover(&log, &mut target).expect("restart recovery");
+
+        // Rebuild the 2PC decision table and in-doubt transactions.
+        let mut decisions = HashMap::new();
+        let mut in_doubt_updates: HashMap<GTxn, (Vec<PageUpdate>, Lsn)> = HashMap::new();
+        for gtxn in &report.in_doubt {
+            in_doubt_updates.insert(*gtxn, (Vec::new(), Lsn::NULL));
+        }
+        for rec in log.iter() {
+            match &rec.body {
+                LogBody::Commit => {
+                    decisions.insert(rec.txn, true);
+                }
+                LogBody::Abort => {
+                    decisions.insert(rec.txn, false);
+                }
+                LogBody::Update {
+                    page,
+                    offset,
+                    before,
+                    after,
+                } => {
+                    if let Some((ups, _)) = in_doubt_updates.get_mut(&rec.txn) {
+                        ups.push(PageUpdate {
+                            page: bess_cache::DbPage {
+                                area: page.area,
+                                page: page.page,
+                            },
+                            offset: *offset,
+                            before: before.clone(),
+                            after: after.clone(),
+                        });
+                    }
+                }
+                LogBody::Prepare => {
+                    if let Some((_, last)) = in_doubt_updates.get_mut(&rec.txn) {
+                        *last = rec.lsn;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let inner = Arc::new(ServerInner {
+            locks: LockManager::new(cfg.lock_timeout),
+            caller: net.caller(cfg.node),
+            cfg,
+            areas,
+            log,
+            decisions: Mutex::new(decisions),
+            pending: Mutex::new(HashMap::new()),
+            prepared: Mutex::new(HashMap::new()),
+            callbacks_in_flight: Mutex::new(std::collections::HashSet::new()),
+            next_txn: AtomicU64::new(1),
+            running: AtomicBool::new(true),
+            stats: ServerStats::default(),
+        });
+
+        // In-doubt transactions keep exclusive locks on the pages they
+        // updated until the coordinator's verdict arrives.
+        for (gtxn, (updates, last_lsn)) in in_doubt_updates {
+            for u in &updates {
+                let name = LockName::Page {
+                    area: u.page.area,
+                    page: u.page.page,
+                };
+                let _ = inner.locks.try_lock(TxnId(gtxn), name, LockMode::X);
+            }
+            inner
+                .prepared
+                .lock()
+                .insert(gtxn, PreparedTxn { updates, last_lsn });
+        }
+
+        let endpoint = net.register(inner.cfg.node);
+        let loop_inner = Arc::clone(&inner);
+        let handle = std::thread::spawn(move || serve_loop(loop_inner, endpoint));
+        (
+            BessServer {
+                inner,
+                handle: Some(handle),
+            },
+            report,
+        )
+    }
+
+    /// This server's node id.
+    pub fn node(&self) -> NodeId {
+        self.inner.cfg.node
+    }
+
+    /// The server's storage areas.
+    pub fn areas(&self) -> &Arc<AreaSet> {
+        &self.inner.areas
+    }
+
+    /// The server's log (for checkpoint/crash tooling in tests and
+    /// benches).
+    pub fn log(&self) -> &Arc<LogManager> {
+        &self.inner.log
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.inner.stats
+    }
+
+    /// Currently in-doubt global transactions.
+    pub fn in_doubt(&self) -> Vec<GTxn> {
+        let mut v: Vec<GTxn> = self.inner.prepared.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Takes a fuzzy checkpoint (the server applies updates write-through,
+    /// so the dirty page table is empty; in-doubt transactions are
+    /// recorded).
+    pub fn checkpoint(&self) -> bess_wal::WalResult<()> {
+        let active: Vec<(u64, Lsn, TxnStatus)> = self
+            .inner
+            .prepared
+            .lock()
+            .iter()
+            .map(|(g, p)| (*g, p.last_lsn, TxnStatus::Prepared))
+            .collect();
+        take_checkpoint(&self.inner.log, Vec::new(), active)?;
+        Ok(())
+    }
+
+    /// Asks coordinators for verdicts on every in-doubt transaction,
+    /// applying presumed abort when the coordinator has no record.
+    pub fn resolve_in_doubt(&self) {
+        let gtxns: Vec<GTxn> = self.inner.prepared.lock().keys().copied().collect();
+        for gtxn in gtxns {
+            let coord = coordinator_of(gtxn);
+            let verdict = if coord == self.inner.cfg.node.0 {
+                self.inner.decisions.lock().get(&gtxn).copied()
+            } else {
+                match self.inner.caller.call(
+                    NodeId(coord),
+                    Msg::QueryDecision { gtxn },
+                    self.inner.cfg.rpc_timeout,
+                ) {
+                    Ok(Msg::Decision { committed }) => Some(committed),
+                    Ok(Msg::Unknown) => Some(false), // presumed abort
+                    _ => None,                       // coordinator unreachable: stay in doubt
+                }
+            };
+            if let Some(commit) = verdict {
+                self.inner.decide(gtxn, commit);
+            }
+        }
+    }
+
+    /// Stops the server loop (the "machine" stays reachable until the
+    /// network entry is dropped).
+    pub fn shutdown(mut self) {
+        self.inner.running.store(false, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for BessServer {
+    fn drop(&mut self) {
+        self.inner.running.store(false, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_loop(inner: Arc<ServerInner>, endpoint: Endpoint<Msg>) {
+    while inner.running.load(Ordering::Relaxed) {
+        match endpoint.recv(Duration::from_millis(50)) {
+            Ok(env) => {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || {
+                    let from = env.from;
+                    let msg = env.msg.clone();
+                    let reply = inner.handle(from, msg);
+                    env.reply(reply);
+                });
+            }
+            Err(bess_net::NetError::Timeout) => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+impl ServerInner {
+    fn handle(&self, from: NodeId, msg: Msg) -> Msg {
+        match msg {
+            Msg::BeginTxn => {
+                AtomicU64::fetch_add(&self.stats.txns, 1, Ordering::Relaxed);
+                let seq = self.next_txn.fetch_add(1, Ordering::Relaxed);
+                Msg::TxnId((u64::from(self.cfg.node.0) << 32) | seq)
+            }
+            Msg::BeginGlobal => {
+                let seq = self.next_txn.fetch_add(1, Ordering::Relaxed);
+                Msg::TxnId((u64::from(self.cfg.node.0) << 32) | seq)
+            }
+            Msg::FetchPage { page, mode } => {
+                AtomicU64::fetch_add(&self.stats.fetches, 1, Ordering::Relaxed);
+                let name = LockName::Page {
+                    area: page.area,
+                    page: page.page,
+                };
+                match self.do_lock(from, name, mode) {
+                    Msg::Granted => self.do_read(page),
+                    other => other,
+                }
+            }
+            Msg::ReadPage { page } => {
+                AtomicU64::fetch_add(&self.stats.reads, 1, Ordering::Relaxed);
+                self.do_read(page)
+            }
+            Msg::Lock { name, mode } => self.do_lock(from, name, mode),
+            Msg::ReleaseCached { names } => {
+                let owner = TxnId(u64::from(from.0));
+                for name in names {
+                    let _ = self.locks.unlock(owner, name);
+                }
+                Msg::Ok
+            }
+            Msg::ReleaseAll => {
+                self.locks.unlock_all(TxnId(u64::from(from.0)));
+                Msg::Ok
+            }
+            Msg::AllocSegment { area, pages } => match self.areas.get(area) {
+                Some(a) => match a.alloc(pages) {
+                    Ok(seg) => Msg::DiskSeg {
+                        area: seg.area.0,
+                        start_page: seg.start_page,
+                        pages: seg.pages,
+                    },
+                    Err(e) => Msg::Err(e.to_string()),
+                },
+                None => Msg::Err(format!("no area {area}")),
+            },
+            Msg::FreeSegment {
+                area,
+                start_page,
+                pages,
+            } => match self.areas.get(area) {
+                Some(a) => match a.free(DiskPtr {
+                    area: AreaId(area),
+                    start_page,
+                    pages,
+                }) {
+                    Ok(()) => Msg::Ok,
+                    Err(e) => Msg::Err(e.to_string()),
+                },
+                None => Msg::Err(format!("no area {area}")),
+            },
+            Msg::ReadAt {
+                area,
+                page,
+                offset,
+                len,
+            } => match self.areas.get(area) {
+                Some(a) => {
+                    let mut buf = vec![0u8; len as usize];
+                    match a.read_at(page, offset as usize, &mut buf) {
+                        Ok(()) => Msg::Bytes(buf),
+                        Err(e) => Msg::Err(e.to_string()),
+                    }
+                }
+                None => Msg::Err(format!("no area {area}")),
+            },
+            Msg::WriteAt {
+                area,
+                page,
+                offset,
+                data,
+            } => match self.areas.get(area) {
+                Some(a) => match a.write_at(page, offset as usize, &data) {
+                    Ok(()) => Msg::Ok,
+                    Err(e) => Msg::Err(e.to_string()),
+                },
+                None => Msg::Err(format!("no area {area}")),
+            },
+            Msg::Commit { txn, updates } => self.do_commit(txn, &updates),
+            Msg::Abort { txn } => {
+                AtomicU64::fetch_add(&self.stats.aborts, 1, Ordering::Relaxed);
+                let _ = txn;
+                Msg::Ok
+            }
+            Msg::ShipUpdates { gtxn, updates } => {
+                self.pending.lock().entry(gtxn).or_default().extend(updates);
+                Msg::Ok
+            }
+            Msg::CommitGlobal { gtxn, participants } => self.do_commit_global(gtxn, &participants),
+            Msg::Prepare { gtxn } => self.do_prepare(gtxn),
+            Msg::Decide { gtxn, commit } => {
+                self.decide(gtxn, commit);
+                Msg::Ok
+            }
+            Msg::QueryDecision { gtxn } => match self.decisions.lock().get(&gtxn) {
+                Some(&committed) => Msg::Decision { committed },
+                None => Msg::Unknown,
+            },
+            other => Msg::Err(format!("unexpected request: {other:?}")),
+        }
+    }
+
+    fn do_read(&self, page: bess_cache::DbPage) -> Msg {
+        match self.areas.get(page.area) {
+            Some(a) => {
+                let mut buf = vec![0u8; a.page_size()];
+                match a.read_page(page.page, &mut buf) {
+                    Ok(()) => Msg::PageData(buf),
+                    Err(e) => Msg::Err(e.to_string()),
+                }
+            }
+            None => Msg::Err(format!("no area {}", page.area)),
+        }
+    }
+
+    /// Grants `mode` on `name` to client node `from`, running the callback
+    /// protocol against conflicting holders first.
+    fn do_lock(&self, from: NodeId, name: LockName, mode: LockMode) -> Msg {
+        let owner = TxnId(u64::from(from.0));
+        // If this very client is being called back for this resource right
+        // now, wait until that callback's answer lands — a covered-mode
+        // re-grant here would race the release and be silently undone.
+        let wait_deadline = std::time::Instant::now() + self.cfg.rpc_timeout;
+        while self.callbacks_in_flight.lock().contains(&(name, owner)) {
+            if std::time::Instant::now() > wait_deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if self.locks.try_lock(owner, name, mode) {
+            AtomicU64::fetch_add(&self.stats.locks_granted, 1, Ordering::Relaxed);
+            return Msg::Granted;
+        }
+        // Callback every conflicting holder (§3).
+        for (holder, hmode) in self.locks.holders(name) {
+            if holder == owner || hmode.compatible(mode) {
+                continue;
+            }
+            AtomicU64::fetch_add(&self.stats.callbacks_sent, 1, Ordering::Relaxed);
+            self.callbacks_in_flight.lock().insert((name, holder));
+            // The callback-read optimisation: an S requester facing an X
+            // holder asks for a *downgrade* — the holder keeps S cached
+            // (its data stays valid for reading) instead of losing the
+            // lock entirely.
+            let downgrade = mode == LockMode::S && !hmode.compatible(LockMode::S);
+            let reply = if downgrade {
+                self.caller.call(
+                    NodeId(holder.0 as u32),
+                    Msg::CallbackDowngrade {
+                        name,
+                        to: LockMode::S,
+                    },
+                    self.cfg.rpc_timeout,
+                )
+            } else {
+                self.caller.call(
+                    NodeId(holder.0 as u32),
+                    Msg::Callback { name },
+                    self.cfg.rpc_timeout,
+                )
+            };
+            match reply {
+                Ok(Msg::CallbackReleased) => {
+                    if downgrade {
+                        AtomicU64::fetch_add(
+                            &self.stats.callback_downgrades,
+                            1,
+                            Ordering::Relaxed,
+                        );
+                        let _ = self.locks.downgrade(holder, name, LockMode::S);
+                    } else {
+                        AtomicU64::fetch_add(&self.stats.callback_releases, 1, Ordering::Relaxed);
+                        let _ = self.locks.unlock(holder, name);
+                    }
+                }
+                Ok(Msg::CallbackDeferred) => {
+                    AtomicU64::fetch_add(&self.stats.callback_deferred, 1, Ordering::Relaxed);
+                    // The holder will send ReleaseCached when its local
+                    // transaction finishes; we wait below.
+                }
+                _ => {
+                    // Holder unreachable (crashed client) or an in-doubt
+                    // transaction: the wait below resolves or times out.
+                }
+            }
+            self.callbacks_in_flight.lock().remove(&(name, holder));
+        }
+        match self
+            .locks
+            .lock_timeout(owner, name, mode, self.cfg.lock_timeout)
+        {
+            Ok(()) => {
+                AtomicU64::fetch_add(&self.stats.locks_granted, 1, Ordering::Relaxed);
+                Msg::Granted
+            }
+            Err(e) => {
+                AtomicU64::fetch_add(&self.stats.locks_denied, 1, Ordering::Relaxed);
+                Msg::Denied(e.to_string())
+            }
+        }
+    }
+
+    fn append_updates(&self, txn: u64, mut prev: Lsn, updates: &[PageUpdate]) -> Lsn {
+        for u in updates {
+            prev = self.log.append(
+                txn,
+                prev,
+                LogBody::Update {
+                    page: LogPageId {
+                        area: u.page.area,
+                        page: u.page.page,
+                    },
+                    offset: u.offset,
+                    before: u.before.clone(),
+                    after: u.after.clone(),
+                },
+            );
+        }
+        prev
+    }
+
+    fn apply_updates(&self, updates: &[PageUpdate]) -> Result<(), String> {
+        for u in updates {
+            let area = self
+                .areas
+                .get(u.page.area)
+                .ok_or_else(|| format!("no area {}", u.page.area))?;
+            area.write_at(u.page.page, u.offset as usize, &u.after)
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+
+    /// Single-server commit: WAL (force) then apply.
+    fn do_commit(&self, txn: u64, updates: &[PageUpdate]) -> Msg {
+        let begin = self.log.append(txn, Lsn::NULL, LogBody::Begin);
+        let prev = self.append_updates(txn, begin, updates);
+        let commit = self.log.append(txn, prev, LogBody::Commit);
+        if let Err(e) = self.log.flush(commit) {
+            return Msg::Err(format!("log force failed: {e}"));
+        }
+        if let Err(e) = self.apply_updates(updates) {
+            return Msg::Err(e);
+        }
+        self.log.append(txn, commit, LogBody::End);
+        AtomicU64::fetch_add(&self.stats.commits, 1, Ordering::Relaxed);
+        Msg::Ok
+    }
+
+    /// 2PC phase 1 at a participant.
+    fn do_prepare(&self, gtxn: GTxn) -> Msg {
+        let updates = self.pending.lock().remove(&gtxn).unwrap_or_default();
+        let begin = self.log.append(gtxn, Lsn::NULL, LogBody::Begin);
+        let prev = self.append_updates(gtxn, begin, &updates);
+        let prepare = self.log.append(gtxn, prev, LogBody::Prepare);
+        if self.log.flush(prepare).is_err() {
+            return Msg::VoteNo;
+        }
+        self.prepared.lock().insert(
+            gtxn,
+            PreparedTxn {
+                updates,
+                last_lsn: prepare,
+            },
+        );
+        AtomicU64::fetch_add(&self.stats.prepares, 1, Ordering::Relaxed);
+        Msg::VoteYes
+    }
+
+    /// 2PC phase 2 at a participant. Idempotent.
+    fn decide(&self, gtxn: GTxn, commit: bool) {
+        let Some(p) = self.prepared.lock().remove(&gtxn) else {
+            return;
+        };
+        if commit {
+            let c = self.log.append(gtxn, p.last_lsn, LogBody::Commit);
+            let _ = self.log.flush(c);
+            let _ = self.apply_updates(&p.updates);
+            self.log.append(gtxn, c, LogBody::End);
+            AtomicU64::fetch_add(&self.stats.commits, 1, Ordering::Relaxed);
+        } else {
+            let a = self.log.append(gtxn, p.last_lsn, LogBody::Abort);
+            let mut target = AreaTarget(Arc::clone(&self.areas));
+            let _ = undo_transactions(&self.log, vec![(gtxn, a)], &mut target);
+            let _ = self.log.flush_all();
+            AtomicU64::fetch_add(&self.stats.aborts, 1, Ordering::Relaxed);
+        }
+        // Release the in-doubt page locks, if recovery took them.
+        self.locks.unlock_all(TxnId(gtxn));
+    }
+
+    /// Coordinates a 2PC round (this server is "the first BeSS server the
+    /// application establishes a connection with", §3).
+    fn do_commit_global(&self, gtxn: GTxn, participants: &[u32]) -> Msg {
+        AtomicU64::fetch_add(&self.stats.coordinated, 1, Ordering::Relaxed);
+        let mut all_yes = true;
+        for &p in participants {
+            let vote = if p == self.cfg.node.0 {
+                self.do_prepare(gtxn)
+            } else {
+                self.caller
+                    .call(NodeId(p), Msg::Prepare { gtxn }, self.cfg.rpc_timeout)
+                    .unwrap_or(Msg::VoteNo)
+            };
+            if !matches!(vote, Msg::VoteYes) {
+                all_yes = false;
+                break;
+            }
+        }
+        // Durable decision at the coordinator.
+        let body = if all_yes {
+            LogBody::Commit
+        } else {
+            LogBody::Abort
+        };
+        let l = self.log.append(gtxn, Lsn::NULL, body);
+        if self.log.flush(l).is_err() {
+            return Msg::Err("coordinator log force failed".into());
+        }
+        self.decisions.lock().insert(gtxn, all_yes);
+        // Phase 2.
+        for &p in participants {
+            if p == self.cfg.node.0 {
+                self.decide(gtxn, all_yes);
+            } else {
+                let _ = self.caller.call(
+                    NodeId(p),
+                    Msg::Decide {
+                        gtxn,
+                        commit: all_yes,
+                    },
+                    self.cfg.rpc_timeout,
+                );
+            }
+        }
+        Msg::Decision {
+            committed: all_yes,
+        }
+    }
+}
+
+/// Builds a directory entry set for one server owning `areas`.
+pub fn register_areas(dir: &Directory, server: NodeId, areas: &AreaSet) {
+    for id in areas.ids() {
+        dir.set_owner(id, server);
+    }
+}

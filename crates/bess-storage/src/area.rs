@@ -1,0 +1,701 @@
+//! Storage areas: the physical layer of a BeSS database.
+//!
+//! "At the physical level, the database consists of a number of *storage
+//! areas*, which are UNIX files or disk raw partitions. Storage areas are
+//! partitioned into a number of *extents*, and allocation of disk segments
+//! from one of these extents is based on the binary buddy system. Storage
+//! areas that correspond to UNIX files may expand in size by one extent at a
+//! time." (§2)
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! page 0                 area header (magic, geometry, extent count)
+//! pages 1 + i*(E+1)      metadata page of extent i (allocation table)
+//! following E pages      data pages of extent i
+//! ```
+//!
+//! Keeping each extent's allocation table on its own metadata page bounds
+//! metadata size per extent and lets the allocator state be rebuilt page by
+//! page on open.
+
+use std::fs::{File, OpenOptions};
+use std::io::Read as _;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::buddy::BuddyExtent;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{order_for_pages, AreaId, DiskPtr};
+use crate::stats::IoStats;
+
+const AREA_MAGIC: u32 = 0x42455341; // "BESA"
+const EXTENT_MAGIC: u32 = 0x42455854; // "BEXT"
+const FORMAT_VERSION: u32 = 1;
+
+/// Geometry and policy for a storage area.
+#[derive(Clone, Copy, Debug)]
+pub struct AreaConfig {
+    /// Bytes per page. Must match the `bess-vm` page size when pages are
+    /// mapped into an address space.
+    pub page_size: usize,
+    /// log2 of the number of data pages per extent (e.g. 8 → 256 pages,
+    /// 1 MiB extents with 4 KiB pages).
+    pub extent_pages_log2: u8,
+    /// Extents to create eagerly.
+    pub initial_extents: u32,
+    /// Whether the area may grow one extent at a time when full. `false`
+    /// models a raw disk partition of fixed size.
+    pub expandable: bool,
+}
+
+impl Default for AreaConfig {
+    fn default() -> Self {
+        AreaConfig {
+            page_size: crate::page::PAGE_SIZE,
+            extent_pages_log2: 8,
+            initial_extents: 1,
+            expandable: true,
+        }
+    }
+}
+
+impl AreaConfig {
+    fn extent_pages(&self) -> u32 {
+        1 << self.extent_pages_log2
+    }
+
+    /// Pages occupied by one extent including its metadata page.
+    fn extent_footprint(&self) -> u64 {
+        u64::from(self.extent_pages()) + 1
+    }
+}
+
+enum Backend {
+    Mem(RwLock<Vec<u8>>),
+    File(File),
+}
+
+impl Backend {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> StorageResult<()> {
+        match self {
+            Backend::Mem(data) => {
+                let data = data.read();
+                let start = offset as usize;
+                let end = start + buf.len();
+                if end > data.len() {
+                    return Err(StorageError::BadPage(offset));
+                }
+                buf.copy_from_slice(&data[start..end]);
+                Ok(())
+            }
+            Backend::File(f) => {
+                f.read_exact_at(buf, offset)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn write_at(&self, data_in: &[u8], offset: u64) -> StorageResult<()> {
+        match self {
+            Backend::Mem(data) => {
+                let mut data = data.write();
+                let start = offset as usize;
+                let end = start + data_in.len();
+                if end > data.len() {
+                    return Err(StorageError::BadPage(offset));
+                }
+                data[start..end].copy_from_slice(data_in);
+                Ok(())
+            }
+            Backend::File(f) => {
+                f.write_all_at(data_in, offset)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn grow_to(&self, bytes: u64) -> StorageResult<()> {
+        match self {
+            Backend::Mem(data) => {
+                let mut data = data.write();
+                if (data.len() as u64) < bytes {
+                    data.resize(bytes as usize, 0);
+                }
+                Ok(())
+            }
+            Backend::File(f) => {
+                f.set_len(bytes)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        match self {
+            Backend::Mem(_) => Ok(()),
+            Backend::File(f) => {
+                f.sync_data()?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A storage area: a page-addressed, extent-growing persistent byte store
+/// with a buddy allocator for disk segments.
+///
+/// Thread-safe: page I/O takes no allocator locks, allocation serialises on
+/// an internal mutex.
+pub struct StorageArea {
+    id: AreaId,
+    config: AreaConfig,
+    backend: Backend,
+    extents: Mutex<Vec<BuddyExtent>>,
+    stats: IoStats,
+}
+
+impl StorageArea {
+    /// Creates a new in-memory area (used for tests and volatile caches).
+    pub fn create_mem(id: AreaId, config: AreaConfig) -> StorageResult<Self> {
+        let backend = Backend::Mem(RwLock::new(Vec::new()));
+        Self::initialise(id, config, backend)
+    }
+
+    /// Creates a new file-backed area at `path`, failing if the file exists.
+    pub fn create_file(id: AreaId, path: &Path, config: AreaConfig) -> StorageResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        Self::initialise(id, config, Backend::File(file))
+    }
+
+    fn initialise(id: AreaId, config: AreaConfig, backend: Backend) -> StorageResult<Self> {
+        assert!(config.page_size >= 64, "page size too small for headers");
+        assert!(config.initial_extents >= 1, "area needs at least one extent");
+        let area = StorageArea {
+            id,
+            config,
+            backend,
+            extents: Mutex::new(Vec::new()),
+            stats: IoStats::default(),
+        };
+        // Room for header + initial extents.
+        let total_pages = 1 + config.extent_footprint() * u64::from(config.initial_extents);
+        area.backend.grow_to(total_pages * config.page_size as u64)?;
+        {
+            let mut extents = area.extents.lock();
+            for _ in 0..config.initial_extents {
+                extents.push(BuddyExtent::new(config.extent_pages_log2));
+            }
+        }
+        area.write_header()?;
+        for i in 0..config.initial_extents {
+            area.write_extent_meta(i)?;
+        }
+        Ok(area)
+    }
+
+    /// Opens an existing file-backed area, rebuilding allocator state from
+    /// the persisted per-extent allocation tables.
+    pub fn open_file(id: AreaId, path: &Path, expandable: bool) -> StorageResult<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        // Read enough of the header to learn the page size.
+        let mut head = [0u8; 24];
+        file.read_exact(&mut head)?;
+        let magic = u32::from_le_bytes(head[0..4].try_into().unwrap());
+        if magic != AREA_MAGIC {
+            return Err(StorageError::Corrupt("bad area magic".into()));
+        }
+        let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(StorageError::Corrupt(format!("unsupported version {version}")));
+        }
+        let page_size = u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize;
+        let extent_pages_log2 = head[12];
+        let num_extents = u32::from_le_bytes(head[16..20].try_into().unwrap());
+        let config = AreaConfig {
+            page_size,
+            extent_pages_log2,
+            initial_extents: num_extents.max(1),
+            expandable,
+        };
+        let area = StorageArea {
+            id,
+            config,
+            backend: Backend::File(file),
+            extents: Mutex::new(Vec::new()),
+            stats: IoStats::default(),
+        };
+        let mut extents = Vec::with_capacity(num_extents as usize);
+        for i in 0..num_extents {
+            extents.push(area.load_extent_meta(i)?);
+        }
+        *area.extents.lock() = extents;
+        Ok(area)
+    }
+
+    /// The area's identifier.
+    pub fn id(&self) -> AreaId {
+        self.id
+    }
+
+    /// Bytes per page.
+    pub fn page_size(&self) -> usize {
+        self.config.page_size
+    }
+
+    /// Data pages per extent.
+    pub fn extent_pages(&self) -> u32 {
+        self.config.extent_pages()
+    }
+
+    /// Number of extents currently in the area.
+    pub fn num_extents(&self) -> u32 {
+        self.extents.lock().len() as u32
+    }
+
+    /// Total free data pages across all extents.
+    pub fn free_pages(&self) -> u64 {
+        self.extents
+            .lock()
+            .iter()
+            .map(|e| u64::from(e.free_pages()))
+            .sum()
+    }
+
+    /// Total allocated data pages across all extents.
+    pub fn allocated_pages(&self) -> u64 {
+        self.extents
+            .lock()
+            .iter()
+            .map(|e| u64::from(e.allocated_pages()))
+            .sum()
+    }
+
+    /// Mean external fragmentation across extents (see
+    /// [`BuddyExtent::fragmentation`]).
+    pub fn fragmentation(&self) -> f64 {
+        let extents = self.extents.lock();
+        if extents.is_empty() {
+            return 0.0;
+        }
+        extents.iter().map(|e| e.fragmentation()).sum::<f64>() / extents.len() as f64
+    }
+
+    /// I/O counters.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    // ---- geometry ------------------------------------------------------
+
+    fn first_data_page(&self, extent: u32) -> u64 {
+        1 + u64::from(extent) * self.config.extent_footprint() + 1
+    }
+
+    fn meta_page(&self, extent: u32) -> u64 {
+        1 + u64::from(extent) * self.config.extent_footprint()
+    }
+
+    /// Maps an absolute data page to `(extent, offset)`.
+    fn locate(&self, page: u64) -> StorageResult<(u32, u32)> {
+        if page == 0 {
+            return Err(StorageError::BadPage(page));
+        }
+        let footprint = self.config.extent_footprint();
+        let extent = (page - 1) / footprint;
+        let within = (page - 1) % footprint;
+        if within == 0 {
+            return Err(StorageError::BadPage(page)); // metadata page
+        }
+        if extent >= u64::from(self.num_extents()) {
+            return Err(StorageError::BadPage(page));
+        }
+        Ok((extent as u32, (within - 1) as u32))
+    }
+
+    // ---- allocation ------------------------------------------------------
+
+    /// Allocates a disk segment of `pages` contiguous pages.
+    ///
+    /// Segments never span extents (the paper allocates "from one of these
+    /// extents"); requesting more pages than an extent holds fails with
+    /// [`StorageError::SegmentTooLarge`]. When every extent is full the
+    /// area grows by one extent if expandable, else fails with
+    /// [`StorageError::OutOfSpace`].
+    pub fn alloc(&self, pages: u32) -> StorageResult<DiskPtr> {
+        let order = order_for_pages(pages);
+        if order > self.config.extent_pages_log2 {
+            return Err(StorageError::SegmentTooLarge {
+                requested: pages,
+                max: self.config.extent_pages(),
+            });
+        }
+        let mut extents = self.extents.lock();
+        for (i, extent) in extents.iter_mut().enumerate() {
+            if let Some(offset) = extent.alloc(order) {
+                let start_page = self.first_data_page(i as u32) + u64::from(offset);
+                drop(extents);
+                self.write_extent_meta_locked(i as u32)?;
+                return Ok(DiskPtr {
+                    area: self.id,
+                    start_page,
+                    pages,
+                });
+            }
+        }
+        if !self.config.expandable {
+            return Err(StorageError::OutOfSpace);
+        }
+        // Expand by one extent.
+        let new_index = extents.len() as u32;
+        let mut extent = BuddyExtent::new(self.config.extent_pages_log2);
+        let offset = extent.alloc(order).expect("fresh extent can satisfy order");
+        extents.push(extent);
+        let total_pages = 1 + self.config.extent_footprint() * (u64::from(new_index) + 1);
+        self.backend
+            .grow_to(total_pages * self.config.page_size as u64)?;
+        IoStats::bump(&self.stats.extends);
+        drop(extents);
+        self.write_header()?;
+        self.write_extent_meta_locked(new_index)?;
+        Ok(DiskPtr {
+            area: self.id,
+            start_page: self.first_data_page(new_index) + u64::from(offset),
+            pages,
+        })
+    }
+
+    /// Frees a disk segment previously returned by [`Self::alloc`].
+    pub fn free(&self, ptr: DiskPtr) -> StorageResult<()> {
+        if ptr.area != self.id {
+            return Err(StorageError::BadBlock(format!(
+                "segment {ptr} belongs to a different area"
+            )));
+        }
+        let (extent, offset) = self.locate(ptr.start_page)?;
+        {
+            let mut extents = self.extents.lock();
+            extents[extent as usize].free(offset, ptr.order())?;
+        }
+        self.write_extent_meta_locked(extent)
+    }
+
+    // ---- page I/O --------------------------------------------------------
+
+    /// Reads an absolute page into `buf` (`buf.len() == page_size`).
+    pub fn read_page(&self, page: u64, buf: &mut [u8]) -> StorageResult<()> {
+        assert_eq!(buf.len(), self.config.page_size, "buffer must be one page");
+        self.backend
+            .read_at(buf, page * self.config.page_size as u64)?;
+        IoStats::bump(&self.stats.page_reads);
+        Ok(())
+    }
+
+    /// Writes an absolute page from `data` (`data.len() == page_size`).
+    pub fn write_page(&self, page: u64, data: &[u8]) -> StorageResult<()> {
+        assert_eq!(data.len(), self.config.page_size, "buffer must be one page");
+        self.backend
+            .write_at(data, page * self.config.page_size as u64)?;
+        IoStats::bump(&self.stats.page_writes);
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at byte `offset` of `page`.
+    pub fn read_at(&self, page: u64, offset: usize, buf: &mut [u8]) -> StorageResult<()> {
+        assert!(offset + buf.len() <= self.config.page_size);
+        self.backend
+            .read_at(buf, page * self.config.page_size as u64 + offset as u64)?;
+        IoStats::bump(&self.stats.page_reads);
+        Ok(())
+    }
+
+    /// Writes `data` at byte `offset` of `page`.
+    pub fn write_at(&self, page: u64, offset: usize, data: &[u8]) -> StorageResult<()> {
+        assert!(offset + data.len() <= self.config.page_size);
+        self.backend
+            .write_at(data, page * self.config.page_size as u64 + offset as u64)?;
+        IoStats::bump(&self.stats.page_writes);
+        Ok(())
+    }
+
+    /// Forces all written pages to stable storage.
+    pub fn sync(&self) -> StorageResult<()> {
+        self.backend.sync()?;
+        IoStats::bump(&self.stats.syncs);
+        Ok(())
+    }
+
+    // ---- metadata persistence ---------------------------------------------
+
+    fn write_header(&self) -> StorageResult<()> {
+        let mut page = vec![0u8; self.config.page_size];
+        page[0..4].copy_from_slice(&AREA_MAGIC.to_le_bytes());
+        page[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        page[8..12].copy_from_slice(&(self.config.page_size as u32).to_le_bytes());
+        page[12] = self.config.extent_pages_log2;
+        page[16..20].copy_from_slice(&self.num_extents().to_le_bytes());
+        page[20..24].copy_from_slice(&self.id.0.to_le_bytes());
+        self.backend.write_at(&page, 0)
+    }
+
+    fn write_extent_meta(&self, extent: u32) -> StorageResult<()> {
+        self.write_extent_meta_locked(extent)
+    }
+
+    fn write_extent_meta_locked(&self, extent: u32) -> StorageResult<()> {
+        let blocks: Vec<(u32, u8)> = {
+            let extents = self.extents.lock();
+            extents[extent as usize].allocated_blocks().collect()
+        };
+        let mut page = vec![0u8; self.config.page_size];
+        page[0..4].copy_from_slice(&EXTENT_MAGIC.to_le_bytes());
+        page[4..8].copy_from_slice(&(blocks.len() as u32).to_le_bytes());
+        let mut pos = 8;
+        for (offset, order) in blocks {
+            if pos + 5 > page.len() {
+                return Err(StorageError::Corrupt(
+                    "extent allocation table overflows metadata page".into(),
+                ));
+            }
+            page[pos..pos + 4].copy_from_slice(&offset.to_le_bytes());
+            page[pos + 4] = order;
+            pos += 5;
+        }
+        self.backend.write_at(
+            &page,
+            self.meta_page(extent) * self.config.page_size as u64,
+        )
+    }
+
+    fn load_extent_meta(&self, extent: u32) -> StorageResult<BuddyExtent> {
+        let mut page = vec![0u8; self.config.page_size];
+        self.backend.read_at(
+            &mut page,
+            self.meta_page(extent) * self.config.page_size as u64,
+        )?;
+        let magic = u32::from_le_bytes(page[0..4].try_into().unwrap());
+        if magic != EXTENT_MAGIC {
+            return Err(StorageError::Corrupt(format!(
+                "bad extent magic on extent {extent}"
+            )));
+        }
+        let count = u32::from_le_bytes(page[4..8].try_into().unwrap()) as usize;
+        let mut rebuilt = BuddyExtent::new(self.config.extent_pages_log2);
+        let mut pos = 8;
+        for _ in 0..count {
+            if pos + 5 > page.len() {
+                return Err(StorageError::Corrupt("truncated allocation table".into()));
+            }
+            let offset = u32::from_le_bytes(page[pos..pos + 4].try_into().unwrap());
+            let order = page[pos + 4];
+            rebuilt.carve(offset, order).map_err(|e| {
+                StorageError::Corrupt(format!("allocation table inconsistent: {e}"))
+            })?;
+            pos += 5;
+        }
+        Ok(rebuilt)
+    }
+}
+
+impl std::fmt::Debug for StorageArea {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageArea")
+            .field("id", &self.id)
+            .field("extents", &self.num_extents())
+            .field("free_pages", &self.free_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "bess-storage-test-{}-{}-{}",
+            std::process::id(),
+            name,
+            n
+        ))
+    }
+
+    #[test]
+    fn mem_area_alloc_write_read() {
+        let area = StorageArea::create_mem(AreaId(1), AreaConfig::default()).unwrap();
+        let seg = area.alloc(3).unwrap();
+        assert_eq!(seg.pages, 3);
+        let mut page = vec![0u8; area.page_size()];
+        page[..5].copy_from_slice(b"hello");
+        area.write_page(seg.start_page, &page).unwrap();
+        let mut back = vec![0u8; area.page_size()];
+        area.read_page(seg.start_page, &mut back).unwrap();
+        assert_eq!(&back[..5], b"hello");
+        area.free(seg).unwrap();
+    }
+
+    #[test]
+    fn segments_do_not_overlap() {
+        let area = StorageArea::create_mem(AreaId(1), AreaConfig::default()).unwrap();
+        let mut segs = Vec::new();
+        for pages in [1u32, 2, 3, 5, 8, 16, 4, 1] {
+            segs.push(area.alloc(pages).unwrap());
+        }
+        for (i, a) in segs.iter().enumerate() {
+            for b in &segs[i + 1..] {
+                let a_end = a.start_page + u64::from(1u32 << a.order());
+                let b_end = b.start_page + u64::from(1u32 << b.order());
+                assert!(
+                    a_end <= b.start_page || b_end <= a.start_page,
+                    "{a} overlaps {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn area_expands_by_one_extent() {
+        let config = AreaConfig {
+            extent_pages_log2: 2, // 4 pages per extent
+            ..AreaConfig::default()
+        };
+        let area = StorageArea::create_mem(AreaId(1), config).unwrap();
+        assert_eq!(area.num_extents(), 1);
+        let _a = area.alloc(4).unwrap();
+        let _b = area.alloc(4).unwrap(); // forces expansion
+        assert_eq!(area.num_extents(), 2);
+        assert_eq!(area.stats().snapshot().extends, 1);
+    }
+
+    #[test]
+    fn fixed_size_area_reports_out_of_space() {
+        let config = AreaConfig {
+            extent_pages_log2: 2,
+            expandable: false,
+            ..AreaConfig::default()
+        };
+        let area = StorageArea::create_mem(AreaId(1), config).unwrap();
+        let _a = area.alloc(4).unwrap();
+        assert!(matches!(area.alloc(1), Err(StorageError::OutOfSpace)));
+    }
+
+    #[test]
+    fn oversized_segment_rejected() {
+        let config = AreaConfig {
+            extent_pages_log2: 3,
+            ..AreaConfig::default()
+        };
+        let area = StorageArea::create_mem(AreaId(1), config).unwrap();
+        assert!(matches!(
+            area.alloc(9),
+            Err(StorageError::SegmentTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn metadata_pages_are_not_allocatable_or_addressable() {
+        let config = AreaConfig {
+            extent_pages_log2: 2,
+            ..AreaConfig::default()
+        };
+        let area = StorageArea::create_mem(AreaId(1), config).unwrap();
+        let seg = area.alloc(4).unwrap();
+        // First data page of extent 0 is page 2 (0 header, 1 metadata).
+        assert_eq!(seg.start_page, 2);
+        // Freeing a pointer aimed at a metadata page fails.
+        let bogus = DiskPtr {
+            area: AreaId(1),
+            start_page: 1,
+            pages: 1,
+        };
+        assert!(area.free(bogus).is_err());
+    }
+
+    #[test]
+    fn file_area_persists_across_reopen() {
+        let path = temp_path("persist");
+        let seg;
+        {
+            let area = StorageArea::create_file(AreaId(7), &path, AreaConfig::default()).unwrap();
+            seg = area.alloc(2).unwrap();
+            let mut page = vec![0u8; area.page_size()];
+            page[..4].copy_from_slice(b"BeSS");
+            area.write_page(seg.start_page, &page).unwrap();
+            area.sync().unwrap();
+        }
+        {
+            let area = StorageArea::open_file(AreaId(7), &path, true).unwrap();
+            let mut back = vec![0u8; area.page_size()];
+            area.read_page(seg.start_page, &mut back).unwrap();
+            assert_eq!(&back[..4], b"BeSS");
+            // Allocator state survived: the old segment's block is still
+            // allocated, so a fresh allocation must not overlap it.
+            let fresh = area.alloc(2).unwrap();
+            assert_ne!(fresh.start_page, seg.start_page);
+            // And the old segment can be freed exactly once.
+            area.free(seg).unwrap();
+            assert!(area.free(seg).is_err());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_after_expansion_preserves_geometry() {
+        let path = temp_path("expand");
+        let config = AreaConfig {
+            extent_pages_log2: 2,
+            ..AreaConfig::default()
+        };
+        let (a, b);
+        {
+            let area = StorageArea::create_file(AreaId(9), &path, config).unwrap();
+            a = area.alloc(4).unwrap();
+            b = area.alloc(4).unwrap();
+            assert_eq!(area.num_extents(), 2);
+        }
+        {
+            let area = StorageArea::open_file(AreaId(9), &path, true).unwrap();
+            assert_eq!(area.num_extents(), 2);
+            assert_eq!(area.free_pages(), 0);
+            area.free(a).unwrap();
+            area.free(b).unwrap();
+            assert_eq!(area.free_pages(), 8);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, vec![0xAB; 8192]).unwrap();
+        assert!(matches!(
+            StorageArea::open_file(AreaId(1), &path, true),
+            Err(StorageError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn io_stats_count() {
+        let area = StorageArea::create_mem(AreaId(1), AreaConfig::default()).unwrap();
+        let seg = area.alloc(1).unwrap();
+        let before = area.stats().snapshot();
+        let mut page = vec![0u8; area.page_size()];
+        area.read_page(seg.start_page, &mut page).unwrap();
+        area.write_page(seg.start_page, &page).unwrap();
+        area.sync().unwrap();
+        let delta = area.stats().snapshot().since(&before);
+        assert_eq!(delta.page_reads, 1);
+        assert_eq!(delta.page_writes, 1);
+        assert_eq!(delta.syncs, 1);
+    }
+}

@@ -1,0 +1,349 @@
+//! The binary buddy allocator used within each extent.
+//!
+//! "Storage areas are partitioned into a number of *extents*, and allocation
+//! of disk segments from one of these extents is based on the binary buddy
+//! system" (§2 of the paper, citing Biliris, ICDE 1992). Blocks are powers
+//! of two pages; freeing coalesces a block with its buddy whenever the buddy
+//! is also free, restoring larger blocks.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::error::{StorageError, StorageResult};
+
+/// Buddy allocator state for one extent of `2^log2_pages` pages.
+///
+/// Offsets are page offsets from the start of the extent's data pages.
+#[derive(Debug, Clone)]
+pub struct BuddyExtent {
+    log2_pages: u8,
+    /// `free_lists[order]` holds offsets of free blocks of `2^order` pages.
+    free_lists: Vec<BTreeSet<u32>>,
+    /// Allocated blocks: offset → order. Also detects double frees.
+    allocated: HashMap<u32, u8>,
+}
+
+impl BuddyExtent {
+    /// Creates an extent of `2^log2_pages` pages, fully free.
+    pub fn new(log2_pages: u8) -> Self {
+        assert!(log2_pages <= 20, "extent too large");
+        let mut free_lists = vec![BTreeSet::new(); log2_pages as usize + 1];
+        free_lists[log2_pages as usize].insert(0);
+        BuddyExtent {
+            log2_pages,
+            free_lists,
+            allocated: HashMap::new(),
+        }
+    }
+
+    /// Total pages in the extent.
+    pub fn total_pages(&self) -> u32 {
+        1 << self.log2_pages
+    }
+
+    /// Pages currently free.
+    pub fn free_pages(&self) -> u32 {
+        self.free_lists
+            .iter()
+            .enumerate()
+            .map(|(order, set)| (set.len() as u32) << order)
+            .sum()
+    }
+
+    /// Pages currently allocated.
+    pub fn allocated_pages(&self) -> u32 {
+        self.total_pages() - self.free_pages()
+    }
+
+    /// The largest order with a free block, if any.
+    pub fn largest_free_order(&self) -> Option<u8> {
+        (0..=self.log2_pages).rev().find(|&o| !self.free_lists[o as usize].is_empty())
+    }
+
+    /// Allocates a block of `2^order` pages, splitting larger blocks as
+    /// needed. Returns the block's page offset.
+    pub fn alloc(&mut self, order: u8) -> Option<u32> {
+        if order > self.log2_pages {
+            return None;
+        }
+        // Find the smallest free block of at least the requested order.
+        let from = (order..=self.log2_pages)
+            .find(|&o| !self.free_lists[o as usize].is_empty())?;
+        let offset = *self.free_lists[from as usize].iter().next().expect("non-empty");
+        self.free_lists[from as usize].remove(&offset);
+        // Split down to the requested order, returning the buddies to the
+        // free lists.
+        let mut current = from;
+        while current > order {
+            current -= 1;
+            let buddy = offset + (1u32 << current);
+            self.free_lists[current as usize].insert(buddy);
+        }
+        self.allocated.insert(offset, order);
+        Some(offset)
+    }
+
+    /// Frees the block of `2^order` pages at `offset`, coalescing with free
+    /// buddies.
+    pub fn free(&mut self, offset: u32, order: u8) -> StorageResult<()> {
+        match self.allocated.remove(&offset) {
+            Some(stored) if stored == order => {}
+            Some(stored) => {
+                self.allocated.insert(offset, stored);
+                return Err(StorageError::BadBlock(format!(
+                    "free of order {order} at offset {offset}, but block has order {stored}"
+                )));
+            }
+            None => {
+                return Err(StorageError::BadBlock(format!(
+                    "free of unallocated block at offset {offset}"
+                )));
+            }
+        }
+        let mut offset = offset;
+        let mut order = order;
+        while order < self.log2_pages {
+            let buddy = offset ^ (1u32 << order);
+            if !self.free_lists[order as usize].remove(&buddy) {
+                break;
+            }
+            offset = offset.min(buddy);
+            order += 1;
+        }
+        self.free_lists[order as usize].insert(offset);
+        Ok(())
+    }
+
+    /// Marks the block of `2^order` pages at `offset` as allocated, carving
+    /// it out of whatever free block currently contains it. Used when
+    /// rebuilding allocator state from the persisted allocation table.
+    pub fn carve(&mut self, offset: u32, order: u8) -> StorageResult<()> {
+        if !offset.is_multiple_of(1u32 << order) || offset + (1u32 << order) > self.total_pages() {
+            return Err(StorageError::BadBlock(format!(
+                "carve: misaligned or out-of-range block {offset}/{order}"
+            )));
+        }
+        // Find the free block containing [offset, offset + 2^order).
+        let containing = (order..=self.log2_pages).find_map(|o| {
+            let base = offset & !((1u32 << o) - 1);
+            self.free_lists[o as usize].contains(&base).then_some((base, o))
+        });
+        let Some((base, big)) = containing else {
+            return Err(StorageError::BadBlock(format!(
+                "carve: block {offset}/{order} not free"
+            )));
+        };
+        self.free_lists[big as usize].remove(&base);
+        // Split down, keeping the halves that do not contain the target.
+        let mut cur_base = base;
+        let mut cur_order = big;
+        while cur_order > order {
+            cur_order -= 1;
+            let half = 1u32 << cur_order;
+            if offset < cur_base + half {
+                self.free_lists[cur_order as usize].insert(cur_base + half);
+            } else {
+                self.free_lists[cur_order as usize].insert(cur_base);
+                cur_base += half;
+            }
+        }
+        self.allocated.insert(offset, order);
+        Ok(())
+    }
+
+    /// Iterates over `(offset, order)` of allocated blocks (unordered).
+    pub fn allocated_blocks(&self) -> impl Iterator<Item = (u32, u8)> + '_ {
+        self.allocated.iter().map(|(&o, &ord)| (o, ord))
+    }
+
+    /// External fragmentation measure in `[0, 1]`: `1 - largest_free /
+    /// total_free`. Zero when all free space is one block or none is free.
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free_pages();
+        if free == 0 {
+            return 0.0;
+        }
+        let largest = self
+            .largest_free_order()
+            .map(|o| 1u32 << o)
+            .unwrap_or(0);
+        1.0 - f64::from(largest) / f64::from(free)
+    }
+
+    /// Internal consistency check used by tests: free lists and allocation
+    /// table must tile the extent exactly, without overlap.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut covered = vec![false; self.total_pages() as usize];
+        let mut mark = |offset: u32, order: u8| {
+            for p in offset..offset + (1u32 << order) {
+                assert!(
+                    !covered[p as usize],
+                    "page {p} covered twice (block {offset}/{order})"
+                );
+                covered[p as usize] = true;
+            }
+        };
+        for (order, set) in self.free_lists.iter().enumerate() {
+            for &offset in set {
+                assert_eq!(
+                    offset % (1u32 << order),
+                    0,
+                    "misaligned free block {offset}/{order}"
+                );
+                mark(offset, order as u8);
+            }
+        }
+        for (&offset, &order) in &self.allocated {
+            mark(offset, order);
+        }
+        assert!(covered.iter().all(|&c| c), "extent pages not fully tiled");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn alloc_splits_and_free_coalesces() {
+        let mut ext = BuddyExtent::new(4); // 16 pages
+        let a = ext.alloc(0).unwrap();
+        assert_eq!(a, 0);
+        ext.check_invariants();
+        // 1 + 2 + 4 + 8 free
+        assert_eq!(ext.free_pages(), 15);
+        ext.free(a, 0).unwrap();
+        assert_eq!(ext.free_pages(), 16);
+        assert_eq!(ext.largest_free_order(), Some(4));
+        ext.check_invariants();
+    }
+
+    #[test]
+    fn alloc_prefers_smallest_fit() {
+        let mut ext = BuddyExtent::new(4);
+        let a = ext.alloc(2).unwrap(); // creates free blocks of 4 and 8
+        let b = ext.alloc(2).unwrap(); // should take the free order-2 block
+        assert_ne!(a, b);
+        assert_eq!(ext.largest_free_order(), Some(3), "order-3 block untouched");
+        ext.check_invariants();
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut ext = BuddyExtent::new(2); // 4 pages
+        assert!(ext.alloc(2).is_some());
+        assert!(ext.alloc(0).is_none());
+        assert!(ext.alloc(3).is_none(), "larger than extent");
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut ext = BuddyExtent::new(3);
+        let a = ext.alloc(1).unwrap();
+        ext.free(a, 1).unwrap();
+        assert!(ext.free(a, 1).is_err());
+    }
+
+    #[test]
+    fn free_with_wrong_order_rejected() {
+        let mut ext = BuddyExtent::new(3);
+        let a = ext.alloc(1).unwrap();
+        assert!(ext.free(a, 2).is_err());
+        // Block still allocated afterwards.
+        ext.free(a, 1).unwrap();
+    }
+
+    #[test]
+    fn carve_rebuilds_allocated_state() {
+        let mut original = BuddyExtent::new(4);
+        let a = original.alloc(1).unwrap();
+        let b = original.alloc(2).unwrap();
+        let c = original.alloc(0).unwrap();
+        original.free(b, 2).unwrap();
+
+        let mut rebuilt = BuddyExtent::new(4);
+        for (offset, order) in original.allocated_blocks() {
+            rebuilt.carve(offset, order).unwrap();
+        }
+        rebuilt.check_invariants();
+        assert_eq!(rebuilt.free_pages(), original.free_pages());
+        // Both see the same blocks as allocated.
+        let mut x: Vec<_> = original.allocated_blocks().collect();
+        let mut y: Vec<_> = rebuilt.allocated_blocks().collect();
+        x.sort_unstable();
+        y.sort_unstable();
+        assert_eq!(x, y);
+        assert!(x.contains(&(a, 1)));
+        assert!(x.contains(&(c, 0)));
+    }
+
+    #[test]
+    fn carve_of_allocated_block_rejected() {
+        let mut ext = BuddyExtent::new(3);
+        let a = ext.alloc(1).unwrap();
+        assert!(ext.carve(a, 1).is_err());
+    }
+
+    #[test]
+    fn fragmentation_metric() {
+        let mut ext = BuddyExtent::new(4);
+        assert_eq!(ext.fragmentation(), 0.0);
+        // Allocate two order-0 blocks from opposite halves by carving.
+        ext.carve(0, 0).unwrap();
+        ext.carve(8, 0).unwrap();
+        // Free space is 14 pages; largest free block is 4.
+        let frag = ext.fragmentation();
+        assert!(frag > 0.0 && frag < 1.0, "frag = {frag}");
+    }
+
+    proptest! {
+        /// Random alloc/free interleavings keep the extent exactly tiled
+        /// and coalescing eventually restores the single maximal block.
+        #[test]
+        fn random_ops_preserve_invariants(ops in prop::collection::vec(0u8..4, 1..200)) {
+            let mut ext = BuddyExtent::new(6); // 64 pages
+            let mut live: Vec<(u32, u8)> = Vec::new();
+            for op in ops {
+                if op < 3 {
+                    let order = op; // 0..3
+                    if let Some(offset) = ext.alloc(order) {
+                        live.push((offset, order));
+                    }
+                } else if let Some((offset, order)) = live.pop() {
+                    ext.free(offset, order).unwrap();
+                }
+                ext.check_invariants();
+            }
+            for (offset, order) in live.drain(..) {
+                ext.free(offset, order).unwrap();
+            }
+            ext.check_invariants();
+            prop_assert_eq!(ext.free_pages(), 64);
+            prop_assert_eq!(ext.largest_free_order(), Some(6));
+        }
+
+        /// Carve-based reconstruction always matches the live allocator.
+        #[test]
+        fn reload_matches_live(seed_ops in prop::collection::vec((0u8..3, any::<bool>()), 1..100)) {
+            let mut ext = BuddyExtent::new(6);
+            let mut live: Vec<(u32, u8)> = Vec::new();
+            for (order, do_alloc) in seed_ops {
+                if do_alloc || live.is_empty() {
+                    if let Some(offset) = ext.alloc(order) {
+                        live.push((offset, order));
+                    }
+                } else {
+                    let (offset, order) = live.swap_remove(live.len() / 2);
+                    ext.free(offset, order).unwrap();
+                }
+            }
+            let mut rebuilt = BuddyExtent::new(6);
+            for (offset, order) in ext.allocated_blocks() {
+                rebuilt.carve(offset, order).unwrap();
+            }
+            rebuilt.check_invariants();
+            prop_assert_eq!(rebuilt.free_pages(), ext.free_pages());
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Storage-layer errors.
+
+use std::fmt;
+use std::io;
+
+/// Errors raised by storage areas and the disk allocator.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// An on-disk structure failed validation.
+    Corrupt(String),
+    /// The area is full and cannot (or may not) expand.
+    OutOfSpace,
+    /// A requested disk segment exceeds the extent size.
+    SegmentTooLarge {
+        /// Pages requested.
+        requested: u32,
+        /// Largest allocatable block in pages (one extent).
+        max: u32,
+    },
+    /// An allocation/free argument was invalid (double free, bad offset…).
+    BadBlock(String),
+    /// A page number lies outside the area.
+    BadPage(u64),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage structure: {msg}"),
+            StorageError::OutOfSpace => write!(f, "storage area out of space"),
+            StorageError::SegmentTooLarge { requested, max } => {
+                write!(f, "disk segment of {requested} pages exceeds extent size {max}")
+            }
+            StorageError::BadBlock(msg) => write!(f, "bad block operation: {msg}"),
+            StorageError::BadPage(p) => write!(f, "page {p} outside storage area"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;

@@ -1,0 +1,39 @@
+//! # bess-storage — the physical storage layer of BeSS
+//!
+//! Implements §2 of "A High Performance Configurable Storage Manager"
+//! (Biliris & Panagos, ICDE 1995): **storage areas** (UNIX files or — here,
+//! additionally — in-memory regions standing in for raw partitions),
+//! partitioned into **extents**, with disk segments allocated by the
+//! **binary buddy system** of Biliris (ICDE 1992). File-backed areas expand
+//! one extent at a time; fixed areas model raw partitions.
+//!
+//! The allocator state is persisted per extent on a dedicated metadata page
+//! and rebuilt on open, so segments survive restarts. All I/O is counted in
+//! [`IoStats`] for the benchmark harness.
+//!
+//! ```
+//! use bess_storage::{AreaConfig, AreaId, StorageArea};
+//!
+//! let area = StorageArea::create_mem(AreaId(1), AreaConfig::default()).unwrap();
+//! let seg = area.alloc(3).unwrap(); // a 3-page disk segment
+//! let page = vec![7u8; area.page_size()];
+//! area.write_page(seg.start_page, &page).unwrap();
+//! area.free(seg).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod area;
+mod buddy;
+mod error;
+mod page;
+mod space;
+mod stats;
+
+pub use area::{AreaConfig, StorageArea};
+pub use buddy::BuddyExtent;
+pub use error::{StorageError, StorageResult};
+pub use page::{order_for_pages, AreaId, DiskPtr, PageId, PAGE_SIZE};
+pub use space::DiskSpace;
+pub use stats::{IoSnapshot, IoStats};

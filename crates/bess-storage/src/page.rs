@@ -1,0 +1,128 @@
+//! Page and disk-segment addressing.
+
+use std::fmt;
+
+/// Default page size: 4 KiB. Must match the `bess-vm` page size when
+/// segments are mapped into an address space.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifies a storage area within a BeSS server.
+///
+/// The paper's physical database "consists of a number of *storage areas*,
+/// which are UNIX files or disk raw partitions" (§2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AreaId(pub u32);
+
+impl fmt::Display for AreaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "area{}", self.0)
+    }
+}
+
+/// A page within a specific storage area.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId {
+    /// The containing storage area.
+    pub area: AreaId,
+    /// Absolute page number within the area (0 = area header).
+    pub page: u64,
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.area, self.page)
+    }
+}
+
+/// A contiguous disk segment: the allocation unit handed out by the binary
+/// buddy allocator (§2 of the paper, after Biliris ICDE'92).
+///
+/// `pages` records the *requested* size; the buddy block actually reserved
+/// is the next power of two.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DiskPtr {
+    /// The containing storage area.
+    pub area: AreaId,
+    /// Absolute number of the first page of the segment.
+    pub start_page: u64,
+    /// Number of pages requested for the segment.
+    pub pages: u32,
+}
+
+impl DiskPtr {
+    /// The buddy order (log2 of the block size in pages) backing this
+    /// segment.
+    pub fn order(&self) -> u8 {
+        order_for_pages(self.pages)
+    }
+
+    /// The page id of the `i`-th page of the segment.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.pages`.
+    pub fn page(&self, i: u32) -> PageId {
+        assert!(i < self.pages, "page index {i} out of segment of {}", self.pages);
+        PageId {
+            area: self.area,
+            page: self.start_page + u64::from(i),
+        }
+    }
+
+    /// Size of the segment in bytes for the given page size.
+    pub fn byte_len(&self, page_size: usize) -> usize {
+        self.pages as usize * page_size
+    }
+}
+
+impl fmt::Display for DiskPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}+{}", self.area, self.start_page, self.pages)
+    }
+}
+
+/// Smallest buddy order whose block holds `pages` pages.
+pub fn order_for_pages(pages: u32) -> u8 {
+    assert!(pages > 0, "segment must have at least one page");
+    (32 - (pages - 1).leading_zeros()) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_for_pages_is_ceil_log2() {
+        assert_eq!(order_for_pages(1), 0);
+        assert_eq!(order_for_pages(2), 1);
+        assert_eq!(order_for_pages(3), 2);
+        assert_eq!(order_for_pages(4), 2);
+        assert_eq!(order_for_pages(5), 3);
+        assert_eq!(order_for_pages(255), 8);
+        assert_eq!(order_for_pages(256), 8);
+        assert_eq!(order_for_pages(257), 9);
+    }
+
+    #[test]
+    fn disk_ptr_pages() {
+        let ptr = DiskPtr {
+            area: AreaId(3),
+            start_page: 100,
+            pages: 4,
+        };
+        assert_eq!(ptr.page(0).page, 100);
+        assert_eq!(ptr.page(3).page, 103);
+        assert_eq!(ptr.order(), 2);
+        assert_eq!(ptr.byte_len(PAGE_SIZE), 16384);
+    }
+
+    #[test]
+    #[should_panic]
+    fn disk_ptr_page_out_of_range_panics() {
+        let ptr = DiskPtr {
+            area: AreaId(0),
+            start_page: 0,
+            pages: 2,
+        };
+        let _ = ptr.page(2);
+    }
+}

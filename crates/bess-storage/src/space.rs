@@ -1,0 +1,105 @@
+//! The [`DiskSpace`] abstraction: disk allocation and raw byte I/O.
+//!
+//! The segment and large-object layers need four primitives from the
+//! storage substrate: allocate a disk segment, free one, and read/write
+//! bytes at a page offset. Behind this trait those primitives can be served
+//! by local storage areas (a BeSS server or an embedded application) or by
+//! RPCs to the owning server (a remote client) — the multi-client
+//! multi-server architecture of §3 needs both.
+
+use std::sync::Arc;
+
+use crate::area::StorageArea;
+use crate::error::{StorageError, StorageResult};
+use crate::page::DiskPtr;
+
+/// Disk-space management primitives.
+pub trait DiskSpace: Send + Sync {
+    /// Bytes per page.
+    fn page_size(&self) -> usize;
+
+    /// Allocates a disk segment of `pages` pages in storage area `area`.
+    fn alloc(&self, area: u32, pages: u32) -> StorageResult<DiskPtr>;
+
+    /// Frees a previously allocated disk segment.
+    fn free(&self, ptr: DiskPtr) -> StorageResult<()>;
+
+    /// Reads `buf.len()` bytes at byte `offset` of `page` in `area`
+    /// (`offset + buf.len() <= page_size`).
+    fn read_at(&self, area: u32, page: u64, offset: usize, buf: &mut [u8]) -> StorageResult<()>;
+
+    /// Writes `data` at byte `offset` of `page` in `area`.
+    fn write_at(&self, area: u32, page: u64, offset: usize, data: &[u8]) -> StorageResult<()>;
+}
+
+impl DiskSpace for StorageArea {
+    fn page_size(&self) -> usize {
+        StorageArea::page_size(self)
+    }
+
+    fn alloc(&self, area: u32, pages: u32) -> StorageResult<DiskPtr> {
+        if area != self.id().0 {
+            return Err(StorageError::BadBlock(format!(
+                "area {area} requested from area {}",
+                self.id()
+            )));
+        }
+        StorageArea::alloc(self, pages)
+    }
+
+    fn free(&self, ptr: DiskPtr) -> StorageResult<()> {
+        StorageArea::free(self, ptr)
+    }
+
+    fn read_at(&self, area: u32, page: u64, offset: usize, buf: &mut [u8]) -> StorageResult<()> {
+        if area != self.id().0 {
+            return Err(StorageError::BadPage(page));
+        }
+        StorageArea::read_at(self, page, offset, buf)
+    }
+
+    fn write_at(&self, area: u32, page: u64, offset: usize, data: &[u8]) -> StorageResult<()> {
+        if area != self.id().0 {
+            return Err(StorageError::BadPage(page));
+        }
+        StorageArea::write_at(self, page, offset, data)
+    }
+}
+
+impl<T: DiskSpace + ?Sized> DiskSpace for Arc<T> {
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+    fn alloc(&self, area: u32, pages: u32) -> StorageResult<DiskPtr> {
+        (**self).alloc(area, pages)
+    }
+    fn free(&self, ptr: DiskPtr) -> StorageResult<()> {
+        (**self).free(ptr)
+    }
+    fn read_at(&self, area: u32, page: u64, offset: usize, buf: &mut [u8]) -> StorageResult<()> {
+        (**self).read_at(area, page, offset, buf)
+    }
+    fn write_at(&self, area: u32, page: u64, offset: usize, data: &[u8]) -> StorageResult<()> {
+        (**self).write_at(area, page, offset, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::AreaConfig;
+    use crate::page::AreaId;
+
+    #[test]
+    fn storage_area_implements_disk_space() {
+        let area = StorageArea::create_mem(AreaId(3), AreaConfig::default()).unwrap();
+        let space: &dyn DiskSpace = &area;
+        let seg = space.alloc(3, 2).unwrap();
+        space.write_at(3, seg.start_page, 10, b"abc").unwrap();
+        let mut buf = [0u8; 3];
+        space.read_at(3, seg.start_page, 10, &mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+        space.free(seg).unwrap();
+        assert!(space.alloc(9, 1).is_err(), "wrong area id rejected");
+    }
+}

@@ -1,0 +1,63 @@
+//! I/O accounting for storage areas.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters maintained by a [`crate::StorageArea`].
+///
+/// The paper's evaluation environment measured real disk traffic; these
+/// counters let the benchmark harness report page reads/writes, syncs, and
+/// extent growth for every experiment.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Pages read from the backend.
+    pub page_reads: AtomicU64,
+    /// Pages written to the backend.
+    pub page_writes: AtomicU64,
+    /// Durability syncs (`fsync`-equivalents).
+    pub syncs: AtomicU64,
+    /// Times the area grew by one extent (§2: "storage areas that
+    /// correspond to UNIX files may expand in size by one extent at a
+    /// time").
+    pub extends: AtomicU64,
+}
+
+impl IoStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot for reporting.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            page_reads: self.page_reads.load(Ordering::Relaxed),
+            page_writes: self.page_writes.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            extends: self.extends.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Pages read from the backend.
+    pub page_reads: u64,
+    /// Pages written to the backend.
+    pub page_writes: u64,
+    /// Durability syncs.
+    pub syncs: u64,
+    /// Extent expansions.
+    pub extends: u64,
+}
+
+impl IoSnapshot {
+    /// Element-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            page_reads: self.page_reads - earlier.page_reads,
+            page_writes: self.page_writes - earlier.page_writes,
+            syncs: self.syncs - earlier.syncs,
+            extends: self.extends - earlier.extends,
+        }
+    }
+}

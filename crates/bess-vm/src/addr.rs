@@ -1,0 +1,223 @@
+//! Virtual addresses and address ranges.
+//!
+//! BeSS object references are virtual-memory addresses (§2.1 of the paper).
+//! In this reproduction an address is a location in a *simulated* 64-bit
+//! address space managed by [`crate::AddressSpace`]; it is never a real
+//! machine pointer, which keeps the fault-driven reference mechanism
+//! deterministic and memory-safe.
+
+use std::fmt;
+use std::num::NonZeroU64;
+
+/// A virtual address in a simulated address space.
+///
+/// Address `0` is reserved as the null address (like `NULL` in the original
+/// C++ implementation), so `Option<VAddr>` is pointer-sized.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VAddr(NonZeroU64);
+
+impl VAddr {
+    /// Creates an address from a raw value. Returns `None` for 0.
+    pub fn new(raw: u64) -> Option<Self> {
+        NonZeroU64::new(raw).map(VAddr)
+    }
+
+    /// Creates an address from a raw value, panicking on 0.
+    ///
+    /// # Panics
+    /// Panics if `raw` is zero.
+    pub fn from_raw(raw: u64) -> Self {
+        VAddr(NonZeroU64::new(raw).expect("VAddr must be non-zero"))
+    }
+
+    /// The raw numeric value of the address.
+    pub fn raw(self) -> u64 {
+        self.0.get()
+    }
+
+    /// Returns the address advanced by `offset` bytes.
+    ///
+    /// # Panics
+    /// Panics on overflow of the 64-bit address space.
+    #[allow(clippy::should_implement_trait)] // pointer arithmetic, not ops::Add
+    pub fn add(self, offset: u64) -> Self {
+        VAddr::from_raw(
+            self.raw()
+                .checked_add(offset)
+                .expect("virtual address overflow"),
+        )
+    }
+
+    /// Byte distance from `base` to `self`.
+    ///
+    /// # Panics
+    /// Panics if `self < base`.
+    pub fn offset_from(self, base: VAddr) -> u64 {
+        self.raw()
+            .checked_sub(base.raw())
+            .expect("VAddr::offset_from: address below base")
+    }
+
+    /// The page number containing this address for the given page size.
+    pub fn page(self, page_size: u64) -> u64 {
+        self.raw() / page_size
+    }
+
+    /// The address rounded down to its page boundary.
+    pub fn page_base(self, page_size: u64) -> VAddr {
+        VAddr::from_raw(self.raw() - self.raw() % page_size)
+    }
+
+    /// Offset of this address within its page.
+    pub fn page_offset(self, page_size: u64) -> u64 {
+        self.raw() % page_size
+    }
+}
+
+impl fmt::Debug for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VAddr({:#x})", self.raw())
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.raw())
+    }
+}
+
+/// A half-open range `[start, start + len)` of virtual addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VRange {
+    start: VAddr,
+    len: u64,
+}
+
+impl VRange {
+    /// Creates a range starting at `start` spanning `len` bytes.
+    ///
+    /// # Panics
+    /// Panics if the range would overflow the address space.
+    pub fn new(start: VAddr, len: u64) -> Self {
+        // Validate that the end is representable.
+        let _ = start.raw().checked_add(len).expect("VRange overflow");
+        VRange { start, len }
+    }
+
+    /// First address of the range.
+    pub fn start(self) -> VAddr {
+        self.start
+    }
+
+    /// Length of the range in bytes.
+    pub fn len(self) -> u64 {
+        self.len
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// One past the last raw address of the range.
+    pub fn end_raw(self) -> u64 {
+        self.start.raw() + self.len
+    }
+
+    /// Whether `addr` falls inside the range.
+    pub fn contains(self, addr: VAddr) -> bool {
+        addr.raw() >= self.start.raw() && addr.raw() < self.end_raw()
+    }
+
+    /// Whether `self` fully contains `other`.
+    pub fn contains_range(self, other: VRange) -> bool {
+        other.start.raw() >= self.start.raw() && other.end_raw() <= self.end_raw()
+    }
+
+    /// Whether the two ranges share any address.
+    pub fn overlaps(self, other: VRange) -> bool {
+        self.start.raw() < other.end_raw() && other.start.raw() < self.end_raw()
+    }
+
+    /// Iterates over the page numbers covered by this range.
+    pub fn pages(self, page_size: u64) -> impl Iterator<Item = u64> {
+        let first = self.start.raw() / page_size;
+        let last = if self.len == 0 {
+            first
+        } else {
+            (self.end_raw() - 1) / page_size + 1
+        };
+        first..last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_rejected() {
+        assert!(VAddr::new(0).is_none());
+        assert_eq!(VAddr::new(1).unwrap().raw(), 1);
+    }
+
+    #[test]
+    fn option_vaddr_is_pointer_sized() {
+        assert_eq!(
+            std::mem::size_of::<Option<VAddr>>(),
+            std::mem::size_of::<u64>()
+        );
+    }
+
+    #[test]
+    fn add_and_offset_round_trip() {
+        let a = VAddr::from_raw(0x1000);
+        let b = a.add(0x234);
+        assert_eq!(b.raw(), 0x1234);
+        assert_eq!(b.offset_from(a), 0x234);
+    }
+
+    #[test]
+    #[should_panic]
+    fn offset_from_below_base_panics() {
+        let a = VAddr::from_raw(0x1000);
+        let b = VAddr::from_raw(0x800);
+        let _ = b.offset_from(a);
+    }
+
+    #[test]
+    fn page_math() {
+        let a = VAddr::from_raw(0x2345);
+        assert_eq!(a.page(0x1000), 2);
+        assert_eq!(a.page_base(0x1000).raw(), 0x2000);
+        assert_eq!(a.page_offset(0x1000), 0x345);
+    }
+
+    #[test]
+    fn range_contains_and_overlap() {
+        let r = VRange::new(VAddr::from_raw(0x1000), 0x1000);
+        assert!(r.contains(VAddr::from_raw(0x1000)));
+        assert!(r.contains(VAddr::from_raw(0x1fff)));
+        assert!(!r.contains(VAddr::from_raw(0x2000)));
+
+        let r2 = VRange::new(VAddr::from_raw(0x1800), 0x1000);
+        let r3 = VRange::new(VAddr::from_raw(0x2000), 0x1000);
+        assert!(r.overlaps(r2));
+        assert!(!r.overlaps(r3));
+        assert!(r.contains_range(VRange::new(VAddr::from_raw(0x1100), 0x100)));
+        assert!(!r.contains_range(r2));
+    }
+
+    #[test]
+    fn range_pages() {
+        let r = VRange::new(VAddr::from_raw(0x1800), 0x1000);
+        let pages: Vec<u64> = r.pages(0x1000).collect();
+        assert_eq!(pages, vec![1, 2]);
+
+        let empty = VRange::new(VAddr::from_raw(0x1000), 0);
+        assert_eq!(empty.pages(0x1000).count(), 0);
+
+        let exact = VRange::new(VAddr::from_raw(0x1000), 0x1000);
+        assert_eq!(exact.pages(0x1000).collect::<Vec<_>>(), vec![1]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Fault handlers — the software analogue of the BeSS SIGSEGV/SIGBUS traps.
+//!
+//! The paper's BeSS "traps the SIGSEGV and SIGBUS signals delivered by the
+//! underlying hardware when a virtual memory protection violation is caught"
+//! (§2.4) and runs its interrupt handler, which fetches segments, swizzles
+//! references, records updates and acquires locks before the offending
+//! instruction is resumed (§2.1, §2.3). Here each reserved region carries a
+//! [`FaultHandler`]; when an access violates the page protection the handler
+//! runs, and the access is retried — the exact resume semantics of a signal
+//! handler, without the signals.
+
+use std::sync::Arc;
+
+use crate::addr::{VAddr, VRange};
+use crate::prot::Access;
+
+/// Description of a protection violation delivered to a handler.
+#[derive(Clone, Copy, Debug)]
+pub struct Fault {
+    /// The faulting address.
+    pub addr: VAddr,
+    /// Whether the faulting access was a load or a store.
+    pub access: Access,
+    /// The reserved region containing the address.
+    pub region: VRange,
+}
+
+/// What the handler did about a fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The handler resolved the fault (mapped/unprotected the page); the
+    /// access should be retried.
+    Resume,
+    /// The handler refuses the access: this is a genuine protection
+    /// violation (e.g. a stray user write into a slotted segment, §2.2).
+    Deny,
+}
+
+/// A handler invoked when an access violates a region's page protection.
+///
+/// Handlers receive the faulting [`Fault`] and a reference to the address
+/// space so they can map pages, change protections, or reserve further
+/// ranges (the "three waves" of §2.1 cascade this way). A handler must make
+/// the faulting page accessible before returning [`FaultOutcome::Resume`],
+/// otherwise the access is retried a bounded number of times and then fails.
+pub trait FaultHandler: Send + Sync {
+    /// Handles `fault` against `space`.
+    fn handle(&self, space: &crate::space::AddressSpace, fault: Fault) -> FaultOutcome;
+}
+
+/// A handler built from a closure. Convenient in tests and small tools.
+pub struct FnHandler<F>(pub F);
+
+impl<F> FaultHandler for FnHandler<F>
+where
+    F: Fn(&crate::space::AddressSpace, Fault) -> FaultOutcome + Send + Sync,
+{
+    fn handle(&self, space: &crate::space::AddressSpace, fault: Fault) -> FaultOutcome {
+        (self.0)(space, fault)
+    }
+}
+
+/// Wraps a closure into an `Arc<dyn FaultHandler>`.
+pub fn handler_fn<F>(f: F) -> Arc<dyn FaultHandler>
+where
+    F: Fn(&crate::space::AddressSpace, Fault) -> FaultOutcome + Send + Sync + 'static,
+{
+    Arc::new(FnHandler(f))
+}

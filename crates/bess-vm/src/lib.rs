@@ -1,0 +1,58 @@
+//! # bess-vm — software-MMU substrate for the BeSS storage manager
+//!
+//! BeSS ("A High Performance Configurable Storage Manager", Biliris &
+//! Panagos, ICDE 1995) builds its fast object-reference mechanism, its
+//! corruption prevention, and its automatic update detection directly on
+//! UNIX virtual-memory facilities: address-range reservation, `mprotect`,
+//! and SIGSEGV/SIGBUS trapping. This crate reproduces those facilities as a
+//! deterministic **software MMU**:
+//!
+//! * [`AddressSpace`] — a simulated 64-bit per-process address space with
+//!   page-granular reservation, mapping, and protection;
+//! * [`PageStore`] / [`HeapStore`] — frame stores that pages map onto;
+//!   mapping the *same* frame into several spaces reproduces the shared
+//!   client cache of the paper's Figures 3–4;
+//! * [`FaultHandler`] — the analogue of the BeSS interrupt handler: invoked
+//!   on protection violations, it fetches/maps/swizzles and resumes the
+//!   access;
+//! * [`MemStats`] — counters for reserved bytes, protection "system calls",
+//!   and faults, the paper's cost metrics.
+//!
+//! Why simulate rather than `mmap`+`SIGSEGV` for real? Dereferencing raw
+//! mapped pointers and recovering from signals is UB-adjacent in Rust, is
+//! non-deterministic under test, and adds nothing to the *algorithms* under
+//! study: which faults occur, in what order, what gets reserved, fetched,
+//! swizzled, protected. The software MMU performs exactly those state
+//! transitions and makes them observable and testable.
+//!
+//! ```
+//! use bess_vm::{AddressSpace, Protect, FaultOutcome, handler_fn};
+//!
+//! let space = AddressSpace::new();
+//! // Reserve an access-protected range whose faults map pages on demand.
+//! let handler = handler_fn(|space: &AddressSpace, fault| {
+//!     space.map_anon(fault.region, Protect::ReadWrite).unwrap();
+//!     FaultOutcome::Resume
+//! });
+//! let range = space.reserve(8192, Some(handler));
+//! space.write_u64(range.start(), 7).unwrap(); // faults once, then resumes
+//! assert_eq!(space.read_u64(range.start()).unwrap(), 7);
+//! assert_eq!(space.stats().snapshot().write_faults, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod addr;
+mod handler;
+mod prot;
+mod space;
+mod stats;
+mod store;
+
+pub use addr::{VAddr, VRange};
+pub use handler::{handler_fn, Fault, FaultHandler, FaultOutcome, FnHandler};
+pub use prot::{Access, FrameState, Protect};
+pub use space::{AddressSpace, VmError, VmResult, DEFAULT_PAGE_SIZE};
+pub use stats::{MemStats, StatsSnapshot};
+pub use store::{FrameId, HeapStore, PageStore};

@@ -1,0 +1,67 @@
+//! Page protection and virtual-frame states.
+
+/// Protection applied to a virtual page, mirroring `mprotect` levels.
+///
+/// The paper's BeSS maps slotted segments read-only (write-protected) and
+/// newly fetched data pages read-only so the first write traps and can be
+/// recorded (§2.2, §2.3). Reserved-but-unfetched ranges are `None`
+/// (access-protected), so the first *read* traps too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protect {
+    /// No access permitted; any touch faults.
+    None,
+    /// Reads permitted; writes fault.
+    Read,
+    /// Reads and writes permitted.
+    ReadWrite,
+}
+
+impl Protect {
+    /// Whether the protection admits the given kind of access.
+    pub fn allows(self, access: Access) -> bool {
+        matches!(
+            (self, access),
+            (Protect::ReadWrite, _) | (Protect::Read, Access::Read)
+        )
+    }
+}
+
+/// The kind of memory access being performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// The state of a virtual frame as used by the clock replacement algorithm
+/// (§4.2 of the paper).
+///
+/// BeSS cannot keep a classic reference bit because applications touch
+/// memory directly; instead the replacement clock is driven by the frame
+/// state transition `Accessible -> Protected -> Invalid`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FrameState {
+    /// Access-protected and not mapped to any cache slot.
+    Invalid,
+    /// Access-protected but mapped to a cache slot.
+    Protected,
+    /// Mapped to a cache slot and accessible without faulting.
+    Accessible,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protect_allows_matrix() {
+        assert!(!Protect::None.allows(Access::Read));
+        assert!(!Protect::None.allows(Access::Write));
+        assert!(Protect::Read.allows(Access::Read));
+        assert!(!Protect::Read.allows(Access::Write));
+        assert!(Protect::ReadWrite.allows(Access::Read));
+        assert!(Protect::ReadWrite.allows(Access::Write));
+    }
+}

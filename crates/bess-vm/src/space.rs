@@ -1,0 +1,943 @@
+//! The simulated virtual address space.
+//!
+//! [`AddressSpace`] models, deterministically and in safe Rust, the subset
+//! of UNIX virtual-memory behaviour that BeSS is built on:
+//!
+//! * **reservation** of address ranges without backing storage (the paper
+//!   "reserves and access-protects a virtual memory address range" for every
+//!   segment before fetching it, §2.1);
+//! * **mapping** of pages onto frames of a [`PageStore`] — the analogue of
+//!   `mmap` over the buffer-pool file (§4.1.1) or the shared cache (§4.1.2);
+//! * **protection** (`mprotect`) with [`Protect::None`]/[`Protect::Read`]/
+//!   [`Protect::ReadWrite`] levels; and
+//! * **fault delivery**: an access that violates a page's protection invokes
+//!   the [`FaultHandler`] registered for the surrounding reserved region,
+//!   then retries — the resume semantics of a SIGSEGV handler.
+//!
+//! Every operation is counted in [`MemStats`], so experiments can report
+//! reserved bytes, protection "system calls", and fault counts exactly as
+//! the paper discusses them.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::addr::{VAddr, VRange};
+use crate::handler::{Fault, FaultHandler, FaultOutcome};
+use crate::prot::{Access, FrameState, Protect};
+use crate::stats::MemStats;
+use crate::store::{FrameId, HeapStore, PageStore};
+
+/// Default page size: 4 KiB, matching the paper's SUN/SGI era hardware.
+pub const DEFAULT_PAGE_SIZE: u64 = 4096;
+
+/// Maximum times a single page access is retried after fault handling
+/// before the access fails with [`VmError::FaultNotResolved`].
+const MAX_FAULT_RETRIES: u32 = 8;
+
+/// Errors raised by address-space operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// The address is not inside any reserved region.
+    Unreserved(VAddr),
+    /// The access violated page protection and the region's handler (or the
+    /// absence of one) denied it. This is BeSS catching a stray pointer.
+    ProtectionViolation {
+        /// The faulting address.
+        addr: VAddr,
+        /// The faulting access kind.
+        access: Access,
+    },
+    /// A handler kept resuming without making the page accessible.
+    FaultNotResolved(VAddr),
+    /// A protection or mapping operation addressed an unreserved page.
+    BadRange(VRange),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Unreserved(a) => write!(f, "address {a} is not reserved"),
+            VmError::ProtectionViolation { addr, access } => {
+                write!(f, "protection violation: {access:?} at {addr}")
+            }
+            VmError::FaultNotResolved(a) => {
+                write!(f, "fault at {a} not resolved after {MAX_FAULT_RETRIES} retries")
+            }
+            VmError::BadRange(r) => write!(f, "range {r:?} is not fully reserved"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Result alias for address-space operations.
+pub type VmResult<T> = Result<T, VmError>;
+
+struct PageEntry {
+    prot: Protect,
+    mapping: Option<(Arc<dyn PageStore>, FrameId)>,
+}
+
+struct Region {
+    range: VRange,
+    handler: Option<Arc<dyn FaultHandler>>,
+}
+
+/// A simulated per-process virtual address space.
+///
+/// Thread-safe; BeSS's shared-memory mode runs several "processes" (threads)
+/// each with its own `AddressSpace` mapping the same cache frames.
+pub struct AddressSpace {
+    page_size: u64,
+    next: Mutex<u64>,
+    pages: RwLock<HashMap<u64, PageEntry>>,
+    regions: RwLock<BTreeMap<u64, Region>>,
+    anon: Arc<HeapStore>,
+    stats: MemStats,
+}
+
+impl AddressSpace {
+    /// Creates a space with the default 4 KiB page size.
+    pub fn new() -> Self {
+        Self::with_page_size(DEFAULT_PAGE_SIZE)
+    }
+
+    /// Creates a space with the given page size (must be a power of two).
+    pub fn with_page_size(page_size: u64) -> Self {
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        // Give each space a distinct base, like ASLR: different processes
+        // (and different runs of the same process) map segments at
+        // different addresses, which is exactly the situation the BeSS
+        // swizzling machinery must cope with. Without this, consecutive
+        // "epochs" would accidentally reuse identical addresses and hide
+        // unswizzled references.
+        use std::sync::atomic::AtomicU64;
+        static SPACE_COUNTER: AtomicU64 = AtomicU64::new(1);
+        let instance = SPACE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let base = (instance % (1 << 20)) << 33;
+        AddressSpace {
+            page_size,
+            // Start above zero so address 0 stays null; one unreserved guard
+            // page keeps off-by-one bugs loud.
+            next: Mutex::new(base + page_size),
+            pages: RwLock::new(HashMap::new()),
+            regions: RwLock::new(BTreeMap::new()),
+            anon: Arc::new(HeapStore::new(page_size as usize)),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The page size of this space.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Activity counters for this space.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    fn round_up(&self, len: u64) -> u64 {
+        len.div_ceil(self.page_size) * self.page_size
+    }
+
+    /// Reserves (and access-protects) a fresh address range of at least
+    /// `len` bytes, rounded up to whole pages. Faults inside the range are
+    /// delivered to `handler`; with no handler every fault is a
+    /// [`VmError::ProtectionViolation`].
+    ///
+    /// Reservation allocates *no* frames — only page-table bookkeeping, as
+    /// in the paper's lazy scheme.
+    pub fn reserve(&self, len: u64, handler: Option<Arc<dyn FaultHandler>>) -> VRange {
+        let len = self.round_up(len.max(1));
+        let start = {
+            let mut next = self.next.lock();
+            let start = *next;
+            *next = start
+                .checked_add(len)
+                .and_then(|v| v.checked_add(self.page_size)) // guard page
+                .expect("simulated address space exhausted");
+            start
+        };
+        let range = VRange::new(VAddr::from_raw(start), len);
+        self.regions
+            .write()
+            .insert(start, Region { range, handler });
+        MemStats::bump(&self.stats.reserve_calls);
+        MemStats::add(&self.stats.reserved_bytes, len);
+        range
+    }
+
+    /// Releases a reserved range, dropping any page mappings inside it.
+    pub fn unreserve(&self, range: VRange) -> VmResult<()> {
+        let removed = self.regions.write().remove(&range.start().raw());
+        match removed {
+            Some(region) if region.range == range => {
+                let mut pages = self.pages.write();
+                for page in range.pages(self.page_size) {
+                    pages.remove(&page);
+                }
+                MemStats::bump(&self.stats.unreserve_calls);
+                Ok(())
+            }
+            Some(region) => {
+                // Wrong extent supplied: put it back and fail.
+                self.regions.write().insert(range.start().raw(), region);
+                Err(VmError::BadRange(range))
+            }
+            None => Err(VmError::BadRange(range)),
+        }
+    }
+
+    /// Replaces the fault handler of the region starting at `start`.
+    pub fn set_handler(
+        &self,
+        start: VAddr,
+        handler: Option<Arc<dyn FaultHandler>>,
+    ) -> VmResult<()> {
+        let mut regions = self.regions.write();
+        match regions.get_mut(&start.raw()) {
+            Some(region) => {
+                region.handler = handler;
+                Ok(())
+            }
+            None => Err(VmError::Unreserved(start)),
+        }
+    }
+
+    /// The reserved region containing `addr`, if any.
+    pub fn region_of(&self, addr: VAddr) -> Option<VRange> {
+        let regions = self.regions.read();
+        regions
+            .range(..=addr.raw())
+            .next_back()
+            .map(|(_, r)| r.range)
+            .filter(|r| r.contains(addr))
+    }
+
+    fn handler_of(&self, addr: VAddr) -> Option<(VRange, Option<Arc<dyn FaultHandler>>)> {
+        let regions = self.regions.read();
+        regions
+            .range(..=addr.raw())
+            .next_back()
+            .filter(|(_, r)| r.range.contains(addr))
+            .map(|(_, r)| (r.range, r.handler.clone()))
+    }
+
+    fn check_reserved(&self, range: VRange) -> VmResult<()> {
+        match self.region_of(range.start()) {
+            Some(region) if region.contains_range(range) => Ok(()),
+            _ => Err(VmError::BadRange(range)),
+        }
+    }
+
+    /// Maps one page (identified by any address within it) onto `frame` of
+    /// `store` with protection `prot`. The page must lie in a reserved
+    /// region.
+    pub fn map_page(
+        &self,
+        addr: VAddr,
+        store: Arc<dyn PageStore>,
+        frame: FrameId,
+        prot: Protect,
+    ) -> VmResult<()> {
+        assert_eq!(
+            store.frame_size() as u64,
+            self.page_size,
+            "store frame size must equal the space page size"
+        );
+        if self.region_of(addr).is_none() {
+            return Err(VmError::Unreserved(addr));
+        }
+        let page = addr.page(self.page_size);
+        self.pages.write().insert(
+            page,
+            PageEntry {
+                prot,
+                mapping: Some((store, frame)),
+            },
+        );
+        MemStats::bump(&self.stats.map_calls);
+        Ok(())
+    }
+
+    /// Maps a whole reserved range onto consecutive `frames` of `store`.
+    ///
+    /// # Panics
+    /// Panics if `frames` does not cover the range exactly.
+    pub fn map_range(
+        &self,
+        range: VRange,
+        store: &Arc<dyn PageStore>,
+        frames: &[FrameId],
+        prot: Protect,
+    ) -> VmResult<()> {
+        let npages = range.pages(self.page_size).count();
+        assert_eq!(
+            frames.len(),
+            npages,
+            "map_range: {} frames for {} pages",
+            frames.len(),
+            npages
+        );
+        self.check_reserved(range)?;
+        for (page, frame) in range.pages(self.page_size).zip(frames) {
+            self.pages.write().insert(
+                page,
+                PageEntry {
+                    prot,
+                    mapping: Some((Arc::clone(store), *frame)),
+                },
+            );
+            MemStats::bump(&self.stats.map_calls);
+        }
+        Ok(())
+    }
+
+    /// Maps a reserved range onto fresh zero-filled anonymous frames.
+    pub fn map_anon(&self, range: VRange, prot: Protect) -> VmResult<()> {
+        self.check_reserved(range)?;
+        let store: Arc<dyn PageStore> = Arc::clone(&self.anon) as Arc<dyn PageStore>;
+        let frames: Vec<FrameId> = range
+            .pages(self.page_size)
+            .map(|_| self.anon.alloc())
+            .collect();
+        self.map_range(range, &store, &frames, prot)
+    }
+
+    /// Convenience: reserve + map anonymous memory in one step.
+    pub fn alloc_anon(&self, len: u64, prot: Protect) -> VRange {
+        let range = self.reserve(len, None);
+        self.map_anon(range, prot).expect("fresh range is reserved");
+        range
+    }
+
+    /// Unmaps the page containing `addr`, returning it to the *invalid*
+    /// frame state. The reservation remains.
+    pub fn unmap_page(&self, addr: VAddr) -> VmResult<()> {
+        if self.region_of(addr).is_none() {
+            return Err(VmError::Unreserved(addr));
+        }
+        let page = addr.page(self.page_size);
+        let mut pages = self.pages.write();
+        if pages.remove(&page).is_some() {
+            MemStats::bump(&self.stats.unmap_calls);
+        }
+        Ok(())
+    }
+
+    /// Changes the protection of every page in `range`. Counts as **one**
+    /// protection system call (the paper's §2.2 cost metric), like a single
+    /// `mprotect` over the range. Pages in the range that are unmapped stay
+    /// unmapped (their state remains *invalid*); mapped pages take the new
+    /// protection.
+    pub fn protect(&self, range: VRange, prot: Protect) -> VmResult<()> {
+        self.check_reserved(range)?;
+        let mut pages = self.pages.write();
+        for page in range.pages(self.page_size) {
+            if let Some(entry) = pages.get_mut(&page) {
+                entry.prot = prot;
+            }
+        }
+        MemStats::bump(&self.stats.protect_calls);
+        Ok(())
+    }
+
+    /// The replacement-relevant state of the page containing `addr`
+    /// (see [`FrameState`] and §4.2 of the paper).
+    pub fn frame_state(&self, addr: VAddr) -> FrameState {
+        let page = addr.page(self.page_size);
+        let pages = self.pages.read();
+        match pages.get(&page) {
+            None => FrameState::Invalid,
+            Some(entry) if entry.mapping.is_none() => FrameState::Invalid,
+            Some(entry) if entry.prot == Protect::None => FrameState::Protected,
+            Some(_) => FrameState::Accessible,
+        }
+    }
+
+    /// The frame the page containing `addr` is mapped onto, if any.
+    pub fn mapping(&self, addr: VAddr) -> Option<FrameId> {
+        let page = addr.page(self.page_size);
+        self.pages
+            .read()
+            .get(&page)
+            .and_then(|e| e.mapping.as_ref().map(|(_, f)| *f))
+    }
+
+    /// The current protection of the page containing `addr`.
+    /// Unmapped pages report [`Protect::None`].
+    pub fn protection(&self, addr: VAddr) -> Protect {
+        let page = addr.page(self.page_size);
+        self.pages
+            .read()
+            .get(&page)
+            .map(|e| e.prot)
+            .unwrap_or(Protect::None)
+    }
+
+    /// Performs `op` on the page containing `addr` if its protection admits
+    /// `access`; otherwise faults, dispatches the region handler, and
+    /// retries. This is the core "load/store with resume" loop.
+    fn access_page<R>(
+        &self,
+        addr: VAddr,
+        access: Access,
+        mut op: impl FnMut(&dyn PageStore, FrameId) -> R,
+    ) -> VmResult<R> {
+        let page = addr.page(self.page_size);
+        for _ in 0..=MAX_FAULT_RETRIES {
+            {
+                let pages = self.pages.read();
+                if let Some(entry) = pages.get(&page) {
+                    if entry.prot.allows(access) {
+                        let (store, frame) = entry
+                            .mapping
+                            .as_ref()
+                            .expect("accessible page must be mapped");
+                        return Ok(op(store.as_ref(), *frame));
+                    }
+                }
+            }
+            // Fault path: no locks held while the handler runs.
+            match access {
+                Access::Read => MemStats::bump(&self.stats.read_faults),
+                Access::Write => MemStats::bump(&self.stats.write_faults),
+            }
+            let Some((region, handler)) = self.handler_of(addr) else {
+                return Err(VmError::Unreserved(addr));
+            };
+            let Some(handler) = handler else {
+                MemStats::bump(&self.stats.denied_faults);
+                return Err(VmError::ProtectionViolation { addr, access });
+            };
+            match handler.handle(
+                self,
+                Fault {
+                    addr,
+                    access,
+                    region,
+                },
+            ) {
+                FaultOutcome::Resume => continue,
+                FaultOutcome::Deny => {
+                    MemStats::bump(&self.stats.denied_faults);
+                    return Err(VmError::ProtectionViolation { addr, access });
+                }
+            }
+        }
+        Err(VmError::FaultNotResolved(addr))
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`, faulting pages in as
+    /// needed. The read may span pages and regions.
+    pub fn read(&self, addr: VAddr, buf: &mut [u8]) -> VmResult<()> {
+        let mut cursor = addr;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let in_page = (self.page_size - cursor.page_offset(self.page_size)) as usize;
+            let chunk = in_page.min(buf.len() - done);
+            let offset = cursor.page_offset(self.page_size) as usize;
+            self.access_page(cursor, Access::Read, |store, frame| {
+                store.read(frame, offset, &mut buf[done..done + chunk]);
+            })?;
+            done += chunk;
+            cursor = cursor.add(chunk as u64);
+        }
+        MemStats::add(&self.stats.bytes_read, buf.len() as u64);
+        Ok(())
+    }
+
+    /// Writes `data` starting at `addr`, faulting/unprotecting via the
+    /// region handler as needed (this is how BeSS detects updates, §2.3).
+    pub fn write(&self, addr: VAddr, data: &[u8]) -> VmResult<()> {
+        let mut cursor = addr;
+        let mut done = 0usize;
+        while done < data.len() {
+            let in_page = (self.page_size - cursor.page_offset(self.page_size)) as usize;
+            let chunk = in_page.min(data.len() - done);
+            let offset = cursor.page_offset(self.page_size) as usize;
+            self.access_page(cursor, Access::Write, |store, frame| {
+                store.write(frame, offset, &data[done..done + chunk]);
+            })?;
+            done += chunk;
+            cursor = cursor.add(chunk as u64);
+        }
+        MemStats::add(&self.stats.bytes_written, data.len() as u64);
+        Ok(())
+    }
+
+    /// Reads bytes ignoring protection (but still requiring a mapping).
+    ///
+    /// This is the path for *trusted* BeSS-internal code that has already
+    /// arranged access — e.g. the fault handler itself inspecting a segment
+    /// it just mapped. It never faults.
+    pub fn read_unchecked(&self, addr: VAddr, buf: &mut [u8]) -> VmResult<()> {
+        self.raw_copy(addr, buf.len(), |store, frame, offset, lo, hi, buf: &mut [u8]| {
+            store.read(frame, offset, &mut buf[lo..hi]);
+        }, buf)
+    }
+
+    /// Writes bytes ignoring protection (but still requiring a mapping).
+    /// See [`Self::read_unchecked`].
+    pub fn write_unchecked(&self, addr: VAddr, data: &[u8]) -> VmResult<()> {
+        let mut cursor = addr;
+        let mut done = 0usize;
+        while done < data.len() {
+            let in_page = (self.page_size - cursor.page_offset(self.page_size)) as usize;
+            let chunk = in_page.min(data.len() - done);
+            let offset = cursor.page_offset(self.page_size) as usize;
+            let page = cursor.page(self.page_size);
+            {
+                let pages = self.pages.read();
+                let entry = pages.get(&page).ok_or(VmError::Unreserved(cursor))?;
+                let (store, frame) = entry
+                    .mapping
+                    .as_ref()
+                    .ok_or(VmError::Unreserved(cursor))?;
+                store.write(*frame, offset, &data[done..done + chunk]);
+            }
+            done += chunk;
+            cursor = cursor.add(chunk as u64);
+        }
+        Ok(())
+    }
+
+    fn raw_copy(
+        &self,
+        addr: VAddr,
+        len: usize,
+        op: impl Fn(&dyn PageStore, FrameId, usize, usize, usize, &mut [u8]),
+        buf: &mut [u8],
+    ) -> VmResult<()> {
+        let mut cursor = addr;
+        let mut done = 0usize;
+        while done < len {
+            let in_page = (self.page_size - cursor.page_offset(self.page_size)) as usize;
+            let chunk = in_page.min(len - done);
+            let offset = cursor.page_offset(self.page_size) as usize;
+            let page = cursor.page(self.page_size);
+            {
+                let pages = self.pages.read();
+                let entry = pages.get(&page).ok_or(VmError::Unreserved(cursor))?;
+                let (store, frame) = entry
+                    .mapping
+                    .as_ref()
+                    .ok_or(VmError::Unreserved(cursor))?;
+                op(store.as_ref(), *frame, offset, done, done + chunk, buf);
+            }
+            done += chunk;
+            cursor = cursor.add(chunk as u64);
+        }
+        Ok(())
+    }
+
+    // ---- typed helpers -------------------------------------------------
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: VAddr) -> VmResult<u64> {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&self, addr: VAddr, value: u64) -> VmResult<()> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u32` at `addr`.
+    pub fn read_u32(&self, addr: VAddr) -> VmResult<u32> {
+        let mut buf = [0u8; 4];
+        self.read(addr, &mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u32` at `addr`.
+    pub fn write_u32(&self, addr: VAddr, value: u32) -> VmResult<()> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Reads `len` bytes at `addr` into a fresh vector.
+    pub fn read_vec(&self, addr: VAddr, len: usize) -> VmResult<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        self.read(addr, &mut buf)?;
+        Ok(buf)
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AddressSpace")
+            .field("page_size", &self.page_size)
+            .field("regions", &self.regions.read().len())
+            .field("pages", &self.pages.read().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::handler_fn;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn anon_alloc_read_write() {
+        let space = AddressSpace::new();
+        let range = space.alloc_anon(10_000, Protect::ReadWrite);
+        assert_eq!(range.len(), 12_288, "rounded to pages");
+        let addr = range.start().add(5000);
+        space.write(addr, b"persistent objects").unwrap();
+        let back = space.read_vec(addr, 18).unwrap();
+        assert_eq!(&back, b"persistent objects");
+    }
+
+    #[test]
+    fn reads_span_pages() {
+        let space = AddressSpace::with_page_size(256);
+        let range = space.alloc_anon(1024, Protect::ReadWrite);
+        // Write across the first page boundary.
+        let addr = range.start().add(250);
+        let data: Vec<u8> = (0..100).collect();
+        space.write(addr, &data).unwrap();
+        assert_eq!(space.read_vec(addr, 100).unwrap(), data);
+    }
+
+    #[test]
+    fn unreserved_access_fails() {
+        let space = AddressSpace::new();
+        let err = space.read_u64(VAddr::from_raw(0x100)).unwrap_err();
+        assert!(matches!(err, VmError::Unreserved(_)));
+    }
+
+    #[test]
+    fn reserved_without_handler_denies() {
+        let space = AddressSpace::new();
+        let range = space.reserve(4096, None);
+        let err = space.read_u64(range.start()).unwrap_err();
+        assert!(matches!(err, VmError::ProtectionViolation { .. }));
+        assert_eq!(space.stats().snapshot().denied_faults, 1);
+    }
+
+    #[test]
+    fn write_protection_faults_and_handler_grants() {
+        let space = AddressSpace::new();
+        let writes_seen = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&writes_seen);
+        let handler = handler_fn(move |space: &AddressSpace, fault: Fault| {
+            assert_eq!(fault.access, Access::Write);
+            seen.fetch_add(1, Ordering::Relaxed);
+            let page = fault.addr.page_base(space.page_size());
+            space
+                .protect(VRange::new(page, space.page_size()), Protect::ReadWrite)
+                .unwrap();
+            FaultOutcome::Resume
+        });
+        let range = space.reserve(8192, Some(handler));
+        space.map_anon(range, Protect::Read).unwrap();
+
+        // Reads do not fault.
+        assert_eq!(space.read_u64(range.start()).unwrap(), 0);
+        assert_eq!(space.stats().snapshot().write_faults, 0);
+
+        // First write faults once; later writes to the same page do not.
+        space.write_u64(range.start(), 42).unwrap();
+        space.write_u64(range.start().add(8), 43).unwrap();
+        assert_eq!(writes_seen.load(Ordering::Relaxed), 1);
+        assert_eq!(space.stats().snapshot().write_faults, 1);
+
+        // A write to the second page faults again.
+        space.write_u64(range.start().add(4096), 44).unwrap();
+        assert_eq!(writes_seen.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn handler_deny_is_violation() {
+        let space = AddressSpace::new();
+        let handler = handler_fn(|_, _| FaultOutcome::Deny);
+        let range = space.reserve(4096, Some(handler));
+        space.map_anon(range, Protect::Read).unwrap();
+        let err = space.write_u64(range.start(), 1).unwrap_err();
+        assert!(matches!(err, VmError::ProtectionViolation { .. }));
+        // Reads still fine.
+        assert_eq!(space.read_u64(range.start()).unwrap(), 0);
+    }
+
+    #[test]
+    fn unresolved_fault_bounded() {
+        let space = AddressSpace::new();
+        // Handler that claims to resolve but never does.
+        let handler = handler_fn(|_, _| FaultOutcome::Resume);
+        let range = space.reserve(4096, Some(handler));
+        let err = space.read_u64(range.start()).unwrap_err();
+        assert!(matches!(err, VmError::FaultNotResolved(_)));
+    }
+
+    #[test]
+    fn lazy_reservation_allocates_no_frames() {
+        let space = AddressSpace::new();
+        let before = space.stats().snapshot();
+        space.reserve(1 << 20, None);
+        let after = space.stats().snapshot();
+        assert_eq!(after.reserved_bytes - before.reserved_bytes, 1 << 20);
+        assert_eq!(after.map_calls, before.map_calls, "no frames mapped");
+    }
+
+    #[test]
+    fn frame_states_follow_lifecycle() {
+        let space = AddressSpace::new();
+        let range = space.reserve(4096, None);
+        let addr = range.start();
+        assert_eq!(space.frame_state(addr), FrameState::Invalid);
+        space.map_anon(range, Protect::None).unwrap();
+        assert_eq!(space.frame_state(addr), FrameState::Protected);
+        space.protect(range, Protect::Read).unwrap();
+        assert_eq!(space.frame_state(addr), FrameState::Accessible);
+        space.protect(range, Protect::None).unwrap();
+        assert_eq!(space.frame_state(addr), FrameState::Protected);
+        space.unmap_page(addr).unwrap();
+        assert_eq!(space.frame_state(addr), FrameState::Invalid);
+    }
+
+    #[test]
+    fn shared_frames_are_visible_across_spaces() {
+        // Two "processes" map the same frame at different addresses —
+        // the essence of Figure 4.
+        let store = Arc::new(HeapStore::new(4096));
+        let frame = store.alloc();
+        let dyn_store: Arc<dyn PageStore> = store;
+
+        let p1 = AddressSpace::new();
+        let p2 = AddressSpace::new();
+        let r1 = p1.reserve(4096, None);
+        let _pad = p2.reserve(8192, None); // shift p2's layout
+        let r2 = p2.reserve(4096, None);
+        assert_ne!(r1.start(), r2.start(), "different virtual addresses");
+        p1.map_page(r1.start(), Arc::clone(&dyn_store), frame, Protect::ReadWrite)
+            .unwrap();
+        p2.map_page(r2.start(), Arc::clone(&dyn_store), frame, Protect::ReadWrite)
+            .unwrap();
+
+        p1.write_u64(r1.start().add(16), 0xBE55).unwrap();
+        assert_eq!(p2.read_u64(r2.start().add(16)).unwrap(), 0xBE55);
+    }
+
+    #[test]
+    fn unreserve_invalidates_pages() {
+        let space = AddressSpace::new();
+        let range = space.alloc_anon(4096, Protect::ReadWrite);
+        space.write_u64(range.start(), 7).unwrap();
+        space.unreserve(range).unwrap();
+        assert!(matches!(
+            space.read_u64(range.start()),
+            Err(VmError::Unreserved(_))
+        ));
+    }
+
+    #[test]
+    fn unchecked_access_ignores_protection() {
+        let space = AddressSpace::new();
+        let range = space.alloc_anon(4096, Protect::None);
+        // Normal access faults...
+        assert!(space.read_u64(range.start()).is_err());
+        // ...but trusted access works.
+        space.write_unchecked(range.start(), &7u64.to_le_bytes()).unwrap();
+        let mut buf = [0u8; 8];
+        space.read_unchecked(range.start(), &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 7);
+    }
+
+    #[test]
+    fn cascading_handlers_model_fault_waves() {
+        // Region B's handler maps B; region A's handler maps A and reserves
+        // nothing else. Accessing A then B mimics the wave structure where
+        // resolving one fault leads to another on a later access.
+        let space = Arc::new(AddressSpace::new());
+        let mapper = handler_fn(move |space: &AddressSpace, fault: Fault| {
+            space.map_anon(fault.region, Protect::ReadWrite).unwrap();
+            FaultOutcome::Resume
+        });
+        let a = space.reserve(4096, Some(Arc::clone(&mapper)));
+        let b = space.reserve(4096, Some(mapper));
+
+        assert_eq!(space.stats().snapshot().faults(), 0);
+        space.read_u64(a.start()).unwrap();
+        assert_eq!(space.stats().snapshot().faults(), 1);
+        space.read_u64(b.start()).unwrap();
+        assert_eq!(space.stats().snapshot().faults(), 2);
+        // Warm accesses are fault-free.
+        space.read_u64(a.start()).unwrap();
+        space.read_u64(b.start()).unwrap();
+        assert_eq!(space.stats().snapshot().faults(), 2);
+    }
+
+    #[test]
+    fn protect_counts_one_syscall_per_call() {
+        let space = AddressSpace::new();
+        let range = space.alloc_anon(16 * 4096, Protect::Read);
+        let before = space.stats().snapshot().protect_calls;
+        space.protect(range, Protect::ReadWrite).unwrap();
+        assert_eq!(space.stats().snapshot().protect_calls, before + 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    
+
+    /// Operations against a reserved-region model.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Reserve { pages: u8 },
+        MapAnon { region: u8, prot: u8 },
+        Protect { region: u8, prot: u8 },
+        Write { region: u8, offset: u16, len: u8 },
+        Read { region: u8, offset: u16, len: u8 },
+        Unreserve { region: u8 },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (1u8..4).prop_map(|pages| Op::Reserve { pages }),
+            (any::<u8>(), 0u8..3).prop_map(|(region, prot)| Op::MapAnon { region, prot }),
+            (any::<u8>(), 0u8..3).prop_map(|(region, prot)| Op::Protect { region, prot }),
+            (any::<u8>(), any::<u16>(), 1u8..64)
+                .prop_map(|(region, offset, len)| Op::Write { region, offset, len }),
+            (any::<u8>(), any::<u16>(), 1u8..64)
+                .prop_map(|(region, offset, len)| Op::Read { region, offset, len }),
+            any::<u8>().prop_map(|region| Op::Unreserve { region }),
+        ]
+    }
+
+    fn prot_of(code: u8) -> Protect {
+        match code {
+            0 => Protect::None,
+            1 => Protect::Read,
+            _ => Protect::ReadWrite,
+        }
+    }
+
+    #[derive(Clone)]
+    struct RegionModel {
+        range: VRange,
+        mapped: bool,
+        prot: Protect,
+        bytes: Vec<u8>,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        /// The address space agrees with a simple model on every outcome:
+        /// reads/writes succeed iff the page protection admits them (no
+        /// handlers registered), and successful reads return exactly the
+        /// bytes written.
+        #[test]
+        fn space_matches_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+            const PS: u64 = 256;
+            let space = AddressSpace::with_page_size(PS);
+            let mut regions: Vec<RegionModel> = Vec::new();
+            let mut seq: u8 = 0;
+
+            for op in ops {
+                match op {
+                    Op::Reserve { pages } => {
+                        let len = u64::from(pages) * PS;
+                        let range = space.reserve(len, None);
+                        regions.push(RegionModel {
+                            range,
+                            mapped: false,
+                            prot: Protect::None,
+                            bytes: vec![0; len as usize],
+                        });
+                    }
+                    Op::MapAnon { region, prot } => {
+                        if regions.is_empty() { continue; }
+                        let idx = region as usize % regions.len();
+                        let m = &mut regions[idx];
+                        if m.range.is_empty() { continue; }
+                        let prot = prot_of(prot);
+                        let r = space.map_anon(m.range, prot);
+                        if m.mapped {
+                            // Remapping resets content to zero (fresh anon
+                            // frames) — mirror that.
+                            m.bytes.iter_mut().for_each(|b| *b = 0);
+                        }
+                        prop_assert!(r.is_ok());
+                        m.mapped = true;
+                        m.prot = prot;
+                        m.bytes.iter_mut().for_each(|b| *b = 0);
+                    }
+                    Op::Protect { region, prot } => {
+                        if regions.is_empty() { continue; }
+                        let idx = region as usize % regions.len();
+                        let m = &mut regions[idx];
+                        let prot = prot_of(prot);
+                        prop_assert!(space.protect(m.range, prot).is_ok());
+                        if m.mapped {
+                            m.prot = prot;
+                        }
+                    }
+                    Op::Write { region, offset, len } => {
+                        if regions.is_empty() { continue; }
+                        let idx = region as usize % regions.len();
+                        let m = &mut regions[idx];
+                        let max = m.range.len();
+                        let offset = u64::from(offset) % max;
+                        let len = (u64::from(len)).min(max - offset) as usize;
+                        seq = seq.wrapping_add(1);
+                        let data = vec![seq; len];
+                        let r = space.write(m.range.start().add(offset), &data);
+                        let should = m.mapped && m.prot == Protect::ReadWrite;
+                        prop_assert_eq!(r.is_ok(), should, "write admitted iff RW");
+                        if should {
+                            m.bytes[offset as usize..offset as usize + len]
+                                .copy_from_slice(&data);
+                        }
+                    }
+                    Op::Read { region, offset, len } => {
+                        if regions.is_empty() { continue; }
+                        let idx = region as usize % regions.len();
+                        let m = &regions[idx];
+                        let max = m.range.len();
+                        let offset = u64::from(offset) % max;
+                        let len = (u64::from(len)).min(max - offset) as usize;
+                        let mut buf = vec![0u8; len];
+                        let r = space.read(m.range.start().add(offset), &mut buf);
+                        let should = m.mapped && m.prot != Protect::None;
+                        prop_assert_eq!(r.is_ok(), should, "read admitted iff >= R");
+                        if should {
+                            prop_assert_eq!(
+                                &buf[..],
+                                &m.bytes[offset as usize..offset as usize + len]
+                            );
+                        }
+                    }
+                    Op::Unreserve { region } => {
+                        if regions.is_empty() { continue; }
+                        let idx = region as usize % regions.len();
+                        let m = regions.remove(idx);
+                        prop_assert!(space.unreserve(m.range).is_ok());
+                        // Any later access must fail.
+                        let mut b = [0u8; 1];
+                        prop_assert!(space.read(m.range.start(), &mut b).is_err());
+                    }
+                }
+            }
+        }
+    }
+}

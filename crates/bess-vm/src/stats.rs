@@ -1,0 +1,138 @@
+//! Counters for virtual-memory activity.
+//!
+//! The paper argues two quantitative points about its memory architecture:
+//! that address space is reserved *lazily* (§2.1, versus the greedy schemes
+//! of ObjectStore/Texas/QuickStore) and that the cost of protection-based
+//! corruption prevention is "an increased number of system calls" (§2.2).
+//! These counters make both observable: every reservation, protection
+//! change ("system call"), mapping, and fault is counted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters maintained by an [`crate::AddressSpace`].
+#[derive(Debug, Default)]
+pub struct MemStats {
+    /// Calls to `reserve`.
+    pub reserve_calls: AtomicU64,
+    /// Total bytes ever reserved.
+    pub reserved_bytes: AtomicU64,
+    /// Calls to `unreserve`.
+    pub unreserve_calls: AtomicU64,
+    /// Protection changes — each models one `mprotect(2)` system call.
+    pub protect_calls: AtomicU64,
+    /// Pages mapped onto store frames.
+    pub map_calls: AtomicU64,
+    /// Pages unmapped.
+    pub unmap_calls: AtomicU64,
+    /// Faults taken on loads.
+    pub read_faults: AtomicU64,
+    /// Faults taken on stores.
+    pub write_faults: AtomicU64,
+    /// Faults that no handler resolved (the SIGSEGV that would have killed
+    /// the process — or, for BeSS, caught a stray pointer; §2.2).
+    pub denied_faults: AtomicU64,
+    /// Bytes copied out of mapped frames.
+    pub bytes_read: AtomicU64,
+    /// Bytes copied into mapped frames.
+    pub bytes_written: AtomicU64,
+}
+
+impl MemStats {
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reserve_calls: self.reserve_calls.load(Ordering::Relaxed),
+            reserved_bytes: self.reserved_bytes.load(Ordering::Relaxed),
+            unreserve_calls: self.unreserve_calls.load(Ordering::Relaxed),
+            protect_calls: self.protect_calls.load(Ordering::Relaxed),
+            map_calls: self.map_calls.load(Ordering::Relaxed),
+            unmap_calls: self.unmap_calls.load(Ordering::Relaxed),
+            read_faults: self.read_faults.load(Ordering::Relaxed),
+            write_faults: self.write_faults.load(Ordering::Relaxed),
+            denied_faults: self.denied_faults.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`MemStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Calls to `reserve`.
+    pub reserve_calls: u64,
+    /// Total bytes ever reserved.
+    pub reserved_bytes: u64,
+    /// Calls to `unreserve`.
+    pub unreserve_calls: u64,
+    /// Protection changes (modelled `mprotect` system calls).
+    pub protect_calls: u64,
+    /// Pages mapped onto store frames.
+    pub map_calls: u64,
+    /// Pages unmapped.
+    pub unmap_calls: u64,
+    /// Faults taken on loads.
+    pub read_faults: u64,
+    /// Faults taken on stores.
+    pub write_faults: u64,
+    /// Faults no handler resolved.
+    pub denied_faults: u64,
+    /// Bytes copied out of mapped frames.
+    pub bytes_read: u64,
+    /// Bytes copied into mapped frames.
+    pub bytes_written: u64,
+}
+
+impl StatsSnapshot {
+    /// Total faults of both kinds.
+    pub fn faults(&self) -> u64 {
+        self.read_faults + self.write_faults
+    }
+
+    /// Element-wise difference `self - earlier`, for measuring an interval.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            reserve_calls: self.reserve_calls - earlier.reserve_calls,
+            reserved_bytes: self.reserved_bytes - earlier.reserved_bytes,
+            unreserve_calls: self.unreserve_calls - earlier.unreserve_calls,
+            protect_calls: self.protect_calls - earlier.protect_calls,
+            map_calls: self.map_calls - earlier.map_calls,
+            unmap_calls: self.unmap_calls - earlier.unmap_calls,
+            read_faults: self.read_faults - earlier.read_faults,
+            write_faults: self.write_faults - earlier.write_faults,
+            denied_faults: self.denied_faults - earlier.denied_faults,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_since() {
+        let stats = MemStats::default();
+        MemStats::bump(&stats.read_faults);
+        MemStats::add(&stats.reserved_bytes, 4096);
+        let a = stats.snapshot();
+        MemStats::bump(&stats.read_faults);
+        MemStats::bump(&stats.write_faults);
+        let b = stats.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.read_faults, 1);
+        assert_eq!(d.write_faults, 1);
+        assert_eq!(d.faults(), 2);
+        assert_eq!(d.reserved_bytes, 0);
+        assert_eq!(b.reserved_bytes, 4096);
+    }
+}

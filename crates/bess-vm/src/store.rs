@@ -1,0 +1,176 @@
+//! Backing stores for mapped pages.
+//!
+//! A virtual page in an [`crate::AddressSpace`] is *mapped* onto a frame of
+//! some [`PageStore`]. Several virtual pages — possibly in different address
+//! spaces (the per-"process" PVMAs of §4.1.2) — may map the same frame, which
+//! is exactly how the shared cache of Figure 3/4 is realised: writes through
+//! one process's mapping are visible through every other mapping of the same
+//! frame.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// Identifies a frame within a [`PageStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(pub u64);
+
+/// A page-granular byte store that virtual pages can be mapped onto.
+///
+/// Implementations must be internally synchronised; BeSS serialises logical
+/// access with latches and locks above this layer, but concurrent physical
+/// reads and writes of distinct byte ranges must be sound.
+pub trait PageStore: Send + Sync {
+    /// Size in bytes of every frame in this store.
+    fn frame_size(&self) -> usize;
+
+    /// Copies `buf.len()` bytes starting at `offset` within `frame` into `buf`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the frame or the frame does not exist.
+    fn read(&self, frame: FrameId, offset: usize, buf: &mut [u8]);
+
+    /// Copies `data` into `frame` starting at `offset`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the frame or the frame does not exist.
+    fn write(&self, frame: FrameId, offset: usize, data: &[u8]);
+}
+
+/// A simple growable in-memory [`PageStore`].
+///
+/// Used for private buffer pools (copy-on-access mode, §4.1.1), for tests,
+/// and as scratch memory. Frames are allocated with [`HeapStore::alloc`] and
+/// never reused unless [`HeapStore::free`] is called.
+pub struct HeapStore {
+    frame_size: usize,
+    frames: RwLock<Vec<Option<Box<[u8]>>>>,
+    free: RwLock<Vec<u64>>,
+    allocated: AtomicU64,
+}
+
+impl HeapStore {
+    /// Creates a store whose frames are `frame_size` bytes.
+    pub fn new(frame_size: usize) -> Self {
+        assert!(frame_size > 0, "frame size must be positive");
+        HeapStore {
+            frame_size,
+            frames: RwLock::new(Vec::new()),
+            free: RwLock::new(Vec::new()),
+            allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocates a zero-filled frame.
+    pub fn alloc(&self) -> FrameId {
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        let frame = vec![0u8; self.frame_size].into_boxed_slice();
+        if let Some(idx) = self.free.write().pop() {
+            self.frames.write()[idx as usize] = Some(frame);
+            return FrameId(idx);
+        }
+        let mut frames = self.frames.write();
+        frames.push(Some(frame));
+        FrameId(frames.len() as u64 - 1)
+    }
+
+    /// Releases a frame; its id may be recycled by a later [`Self::alloc`].
+    ///
+    /// # Panics
+    /// Panics if the frame is not currently allocated.
+    pub fn free(&self, frame: FrameId) {
+        let mut frames = self.frames.write();
+        let slot = frames
+            .get_mut(frame.0 as usize)
+            .expect("HeapStore::free: no such frame");
+        assert!(slot.is_some(), "HeapStore::free: frame already free");
+        *slot = None;
+        self.free.write().push(frame.0);
+        self.allocated.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Number of live frames.
+    pub fn live_frames(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+}
+
+impl PageStore for HeapStore {
+    fn frame_size(&self) -> usize {
+        self.frame_size
+    }
+
+    fn read(&self, frame: FrameId, offset: usize, buf: &mut [u8]) {
+        let frames = self.frames.read();
+        let data = frames
+            .get(frame.0 as usize)
+            .and_then(|f| f.as_ref())
+            .expect("HeapStore::read: no such frame");
+        buf.copy_from_slice(&data[offset..offset + buf.len()]);
+    }
+
+    fn write(&self, frame: FrameId, offset: usize, data: &[u8]) {
+        let mut frames = self.frames.write();
+        let dst = frames
+            .get_mut(frame.0 as usize)
+            .and_then(|f| f.as_mut())
+            .expect("HeapStore::write: no such frame");
+        dst[offset..offset + data.len()].copy_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write_round_trip() {
+        let store = HeapStore::new(64);
+        let f = store.alloc();
+        store.write(f, 10, b"hello");
+        let mut buf = [0u8; 5];
+        store.read(f, 10, &mut buf);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn frames_start_zeroed() {
+        let store = HeapStore::new(16);
+        let f = store.alloc();
+        let mut buf = [0xffu8; 16];
+        store.read(f, 0, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn free_recycles_ids_with_zeroed_content() {
+        let store = HeapStore::new(8);
+        let a = store.alloc();
+        store.write(a, 0, &[1; 8]);
+        store.free(a);
+        assert_eq!(store.live_frames(), 0);
+        let b = store.alloc();
+        assert_eq!(a, b, "freed id should be recycled");
+        let mut buf = [0xau8; 8];
+        store.read(b, 0, &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_free_panics() {
+        let store = HeapStore::new(8);
+        let a = store.alloc();
+        store.free(a);
+        store.free(a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let store = HeapStore::new(8);
+        let a = store.alloc();
+        let mut buf = [0u8; 4];
+        store.read(a, 6, &mut buf);
+    }
+}

@@ -1,0 +1,43 @@
+//! Log sequence numbers.
+
+use std::fmt;
+
+/// A log sequence number: the byte offset of a record in the log.
+///
+/// `Lsn::NULL` (zero) means "no record" — e.g. the `prev_lsn` of a
+/// transaction's first record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The null LSN.
+    pub const NULL: Lsn = Lsn(0);
+
+    /// Whether this is the null LSN.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "lsn:null")
+        } else {
+            write!(f, "lsn:{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_and_ordering() {
+        assert!(Lsn::NULL.is_null());
+        assert!(!Lsn(1).is_null());
+        assert!(Lsn(5) < Lsn(9));
+        assert_eq!(Lsn::default(), Lsn::NULL);
+    }
+}

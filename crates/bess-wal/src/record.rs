@@ -1,0 +1,370 @@
+//! Log record types.
+//!
+//! BeSS recovery "is based on an ARIES-like write-ahead log (WAL) protocol"
+//! (§3, citing Mohan et al.). Updates are logged physically as byte-range
+//! before/after images; undo writes compensation log records (CLRs) chained
+//! by `undo_next`; fuzzy checkpoints snapshot the dirty page table and the
+//! active transaction table; `Prepare` records make participants of the
+//! two-phase commit recoverable (in-doubt transactions survive a crash).
+
+use crate::enc::{checksum, Dec, DecodeError, Enc};
+use crate::lsn::Lsn;
+
+/// A page addressed by the log: `(storage area, absolute page)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LogPageId {
+    /// Storage area number.
+    pub area: u32,
+    /// Absolute page within the area.
+    pub page: u64,
+}
+
+/// Transaction status as known to recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Running (a loser if the log ends without commit).
+    Active,
+    /// Voted yes in 2PC; in doubt after a crash.
+    Prepared,
+    /// Committed.
+    Committed,
+}
+
+/// The body of a log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogBody {
+    /// Transaction start.
+    Begin,
+    /// A physical byte-range update: `before` and `after` images of
+    /// `len == before.len() == after.len()` bytes at `offset` within `page`.
+    Update {
+        /// The updated page.
+        page: LogPageId,
+        /// Byte offset within the page.
+        offset: u32,
+        /// The overwritten bytes (undo image).
+        before: Vec<u8>,
+        /// The new bytes (redo image).
+        after: Vec<u8>,
+    },
+    /// Compensation record written while undoing an `Update`.
+    Clr {
+        /// The page being compensated.
+        page: LogPageId,
+        /// Byte offset within the page.
+        offset: u32,
+        /// The bytes restored (the update's before-image).
+        image: Vec<u8>,
+        /// Next record of this transaction to undo (the undone update's
+        /// `prev_lsn`). CLRs are never undone themselves.
+        undo_next: Lsn,
+    },
+    /// Participant vote in two-phase commit.
+    Prepare,
+    /// Transaction commit.
+    Commit,
+    /// Transaction abort decision (undo follows, then `End`).
+    Abort,
+    /// Transaction fully finished (locks released, undo complete).
+    End,
+    /// Start of a fuzzy checkpoint.
+    CheckpointBegin,
+    /// End of a fuzzy checkpoint, carrying the tables recovery starts from.
+    CheckpointEnd {
+        /// Dirty page table: `(page, recovery LSN)`.
+        dirty_pages: Vec<(LogPageId, Lsn)>,
+        /// Active transaction table: `(txn, last LSN, status)`.
+        active_txns: Vec<(u64, Lsn, TxnStatus)>,
+    },
+}
+
+impl LogBody {
+    fn kind(&self) -> u8 {
+        match self {
+            LogBody::Begin => 1,
+            LogBody::Update { .. } => 2,
+            LogBody::Clr { .. } => 3,
+            LogBody::Prepare => 4,
+            LogBody::Commit => 5,
+            LogBody::Abort => 6,
+            LogBody::End => 7,
+            LogBody::CheckpointBegin => 8,
+            LogBody::CheckpointEnd { .. } => 9,
+        }
+    }
+}
+
+/// A complete log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogRecord {
+    /// This record's LSN (its byte offset in the log).
+    pub lsn: Lsn,
+    /// The owning transaction (0 for checkpoint records).
+    pub txn: u64,
+    /// The transaction's previous record, for backward chaining.
+    pub prev_lsn: Lsn,
+    /// The payload.
+    pub body: LogBody,
+}
+
+impl LogRecord {
+    /// Encodes the record payload (everything after the framing header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.lsn.0);
+        e.u64(self.txn);
+        e.u64(self.prev_lsn.0);
+        e.u8(self.body.kind());
+        match &self.body {
+            LogBody::Begin
+            | LogBody::Prepare
+            | LogBody::Commit
+            | LogBody::Abort
+            | LogBody::End
+            | LogBody::CheckpointBegin => {}
+            LogBody::Update {
+                page,
+                offset,
+                before,
+                after,
+            } => {
+                e.u32(page.area);
+                e.u64(page.page);
+                e.u32(*offset);
+                e.bytes(before);
+                e.bytes(after);
+            }
+            LogBody::Clr {
+                page,
+                offset,
+                image,
+                undo_next,
+            } => {
+                e.u32(page.area);
+                e.u64(page.page);
+                e.u32(*offset);
+                e.bytes(image);
+                e.u64(undo_next.0);
+            }
+            LogBody::CheckpointEnd {
+                dirty_pages,
+                active_txns,
+            } => {
+                e.u32(dirty_pages.len() as u32);
+                for (page, rec_lsn) in dirty_pages {
+                    e.u32(page.area);
+                    e.u64(page.page);
+                    e.u64(rec_lsn.0);
+                }
+                e.u32(active_txns.len() as u32);
+                for (txn, last_lsn, status) in active_txns {
+                    e.u64(*txn);
+                    e.u64(last_lsn.0);
+                    e.u8(match status {
+                        TxnStatus::Active => 0,
+                        TxnStatus::Prepared => 1,
+                        TxnStatus::Committed => 2,
+                    });
+                }
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes a record payload.
+    pub fn decode(payload: &[u8]) -> Result<LogRecord, DecodeError> {
+        let mut d = Dec::new(payload);
+        let lsn = Lsn(d.u64()?);
+        let txn = d.u64()?;
+        let prev_lsn = Lsn(d.u64()?);
+        let kind = d.u8()?;
+        let body = match kind {
+            1 => LogBody::Begin,
+            2 => {
+                let page = LogPageId {
+                    area: d.u32()?,
+                    page: d.u64()?,
+                };
+                let offset = d.u32()?;
+                let before = d.bytes()?;
+                let after = d.bytes()?;
+                if before.len() != after.len() {
+                    return Err(DecodeError);
+                }
+                LogBody::Update {
+                    page,
+                    offset,
+                    before,
+                    after,
+                }
+            }
+            3 => {
+                let page = LogPageId {
+                    area: d.u32()?,
+                    page: d.u64()?,
+                };
+                let offset = d.u32()?;
+                let image = d.bytes()?;
+                let undo_next = Lsn(d.u64()?);
+                LogBody::Clr {
+                    page,
+                    offset,
+                    image,
+                    undo_next,
+                }
+            }
+            4 => LogBody::Prepare,
+            5 => LogBody::Commit,
+            6 => LogBody::Abort,
+            7 => LogBody::End,
+            8 => LogBody::CheckpointBegin,
+            9 => {
+                let n = d.u32()? as usize;
+                let mut dirty_pages = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let page = LogPageId {
+                        area: d.u32()?,
+                        page: d.u64()?,
+                    };
+                    dirty_pages.push((page, Lsn(d.u64()?)));
+                }
+                let n = d.u32()? as usize;
+                let mut active_txns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let txn = d.u64()?;
+                    let last_lsn = Lsn(d.u64()?);
+                    let status = match d.u8()? {
+                        0 => TxnStatus::Active,
+                        1 => TxnStatus::Prepared,
+                        2 => TxnStatus::Committed,
+                        _ => return Err(DecodeError),
+                    };
+                    active_txns.push((txn, last_lsn, status));
+                }
+                LogBody::CheckpointEnd {
+                    dirty_pages,
+                    active_txns,
+                }
+            }
+            _ => return Err(DecodeError),
+        };
+        if !d.at_end() {
+            return Err(DecodeError);
+        }
+        Ok(LogRecord {
+            lsn,
+            txn,
+            prev_lsn,
+            body,
+        })
+    }
+
+    /// Frames the record for the log: `len | checksum | payload`.
+    pub fn frame(&self) -> Vec<u8> {
+        let payload = self.encode();
+        let mut framed = Vec::with_capacity(payload.len() + 12);
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&checksum(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        framed
+    }
+
+    /// Size of the framed record in bytes.
+    pub fn framed_len(&self) -> u64 {
+        self.encode().len() as u64 + 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(rec: LogRecord) {
+        let payload = rec.encode();
+        let back = LogRecord::decode(&payload).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        let page = LogPageId { area: 3, page: 99 };
+        for body in [
+            LogBody::Begin,
+            LogBody::Update {
+                page,
+                offset: 128,
+                before: vec![1, 2, 3],
+                after: vec![4, 5, 6],
+            },
+            LogBody::Clr {
+                page,
+                offset: 128,
+                image: vec![1, 2, 3],
+                undo_next: Lsn(77),
+            },
+            LogBody::Prepare,
+            LogBody::Commit,
+            LogBody::Abort,
+            LogBody::End,
+            LogBody::CheckpointBegin,
+            LogBody::CheckpointEnd {
+                dirty_pages: vec![(page, Lsn(5)), (LogPageId { area: 0, page: 1 }, Lsn(9))],
+                active_txns: vec![
+                    (1, Lsn(10), TxnStatus::Active),
+                    (2, Lsn(20), TxnStatus::Prepared),
+                ],
+            },
+        ] {
+            round_trip(LogRecord {
+                lsn: Lsn(123),
+                txn: 9,
+                prev_lsn: Lsn(45),
+                body,
+            });
+        }
+    }
+
+    #[test]
+    fn mismatched_image_lengths_rejected() {
+        let rec = LogRecord {
+            lsn: Lsn(1),
+            txn: 1,
+            prev_lsn: Lsn::NULL,
+            body: LogBody::Update {
+                page: LogPageId { area: 0, page: 0 },
+                offset: 0,
+                before: vec![1],
+                after: vec![1, 2],
+            },
+        };
+        let payload = rec.encode();
+        assert!(LogRecord::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let rec = LogRecord {
+            lsn: Lsn(1),
+            txn: 1,
+            prev_lsn: Lsn::NULL,
+            body: LogBody::Begin,
+        };
+        let mut payload = rec.encode();
+        payload.push(0);
+        assert!(LogRecord::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn frame_layout() {
+        let rec = LogRecord {
+            lsn: Lsn(1),
+            txn: 1,
+            prev_lsn: Lsn::NULL,
+            body: LogBody::Commit,
+        };
+        let framed = rec.frame();
+        assert_eq!(framed.len() as u64, rec.framed_len());
+        let len = u32::from_le_bytes(framed[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len + 12, framed.len());
+    }
+}

@@ -1,0 +1,176 @@
+//! The future-work extensions in action (DESIGN.md §7): software
+//! object-level locking (§2.3), downgrade callbacks, and client logging at
+//! the node server (§6).
+//!
+//! Run with: `cargo run -p bess-core --example extensions`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bess_cache::{AreaSet, DbPage};
+use bess_core::{Database, Ref, Session, SessionConfig};
+use bess_lock::LockMode;
+use bess_net::{Network, NodeId};
+use bess_server::{
+    register_areas, BessServer, ClientConfig, ClientConn, Directory, NodeServer,
+    NodeServerConfig, PageUpdate, ServerConfig,
+};
+use bess_storage::{AreaConfig, AreaId, StorageArea};
+use bess_wal::LogManager;
+
+fn main() {
+    let net = Network::new(Duration::from_micros(200));
+    let dir = Arc::new(Directory::new());
+    let set = Arc::new(AreaSet::new());
+    set.add(Arc::new(
+        StorageArea::create_mem(AreaId(0), AreaConfig::default()).unwrap(),
+    ));
+    register_areas(&dir, NodeId(100), &set);
+    let (server, _) = BessServer::start(
+        ServerConfig::new(NodeId(100)),
+        Arc::clone(&set),
+        LogManager::create_mem(),
+        &net,
+    );
+
+    // ---- 1. object-level locking: same page, different objects ----------
+    println!("== object-level locking (§2.3 future work) ==");
+    let db = Database::create(&*Arc::clone(&set), "ext", 1, 1, 0).unwrap();
+    let boot = Session::embedded(
+        Arc::clone(&db),
+        Arc::clone(&set),
+        None,
+        None,
+        SessionConfig::default(),
+    );
+    boot.begin().unwrap();
+    let seg = boot.create_segment(0, 16, 2).unwrap();
+    let a = boot.create_bytes(seg, &[0u8; 64]).unwrap();
+    let b = boot.create_bytes(seg, &[0u8; 64]).unwrap();
+    let (a_oid, b_oid) = (
+        boot.global(a).unwrap().oid(),
+        boot.global(b).unwrap().oid(),
+    );
+    boot.commit().unwrap();
+    boot.save_db().unwrap();
+
+    let open_obj_session = |node: u32| {
+        let db = Database::open(&*Arc::clone(&set), 0).unwrap();
+        let conn = ClientConn::connect(
+            &net,
+            Arc::clone(&dir),
+            ClientConfig::new(NodeId(node), NodeId(100)),
+        );
+        Session::remote(
+            db,
+            conn,
+            SessionConfig {
+                object_locking: true,
+                ..SessionConfig::default()
+            },
+        )
+    };
+    let s1 = open_obj_session(1);
+    let s2 = open_obj_session(2);
+    s1.begin().unwrap();
+    let a1: Ref<bess_core::RawBytes> = Ref::new(s1.manager().resolve_oid(a_oid).unwrap());
+    s1.put_bytes(a1, 0, b"held by one").unwrap();
+    // While s1's transaction is still open, s2 commits the *other* object
+    // on the very same page.
+    s2.begin().unwrap();
+    let b2: Ref<bess_core::RawBytes> = Ref::new(s2.manager().resolve_oid(b_oid).unwrap());
+    s2.put_bytes(b2, 0, b"done by two").unwrap();
+    s2.commit().unwrap();
+    println!("  s2 committed object B while s1 still holds object A (same page) ✔");
+    s1.commit().unwrap();
+
+    // ---- 2. downgrade callbacks ------------------------------------------
+    println!("== downgrade callbacks (callback-read) ==");
+    let reader = ClientConn::connect(
+        &net,
+        Arc::clone(&dir),
+        ClientConfig::new(NodeId(5), NodeId(100)),
+    );
+    let writer = ClientConn::connect(
+        &net,
+        Arc::clone(&dir),
+        ClientConfig::new(NodeId(6), NodeId(100)),
+    );
+    let page = {
+        let seg = set.get(0).unwrap().alloc(1).unwrap();
+        DbPage {
+            area: 0,
+            page: seg.start_page,
+        }
+    };
+    writer.begin().unwrap();
+    writer.fetch_page(page, LockMode::X).unwrap();
+    writer
+        .commit(vec![PageUpdate {
+            page,
+            offset: 0,
+            before: vec![0],
+            after: vec![1],
+        }])
+        .unwrap();
+    // The writer's X stays cached... until a reader shows up.
+    reader.begin().unwrap();
+    reader.fetch_page(page, LockMode::S).unwrap();
+    reader.commit(vec![]).unwrap();
+    let kept = writer.lock_cache().cached_mode(bess_lock::LockName::Page {
+        area: page.area,
+        page: page.page,
+    });
+    println!(
+        "  writer's cached lock after a reader's S request: {kept:?} (downgraded, not revoked) ✔"
+    );
+    assert_eq!(kept, Some(LockMode::S));
+    println!(
+        "  server downgrade callbacks: {}",
+        server.stats().snapshot().callback_downgrades
+    );
+
+    // ---- 3. client logging at the node server (§6) -----------------------
+    println!("== client logging at the node server (§6 future work) ==");
+    let (ns, _) = NodeServer::start_with_log(
+        NodeServerConfig::new(NodeId(50)),
+        Arc::clone(&dir),
+        &net,
+        LogManager::create_mem(),
+    );
+    let h = ns.handle();
+    let txn = h.begin();
+    h.lock(
+        txn,
+        bess_lock::LockName::Page {
+            area: page.area,
+            page: page.page,
+        },
+        LockMode::X,
+    )
+    .unwrap();
+    let t0 = Instant::now();
+    h.commit(
+        txn,
+        vec![PageUpdate {
+            page,
+            offset: 0,
+            before: vec![1],
+            after: vec![2],
+        }],
+    )
+    .unwrap();
+    let local = t0.elapsed();
+    println!("  commit returned after {local:?} (local log force; wire latency is 200µs/hop)");
+    ns.drain_shipments();
+    println!(
+        "  shipped to the owner afterwards: local_commits={}, server commits={}",
+        ns.stats().snapshot().local_commits,
+        server.stats().snapshot().commits
+    );
+    let area = set.get(0).unwrap();
+    let mut buf = vec![0u8; area.page_size()];
+    area.read_page(page.page, &mut buf).unwrap();
+    assert_eq!(buf[0], 2);
+    println!("extensions OK");
+}

@@ -1,0 +1,149 @@
+//! On-the-fly database reorganisation in a federated environment (§2.1).
+//!
+//! "Databases can be re-organized on the fly without affecting object
+//! references. ... This is an important issue because our system is planned
+//! to be used in a federated environment. In such an environment it is
+//! impossible to locate and change references to BeSS objects from the
+//! other database management systems that participate in the federation."
+//!
+//! We build an object graph, hand out references (as a federation partner
+//! would hold them), then compact, resize, and move the data across storage
+//! areas — and every reference keeps resolving, both mid-session and after
+//! a restart.
+//!
+//! Run with: `cargo run -p bess-core --example federated_reorg`
+
+use std::sync::Arc;
+
+use bess_cache::AreaSet;
+use bess_core::{codec, Database, Persist, Ref, Session, SessionConfig};
+use bess_segment::TypeDesc;
+use bess_storage::{AreaConfig, AreaId, StorageArea};
+
+struct Record {
+    id: u64,
+    payload: String,
+    next: Option<Ref<Record>>,
+}
+
+impl Persist for Record {
+    fn type_desc() -> TypeDesc {
+        TypeDesc {
+            name: "fed::Record".into(),
+            size: 80,
+            ref_offsets: vec![72],
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut b = vec![0u8; 80];
+        codec::put_u64(&mut b, 0, self.id);
+        codec::put_str(&mut b, 8, 64, &self.payload);
+        codec::put_ref(&mut b, 72, self.next);
+        b
+    }
+
+    fn decode(bytes: &[u8]) -> Self {
+        Record {
+            id: codec::get_u64(bytes, 0),
+            payload: codec::get_str(bytes, 8, 64),
+            next: codec::get_ref(bytes, 72),
+        }
+    }
+}
+
+fn walk(session: &Session, head: Ref<Record>) -> (usize, u64) {
+    let mut count = 0;
+    let mut sum = 0;
+    let mut cursor = Some(head);
+    while let Some(r) = cursor {
+        let rec = session.get(r).unwrap();
+        count += 1;
+        sum += rec.id;
+        cursor = rec.next;
+    }
+    (count, sum)
+}
+
+fn main() {
+    let areas = Arc::new(AreaSet::new());
+    for id in 0..2 {
+        areas.add(Arc::new(
+            StorageArea::create_mem(AreaId(id), AreaConfig::default()).unwrap(),
+        ));
+    }
+    let db = Database::create(&*Arc::clone(&areas), "federated", 1, 1, 0).unwrap();
+    let session = Session::embedded(db, Arc::clone(&areas), None, None, SessionConfig::default());
+
+    // Build a 100-record chain in area 0, delete half to litter holes.
+    session.begin().unwrap();
+    let seg = session.create_segment(0, 256, 8).unwrap();
+    let mut next: Option<Ref<Record>> = None;
+    let mut all = Vec::new();
+    for i in (0..100u64).rev() {
+        let r = session
+            .create(
+                seg,
+                &Record {
+                    id: i,
+                    payload: format!("record payload number {i}"),
+                    next,
+                },
+            )
+            .unwrap();
+        all.push(r);
+        next = Some(r);
+    }
+    let head = next.unwrap();
+    session.set_root("chain", head).unwrap();
+    session.commit().unwrap();
+
+    let (n, sum) = walk(&session, head);
+    println!("built chain: {n} records, id-sum {sum}");
+
+    // Delete every record NOT on the chain... the chain holds all; instead
+    // create+delete scratch objects to fragment the data segment.
+    session.begin().unwrap();
+    let mut scratch = Vec::new();
+    for _ in 0..50 {
+        scratch.push(session.create_bytes(seg, &[0xAA; 120]).unwrap());
+    }
+    for s in &scratch {
+        session.delete(s.addr()).unwrap();
+    }
+    session.commit().unwrap();
+
+    // Reorganisation while the "federation" (this session's live Ref
+    // values) keeps its pointers:
+    println!("compacting data segment...");
+    session.compact_segment(seg).unwrap();
+    let (n, s2) = walk(&session, head);
+    assert_eq!((n, s2), (100, sum));
+
+    println!("moving data segment to storage area 1...");
+    session.move_data_segment(seg, 1).unwrap();
+    let (n, s3) = walk(&session, head);
+    assert_eq!((n, s3), (100, sum));
+
+    println!("shrinking the data segment...");
+    session.resize_data(seg, 4).unwrap();
+    let (n, s4) = walk(&session, head);
+    assert_eq!((n, s4), (100, sum));
+
+    // The same references (persisted in objects) survive a full restart:
+    session.save_db().unwrap();
+    let db2 = Database::open(&*Arc::clone(&areas), 0).unwrap();
+    let session2 = Session::embedded(db2, areas, None, None, SessionConfig::default());
+    let head2: Ref<Record> = session2.root("chain").unwrap().unwrap();
+    let (n, s5) = walk(&session2, head2);
+    assert_eq!((n, s5), (100, sum));
+    println!("after restart: {n} records reachable, id-sum unchanged");
+
+    let st = session2.manager().stats().snapshot();
+    println!(
+        "restart session swizzled {} refs with {} unresolved",
+        st.refs_swizzled, st.refs_unresolved
+    );
+    assert_eq!(st.refs_unresolved, 0);
+    println!("federated reorganisation OK — no reference ever broke");
+}

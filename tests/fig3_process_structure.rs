@@ -1,0 +1,137 @@
+//! Figure 3 reproduction: "Shared memory established by the node server."
+//!
+//! The figure shows the node server's cache — a contiguous sequence of
+//! page-sized frames plus control data — with application A attached
+//! *directly* (shared memory / in-place access) while application B keeps a
+//! private cache and reaches the shared cache *indirectly* through the node
+//! server (copy on access). Both coexist against the same data, and the
+//! node server fetches misses from the owning BeSS server.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bess_cache::{AreaSet, DbPage};
+use bess_core::ShmSession;
+use bess_lock::LockMode;
+use bess_net::{Network, NodeId};
+use bess_server::{
+    register_areas, BessServer, ClientConfig, ClientConn, Directory, Msg, NodeServer,
+    NodeServerConfig, PageUpdate, ServerConfig,
+};
+use bess_storage::{AreaConfig, AreaId, StorageArea};
+use bess_wal::LogManager;
+
+fn build() -> (
+    Arc<Network<Msg>>,
+    Arc<Directory>,
+    BessServer,
+    NodeServer,
+    DbPage,
+) {
+    let net = Network::new(Duration::ZERO);
+    let dir = Arc::new(Directory::new());
+    let set = Arc::new(AreaSet::new());
+    set.add(Arc::new(
+        StorageArea::create_mem(AreaId(0), AreaConfig::default()).unwrap(),
+    ));
+    register_areas(&dir, NodeId(100), &set);
+    let (server, _) = BessServer::start(
+        ServerConfig::new(NodeId(100)),
+        Arc::clone(&set),
+        LogManager::create_mem(),
+        &net,
+    );
+    let seg = set.get(0).unwrap().alloc(1).unwrap();
+    let page = DbPage {
+        area: 0,
+        page: seg.start_page,
+    };
+    let ns = NodeServer::start(NodeServerConfig::new(NodeId(50)), Arc::clone(&dir), &net);
+    (net, dir, server, ns, page)
+}
+
+#[test]
+fn figure3_direct_and_indirect_clients_coexist() {
+    let (net, dir, server, ns, page) = build();
+
+    // Application A: shared-memory mode — operates on the cache frames in
+    // place, no IPC.
+    let app_a = ShmSession::attach(ns.handle());
+    app_a.begin().unwrap();
+    app_a.write(page, 0, b"from A, in place").unwrap();
+    app_a.commit().unwrap();
+
+    // Application B: copy-on-access — private cache, talks to the node
+    // server over the message protocol.
+    let mut cfg = ClientConfig::new(NodeId(51), ns.node());
+    cfg.gateway = Some(ns.node());
+    let app_b = ClientConn::connect(&net, Arc::clone(&dir), cfg);
+    app_b.begin().unwrap();
+    let data = app_b.fetch_page(page, LockMode::X).unwrap();
+    assert_eq!(&data[0..16], b"from A, in place");
+    app_b
+        .commit(vec![PageUpdate {
+            page,
+            offset: 0,
+            before: data[0..16].to_vec(),
+            after: b"from B, via IPC!".to_vec(),
+        }])
+        .unwrap();
+
+    // A sees B's committed bytes through the shared cache (the node server
+    // refreshed the frame in place at commit).
+    app_a.begin().unwrap();
+    let mut buf = [0u8; 16];
+    app_a.read(page, 0, &mut buf).unwrap();
+    assert_eq!(&buf, b"from B, via IPC!");
+    app_a.commit().unwrap();
+
+    // One remote fetch total: A's first touch loaded the page; B and A's
+    // re-read were served from the shared cache (Figure 3's point).
+    let s = ns.stats().snapshot();
+    assert_eq!(s.remote_fetches, 1, "only the cold miss hit the server");
+    assert!(s.cache_hits >= 1);
+
+    // The server holds the durable truth.
+    let area = server.areas().get(0).unwrap();
+    let mut pbuf = vec![0u8; area.page_size()];
+    area.read_page(page.page, &mut pbuf).unwrap();
+    assert_eq!(&pbuf[0..16], b"from B, via IPC!");
+}
+
+#[test]
+fn figure3_ipc_cost_difference_is_observable() {
+    // The motivation for shared-memory mode (§4.1): in-place access avoids
+    // IPC entirely. We count network messages for the same workload in
+    // each mode.
+    let (net, dir, _server, ns, page) = build();
+
+    // Warm the shared cache once.
+    let warm = ShmSession::attach(ns.handle());
+    warm.begin().unwrap();
+    let mut b = [0u8; 1];
+    warm.read(page, 0, &mut b).unwrap();
+    warm.commit().unwrap();
+
+    // Shared-memory reads: zero messages.
+    let before = net.stats().snapshot();
+    let shm = ShmSession::attach(ns.handle());
+    shm.begin().unwrap();
+    for i in 0..50 {
+        shm.read(page, i % 64, &mut b).unwrap();
+    }
+    shm.commit().unwrap();
+    let shm_msgs = net.stats().snapshot().since(&before).messages();
+    assert_eq!(shm_msgs, 0, "in-place access does no IPC");
+
+    // Copy-on-access: every page fetch is at least one message.
+    let mut cfg = ClientConfig::new(NodeId(52), ns.node());
+    cfg.gateway = Some(ns.node());
+    let coa = ClientConn::connect(&net, Arc::clone(&dir), cfg);
+    let before = net.stats().snapshot();
+    coa.begin().unwrap();
+    let _ = coa.fetch_page(page, LockMode::S).unwrap();
+    coa.commit(vec![]).unwrap();
+    let coa_msgs = net.stats().snapshot().since(&before).messages();
+    assert!(coa_msgs > 0, "copy-on-access pays IPC: {coa_msgs} messages");
+}

@@ -1,0 +1,149 @@
+//! Figure 4 reproduction: "Implementation of shared virtual memory address
+//! space."
+//!
+//! §4.1.2 narrates the exact scenario the figure draws: an empty two-slot
+//! cache, processes P1 and P2, pages A, B, C.
+//!
+//!   (a) P1 accesses A — the SMT assigns A the first virtual frame; P2
+//!       accesses B — second virtual frame.
+//!   (b) P2 accesses C — the SMT assigns an unused virtual frame, B is
+//!       replaced (P2's first-level clock gives up its claim), and when P1
+//!       later accesses C "the SVMA mapping indicates that the last PVMA
+//!       frame should be mapped to the second cache slot that holds C".
+//!
+//! We replay it step by step, checking the SMT agreement, the per-process
+//! frame states, and the two-level clock interplay.
+
+use std::sync::Arc;
+
+use bess_cache::{DbPage, MapIo, PageIo, SharedCache, SharedView};
+use bess_vm::{AddressSpace, FrameState};
+
+const PS: usize = 256;
+
+fn page(tag: u64) -> DbPage {
+    DbPage { area: 0, page: tag }
+}
+
+fn attach(cache: &Arc<SharedCache>, io: &Arc<MapIo>) -> Arc<SharedView> {
+    let space = Arc::new(AddressSpace::with_page_size(PS as u64));
+    SharedView::attach(
+        space,
+        Arc::clone(cache),
+        Arc::clone(io) as Arc<dyn PageIo>,
+    )
+}
+
+#[test]
+fn figure4_walkthrough() {
+    // A cache of TWO slots, more virtual frames than slots ("PVMA may be
+    // much larger than the size of the shared cache").
+    let cache = SharedCache::new(2, 8, PS);
+    let io = Arc::new(MapIo::new());
+    let (a, b, c) = (page(0xA), page(0xB), page(0xC));
+    io.put(a, vec![0xAA; PS]);
+    io.put(b, vec![0xBB; PS]);
+    io.put(c, vec![0xCC; PS]);
+
+    let p1 = attach(&cache, &io);
+    let p2 = attach(&cache, &io);
+
+    // ---- state (a) ------------------------------------------------------
+    // P1 accesses A: the SMT assigns A a virtual frame; the fault maps
+    // P1's PVMA frame onto the cache slot that received A.
+    let mut buf = [0u8; 1];
+    let svma_a = p1.svma_of(a, 0).unwrap();
+    p1.read(svma_a, &mut buf).unwrap();
+    assert_eq!(buf[0], 0xAA);
+
+    // P2 accesses B likewise.
+    let svma_b = p2.svma_of(b, 0).unwrap();
+    p2.read(svma_b, &mut buf).unwrap();
+    assert_eq!(buf[0], 0xBB);
+
+    // SMT agreement: "if a process maps a page at some frame, all
+    // processes see this page at this frame" — the SVMA of A is identical
+    // for P1 and P2, even though their local addresses differ.
+    assert_eq!(svma_a, p2.svma_of(a, 0).unwrap());
+    assert_eq!(svma_b, p1.svma_of(b, 0).unwrap());
+    assert_ne!(
+        p1.to_local(svma_a),
+        p2.to_local(svma_a),
+        "different PVMAs, same SVMA"
+    );
+
+    // Both cache slots are occupied: A and B resident.
+    assert!(cache.slot_of(a).is_some());
+    assert!(cache.slot_of(b).is_some());
+
+    // ---- state (b) ------------------------------------------------------
+    // P2 wants C. The cache is full and both slots carry access claims, so
+    // P2's first-level clock must run: accessible -> protected, then
+    // protected -> invalid, releasing its claim on B's slot.
+    let svma_c = p2.svma_of(c, 0).unwrap();
+    assert_ne!(svma_c, svma_a);
+    assert_ne!(svma_c, svma_b);
+
+    p2.sweep(8); // accessible -> protected
+    let b_local_p2 = p2.to_local(svma_b);
+    assert_eq!(p2.space().frame_state(b_local_p2), FrameState::Protected);
+    p2.sweep(8); // protected -> invalid (decrements B's slot counter)
+    assert_eq!(p2.space().frame_state(b_local_p2), FrameState::Invalid);
+
+    // Now the second-level clock can replace B with C.
+    p2.read(svma_c, &mut buf).unwrap();
+    assert_eq!(buf[0], 0xCC);
+    assert!(cache.slot_of(b).is_none(), "B was replaced");
+    let (c_slot, _) = cache.slot_of(c).unwrap();
+
+    // P1 still reads A fault-free (its claim was never released)...
+    p1.read(svma_a, &mut buf).unwrap();
+    assert_eq!(buf[0], 0xAA);
+
+    // ...and when P1 accesses C, the SVMA mapping leads its PVMA frame to
+    // the cache slot that holds C — no second load.
+    let loads_before = cache.stats().snapshot().loads;
+    p1.read(svma_c, &mut buf).unwrap();
+    assert_eq!(buf[0], 0xCC);
+    assert_eq!(cache.stats().snapshot().loads, loads_before, "no new load");
+    // Both processes now claim C's slot.
+    assert_eq!(cache.access_count(c_slot), 2);
+
+    // B is re-fetchable on demand; its (sticky) virtual frame still names
+    // it, so old shared pointers to B remain meaningful.
+    assert_eq!(svma_b, p1.svma_of(b, 0).unwrap());
+}
+
+#[test]
+fn figure4_pointers_are_fixed_once_and_shared() {
+    // "A pointer needs to be fixed once by the first process that fetched
+    // the corresponding page in cache": a pointer stored *inside* a shared
+    // page (as an SVMA offset) is directly usable by every process.
+    let cache = SharedCache::new(4, 16, PS);
+    let io = Arc::new(MapIo::new());
+    let (x, y) = (page(1), page(2));
+    io.put(x, vec![0; PS]);
+    io.put(y, {
+        let mut v = vec![0; PS];
+        v[100..112].copy_from_slice(b"the payload!");
+        v
+    });
+
+    let p1 = attach(&cache, &io);
+    let p2 = attach(&cache, &io);
+
+    // P1 stores, inside page X, a shared pointer to byte 100 of page Y.
+    let y_ptr = p1.svma_of(y, 100).unwrap();
+    p1.write(p1.svma_of(x, 0).unwrap(), &y_ptr.0.to_le_bytes())
+        .unwrap();
+
+    // P2 reads the pointer from X and follows it — different process,
+    // different PVMA, same SVMA.
+    let mut raw = [0u8; 8];
+    p2.read(p2.svma_of(x, 0).unwrap(), &mut raw).unwrap();
+    let followed = bess_cache::Svma(u64::from_le_bytes(raw));
+    assert_eq!(followed, y_ptr);
+    let mut payload = [0u8; 12];
+    p2.read(followed, &mut payload).unwrap();
+    assert_eq!(&payload, b"the payload!");
+}
