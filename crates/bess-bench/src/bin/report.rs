@@ -27,6 +27,7 @@ fn main() {
     e9_callback();
     e10_two_pc();
     e17_deadlock_policy();
+    e18_recovery_under_faults();
     println!("\nreport complete.");
 }
 
@@ -59,7 +60,7 @@ fn e2_reservation() {
             roots.push(mgr.oid_of(prev.unwrap()).unwrap());
         }
     }
-    mgr.flush_all();
+    mgr.flush_all().expect("flush_all");
 
     // Fresh epoch, BeSS-lazy: touch ONE object.
     let areas = _areas;
@@ -121,7 +122,7 @@ fn e3_waves() {
         }
         prev = Some(o.addr);
     }
-    mgr.flush_all();
+    mgr.flush_all().expect("flush_all");
 
     let mgr2 = make_manager(&areas, &types, &catalog, ProtectionPolicy::Protected, 8192);
     let walk = |mgr: &Arc<bess_segment::SegmentManager>, start: bess_vm::VAddr| {
@@ -548,5 +549,116 @@ fn e10_two_pc() {
             delta.messages() as f64 / TXNS as f64
         );
     }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E18 — restart recovery under deterministic crash injection.
+// ---------------------------------------------------------------------------
+fn e18_recovery_under_faults() {
+    use bess_storage::{FaultDisk, FaultKind, FaultPlan, OpClass};
+    use bess_wal::{recover, take_checkpoint, LogBody, LogManager, LogPageId, Lsn, MemTarget};
+
+    println!("## E18 — restart recovery under injected crashes\n");
+    println!(
+        "Eight transactions (seven commit, one loser), a fuzzy checkpoint \
+         after the fourth; the log runs on a fault-injecting disk and is \
+         crashed at every write. Restart then eats an injected read EIO on \
+         its first attempt wherever the log is long enough to reach it.\n"
+    );
+
+    let page = |p: u64| LogPageId { area: 0, page: p };
+    let workload = |log: &LogManager| -> Result<(), bess_wal::WalError> {
+        for t in 1..=8u64 {
+            let b = log.append(t, Lsn::NULL, LogBody::Begin);
+            let u = log.append(
+                t,
+                b,
+                LogBody::Update {
+                    page: page(t % 4),
+                    offset: 0,
+                    before: vec![0; 8],
+                    after: vec![t as u8; 8],
+                },
+            );
+            if t != 8 {
+                log.append(t, u, LogBody::Commit);
+            }
+            log.flush_all()?;
+            if t == 4 {
+                take_checkpoint(log, vec![], vec![])?;
+            }
+        }
+        Ok(())
+    };
+
+    // Calibrate: how many log writes does the fault-free workload issue?
+    let total_writes = {
+        let disk = FaultDisk::new(FaultPlan::unarmed());
+        let log = LogManager::create_faulty(Arc::clone(&disk)).unwrap();
+        log.set_master(Lsn::NULL).unwrap();
+        let plan = FaultPlan::unarmed();
+        disk.arm(Arc::clone(&plan));
+        workload(&log).unwrap();
+        plan.ops(OpClass::Write)
+    };
+
+    println!("| crash at log write | scanned | winners | losers | redone | undone | restart attempts |");
+    println!("|---|---|---|---|---|---|---|");
+    for nth in 0..total_writes {
+        let disk = FaultDisk::new(FaultPlan::unarmed());
+        let log = LogManager::create_faulty(Arc::clone(&disk)).unwrap();
+        log.set_master(Lsn::NULL).unwrap();
+        disk.arm(FaultPlan::armed(OpClass::Write, nth, FaultKind::Crash));
+        let _ = workload(&log); // dies at the injected crash
+        disk.crash();
+
+        // Restart: the first attempt runs with a read fault armed; every
+        // failure is followed by another crash and a clean retry.
+        disk.reopen(FaultPlan::armed(OpClass::Read, 2, FaultKind::Eio));
+        let mut attempts = 1u32;
+        let report = loop {
+            let res = LogManager::open_faulty(Arc::clone(&disk)).and_then(|log| {
+                let mut target = MemTarget::default();
+                recover(&log, &mut target)
+            });
+            match res {
+                Ok(r) => break r,
+                Err(_) => {
+                    attempts += 1;
+                    disk.crash();
+                    disk.reopen(FaultPlan::unarmed());
+                }
+            }
+        };
+        println!(
+            "| {nth} | {} | {} | {} | {} | {} | {attempts} |",
+            report.scanned,
+            report.winners.len(),
+            report.losers.len(),
+            report.redone,
+            report.undone,
+        );
+    }
+
+    // And one crash *after* the final flush: the loser's records are
+    // durable, so restart must actually undo it.
+    let disk = FaultDisk::new(FaultPlan::unarmed());
+    let log = LogManager::create_faulty(Arc::clone(&disk)).unwrap();
+    log.set_master(Lsn::NULL).unwrap();
+    workload(&log).unwrap();
+    disk.crash();
+    disk.reopen(FaultPlan::unarmed());
+    let log = LogManager::open_faulty(Arc::clone(&disk)).unwrap();
+    let mut target = MemTarget::default();
+    let report = recover(&log, &mut target).unwrap();
+    println!(
+        "| after final flush | {} | {} | {} | {} | {} | 1 |",
+        report.scanned,
+        report.winners.len(),
+        report.losers.len(),
+        report.redone,
+        report.undone,
+    );
     println!();
 }

@@ -48,12 +48,12 @@ impl PageIo for AreaSet {
         area.read_page(page.page, buf).map_err(|e| e.to_string())
     }
 
-    fn write_back(&self, page: DbPage, data: &[u8]) {
+    fn write_back(&self, page: DbPage, data: &[u8]) -> Result<(), String> {
         let area = self
             .get(page.area)
-            .unwrap_or_else(|| panic!("no storage area {}", page.area));
+            .ok_or_else(|| format!("no storage area {}", page.area))?;
         area.write_page(page.page, data)
-            .unwrap_or_else(|e| panic!("write-back of {page} failed: {e}"));
+            .map_err(|e| format!("write-back of {page} failed: {e}"))
     }
 }
 

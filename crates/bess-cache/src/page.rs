@@ -26,8 +26,10 @@ pub trait PageIo: Send + Sync {
     /// faulting access.
     fn load(&self, page: DbPage, buf: &mut [u8]) -> Result<(), String>;
 
-    /// Persists a dirty `page` being evicted.
-    fn write_back(&self, page: DbPage, data: &[u8]);
+    /// Persists a dirty `page` being evicted. May fail — e.g. an I/O error
+    /// on the backing area; the caller decides whether to surface it or
+    /// rely on the WAL to repair the page at recovery.
+    fn write_back(&self, page: DbPage, data: &[u8]) -> Result<(), String>;
 }
 
 /// A [`PageIo`] over an in-memory map, for tests and benchmarks.
@@ -81,9 +83,10 @@ impl PageIo for MapIo {
         Ok(())
     }
 
-    fn write_back(&self, page: DbPage, data: &[u8]) {
+    fn write_back(&self, page: DbPage, data: &[u8]) -> Result<(), String> {
         self.write_backs
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.pages.lock().insert(page, data.to_vec());
+        Ok(())
     }
 }

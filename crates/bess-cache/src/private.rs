@@ -23,7 +23,7 @@ use parking_lot::Mutex;
 use crate::page::{DbPage, PageIo};
 
 /// Errors from private-pool operations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PoolError {
     /// Every frame is in active use and nothing could be evicted.
     PoolExhausted,
@@ -38,6 +38,14 @@ pub enum PoolError {
         /// The page in question.
         page: DbPage,
     },
+    /// Writing a dirty page back to its source failed. The page was still
+    /// evicted; the WAL is the durability backstop.
+    WriteBackFailed {
+        /// The page in question.
+        page: DbPage,
+        /// The underlying failure.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for PoolError {
@@ -48,6 +56,9 @@ impl std::fmt::Display for PoolError {
                 write!(f, "page {page} already mapped at another address")
             }
             PoolError::LoadFailed { page } => write!(f, "load of page {page} failed"),
+            PoolError::WriteBackFailed { page, reason } => {
+                write!(f, "write-back of page {page} failed: {reason}")
+            }
         }
     }
 }
@@ -243,36 +254,46 @@ impl PrivatePool {
                     inner.hand = (inner.hand + 1) % inner.ring.len();
                 }
                 FrameState::Protected => {
-                    self.do_evict(inner, page);
-                    return Ok(());
+                    return self.do_evict(inner, page);
                 }
                 FrameState::Invalid => {
                     // Unmapped behind our back (segment released); drop it.
-                    self.do_evict(inner, page);
-                    return Ok(());
+                    return self.do_evict(inner, page);
                 }
             }
         }
         Err(PoolError::PoolExhausted)
     }
 
-    fn do_evict(&self, inner: &mut PoolInner, page: DbPage) {
+    /// Evicts `page` unconditionally. A failed write-back of a dirty page
+    /// still completes the eviction (the WAL repairs the page at recovery)
+    /// but is reported so commit-critical paths can refuse to proceed.
+    fn do_evict(&self, inner: &mut PoolInner, page: DbPage) -> Result<(), PoolError> {
         let res = inner.resident.remove(&page).expect("resident");
         inner.ring.retain(|&p| p != page);
         if inner.hand >= inner.ring.len() {
             inner.hand = 0;
         }
+        let mut write_back_failure = None;
         if res.dirty {
             let mut buf = vec![0u8; self.space.page_size() as usize];
             self.store.read(res.frame, 0, &mut buf);
-            self.io.write_back(page, &buf);
-            AtomicU64::fetch_add(&self.stats.write_backs, 1, Ordering::Relaxed);
+            match self.io.write_back(page, &buf) {
+                Ok(()) => {
+                    AtomicU64::fetch_add(&self.stats.write_backs, 1, Ordering::Relaxed);
+                }
+                Err(reason) => write_back_failure = Some(reason),
+            }
         }
         if self.space.frame_state(res.addr) != FrameState::Invalid {
             self.space.unmap_page(res.addr).expect("mapped page");
         }
         self.store.free(res.frame);
         AtomicU64::fetch_add(&self.stats.evictions, 1, Ordering::Relaxed);
+        match write_back_failure {
+            Some(reason) => Err(PoolError::WriteBackFailed { page, reason }),
+            None => Ok(()),
+        }
     }
 
     /// Copies out the current content of a resident page (used by the
@@ -293,7 +314,9 @@ impl PrivatePool {
             res.dirty = false;
         }
         if inner.resident.contains_key(&page) {
-            self.do_evict(&mut inner, page);
+            // Cannot fail: the dirty flag was just cleared, so no
+            // write-back happens.
+            let _ = self.do_evict(&mut inner, page);
         }
     }
 
@@ -343,38 +366,50 @@ impl PrivatePool {
     }
 
     /// Explicitly evicts `page` (e.g. the segment moved or the cache is
-    /// being purged by a callback). Dirty content is written back.
-    pub fn evict(&self, page: DbPage) {
+    /// being purged by a callback). Dirty content is written back; a failed
+    /// write-back still evicts but is reported.
+    pub fn evict(&self, page: DbPage) -> Result<(), PoolError> {
         let mut inner = self.inner.lock();
         if inner.resident.contains_key(&page) {
-            self.do_evict(&mut inner, page);
+            self.do_evict(&mut inner, page)?;
         }
+        Ok(())
     }
 
     /// Writes back every dirty page, keeping them resident (commit-time
-    /// flush).
-    pub fn flush_dirty(&self) {
+    /// flush). Stops at the first failed write-back, leaving that page
+    /// dirty so the flush can be retried.
+    pub fn flush_dirty(&self) -> Result<(), PoolError> {
         let mut inner = self.inner.lock();
         let page_size = self.space.page_size() as usize;
         for (page, res) in inner.resident.iter_mut() {
             if res.dirty {
                 let mut buf = vec![0u8; page_size];
                 self.store.read(res.frame, 0, &mut buf);
-                self.io.write_back(*page, &buf);
+                self.io
+                    .write_back(*page, &buf)
+                    .map_err(|reason| PoolError::WriteBackFailed { page: *page, reason })?;
                 res.dirty = false;
                 AtomicU64::fetch_add(&self.stats.write_backs, 1, Ordering::Relaxed);
             }
         }
+        Ok(())
     }
 
     /// Evicts everything (end of transaction for cache-less clients, §3:
     /// "when the transaction terminates, it ... cleans its private buffer
-    /// pool").
-    pub fn clear(&self) {
+    /// pool"). All pages are evicted even on failure; the first failed
+    /// write-back is reported.
+    pub fn clear(&self) -> Result<(), PoolError> {
         let pages: Vec<DbPage> = self.inner.lock().resident.keys().copied().collect();
+        let mut first_err = Ok(());
         for page in pages {
-            self.evict(page);
+            let res = self.evict(page);
+            if first_err.is_ok() {
+                first_err = res;
+            }
         }
+        first_err
     }
 }
 

@@ -228,7 +228,12 @@ impl SharedView {
                     evicted,
                 }) => {
                     if let Some(ev) = evicted {
-                        self.io.write_back(ev.page, &ev.data);
+                        if self.io.write_back(ev.page, &ev.data).is_err() {
+                            // The victim's content could not be persisted;
+                            // deny the faulting access rather than lose it.
+                            self.cache.abort_load(slot, page);
+                            return FaultOutcome::Deny;
+                        }
                     }
                     let mut buf = vec![0u8; self.cache.page_size()];
                     if self.io.load(page, &mut buf).is_err() {

@@ -159,8 +159,9 @@ impl PageIo for OverlayIo {
         self.base.load(page, buf)
     }
 
-    fn write_back(&self, page: DbPage, data: &[u8]) {
+    fn write_back(&self, page: DbPage, data: &[u8]) -> Result<(), String> {
         self.overlay.lock().insert(page, data.to_vec());
+        Ok(())
     }
 }
 
@@ -1078,7 +1079,7 @@ impl Session {
     /// Saves the database descriptor (catalog, types, roots, files) and
     /// flushes every dirty page. Call after DDL and before shutdown.
     pub fn save_db(&self) -> BessResult<()> {
-        self.mgr.flush_all();
+        self.mgr.flush_all()?;
         self.db.save(self.disk.as_ref())?;
         self.hooks.fire(EventKind::DatabaseClose, &Event::default());
         Ok(())

@@ -98,7 +98,7 @@ mod tests {
     /// Flush the current manager and start a new "process" (mapping epoch)
     /// over the same storage.
     fn new_epoch(env: &Env) -> Arc<SegmentManager> {
-        env.mgr.flush_all();
+        env.mgr.flush_all().unwrap();
         make_mgr(
             &env.areas,
             &env.types,
@@ -244,7 +244,7 @@ mod tests {
             }
         }
         // New epoch so data pages start protected.
-        env.mgr.flush_all();
+        env.mgr.flush_all().unwrap();
         let mgr2 = new_epoch(&env);
         let rec = Arc::new(Recorder(Mutex::new(Vec::new())));
         mgr2.set_write_observer(Some(Arc::clone(&rec) as Arc<dyn WriteObserver>));
@@ -653,7 +653,7 @@ mod proptests {
                         }
                     }
                     Op::NewEpoch => {
-                        mgr.flush_all();
+                        mgr.flush_all().unwrap();
                         mgr = build_mgr(&areas, &types, &catalog);
                         // All addresses changed: re-resolve through OIDs.
                         for (oid, addr) in live.iter_mut() {

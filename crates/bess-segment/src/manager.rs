@@ -1164,7 +1164,7 @@ impl SegmentManager {
                 area: old_ptr.area.0,
                 page: old_ptr.start_page + i,
             };
-            self.pool.evict(db_page);
+            self.pool.discard(db_page);
         }
         self.space.unreserve(old_range).ok();
         self.disk.free(old_ptr)?;
@@ -1255,7 +1255,9 @@ impl SegmentManager {
                 start_page: slot.aux1,
             };
             for i in 0..u64::from(disk.pages) {
-                self.pool.evict(DbPage {
+                // The object is being deleted: drop its pages without
+                // writing stale content back to a segment about to be freed.
+                self.pool.discard(DbPage {
                     area: disk.area.0,
                     page: disk.start_page + i,
                 });
@@ -1669,9 +1671,10 @@ impl SegmentManager {
 
     // ---- maintenance ------------------------------------------------------------
 
-    /// Flushes every dirty cached page to its storage area.
-    pub fn flush_all(&self) {
-        self.pool.flush_dirty();
+    /// Flushes every dirty cached page to its storage area. On failure the
+    /// page that could not be written back stays dirty for a retry.
+    pub fn flush_all(&self) -> SegResult<()> {
+        self.pool.flush_dirty().map_err(SegError::Pool)
     }
 
     /// Lists every live object in `seg` (the file-scan primitive: "a BeSS

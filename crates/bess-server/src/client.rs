@@ -617,8 +617,9 @@ impl PageIo for RemoteIo {
         Ok(())
     }
 
-    fn write_back(&self, page: DbPage, data: &[u8]) {
+    fn write_back(&self, page: DbPage, data: &[u8]) -> Result<(), String> {
         self.0.overlay_put(page, data.to_vec());
+        Ok(())
     }
 }
 

@@ -889,11 +889,12 @@ impl PageIo for NsIo {
         Ok(())
     }
 
-    fn write_back(&self, page: DbPage, _data: &[u8]) {
+    fn write_back(&self, page: DbPage, _data: &[u8]) -> Result<(), String> {
         // Uncommitted shared-cache pages must not overwrite server state;
         // the commit path ships diffs. Eviction of a dirty shared page
         // before commit would lose data, so purge-before-evict is enforced
         // by keeping dirty pages accessed (see SharedView).
         let _ = page;
+        Ok(())
     }
 }

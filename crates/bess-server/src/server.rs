@@ -148,11 +148,15 @@ pub struct ServerStatsSnapshot {
 pub struct AreaTarget(pub Arc<AreaSet>);
 
 impl RedoTarget for AreaTarget {
-    fn apply(&mut self, page: LogPageId, offset: u32, bytes: &[u8]) {
-        if let Some(area) = self.0.get(page.area) {
-            area.write_at(page.page, offset as usize, bytes)
-                .expect("redo write");
-        }
+    fn apply(&mut self, page: LogPageId, offset: u32, bytes: &[u8]) -> Result<(), String> {
+        // Pages for unregistered areas are skipped: the log may describe
+        // areas this server no longer mounts, and recovery must not fail
+        // on them. Mounted areas must accept the write, or recovery fails.
+        let Some(area) = self.0.get(page.area) else {
+            return Ok(());
+        };
+        area.write_at(page.page, offset as usize, bytes)
+            .map_err(|e| format!("redo write to {page:?} failed: {e}"))
     }
 }
 

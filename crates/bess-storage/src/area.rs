@@ -20,14 +20,15 @@
 //! page on open.
 
 use std::fs::{File, OpenOptions};
-use std::io::Read as _;
 use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
 use crate::buddy::BuddyExtent;
 use crate::error::{StorageError, StorageResult};
+use crate::fault::FaultDisk;
 use crate::page::{order_for_pages, AreaId, DiskPtr};
 use crate::stats::IoStats;
 
@@ -76,6 +77,31 @@ impl AreaConfig {
 enum Backend {
     Mem(RwLock<Vec<u8>>),
     File(File),
+    Faulty(Arc<FaultDisk>),
+}
+
+/// Fills `buf` from a positioned reader, retrying interrupted reads and
+/// accumulating short ones. `Ok(0)` before the buffer fills is an
+/// unexpected end of the backing store.
+fn read_exact_retrying<R>(mut read_once: R, buf: &mut [u8], offset: u64) -> StorageResult<()>
+where
+    R: FnMut(&mut [u8], u64) -> std::io::Result<usize>,
+{
+    let mut done = 0;
+    while done < buf.len() {
+        match read_once(&mut buf[done..], offset + done as u64) {
+            Ok(0) => {
+                return Err(StorageError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("short read at byte {}", offset + done as u64),
+                )))
+            }
+            Ok(n) => done += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
 }
 
 impl Backend {
@@ -91,10 +117,8 @@ impl Backend {
                 buf.copy_from_slice(&data[start..end]);
                 Ok(())
             }
-            Backend::File(f) => {
-                f.read_exact_at(buf, offset)?;
-                Ok(())
-            }
+            Backend::File(f) => read_exact_retrying(|b, off| f.read_at(b, off), buf, offset),
+            Backend::Faulty(d) => read_exact_retrying(|b, off| d.read_at(b, off), buf, offset),
         }
     }
 
@@ -114,6 +138,10 @@ impl Backend {
                 f.write_all_at(data_in, offset)?;
                 Ok(())
             }
+            Backend::Faulty(d) => {
+                d.write_at(data_in, offset)?;
+                Ok(())
+            }
         }
     }
 
@@ -130,6 +158,10 @@ impl Backend {
                 f.set_len(bytes)?;
                 Ok(())
             }
+            Backend::Faulty(d) => {
+                d.grow_to(bytes)?;
+                Ok(())
+            }
         }
     }
 
@@ -138,6 +170,10 @@ impl Backend {
             Backend::Mem(_) => Ok(()),
             Backend::File(f) => {
                 f.sync_data()?;
+                Ok(())
+            }
+            Backend::Faulty(d) => {
+                d.sync()?;
                 Ok(())
             }
         }
@@ -174,6 +210,15 @@ impl StorageArea {
         Self::initialise(id, config, Backend::File(file))
     }
 
+    /// Creates a new area on a fault-injecting disk (crash testing).
+    pub fn create_faulty(
+        id: AreaId,
+        config: AreaConfig,
+        disk: Arc<FaultDisk>,
+    ) -> StorageResult<Self> {
+        Self::initialise(id, config, Backend::Faulty(disk))
+    }
+
     fn initialise(id: AreaId, config: AreaConfig, backend: Backend) -> StorageResult<Self> {
         assert!(config.page_size >= 64, "page size too small for headers");
         assert!(config.initial_extents >= 1, "area needs at least one extent");
@@ -203,10 +248,20 @@ impl StorageArea {
     /// Opens an existing file-backed area, rebuilding allocator state from
     /// the persisted per-extent allocation tables.
     pub fn open_file(id: AreaId, path: &Path, expandable: bool) -> StorageResult<Self> {
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Self::open_with_backend(id, Backend::File(file), expandable)
+    }
+
+    /// Opens an existing area living on a fault-injecting disk (typically
+    /// after [`FaultDisk::reopen`] following a simulated crash).
+    pub fn open_faulty(id: AreaId, disk: Arc<FaultDisk>, expandable: bool) -> StorageResult<Self> {
+        Self::open_with_backend(id, Backend::Faulty(disk), expandable)
+    }
+
+    fn open_with_backend(id: AreaId, backend: Backend, expandable: bool) -> StorageResult<Self> {
         // Read enough of the header to learn the page size.
         let mut head = [0u8; 24];
-        file.read_exact(&mut head)?;
+        backend.read_at(&mut head, 0)?;
         let magic = u32::from_le_bytes(head[0..4].try_into().unwrap());
         if magic != AREA_MAGIC {
             return Err(StorageError::Corrupt("bad area magic".into()));
@@ -227,7 +282,7 @@ impl StorageArea {
         let area = StorageArea {
             id,
             config,
-            backend: Backend::File(file),
+            backend,
             extents: Mutex::new(Vec::new()),
             stats: IoStats::default(),
         };
@@ -355,7 +410,10 @@ impl StorageArea {
         // Expand by one extent.
         let new_index = extents.len() as u32;
         let mut extent = BuddyExtent::new(self.config.extent_pages_log2);
-        let offset = extent.alloc(order).expect("fresh extent can satisfy order");
+        // `order` was bounds-checked against the extent size above, so a
+        // fresh extent always satisfies it — but surface a typed error
+        // rather than aborting if that invariant is ever broken.
+        let offset = extent.alloc(order).ok_or(StorageError::OutOfSpace)?;
         extents.push(extent);
         let total_pages = 1 + self.config.extent_footprint() * (u64::from(new_index) + 1);
         self.backend

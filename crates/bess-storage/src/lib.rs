@@ -27,11 +27,13 @@
 mod area;
 mod buddy;
 mod error;
+pub mod fault;
 mod page;
 mod space;
 mod stats;
 
 pub use area::{AreaConfig, StorageArea};
+pub use fault::{FaultDisk, FaultKind, FaultPlan, OpClass};
 pub use buddy::BuddyExtent;
 pub use error::{StorageError, StorageResult};
 pub use page::{order_for_pages, AreaId, DiskPtr, PageId, PAGE_SIZE};

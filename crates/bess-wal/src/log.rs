@@ -10,7 +10,9 @@ use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use bess_storage::fault::FaultDisk;
 use parking_lot::{Mutex, RwLock};
 
 use crate::enc::checksum;
@@ -31,6 +33,8 @@ pub enum WalError {
     Corrupt(String),
     /// An LSN addressed no record.
     BadLsn(Lsn),
+    /// A redo/undo target refused to apply an image during recovery.
+    RedoFailed(String),
 }
 
 impl std::fmt::Display for WalError {
@@ -39,6 +43,7 @@ impl std::fmt::Display for WalError {
             WalError::Io(e) => write!(f, "log I/O error: {e}"),
             WalError::Corrupt(m) => write!(f, "corrupt log: {m}"),
             WalError::BadLsn(l) => write!(f, "no record at {l}"),
+            WalError::RedoFailed(m) => write!(f, "recovery apply failed: {m}"),
         }
     }
 }
@@ -57,6 +62,27 @@ pub type WalResult<T> = Result<T, WalError>;
 enum LogBackend {
     Mem(RwLock<Vec<u8>>),
     File(File),
+    Faulty(Arc<FaultDisk>),
+}
+
+/// Reads as much of `buf` as the backing store holds, retrying interrupted
+/// reads and accumulating short ones. Returns the bytes read; fewer than
+/// `buf.len()` means the end of the store was reached (a short read at the
+/// log tail is normal — the caller treats it as "no more records").
+fn read_accumulating<R>(mut read_once: R, buf: &mut [u8], offset: u64) -> WalResult<usize>
+where
+    R: FnMut(&mut [u8], u64) -> std::io::Result<usize>,
+{
+    let mut done = 0;
+    while done < buf.len() {
+        match read_once(&mut buf[done..], offset + done as u64) {
+            Ok(0) => break,
+            Ok(n) => done += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(done)
 }
 
 impl LogBackend {
@@ -64,6 +90,7 @@ impl LogBackend {
         match self {
             LogBackend::Mem(v) => Ok(v.read().len() as u64),
             LogBackend::File(f) => Ok(f.metadata()?.len()),
+            LogBackend::Faulty(d) => Ok(d.len()),
         }
     }
 
@@ -79,18 +106,8 @@ impl LogBackend {
                 buf[..n].copy_from_slice(&v[offset as usize..offset as usize + n]);
                 Ok(n)
             }
-            LogBackend::File(f) => {
-                let mut done = 0;
-                while done < buf.len() {
-                    match f.read_at(&mut buf[done..], offset + done as u64) {
-                        Ok(0) => break,
-                        Ok(n) => done += n,
-                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                        Err(e) => return Err(e.into()),
-                    }
-                }
-                Ok(done)
-            }
+            LogBackend::File(f) => read_accumulating(|b, off| f.read_at(b, off), buf, offset),
+            LogBackend::Faulty(d) => read_accumulating(|b, off| d.read_at(b, off), buf, offset),
         }
     }
 
@@ -109,6 +126,10 @@ impl LogBackend {
                 f.write_all_at(data, offset)?;
                 Ok(())
             }
+            LogBackend::Faulty(d) => {
+                d.write_at(data, offset)?;
+                Ok(())
+            }
         }
     }
 
@@ -117,6 +138,10 @@ impl LogBackend {
             LogBackend::Mem(_) => Ok(()),
             LogBackend::File(f) => {
                 f.sync_data()?;
+                Ok(())
+            }
+            LogBackend::Faulty(d) => {
+                d.sync()?;
                 Ok(())
             }
         }
@@ -192,6 +217,8 @@ impl LogManager {
             }),
             stats: WalStats::default(),
         };
+        // Writes to the Mem backend are infallible (a Vec resize), so this
+        // cannot panic; file/faulty constructors return the error instead.
         mgr.write_header(Lsn::NULL).expect("mem header");
         mgr
     }
@@ -217,12 +244,35 @@ impl LogManager {
         Ok(mgr)
     }
 
+    /// Creates a new log on a fault-injecting disk (crash testing).
+    pub fn create_faulty(disk: Arc<FaultDisk>) -> WalResult<Self> {
+        let mgr = LogManager {
+            backend: LogBackend::Faulty(disk),
+            state: Mutex::new(LogState {
+                tail: Vec::new(),
+                next_lsn: LOG_START.0,
+                flushed_lsn: LOG_START.0,
+                master: Lsn::NULL,
+            }),
+            stats: WalStats::default(),
+        };
+        mgr.write_header(Lsn::NULL)?;
+        Ok(mgr)
+    }
+
     /// Opens an existing log, scanning forward to find the valid end (a
     /// torn tail from a crash is truncated here).
     pub fn open_file(path: &Path) -> WalResult<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let backend = LogBackend::File(file);
         Self::open_backend(backend)
+    }
+
+    /// Opens an existing log living on a fault-injecting disk (typically
+    /// after [`FaultDisk::reopen`] following a simulated crash). The same
+    /// torn-tail scan as [`Self::open_file`] applies.
+    pub fn open_faulty(disk: Arc<FaultDisk>) -> WalResult<Self> {
+        Self::open_backend(LogBackend::Faulty(disk))
     }
 
     fn open_backend(backend: LogBackend) -> WalResult<Self> {

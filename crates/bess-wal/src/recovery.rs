@@ -24,7 +24,10 @@ use crate::record::{LogBody, LogPageId, TxnStatus};
 /// Where redo/undo images are applied: the buffer cache or storage layer.
 pub trait RedoTarget {
     /// Writes `bytes` at byte `offset` of `page`.
-    fn apply(&mut self, page: LogPageId, offset: u32, bytes: &[u8]);
+    ///
+    /// An `Err` aborts recovery with [`WalError::RedoFailed`] — a target
+    /// that cannot persist an image must not let recovery report success.
+    fn apply(&mut self, page: LogPageId, offset: u32, bytes: &[u8]) -> Result<(), String>;
 }
 
 /// A trivial in-memory [`RedoTarget`] keyed by page, used in tests and by
@@ -36,13 +39,14 @@ pub struct MemTarget {
 }
 
 impl RedoTarget for MemTarget {
-    fn apply(&mut self, page: LogPageId, offset: u32, bytes: &[u8]) {
+    fn apply(&mut self, page: LogPageId, offset: u32, bytes: &[u8]) -> Result<(), String> {
         let image = self.pages.entry(page).or_default();
         let end = offset as usize + bytes.len();
         if image.len() < end {
             image.resize(end, 0);
         }
         image[offset as usize..end].copy_from_slice(bytes);
+        Ok(())
     }
 }
 
@@ -160,7 +164,9 @@ pub fn recover(log: &LogManager, target: &mut dyn RedoTarget) -> WalResult<Recov
                     ..
                 }
                     if dpt.get(page).is_some_and(|&rl| rec.lsn >= rl) => {
-                        target.apply(*page, *offset, after);
+                        target
+                            .apply(*page, *offset, after)
+                            .map_err(crate::log::WalError::RedoFailed)?;
                         report.redone += 1;
                     }
                 LogBody::Clr {
@@ -170,7 +176,9 @@ pub fn recover(log: &LogManager, target: &mut dyn RedoTarget) -> WalResult<Recov
                     ..
                 }
                     if dpt.get(page).is_some_and(|&rl| rec.lsn >= rl) => {
-                        target.apply(*page, *offset, image);
+                        target
+                            .apply(*page, *offset, image)
+                            .map_err(crate::log::WalError::RedoFailed)?;
                         report.redone += 1;
                     }
                 _ => {}
@@ -242,7 +250,9 @@ pub fn undo_transactions(
                 before,
                 ..
             } => {
-                target.apply(page, offset, &before);
+                target
+                    .apply(page, offset, &before)
+                    .map_err(crate::log::WalError::RedoFailed)?;
                 undone += 1;
                 let clr = log.append(
                     txn,
@@ -327,7 +337,9 @@ pub fn replay_all(log: &LogManager) -> MemTarget {
                 ref after,
                 ..
             } if committed.contains(&rec.txn) => {
-                target.apply(page, offset, after);
+                target
+                    .apply(page, offset, after)
+                    .expect("MemTarget apply is infallible");
             }
             _ => {}
         }
@@ -355,7 +367,7 @@ mod tests {
     ) -> Lsn {
         let mut prev = log.append(txn, Lsn::NULL, LogBody::Begin);
         for &(p, before, after) in writes {
-            target.apply(page(p), 0, &[after]);
+            target.apply(page(p), 0, &[after]).unwrap();
             prev = log.append(
                 txn,
                 prev,
@@ -401,7 +413,7 @@ mod tests {
         run_txn(&log, &mut cache, 1, &[(1, 0, 7)], false, true);
         let recovered_log = log.simulate_crash().unwrap();
         let mut disk = MemTarget::default();
-        disk.apply(page(1), 0, &[7]); // the stolen page made it to disk
+        disk.apply(page(1), 0, &[7]).unwrap(); // the stolen page made it to disk
         let report = recover(&recovered_log, &mut disk).unwrap();
         assert_eq!(report.losers, vec![1]);
         assert_eq!(report.undone, 1);
@@ -452,7 +464,7 @@ mod tests {
 
         let recovered_log = log.simulate_crash().unwrap();
         let mut disk = MemTarget::default();
-        disk.apply(page(1), 0, &[9]);
+        disk.apply(page(1), 0, &[9]).unwrap();
         let report = recover(&recovered_log, &mut disk).unwrap();
         assert_eq!(report.losers, vec![1], "commit record did not survive");
         assert_eq!(disk.pages[&page(1)][0], 0);
@@ -521,7 +533,7 @@ mod tests {
                 after: vec![3],
             },
         );
-        cache.apply(page(1), 0, &[3]);
+        cache.apply(page(1), 0, &[3]).unwrap();
         take_checkpoint(
             &log,
             vec![(page(1), prev)],
@@ -548,8 +560,8 @@ mod tests {
 
         let log2 = log.simulate_crash().unwrap();
         let mut disk = MemTarget::default();
-        disk.apply(page(1), 0, &[7]);
-        disk.apply(page(2), 0, &[8]);
+        disk.apply(page(1), 0, &[7]).unwrap();
+        disk.apply(page(2), 0, &[8]).unwrap();
         let r1 = recover(&log2, &mut disk).unwrap();
         assert_eq!(r1.undone, 2);
 
@@ -557,8 +569,8 @@ mod tests {
         // the first recovery was lost.
         let log3 = log2.simulate_crash().unwrap();
         let mut disk2 = MemTarget::default();
-        disk2.apply(page(1), 0, &[7]);
-        disk2.apply(page(2), 0, &[8]);
+        disk2.apply(page(1), 0, &[7]).unwrap();
+        disk2.apply(page(2), 0, &[8]).unwrap();
         let r2 = recover(&log3, &mut disk2).unwrap();
         assert_eq!(r2.undone, 0, "CLRs prevent re-undo");
         // But redo of CLR images still restores the before state.
@@ -685,7 +697,7 @@ mod proptests {
                         // The WAL rule: a stolen dirty page may reach disk
                         // only after its undo information is durable.
                         log.flush(l).unwrap();
-                        disk.apply(p, 0, &[value]);
+                        disk.apply(p, 0, &[value]).unwrap();
                         pending.get_mut(&t).unwrap().push((page, value));
                     }
                     Step::Commit(t) => {

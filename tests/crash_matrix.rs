@@ -1,0 +1,770 @@
+//! The crash-recovery matrix: a scripted workload over fault-injecting
+//! disks, crashed at every interesting I/O, then recovered and checked.
+//!
+//! Both seams run on [`FaultDisk`]s — the storage area through
+//! `StorageArea::create_faulty` and the WAL through
+//! `LogManager::create_faulty` — so a single [`FaultPlan`] can fail the
+//! Nth read/write/sync deterministically. The harness:
+//!
+//! 1. builds a tiny area + log on faulty disks (setup is fault-free);
+//! 2. arms one `(op class, n, kind)` fault and runs a fixed workload of
+//!    six transactions (commits, a runtime abort with CLRs, a fuzzy
+//!    checkpoint, a 2PC prepare, and a loser stolen to the platter);
+//! 3. crashes both disks (unsynced bytes are lost), reopens them fresh,
+//!    and runs `recover_embedded`;
+//! 4. checks the **oracle invariants**: every byte range equals the
+//!    replay of exactly the durably-committed (and in-doubt) updates,
+//!    losers are rolled back, in-doubt transactions are reported but not
+//!    resolved, and a second recovery is a no-op (idempotence).
+//!
+//! Because the oracle is computed from the reopened log's durable prefix
+//! alone, the same checker validates every fault point — whichever
+//! prefix of the workload survived. Double-crash tests arm a second
+//! fault *during recovery* and assert the third run still converges.
+//!
+//! The full sweeps (every write index × several tear points, etc.) run
+//! with `--features crash-tests`; the default run keeps a representative
+//! subset so `cargo test` stays quick.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use bess_cache::AreaSet;
+use bess_core::recover_embedded;
+use bess_storage::{
+    AreaConfig, AreaId, FaultDisk, FaultKind, FaultPlan, OpClass, StorageArea,
+};
+use bess_wal::{
+    take_checkpoint, undo_transactions, LogBody, LogManager, LogPageId, Lsn, RecoveryReport,
+    LOG_START,
+};
+
+// ---------------------------------------------------------------------------
+// Rig: a small area + log on faulty disks, with three tracked pages.
+// ---------------------------------------------------------------------------
+
+const PAGE_SIZE: usize = 256;
+/// Bytes tracked (and asserted) at the head of each page.
+const TRACKED: usize = 24;
+
+const VAL_T1: u8 = 0xA1; // committed, forced          -> A[0..8]
+const VAL_T2A: u8 = 0xA2; // committed, forced          -> A[8..16]
+const VAL_T2B: u8 = 0xB2; // committed, NOT written back -> B[0..8]
+const VAL_T3: u8 = 0xB3; // aborted at runtime (CLRs)  -> B[8..16], net zero
+const VAL_T4: u8 = 0xC4; // prepared (in doubt)        -> C[0..8]
+const VAL_T5: u8 = 0xC5; // committed, NOT written back -> C[8..16]
+const VAL_T6: u8 = 0xB6; // loser, stolen to platter   -> B[16..24]
+
+struct Rig {
+    area_disk: Arc<FaultDisk>,
+    log_disk: Arc<FaultDisk>,
+    set: Arc<AreaSet>,
+    log: LogManager,
+    /// Allocated page numbers for A, B, C.
+    pages: [u64; 3],
+}
+
+fn small_area() -> AreaConfig {
+    AreaConfig {
+        page_size: PAGE_SIZE,
+        extent_pages_log2: 4,
+        initial_extents: 1,
+        expandable: true,
+    }
+}
+
+/// Builds the rig fault-free: formatting the area, allocating the pages,
+/// and writing the log header all complete and are synced durably before
+/// any plan is armed, so fault indices count from the workload's first I/O.
+fn build_rig() -> Rig {
+    let area_disk = FaultDisk::new(FaultPlan::unarmed());
+    let log_disk = FaultDisk::new(FaultPlan::unarmed());
+    let area =
+        StorageArea::create_faulty(AreaId(0), small_area(), Arc::clone(&area_disk)).unwrap();
+    let ptr = area.alloc(4).unwrap();
+    let pages = [ptr.start_page, ptr.start_page + 1, ptr.start_page + 2];
+    area.sync().unwrap();
+    let log = LogManager::create_faulty(Arc::clone(&log_disk)).unwrap();
+    // Make the fresh header (master = null) durable, like mkfs would.
+    log.set_master(Lsn::NULL).unwrap();
+    let set = AreaSet::new();
+    set.add(Arc::new(area));
+    Rig {
+        area_disk,
+        log_disk,
+        set: Arc::new(set),
+        log,
+        pages,
+    }
+}
+
+impl Rig {
+    fn page_id(&self, i: usize) -> LogPageId {
+        LogPageId {
+            area: 0,
+            page: self.pages[i],
+        }
+    }
+}
+
+fn upd(page: LogPageId, offset: u32, before: u8, after: u8) -> LogBody {
+    LogBody::Update {
+        page,
+        offset,
+        before: vec![before; 8],
+        after: vec![after; 8],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The scripted workload. Stops at the first I/O error (the injected fault
+// is the moment the "process" dies).
+// ---------------------------------------------------------------------------
+
+fn run_workload(rig: &Rig) -> Result<(), String> {
+    let (a, b, c) = (rig.page_id(0), rig.page_id(1), rig.page_id(2));
+    let area = rig.set.get(0).unwrap();
+    let log = &rig.log;
+    let e = |m: String| m;
+
+    // t1: commit, then force A to the platter.
+    let prev = log.append(1, Lsn::NULL, LogBody::Begin);
+    let prev = log.append(1, prev, upd(a, 0, 0, VAL_T1));
+    log.append(1, prev, LogBody::Commit);
+    log.flush_all().map_err(|x| e(x.to_string()))?;
+    area.write_at(rig.pages[0], 0, &[VAL_T1; 8])
+        .map_err(|x| e(x.to_string()))?;
+    area.sync().map_err(|x| e(x.to_string()))?;
+
+    // t2: commit; A forced again, B left dirty (no-force: redo must repair).
+    let prev = log.append(2, Lsn::NULL, LogBody::Begin);
+    let prev = log.append(2, prev, upd(a, 8, 0, VAL_T2A));
+    let t2_b = log.append(2, prev, upd(b, 0, 0, VAL_T2B));
+    log.append(2, t2_b, LogBody::Commit);
+    log.flush_all().map_err(|x| e(x.to_string()))?;
+    area.write_at(rig.pages[0], 8, &[VAL_T2A; 8])
+        .map_err(|x| e(x.to_string()))?;
+    area.sync().map_err(|x| e(x.to_string()))?;
+
+    // t3: update B, steal the dirty page, then abort at runtime — the undo
+    // writes a CLR chained by undo_next and an End, and restores the bytes.
+    let t3_begin = log.append(3, Lsn::NULL, LogBody::Begin);
+    let t3_upd = log.append(3, t3_begin, upd(b, 8, 0, VAL_T3));
+    log.flush_all().map_err(|x| e(x.to_string()))?; // WAL rule before the steal
+    area.write_at(rig.pages[1], 8, &[VAL_T3; 8])
+        .map_err(|x| e(x.to_string()))?;
+    area.sync().map_err(|x| e(x.to_string()))?;
+    let abort = log.append(3, t3_upd, LogBody::Abort);
+    let mut target = bess_server::AreaTarget(Arc::clone(&rig.set));
+    undo_transactions(log, vec![(3, abort)], &mut target).map_err(|x| e(x.to_string()))?;
+    log.flush_all().map_err(|x| e(x.to_string()))?;
+
+    // Fuzzy checkpoint: B is still dirty (t2's update was never forced).
+    take_checkpoint(log, vec![(b, t2_b)], vec![]).map_err(|x| e(x.to_string()))?;
+
+    // t4: prepared — in doubt until the coordinator's verdict.
+    let prev = log.append(4, Lsn::NULL, LogBody::Begin);
+    let prev = log.append(4, prev, upd(c, 0, 0, VAL_T4));
+    log.append(4, prev, LogBody::Prepare);
+    log.flush_all().map_err(|x| e(x.to_string()))?;
+
+    // t5: commit on the same page as t4, disjoint bytes, not forced.
+    let prev = log.append(5, Lsn::NULL, LogBody::Begin);
+    let prev = log.append(5, prev, upd(c, 8, 0, VAL_T5));
+    log.append(5, prev, LogBody::Commit);
+    log.flush_all().map_err(|x| e(x.to_string()))?;
+
+    // t6: a loser — still active at the crash, its dirty page stolen.
+    let prev = log.append(6, Lsn::NULL, LogBody::Begin);
+    let _ = log.append(6, prev, upd(b, 16, 0, VAL_T6));
+    log.flush_all().map_err(|x| e(x.to_string()))?; // WAL rule
+    area.write_at(rig.pages[1], 16, &[VAL_T6; 8])
+        .map_err(|x| e(x.to_string()))?;
+    area.sync().map_err(|x| e(x.to_string()))?;
+    Ok(())
+}
+
+// Operation counts the fault-free workload issues, verified by
+// `dry_run_op_counts` so the sweeps below cannot silently shrink.
+const LOG_WRITES: u64 = 9;
+const LOG_SYNCS: u64 = 9;
+const AREA_WRITES: u64 = 5;
+const AREA_SYNCS: u64 = 4;
+
+// ---------------------------------------------------------------------------
+// The oracle: classify transactions from the durable log prefix and compute
+// the byte image recovery must produce.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Classified {
+    winners: BTreeSet<u64>,
+    in_doubt: BTreeSet<u64>,
+    /// Rolled back completely before the crash (`End` without `Commit`).
+    ended: BTreeSet<u64>,
+    losers: BTreeSet<u64>,
+}
+
+fn classify(log: &LogManager) -> Classified {
+    #[derive(Default)]
+    struct Flags {
+        commit: bool,
+        prepare: bool,
+        abort: bool,
+        end: bool,
+    }
+    let mut txns: BTreeMap<u64, Flags> = BTreeMap::new();
+    for rec in log.iter() {
+        if rec.txn == 0 {
+            continue; // checkpoint records
+        }
+        let f = txns.entry(rec.txn).or_default();
+        match rec.body {
+            LogBody::Commit => f.commit = true,
+            LogBody::Prepare => f.prepare = true,
+            LogBody::Abort => f.abort = true,
+            LogBody::End => f.end = true,
+            _ => {}
+        }
+    }
+    let mut out = Classified::default();
+    for (txn, f) in txns {
+        if f.commit {
+            out.winners.insert(txn);
+        } else if f.end {
+            out.ended.insert(txn);
+        } else if f.prepare && !f.abort {
+            out.in_doubt.insert(txn);
+        } else {
+            out.losers.insert(txn);
+        }
+    }
+    out
+}
+
+/// The page bytes recovery must produce: the after-images of winners and
+/// in-doubt transactions applied in log order; everything else rolled back
+/// to zeros. (Byte ranges of distinct transactions never overlap in the
+/// workload, mirroring strict 2PL.)
+fn expected_pages(log: &LogManager, classes: &Classified, rig: &Rig) -> BTreeMap<u64, Vec<u8>> {
+    let mut pages: BTreeMap<u64, Vec<u8>> =
+        rig.pages.iter().map(|&p| (p, vec![0u8; TRACKED])).collect();
+    for rec in log.iter() {
+        let keep = classes.winners.contains(&rec.txn) || classes.in_doubt.contains(&rec.txn);
+        if !keep {
+            continue;
+        }
+        if let LogBody::Update {
+            page,
+            offset,
+            ref after,
+            ..
+        } = rec.body
+        {
+            if let Some(image) = pages.get_mut(&page.page) {
+                let start = offset as usize;
+                let end = (start + after.len()).min(TRACKED);
+                if start < end {
+                    image[start..end].copy_from_slice(&after[..end - start]);
+                }
+            }
+        }
+    }
+    pages
+}
+
+fn actual_pages(set: &AreaSet, rig: &Rig) -> BTreeMap<u64, Vec<u8>> {
+    let area = set.get(0).unwrap();
+    rig.pages
+        .iter()
+        .map(|&p| {
+            let mut buf = vec![0u8; TRACKED];
+            area.read_at(p, 0, &mut buf).unwrap();
+            (p, buf)
+        })
+        .collect()
+}
+
+/// Reopens both disks fresh (unsynced bytes lost), recovers, and checks
+/// every invariant. Returns the first recovery's report.
+fn verify_recovery(rig: &Rig) -> RecoveryReport {
+    rig.area_disk.reopen(FaultPlan::unarmed());
+    rig.log_disk.reopen(FaultPlan::unarmed());
+    let area = StorageArea::open_faulty(AreaId(0), Arc::clone(&rig.area_disk), true)
+        .expect("area reopens after crash");
+    let set = AreaSet::new();
+    set.add(Arc::new(area));
+    let set = Arc::new(set);
+    let log = LogManager::open_faulty(Arc::clone(&rig.log_disk)).expect("log reopens after crash");
+
+    // Oracle from the durable prefix, before recovery appends anything.
+    let classes = classify(&log);
+    let expected = expected_pages(&log, &classes, rig);
+
+    let report = recover_embedded(&log, &set).expect("recovery succeeds");
+
+    // Committed data byte-identical; losers rolled back; in-doubt retained.
+    assert_eq!(
+        actual_pages(&set, rig),
+        expected,
+        "recovered bytes disagree with the durable-log oracle\nclasses: {classes:?}\nreport: {report:?}"
+    );
+    // Losers and in-doubt reported exactly (they all postdate the
+    // checkpoint, so the analysis window sees every one).
+    let losers: BTreeSet<u64> = report.losers.iter().copied().collect();
+    assert_eq!(losers, classes.losers, "loser set\nreport: {report:?}");
+    let in_doubt: BTreeSet<u64> = report.in_doubt.iter().copied().collect();
+    assert_eq!(in_doubt, classes.in_doubt, "in-doubt set\nreport: {report:?}");
+    // Winners the analysis window saw really did commit.
+    for w in &report.winners {
+        assert!(classes.winners.contains(w), "phantom winner {w}");
+    }
+    // In-doubt transactions are reported, not resolved: no End was
+    // appended for them, so a second recovery still sees them.
+    let report2 = recover_embedded(&log, &set).expect("second recovery");
+    assert!(
+        report2.losers.is_empty(),
+        "first recovery left losers behind: {report2:?}"
+    );
+    let in_doubt2: BTreeSet<u64> = report2.in_doubt.iter().copied().collect();
+    assert_eq!(in_doubt2, classes.in_doubt, "in-doubt must survive recovery");
+    assert_eq!(
+        actual_pages(&set, rig),
+        expected,
+        "recovery is not idempotent"
+    );
+    report
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Target {
+    Area,
+    Log,
+}
+
+/// One matrix cell: arm `(class, nth, kind)` on one disk, run the workload
+/// to its natural death, crash, recover, check. Returns whether the fault
+/// actually fired (indices past the workload's op count never fire).
+fn run_case(target: Target, class: OpClass, nth: u64, kind: FaultKind) -> bool {
+    let rig = build_rig();
+    let plan = FaultPlan::armed(class, nth, kind);
+    match target {
+        Target::Area => rig.area_disk.arm(Arc::clone(&plan)),
+        Target::Log => rig.log_disk.arm(Arc::clone(&plan)),
+    }
+    let res = run_workload(&rig);
+    let fired = plan.fired() > 0;
+    if !fired {
+        assert!(
+            res.is_ok(),
+            "workload failed with no injected fault: {res:?}"
+        );
+    }
+    rig.area_disk.crash();
+    rig.log_disk.crash();
+    verify_recovery(&rig);
+    fired
+}
+
+// ---------------------------------------------------------------------------
+// Op-count calibration.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dry_run_op_counts() {
+    let rig = build_rig();
+    let area_plan = FaultPlan::unarmed();
+    let log_plan = FaultPlan::unarmed();
+    rig.area_disk.arm(Arc::clone(&area_plan));
+    rig.log_disk.arm(Arc::clone(&log_plan));
+    run_workload(&rig).unwrap();
+    assert_eq!(log_plan.ops(OpClass::Write), LOG_WRITES, "log writes");
+    assert_eq!(log_plan.ops(OpClass::Sync), LOG_SYNCS, "log syncs");
+    assert_eq!(area_plan.ops(OpClass::Write), AREA_WRITES, "area writes");
+    assert_eq!(area_plan.ops(OpClass::Sync), AREA_SYNCS, "area syncs");
+    // And with no fault at all, recovery of the clean crash still holds.
+    rig.area_disk.crash();
+    rig.log_disk.crash();
+    let report = verify_recovery(&rig);
+    assert_eq!(report.losers, vec![6]);
+    assert_eq!(report.in_doubt, vec![4]);
+}
+
+// ---------------------------------------------------------------------------
+// Workload-time fault sweeps.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn log_write_eio_sweep() {
+    let mut fired = 0;
+    for nth in 0..LOG_WRITES {
+        if run_case(Target::Log, OpClass::Write, nth, FaultKind::Eio) {
+            fired += 1;
+        }
+    }
+    assert_eq!(fired, LOG_WRITES, "every log write index must be exercised");
+}
+
+#[test]
+fn log_write_crash_sweep() {
+    let mut fired = 0;
+    for nth in 0..LOG_WRITES {
+        if run_case(Target::Log, OpClass::Write, nth, FaultKind::Crash) {
+            fired += 1;
+        }
+    }
+    assert_eq!(fired, LOG_WRITES);
+}
+
+/// Torn log flushes: a prefix of the flushed tail lands durably, tearing
+/// mid-frame or between frames depending on `keep`; the reopen scan must
+/// truncate at the tear and recovery must treat the suffix as never
+/// written. The full tear grid runs under `--features crash-tests`.
+#[test]
+fn log_torn_write_representative() {
+    let mut fired = 0;
+    for (nth, keep) in [(0u64, 5usize), (3, 40), (8, 21)] {
+        if run_case(Target::Log, OpClass::Write, nth, FaultKind::Torn { keep }) {
+            fired += 1;
+        }
+    }
+    assert_eq!(fired, 3);
+}
+
+#[cfg_attr(not(feature = "crash-tests"), ignore)]
+#[test]
+fn log_torn_write_full_sweep() {
+    let mut fired = 0;
+    for nth in 0..LOG_WRITES {
+        for keep in [0usize, 5, 21, 40, 72, 150] {
+            if run_case(Target::Log, OpClass::Write, nth, FaultKind::Torn { keep }) {
+                fired += 1;
+            }
+        }
+    }
+    assert_eq!(fired, LOG_WRITES * 6);
+}
+
+#[test]
+fn log_sync_eio_sweep() {
+    let mut fired = 0;
+    for nth in 0..LOG_SYNCS {
+        if run_case(Target::Log, OpClass::Sync, nth, FaultKind::Eio) {
+            fired += 1;
+        }
+    }
+    assert_eq!(fired, LOG_SYNCS);
+}
+
+/// A lying fsync anywhere but the final flush is healed by the next real
+/// sync (the durable image catches up wholesale), so recovery stays clean.
+#[test]
+fn log_drop_sync_sweep() {
+    let mut fired = 0;
+    for nth in 0..LOG_SYNCS - 1 {
+        if run_case(Target::Log, OpClass::Sync, nth, FaultKind::DropSync) {
+            fired += 1;
+        }
+    }
+    assert_eq!(fired, LOG_SYNCS - 1);
+}
+
+/// The negative result the matrix documents: if the *final* log flush lies
+/// and the dirty page is then stolen, WAL's premise (log hits the platter
+/// before the page) is violated and no recovery algorithm can roll the
+/// loser back — its log record never existed durably. This is why fsync
+/// integrity is a prerequisite, not something recovery can compensate for.
+#[test]
+fn lying_fsync_before_steal_defeats_wal() {
+    let rig = build_rig();
+    let plan = FaultPlan::armed(OpClass::Sync, LOG_SYNCS - 1, FaultKind::DropSync);
+    rig.log_disk.arm(Arc::clone(&plan));
+    run_workload(&rig).unwrap(); // the lie goes unnoticed
+    assert_eq!(plan.fired(), 1);
+    rig.area_disk.crash();
+    rig.log_disk.crash();
+
+    rig.area_disk.reopen(FaultPlan::unarmed());
+    rig.log_disk.reopen(FaultPlan::unarmed());
+    let area = StorageArea::open_faulty(AreaId(0), Arc::clone(&rig.area_disk), true).unwrap();
+    let set = AreaSet::new();
+    set.add(Arc::new(area));
+    let set = Arc::new(set);
+    let log = LogManager::open_faulty(Arc::clone(&rig.log_disk)).unwrap();
+    // t6's records evaporated with the dropped sync …
+    assert!(classify(&log).losers.is_empty());
+    recover_embedded(&log, &set).unwrap();
+    // … so its stolen bytes survive recovery: durable corruption.
+    let mut buf = [0u8; 8];
+    set.get(0).unwrap().read_at(rig.pages[1], 16, &mut buf).unwrap();
+    assert_eq!(buf, [VAL_T6; 8], "the lost loser cannot be undone");
+}
+
+#[test]
+fn area_write_eio_sweep() {
+    let mut fired = 0;
+    for nth in 0..AREA_WRITES {
+        if run_case(Target::Area, OpClass::Write, nth, FaultKind::Eio) {
+            fired += 1;
+        }
+    }
+    assert_eq!(fired, AREA_WRITES);
+}
+
+#[test]
+fn area_write_torn_representative() {
+    let mut fired = 0;
+    for (nth, keep) in [(0u64, 3usize), (4, 5)] {
+        if run_case(Target::Area, OpClass::Write, nth, FaultKind::Torn { keep }) {
+            fired += 1;
+        }
+    }
+    assert_eq!(fired, 2);
+}
+
+#[cfg_attr(not(feature = "crash-tests"), ignore)]
+#[test]
+fn area_write_fault_full_sweep() {
+    let mut fired = 0;
+    for nth in 0..AREA_WRITES {
+        for kind in [
+            FaultKind::Eio,
+            FaultKind::Crash,
+            FaultKind::Torn { keep: 0 },
+            FaultKind::Torn { keep: 3 },
+            FaultKind::Torn { keep: 7 },
+        ] {
+            if run_case(Target::Area, OpClass::Write, nth, kind) {
+                fired += 1;
+            }
+        }
+    }
+    assert_eq!(fired, AREA_WRITES * 5);
+}
+
+#[test]
+fn area_sync_fault_sweep() {
+    let mut fired = 0;
+    for nth in 0..AREA_SYNCS {
+        for kind in [FaultKind::Eio, FaultKind::DropSync] {
+            if run_case(Target::Area, OpClass::Sync, nth, kind) {
+                fired += 1;
+            }
+        }
+    }
+    assert_eq!(fired, AREA_SYNCS * 2);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery-time faults: the double-crash tier. The first recovery attempt
+// runs under an armed plan; whatever it manages (or fails) to do, a second
+// crash and a clean recovery must still converge to the oracle.
+// ---------------------------------------------------------------------------
+
+/// Runs the fault-free workload, crashes, then attempts recovery with
+/// `(class, nth, kind)` armed on one disk. Returns `(fired, first attempt
+/// succeeded)` after verifying the follow-up clean recovery.
+fn run_recovery_fault_case(
+    target: Target,
+    class: OpClass,
+    nth: u64,
+    kind: FaultKind,
+) -> (bool, bool) {
+    let rig = build_rig();
+    run_workload(&rig).expect("fault-free workload");
+    rig.area_disk.crash();
+    rig.log_disk.crash();
+
+    let plan = FaultPlan::armed(class, nth, kind);
+    let (area_plan, log_plan) = match target {
+        Target::Area => (Arc::clone(&plan), FaultPlan::unarmed()),
+        Target::Log => (FaultPlan::unarmed(), Arc::clone(&plan)),
+    };
+    rig.area_disk.reopen(area_plan);
+    rig.log_disk.reopen(log_plan);
+    let attempt = (|| -> Result<RecoveryReport, String> {
+        let area = StorageArea::open_faulty(AreaId(0), Arc::clone(&rig.area_disk), true)
+            .map_err(|e| e.to_string())?;
+        let set = AreaSet::new();
+        set.add(Arc::new(area));
+        let set = Arc::new(set);
+        let log = LogManager::open_faulty(Arc::clone(&rig.log_disk)).map_err(|e| e.to_string())?;
+        recover_embedded(&log, &set).map_err(|e| e.to_string())
+    })();
+    let fired = plan.fired() > 0;
+
+    // Second crash — then recovery must succeed cleanly, no matter how far
+    // the first attempt got.
+    rig.area_disk.crash();
+    rig.log_disk.crash();
+    verify_recovery(&rig);
+    (fired, attempt.is_ok())
+}
+
+#[test]
+fn recovery_log_read_eio_then_clean_retry() {
+    let mut fired = 0;
+    for nth in [0u64, 1, 3, 7, 15, 30] {
+        let (f, ok) = run_recovery_fault_case(Target::Log, OpClass::Read, nth, FaultKind::Eio);
+        if f {
+            fired += 1;
+            assert!(!ok, "an EIO'd log read must fail the recovery attempt");
+        }
+    }
+    assert!(fired >= 4, "only {fired} log-read fault points fired");
+}
+
+/// Short reads are not failures: the accumulating read loops in both
+/// backends retry, so recovery *succeeds* despite the fault.
+#[test]
+fn recovery_survives_short_reads() {
+    let mut fired = 0;
+    for (target, nth) in [
+        (Target::Log, 0u64),
+        (Target::Log, 2),
+        (Target::Log, 9),
+        (Target::Area, 0),
+        (Target::Area, 1),
+    ] {
+        let (f, ok) =
+            run_recovery_fault_case(target, OpClass::Read, nth, FaultKind::Short { len: 3 });
+        if f {
+            fired += 1;
+            assert!(ok, "a short read must be retried, not fatal");
+        }
+    }
+    assert!(fired >= 4, "only {fired} short-read fault points fired");
+}
+
+#[test]
+fn recovery_area_read_eio_then_clean_retry() {
+    let mut fired = 0;
+    for nth in [0u64, 1, 2] {
+        let (f, ok) = run_recovery_fault_case(Target::Area, OpClass::Read, nth, FaultKind::Eio);
+        if f {
+            fired += 1;
+            assert!(!ok, "an EIO'd area read must fail the open/recovery");
+        }
+    }
+    assert!(fired >= 2, "only {fired} area-read fault points fired");
+}
+
+/// Crash *during* redo or undo: the area writes recovery itself issues are
+/// killed one by one. The failed attempt may have partially repeated
+/// history or partially rolled back the loser; repeating recovery from
+/// scratch must converge because redo is idempotent and CLR application is
+/// bounded by `undo_next`.
+#[test]
+fn recovery_crash_during_redo_and_undo_sweep() {
+    // Fault-free recovery issues 6 redo writes then 1 undo write (t6's
+    // before-image); nth = 6 therefore dies mid-undo.
+    let mut fired = 0;
+    let mut failed_attempts = 0;
+    for nth in 0..7u64 {
+        let (f, ok) = run_recovery_fault_case(Target::Area, OpClass::Write, nth, FaultKind::Crash);
+        if f {
+            fired += 1;
+            if !ok {
+                failed_attempts += 1;
+            }
+        }
+    }
+    assert_eq!(fired, 7, "every recovery-time area write must be exercised");
+    assert_eq!(
+        failed_attempts, 7,
+        "a crashed apply must surface as a recovery error"
+    );
+}
+
+/// The final log flush of recovery (the one making CLRs durable) dies;
+/// the rerun must re-derive and re-log the undo.
+#[test]
+fn recovery_log_flush_failure_then_clean_retry() {
+    let (fired, ok) = run_recovery_fault_case(Target::Log, OpClass::Write, 0, FaultKind::Eio);
+    assert!(fired);
+    assert!(!ok, "a failed CLR flush must fail recovery");
+}
+
+// ---------------------------------------------------------------------------
+// Directed edge cases (the satellite scenarios).
+// ---------------------------------------------------------------------------
+
+/// An in-doubt transaction survives recovery — and a double crash — still
+/// in doubt: reported each time, its updates repeated by redo, never
+/// rolled back and never ended.
+#[test]
+fn in_doubt_survives_double_crash() {
+    let rig = build_rig();
+    run_workload(&rig).unwrap();
+    rig.area_disk.crash();
+    rig.log_disk.crash();
+    let report = verify_recovery(&rig); // first crash + recovery (+ idempotence)
+    assert_eq!(report.in_doubt, vec![4]);
+
+    // Crash again after the successful recovery and recover once more.
+    rig.area_disk.crash();
+    rig.log_disk.crash();
+    let report = verify_recovery(&rig);
+    assert_eq!(report.in_doubt, vec![4], "still awaiting the coordinator");
+    assert!(report.losers.is_empty(), "losers were resolved first time");
+}
+
+/// Analysis starts at the fuzzy checkpoint, and redo starts at the
+/// checkpoint's dirty-page recLSN — mid-log, not LOG_START.
+#[test]
+fn redo_starts_mid_log_after_checkpoint() {
+    let rig = build_rig();
+    run_workload(&rig).unwrap();
+    rig.area_disk.crash();
+    rig.log_disk.crash();
+    let report = verify_recovery(&rig);
+    assert!(
+        report.redo_start > LOG_START,
+        "redo began at {:?}, expected the checkpointed recLSN",
+        report.redo_start
+    );
+    // The analysis window is bounded by the checkpoint: t1..t3 finished
+    // before it, so only the checkpoint-end and the records of t4..t6 are
+    // scanned — far fewer than the whole log.
+    assert!(
+        report.scanned <= 10,
+        "scanned {} records despite the checkpoint",
+        report.scanned
+    );
+    // t1/t2 committed before the checkpoint: invisible to analysis, yet
+    // their data survived (verified against the oracle in verify_recovery).
+    assert!(!report.winners.contains(&1));
+    assert!(!report.winners.contains(&2));
+}
+
+/// Repeated crashes in the middle of undo: each attempt is killed at the
+/// loser's before-image write, and the final clean pass must still roll
+/// t6 back exactly once (CLRs chained by undo_next keep undo idempotent).
+#[test]
+fn repeated_crash_mid_undo_converges() {
+    let rig = build_rig();
+    run_workload(&rig).unwrap();
+    rig.area_disk.crash();
+    rig.log_disk.crash();
+
+    // Three consecutive recovery attempts, each dying at the undo write
+    // (area write nth=6 — after the 6 redo writes).
+    for attempt in 0..3 {
+        rig.area_disk
+            .reopen(FaultPlan::armed(OpClass::Write, 6, FaultKind::Crash));
+        rig.log_disk.reopen(FaultPlan::unarmed());
+        let area = StorageArea::open_faulty(AreaId(0), Arc::clone(&rig.area_disk), true).unwrap();
+        let set = AreaSet::new();
+        set.add(Arc::new(area));
+        let set = Arc::new(set);
+        let log = LogManager::open_faulty(Arc::clone(&rig.log_disk)).unwrap();
+        let err = recover_embedded(&log, &set);
+        assert!(err.is_err(), "attempt {attempt} should die mid-undo");
+        rig.area_disk.crash();
+        rig.log_disk.crash();
+    }
+
+    let report = verify_recovery(&rig);
+    assert_eq!(report.losers, vec![6]);
+    assert_eq!(report.undone, 1, "t6 rolled back exactly once");
+}

@@ -1,0 +1,252 @@
+//! Offline stand-in for the subset of `criterion` used by the BeSS
+//! benchmarks. It keeps the same bench-authoring API (`criterion_group!`,
+//! `benchmark_group`, `bench_with_input`, `Throughput`, `black_box`) and
+//! reports mean wall-clock time per iteration — no statistics, plots, or
+//! baselines, but enough for relative comparisons under `cargo bench`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How work per iteration is expressed in reports.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    target_time: Duration,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly for the sampling window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration round.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_batch = (self.target_time.as_nanos() / 8 / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        let begin = Instant::now();
+        let mut iters = 0u64;
+        while begin.elapsed() < self.target_time {
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            iters += per_batch;
+        }
+        self.iters_done = iters + 1;
+        self.elapsed = begin.elapsed() + once;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    target_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility (the stand-in sizes samples by time).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.target_time = time.min(Duration::from_millis(500));
+        self
+    }
+
+    /// Sets the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            target_time: self.target_time,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, &b, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            target_time: self.target_time,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters_done == 0 {
+        println!("{group}/{id:<40} (not measured)");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gbps = n as f64 / per_iter; // bytes/ns == GB/s
+            format!("  {gbps:>10.3} GB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let meps = n as f64 * 1e3 / per_iter;
+            format!("  {meps:>10.3} Melem/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{group}/{id:<40} {:>12.1} ns/iter  ({} iters){rate}",
+        per_iter, b.iters_done
+    );
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Short window: the stand-in favours fast signal over tight
+            // confidence intervals.
+            target_time: Duration::from_millis(120),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let target_time = self.target_time;
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            target_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            target_time: self.target_time,
+        };
+        f(&mut b);
+        report("bench", &id.id, &b, None);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut criterion = $crate::Criterion::default();
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::new("add", 1), |b| {
+            b.iter(|| black_box(1u64) + black_box(2u64))
+        });
+        group.finish();
+    }
+}
