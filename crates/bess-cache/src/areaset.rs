@@ -3,17 +3,24 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use bess_lock::order::{OrderedRwLock, Rank};
 use bess_storage::StorageArea;
-use parking_lot::RwLock;
 
 use crate::page::{DbPage, PageIo};
 
 /// Routes cache loads and write-backs to the storage areas of a server —
 /// the [`PageIo`] used when the cache sits directly above disk (a BeSS
 /// server, or a client embedded with one, §3).
-#[derive(Default)]
 pub struct AreaSet {
-    areas: RwLock<HashMap<u32, Arc<StorageArea>>>,
+    areas: OrderedRwLock<HashMap<u32, Arc<StorageArea>>>,
+}
+
+impl Default for AreaSet {
+    fn default() -> Self {
+        AreaSet {
+            areas: OrderedRwLock::new(Rank::AreaSet, "cache.areaset", HashMap::new()),
+        }
+    }
 }
 
 impl AreaSet {
@@ -132,7 +139,7 @@ mod tests {
             page: seg.start_page,
         };
         let data = vec![0x3C; 4096];
-        set.write_back(page, &data);
+        set.write_back(page, &data).unwrap();
         let mut buf = vec![0u8; 4096];
         set.load(page, &mut buf).unwrap();
         assert_eq!(buf, data);

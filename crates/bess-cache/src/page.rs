@@ -33,11 +33,25 @@ pub trait PageIo: Send + Sync {
 }
 
 /// A [`PageIo`] over an in-memory map, for tests and benchmarks.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MapIo {
-    pages: parking_lot::Mutex<std::collections::HashMap<DbPage, Vec<u8>>>,
+    pages: bess_lock::OrderedMutex<std::collections::HashMap<DbPage, Vec<u8>>>,
     loads: std::sync::atomic::AtomicU64,
     write_backs: std::sync::atomic::AtomicU64,
+}
+
+impl Default for MapIo {
+    fn default() -> Self {
+        MapIo {
+            pages: bess_lock::OrderedMutex::new(
+                bess_lock::Rank::TestPageIo,
+                "cache.mapio",
+                std::collections::HashMap::new(),
+            ),
+            loads: std::sync::atomic::AtomicU64::new(0),
+            write_backs: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
 }
 
 impl MapIo {

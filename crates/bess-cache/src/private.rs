@@ -17,8 +17,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bess_lock::order::{OrderedMutex, Rank};
 use bess_vm::{AddressSpace, FrameId, FrameState, HeapStore, PageStore, Protect, VAddr, VRange};
-use parking_lot::Mutex;
 
 use crate::page::{DbPage, PageIo};
 
@@ -128,7 +128,7 @@ pub struct PrivatePool {
     store: Arc<HeapStore>,
     io: Arc<dyn PageIo>,
     capacity: usize,
-    inner: Mutex<PoolInner>,
+    inner: OrderedMutex<PoolInner>,
     stats: PoolStats,
 }
 
@@ -143,11 +143,15 @@ impl PrivatePool {
             store,
             io,
             capacity,
-            inner: Mutex::new(PoolInner {
-                resident: HashMap::new(),
-                ring: Vec::new(),
-                hand: 0,
-            }),
+            inner: OrderedMutex::new(
+                Rank::PrivatePool,
+                "cache.private",
+                PoolInner {
+                    resident: HashMap::new(),
+                    ring: Vec::new(),
+                    hand: 0,
+                },
+            ),
             stats: PoolStats::default(),
         }
     }
@@ -543,11 +547,11 @@ mod tests {
         let r0 = space.reserve(PS, None);
         pool.fault_in(page(0), r0.start(), Protect::ReadWrite).unwrap();
         space.write_u32(r0.start(), 77).unwrap();
-        pool.flush_dirty();
+        pool.flush_dirty().unwrap();
         assert_eq!(io.write_backs(), 1);
         assert_eq!(pool.resident_count(), 1);
         // Second flush: nothing dirty.
-        pool.flush_dirty();
+        pool.flush_dirty().unwrap();
         assert_eq!(io.write_backs(), 1);
     }
 
@@ -559,7 +563,7 @@ mod tests {
             let r = space.reserve(PS, None);
             pool.fault_in(page(p), r.start(), Protect::Read).unwrap();
         }
-        pool.clear();
+        pool.clear().unwrap();
         assert_eq!(pool.resident_count(), 0);
     }
 
@@ -576,7 +580,7 @@ mod tests {
         ));
         // After explicit eviction the page can move (data segment
         // relocation, §2.1).
-        pool.evict(page(0));
+        pool.evict(page(0)).unwrap();
         pool.fault_in(page(0), r1.start(), Protect::Read).unwrap();
     }
 }

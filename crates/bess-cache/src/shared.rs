@@ -16,8 +16,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bess_lock::order::{OrderedMutex, Rank};
 use bess_vm::{FrameId, HeapStore, PageStore};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Condvar;
 
 use crate::page::DbPage;
 
@@ -157,7 +158,7 @@ pub struct Evicted {
 pub struct SharedCache {
     store: Arc<HeapStore>,
     page_size: usize,
-    inner: Mutex<Inner>,
+    inner: OrderedMutex<Inner>,
     load_done: Condvar,
     stats: SharedCacheStats,
 }
@@ -185,13 +186,17 @@ impl SharedCache {
         Arc::new(SharedCache {
             store,
             page_size,
-            inner: Mutex::new(Inner {
-                slots,
-                hand: 0,
-                vframes: vec![None; num_vframes],
-                free_vframes: (0..num_vframes).rev().collect(),
-                by_page: HashMap::new(),
-            }),
+            inner: OrderedMutex::new(
+                Rank::SharedPool,
+                "cache.shared",
+                Inner {
+                    slots,
+                    hand: 0,
+                    vframes: vec![None; num_vframes],
+                    free_vframes: (0..num_vframes).rev().collect(),
+                    by_page: HashMap::new(),
+                },
+            ),
             load_done: Condvar::new(),
             stats: SharedCacheStats::default(),
         })
@@ -290,7 +295,7 @@ impl SharedCache {
                     }
                     SlotState::Loading(p) => {
                         debug_assert_eq!(p, page);
-                        self.load_done.wait(&mut inner);
+                        self.load_done.wait(inner.raw());
                         continue; // re-evaluate from scratch
                     }
                     SlotState::Empty => unreachable!("slot mapped but empty"),

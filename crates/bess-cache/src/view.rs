@@ -21,7 +21,7 @@ use bess_vm::{
     Access, AddressSpace, Fault, FaultHandler, FaultOutcome, FrameState, PageStore, Protect,
     VAddr, VRange,
 };
-use parking_lot::Mutex;
+use bess_lock::order::{OrderedMutex, Rank};
 
 use crate::page::{DbPage, PageIo};
 use crate::shared::{CacheError, GetOutcome, SharedCache};
@@ -82,7 +82,7 @@ pub struct SharedView {
     io: Arc<dyn PageIo>,
     base: VRange,
     /// vframe -> slot currently mapped by *this* process.
-    mapped: Mutex<std::collections::HashMap<usize, usize>>,
+    mapped: OrderedMutex<std::collections::HashMap<usize, usize>>,
     hand: AtomicUsize,
     stats: ViewStats,
 }
@@ -120,7 +120,7 @@ impl SharedView {
             cache,
             io,
             base,
-            mapped: Mutex::new(std::collections::HashMap::new()),
+            mapped: OrderedMutex::new(Rank::ViewMap, "view.mapped", std::collections::HashMap::new()),
             hand: AtomicUsize::new(0),
             stats: ViewStats::default(),
         });

@@ -164,6 +164,7 @@ impl ShmSession {
                     .expect("diff exists");
                 updates.push(PageUpdate {
                     page,
+                    // LINT: allow(cast) — `first` indexes into one page, far below u32::MAX.
                     offset: first as u32,
                     before: before[first..=last].to_vec(),
                     after: current[first..=last].to_vec(),

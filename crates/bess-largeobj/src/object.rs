@@ -86,6 +86,7 @@ impl LoConfig {
     /// large enough that an object of `hint_bytes` needs only a handful of
     /// segments.
     pub fn with_size_hint(hint_bytes: u64, page_size: usize) -> Self {
+        // LINT: allow(cast) — clamped to 1..=64 on the line itself.
         let pages = hint_bytes.div_ceil(page_size as u64).clamp(1, 64) as u32;
         LoConfig {
             initial_leaf_pages: pages.next_power_of_two().min(64),

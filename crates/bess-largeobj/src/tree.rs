@@ -45,7 +45,8 @@ impl Ctx<'_> {
     /// Allocates a leaf big enough for `bytes` (used for split tails).
     fn alloc_exact(&mut self, bytes: u64) -> StorageResult<Leaf> {
         let page_size = self.space.page_size() as u64;
-        let pages = (bytes.div_ceil(page_size).max(1)) as u32;
+        let pages = u32::try_from(bytes.div_ceil(page_size).max(1))
+            .map_err(|_| bess_storage::StorageError::OutOfSpace)?;
         let seg = self.space.alloc(self.area, pages)?;
         Ok(Leaf {
             seg,

@@ -1,0 +1,13 @@
+// A fixture: bare narrowing casts on page/LSN/offset arithmetic.
+
+pub fn page_of(page: u64) -> u32 {
+    page as u32
+}
+
+pub fn lsn_low(lsn: u64) -> u16 {
+    lsn as u16
+}
+
+pub fn offset_byte(offset: usize) -> u8 {
+    offset as u8
+}

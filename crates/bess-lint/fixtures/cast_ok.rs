@@ -1,0 +1,19 @@
+// A fixture: checked conversions, annotated casts, and widening casts
+// all pass, as does a narrowing cast on unrelated arithmetic.
+
+pub fn page_of(page: u64) -> Option<u32> {
+    u32::try_from(page).ok()
+}
+
+pub fn order_bits(pages: u32) -> u8 {
+    // LINT: allow(cast) — leading_zeros of a u32 is at most 32.
+    (32 - pages.leading_zeros()) as u8
+}
+
+pub fn widen(page: u32) -> u64 {
+    page as u64
+}
+
+pub fn unrelated(color: u64) -> u32 {
+    color as u32
+}

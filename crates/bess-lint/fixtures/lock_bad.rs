@@ -1,0 +1,24 @@
+// A fixture: acquiring `a` (rank 10) while `b` (rank 20) is held inverts
+// the declared hierarchy and must be flagged; so must re-acquiring an
+// equal rank.
+
+pub struct S {
+    a: std::sync::Mutex<u32>,
+    b: std::sync::Mutex<u32>,
+}
+
+impl S {
+    pub fn inverted(&self) {
+        let b = self.b.lock();
+        let a = self.a.lock();
+        drop(a);
+        drop(b);
+    }
+
+    pub fn fine_after_drop(&self) {
+        let b = self.b.lock();
+        drop(b);
+        let a = self.a.lock();
+        drop(a);
+    }
+}

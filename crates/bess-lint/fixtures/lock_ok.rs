@@ -1,0 +1,29 @@
+// A fixture: ascending acquisitions pass, including a method-call
+// receiver and a guard released by `drop` before a lower rank is taken.
+
+pub struct S {
+    a: std::sync::Mutex<u32>,
+    b: std::sync::Mutex<u32>,
+}
+
+impl S {
+    fn a(&self) -> &std::sync::Mutex<u32> {
+        &self.a
+    }
+
+    pub fn ascending(&self) {
+        let a = self.a().lock();
+        let b = self.b.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn resequenced(&self) {
+        let b = self.b.lock();
+        drop(b);
+        let a = self.a.lock();
+        let b = self.b.lock();
+        drop(b);
+        drop(a);
+    }
+}

@@ -1,0 +1,18 @@
+// A fixture: unannotated panic sites in non-test code.
+
+pub fn f(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn g(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn h() {
+    panic!("boom");
+}
+
+// An annotation without a reason is itself a violation.
+pub fn i(v: Option<u32>) -> u32 {
+    v.unwrap() // LINT: allow(panic)
+}

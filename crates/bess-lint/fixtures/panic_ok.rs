@@ -1,0 +1,15 @@
+// A fixture: annotated panic sites and test-module panics pass.
+
+pub fn f(v: Option<u32>) -> u32 {
+    // LINT: allow(panic) — v is produced by f's caller and always Some.
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,5 @@
+// A fixture: `unsafe` with no SAFETY comment must be flagged.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

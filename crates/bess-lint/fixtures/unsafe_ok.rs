@@ -1,0 +1,6 @@
+// A fixture: a properly documented unsafe block passes.
+
+pub fn peek(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads and aligned.
+    unsafe { *p }
+}

@@ -1,0 +1,230 @@
+//! Hand-rolled parsers for the two lint data files.
+//!
+//! Both `lock_order.toml` and `lint_baseline.toml` use a deliberately tiny
+//! TOML subset — `[section]`, `[[array-of-tables]]`, and `key = value`
+//! lines where a value is either an integer or a double-quoted string —
+//! so the lint stays dependency-free.
+
+/// One declared lock site: the mutex/rwlock field `recv` in `file` holds
+/// hierarchy rank `rank`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockDecl {
+    /// Workspace-relative path (forward slashes) of the file.
+    pub file: String,
+    /// Receiver name as it appears before `.lock()` / `.read()` / `.write()`.
+    pub recv: String,
+    /// Rank from the `[ranks]` table.
+    pub rank: u16,
+}
+
+/// Parsed contents of `lock_order.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct LockOrder {
+    /// The declared hierarchy: `Rank` variant name -> numeric rank.
+    pub ranks: Vec<(String, u16)>,
+    /// All declared lock sites.
+    pub locks: Vec<LockDecl>,
+}
+
+impl LockOrder {
+    /// Numeric rank for a variant name, if declared.
+    pub fn rank_value(&self, name: &str) -> Option<u16> {
+        self.ranks.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+enum Section {
+    None,
+    Ranks,
+    Lock,
+}
+
+/// Parses `lock_order.toml`.
+pub fn parse_lock_order(text: &str) -> Result<LockOrder, String> {
+    let mut out = LockOrder::default();
+    let mut section = Section::None;
+    // The [[lock]] entry currently being filled.
+    let mut cur: Option<(Option<String>, Option<String>, Option<u16>)> = None;
+
+    let finish = |cur: &mut Option<(Option<String>, Option<String>, Option<u16>)>,
+                      locks: &mut Vec<LockDecl>|
+     -> Result<(), String> {
+        if let Some((file, recv, rank)) = cur.take() {
+            match (file, recv, rank) {
+                (Some(file), Some(recv), Some(rank)) => {
+                    locks.push(LockDecl { file, recv, rank });
+                    Ok(())
+                }
+                _ => Err("[[lock]] entry missing file, recv, or rank".into()),
+            }
+        } else {
+            Ok(())
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("lock_order.toml:{}: {}", idx + 1, msg);
+        if line == "[[lock]]" {
+            finish(&mut cur, &mut out.locks).map_err(|e| err(&e))?;
+            section = Section::Lock;
+            cur = Some((None, None, None));
+            continue;
+        }
+        if line == "[ranks]" {
+            finish(&mut cur, &mut out.locks).map_err(|e| err(&e))?;
+            section = Section::Ranks;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err("unknown section"));
+        }
+        let (key, value) = split_kv(line).ok_or_else(|| err("expected `key = value`"))?;
+        match section {
+            Section::None => return Err(err("key outside a section")),
+            Section::Ranks => {
+                let v = parse_int(value).ok_or_else(|| err("rank must be an integer"))?;
+                out.ranks.push((key.to_string(), v));
+            }
+            Section::Lock => {
+                let entry = cur.as_mut().ok_or_else(|| err("key outside [[lock]]"))?;
+                match key {
+                    "file" => {
+                        entry.0 =
+                            Some(parse_str(value).ok_or_else(|| err("file must be a string"))?)
+                    }
+                    "recv" => {
+                        entry.1 =
+                            Some(parse_str(value).ok_or_else(|| err("recv must be a string"))?)
+                    }
+                    "rank" => {
+                        entry.2 = Some(parse_int(value).ok_or_else(|| err("rank must be an integer"))?)
+                    }
+                    other => return Err(err(&format!("unknown [[lock]] key `{other}`"))),
+                }
+            }
+        }
+    }
+    finish(&mut cur, &mut out.locks)?;
+    if out.ranks.is_empty() {
+        return Err("lock_order.toml declares no [ranks]".into());
+    }
+    Ok(out)
+}
+
+/// Parses `lint_baseline.toml` (section `[panics]`, lines `"file" = count`).
+/// A missing file is represented by the caller as an empty baseline.
+pub fn parse_baseline(text: &str) -> Result<Vec<(String, usize)>, String> {
+    let mut out = Vec::new();
+    let mut in_panics = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("lint_baseline.toml:{}: {}", idx + 1, msg);
+        if line == "[panics]" {
+            in_panics = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err("unknown section"));
+        }
+        if !in_panics {
+            return Err(err("key outside [panics]"));
+        }
+        let (key, value) = split_kv(line).ok_or_else(|| err("expected `\"file\" = count`"))?;
+        let file = parse_str(key).ok_or_else(|| err("file key must be quoted"))?;
+        let count = parse_int(value).ok_or_else(|| err("count must be an integer"))? as usize;
+        out.push((file, count));
+    }
+    Ok(out)
+}
+
+/// Renders the baseline file, sorted by path for stable diffs.
+pub fn render_baseline(entries: &[(String, usize)]) -> String {
+    let mut sorted: Vec<&(String, usize)> = entries.iter().filter(|(_, c)| *c > 0).collect();
+    sorted.sort();
+    let mut out = String::from(
+        "# Grandfathered panic/unwrap/expect sites per file, maintained by\n\
+         # `cargo run -p bess-lint -- --update-baseline`. Counts may only go\n\
+         # down: new panic sites need a `// LINT: allow(panic) — reason`\n\
+         # annotation or a typed error instead.\n\n[panics]\n",
+    );
+    for (file, count) in sorted {
+        out.push_str(&format!("\"{file}\" = {count}\n"));
+    }
+    out
+}
+
+/// Drops a trailing `#` comment (quote-aware).
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_kv(line: &str) -> Option<(&str, &str)> {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '=' if !in_str => return Some((line[..i].trim(), line[i + 1..].trim())),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_int(v: &str) -> Option<u16> {
+    v.trim().parse().ok()
+}
+
+fn parse_str(v: &str) -> Option<String> {
+    let v = v.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Some(v[1..v.len() - 1].to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_lock_order() {
+        let cfg = parse_lock_order(
+            "# hierarchy\n[ranks]\nA = 10\nB = 20\n\n[[lock]]\nfile = \"src/a.rs\"\nrecv = \"inner\"\nrank = 10\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.ranks, vec![("A".into(), 10), ("B".into(), 20)]);
+        assert_eq!(cfg.locks.len(), 1);
+        assert_eq!(cfg.locks[0].recv, "inner");
+        assert_eq!(cfg.rank_value("B"), Some(20));
+    }
+
+    #[test]
+    fn rejects_incomplete_lock_entry() {
+        let err = parse_lock_order("[ranks]\nA = 1\n[[lock]]\nfile = \"x\"\n").unwrap_err();
+        assert!(err.contains("missing"));
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let entries = vec![("src/b.rs".to_string(), 2), ("src/a.rs".to_string(), 1)];
+        let text = render_baseline(&entries);
+        let back = parse_baseline(&text).unwrap();
+        assert_eq!(back, vec![("src/a.rs".into(), 1), ("src/b.rs".into(), 2)]);
+    }
+}

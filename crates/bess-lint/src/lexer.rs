@@ -1,0 +1,238 @@
+//! Comment- and literal-aware masking of Rust source.
+//!
+//! The lint rules are plain substring scans, so they must never see a
+//! `panic!` inside a doc comment or a `".lock()"` inside a string literal.
+//! [`mask`] produces a copy of the source in which comment bodies and
+//! string/char literal contents are blanked out with spaces while newlines
+//! are preserved, so every byte offset in the masked text is on the same
+//! line as in the original. Comments are collected separately (with their
+//! starting line) so annotation rules (`// SAFETY:`, `// LINT: allow(...)`)
+//! can still read them.
+
+/// A comment extracted from the source.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Full comment text, including the `//` or `/* */` introducer.
+    pub text: String,
+}
+
+/// The result of masking one source file.
+#[derive(Debug)]
+pub struct Masked {
+    /// Source with comments and literal contents replaced by spaces.
+    pub text: String,
+    /// All comments, in order of appearance.
+    pub comments: Vec<Comment>,
+}
+
+/// Blanks out comments and literal contents, preserving line structure.
+pub fn mask(src: &str) -> Masked {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(src.len());
+    let mut comments = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+
+    // Emits one masked character, keeping newlines so lines stay aligned.
+    macro_rules! blank {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+                out.push('\n');
+            } else {
+                out.push(' ');
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start_line = line;
+            let mut text = String::new();
+            while i < n && b[i] != '\n' {
+                text.push(b[i]);
+                out.push(' ');
+                i += 1;
+            }
+            comments.push(Comment { line: start_line, text });
+            continue;
+        }
+
+        // Block comment (nestable).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth = depth.saturating_sub(1);
+                    text.push_str("*/");
+                    out.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(b[i]);
+                    blank!(b[i]);
+                    i += 1;
+                }
+            }
+            comments.push(Comment { line: start_line, text });
+            continue;
+        }
+
+        // Raw string: r"..." / r#"..."# (optionally with a leading b).
+        if (c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r'))
+            && (i == 0 || !is_ident(b[i - 1]))
+        {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                // Emit the introducer as-is (it contains no newlines).
+                out.extend(&b[i..=j]);
+                i = j + 1;
+                // Consume until `"` followed by `hashes` hashes.
+                while i < n {
+                    if b[i] == '"' {
+                        let mut k = i + 1;
+                        let mut seen = 0usize;
+                        while k < n && seen < hashes && b[k] == '#' {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            out.push('"');
+                            for _ in 0..hashes {
+                                out.push('#');
+                            }
+                            i = k;
+                            break;
+                        }
+                    }
+                    blank!(b[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            // Not actually a raw string; fall through as a normal char.
+        }
+
+        // Plain (or byte) string literal. A leading `b` passes through the
+        // normal-character path and this branch handles the quote.
+        if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    blank!(b[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                }
+                blank!(b[i]);
+                i += 1;
+            }
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && b[i + 1] == '\\' {
+                // Escaped char literal: consume through the closing quote.
+                out.push('\'');
+                i += 1;
+                while i < n && b[i] != '\'' {
+                    blank!(b[i]);
+                    i += 1;
+                }
+                if i < n {
+                    out.push('\'');
+                    i += 1;
+                }
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == '\'' {
+                // Simple char literal like 'x'.
+                out.push('\'');
+                blank!(b[i + 1]);
+                out.push('\'');
+                i += 3;
+                continue;
+            }
+            // Lifetime: keep the tick, continue normally.
+            out.push('\'');
+            i += 1;
+            continue;
+        }
+
+        if c == '\n' {
+            line += 1;
+        }
+        out.push(c);
+        i += 1;
+    }
+
+    Masked { text: out, comments }
+}
+
+/// Whether `c` can be part of an identifier.
+pub fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let a = \"panic!\"; // unsafe note\nlet b = 1;\n";
+        let m = mask(src);
+        assert!(!m.text.contains("panic!"));
+        assert!(!m.text.contains("unsafe"));
+        assert!(m.text.contains("let b = 1;"));
+        assert_eq!(m.comments.len(), 1);
+        assert_eq!(m.comments[0].line, 1);
+        assert!(m.comments[0].text.contains("unsafe note"));
+    }
+
+    #[test]
+    fn preserves_line_numbers() {
+        let src = "/* multi\nline\ncomment */\nfn f() {}\n";
+        let m = mask(src);
+        let lines: Vec<&str> = m.text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].contains("fn f()"));
+        assert_eq!(m.comments[0].line, 1);
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let s = r#\"unsafe \" here\"#; let c = 'x'; let lt: &'a str = s;\n";
+        let m = mask(src);
+        assert!(!m.text.contains("unsafe"));
+        assert!(m.text.contains("let c ="));
+        assert!(m.text.contains("&'a str"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline static-analysis checks for the BeSS workspace.
+//!
+//! `cargo run -p bess-lint` walks every `.rs` file under `crates/` and
+//! enforces four invariants (see [`rules`]): SAFETY comments on `unsafe`,
+//! a shrinking baseline of panic sites, the declared lock-acquisition
+//! hierarchy of `lock_order.toml`, and no bare narrowing casts on
+//! page/LSN/offset arithmetic. It is pure `std` — no proc macros, no
+//! syn — so it runs offline and builds in well under a second.
+//!
+//! The static lock-order rule is the compile-time half of a pair: the
+//! `cfg(debug_assertions)` runtime validator in `bess_lock::order` catches
+//! whatever a linear intra-function scan cannot (guards held across
+//! `if let` temporaries, cross-function nesting).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One finding, printed as `file:line: [rule] message`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Short rule identifier.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// The outcome of a whole-tree lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// All findings, sorted by file then line.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Total unannotated panic sites in non-test code (baseline or not).
+    pub panic_total: usize,
+}
+
+/// Name of the lock-hierarchy declaration file at the workspace root.
+pub const LOCK_ORDER_FILE: &str = "lock_order.toml";
+/// Name of the grandfathered-panic baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "lint_baseline.toml";
+
+/// Lints the workspace rooted at `root`. With `update_baseline`, rewrites
+/// the panic baseline to the current counts instead of reporting overages.
+pub fn lint_workspace(root: &Path, update_baseline: bool) -> Result<LintReport, String> {
+    let cfg_path = root.join(LOCK_ORDER_FILE);
+    let cfg_text = fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("cannot read {}: {e}", cfg_path.display()))?;
+    let cfg = config::parse_lock_order(&cfg_text)?;
+
+    let baseline = match fs::read_to_string(root.join(BASELINE_FILE)) {
+        Ok(text) => config::parse_baseline(&text)?,
+        Err(_) => Vec::new(),
+    };
+    let baseline_for = |file: &str| {
+        baseline
+            .iter()
+            .find(|(f, _)| f == file)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files)?;
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut panic_counts: Vec<(String, usize)> = Vec::new();
+    let mut panic_total = 0usize;
+    let mut seen_order_rs = false;
+    let mut scanned_rel: Vec<String> = Vec::new();
+
+    for path in &files {
+        let rel = rel_path(root, path);
+        let source = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let masked = lexer::mask(&source);
+        let ctx = rules::FileCtx::new(&rel, &masked);
+
+        violations.extend(rules::check_unsafe(&ctx));
+        violations.extend(rules::check_lock_order(&ctx, &cfg));
+
+        if !is_test_context(&rel) {
+            let (sites, annotation_violations) = rules::panic_sites(&ctx);
+            violations.extend(annotation_violations);
+            violations.extend(rules::check_casts(&ctx));
+            panic_total += sites.len();
+            if !sites.is_empty() {
+                let allowed = baseline_for(&rel);
+                if sites.len() > allowed && !update_baseline {
+                    let first = &sites[0];
+                    violations.push(Violation {
+                        file: rel.clone(),
+                        line: first.line,
+                        rule: "panic",
+                        message: format!(
+                            "{} unannotated panic/unwrap/expect sites (baseline allows {}); \
+                             first is a {} on this line — convert to a typed error or \
+                             annotate `// LINT: allow(panic) — reason`",
+                            sites.len(),
+                            allowed,
+                            first.what
+                        ),
+                    });
+                }
+                panic_counts.push((rel.clone(), sites.len()));
+            }
+        }
+
+        if rel == "crates/bess-lock/src/order.rs" {
+            seen_order_rs = true;
+            violations.extend(rules::check_rank_sync(&ctx, &cfg));
+        }
+        scanned_rel.push(rel);
+    }
+
+    if !seen_order_rs {
+        violations.push(Violation {
+            file: "crates/bess-lock/src/order.rs".into(),
+            line: 1,
+            rule: "rank-sync",
+            message: "expected the Rank enum definition here; file not found".into(),
+        });
+    }
+    for decl in &cfg.locks {
+        if !scanned_rel.iter().any(|f| f == &decl.file) {
+            violations.push(Violation {
+                file: LOCK_ORDER_FILE.into(),
+                line: 1,
+                rule: "lock-order",
+                message: format!(
+                    "[[lock]] entry for {}:{} points at a file that was not scanned",
+                    decl.file, decl.recv
+                ),
+            });
+        }
+    }
+
+    if update_baseline {
+        let rendered = config::render_baseline(&panic_counts);
+        fs::write(root.join(BASELINE_FILE), rendered)
+            .map_err(|e| format!("cannot write {BASELINE_FILE}: {e}"))?;
+    }
+
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(LintReport { violations, files_scanned: files.len(), panic_total })
+}
+
+/// Crates whose non-test code is still exempt from the panic/cast rules:
+/// test harnesses and benchmarks.
+fn is_test_context(rel: &str) -> bool {
+    rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.starts_with("crates/bess-bench/")
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Recursively collects `.rs` files, skipping build output and the lint's
+/// own intentionally-bad fixtures.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("cannot read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("readdir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

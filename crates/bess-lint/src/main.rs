@@ -1,0 +1,55 @@
+//! CLI entry point: `cargo run -p bess-lint [-- --update-baseline] [root]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut update_baseline = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--update-baseline" => update_baseline = true,
+            "--help" | "-h" => {
+                println!("usage: bess-lint [--update-baseline] [workspace-root]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        // Prefer the current directory when it looks like the workspace
+        // root (the normal `cargo run -p bess-lint` case); fall back to
+        // the compile-time manifest location.
+        let cwd = PathBuf::from(".");
+        if cwd.join(bess_lint::LOCK_ORDER_FILE).exists() {
+            cwd
+        } else {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        }
+    });
+
+    match bess_lint::lint_workspace(&root, update_baseline) {
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            println!(
+                "bess-lint: {} file(s) scanned, {} violation(s), {} grandfathered panic site(s)",
+                report.files_scanned,
+                report.violations.len(),
+                report.panic_total
+            );
+            if report.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("bess-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

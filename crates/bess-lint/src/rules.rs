@@ -1,0 +1,590 @@
+//! The four workspace invariants, as substring-level scans over masked
+//! source (see [`crate::lexer`]).
+//!
+//! 1. `unsafe` requires an immediately preceding `// SAFETY:` comment.
+//! 2. `unwrap()` / `expect(` / `panic!` in non-test code must be annotated
+//!    `// LINT: allow(panic) — reason` or stay within the per-file
+//!    grandfather baseline.
+//! 3. Locks declared in `lock_order.toml` must be acquired in strictly
+//!    ascending rank order within each function.
+//! 4. Narrowing `as` casts on page/LSN/offset/extent arithmetic must use
+//!    `try_into`/`try_from` or carry a `// LINT: allow(cast) — reason`.
+
+use std::collections::HashMap;
+
+use crate::config::LockOrder;
+use crate::lexer::{is_ident, Masked};
+use crate::Violation;
+
+/// Per-file context shared by the rules: the masked text plus line lookup
+/// tables built once.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub file: &'a str,
+    /// Masked source (same line structure as the original).
+    pub masked: &'a Masked,
+    /// Byte offset of the start of each line of the masked text.
+    line_starts: Vec<usize>,
+    /// Comment text concatenated per starting line.
+    comments_by_line: HashMap<usize, String>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` items.
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Builds the lookup tables for one masked file.
+    pub fn new(file: &'a str, masked: &'a Masked) -> Self {
+        let mut line_starts = vec![0usize];
+        for (i, b) in masked.text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let mut comments_by_line: HashMap<usize, String> = HashMap::new();
+        for c in &masked.comments {
+            comments_by_line.entry(c.line).or_default().push_str(&c.text);
+        }
+        let test_ranges = test_item_ranges(&masked.text, &line_starts);
+        FileCtx { file, masked, line_starts, comments_by_line, test_ranges }
+    }
+
+    /// 1-based line of a byte offset into the masked text.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    fn in_test_item(&self, line: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// The annotation comment covering `line`: a trailing comment on the
+    /// same line or a comment on the line directly above.
+    fn annotation(&self, line: usize, marker: &str) -> Option<&str> {
+        for l in [line, line.saturating_sub(1)] {
+            if l == 0 {
+                continue;
+            }
+            if let Some(text) = self.comments_by_line.get(&l) {
+                if text.contains(marker) {
+                    return Some(text);
+                }
+            }
+        }
+        None
+    }
+
+    fn violation(&self, offset: usize, rule: &'static str, message: String) -> Violation {
+        Violation { file: self.file.to_string(), line: self.line_of(offset), rule, message }
+    }
+}
+
+/// Line ranges of items guarded by `#[cfg(test)]` (typically `mod tests`).
+fn test_item_ranges(text: &str, line_starts: &[usize]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while let Some(rel) = text[pos..].find("#[cfg(test)]") {
+        let attr = pos + rel;
+        let after = attr + "#[cfg(test)]".len();
+        // The guarded item runs to the matching brace of the first `{`
+        // after the attribute (or to end of line for brace-less items).
+        let (start_line, end_line) = match text[after..].find(['{', ';']) {
+            Some(d) if text.as_bytes()[after + d] == b'{' => {
+                let open = after + d;
+                let close = match_brace(text, open);
+                (line_no(line_starts, attr), line_no(line_starts, close))
+            }
+            _ => (line_no(line_starts, attr), line_no(line_starts, after)),
+        };
+        out.push((start_line, end_line));
+        pos = after;
+    }
+    out
+}
+
+fn line_no(line_starts: &[usize], offset: usize) -> usize {
+    match line_starts.binary_search(&offset) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// Byte offset just past the brace matching the `{` at `open` (masked text,
+/// so literal braces cannot confuse the count).
+fn match_brace(text: &str, open: usize) -> usize {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    bytes.len()
+}
+
+/// Finds the next word-boundary occurrence of `word` at or after `from`.
+fn find_word(text: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut pos = from;
+    while let Some(rel) = text[pos..].find(word) {
+        let at = pos + rel;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1] as char);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end] as char);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        pos = at + word.len();
+    }
+    None
+}
+
+/// Checks that an annotation carries a non-empty reason after the marker,
+/// e.g. `// LINT: allow(panic) — guarded by the assert above`.
+fn annotation_reason_ok(text: &str, marker: &str) -> bool {
+    match text.find(marker) {
+        Some(at) => {
+            let rest = text[at + marker.len()..]
+                .trim_start_matches([' ', '\t', '—', '-', ':', '.']);
+            rest.chars().filter(|c| c.is_alphanumeric()).count() >= 3
+        }
+        None => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: unsafe requires // SAFETY:
+// ---------------------------------------------------------------------------
+
+/// Every `unsafe` keyword must be immediately preceded by a comment block
+/// containing `SAFETY:`. Applies to all code, tests included.
+pub fn check_unsafe(ctx: &FileCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while let Some(at) = find_word(&ctx.masked.text, "unsafe", pos) {
+        pos = at + "unsafe".len();
+        let line = ctx.line_of(at);
+        // Accept SAFETY: on the same line or on the contiguous comment
+        // block directly above.
+        let mut ok = ctx
+            .comments_by_line
+            .get(&line)
+            .map(|t| t.contains("SAFETY:"))
+            .unwrap_or(false);
+        let mut l = line.saturating_sub(1);
+        while !ok && l > 0 {
+            match ctx.comments_by_line.get(&l) {
+                Some(text) => {
+                    if text.contains("SAFETY:") {
+                        ok = true;
+                    }
+                    l -= 1;
+                }
+                None => break,
+            }
+        }
+        if !ok {
+            out.push(ctx.violation(
+                at,
+                "unsafe-comment",
+                "`unsafe` without an immediately preceding `// SAFETY:` comment".into(),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: panic sites
+// ---------------------------------------------------------------------------
+
+/// An unannotated panic site found in non-test code.
+#[derive(Debug)]
+pub struct PanicSite {
+    /// 1-based line.
+    pub line: usize,
+    /// Which construct was found.
+    pub what: &'static str,
+}
+
+/// Finds `unwrap()` / `expect(` / `panic!` sites outside test code.
+/// Sites annotated `// LINT: allow(panic) — reason` are exempt; annotations
+/// without a reason are reported as violations outright.
+pub fn panic_sites(ctx: &FileCtx) -> (Vec<PanicSite>, Vec<Violation>) {
+    let mut sites = Vec::new();
+    let mut violations = Vec::new();
+    let text = &ctx.masked.text;
+    for (token, what, word_boundary) in [
+        (".unwrap()", "unwrap()", false),
+        (".expect(", "expect()", false),
+        ("panic!", "panic!", true),
+    ] {
+        let mut pos = 0;
+        while let Some(rel) = text[pos..].find(token) {
+            let at = pos + rel;
+            pos = at + token.len();
+            if word_boundary {
+                // Skip e.g. `core::panic!` is fine ( `:` is a boundary), but
+                // `debug_panic!` is not this macro.
+                let before = at.checked_sub(1).map(|i| text.as_bytes()[i] as char);
+                if before.map(is_ident).unwrap_or(false) {
+                    continue;
+                }
+            }
+            let line = ctx.line_of(at);
+            if ctx.in_test_item(line) {
+                continue;
+            }
+            match ctx.annotation(line, "LINT: allow(panic)") {
+                Some(comment) => {
+                    if !annotation_reason_ok(comment, "LINT: allow(panic)") {
+                        violations.push(ctx.violation(
+                            at,
+                            "panic",
+                            "`LINT: allow(panic)` annotation is missing a reason".into(),
+                        ));
+                    }
+                }
+                None => sites.push(PanicSite { line, what }),
+            }
+        }
+    }
+    (sites, violations)
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: lock acquisition order
+// ---------------------------------------------------------------------------
+
+/// Checks that, within each function, locks registered in `lock_order.toml`
+/// for this file are acquired in strictly ascending rank order. Guard
+/// bindings (`let g = recv.lock();`) hold their rank until `drop(g)` or the
+/// end of the function; other acquisitions are treated as released at the
+/// end of the statement.
+pub fn check_lock_order(ctx: &FileCtx, cfg: &LockOrder) -> Vec<Violation> {
+    let decls: Vec<_> = cfg.locks.iter().filter(|d| d.file == ctx.file).collect();
+    if decls.is_empty() {
+        return Vec::new();
+    }
+    let rank_of = |recv: &str| decls.iter().find(|d| d.recv == recv).map(|d| d.rank);
+    let text = &ctx.masked.text;
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while let Some(at) = find_word(text, "fn", pos) {
+        let Some(d) = text[at..].find(['{', ';']) else { break };
+        if text.as_bytes()[at + d] == b';' {
+            pos = at + d + 1;
+            continue;
+        }
+        let open = at + d;
+        let close = match_brace(text, open);
+        scan_function(ctx, open, close, &rank_of, &mut out);
+        pos = close;
+    }
+    out
+}
+
+/// One function body: a linear scan tracking held guard bindings.
+fn scan_function(
+    ctx: &FileCtx,
+    open: usize,
+    close: usize,
+    rank_of: &dyn Fn(&str) -> Option<u16>,
+    out: &mut Vec<Violation>,
+) {
+    let text = &ctx.masked.text;
+    // (binding name, rank, receiver, line, brace depth at acquisition)
+    let mut held: Vec<(String, u16, String, usize, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut pos = open;
+    // Counts braces between events so guards bound inside a block are
+    // released when that block closes.
+    let advance = |held: &mut Vec<(String, u16, String, usize, usize)>,
+                       depth: &mut usize,
+                       from: usize,
+                       to: usize| {
+        for b in text[from..to].bytes() {
+            match b {
+                b'{' => *depth += 1,
+                b'}' => {
+                    *depth = depth.saturating_sub(1);
+                    held.retain(|&(.., d)| d <= *depth);
+                }
+                _ => {}
+            }
+        }
+    };
+    while pos < close {
+        let next_lock = [".lock()", ".read()", ".write()"]
+            .iter()
+            .filter_map(|t| text[pos..close].find(t).map(|r| (pos + r, t.len())))
+            .min();
+        let next_drop = find_word(text, "drop", pos).filter(|&at| {
+            at < close && text[at + 4..].trim_start().starts_with('(')
+        });
+        match (next_lock, next_drop) {
+            (Some((lock_at, token_len)), drop_at)
+                if drop_at.map(|d| lock_at < d).unwrap_or(true) =>
+            {
+                advance(&mut held, &mut depth, pos, lock_at);
+                pos = lock_at + token_len;
+                let Some(recv) = receiver_before(text, lock_at) else { continue };
+                let Some(rank) = rank_of(&recv) else { continue };
+                let line = ctx.line_of(lock_at);
+                if let Some(annotation) = ctx.annotation(line, "LINT: allow(lock-order)") {
+                    if annotation_reason_ok(annotation, "LINT: allow(lock-order)") {
+                        continue;
+                    }
+                    out.push(ctx.violation(
+                        lock_at,
+                        "lock-order",
+                        "`LINT: allow(lock-order)` annotation is missing a reason".into(),
+                    ));
+                }
+                for (name, hrank, hrecv, hline, _) in &held {
+                    if *hrank >= rank {
+                        out.push(ctx.violation(
+                            lock_at,
+                            "lock-order",
+                            format!(
+                                "`{recv}` (rank {rank}) acquired while `{hrecv}` \
+                                 (rank {hrank}, bound as `{name}` on line {hline}) is held; \
+                                 ranks must strictly ascend"
+                            ),
+                        ));
+                    }
+                }
+                // A plain `let g = recv.lock();` keeps the guard alive; any
+                // other shape releases it at the end of the statement.
+                if let Some(name) = guard_binding(text, lock_at, pos) {
+                    held.push((name, rank, recv, line, depth));
+                }
+            }
+            (_, Some(drop_at)) => {
+                advance(&mut held, &mut depth, pos, drop_at);
+                let inner = text[drop_at + 4..].trim_start();
+                // drop(name) with a single identifier argument.
+                let arg: String = inner[1..].chars().take_while(|&c| is_ident(c)).collect();
+                if inner[1 + arg.len()..].trim_start().starts_with(')') {
+                    if let Some(i) = held.iter().rposition(|(n, ..)| *n == arg) {
+                        held.remove(i);
+                    }
+                }
+                pos = drop_at + 4;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Walks backwards from the `.` of a `.lock()` call to extract the last
+/// path segment of the receiver: `self.shard(&name).lock()` -> `shard`,
+/// `self.extents.lock()` -> `extents`.
+fn receiver_before(text: &str, dot_at: usize) -> Option<String> {
+    let bytes = text.as_bytes();
+    let mut i = dot_at;
+    // Skip whitespace (the call may be split across lines).
+    while i > 0 && (bytes[i - 1] as char).is_whitespace() {
+        i -= 1;
+    }
+    // Skip one balanced () or [] group (a method call or index).
+    if i > 0 && (bytes[i - 1] == b')' || bytes[i - 1] == b']') {
+        let (open, shut) = if bytes[i - 1] == b')' { (b'(', b')') } else { (b'[', b']') };
+        let mut depth = 0usize;
+        while i > 0 {
+            i -= 1;
+            if bytes[i] == shut {
+                depth += 1;
+            } else if bytes[i] == open {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        while i > 0 && (bytes[i - 1] as char).is_whitespace() {
+            i -= 1;
+        }
+    }
+    let end = i;
+    while i > 0 && is_ident(bytes[i - 1] as char) {
+        i -= 1;
+    }
+    if i == end {
+        return None;
+    }
+    Some(text[i..end].to_string())
+}
+
+/// If the statement containing the lock call is exactly
+/// `let [mut] NAME = <receiver>.lock();`, returns `NAME`.
+fn guard_binding(text: &str, lock_at: usize, after: usize) -> Option<String> {
+    // The guard survives the statement only if the lock call ends it.
+    if !text[after..].trim_start().starts_with(';') {
+        return None;
+    }
+    // Back up to the start of the statement.
+    let stmt_start = text[..lock_at]
+        .rfind([';', '{', '}'])
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let stmt = &text[stmt_start..lock_at];
+    let let_at = find_word(stmt, "let", 0)?;
+    let mut rest = stmt[let_at + 3..].trim_start();
+    if let Some(stripped) = rest.strip_prefix("mut ") {
+        rest = stripped.trim_start();
+    }
+    let name: String = rest.chars().take_while(|&c| is_ident(c)).collect();
+    if name.is_empty() || name == "_" {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: narrowing casts on page/LSN/offset arithmetic
+// ---------------------------------------------------------------------------
+
+const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+const HOT_TOKENS: [&str; 4] = ["page", "lsn", "off", "extent"];
+
+/// Flags bare `as` narrowing casts on lines mentioning page/LSN/offset/
+/// extent quantities. `try_from`/`try_into` or an annotated cast pass.
+pub fn check_casts(ctx: &FileCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let text = &ctx.masked.text;
+    let mut pos = 0;
+    while let Some(at) = find_word(text, "as", pos) {
+        pos = at + 2;
+        let target: String = text[pos..]
+            .trim_start()
+            .chars()
+            .take_while(|&c| is_ident(c))
+            .collect();
+        if !NARROW.contains(&target.as_str()) {
+            continue;
+        }
+        let line = ctx.line_of(at);
+        if ctx.in_test_item(line) {
+            continue;
+        }
+        let line_start = ctx.line_starts[line - 1];
+        let line_end = text[line_start..].find('\n').map(|d| line_start + d).unwrap_or(text.len());
+        let lower = text[line_start..line_end].to_ascii_lowercase();
+        if !HOT_TOKENS.iter().any(|t| lower.contains(t)) {
+            continue;
+        }
+        match ctx.annotation(line, "LINT: allow(cast)") {
+            Some(comment) => {
+                if !annotation_reason_ok(comment, "LINT: allow(cast)") {
+                    out.push(ctx.violation(
+                        at,
+                        "cast",
+                        "`LINT: allow(cast)` annotation is missing a reason".into(),
+                    ));
+                }
+            }
+            None => out.push(ctx.violation(
+                at,
+                "cast",
+                format!(
+                    "bare `as {target}` narrowing cast on page/LSN/offset arithmetic; \
+                     use `try_from`/`try_into`, a typed helper, or annotate \
+                     `// LINT: allow(cast) — reason`"
+                ),
+            )),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rank table sync: lock_order.toml <-> bess-lock's Rank enum
+// ---------------------------------------------------------------------------
+
+/// Parses `pub enum Rank { Name = N, ... }` out of bess-lock's `order.rs`
+/// and cross-checks it against the `[ranks]` table.
+pub fn check_rank_sync(order_rs: &FileCtx, cfg: &LockOrder) -> Vec<Violation> {
+    let text = &order_rs.masked.text;
+    let mut out = Vec::new();
+    let Some(enum_at) = text.find("enum Rank") else {
+        out.push(Violation {
+            file: order_rs.file.to_string(),
+            line: 1,
+            rule: "rank-sync",
+            message: "could not find `enum Rank` in bess-lock/src/order.rs".into(),
+        });
+        return out;
+    };
+    let Some(open_rel) = text[enum_at..].find('{') else {
+        return out;
+    };
+    let open = enum_at + open_rel;
+    let close = match_brace(text, open);
+    let body = &text[open + 1..close];
+
+    let mut enum_ranks: Vec<(String, u16)> = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if let Some((name, value)) = part.rsplit_once('=') {
+            let name = name.trim();
+            if let Ok(v) = value.trim().parse::<u16>() {
+                if !name.is_empty() && name.chars().all(is_ident) {
+                    enum_ranks.push((name.to_string(), v));
+                }
+            }
+        }
+    }
+
+    for (name, value) in &enum_ranks {
+        match cfg.rank_value(name) {
+            None => out.push(Violation {
+                file: "lock_order.toml".into(),
+                line: 1,
+                rule: "rank-sync",
+                message: format!("Rank::{name} (= {value}) is missing from [ranks]"),
+            }),
+            Some(v) if v != *value => out.push(Violation {
+                file: "lock_order.toml".into(),
+                line: 1,
+                rule: "rank-sync",
+                message: format!("[ranks] {name} = {v} but Rank::{name} = {value} in order.rs"),
+            }),
+            _ => {}
+        }
+    }
+    for (name, value) in &cfg.ranks {
+        if !enum_ranks.iter().any(|(n, _)| n == name) {
+            out.push(Violation {
+                file: "lock_order.toml".into(),
+                line: 1,
+                rule: "rank-sync",
+                message: format!("[ranks] declares {name} = {value} but Rank has no such variant"),
+            });
+        }
+    }
+    for decl in &cfg.locks {
+        if !cfg.ranks.iter().any(|(_, v)| *v == decl.rank) {
+            out.push(Violation {
+                file: "lock_order.toml".into(),
+                line: 1,
+                rule: "rank-sync",
+                message: format!(
+                    "[[lock]] {}:{} uses rank {} which is not in [ranks]",
+                    decl.file, decl.recv, decl.rank
+                ),
+            });
+        }
+    }
+    out
+}

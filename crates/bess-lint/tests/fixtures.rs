@@ -1,0 +1,123 @@
+//! The lint engine against the intentionally-bad (and intentionally-good)
+//! fixture files in `fixtures/`. Fixtures live outside `src/` so they are
+//! never compiled and never scanned by the whole-tree walk.
+
+use bess_lint::config::{LockDecl, LockOrder};
+use bess_lint::lexer::mask;
+use bess_lint::rules::{self, FileCtx};
+
+fn toy_lock_config(file: &str) -> LockOrder {
+    LockOrder {
+        ranks: vec![("A".into(), 10), ("B".into(), 20)],
+        locks: vec![
+            LockDecl { file: file.into(), recv: "a".into(), rank: 10 },
+            LockDecl { file: file.into(), recv: "b".into(), rank: 20 },
+        ],
+    }
+}
+
+#[test]
+fn unsafe_without_safety_comment_is_flagged() {
+    let m = mask(include_str!("../fixtures/unsafe_bad.rs"));
+    let ctx = FileCtx::new("fixtures/unsafe_bad.rs", &m);
+    let v = rules::check_unsafe(&ctx);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "unsafe-comment");
+    assert_eq!(v[0].line, 4);
+}
+
+#[test]
+fn unsafe_with_safety_comment_passes() {
+    let m = mask(include_str!("../fixtures/unsafe_ok.rs"));
+    let ctx = FileCtx::new("fixtures/unsafe_ok.rs", &m);
+    assert!(rules::check_unsafe(&ctx).is_empty());
+}
+
+#[test]
+fn panic_sites_are_counted_and_bad_annotations_flagged() {
+    let m = mask(include_str!("../fixtures/panic_bad.rs"));
+    let ctx = FileCtx::new("fixtures/panic_bad.rs", &m);
+    let (sites, violations) = rules::panic_sites(&ctx);
+    // unwrap in f, expect in g, panic! in h; the reason-less annotation in
+    // i exempts the site but is reported as malformed.
+    assert_eq!(sites.len(), 3, "{sites:?}");
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert!(violations[0].message.contains("missing a reason"));
+}
+
+#[test]
+fn annotated_and_test_module_panics_pass() {
+    let m = mask(include_str!("../fixtures/panic_ok.rs"));
+    let ctx = FileCtx::new("fixtures/panic_ok.rs", &m);
+    let (sites, violations) = rules::panic_sites(&ctx);
+    assert!(sites.is_empty(), "{sites:?}");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn lock_inversion_is_flagged() {
+    let m = mask(include_str!("../fixtures/lock_bad.rs"));
+    let ctx = FileCtx::new("fixtures/lock_bad.rs", &m);
+    let cfg = toy_lock_config("fixtures/lock_bad.rs");
+    let v = rules::check_lock_order(&ctx, &cfg);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "lock-order");
+    assert!(v[0].message.contains("rank 10"), "{}", v[0].message);
+    assert!(v[0].message.contains("rank 20"), "{}", v[0].message);
+}
+
+#[test]
+fn ascending_and_drop_resequenced_locks_pass() {
+    let m = mask(include_str!("../fixtures/lock_ok.rs"));
+    let ctx = FileCtx::new("fixtures/lock_ok.rs", &m);
+    let cfg = toy_lock_config("fixtures/lock_ok.rs");
+    let v = rules::check_lock_order(&ctx, &cfg);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn equal_ranks_are_rejected() {
+    let src = "fn f(s: &S) { let a = s.a.lock(); let b = s.b.lock(); }\n";
+    let m = mask(src);
+    let ctx = FileCtx::new("inline.rs", &m);
+    let cfg = LockOrder {
+        ranks: vec![("A".into(), 10)],
+        locks: vec![
+            LockDecl { file: "inline.rs".into(), recv: "a".into(), rank: 10 },
+            LockDecl { file: "inline.rs".into(), recv: "b".into(), rank: 10 },
+        ],
+    };
+    let v = rules::check_lock_order(&ctx, &cfg);
+    assert_eq!(v.len(), 1, "{v:?}");
+}
+
+#[test]
+fn narrowing_casts_on_page_arithmetic_are_flagged() {
+    let m = mask(include_str!("../fixtures/cast_bad.rs"));
+    let ctx = FileCtx::new("fixtures/cast_bad.rs", &m);
+    let v = rules::check_casts(&ctx);
+    assert_eq!(v.len(), 3, "{v:?}");
+    assert!(v.iter().all(|v| v.rule == "cast"));
+}
+
+#[test]
+fn checked_annotated_and_widening_casts_pass() {
+    let m = mask(include_str!("../fixtures/cast_ok.rs"));
+    let ctx = FileCtx::new("fixtures/cast_ok.rs", &m);
+    let v = rules::check_casts(&ctx);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn rank_sync_catches_drift() {
+    let order_rs = "pub enum Rank {\n    Alpha = 10,\n    Beta = 20,\n}\n";
+    let m = mask(order_rs);
+    let ctx = FileCtx::new("crates/bess-lock/src/order.rs", &m);
+    // Beta disagrees, Gamma is stale, Alpha is fine.
+    let cfg = LockOrder {
+        ranks: vec![("Alpha".into(), 10), ("Beta".into(), 21), ("Gamma".into(), 30)],
+        locks: vec![],
+    };
+    let v = rules::check_rank_sync(&ctx, &cfg);
+    assert_eq!(v.len(), 2, "{v:?}");
+}

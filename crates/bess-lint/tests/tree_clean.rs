@@ -1,0 +1,21 @@
+//! The whole workspace must lint clean: this is the same scan CI runs via
+//! `cargo run -p bess-lint`, pointed at the checkout this test compiled
+//! from.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = match bess_lint::lint_workspace(&root, false) {
+        Ok(r) => r,
+        Err(e) => panic!("lint configuration error: {e}"),
+    };
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(
+        report.violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+}

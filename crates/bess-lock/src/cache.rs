@@ -16,10 +16,9 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
-
 use crate::mode::LockMode;
 use crate::name::{LockName, TxnId};
+use crate::order::{OrderedMutex, Rank};
 
 /// Outcome of a local lock probe against the cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,7 +99,7 @@ pub struct CacheStatsSnapshot {
 
 /// The per-client cache of locks granted by servers.
 pub struct LockCache {
-    locks: Mutex<HashMap<LockName, CachedLock>>,
+    locks: OrderedMutex<HashMap<LockName, CachedLock>>,
     stats: CacheStats,
 }
 
@@ -108,7 +107,7 @@ impl LockCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         LockCache {
-            locks: Mutex::new(HashMap::new()),
+            locks: OrderedMutex::new(Rank::LockCache, "lock.cache", HashMap::new()),
             stats: CacheStats::default(),
         }
     }

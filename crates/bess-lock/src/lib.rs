@@ -29,8 +29,10 @@ mod cache;
 mod manager;
 mod mode;
 mod name;
+pub mod order;
 
 pub use cache::{CacheDecision, CacheStats, CacheStatsSnapshot, CallbackResponse, LockCache};
+pub use order::{OrderedMutex, OrderedRwLock, Rank};
 pub use manager::{DeadlockPolicy, LockError, LockManager, LockResult, LockStats, LockStatsSnapshot};
 pub use mode::LockMode;
 pub use name::{LockName, TxnId};

@@ -12,10 +12,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Condvar;
 
 use crate::mode::LockMode;
 use crate::name::{LockName, TxnId};
+use crate::order::{OrderedMutex, Rank};
 
 /// How deadlocks are resolved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,7 +99,7 @@ struct Waiter {
     txn: TxnId,
     mode: LockMode,
     upgrade: bool,
-    state: Mutex<WaitState>,
+    state: OrderedMutex<WaitState>,
     cond: Condvar,
 }
 
@@ -122,7 +123,9 @@ impl LockEntry {
             if !self.can_grant(front.txn, front.mode) {
                 break;
             }
-            let w = self.queue.pop_front().expect("front exists");
+            let Some(w) = self.queue.pop_front() else {
+                break;
+            };
             if w.upgrade {
                 if let Some(slot) = self.granted.iter_mut().find(|(t, _)| *t == w.txn) {
                     slot.1 = w.mode;
@@ -201,11 +204,11 @@ const SHARDS: usize = 16;
 /// Thread-safe; one instance per server (and per node server, which locks
 /// on behalf of its local applications, §3).
 pub struct LockManager {
-    shards: Vec<Mutex<HashMap<LockName, LockEntry>>>,
-    held: Mutex<HashMap<TxnId, HashSet<LockName>>>,
+    shards: Vec<OrderedMutex<HashMap<LockName, LockEntry>>>,
+    held: OrderedMutex<HashMap<TxnId, HashSet<LockName>>>,
     /// Waits-for edges (waiter -> blockers), maintained only under
     /// [`DeadlockPolicy::Detect`].
-    waits: Mutex<HashMap<TxnId, HashSet<TxnId>>>,
+    waits: OrderedMutex<HashMap<TxnId, HashSet<TxnId>>>,
     policy: DeadlockPolicy,
     default_timeout: Duration,
     stats: LockStats,
@@ -221,9 +224,11 @@ impl LockManager {
     /// Creates a manager with an explicit deadlock policy.
     pub fn with_policy(default_timeout: Duration, policy: DeadlockPolicy) -> Self {
         LockManager {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            held: Mutex::new(HashMap::new()),
-            waits: Mutex::new(HashMap::new()),
+            shards: (0..SHARDS)
+                .map(|_| OrderedMutex::new(Rank::LockManagerShard, "lock.shard", HashMap::new()))
+                .collect(),
+            held: OrderedMutex::new(Rank::LockManagerHeld, "lock.held", HashMap::new()),
+            waits: OrderedMutex::new(Rank::LockManagerWaits, "lock.waits", HashMap::new()),
             policy,
             default_timeout,
             stats: LockStats::default(),
@@ -258,7 +263,7 @@ impl LockManager {
         &self.stats
     }
 
-    fn shard(&self, name: &LockName) -> &Mutex<HashMap<LockName, LockEntry>> {
+    fn shard(&self, name: &LockName) -> &OrderedMutex<HashMap<LockName, LockEntry>> {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         name.hash(&mut h);
@@ -327,7 +332,7 @@ impl LockManager {
                     txn,
                     mode: needed,
                     upgrade: true,
-                    state: Mutex::new(WaitState::Waiting),
+                    state: OrderedMutex::new(Rank::LockWaiter, "lock.waiter", WaitState::Waiting),
                     cond: Condvar::new(),
                 });
                 // Upgrades go to the front so a waiting reader cannot block
@@ -346,7 +351,7 @@ impl LockManager {
                     txn,
                     mode,
                     upgrade: false,
-                    state: Mutex::new(WaitState::Waiting),
+                    state: OrderedMutex::new(Rank::LockWaiter, "lock.waiter", WaitState::Waiting),
                     cond: Condvar::new(),
                 });
                 entry.queue.push_back(Arc::clone(&w));
@@ -364,7 +369,7 @@ impl LockManager {
                 self.record_held(txn, name);
                 return Ok(());
             }
-            if waiter.cond.wait_until(&mut state, deadline).timed_out() {
+            if waiter.cond.wait_until(state.raw(), deadline).timed_out() {
                 if matches!(*state, WaitState::Granted) {
                     drop(state);
                     self.waits.lock().remove(&txn);
@@ -533,6 +538,7 @@ impl std::fmt::Debug for LockManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::sync::Arc;
     use std::thread;
 

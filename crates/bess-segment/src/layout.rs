@@ -402,6 +402,7 @@ impl<'a> SlottedView<'a> {
             self.space
                 .write_unchecked(base.add(i as u64 * REF_ENTRY_SIZE), &b)?;
         }
+        // LINT: allow(cast) — the reference table is bounded by ref_cap, a u32.
         self.wr_u32(OFF_REF_COUNT, entries.len() as u32)
     }
 }
@@ -411,6 +412,7 @@ impl<'a> SlottedView<'a> {
 pub fn slotted_pages(slot_cap: u32, ref_cap: u32, page_size: usize) -> u32 {
     let bytes =
         HDR_SIZE + u64::from(slot_cap) * SLOT_SIZE + u64::from(ref_cap) * REF_ENTRY_SIZE;
+    // LINT: allow(cast) — slot/ref capacities are u32, so the page count fits.
     bytes.div_ceil(page_size as u64) as u32
 }
 

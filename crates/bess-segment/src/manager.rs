@@ -548,6 +548,7 @@ impl SegmentManager {
                     // its pages fetch on demand (§2.1 large objects).
                     let disk = DiskPtr {
                         area: bess_storage::AreaId((slot.aux0 & 0xFFFF_FFFF) as u32),
+                        // LINT: allow(cast) — `aux0 >> 32` leaves exactly the upper 32 bits.
                         pages: (slot.aux0 >> 32) as u32,
                         start_page: slot.aux1,
                     };
@@ -1251,6 +1252,7 @@ impl SegmentManager {
         if slot.kind == SlotKind::BigFixed {
             let disk = DiskPtr {
                 area: bess_storage::AreaId((slot.aux0 & 0xFFFF_FFFF) as u32),
+                // LINT: allow(cast) — `aux0 >> 32` leaves exactly the upper 32 bits.
                 pages: (slot.aux0 >> 32) as u32,
                 start_page: slot.aux1,
             };
@@ -1456,6 +1458,7 @@ impl SegmentManager {
             )));
         }
         let rt = self.ensure_slotted_loaded(seg)?;
+        // LINT: allow(cast) — `size <= MAX_BIG` was checked above, so the page count fits.
         let pages = u64::from(size).div_ceil(self.psz()).max(1) as u32;
         let disk = self.disk.alloc(seg.area, pages)?;
         let handler: Arc<dyn FaultHandler> = Arc::new(BigFixedHandler {
@@ -1579,6 +1582,7 @@ impl SegmentManager {
             .map(|p| u64::from(p.pages) * self.psz())
             .unwrap_or(0);
         if used + need > cap {
+            // LINT: allow(cast) — overflow tables are a few pages; doubling stays far below u32::MAX.
             let new_pages = ((cap * 2).max(used + need).div_ceil(self.psz())).max(1) as u32;
             let new_ovf = self.disk.alloc(rt.id.area, new_pages)?;
             if let Some(old) = ovf {

@@ -120,6 +120,7 @@ impl TypeRegistry {
             out.extend_from_slice(&(d.name.len() as u32).to_le_bytes());
             out.extend_from_slice(d.name.as_bytes());
             out.extend_from_slice(&d.size.to_le_bytes());
+            // LINT: allow(cast) — the wire format stores the count as u32; offsets per descriptor are bounded by segment capacity.
             out.extend_from_slice(&(d.ref_offsets.len() as u32).to_le_bytes());
             for off in &d.ref_offsets {
                 out.extend_from_slice(&off.to_le_bytes());

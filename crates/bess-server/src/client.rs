@@ -691,6 +691,7 @@ impl DiskSpace for RemoteSpace {
                 Msg::ReadAt {
                     area,
                     page,
+                    // LINT: allow(cast) — `offset` lies within one page, far below u32::MAX.
                     offset: offset as u32,
                     len: buf.len() as u32,
                 },
@@ -718,6 +719,7 @@ impl DiskSpace for RemoteSpace {
                 Msg::WriteAt {
                     area,
                     page,
+                    // LINT: allow(cast) — `offset` lies within one page, far below u32::MAX.
                     offset: offset as u32,
                     data: data.to_vec(),
                 },

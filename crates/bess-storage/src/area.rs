@@ -24,7 +24,7 @@ use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use bess_lock::order::{OrderedMutex, OrderedRwLock, Rank};
 
 use crate::buddy::BuddyExtent;
 use crate::error::{StorageError, StorageResult};
@@ -75,9 +75,20 @@ impl AreaConfig {
 }
 
 enum Backend {
-    Mem(RwLock<Vec<u8>>),
+    Mem(OrderedRwLock<Vec<u8>>),
     File(File),
     Faulty(Arc<FaultDisk>),
+}
+
+/// Little-endian `u32` from the first four bytes of `b`. Shorter input is
+/// zero-extended so header parsing never panics on truncated pages — the
+/// magic/length checks reject such pages with a typed error instead.
+fn le_u32(b: &[u8]) -> u32 {
+    let mut raw = [0u8; 4];
+    for (dst, src) in raw.iter_mut().zip(b) {
+        *dst = *src;
+    }
+    u32::from_le_bytes(raw)
 }
 
 /// Fills `buf` from a positioned reader, retrying interrupted reads and
@@ -189,14 +200,18 @@ pub struct StorageArea {
     id: AreaId,
     config: AreaConfig,
     backend: Backend,
-    extents: Mutex<Vec<BuddyExtent>>,
+    extents: OrderedMutex<Vec<BuddyExtent>>,
     stats: IoStats,
 }
 
 impl StorageArea {
     /// Creates a new in-memory area (used for tests and volatile caches).
     pub fn create_mem(id: AreaId, config: AreaConfig) -> StorageResult<Self> {
-        let backend = Backend::Mem(RwLock::new(Vec::new()));
+        let backend = Backend::Mem(OrderedRwLock::new(
+            Rank::AreaBackendMem,
+            "area.backend.mem",
+            Vec::new(),
+        ));
         Self::initialise(id, config, backend)
     }
 
@@ -226,7 +241,7 @@ impl StorageArea {
             id,
             config,
             backend,
-            extents: Mutex::new(Vec::new()),
+            extents: OrderedMutex::new(Rank::AreaExtents, "area.extents", Vec::new()),
             stats: IoStats::default(),
         };
         // Room for header + initial extents.
@@ -262,17 +277,17 @@ impl StorageArea {
         // Read enough of the header to learn the page size.
         let mut head = [0u8; 24];
         backend.read_at(&mut head, 0)?;
-        let magic = u32::from_le_bytes(head[0..4].try_into().unwrap());
+        let magic = le_u32(&head[0..4]);
         if magic != AREA_MAGIC {
             return Err(StorageError::Corrupt("bad area magic".into()));
         }
-        let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+        let version = le_u32(&head[4..8]);
         if version != FORMAT_VERSION {
             return Err(StorageError::Corrupt(format!("unsupported version {version}")));
         }
-        let page_size = u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize;
+        let page_size = le_u32(&head[8..12]) as usize;
         let extent_pages_log2 = head[12];
-        let num_extents = u32::from_le_bytes(head[16..20].try_into().unwrap());
+        let num_extents = le_u32(&head[16..20]);
         let config = AreaConfig {
             page_size,
             extent_pages_log2,
@@ -283,7 +298,7 @@ impl StorageArea {
             id,
             config,
             backend,
-            extents: Mutex::new(Vec::new()),
+            extents: OrderedMutex::new(Rank::AreaExtents, "area.extents", Vec::new()),
             stats: IoStats::default(),
         };
         let mut extents = Vec::with_capacity(num_extents as usize);
@@ -311,7 +326,7 @@ impl StorageArea {
 
     /// Number of extents currently in the area.
     pub fn num_extents(&self) -> u32 {
-        self.extents.lock().len() as u32
+        u32::try_from(self.extents.lock().len()).unwrap_or(u32::MAX)
     }
 
     /// Total free data pages across all extents.
@@ -371,7 +386,11 @@ impl StorageArea {
         if extent >= u64::from(self.num_extents()) {
             return Err(StorageError::BadPage(page));
         }
-        Ok((extent as u32, (within - 1) as u32))
+        // Both fit after the bounds check above, but keep the conversions
+        // fallible so a corrupt pointer surfaces as a typed error.
+        let extent = u32::try_from(extent).map_err(|_| StorageError::BadPage(page))?;
+        let within = u32::try_from(within - 1).map_err(|_| StorageError::BadPage(page))?;
+        Ok((extent, within))
     }
 
     // ---- allocation ------------------------------------------------------
@@ -394,9 +413,10 @@ impl StorageArea {
         let mut extents = self.extents.lock();
         for (i, extent) in extents.iter_mut().enumerate() {
             if let Some(offset) = extent.alloc(order) {
-                let start_page = self.first_data_page(i as u32) + u64::from(offset);
+                let i = u32::try_from(i).map_err(|_| StorageError::OutOfSpace)?;
+                let start_page = self.first_data_page(i) + u64::from(offset);
                 drop(extents);
-                self.write_extent_meta_locked(i as u32)?;
+                self.write_extent_meta_locked(i)?;
                 return Ok(DiskPtr {
                     area: self.id,
                     start_page,
@@ -408,7 +428,7 @@ impl StorageArea {
             return Err(StorageError::OutOfSpace);
         }
         // Expand by one extent.
-        let new_index = extents.len() as u32;
+        let new_index = u32::try_from(extents.len()).map_err(|_| StorageError::OutOfSpace)?;
         let mut extent = BuddyExtent::new(self.config.extent_pages_log2);
         // `order` was bounds-checked against the extent size above, so a
         // fresh extent always satisfies it — but surface a typed error
@@ -495,6 +515,7 @@ impl StorageArea {
         let mut page = vec![0u8; self.config.page_size];
         page[0..4].copy_from_slice(&AREA_MAGIC.to_le_bytes());
         page[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        // LINT: allow(cast) — page sizes are small powers of two, far below u32::MAX.
         page[8..12].copy_from_slice(&(self.config.page_size as u32).to_le_bytes());
         page[12] = self.config.extent_pages_log2;
         page[16..20].copy_from_slice(&self.num_extents().to_le_bytes());
@@ -512,8 +533,10 @@ impl StorageArea {
             extents[extent as usize].allocated_blocks().collect()
         };
         let mut page = vec![0u8; self.config.page_size];
+        let count = u32::try_from(blocks.len())
+            .map_err(|_| StorageError::Corrupt("allocation table too large".into()))?;
         page[0..4].copy_from_slice(&EXTENT_MAGIC.to_le_bytes());
-        page[4..8].copy_from_slice(&(blocks.len() as u32).to_le_bytes());
+        page[4..8].copy_from_slice(&count.to_le_bytes());
         let mut pos = 8;
         for (offset, order) in blocks {
             if pos + 5 > page.len() {
@@ -537,20 +560,20 @@ impl StorageArea {
             &mut page,
             self.meta_page(extent) * self.config.page_size as u64,
         )?;
-        let magic = u32::from_le_bytes(page[0..4].try_into().unwrap());
+        let magic = le_u32(&page[0..4]);
         if magic != EXTENT_MAGIC {
             return Err(StorageError::Corrupt(format!(
                 "bad extent magic on extent {extent}"
             )));
         }
-        let count = u32::from_le_bytes(page[4..8].try_into().unwrap()) as usize;
+        let count = le_u32(&page[4..8]) as usize;
         let mut rebuilt = BuddyExtent::new(self.config.extent_pages_log2);
         let mut pos = 8;
         for _ in 0..count {
             if pos + 5 > page.len() {
                 return Err(StorageError::Corrupt("truncated allocation table".into()));
             }
-            let offset = u32::from_le_bytes(page[pos..pos + 4].try_into().unwrap());
+            let offset = le_u32(&page[pos..pos + 4]);
             let order = page[pos + 4];
             rebuilt.carve(offset, order).map_err(|e| {
                 StorageError::Corrupt(format!("allocation table inconsistent: {e}"))

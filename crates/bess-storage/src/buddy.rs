@@ -190,6 +190,7 @@ impl BuddyExtent {
                     0,
                     "misaligned free block {offset}/{order}"
                 );
+                // LINT: allow(cast) — buddy orders never exceed 32.
                 mark(offset, order as u8);
             }
         }

@@ -30,7 +30,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use bess_lock::order::{OrderedMutex, Rank};
 
 /// The classes of I/O operation a [`FaultPlan`] counts and can fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,11 +90,20 @@ struct ArmedFault {
 /// The plan counts operations per [`OpClass`]. Run a workload once against
 /// an unarmed plan to learn how many operations it issues, then enumerate
 /// `(class, n, kind)` triples, arming a fresh plan for each run.
-#[derive(Default)]
 pub struct FaultPlan {
     counts: [AtomicU64; 3],
-    armed: Mutex<Option<ArmedFault>>,
+    armed: OrderedMutex<Option<ArmedFault>>,
     fired: AtomicU64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            counts: Default::default(),
+            armed: OrderedMutex::new(Rank::FaultArmed, "fault.armed", None),
+            fired: AtomicU64::new(0),
+        }
+    }
 }
 
 impl FaultPlan {
@@ -151,24 +160,28 @@ struct Images {
 /// [`FaultPlan`]. Cloneable via `Arc`; one `FaultDisk` backs one storage
 /// area or one log.
 pub struct FaultDisk {
-    images: Mutex<Images>,
-    plan: Mutex<Arc<FaultPlan>>,
+    images: OrderedMutex<Images>,
+    plan: OrderedMutex<Arc<FaultPlan>>,
     poisoned: std::sync::atomic::AtomicBool,
 }
 
 fn injected(msg: &str) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::Other, format!("injected fault: {msg}"))
+    std::io::Error::other(format!("injected fault: {msg}"))
 }
 
 impl FaultDisk {
     /// An empty disk driven by `plan`.
     pub fn new(plan: Arc<FaultPlan>) -> Arc<Self> {
         Arc::new(FaultDisk {
-            images: Mutex::new(Images {
-                volatile: Vec::new(),
-                durable: Vec::new(),
-            }),
-            plan: Mutex::new(plan),
+            images: OrderedMutex::new(
+                Rank::FaultImages,
+                "fault.images",
+                Images {
+                    volatile: Vec::new(),
+                    durable: Vec::new(),
+                },
+            ),
+            plan: OrderedMutex::new(Rank::FaultPlanSlot, "fault.plan", plan),
             poisoned: std::sync::atomic::AtomicBool::new(false),
         })
     }

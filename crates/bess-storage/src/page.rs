@@ -83,6 +83,7 @@ impl fmt::Display for DiskPtr {
 /// Smallest buddy order whose block holds `pages` pages.
 pub fn order_for_pages(pages: u32) -> u8 {
     assert!(pages > 0, "segment must have at least one page");
+    // LINT: allow(cast) — leading_zeros of a u32 is at most 32.
     (32 - (pages - 1).leading_zeros()) as u8
 }
 

@@ -12,8 +12,8 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bess_lock::order::{OrderedMutex, OrderedRwLock, Rank};
 use bess_storage::fault::FaultDisk;
-use parking_lot::{Mutex, RwLock};
 
 use crate::enc::checksum;
 use crate::lsn::Lsn;
@@ -60,9 +60,32 @@ impl From<std::io::Error> for WalError {
 pub type WalResult<T> = Result<T, WalError>;
 
 enum LogBackend {
-    Mem(RwLock<Vec<u8>>),
+    Mem(OrderedRwLock<Vec<u8>>),
     File(File),
     Faulty(Arc<FaultDisk>),
+}
+
+fn mem_backend(bytes: Vec<u8>) -> LogBackend {
+    LogBackend::Mem(OrderedRwLock::new(Rank::WalBackendMem, "wal.backend.mem", bytes))
+}
+
+/// Little-endian `u32` from the first four bytes of `b`; shorter input is
+/// zero-extended, so header parsing never panics on a truncated log.
+fn le_u32(b: &[u8]) -> u32 {
+    let mut raw = [0u8; 4];
+    for (dst, src) in raw.iter_mut().zip(b) {
+        *dst = *src;
+    }
+    u32::from_le_bytes(raw)
+}
+
+/// Little-endian `u64` from the first eight bytes of `b` (zero-extended).
+fn le_u64(b: &[u8]) -> u64 {
+    let mut raw = [0u8; 8];
+    for (dst, src) in raw.iter_mut().zip(b) {
+        *dst = *src;
+    }
+    u64::from_le_bytes(raw)
 }
 
 /// Reads as much of `buf` as the backing store holds, retrying interrupted
@@ -200,25 +223,34 @@ pub struct WalStatsSnapshot {
 /// The write-ahead log.
 pub struct LogManager {
     backend: LogBackend,
-    state: Mutex<LogState>,
+    state: OrderedMutex<LogState>,
     stats: WalStats,
+}
+
+fn log_state(next_lsn: u64, flushed_lsn: u64, master: Lsn) -> OrderedMutex<LogState> {
+    OrderedMutex::new(
+        Rank::WalLog,
+        "wal.state",
+        LogState {
+            tail: Vec::new(),
+            next_lsn,
+            flushed_lsn,
+            master,
+        },
+    )
 }
 
 impl LogManager {
     /// Creates an in-memory log (tests, benchmarks, volatile scratch).
     pub fn create_mem() -> Self {
         let mgr = LogManager {
-            backend: LogBackend::Mem(RwLock::new(Vec::new())),
-            state: Mutex::new(LogState {
-                tail: Vec::new(),
-                next_lsn: LOG_START.0,
-                flushed_lsn: LOG_START.0,
-                master: Lsn::NULL,
-            }),
+            backend: mem_backend(Vec::new()),
+            state: log_state(LOG_START.0, LOG_START.0, Lsn::NULL),
             stats: WalStats::default(),
         };
         // Writes to the Mem backend are infallible (a Vec resize), so this
         // cannot panic; file/faulty constructors return the error instead.
+        // LINT: allow(panic) — mem backend writes are infallible
         mgr.write_header(Lsn::NULL).expect("mem header");
         mgr
     }
@@ -232,12 +264,7 @@ impl LogManager {
             .open(path)?;
         let mgr = LogManager {
             backend: LogBackend::File(file),
-            state: Mutex::new(LogState {
-                tail: Vec::new(),
-                next_lsn: LOG_START.0,
-                flushed_lsn: LOG_START.0,
-                master: Lsn::NULL,
-            }),
+            state: log_state(LOG_START.0, LOG_START.0, Lsn::NULL),
             stats: WalStats::default(),
         };
         mgr.write_header(Lsn::NULL)?;
@@ -248,12 +275,7 @@ impl LogManager {
     pub fn create_faulty(disk: Arc<FaultDisk>) -> WalResult<Self> {
         let mgr = LogManager {
             backend: LogBackend::Faulty(disk),
-            state: Mutex::new(LogState {
-                tail: Vec::new(),
-                next_lsn: LOG_START.0,
-                flushed_lsn: LOG_START.0,
-                master: Lsn::NULL,
-            }),
+            state: log_state(LOG_START.0, LOG_START.0, Lsn::NULL),
             stats: WalStats::default(),
         };
         mgr.write_header(Lsn::NULL)?;
@@ -281,26 +303,21 @@ impl LogManager {
         if n < 16 {
             return Err(WalError::Corrupt("log shorter than header".into()));
         }
-        let magic = u32::from_le_bytes(head[0..4].try_into().unwrap());
+        let magic = le_u32(&head[0..4]);
         if magic != LOG_MAGIC {
             return Err(WalError::Corrupt("bad log magic".into()));
         }
-        let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+        let version = le_u32(&head[4..8]);
         if version != LOG_VERSION {
             return Err(WalError::Corrupt(format!("unsupported log version {version}")));
         }
-        let master = Lsn(u64::from_le_bytes(head[8..16].try_into().unwrap()));
+        let master = Lsn(le_u64(&head[8..16]));
         // Until the valid end is known, let reads range over every byte
         // present in the backend.
         let backend_len = backend.len()?.max(LOG_START.0);
         let mgr = LogManager {
             backend,
-            state: Mutex::new(LogState {
-                tail: Vec::new(),
-                next_lsn: backend_len,
-                flushed_lsn: backend_len,
-                master,
-            }),
+            state: log_state(backend_len, backend_len, master),
             stats: WalStats::default(),
         };
         // Scan to the valid end.
@@ -328,7 +345,7 @@ impl LogManager {
         let flushed = self.state.lock().flushed_lsn;
         let mut snapshot = bytes.read().clone();
         snapshot.truncate(flushed as usize);
-        Self::open_backend(LogBackend::Mem(RwLock::new(snapshot)))
+        Self::open_backend(mem_backend(snapshot))
     }
 
     fn write_header(&self, master: Lsn) -> WalResult<()> {
@@ -448,8 +465,8 @@ impl LogManager {
         if read_bytes(lsn.0, &mut head)? < 12 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(head[0..4].try_into().unwrap()) as usize;
-        let sum = u64::from_le_bytes(head[4..12].try_into().unwrap());
+        let len = le_u32(&head[0..4]) as usize;
+        let sum = le_u64(&head[4..12]);
         if len == 0 || len > 1 << 24 {
             return Ok(None);
         }

@@ -150,6 +150,7 @@ impl LogRecord {
                 dirty_pages,
                 active_txns,
             } => {
+                // LINT: allow(cast) — checkpoints snapshot the dirty-page table, bounded by cache slots.
                 e.u32(dirty_pages.len() as u32);
                 for (page, rec_lsn) in dirty_pages {
                     e.u32(page.area);

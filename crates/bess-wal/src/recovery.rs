@@ -204,8 +204,12 @@ pub fn recover(log: &LogManager, target: &mut dyn RedoTarget) -> WalResult<Recov
 
     // Winners just need their End written.
     for &txn in &report.winners {
-        let last = att[&txn].last_lsn;
-        log.append(txn, last, LogBody::End);
+        let Some(entry) = att.get(&txn) else {
+            return Err(crate::log::WalError::Corrupt(format!(
+                "winner txn {txn} vanished from the transaction table"
+            )));
+        };
+        log.append(txn, entry.last_lsn, LogBody::End);
     }
 
     // ---- Undo ----------------------------------------------------------
@@ -256,7 +260,7 @@ pub fn undo_transactions(
                 undone += 1;
                 let clr = log.append(
                     txn,
-                    last_lsn[&txn],
+                    chain_lsn(&last_lsn, txn)?,
                     LogBody::Clr {
                         page,
                         offset,
@@ -266,21 +270,30 @@ pub fn undo_transactions(
                 );
                 last_lsn.insert(txn, clr);
                 clrs += 1;
-                push_or_end(log, &mut heap, txn, rec.prev_lsn, &last_lsn);
+                push_or_end(log, &mut heap, txn, rec.prev_lsn, &last_lsn)?;
             }
             LogBody::Clr { undo_next, .. } => {
-                push_or_end(log, &mut heap, txn, undo_next, &last_lsn);
+                push_or_end(log, &mut heap, txn, undo_next, &last_lsn)?;
             }
             LogBody::Begin => {
-                log.append(txn, last_lsn[&txn], LogBody::End);
+                log.append(txn, chain_lsn(&last_lsn, txn)?, LogBody::End);
             }
             // Abort/Prepare/Commit records in a loser chain: skip backwards.
             _ => {
-                push_or_end(log, &mut heap, txn, rec.prev_lsn, &last_lsn);
+                push_or_end(log, &mut heap, txn, rec.prev_lsn, &last_lsn)?;
             }
         }
     }
     Ok((undone, clrs))
+}
+
+/// The newest LSN logged for `txn` during undo. Every transaction in the
+/// heap was seeded into `last_lsn`, so a miss means the undo chains were
+/// corrupted (e.g. a CLR pointing into a foreign transaction).
+fn chain_lsn(last_lsn: &HashMap<u64, Lsn>, txn: u64) -> WalResult<Lsn> {
+    last_lsn.get(&txn).copied().ok_or_else(|| {
+        crate::log::WalError::Corrupt(format!("undo reached untracked txn {txn}"))
+    })
 }
 
 fn push_or_end(
@@ -289,12 +302,13 @@ fn push_or_end(
     txn: u64,
     next: Lsn,
     last_lsn: &HashMap<u64, Lsn>,
-) {
+) -> WalResult<()> {
     if next.is_null() {
-        log.append(txn, last_lsn[&txn], LogBody::End);
+        log.append(txn, chain_lsn(last_lsn, txn)?, LogBody::End);
     } else {
         heap.push((next, txn));
     }
+    Ok(())
 }
 
 /// Takes a fuzzy checkpoint: logs the dirty page table and active
@@ -337,6 +351,7 @@ pub fn replay_all(log: &LogManager) -> MemTarget {
                 ref after,
                 ..
             } if committed.contains(&rec.txn) => {
+                // LINT: allow(panic) — MemTarget::apply always returns Ok
                 target
                     .apply(page, offset, after)
                     .expect("MemTarget apply is infallible");
