@@ -28,6 +28,7 @@ fn main() {
     e10_two_pc();
     e17_deadlock_policy();
     e18_recovery_under_faults();
+    e19_failure_containment();
     println!("\nreport complete.");
 }
 
@@ -660,5 +661,112 @@ fn e18_recovery_under_faults() {
         report.redone,
         report.undone,
     );
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E19 — failure containment in the client-server layer: idempotent retry,
+// commit dedup, and dead-client lease reclamation.
+// ---------------------------------------------------------------------------
+fn e19_failure_containment() {
+    use bess_net::{NetFaultKind, NetFaultPlan, NodeId};
+    use bess_server::{ClientConfig, ClientConn, PageUpdate};
+    use std::time::Duration;
+
+    println!("## E19 — failure containment: retry, commit dedup, dead-client reclamation\n");
+    println!(
+        "One client runs `begin; fetch(X); commit` against one server with a \
+         deterministic network fault armed at a chosen outbound message \
+         (msg 2 is the commit). After the workload the client's lease is \
+         force-expired, standing in for a crashed workstation.\n"
+    );
+
+    // Client message layout for this workload: 0 BeginTxn, 1 FetchPage,
+    // 2 Commit, 3 ReleaseAll.
+    let run = |fault: Option<(u64, NetFaultKind)>, die_before_commit: bool| {
+        let world = World::new(&[&[0]], Duration::ZERO);
+        let seg = world.area_sets[0].get(0).unwrap().alloc(1).unwrap();
+        let page = bess_cache::DbPage { area: 0, page: seg.start_page };
+        let plan = match fault {
+            Some((at, kind)) => NetFaultPlan::armed_from(NodeId(1), at, kind),
+            None => NetFaultPlan::unarmed(),
+        };
+        world.net.arm(Arc::clone(&plan));
+        let mut cfg = ClientConfig::new(NodeId(1), world.servers[0].node());
+        cfg.caching = false;
+        cfg.rpc_timeout = Duration::from_millis(200);
+        cfg.heartbeat_interval = Duration::from_secs(60);
+        cfg.retry_base = Duration::from_millis(1);
+        let client = ClientConn::connect(&world.net, Arc::clone(&world.dir), cfg);
+        let committed = (|| -> Result<(), bess_server::ClientError> {
+            client.begin()?;
+            client.fetch_page(page, bess_lock::LockMode::X)?;
+            if die_before_commit {
+                return Ok(());
+            }
+            client.commit(vec![PageUpdate {
+                page,
+                offset: 0,
+                before: vec![0; 2],
+                after: b"cc".to_vec(),
+            }])
+        })()
+        .is_ok()
+            && !die_before_commit;
+        // The "machine" goes away; the server reclaims whatever is left.
+        world.net.partition(NodeId(1));
+        client.disconnect();
+        world.servers[0].expire_lease(NodeId(1));
+        let srv = world.servers[0].stats().snapshot();
+        let cli = client.stats().snapshot();
+        (committed, cli, srv, world)
+    };
+
+    println!("| scenario | committed | client retries | dedup hits | server commits | locks reclaimed |");
+    println!("|---|---|---|---|---|---|");
+    for (label, fault, die) in [
+        ("clean run", None, false),
+        ("commit request dropped", Some((2, NetFaultKind::Drop)), false),
+        ("commit reply lost", Some((2, NetFaultKind::DropReply)), false),
+        ("commit duplicated on the wire", Some((2, NetFaultKind::Duplicate)), false),
+        ("client dies holding an X lock", None, true),
+    ] {
+        let (committed, cli, srv, world) = run(fault, die);
+        println!(
+            "| {label} | {} | {} | {} | {} | {} |",
+            if committed { "yes" } else { "no (reaped)" },
+            cli.retries,
+            srv.dedup_hits,
+            srv.commits,
+            world.servers[0].locks_held_by(bess_net::NodeId(1)).is_empty(),
+        );
+    }
+    println!();
+
+    // Graceful degradation: the two rejection ladders.
+    let world = World::new(&[&[0]], Duration::ZERO);
+    let client = {
+        let mut cfg = ClientConfig::new(NodeId(1), world.servers[0].node());
+        cfg.caching = false;
+        ClientConn::connect(&world.net, Arc::clone(&world.dir), cfg)
+    };
+    world.servers[0].set_draining(true);
+    let drained = client.begin().is_err();
+    world.servers[0].set_draining(false);
+    world.servers[0].set_read_only(true);
+    client.begin().unwrap();
+    let seg = world.area_sets[0].get(0).unwrap().alloc(1).unwrap();
+    let page = bess_cache::DbPage { area: 0, page: seg.start_page };
+    client.fetch_page(page, bess_lock::LockMode::X).unwrap();
+    let rejected = client
+        .commit(vec![PageUpdate { page, offset: 0, before: vec![0; 2], after: b"xx".to_vec() }])
+        .is_err();
+    world.servers[0].set_read_only(false);
+    client.disconnect();
+    let srv = world.servers[0].stats().snapshot();
+    println!("| degraded mode | new txn rejected | mutation rejected | counter |");
+    println!("|---|---|---|---|");
+    println!("| draining | {drained} | n/a | drain_rejections = {} |", srv.drain_rejections);
+    println!("| read-only | n/a | {rejected} | read_only_rejections = {} |", srv.read_only_rejections);
     println!();
 }

@@ -862,4 +862,33 @@ mod detect_tests {
         m.unlock_all(TxnId(2));
         h1.join().unwrap().unwrap();
     }
+
+    /// Regression: a timed-out waiter must leave no ghost entry in the
+    /// queue. If it did, a later request compatible with the *holders*
+    /// (but queued behind the ghost) would wait for no reason — or worse,
+    /// a grant could land on the abandoned waiter and leak the lock.
+    #[test]
+    fn timed_out_waiter_leaves_no_ghost_in_queue() {
+        let m = LockManager::new(Duration::from_millis(50));
+        // Holder: S on the page. An X request conflicts and times out.
+        m.lock(TxnId(1), page(5), LockMode::S).unwrap();
+        assert!(matches!(
+            m.lock_timeout(TxnId(2), page(5), LockMode::X, Duration::from_millis(50)),
+            Err(LockError::Timeout { .. })
+        ));
+        // The ghost X waiter is gone: an S request compatible with the
+        // S holder must be granted without waiting.
+        assert!(
+            m.try_lock(TxnId(3), page(5), LockMode::S),
+            "compatible request blocked by a ghost waiter"
+        );
+        // And the timed-out transaction holds nothing on the page.
+        assert!(m.held(TxnId(2), page(5)).is_none());
+        assert!(m.held_by(TxnId(2)).is_empty());
+        // Once everyone releases, the entry disappears entirely and an X
+        // grant to the former waiter works immediately.
+        m.unlock_all(TxnId(1));
+        m.unlock_all(TxnId(3));
+        assert!(m.try_lock(TxnId(2), page(5), LockMode::X));
+    }
 }

@@ -85,6 +85,20 @@ pub enum Rank {
     FaultPlanSlot = 52,
     /// `FaultPlan::armed` — the single-shot armed fault inside a plan.
     FaultArmed = 54,
+    /// `ServerInner::leases` — the per-client lease table. Taken briefly on
+    /// every received message and by the reaper; never held across lock
+    /// manager, log, or network calls.
+    ServerLeases = 56,
+    /// `ServerInner::dedup` — the request-id dedup window. Taken briefly
+    /// around commit dispatch; never held across the commit itself.
+    ServerDedup = 58,
+    /// `Network::partitioned` — the set of partitioned nodes, checked on
+    /// every send. A leaf: nothing is acquired under it.
+    NetPartition = 60,
+    /// `Network::plan` — the armed network-fault-plan slot.
+    NetPlanSlot = 62,
+    /// `NetFaultPlan::armed` — the single-shot armed fault inside a plan.
+    NetFaultArmed = 64,
 }
 
 impl Rank {
@@ -108,6 +122,11 @@ impl Rank {
         Rank::FaultImages,
         Rank::FaultPlanSlot,
         Rank::FaultArmed,
+        Rank::ServerLeases,
+        Rank::ServerDedup,
+        Rank::NetPartition,
+        Rank::NetPlanSlot,
+        Rank::NetFaultArmed,
     ];
 
     /// The numeric rank value (as written in `lock_order.toml`).
@@ -135,6 +154,11 @@ impl Rank {
             Rank::FaultImages => "FaultImages",
             Rank::FaultPlanSlot => "FaultPlanSlot",
             Rank::FaultArmed => "FaultArmed",
+            Rank::ServerLeases => "ServerLeases",
+            Rank::ServerDedup => "ServerDedup",
+            Rank::NetPartition => "NetPartition",
+            Rank::NetPlanSlot => "NetPlanSlot",
+            Rank::NetFaultArmed => "NetFaultArmed",
         }
     }
 }

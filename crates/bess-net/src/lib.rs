@@ -25,15 +25,27 @@
 //! let reply = a.call(NodeId(2), "ping".to_string(), Duration::from_secs(1)).unwrap();
 //! assert_eq!(reply, "pong");
 //! ```
+//!
+//! ## Deterministic network faults
+//!
+//! Mirroring the storage layer's `FaultPlan`, a [`NetFaultPlan`] counts
+//! outbound messages (optionally only those from one node) and arms exactly
+//! one [`NetFaultKind`] at the Nth message: drop it, delay it, deliver it
+//! twice, sever the reply channel, or partition the sender. Because the
+//! trigger is a message counter — no randomness, no timing dependence — a
+//! partition matrix can enumerate every message index of a workload and
+//! replay the exact same failure each run. Nodes can also be partitioned
+//! and healed explicitly via [`Network::partition`] / [`Network::heal`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bess_lock::order::{OrderedMutex, Rank};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
@@ -50,12 +62,25 @@ impl std::fmt::Display for NodeId {
 /// Errors from network operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NetError {
-    /// The destination node has no registered endpoint.
+    /// The destination node has no registered endpoint (or a partition
+    /// separates the two nodes).
     Unreachable(NodeId),
     /// No reply (or no message) arrived within the timeout.
     Timeout,
     /// The peer dropped the connection mid-call.
     Disconnected,
+}
+
+impl NetError {
+    /// Whether the error is transient from the caller's point of view: the
+    /// request *may or may not* have executed, so an idempotent (or
+    /// request-id-deduplicated) retry is safe and worthwhile. Unreachable
+    /// destinations are not transient — the request definitely did not run,
+    /// but nothing suggests a retry will fare better within one backoff
+    /// window either; callers surface it instead.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, NetError::Timeout | NetError::Disconnected)
+    }
 }
 
 impl std::fmt::Display for NetError {
@@ -94,6 +119,130 @@ impl<M> Envelope<M> {
     }
 }
 
+/// What happens to the armed message (see [`NetFaultPlan`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// The request vanishes on the wire. A one-way send reports success (the
+    /// sender cannot know); an RPC fails with [`NetError::Timeout`].
+    Drop,
+    /// The request is delayed by the given duration before delivery.
+    Delay(Duration),
+    /// The request is delivered **twice** — a retransmission the receiver
+    /// must deduplicate.
+    Duplicate,
+    /// The request is delivered and executed, but the reply is lost: the
+    /// callee sees a normal RPC, the caller waits out its timeout. This is
+    /// the classic "did my commit land?" ambiguity.
+    DropReply,
+    /// The sending node is partitioned from the network (as if its cable
+    /// were pulled): this message fails with [`NetError::Disconnected`] and
+    /// all further traffic to or from the node fails with
+    /// [`NetError::Unreachable`] until [`Network::heal`].
+    Disconnect,
+}
+
+struct ArmedNetFault {
+    /// Only messages from this node count (and can fault); `None` counts
+    /// every message.
+    from: Option<NodeId>,
+    /// 0-based index among counted messages.
+    at: u64,
+    kind: NetFaultKind,
+}
+
+/// A deterministic network-fault plan, the wire-level twin of the storage
+/// layer's `FaultPlan`: it counts outbound messages (sends and RPC
+/// requests) and fires exactly one fault at the Nth counted message, then
+/// disarms so retries make progress. Arm a plan on a [`Network`] with
+/// [`Network::arm`].
+///
+/// When built with a `from` filter, only that node's messages are counted,
+/// which keeps the index deterministic even while other nodes chatter
+/// concurrently.
+pub struct NetFaultPlan {
+    count: AtomicU64,
+    armed: OrderedMutex<Option<ArmedNetFault>>,
+    fired: AtomicU64,
+}
+
+impl Default for NetFaultPlan {
+    fn default() -> Self {
+        NetFaultPlan {
+            count: AtomicU64::new(0),
+            armed: OrderedMutex::new(Rank::NetFaultArmed, "net.fault.armed", None),
+            fired: AtomicU64::new(0),
+        }
+    }
+}
+
+impl NetFaultPlan {
+    /// A plan with no armed fault (pure message counting).
+    pub fn unarmed() -> Arc<Self> {
+        Arc::new(NetFaultPlan::default())
+    }
+
+    /// A plan that fires `kind` at the `nth` (0-based) message from any
+    /// node.
+    pub fn armed(nth: u64, kind: NetFaultKind) -> Arc<Self> {
+        let plan = NetFaultPlan::default();
+        *plan.armed.lock() = Some(ArmedNetFault {
+            from: None,
+            at: nth,
+            kind,
+        });
+        Arc::new(plan)
+    }
+
+    /// A plan that counts only messages sent by `from` and fires `kind` at
+    /// the `nth` (0-based) one.
+    pub fn armed_from(from: NodeId, nth: u64, kind: NetFaultKind) -> Arc<Self> {
+        let plan = NetFaultPlan::default();
+        *plan.armed.lock() = Some(ArmedNetFault {
+            from: Some(from),
+            at: nth,
+            kind,
+        });
+        Arc::new(plan)
+    }
+
+    /// Counted messages so far. For a filtered plan this counts only the
+    /// filtered node's messages.
+    pub fn msgs(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// How many faults have fired (0 or 1; a plan disarms after firing).
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Counts one outbound message from `from` and returns the fault to
+    /// inject, if this is the armed message.
+    fn on_msg(&self, from: NodeId) -> Option<NetFaultKind> {
+        // Resolve the filter first so an unrelated node's traffic does not
+        // advance a filtered plan's counter.
+        {
+            let armed = self.armed.lock();
+            if let Some(f) = armed.as_ref() {
+                if f.from.is_some_and(|n| n != from) {
+                    return None;
+                }
+            }
+        }
+        let n = self.count.fetch_add(1, Ordering::Relaxed);
+        let mut armed = self.armed.lock();
+        match armed.as_ref() {
+            Some(f) if f.at == n => {
+                let kind = f.kind;
+                *armed = None;
+                self.fired.fetch_add(1, Ordering::Relaxed);
+                Some(kind)
+            }
+            _ => None,
+        }
+    }
+}
+
 /// Counters kept by a [`Network`].
 #[derive(Debug, Default)]
 pub struct NetStats {
@@ -101,8 +250,12 @@ pub struct NetStats {
     pub sends: AtomicU64,
     /// RPC calls completed (request + reply pairs).
     pub calls: AtomicU64,
-    /// Messages dropped for unreachable nodes.
+    /// Messages dropped for unreachable (or partitioned) nodes.
     pub unreachable: AtomicU64,
+    /// Requests or replies swallowed by an injected fault.
+    pub faulted: AtomicU64,
+    /// Extra copies delivered by injected duplication.
+    pub duplicated: AtomicU64,
 }
 
 impl NetStats {
@@ -112,6 +265,8 @@ impl NetStats {
             sends: self.sends.load(Ordering::Relaxed),
             calls: self.calls.load(Ordering::Relaxed),
             unreachable: self.unreachable.load(Ordering::Relaxed),
+            faulted: self.faulted.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
         }
     }
 }
@@ -125,6 +280,10 @@ pub struct NetStatsSnapshot {
     pub calls: u64,
     /// Undeliverable messages.
     pub unreachable: u64,
+    /// Requests or replies swallowed by an injected fault.
+    pub faulted: u64,
+    /// Extra copies delivered by injected duplication.
+    pub duplicated: u64,
 }
 
 impl NetStatsSnapshot {
@@ -139,6 +298,8 @@ impl NetStatsSnapshot {
             sends: self.sends - earlier.sends,
             calls: self.calls - earlier.calls,
             unreachable: self.unreachable - earlier.unreachable,
+            faulted: self.faulted - earlier.faulted,
+            duplicated: self.duplicated - earlier.duplicated,
         }
     }
 }
@@ -146,15 +307,19 @@ impl NetStatsSnapshot {
 /// The simulated network.
 pub struct Network<M> {
     endpoints: Mutex<HashMap<u32, Sender<Envelope<M>>>>,
+    partitioned: OrderedMutex<HashSet<u32>>,
+    plan: OrderedMutex<Arc<NetFaultPlan>>,
     latency: Duration,
     stats: NetStats,
 }
 
-impl<M: Send + 'static> Network<M> {
+impl<M: Clone + Send + 'static> Network<M> {
     /// Creates a network whose RPCs incur `latency` per direction.
     pub fn new(latency: Duration) -> Arc<Self> {
         Arc::new(Network {
             endpoints: Mutex::new(HashMap::new()),
+            partitioned: OrderedMutex::new(Rank::NetPartition, "net.partitioned", HashSet::new()),
+            plan: OrderedMutex::new(Rank::NetPlanSlot, "net.plan", NetFaultPlan::unarmed()),
             latency,
             stats: NetStats::default(),
         })
@@ -187,12 +352,167 @@ impl<M: Send + 'static> Network<M> {
         self.endpoints.lock().remove(&node.0);
     }
 
+    /// Installs a fault plan; the previous plan is discarded. Pass
+    /// [`NetFaultPlan::unarmed`] to clear faults (partitions persist until
+    /// [`Self::heal`]).
+    pub fn arm(&self, plan: Arc<NetFaultPlan>) {
+        *self.plan.lock() = plan;
+    }
+
+    /// The plan currently consulted on every send.
+    pub fn plan(&self) -> Arc<NetFaultPlan> {
+        Arc::clone(&self.plan.lock())
+    }
+
+    /// Partitions `node`: all traffic to or from it fails with
+    /// [`NetError::Unreachable`] until [`Self::heal`]. Messages already in
+    /// its receive queue are unaffected (they were on the wire).
+    pub fn partition(&self, node: NodeId) {
+        self.partitioned.lock().insert(node.0);
+    }
+
+    /// Reconnects a previously partitioned node.
+    pub fn heal(&self, node: NodeId) {
+        self.partitioned.lock().remove(&node.0);
+    }
+
+    /// Whether `node` is currently partitioned.
+    pub fn is_partitioned(&self, node: NodeId) -> bool {
+        self.partitioned.lock().contains(&node.0)
+    }
+
     fn sender_to(&self, to: NodeId) -> Result<Sender<Envelope<M>>, NetError> {
         self.endpoints
             .lock()
             .get(&to.0)
             .cloned()
             .ok_or(NetError::Unreachable(to))
+    }
+
+    /// Fails if a partition separates `from` and `to`.
+    fn check_partition(&self, from: NodeId, to: NodeId) -> Result<(), NetError> {
+        let partitioned = self.partitioned.lock();
+        if partitioned.contains(&from.0) || partitioned.contains(&to.0) {
+            drop(partitioned);
+            AtomicU64::fetch_add(&self.stats.unreachable, 1, Ordering::Relaxed);
+            return Err(NetError::Unreachable(to));
+        }
+        Ok(())
+    }
+
+    /// The single outbound path for one-way messages. All faults hook here.
+    fn do_send(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), NetError> {
+        self.check_partition(from, to)?;
+        let fault = self.plan().on_msg(from);
+        match fault {
+            Some(NetFaultKind::Drop) => {
+                // The datagram vanishes; a one-way sender cannot tell.
+                AtomicU64::fetch_add(&self.stats.faulted, 1, Ordering::Relaxed);
+                return Ok(());
+            }
+            Some(NetFaultKind::Disconnect) => {
+                self.partition(from);
+                AtomicU64::fetch_add(&self.stats.faulted, 1, Ordering::Relaxed);
+                return Err(NetError::Disconnected);
+            }
+            Some(NetFaultKind::Delay(d)) => std::thread::sleep(d),
+            // DropReply is meaningless for a one-way message.
+            Some(NetFaultKind::Duplicate) | Some(NetFaultKind::DropReply) | None => {}
+        }
+        let tx = self.sender_to(to).inspect_err(|_| {
+            AtomicU64::fetch_add(&self.stats.unreachable, 1, Ordering::Relaxed);
+        })?;
+        if fault == Some(NetFaultKind::Duplicate) {
+            tx.send(Envelope {
+                from,
+                msg: msg.clone(),
+                reply: None,
+            })
+            .map_err(|_| NetError::Disconnected)?;
+            AtomicU64::fetch_add(&self.stats.duplicated, 1, Ordering::Relaxed);
+        }
+        tx.send(Envelope {
+            from,
+            msg,
+            reply: None,
+        })
+        .map_err(|_| NetError::Disconnected)?;
+        AtomicU64::fetch_add(&self.stats.sends, 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The single outbound path for RPCs. All faults hook here.
+    fn do_call(&self, from: NodeId, to: NodeId, msg: M, timeout: Duration) -> Result<M, NetError> {
+        self.check_partition(from, to)?;
+        let fault = self.plan().on_msg(from);
+        match fault {
+            Some(NetFaultKind::Drop) => {
+                // The request never arrives; the caller's wait is the
+                // timeout itself, reported without actually sleeping it.
+                AtomicU64::fetch_add(&self.stats.faulted, 1, Ordering::Relaxed);
+                return Err(NetError::Timeout);
+            }
+            Some(NetFaultKind::Disconnect) => {
+                self.partition(from);
+                AtomicU64::fetch_add(&self.stats.faulted, 1, Ordering::Relaxed);
+                return Err(NetError::Disconnected);
+            }
+            Some(NetFaultKind::Delay(d)) => std::thread::sleep(d),
+            Some(NetFaultKind::Duplicate) | Some(NetFaultKind::DropReply) | None => {}
+        }
+        let tx = self.sender_to(to).inspect_err(|_| {
+            AtomicU64::fetch_add(&self.stats.unreachable, 1, Ordering::Relaxed);
+        })?;
+        let (reply_tx, reply_rx) = bounded(1);
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        match fault {
+            Some(NetFaultKind::DropReply) => {
+                // The callee executes and replies into a severed channel;
+                // the caller times out below, none the wiser.
+                let (dead_tx, _dead_rx) = bounded(1);
+                tx.send(Envelope {
+                    from,
+                    msg,
+                    reply: Some(dead_tx),
+                })
+                .map_err(|_| NetError::Disconnected)?;
+                AtomicU64::fetch_add(&self.stats.faulted, 1, Ordering::Relaxed);
+            }
+            Some(NetFaultKind::Duplicate) => {
+                tx.send(Envelope {
+                    from,
+                    msg: msg.clone(),
+                    reply: Some(reply_tx.clone()),
+                })
+                .map_err(|_| NetError::Disconnected)?;
+                tx.send(Envelope {
+                    from,
+                    msg,
+                    reply: Some(reply_tx),
+                })
+                .map_err(|_| NetError::Disconnected)?;
+                AtomicU64::fetch_add(&self.stats.duplicated, 1, Ordering::Relaxed);
+            }
+            _ => {
+                tx.send(Envelope {
+                    from,
+                    msg,
+                    reply: Some(reply_tx),
+                })
+                .map_err(|_| NetError::Disconnected)?;
+            }
+        }
+        let reply = reply_rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => NetError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })?;
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        AtomicU64::fetch_add(&self.stats.calls, 1, Ordering::Relaxed);
+        Ok(reply)
     }
 
     /// Creates an outbound-only handle that sends and calls as `node`
@@ -213,7 +533,7 @@ pub struct Caller<M> {
     net: Arc<Network<M>>,
 }
 
-impl<M: Send + 'static> Caller<M> {
+impl<M: Clone + Send + 'static> Caller<M> {
     /// The identity messages are sent as.
     pub fn node(&self) -> NodeId {
         self.node
@@ -221,43 +541,12 @@ impl<M: Send + 'static> Caller<M> {
 
     /// Sends a one-way message. See [`Endpoint::send`].
     pub fn send(&self, to: NodeId, msg: M) -> Result<(), NetError> {
-        let tx = self.net.sender_to(to).inspect_err(|_| {
-            AtomicU64::fetch_add(&self.net.stats.unreachable, 1, Ordering::Relaxed);
-        })?;
-        tx.send(Envelope {
-            from: self.node,
-            msg,
-            reply: None,
-        })
-        .map_err(|_| NetError::Disconnected)?;
-        AtomicU64::fetch_add(&self.net.stats.sends, 1, Ordering::Relaxed);
-        Ok(())
+        self.net.do_send(self.node, to, msg)
     }
 
     /// Performs a blocking RPC. See [`Endpoint::call`].
     pub fn call(&self, to: NodeId, msg: M, timeout: Duration) -> Result<M, NetError> {
-        let tx = self.net.sender_to(to).inspect_err(|_| {
-            AtomicU64::fetch_add(&self.net.stats.unreachable, 1, Ordering::Relaxed);
-        })?;
-        let (reply_tx, reply_rx) = bounded(1);
-        if !self.net.latency.is_zero() {
-            std::thread::sleep(self.net.latency);
-        }
-        tx.send(Envelope {
-            from: self.node,
-            msg,
-            reply: Some(reply_tx),
-        })
-        .map_err(|_| NetError::Disconnected)?;
-        let reply = reply_rx.recv_timeout(timeout).map_err(|e| match e {
-            crossbeam::channel::RecvTimeoutError::Timeout => NetError::Timeout,
-            crossbeam::channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
-        })?;
-        if !self.net.latency.is_zero() {
-            std::thread::sleep(self.net.latency);
-        }
-        AtomicU64::fetch_add(&self.net.stats.calls, 1, Ordering::Relaxed);
-        Ok(reply)
+        self.net.do_call(self.node, to, msg, timeout)
     }
 }
 
@@ -268,7 +557,7 @@ pub struct Endpoint<M> {
     rx: Receiver<Envelope<M>>,
 }
 
-impl<M: Send + 'static> Endpoint<M> {
+impl<M: Clone + Send + 'static> Endpoint<M> {
     /// This endpoint's node id.
     pub fn node(&self) -> NodeId {
         self.node
@@ -281,44 +570,13 @@ impl<M: Send + 'static> Endpoint<M> {
 
     /// Sends a one-way message.
     pub fn send(&self, to: NodeId, msg: M) -> Result<(), NetError> {
-        let tx = self.net.sender_to(to).inspect_err(|_| {
-            AtomicU64::fetch_add(&self.net.stats.unreachable, 1, Ordering::Relaxed);
-        })?;
-        tx.send(Envelope {
-            from: self.node,
-            msg,
-            reply: None,
-        })
-        .map_err(|_| NetError::Disconnected)?;
-        AtomicU64::fetch_add(&self.net.stats.sends, 1, Ordering::Relaxed);
-        Ok(())
+        self.net.do_send(self.node, to, msg)
     }
 
     /// Performs a blocking RPC: sends `msg` to `to` and waits up to
     /// `timeout` for the reply. Each direction incurs the network latency.
     pub fn call(&self, to: NodeId, msg: M, timeout: Duration) -> Result<M, NetError> {
-        let tx = self.net.sender_to(to).inspect_err(|_| {
-            AtomicU64::fetch_add(&self.net.stats.unreachable, 1, Ordering::Relaxed);
-        })?;
-        let (reply_tx, reply_rx) = bounded(1);
-        if !self.net.latency.is_zero() {
-            std::thread::sleep(self.net.latency);
-        }
-        tx.send(Envelope {
-            from: self.node,
-            msg,
-            reply: Some(reply_tx),
-        })
-        .map_err(|_| NetError::Disconnected)?;
-        let reply = reply_rx.recv_timeout(timeout).map_err(|e| match e {
-            crossbeam::channel::RecvTimeoutError::Timeout => NetError::Timeout,
-            crossbeam::channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
-        })?;
-        if !self.net.latency.is_zero() {
-            std::thread::sleep(self.net.latency);
-        }
-        AtomicU64::fetch_add(&self.net.stats.calls, 1, Ordering::Relaxed);
-        Ok(reply)
+        self.net.do_call(self.node, to, msg, timeout)
     }
 
     /// Waits up to `timeout` for an incoming message.
@@ -442,5 +700,142 @@ mod tests {
             c.join().unwrap();
         }
         assert_eq!(server.join().unwrap(), 100);
+    }
+
+    // ---- fault injection ---------------------------------------------------
+
+    #[test]
+    fn drop_faults_exactly_the_nth_call() {
+        let net = Network::<u32>::new(Duration::ZERO);
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        let server = thread::spawn(move || {
+            let mut served = 0;
+            while let Ok(env) = b.recv(Duration::from_millis(300)) {
+                let v = env.msg;
+                env.reply(v);
+                served += 1;
+            }
+            served
+        });
+        let plan = NetFaultPlan::armed(1, NetFaultKind::Drop);
+        net.arm(Arc::clone(&plan));
+        assert_eq!(a.call(NodeId(2), 0, Duration::from_secs(1)), Ok(0));
+        assert_eq!(
+            a.call(NodeId(2), 1, Duration::from_millis(50)),
+            Err(NetError::Timeout),
+            "second message dropped"
+        );
+        assert_eq!(a.call(NodeId(2), 2, Duration::from_secs(1)), Ok(2));
+        assert_eq!(plan.fired(), 1);
+        assert_eq!(server.join().unwrap(), 2, "dropped request never arrived");
+        assert_eq!(net.stats().snapshot().faulted, 1);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let net = Network::<u32>::new(Duration::ZERO);
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        let server = thread::spawn(move || {
+            let mut served = 0;
+            while let Ok(env) = b.recv(Duration::from_millis(300)) {
+                let v = env.msg;
+                env.reply(v);
+                served += 1;
+            }
+            served
+        });
+        net.arm(NetFaultPlan::armed(0, NetFaultKind::Duplicate));
+        assert_eq!(a.call(NodeId(2), 7, Duration::from_secs(1)), Ok(7));
+        assert_eq!(server.join().unwrap(), 2, "one request, two deliveries");
+        assert_eq!(net.stats().snapshot().duplicated, 1);
+    }
+
+    #[test]
+    fn drop_reply_executes_but_times_out() {
+        let net = Network::<u32>::new(Duration::ZERO);
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        let server = thread::spawn(move || {
+            let mut served = 0;
+            while let Ok(env) = b.recv(Duration::from_millis(300)) {
+                let v = env.msg;
+                assert!(env.wants_reply(), "callee sees an ordinary RPC");
+                env.reply(v);
+                served += 1;
+            }
+            served
+        });
+        net.arm(NetFaultPlan::armed(0, NetFaultKind::DropReply));
+        assert_eq!(
+            a.call(NodeId(2), 9, Duration::from_millis(50)),
+            Err(NetError::Timeout),
+            "the reply was lost"
+        );
+        assert_eq!(server.join().unwrap(), 1, "the request WAS executed");
+    }
+
+    #[test]
+    fn disconnect_partitions_the_sender_until_heal() {
+        let net = Network::<u32>::new(Duration::ZERO);
+        let a = net.register(NodeId(1));
+        let _b = net.register(NodeId(2));
+        net.arm(NetFaultPlan::armed_from(NodeId(1), 0, NetFaultKind::Disconnect));
+        assert_eq!(a.send(NodeId(2), 1), Err(NetError::Disconnected));
+        assert!(net.is_partitioned(NodeId(1)));
+        assert_eq!(
+            a.send(NodeId(2), 2),
+            Err(NetError::Unreachable(NodeId(2))),
+            "still cut off"
+        );
+        // Inbound traffic is cut too.
+        let c = net.register(NodeId(3));
+        assert_eq!(c.send(NodeId(1), 3), Err(NetError::Unreachable(NodeId(1))));
+        net.heal(NodeId(1));
+        a.send(NodeId(2), 4).unwrap();
+    }
+
+    #[test]
+    fn filtered_plan_ignores_other_nodes() {
+        let net = Network::<u32>::new(Duration::ZERO);
+        let a = net.register(NodeId(1));
+        let c = net.register(NodeId(3));
+        let b = net.register(NodeId(2));
+        let plan = NetFaultPlan::armed_from(NodeId(1), 1, NetFaultKind::Drop);
+        net.arm(Arc::clone(&plan));
+        // Node 3 chatters; none of it advances node 1's counter.
+        for i in 0..5 {
+            c.send(NodeId(2), i).unwrap();
+        }
+        a.send(NodeId(2), 100).unwrap(); // node 1 msg #0: delivered
+        a.send(NodeId(2), 101).unwrap(); // node 1 msg #1: dropped (send reports Ok)
+        a.send(NodeId(2), 102).unwrap(); // disarmed again
+        let mut got = Vec::new();
+        while let Some(env) = b.try_recv() {
+            if env.from == NodeId(1) {
+                got.push(env.msg);
+            }
+        }
+        assert_eq!(got, vec![100, 102]);
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn delay_defers_delivery() {
+        let net = Network::<u32>::new(Duration::ZERO);
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        net.arm(NetFaultPlan::armed(
+            0,
+            NetFaultKind::Delay(Duration::from_millis(30)),
+        ));
+        thread::spawn(move || {
+            let env = b.recv(Duration::from_secs(5)).unwrap();
+            env.reply(0);
+        });
+        let t0 = std::time::Instant::now();
+        a.call(NodeId(2), 1, Duration::from_secs(5)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(30));
     }
 }

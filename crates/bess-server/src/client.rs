@@ -17,7 +17,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bess_cache::{DbPage, PageIo};
 use bess_lock::{CacheDecision, CallbackResponse, LockCache, LockMode, LockName, TxnId};
@@ -95,6 +95,14 @@ pub struct ClientConfig {
     /// space by communicating only with the local BeSS server or node
     /// server" (§3).
     pub gateway: Option<NodeId>,
+    /// How often the listener thread renews this client's lease at every
+    /// server it has touched. Must be well under the servers'
+    /// `lease_duration` or an idle client gets reaped.
+    pub heartbeat_interval: Duration,
+    /// Transient-failure retries per RPC before giving up.
+    pub max_retries: u32,
+    /// Base delay for the capped exponential retry backoff.
+    pub retry_base: Duration,
 }
 
 impl ClientConfig {
@@ -107,6 +115,9 @@ impl ClientConfig {
             rpc_timeout: Duration::from_secs(5),
             page_size: bess_storage::PAGE_SIZE,
             gateway: None,
+            heartbeat_interval: Duration::from_millis(500),
+            max_retries: 3,
+            retry_base: Duration::from_millis(10),
         }
     }
 }
@@ -128,6 +139,10 @@ pub struct ClientStats {
     pub aborts: AtomicU64,
     /// Callbacks received.
     pub callbacks: AtomicU64,
+    /// RPC retries after transient network failures.
+    pub retries: AtomicU64,
+    /// Heartbeats sent.
+    pub heartbeats: AtomicU64,
 }
 
 impl ClientStats {
@@ -141,6 +156,8 @@ impl ClientStats {
             commits: self.commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
             callbacks: self.callbacks.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
         }
     }
 }
@@ -162,6 +179,10 @@ pub struct ClientStatsSnapshot {
     pub aborts: u64,
     /// Callbacks received.
     pub callbacks: u64,
+    /// Transient-failure retries.
+    pub retries: u64,
+    /// Heartbeats sent.
+    pub heartbeats: u64,
 }
 
 /// A client machine's connection to the BeSS servers.
@@ -185,9 +206,30 @@ pub struct ClientConn {
     /// session runs software object-level locking and serialises on object
     /// locks instead).
     read_mode: Mutex<LockMode>,
+    /// Request-id counter for the non-idempotent messages (commits); the
+    /// server's dedup window keys on `(node, req)`.
+    next_req: AtomicU64,
     running: Arc<AtomicBool>,
     listener: Mutex<Option<JoinHandle<()>>>,
     stats: ClientStats,
+}
+
+/// Capped exponential backoff with deterministic jitter: `base << attempt`
+/// clamped to 500ms, spread by a hash of `(node, attempt)` so retrying
+/// clients don't stampede in lockstep — with no randomness, so fault
+/// schedules stay reproducible.
+fn backoff_delay(base: Duration, attempt: u32, node: u32) -> Duration {
+    let shift = attempt.saturating_sub(1).min(6);
+    let capped = base
+        .saturating_mul(1u32 << shift)
+        .min(Duration::from_millis(500));
+    let mut h = (u64::from(node) << 32) | u64::from(attempt);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    // LINT: allow(cast) — capped at 500ms, far below u64 microseconds.
+    let jitter_us = h % ((capped.as_micros() as u64) / 4 + 1);
+    capped + Duration::from_micros(jitter_us)
 }
 
 impl ClientConn {
@@ -210,6 +252,7 @@ impl ClientConn {
             raced_callbacks: Mutex::new(std::collections::HashSet::new()),
             purge_hook: RwLock::new(None),
             read_mode: Mutex::new(LockMode::S),
+            next_req: AtomicU64::new(1),
             running: Arc::new(AtomicBool::new(true)),
             listener: Mutex::new(None),
             stats: ClientStats::default(),
@@ -217,13 +260,21 @@ impl ClientConn {
         let listener_conn = Arc::clone(&conn);
         let running = Arc::clone(&conn.running);
         let handle = std::thread::spawn(move || {
+            let mut last_heartbeat = Instant::now();
             while running.load(Ordering::Relaxed) {
                 match endpoint.recv(Duration::from_millis(50)) {
                     Ok(env) => {
                         let reply = listener_conn.handle_callback(&env.msg);
                         env.reply(reply);
                     }
-                    Err(NetError::Timeout) => continue,
+                    Err(NetError::Timeout) => {
+                        // Idle tick: renew our lease at every server that
+                        // could be holding state for us.
+                        if last_heartbeat.elapsed() >= listener_conn.cfg.heartbeat_interval {
+                            last_heartbeat = Instant::now();
+                            listener_conn.send_heartbeats();
+                        }
+                    }
                     Err(_) => break,
                 }
             }
@@ -337,9 +388,42 @@ impl ClientConn {
         }
     }
 
+    /// One-way lease renewals to the home/gateway server and every server
+    /// touched so far.
+    fn send_heartbeats(&self) {
+        let mut targets: HashSet<NodeId> = self.servers_touched.lock().clone();
+        targets.insert(self.cfg.gateway.unwrap_or(self.cfg.home));
+        for t in targets {
+            if self.caller.send(t, Msg::Heartbeat).is_ok() {
+                AtomicU64::fetch_add(&self.stats.heartbeats, 1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Sends one RPC, retrying transient transport failures with capped
+    /// exponential backoff. Commits are safe to retry because they carry a
+    /// request id the server deduplicates on; `ShipUpdates` is the one
+    /// request that is neither idempotent nor deduplicated, so it is never
+    /// retried — a lost ship aborts the distributed commit instead.
     fn rpc(&self, to: NodeId, msg: Msg) -> ClientResult<Msg> {
         self.servers_touched.lock().insert(to);
-        Ok(self.caller.call(to, msg, self.cfg.rpc_timeout)?)
+        let retryable = !matches!(msg, Msg::ShipUpdates { .. });
+        let mut attempt = 0u32;
+        loop {
+            match self.caller.call(to, msg.clone(), self.cfg.rpc_timeout) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if retryable && e.is_transient() && attempt < self.cfg.max_retries => {
+                    attempt += 1;
+                    AtomicU64::fetch_add(&self.stats.retries, 1, Ordering::Relaxed);
+                    std::thread::sleep(backoff_delay(
+                        self.cfg.retry_base,
+                        attempt,
+                        self.cfg.node.0,
+                    ));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     // ---- transactions ----------------------------------------------------
@@ -465,7 +549,8 @@ impl ClientConn {
             0 => Ok(()),
             1 => {
                 let (owner, updates) = by_owner.into_iter().next().expect("one entry");
-                match self.rpc(owner, Msg::Commit { txn, updates })? {
+                let req = self.next_req.fetch_add(1, Ordering::Relaxed);
+                match self.rpc(owner, Msg::Commit { txn, updates, req })? {
                     Msg::Ok => Ok(()),
                     Msg::Err(e) => Err(ClientError::Server(e)),
                     other => Err(ClientError::Server(format!("bad reply {other:?}"))),
@@ -488,9 +573,14 @@ impl ClientConn {
                         }
                     }
                 }
+                let req = self.next_req.fetch_add(1, Ordering::Relaxed);
                 match self.rpc(
                     self.cfg.home,
-                    Msg::CommitGlobal { gtxn, participants },
+                    Msg::CommitGlobal {
+                        gtxn,
+                        participants,
+                        req,
+                    },
                 )? {
                     Msg::Decision { committed: true } => Ok(()),
                     Msg::Decision { committed: false } => Err(ClientError::GlobalAbort),

@@ -47,6 +47,10 @@ pub struct NodeServerConfig {
     pub lock_timeout: Duration,
     /// RPC timeout towards owning servers.
     pub rpc_timeout: Duration,
+    /// How often the node server renews its lease at the owning servers
+    /// (it holds cached locks on behalf of its applications, so a silent
+    /// node server would be reaped like any other client).
+    pub heartbeat_interval: Duration,
 }
 
 impl NodeServerConfig {
@@ -59,6 +63,7 @@ impl NodeServerConfig {
             page_size: bess_storage::PAGE_SIZE,
             lock_timeout: Duration::from_millis(500),
             rpc_timeout: Duration::from_secs(5),
+            heartbeat_interval: Duration::from_millis(500),
         }
     }
 }
@@ -146,6 +151,8 @@ struct NsInner {
     unshipped: Mutex<HashMap<u64, (Lsn, Vec<PageUpdate>)>>,
     ship_done: Condvar,
     next_txn: AtomicU64,
+    /// Request-id counter for shipped commits (server-side dedup keys).
+    next_req: AtomicU64,
     running: AtomicBool,
     stats: NodeServerStats,
 }
@@ -201,6 +208,7 @@ impl NodeServer {
             cache,
             dir,
             next_txn: AtomicU64::new(1),
+            next_req: AtomicU64::new(1),
             running: AtomicBool::new(true),
             stats: NodeServerStats::default(),
             cfg,
@@ -368,6 +376,7 @@ impl Drop for NodeServer {
 }
 
 fn ns_loop(inner: Arc<NsInner>, endpoint: Endpoint<Msg>) {
+    let mut last_heartbeat = std::time::Instant::now();
     while inner.running.load(Ordering::Relaxed) {
         match endpoint.recv(Duration::from_millis(50)) {
             Ok(env) => {
@@ -379,7 +388,16 @@ fn ns_loop(inner: Arc<NsInner>, endpoint: Endpoint<Msg>) {
                     env.reply(reply);
                 });
             }
-            Err(NetError::Timeout) => continue,
+            Err(NetError::Timeout) => {
+                // Idle tick: renew this node's lease at the owning
+                // servers so its cached locks aren't reaped.
+                if last_heartbeat.elapsed() >= inner.cfg.heartbeat_interval {
+                    last_heartbeat = std::time::Instant::now();
+                    for server in inner.dir.servers() {
+                        let _ = inner.caller.send(server, Msg::Heartbeat);
+                    }
+                }
+            }
             Err(_) => break,
         }
     }
@@ -415,7 +433,7 @@ impl NsInner {
                 Ok(data) => Msg::PageData(data),
                 Err(e) => Msg::Err(e),
             },
-            Msg::Commit { txn, updates } => {
+            Msg::Commit { txn, updates, .. } => {
                 let r = self.commit_for(txn, updates);
                 self.end_local_txn(TxnId(u64::from(from.0)));
                 match r {
@@ -731,10 +749,16 @@ impl NsInner {
             1 => {
                 AtomicU64::fetch_add(&self.stats.commits, 1, Ordering::Relaxed);
                 let (owner, ups) = by_owner.into_iter().next().expect("one");
-                match self
-                    .caller
-                    .call(owner, Msg::Commit { txn, updates: ups }, self.cfg.rpc_timeout)
-                {
+                let req = self.next_req.fetch_add(1, Ordering::Relaxed);
+                match self.caller.call(
+                    owner,
+                    Msg::Commit {
+                        txn,
+                        updates: ups,
+                        req,
+                    },
+                    self.cfg.rpc_timeout,
+                ) {
                     Ok(Msg::Ok) => Ok(()),
                     Ok(Msg::Err(e)) => Err(e),
                     Ok(other) => Err(format!("bad reply {other:?}")),
@@ -767,9 +791,14 @@ impl NsInner {
                         Err(e) => return Err(e.to_string()),
                     }
                 }
+                let req = self.next_req.fetch_add(1, Ordering::Relaxed);
                 match self.caller.call(
                     coordinator,
-                    Msg::CommitGlobal { gtxn, participants },
+                    Msg::CommitGlobal {
+                        gtxn,
+                        participants,
+                        req,
+                    },
                     self.cfg.rpc_timeout,
                 ) {
                     Ok(Msg::Decision { committed: true }) => Ok(()),

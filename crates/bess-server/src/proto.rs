@@ -3,6 +3,18 @@
 //! One message enum covers client→server requests, the 2PC coordination
 //! traffic between servers, and the server→client **callback** messages of
 //! the callback locking algorithm (§3).
+//!
+//! Failure containment adds three things to the protocol:
+//!
+//! * [`Msg::Heartbeat`] — a one-way lease renewal. A server that stops
+//!   hearing from a client reaps its locks, callback copies, and in-flight
+//!   transactions (see `server::BessServer`).
+//! * Request ids (`req`) on [`Msg::Commit`] and [`Msg::CommitGlobal`] — the
+//!   non-idempotent requests. A client that times out retries with the
+//!   *same* id; the server's dedup window returns the recorded reply
+//!   instead of applying the commit twice (at-most-once execution).
+//! * A compact binary codec ([`Msg::encode`] / [`Msg::decode`]) so every
+//!   variant has an explicit, property-tested wire form.
 
 use bess_cache::DbPage;
 use bess_lock::{LockMode, LockName};
@@ -31,7 +43,7 @@ pub struct PageUpdate {
 }
 
 /// Protocol messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Msg {
     // ---- client -> server requests -----------------------------------
     /// Start a transaction; reply: [`Msg::TxnId`].
@@ -111,12 +123,18 @@ pub enum Msg {
         txn: u64,
         /// The page updates.
         updates: Vec<PageUpdate>,
+        /// Client-assigned request id for at-most-once retry; `0` opts out
+        /// of deduplication.
+        req: u64,
     },
     /// Abort notice (client discards its own state); reply: [`Msg::Ok`].
     Abort {
         /// Transaction id.
         txn: u64,
     },
+    /// One-way lease renewal: "this client is alive". No reply. A server
+    /// reaps clients whose lease expires (dead-client reclamation).
+    Heartbeat,
 
     // ---- two-phase commit (§3) ----------------------------------------
     /// Ship a distributed transaction's updates to a participant ahead of
@@ -134,6 +152,9 @@ pub enum Msg {
         gtxn: GTxn,
         /// Participant nodes (may include the coordinator).
         participants: Vec<u32>,
+        /// Client-assigned request id for at-most-once retry; `0` opts out
+        /// of deduplication.
+        req: u64,
     },
     /// Coordinator → participant phase 1; reply: [`Msg::VoteYes`] or
     /// [`Msg::VoteNo`].
@@ -217,6 +238,487 @@ pub enum Msg {
     Unknown,
 }
 
+// ---- binary codec --------------------------------------------------------
+//
+// Little-endian, length-prefixed, one tag byte per variant. The in-process
+// network ships `Msg` values directly, so the codec is not on the hot path;
+// it exists so the wire form is explicit and every variant round-trips
+// under the property tests in `tests/proto_roundtrip.rs`.
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    // LINT: allow(cast) — message payloads are page-sized, far below u32::MAX.
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+
+fn put_mode(buf: &mut Vec<u8>, mode: LockMode) {
+    buf.push(match mode {
+        LockMode::IS => 0,
+        LockMode::IX => 1,
+        LockMode::S => 2,
+        LockMode::SIX => 3,
+        LockMode::X => 4,
+    });
+}
+
+fn put_name(buf: &mut Vec<u8>, name: &LockName) {
+    match name {
+        LockName::Database(db) => {
+            buf.push(0);
+            put_u32(buf, *db);
+        }
+        LockName::File { db, file } => {
+            buf.push(1);
+            put_u32(buf, *db);
+            put_u32(buf, *file);
+        }
+        LockName::Segment { area, page } => {
+            buf.push(2);
+            put_u32(buf, *area);
+            put_u64(buf, *page);
+        }
+        LockName::Page { area, page } => {
+            buf.push(3);
+            put_u32(buf, *area);
+            put_u64(buf, *page);
+        }
+        LockName::Object { area, page, slot } => {
+            buf.push(4);
+            put_u32(buf, *area);
+            put_u64(buf, *page);
+            put_u32(buf, *slot);
+        }
+    }
+}
+
+fn put_update(buf: &mut Vec<u8>, u: &PageUpdate) {
+    put_u32(buf, u.page.area);
+    put_u64(buf, u.page.page);
+    put_u32(buf, u.offset);
+    put_bytes(buf, &u.before);
+    put_bytes(buf, &u.after);
+}
+
+fn put_updates(buf: &mut Vec<u8>, updates: &[PageUpdate]) {
+    // LINT: allow(cast) — a commit carries at most a few thousand updates.
+    put_u32(buf, updates.len() as u32);
+    for u in updates {
+        put_update(buf, u);
+    }
+}
+
+/// Sequential reader over an encoded message.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, String> {
+        let v = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| "truncated message".to_string())?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let raw: [u8; 4] = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| "truncated message".to_string())?
+            .try_into()
+            // LINT: allow(panic) — the slice is exactly 4 bytes by construction.
+            .expect("4-byte slice");
+        self.pos = end;
+        Ok(u32::from_le_bytes(raw))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let end = self.pos + 8;
+        let raw: [u8; 8] = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| "truncated message".to_string())?
+            .try_into()
+            // LINT: allow(panic) — the slice is exactly 8 bytes by construction.
+            .expect("8-byte slice");
+        self.pos = end;
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, String> {
+        let len = self.u32()? as usize;
+        let end = self.pos + len;
+        let v = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| "truncated message".to_string())?
+            .to_vec();
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        String::from_utf8(self.bytes()?).map_err(|e| format!("bad utf8: {e}"))
+    }
+
+    fn mode(&mut self) -> Result<LockMode, String> {
+        Ok(match self.u8()? {
+            0 => LockMode::IS,
+            1 => LockMode::IX,
+            2 => LockMode::S,
+            3 => LockMode::SIX,
+            4 => LockMode::X,
+            t => return Err(format!("bad lock mode tag {t}")),
+        })
+    }
+
+    fn name(&mut self) -> Result<LockName, String> {
+        Ok(match self.u8()? {
+            0 => LockName::Database(self.u32()?),
+            1 => LockName::File {
+                db: self.u32()?,
+                file: self.u32()?,
+            },
+            2 => LockName::Segment {
+                area: self.u32()?,
+                page: self.u64()?,
+            },
+            3 => LockName::Page {
+                area: self.u32()?,
+                page: self.u64()?,
+            },
+            4 => LockName::Object {
+                area: self.u32()?,
+                page: self.u64()?,
+                slot: self.u32()?,
+            },
+            t => return Err(format!("bad lock name tag {t}")),
+        })
+    }
+
+    fn page(&mut self) -> Result<DbPage, String> {
+        Ok(DbPage {
+            area: self.u32()?,
+            page: self.u64()?,
+        })
+    }
+
+    fn update(&mut self) -> Result<PageUpdate, String> {
+        Ok(PageUpdate {
+            page: self.page()?,
+            offset: self.u32()?,
+            before: self.bytes()?,
+            after: self.bytes()?,
+        })
+    }
+
+    fn updates(&mut self) -> Result<Vec<PageUpdate>, String> {
+        let n = self.u32()? as usize;
+        let mut v = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            v.push(self.update()?);
+        }
+        Ok(v)
+    }
+}
+
+impl Msg {
+    /// Encodes the message into its binary wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Msg::BeginTxn => b.push(0),
+            Msg::FetchPage { page, mode } => {
+                b.push(1);
+                put_u32(&mut b, page.area);
+                put_u64(&mut b, page.page);
+                put_mode(&mut b, *mode);
+            }
+            Msg::ReadPage { page } => {
+                b.push(2);
+                put_u32(&mut b, page.area);
+                put_u64(&mut b, page.page);
+            }
+            Msg::Lock { name, mode } => {
+                b.push(3);
+                put_name(&mut b, name);
+                put_mode(&mut b, *mode);
+            }
+            Msg::ReleaseCached { names } => {
+                b.push(4);
+                // LINT: allow(cast) — a release batch is bounded by the lock cache size.
+                put_u32(&mut b, names.len() as u32);
+                for n in names {
+                    put_name(&mut b, n);
+                }
+            }
+            Msg::ReleaseAll => b.push(5),
+            Msg::AllocSegment { area, pages } => {
+                b.push(6);
+                put_u32(&mut b, *area);
+                put_u32(&mut b, *pages);
+            }
+            Msg::FreeSegment {
+                area,
+                start_page,
+                pages,
+            } => {
+                b.push(7);
+                put_u32(&mut b, *area);
+                put_u64(&mut b, *start_page);
+                put_u32(&mut b, *pages);
+            }
+            Msg::ReadAt {
+                area,
+                page,
+                offset,
+                len,
+            } => {
+                b.push(8);
+                put_u32(&mut b, *area);
+                put_u64(&mut b, *page);
+                put_u32(&mut b, *offset);
+                put_u32(&mut b, *len);
+            }
+            Msg::WriteAt {
+                area,
+                page,
+                offset,
+                data,
+            } => {
+                b.push(9);
+                put_u32(&mut b, *area);
+                put_u64(&mut b, *page);
+                put_u32(&mut b, *offset);
+                put_bytes(&mut b, data);
+            }
+            Msg::Commit { txn, updates, req } => {
+                b.push(10);
+                put_u64(&mut b, *txn);
+                put_u64(&mut b, *req);
+                put_updates(&mut b, updates);
+            }
+            Msg::Abort { txn } => {
+                b.push(11);
+                put_u64(&mut b, *txn);
+            }
+            Msg::ShipUpdates { gtxn, updates } => {
+                b.push(12);
+                put_u64(&mut b, *gtxn);
+                put_updates(&mut b, updates);
+            }
+            Msg::CommitGlobal {
+                gtxn,
+                participants,
+                req,
+            } => {
+                b.push(13);
+                put_u64(&mut b, *gtxn);
+                put_u64(&mut b, *req);
+                // LINT: allow(cast) — participant lists are node counts.
+                put_u32(&mut b, participants.len() as u32);
+                for p in participants {
+                    put_u32(&mut b, *p);
+                }
+            }
+            Msg::Prepare { gtxn } => {
+                b.push(14);
+                put_u64(&mut b, *gtxn);
+            }
+            Msg::Decide { gtxn, commit } => {
+                b.push(15);
+                put_u64(&mut b, *gtxn);
+                b.push(u8::from(*commit));
+            }
+            Msg::QueryDecision { gtxn } => {
+                b.push(16);
+                put_u64(&mut b, *gtxn);
+            }
+            Msg::BeginGlobal => b.push(17),
+            Msg::Callback { name } => {
+                b.push(18);
+                put_name(&mut b, name);
+            }
+            Msg::CallbackDowngrade { name, to } => {
+                b.push(19);
+                put_name(&mut b, name);
+                put_mode(&mut b, *to);
+            }
+            Msg::Ok => b.push(20),
+            Msg::Err(e) => {
+                b.push(21);
+                put_bytes(&mut b, e.as_bytes());
+            }
+            Msg::TxnId(t) => {
+                b.push(22);
+                put_u64(&mut b, *t);
+            }
+            Msg::PageData(d) => {
+                b.push(23);
+                put_bytes(&mut b, d);
+            }
+            Msg::Granted => b.push(24),
+            Msg::Denied(m) => {
+                b.push(25);
+                put_bytes(&mut b, m.as_bytes());
+            }
+            Msg::DiskSeg {
+                area,
+                start_page,
+                pages,
+            } => {
+                b.push(26);
+                put_u32(&mut b, *area);
+                put_u64(&mut b, *start_page);
+                put_u32(&mut b, *pages);
+            }
+            Msg::Bytes(d) => {
+                b.push(27);
+                put_bytes(&mut b, d);
+            }
+            Msg::CallbackReleased => b.push(28),
+            Msg::CallbackDeferred => b.push(29),
+            Msg::VoteYes => b.push(30),
+            Msg::VoteNo => b.push(31),
+            Msg::Decision { committed } => {
+                b.push(32);
+                b.push(u8::from(*committed));
+            }
+            Msg::Unknown => b.push(33),
+            Msg::Heartbeat => b.push(34),
+        }
+        b
+    }
+
+    /// Decodes a message from its binary wire form.
+    pub fn decode(buf: &[u8]) -> Result<Msg, String> {
+        let mut c = Cursor { buf, pos: 0 };
+        let msg = match c.u8()? {
+            0 => Msg::BeginTxn,
+            1 => Msg::FetchPage {
+                page: c.page()?,
+                mode: c.mode()?,
+            },
+            2 => Msg::ReadPage { page: c.page()? },
+            3 => Msg::Lock {
+                name: c.name()?,
+                mode: c.mode()?,
+            },
+            4 => {
+                let n = c.u32()? as usize;
+                let mut names = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    names.push(c.name()?);
+                }
+                Msg::ReleaseCached { names }
+            }
+            5 => Msg::ReleaseAll,
+            6 => Msg::AllocSegment {
+                area: c.u32()?,
+                pages: c.u32()?,
+            },
+            7 => Msg::FreeSegment {
+                area: c.u32()?,
+                start_page: c.u64()?,
+                pages: c.u32()?,
+            },
+            8 => Msg::ReadAt {
+                area: c.u32()?,
+                page: c.u64()?,
+                offset: c.u32()?,
+                len: c.u32()?,
+            },
+            9 => Msg::WriteAt {
+                area: c.u32()?,
+                page: c.u64()?,
+                offset: c.u32()?,
+                data: c.bytes()?,
+            },
+            10 => Msg::Commit {
+                txn: c.u64()?,
+                req: c.u64()?,
+                updates: c.updates()?,
+            },
+            11 => Msg::Abort { txn: c.u64()? },
+            12 => Msg::ShipUpdates {
+                gtxn: c.u64()?,
+                updates: c.updates()?,
+            },
+            13 => {
+                let gtxn = c.u64()?;
+                let req = c.u64()?;
+                let n = c.u32()? as usize;
+                let mut participants = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    participants.push(c.u32()?);
+                }
+                Msg::CommitGlobal {
+                    gtxn,
+                    participants,
+                    req,
+                }
+            }
+            14 => Msg::Prepare { gtxn: c.u64()? },
+            15 => Msg::Decide {
+                gtxn: c.u64()?,
+                commit: c.bool()?,
+            },
+            16 => Msg::QueryDecision { gtxn: c.u64()? },
+            17 => Msg::BeginGlobal,
+            18 => Msg::Callback { name: c.name()? },
+            19 => Msg::CallbackDowngrade {
+                name: c.name()?,
+                to: c.mode()?,
+            },
+            20 => Msg::Ok,
+            21 => Msg::Err(c.string()?),
+            22 => Msg::TxnId(c.u64()?),
+            23 => Msg::PageData(c.bytes()?),
+            24 => Msg::Granted,
+            25 => Msg::Denied(c.string()?),
+            26 => Msg::DiskSeg {
+                area: c.u32()?,
+                start_page: c.u64()?,
+                pages: c.u32()?,
+            },
+            27 => Msg::Bytes(c.bytes()?),
+            28 => Msg::CallbackReleased,
+            29 => Msg::CallbackDeferred,
+            30 => Msg::VoteYes,
+            31 => Msg::VoteNo,
+            32 => Msg::Decision {
+                committed: c.bool()?,
+            },
+            33 => Msg::Unknown,
+            34 => Msg::Heartbeat,
+            t => return Err(format!("bad message tag {t}")),
+        };
+        if c.pos != buf.len() {
+            return Err(format!(
+                "{} trailing byte(s) after message",
+                buf.len() - c.pos
+            ));
+        }
+        Ok(msg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +727,30 @@ mod tests {
     fn gtxn_encoding() {
         let gtxn: GTxn = (7u64 << 32) | 99;
         assert_eq!(coordinator_of(gtxn), 7);
+    }
+
+    #[test]
+    fn codec_round_trips_a_commit() {
+        let msg = Msg::Commit {
+            txn: 42,
+            updates: vec![PageUpdate {
+                page: DbPage { area: 1, page: 7 },
+                offset: 64,
+                before: vec![0, 1, 2],
+                after: vec![3, 4, 5],
+            }],
+            req: 9,
+        };
+        assert_eq!(Msg::decode(&msg.encode()), Ok(msg));
+    }
+
+    #[test]
+    fn codec_rejects_garbage() {
+        assert!(Msg::decode(&[]).is_err());
+        assert!(Msg::decode(&[250]).is_err());
+        assert!(Msg::decode(&[10, 1]).is_err(), "truncated commit");
+        let mut ok = Msg::Ok.encode();
+        ok.push(0);
+        assert!(Msg::decode(&ok).is_err(), "trailing bytes rejected");
     }
 }

@@ -19,14 +19,14 @@
 //! the after-images to the storage areas. Distributed commits run
 //! presumed-abort 2PC with the client's first server as coordinator.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bess_cache::AreaSet;
-use bess_lock::{LockManager, LockMode, LockName, TxnId};
+use bess_lock::{LockManager, LockMode, LockName, OrderedMutex, Rank, TxnId};
 use bess_net::{Caller, Endpoint, Network, NodeId};
 use bess_storage::{AreaId, DiskPtr};
 use bess_wal::{
@@ -48,6 +48,20 @@ pub struct ServerConfig {
     pub lock_timeout: Duration,
     /// Timeout for server-initiated RPCs (callbacks, 2PC rounds).
     pub rpc_timeout: Duration,
+    /// How long a client's lease stays valid after its last message. A
+    /// client that stays silent longer is presumed dead and reaped: its
+    /// locks and callback copies are released, its unshipped updates
+    /// dropped, and its prepared 2PC branches resolved by presumed abort.
+    pub lease_duration: Duration,
+    /// How long a prepared 2PC branch must sit undecided before the reaper
+    /// asks the coordinator for a verdict. Covers the window where the
+    /// coordinator is still running phase 1/2 and its decision record is
+    /// not yet visible — querying earlier could presume abort on a branch
+    /// the coordinator is about to commit.
+    pub coordinator_grace: Duration,
+    /// Consecutive storage-write failures tolerated before the server
+    /// drops into read-only mode (media-failure containment).
+    pub media_error_threshold: u64,
 }
 
 impl ServerConfig {
@@ -57,6 +71,9 @@ impl ServerConfig {
             node,
             lock_timeout: Duration::from_millis(500),
             rpc_timeout: Duration::from_secs(2),
+            lease_duration: Duration::from_secs(10),
+            coordinator_grace: Duration::from_secs(1),
+            media_error_threshold: 3,
         }
     }
 }
@@ -90,6 +107,18 @@ pub struct ServerStats {
     pub prepares: AtomicU64,
     /// 2PC transactions coordinated.
     pub coordinated: AtomicU64,
+    /// Client leases that expired (dead-client reclamation runs).
+    pub leases_expired: AtomicU64,
+    /// In-flight transactions reaped on behalf of dead clients (dropped
+    /// unshipped update sets plus force-resolved prepared branches).
+    pub txns_reaped: AtomicU64,
+    /// Retried requests answered from the dedup window instead of being
+    /// re-executed.
+    pub dedup_hits: AtomicU64,
+    /// New transactions rejected while draining.
+    pub drain_rejections: AtomicU64,
+    /// Mutating requests rejected while read-only.
+    pub read_only_rejections: AtomicU64,
 }
 
 impl ServerStats {
@@ -109,6 +138,11 @@ impl ServerStats {
             callback_downgrades: self.callback_downgrades.load(Ordering::Relaxed),
             prepares: self.prepares.load(Ordering::Relaxed),
             coordinated: self.coordinated.load(Ordering::Relaxed),
+            leases_expired: self.leases_expired.load(Ordering::Relaxed),
+            txns_reaped: self.txns_reaped.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            drain_rejections: self.drain_rejections.load(Ordering::Relaxed),
+            read_only_rejections: self.read_only_rejections.load(Ordering::Relaxed),
         }
     }
 }
@@ -142,6 +176,16 @@ pub struct ServerStatsSnapshot {
     pub prepares: u64,
     /// 2PC rounds coordinated.
     pub coordinated: u64,
+    /// Client leases expired.
+    pub leases_expired: u64,
+    /// Transactions reaped for dead clients.
+    pub txns_reaped: u64,
+    /// Retries answered from the dedup window.
+    pub dedup_hits: u64,
+    /// Transactions rejected while draining.
+    pub drain_rejections: u64,
+    /// Mutations rejected while read-only.
+    pub read_only_rejections: u64,
 }
 
 /// Applies redo/undo images to the server's storage areas.
@@ -163,7 +207,34 @@ impl RedoTarget for AreaTarget {
 struct PreparedTxn {
     updates: Vec<PageUpdate>,
     last_lsn: Lsn,
+    /// The client node that shipped this branch's updates, when known.
+    /// `None` for branches rebuilt by restart recovery — those are
+    /// resolved by `resolve_in_doubt`, not the lease reaper.
+    shipper: Option<u32>,
+    /// When the branch prepared; the reaper waits out `coordinator_grace`
+    /// from here before force-querying the coordinator.
+    prepared_at: Instant,
 }
+
+/// State of one entry in the at-most-once dedup window.
+enum DedupState {
+    /// The first delivery is still executing; duplicates wait for it.
+    InFlight,
+    /// The recorded reply; duplicates get a clone instead of re-execution.
+    Done(Msg),
+}
+
+/// Recent non-idempotent requests keyed by `(client node, request id)`,
+/// bounded FIFO. A retried commit whose first delivery already executed
+/// is answered from here, making commit exactly-once under retry.
+struct DedupWindow {
+    entries: HashMap<(u32, u64), DedupState>,
+    order: VecDeque<(u32, u64)>,
+}
+
+/// Entries kept in the dedup window before the oldest completed ones are
+/// evicted. Clients retry within seconds, so a small window is plenty.
+const DEDUP_WINDOW: usize = 1024;
 
 struct ServerInner {
     cfg: ServerConfig,
@@ -172,13 +243,27 @@ struct ServerInner {
     log: Arc<LogManager>,
     caller: Caller<Msg>,
     decisions: Mutex<HashMap<GTxn, bool>>,
-    pending: Mutex<HashMap<GTxn, Vec<PageUpdate>>>,
+    /// Updates shipped ahead of 2PC, keyed by global transaction, tagged
+    /// with the shipping client node so the reaper can drop a dead
+    /// client's unprepared branches.
+    pending: Mutex<HashMap<GTxn, (u32, Vec<PageUpdate>)>>,
     prepared: Mutex<HashMap<GTxn, PreparedTxn>>,
     /// Callbacks currently awaiting a client's answer. A new request from
     /// the *called-back holder* for the same resource must wait until the
     /// answer is processed, otherwise its covered-mode re-grant races the
     /// release and a lock can be silently lost.
     callbacks_in_flight: Mutex<std::collections::HashSet<(LockName, TxnId)>>,
+    /// Last time each node was heard from. Never held across calls into
+    /// the lock manager, the log, or the network.
+    leases: OrderedMutex<HashMap<u32, Instant>>,
+    /// The at-most-once window. Never held across request execution.
+    dedup: OrderedMutex<DedupWindow>,
+    /// Drain mode: finish in-flight work, reject new transactions.
+    draining: AtomicBool,
+    /// Read-only fallback after repeated media errors.
+    read_only: AtomicBool,
+    /// Consecutive storage-write failures (reset on success).
+    media_errors: AtomicU64,
     next_txn: AtomicU64,
     running: AtomicBool,
     stats: ServerStats,
@@ -254,6 +339,18 @@ impl BessServer {
             pending: Mutex::new(HashMap::new()),
             prepared: Mutex::new(HashMap::new()),
             callbacks_in_flight: Mutex::new(std::collections::HashSet::new()),
+            leases: OrderedMutex::new(Rank::ServerLeases, "server.leases", HashMap::new()),
+            dedup: OrderedMutex::new(
+                Rank::ServerDedup,
+                "server.dedup",
+                DedupWindow {
+                    entries: HashMap::new(),
+                    order: VecDeque::new(),
+                },
+            ),
+            draining: AtomicBool::new(false),
+            read_only: AtomicBool::new(false),
+            media_errors: AtomicU64::new(0),
             next_txn: AtomicU64::new(1),
             running: AtomicBool::new(true),
             stats: ServerStats::default(),
@@ -269,10 +366,15 @@ impl BessServer {
                 };
                 let _ = inner.locks.try_lock(TxnId(gtxn), name, LockMode::X);
             }
-            inner
-                .prepared
-                .lock()
-                .insert(gtxn, PreparedTxn { updates, last_lsn });
+            inner.prepared.lock().insert(
+                gtxn,
+                PreparedTxn {
+                    updates,
+                    last_lsn,
+                    shipper: None,
+                    prepared_at: Instant::now(),
+                },
+            );
         }
 
         let endpoint = net.register(inner.cfg.node);
@@ -355,6 +457,64 @@ impl BessServer {
         }
     }
 
+    /// Runs one reaper pass immediately (normally driven by idle ticks of
+    /// the serve loop). Deterministic hook for tests and tooling.
+    pub fn reap_expired(&self) {
+        self.inner.reap_expired();
+    }
+
+    /// Forcibly expires `node`'s lease and reaps it now, regardless of how
+    /// recently it was heard from. Deterministic dead-client injection.
+    pub fn expire_lease(&self, node: NodeId) {
+        self.inner.leases.lock().remove(&node.0);
+        self.inner.reap_node(node.0);
+        self.inner.resolve_stale_prepared();
+    }
+
+    /// Whether `node` currently holds a live lease.
+    pub fn has_lease(&self, node: NodeId) -> bool {
+        self.inner.leases.lock().contains_key(&node.0)
+    }
+
+    /// Every lock currently granted to client `node` (cached copies
+    /// included — the server cannot tell them apart, which is the point:
+    /// reclamation must release both).
+    pub fn locks_held_by(&self, node: NodeId) -> Vec<LockName> {
+        self.inner.locks.held_by(TxnId(u64::from(node.0)))
+    }
+
+    /// Global transactions with shipped-but-unprepared updates.
+    pub fn pending_gtxns(&self) -> Vec<GTxn> {
+        let mut v: Vec<GTxn> = self.inner.pending.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Enters or leaves drain mode: in-flight transactions complete, new
+    /// `BeginTxn`/`BeginGlobal` requests are rejected.
+    pub fn set_draining(&self, on: bool) {
+        self.inner.draining.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the server is draining.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Relaxed)
+    }
+
+    /// Forces (or clears) read-only mode. Entered automatically after
+    /// `media_error_threshold` consecutive storage-write failures.
+    pub fn set_read_only(&self, on: bool) {
+        self.inner.read_only.store(on, Ordering::Relaxed);
+        if !on {
+            self.inner.media_errors.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the server is read-only.
+    pub fn is_read_only(&self) -> bool {
+        self.inner.read_only.load(Ordering::Relaxed)
+    }
+
     /// Stops the server loop (the "machine" stays reachable until the
     /// network entry is dropped).
     pub fn shutdown(mut self) {
@@ -386,7 +546,10 @@ fn serve_loop(inner: Arc<ServerInner>, endpoint: Endpoint<Msg>) {
                     env.reply(reply);
                 });
             }
-            Err(bess_net::NetError::Timeout) => continue,
+            Err(bess_net::NetError::Timeout) => {
+                // Idle tick: reap clients whose lease ran out.
+                inner.reap_expired();
+            }
             Err(_) => break,
         }
     }
@@ -394,12 +557,238 @@ fn serve_loop(inner: Arc<ServerInner>, endpoint: Endpoint<Msg>) {
 
 impl ServerInner {
     fn handle(&self, from: NodeId, msg: Msg) -> Msg {
+        // Any message is proof of life: renew the sender's lease. The
+        // guard is dropped before dispatch — leases rank below nothing
+        // this request will take.
+        self.leases.lock().insert(from.0, Instant::now());
+
+        if let Some(reject) = self.check_degraded(&msg) {
+            return reject;
+        }
+
+        // At-most-once execution for the non-idempotent requests: a
+        // retried commit with the same request id gets the recorded reply
+        // instead of applying twice. `req == 0` opts out.
+        let dedup_key = match &msg {
+            Msg::Commit { req, .. } | Msg::CommitGlobal { req, .. } if *req != 0 => {
+                Some((from.0, *req))
+            }
+            _ => None,
+        };
+        if let Some(key) = dedup_key {
+            if let Some(replayed) = self.dedup_begin(key) {
+                return replayed;
+            }
+            let reply = self.dispatch(from, msg);
+            self.dedup_finish(key, reply.clone());
+            return reply;
+        }
+        self.dispatch(from, msg)
+    }
+
+    /// Rejects requests the server's degraded modes forbid: new
+    /// transactions while draining, mutations while read-only.
+    fn check_degraded(&self, msg: &Msg) -> Option<Msg> {
+        if self.draining.load(Ordering::Relaxed)
+            && matches!(msg, Msg::BeginTxn | Msg::BeginGlobal)
+        {
+            AtomicU64::fetch_add(&self.stats.drain_rejections, 1, Ordering::Relaxed);
+            return Some(Msg::Err("server draining: not accepting new transactions".into()));
+        }
+        if self.read_only.load(Ordering::Relaxed) {
+            match msg {
+                Msg::WriteAt { .. }
+                | Msg::Commit { .. }
+                | Msg::CommitGlobal { .. }
+                | Msg::ShipUpdates { .. }
+                | Msg::AllocSegment { .. }
+                | Msg::FreeSegment { .. } => {
+                    AtomicU64::fetch_add(&self.stats.read_only_rejections, 1, Ordering::Relaxed);
+                    return Some(Msg::Err(
+                        "server read-only after repeated media errors".into(),
+                    ));
+                }
+                Msg::Prepare { .. } => {
+                    AtomicU64::fetch_add(&self.stats.read_only_rejections, 1, Ordering::Relaxed);
+                    return Some(Msg::VoteNo);
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// First half of the dedup protocol. Returns `Some(reply)` when this
+    /// request is a duplicate (answered from the window, possibly after
+    /// waiting out a concurrent first delivery); `None` when the caller
+    /// owns execution and must call [`Self::dedup_finish`].
+    fn dedup_begin(&self, key: (u32, u64)) -> Option<Msg> {
+        {
+            let mut w = self.dedup.lock();
+            match w.entries.get(&key) {
+                None => {
+                    w.entries.insert(key, DedupState::InFlight);
+                    w.order.push_back(key);
+                    // Evict completed entries beyond the window; in-flight
+                    // entries are never evicted (their owner still needs
+                    // to record a reply).
+                    while w.order.len() > DEDUP_WINDOW {
+                        let Some(old) = w.order.front().copied() else {
+                            break;
+                        };
+                        if matches!(w.entries.get(&old), Some(DedupState::InFlight)) {
+                            break;
+                        }
+                        w.order.pop_front();
+                        w.entries.remove(&old);
+                    }
+                    return None;
+                }
+                Some(DedupState::Done(reply)) => {
+                    AtomicU64::fetch_add(&self.stats.dedup_hits, 1, Ordering::Relaxed);
+                    return Some(reply.clone());
+                }
+                Some(DedupState::InFlight) => {}
+            }
+        }
+        // A duplicate arrived while the first delivery is still executing
+        // (the network duplicated the request). Wait for its reply rather
+        // than executing a second time.
+        let deadline = Instant::now() + self.cfg.rpc_timeout;
+        loop {
+            std::thread::sleep(Duration::from_millis(1));
+            {
+                let w = self.dedup.lock();
+                match w.entries.get(&key) {
+                    Some(DedupState::Done(reply)) => {
+                        AtomicU64::fetch_add(&self.stats.dedup_hits, 1, Ordering::Relaxed);
+                        return Some(reply.clone());
+                    }
+                    Some(DedupState::InFlight) => {}
+                    None => return Some(Msg::Err("duplicate request evicted".into())),
+                }
+            }
+            if Instant::now() > deadline {
+                return Some(Msg::Err("duplicate request still in flight".into()));
+            }
+        }
+    }
+
+    /// Records the reply for a request admitted by [`Self::dedup_begin`].
+    fn dedup_finish(&self, key: (u32, u64), reply: Msg) {
+        self.dedup.lock().entries.insert(key, DedupState::Done(reply));
+    }
+
+    /// Reaps every node whose lease has expired.
+    fn reap_expired(&self) {
+        let now = Instant::now();
+        let dead: Vec<u32> = {
+            let mut leases = self.leases.lock();
+            let dead: Vec<u32> = leases
+                .iter()
+                .filter(|(_, last)| now.duration_since(**last) >= self.cfg.lease_duration)
+                .map(|(n, _)| *n)
+                .collect();
+            for n in &dead {
+                leases.remove(n);
+            }
+            dead
+        };
+        for node in dead {
+            self.reap_node(node);
+        }
+        self.resolve_stale_prepared();
+    }
+
+    /// Dead-client reclamation: release the node's locks and callback
+    /// copies, and drop its unprepared shipped updates. Prepared branches
+    /// are left to [`Self::resolve_stale_prepared`], which honours the
+    /// coordinator grace period.
+    fn reap_node(&self, node: u32) {
+        AtomicU64::fetch_add(&self.stats.leases_expired, 1, Ordering::Relaxed);
+        // Unshipped/unprepared branches: nothing was logged, so dropping
+        // the buffered updates aborts them.
+        let dropped: Vec<GTxn> = {
+            let mut pending = self.pending.lock();
+            let gone: Vec<GTxn> = pending
+                .iter()
+                .filter(|(_, (shipper, _))| *shipper == node)
+                .map(|(g, _)| *g)
+                .collect();
+            for g in &gone {
+                pending.remove(g);
+            }
+            gone
+        };
+        AtomicU64::fetch_add(&self.stats.txns_reaped, dropped.len() as u64, Ordering::Relaxed);
+        // Locks and callback copies are both grants to the client node;
+        // one sweep releases them all and wakes any waiters.
+        self.locks.unlock_all(TxnId(u64::from(node)));
+    }
+
+    /// Resolves prepared branches whose shipping client is no longer
+    /// leased and whose coordinator grace has elapsed: ask the
+    /// coordinator; no record means presumed abort.
+    fn resolve_stale_prepared(&self) {
+        let now = Instant::now();
+        let stale: Vec<(GTxn, u32)> = {
+            let leased: std::collections::HashSet<u32> =
+                self.leases.lock().keys().copied().collect();
+            self.prepared
+                .lock()
+                .iter()
+                .filter_map(|(g, p)| {
+                    let shipper = p.shipper?;
+                    (!leased.contains(&shipper)
+                        && now.duration_since(p.prepared_at) >= self.cfg.coordinator_grace)
+                        .then_some((*g, shipper))
+                })
+                .collect()
+        };
+        for (gtxn, _) in stale {
+            let coord = coordinator_of(gtxn);
+            let verdict = if coord == self.cfg.node.0 {
+                // We are the coordinator: our durable decision table is
+                // authoritative; absence means the round never decided.
+                Some(self.decisions.lock().get(&gtxn).copied().unwrap_or(false))
+            } else {
+                match self.caller.call(
+                    NodeId(coord),
+                    Msg::QueryDecision { gtxn },
+                    self.cfg.rpc_timeout,
+                ) {
+                    Ok(Msg::Decision { committed }) => Some(committed),
+                    Ok(Msg::Unknown) => Some(false), // presumed abort
+                    _ => None,                       // unreachable: retry next tick
+                }
+            };
+            if let Some(commit) = verdict {
+                AtomicU64::fetch_add(&self.stats.txns_reaped, 1, Ordering::Relaxed);
+                self.decide(gtxn, commit);
+            }
+        }
+    }
+
+    /// Tracks a storage-write outcome; repeated failures trip read-only.
+    fn note_media(&self, ok: bool) {
+        if ok {
+            self.media_errors.store(0, Ordering::Relaxed);
+        } else {
+            let n = self.media_errors.fetch_add(1, Ordering::Relaxed) + 1;
+            if n >= self.cfg.media_error_threshold {
+                self.read_only.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn dispatch(&self, from: NodeId, msg: Msg) -> Msg {
         match msg {
             Msg::BeginTxn => {
                 AtomicU64::fetch_add(&self.stats.txns, 1, Ordering::Relaxed);
                 let seq = self.next_txn.fetch_add(1, Ordering::Relaxed);
                 Msg::TxnId((u64::from(self.cfg.node.0) << 32) | seq)
             }
+            Msg::Heartbeat => Msg::Ok,
             Msg::BeginGlobal => {
                 let seq = self.next_txn.fetch_add(1, Ordering::Relaxed);
                 Msg::TxnId((u64::from(self.cfg.node.0) << 32) | seq)
@@ -479,22 +868,35 @@ impl ServerInner {
                 data,
             } => match self.areas.get(area) {
                 Some(a) => match a.write_at(page, offset as usize, &data) {
-                    Ok(()) => Msg::Ok,
-                    Err(e) => Msg::Err(e.to_string()),
+                    Ok(()) => {
+                        self.note_media(true);
+                        Msg::Ok
+                    }
+                    Err(e) => {
+                        self.note_media(false);
+                        Msg::Err(e.to_string())
+                    }
                 },
                 None => Msg::Err(format!("no area {area}")),
             },
-            Msg::Commit { txn, updates } => self.do_commit(txn, &updates),
+            Msg::Commit { txn, updates, .. } => self.do_commit(txn, &updates),
             Msg::Abort { txn } => {
                 AtomicU64::fetch_add(&self.stats.aborts, 1, Ordering::Relaxed);
                 let _ = txn;
                 Msg::Ok
             }
             Msg::ShipUpdates { gtxn, updates } => {
-                self.pending.lock().entry(gtxn).or_default().extend(updates);
+                self.pending
+                    .lock()
+                    .entry(gtxn)
+                    .or_insert_with(|| (from.0, Vec::new()))
+                    .1
+                    .extend(updates);
                 Msg::Ok
             }
-            Msg::CommitGlobal { gtxn, participants } => self.do_commit_global(gtxn, &participants),
+            Msg::CommitGlobal {
+                gtxn, participants, ..
+            } => self.do_commit_global(gtxn, &participants),
             Msg::Prepare { gtxn } => self.do_prepare(gtxn),
             Msg::Decide { gtxn, commit } => {
                 self.decide(gtxn, commit);
@@ -633,9 +1035,12 @@ impl ServerInner {
                 .areas
                 .get(u.page.area)
                 .ok_or_else(|| format!("no area {}", u.page.area))?;
-            area.write_at(u.page.page, u.offset as usize, &u.after)
-                .map_err(|e| e.to_string())?;
+            if let Err(e) = area.write_at(u.page.page, u.offset as usize, &u.after) {
+                self.note_media(false);
+                return Err(e.to_string());
+            }
         }
+        self.note_media(true);
         Ok(())
     }
 
@@ -657,7 +1062,10 @@ impl ServerInner {
 
     /// 2PC phase 1 at a participant.
     fn do_prepare(&self, gtxn: GTxn) -> Msg {
-        let updates = self.pending.lock().remove(&gtxn).unwrap_or_default();
+        let (shipper, updates) = match self.pending.lock().remove(&gtxn) {
+            Some((s, u)) => (Some(s), u),
+            None => (None, Vec::new()),
+        };
         let begin = self.log.append(gtxn, Lsn::NULL, LogBody::Begin);
         let prev = self.append_updates(gtxn, begin, &updates);
         let prepare = self.log.append(gtxn, prev, LogBody::Prepare);
@@ -669,6 +1077,8 @@ impl ServerInner {
             PreparedTxn {
                 updates,
                 last_lsn: prepare,
+                shipper,
+                prepared_at: Instant::now(),
             },
         );
         AtomicU64::fetch_add(&self.stats.prepares, 1, Ordering::Relaxed);

@@ -22,6 +22,7 @@
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bess_lock::order::{OrderedMutex, OrderedRwLock, Rank};
@@ -91,14 +92,26 @@ fn le_u32(b: &[u8]) -> u32 {
     u32::from_le_bytes(raw)
 }
 
+/// Transient read errors (a flaky disk returning `EIO`) are retried this
+/// many times with a short pause before the error propagates.
+const MAX_READ_RETRIES: u32 = 3;
+
 /// Fills `buf` from a positioned reader, retrying interrupted reads and
 /// accumulating short ones. `Ok(0)` before the buffer fills is an
-/// unexpected end of the backing store.
-fn read_exact_retrying<R>(mut read_once: R, buf: &mut [u8], offset: u64) -> StorageResult<()>
+/// unexpected end of the backing store. Other I/O errors are treated as
+/// transient media glitches and retried up to [`MAX_READ_RETRIES`] times
+/// (counted in `retries`) before propagating.
+fn read_exact_retrying<R>(
+    mut read_once: R,
+    buf: &mut [u8],
+    offset: u64,
+    retries: &AtomicU64,
+) -> StorageResult<()>
 where
     R: FnMut(&mut [u8], u64) -> std::io::Result<usize>,
 {
     let mut done = 0;
+    let mut attempts = 0u32;
     while done < buf.len() {
         match read_once(&mut buf[done..], offset + done as u64) {
             Ok(0) => {
@@ -109,14 +122,21 @@ where
             }
             Ok(n) => done += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e.into()),
+            Err(e) => {
+                if attempts >= MAX_READ_RETRIES {
+                    return Err(e.into());
+                }
+                attempts += 1;
+                retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
         }
     }
     Ok(())
 }
 
 impl Backend {
-    fn read_at(&self, buf: &mut [u8], offset: u64) -> StorageResult<()> {
+    fn read_at(&self, buf: &mut [u8], offset: u64, retries: &AtomicU64) -> StorageResult<()> {
         match self {
             Backend::Mem(data) => {
                 let data = data.read();
@@ -128,8 +148,12 @@ impl Backend {
                 buf.copy_from_slice(&data[start..end]);
                 Ok(())
             }
-            Backend::File(f) => read_exact_retrying(|b, off| f.read_at(b, off), buf, offset),
-            Backend::Faulty(d) => read_exact_retrying(|b, off| d.read_at(b, off), buf, offset),
+            Backend::File(f) => {
+                read_exact_retrying(|b, off| f.read_at(b, off), buf, offset, retries)
+            }
+            Backend::Faulty(d) => {
+                read_exact_retrying(|b, off| d.read_at(b, off), buf, offset, retries)
+            }
         }
     }
 
@@ -274,9 +298,11 @@ impl StorageArea {
     }
 
     fn open_with_backend(id: AreaId, backend: Backend, expandable: bool) -> StorageResult<Self> {
-        // Read enough of the header to learn the page size.
+        // Read enough of the header to learn the page size. The area's
+        // stats object doesn't exist yet; header-read retries go to a
+        // throwaway counter.
         let mut head = [0u8; 24];
-        backend.read_at(&mut head, 0)?;
+        backend.read_at(&mut head, 0, &AtomicU64::new(0))?;
         let magic = le_u32(&head[0..4]);
         if magic != AREA_MAGIC {
             return Err(StorageError::Corrupt("bad area magic".into()));
@@ -469,8 +495,11 @@ impl StorageArea {
     /// Reads an absolute page into `buf` (`buf.len() == page_size`).
     pub fn read_page(&self, page: u64, buf: &mut [u8]) -> StorageResult<()> {
         assert_eq!(buf.len(), self.config.page_size, "buffer must be one page");
-        self.backend
-            .read_at(buf, page * self.config.page_size as u64)?;
+        self.backend.read_at(
+            buf,
+            page * self.config.page_size as u64,
+            &self.stats.read_retries,
+        )?;
         IoStats::bump(&self.stats.page_reads);
         Ok(())
     }
@@ -487,8 +516,11 @@ impl StorageArea {
     /// Reads `buf.len()` bytes starting at byte `offset` of `page`.
     pub fn read_at(&self, page: u64, offset: usize, buf: &mut [u8]) -> StorageResult<()> {
         assert!(offset + buf.len() <= self.config.page_size);
-        self.backend
-            .read_at(buf, page * self.config.page_size as u64 + offset as u64)?;
+        self.backend.read_at(
+            buf,
+            page * self.config.page_size as u64 + offset as u64,
+            &self.stats.read_retries,
+        )?;
         IoStats::bump(&self.stats.page_reads);
         Ok(())
     }
@@ -559,6 +591,7 @@ impl StorageArea {
         self.backend.read_at(
             &mut page,
             self.meta_page(extent) * self.config.page_size as u64,
+            &self.stats.read_retries,
         )?;
         let magic = le_u32(&page[0..4]);
         if magic != EXTENT_MAGIC {
@@ -778,5 +811,44 @@ mod tests {
         assert_eq!(delta.page_reads, 1);
         assert_eq!(delta.page_writes, 1);
         assert_eq!(delta.syncs, 1);
+    }
+
+    #[test]
+    fn transient_read_eio_is_absorbed_by_retry() {
+        use crate::fault::{FaultDisk, FaultKind, FaultPlan, OpClass};
+
+        let disk = FaultDisk::new(FaultPlan::unarmed());
+        let area =
+            StorageArea::create_faulty(AreaId(3), AreaConfig::default(), Arc::clone(&disk))
+                .unwrap();
+        let seg = area.alloc(1).unwrap();
+        let mut page = vec![0u8; area.page_size()];
+        page[..5].copy_from_slice(b"hello");
+        area.write_page(seg.start_page, &page).unwrap();
+
+        // Arm an EIO on the very next read: the first attempt eats the
+        // fault, the bounded retry's second attempt succeeds, and the
+        // caller never sees an error.
+        let plan = FaultPlan::armed(OpClass::Read, 0, FaultKind::Eio);
+        disk.arm(Arc::clone(&plan));
+        let mut back = vec![0u8; area.page_size()];
+        area.read_page(seg.start_page, &mut back).unwrap();
+        assert_eq!(&back[..5], b"hello");
+        assert_eq!(plan.fired(), 1, "the injected fault fired");
+        assert_eq!(area.stats().snapshot().read_retries, 1);
+    }
+
+    #[test]
+    fn persistent_read_eio_propagates_after_retry_budget() {
+        let mut buf = vec![0u8; 64];
+        let retries = AtomicU64::new(0);
+        let err = read_exact_retrying(
+            |_b: &mut [u8], _off| Err(std::io::Error::other("injected: read EIO")),
+            &mut buf,
+            0,
+            &retries,
+        );
+        assert!(err.is_err(), "persistent EIO propagates after retries");
+        assert_eq!(retries.load(Ordering::Relaxed), u64::from(MAX_READ_RETRIES));
     }
 }

@@ -19,6 +19,9 @@ pub struct IoStats {
     /// correspond to UNIX files may expand in size by one extent at a
     /// time").
     pub extends: AtomicU64,
+    /// Transient read errors absorbed by the bounded retry in the read
+    /// path (each increment is one retried attempt, not one failed page).
+    pub read_retries: AtomicU64,
 }
 
 impl IoStats {
@@ -33,6 +36,7 @@ impl IoStats {
             page_writes: self.page_writes.load(Ordering::Relaxed),
             syncs: self.syncs.load(Ordering::Relaxed),
             extends: self.extends.load(Ordering::Relaxed),
+            read_retries: self.read_retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -48,6 +52,8 @@ pub struct IoSnapshot {
     pub syncs: u64,
     /// Extent expansions.
     pub extends: u64,
+    /// Transient read errors absorbed by retry.
+    pub read_retries: u64,
 }
 
 impl IoSnapshot {
@@ -58,6 +64,7 @@ impl IoSnapshot {
             page_writes: self.page_writes - earlier.page_writes,
             syncs: self.syncs - earlier.syncs,
             extends: self.extends - earlier.extends,
+            read_retries: self.read_retries - earlier.read_retries,
         }
     }
 }

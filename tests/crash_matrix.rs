@@ -636,14 +636,17 @@ fn recovery_survives_short_reads() {
     assert!(fired >= 4, "only {fired} short-read fault points fired");
 }
 
+/// A fire-once read EIO on the *area* disk is transient by definition, and
+/// the storage backend's bounded retry absorbs it: the first recovery
+/// attempt succeeds despite the fault.
 #[test]
-fn recovery_area_read_eio_then_clean_retry() {
+fn recovery_area_read_eio_absorbed_by_retry() {
     let mut fired = 0;
     for nth in [0u64, 1, 2] {
         let (f, ok) = run_recovery_fault_case(Target::Area, OpClass::Read, nth, FaultKind::Eio);
         if f {
             fired += 1;
-            assert!(!ok, "an EIO'd area read must fail the open/recovery");
+            assert!(ok, "a transient EIO'd area read must be retried, not fatal");
         }
     }
     assert!(fired >= 2, "only {fired} area-read fault points fired");

@@ -1,0 +1,531 @@
+//! Deterministic network-fault matrix for the client–server layer — the
+//! wire-level twin of `tests/crash_matrix.rs`.
+//!
+//! A scripted client runs a fixed two-transaction workload against two
+//! BeSS servers (one distributed 2PC commit, one single-server commit).
+//! The harness first runs it clean to learn the exact outbound message
+//! count, then replays it with a [`NetFaultPlan`] armed at every message
+//! index × every fault kind: the request vanishes, is delayed, is
+//! duplicated, loses its reply, or the client's cable is pulled.
+//!
+//! After every run the client is declared dead ([`BessServer::expire_lease`])
+//! and the failure-containment invariants are asserted:
+//!
+//! * no lock or callback copy is still owned by the dead client;
+//! * no shipped-but-unprepared update set survives it;
+//! * every prepared 2PC branch is resolved (presumed abort);
+//! * the durable pages are atomic — the distributed transaction's two
+//!   writes land together or not at all — and byte-identical to the
+//!   clean-run oracle whenever the client observed both commits;
+//! * a duplicated or reply-dropped commit executes **exactly once**
+//!   (request-id dedup), never twice;
+//! * a fresh client can immediately lock everything the dead one held.
+//!
+//! The default run keeps the cheap full sweeps (Disconnect, Duplicate)
+//! plus targeted commit-ambiguity cases; the slow sweeps (Drop, DropReply,
+//! Delay — each faulted RPC costs a real client timeout) run under
+//! `--features crash-tests`, like the crash matrix.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bess_cache::{AreaSet, DbPage};
+use bess_lock::LockMode;
+use bess_net::{NetFaultKind, NetFaultPlan, Network, NodeId};
+use bess_server::{
+    register_areas, BessServer, ClientConfig, ClientConn, ClientError, ClientResult, Directory,
+    Msg, PageUpdate, ServerConfig, ServerStatsSnapshot,
+};
+use bess_storage::{AreaConfig, AreaId, StorageArea};
+use bess_wal::LogManager;
+
+const CLIENT: NodeId = NodeId(1);
+const CHECKER: NodeId = NodeId(2);
+const SRV0: NodeId = NodeId(100);
+const SRV1: NodeId = NodeId(101);
+
+/// The scripted workload's outbound client messages, in order:
+///
+/// | idx | message                          | txn |
+/// |-----|----------------------------------|-----|
+/// | 0   | BeginTxn → srv0                  | A   |
+/// | 1   | FetchPage p0 (X) → srv0          | A   |
+/// | 2   | FetchPage p1 (X) → srv1          | A   |
+/// | 3   | BeginGlobal → srv0               | A   |
+/// | 4,5 | ShipUpdates → srv0, srv1         | A   |
+/// | 6   | CommitGlobal → srv0              | A   |
+/// | 7,8 | ReleaseAll → srv0, srv1          | A   |
+/// | 9   | BeginTxn → srv0                  | B   |
+/// | 10  | FetchPage p0 (X) → srv0          | B   |
+/// | 11  | Commit → srv0                    | B   |
+/// | 12  | ReleaseAll → srv0                | B   |
+///
+/// The control run asserts this count so a protocol change updates the
+/// targeted indices below instead of silently skewing the sweep.
+const WORKLOAD_MSGS: u64 = 13;
+const IDX_COMMIT_GLOBAL: u64 = 6;
+const IDX_COMMIT: u64 = 11;
+
+struct Cluster {
+    net: Arc<Network<Msg>>,
+    dir: Arc<Directory>,
+    servers: Vec<BessServer>,
+    p0: DbPage,
+    p1: DbPage,
+}
+
+fn build() -> Cluster {
+    let net = Network::new(Duration::ZERO);
+    let dir = Arc::new(Directory::new());
+    let mut servers = Vec::new();
+    for (i, area) in [0u32, 1].iter().enumerate() {
+        let set = Arc::new(AreaSet::new());
+        set.add(Arc::new(
+            StorageArea::create_mem(AreaId(*area), AreaConfig::default()).unwrap(),
+        ));
+        // LINT: allow(cast) — two servers.
+        let node = NodeId(SRV0.0 + i as u32);
+        register_areas(&dir, node, &set);
+        let mut cfg = ServerConfig::new(node);
+        // The matrix injects death explicitly via `expire_lease`; a long
+        // lease keeps the serve loop's own reaper out of the way, and a
+        // zero grace makes prepared-branch resolution immediate.
+        cfg.lease_duration = Duration::from_secs(60);
+        cfg.coordinator_grace = Duration::ZERO;
+        let (s, _) = BessServer::start(cfg, set, LogManager::create_mem(), &net);
+        servers.push(s);
+    }
+    let p0 = {
+        let seg = servers[0].areas().get(0).unwrap().alloc(1).unwrap();
+        DbPage { area: 0, page: seg.start_page }
+    };
+    let p1 = {
+        let seg = servers[1].areas().get(1).unwrap().alloc(1).unwrap();
+        DbPage { area: 1, page: seg.start_page }
+    };
+    Cluster { net, dir, servers, p0, p1 }
+}
+
+fn connect(cluster: &Cluster, node: NodeId) -> Arc<ClientConn> {
+    let mut cfg = ClientConfig::new(node, SRV0);
+    cfg.caching = false;
+    // Short timeout so a faulted RPC resolves quickly; heartbeats pushed
+    // out of the way so the fault plan's message index stays deterministic
+    // (the dedicated lease tests below turn them back on).
+    cfg.rpc_timeout = Duration::from_millis(200);
+    cfg.heartbeat_interval = Duration::from_secs(60);
+    cfg.retry_base = Duration::from_millis(1);
+    ClientConn::connect(&cluster.net, Arc::clone(&cluster.dir), cfg)
+}
+
+fn upd(p: DbPage, before: &[u8], after: &[u8]) -> PageUpdate {
+    PageUpdate { page: p, offset: 0, before: before.to_vec(), after: after.to_vec() }
+}
+
+/// Transaction A: a distributed commit writing `aa` to both pages.
+fn txn_a(c: &ClientConn, p0: DbPage, p1: DbPage) -> ClientResult<()> {
+    c.begin()?;
+    c.fetch_page(p0, LockMode::X)?;
+    c.fetch_page(p1, LockMode::X)?;
+    c.commit(vec![upd(p0, &[0; 2], b"aa"), upd(p1, &[0; 2], b"aa")])
+}
+
+/// Transaction B: a single-server commit writing `bb` over p0.
+fn txn_b(c: &ClientConn, p0: DbPage) -> ClientResult<()> {
+    c.begin()?;
+    c.fetch_page(p0, LockMode::X)?;
+    c.commit(vec![upd(p0, b"aa", b"bb")])
+}
+
+struct CaseResult {
+    /// The client observed transaction A (B) commit.
+    a_ok: bool,
+    b_ok: bool,
+    /// Client messages counted by the plan (meaningful in the control run
+    /// only — once a plan fires it disarms and counts everyone).
+    msgs: u64,
+    fired: u64,
+    snap0: ServerStatsSnapshot,
+    #[allow(dead_code)]
+    snap1: ServerStatsSnapshot,
+    client_retries: u64,
+    /// Durable page images after reclamation.
+    d0: Vec<u8>,
+    d1: Vec<u8>,
+}
+
+fn read_page_bytes(srv: &BessServer, p: DbPage) -> Vec<u8> {
+    let area = srv.areas().get(p.area).unwrap();
+    let mut buf = vec![0u8; area.page_size()];
+    area.read_page(p.page, &mut buf).unwrap();
+    buf
+}
+
+/// Runs the scripted workload with `kind` armed at client message `at`,
+/// kills the client, reclaims it, and asserts every containment invariant.
+fn run_case(kind: NetFaultKind, at: u64) -> CaseResult {
+    let cluster = build();
+    let label = format!("{kind:?} at client message {at}");
+    let plan = NetFaultPlan::armed_from(CLIENT, at, kind);
+    cluster.net.arm(Arc::clone(&plan));
+
+    let client = connect(&cluster, CLIENT);
+    let mut a_ok = false;
+    let mut b_ok = false;
+    let mut died = false;
+    match txn_a(&client, cluster.p0, cluster.p1) {
+        Ok(()) => a_ok = true,
+        // A transport failure the retry policy could not absorb: the
+        // client stops mid-protocol, exactly like a crashed process.
+        Err(ClientError::Net(_)) => died = true,
+        // A server-side abort (e.g. a lost ship aborted the global
+        // transaction); the client lives on.
+        Err(_) => {}
+    }
+    if !died && txn_b(&client, cluster.p0).is_ok() {
+        b_ok = true;
+    }
+    let msgs = plan.msgs();
+    let fired = plan.fired();
+    let client_retries = client.stats().snapshot().retries;
+
+    // The client machine goes away — whatever it was doing stays behind
+    // on the servers until lease reclamation collects it.
+    cluster.net.partition(CLIENT);
+    client.disconnect();
+    for s in &cluster.servers {
+        s.expire_lease(CLIENT);
+    }
+
+    // ---- containment invariants ---------------------------------------
+    for s in &cluster.servers {
+        assert!(
+            !s.has_lease(CLIENT),
+            "[{label}] dead client still holds a lease at {}",
+            s.node()
+        );
+        let leaked = s.locks_held_by(CLIENT);
+        assert!(
+            leaked.is_empty(),
+            "[{label}] dead client leaked locks at {}: {leaked:?}",
+            s.node()
+        );
+        let pending = s.pending_gtxns();
+        assert!(
+            pending.is_empty(),
+            "[{label}] shipped updates survived reclamation at {}: {pending:?}",
+            s.node()
+        );
+        let in_doubt = s.in_doubt();
+        assert!(
+            in_doubt.is_empty(),
+            "[{label}] unresolved prepared branches at {}: {in_doubt:?}",
+            s.node()
+        );
+    }
+
+    // ---- durable atomicity ----------------------------------------------
+    let d0 = read_page_bytes(&cluster.servers[0], cluster.p0);
+    let d1 = read_page_bytes(&cluster.servers[1], cluster.p1);
+    let a_durable = &d1[0..2] == b"aa";
+    let b_durable = &d0[0..2] == b"bb";
+    if a_durable {
+        assert!(
+            &d0[0..2] == b"aa" || &d0[0..2] == b"bb",
+            "[{label}] 2PC atomicity violated: p1 committed, p0 = {:?}",
+            &d0[0..2]
+        );
+    } else {
+        assert!(
+            d0[0..2] == [0, 0] || &d0[0..2] == b"bb",
+            "[{label}] 2PC atomicity violated: p1 aborted, p0 = {:?}",
+            &d0[0..2]
+        );
+    }
+    if a_ok {
+        assert!(a_durable, "[{label}] client saw global commit, updates lost");
+    }
+    if b_ok {
+        assert!(b_durable, "[{label}] client saw commit B, update lost");
+    }
+
+    // ---- exactly-once commits ------------------------------------------
+    // `commits` counts local commits plus committed 2PC branches, so each
+    // server's total is pinned exactly by what is durably on disk: a
+    // duplicated or retried commit that executed twice would overshoot.
+    let snap0 = cluster.servers[0].stats().snapshot();
+    let snap1 = cluster.servers[1].stats().snapshot();
+    assert_eq!(
+        snap0.commits,
+        u64::from(a_durable) + u64::from(b_durable),
+        "[{label}] commit applied more than once at {}",
+        SRV0
+    );
+    assert_eq!(
+        snap1.commits,
+        u64::from(a_durable),
+        "[{label}] commit applied more than once at {}",
+        SRV1
+    );
+    assert!(
+        snap0.coordinated <= 1,
+        "[{label}] global commit coordinated {} times",
+        snap0.coordinated
+    );
+
+    // ---- a fresh client inherits the world cleanly ----------------------
+    let checker = connect(&cluster, CHECKER);
+    checker.begin().unwrap();
+    checker
+        .fetch_page(cluster.p0, LockMode::X)
+        .unwrap_or_else(|e| panic!("[{label}] ghost lock on p0: {e}"));
+    checker
+        .fetch_page(cluster.p1, LockMode::X)
+        .unwrap_or_else(|e| panic!("[{label}] ghost lock on p1: {e}"));
+    checker.abort().unwrap();
+    checker.disconnect();
+
+    CaseResult { a_ok, b_ok, msgs, fired, snap0, snap1, client_retries, d0, d1 }
+}
+
+/// Fault-free control: the workload commits both transactions, produces
+/// the oracle page images, and pins the message-index layout the targeted
+/// cases below rely on.
+fn control() -> CaseResult {
+    // Armed far past the workload so the plan counts but never fires (and
+    // keeps its from-filter for the whole run).
+    let r = run_case(NetFaultKind::Drop, u64::MAX);
+    assert_eq!(r.fired, 0);
+    assert!(r.a_ok && r.b_ok, "clean run must commit both transactions");
+    assert_eq!(
+        r.msgs, WORKLOAD_MSGS,
+        "workload message layout changed; update the index table"
+    );
+    assert_eq!(&r.d0[0..2], b"bb");
+    assert_eq!(&r.d1[0..2], b"aa");
+    r
+}
+
+/// Sweeps `kind` over every client message index, comparing survivors
+/// against the oracle.
+fn sweep(kind: NetFaultKind) {
+    let oracle = control();
+    for at in 0..WORKLOAD_MSGS {
+        let r = run_case(kind, at);
+        assert_eq!(r.fired, 1, "{kind:?} at {at} never fired");
+        if r.a_ok && r.b_ok {
+            // Both commits observed: the durable image must be exactly the
+            // clean run's, whatever the fault did on the way.
+            assert_eq!(r.d0, oracle.d0, "{kind:?} at {at} corrupted p0");
+            assert_eq!(r.d1, oracle.d1, "{kind:?} at {at} corrupted p1");
+        }
+    }
+}
+
+#[test]
+fn control_workload_is_clean() {
+    control();
+}
+
+/// The cable-pull sweep: the client is partitioned at every message index
+/// in turn. Fails fast (no timeouts), so the full sweep runs by default.
+#[test]
+fn disconnect_at_every_message_index() {
+    sweep(NetFaultKind::Disconnect);
+}
+
+/// The retransmission sweep: every message is delivered twice at every
+/// index in turn. Commits must apply exactly once (request-id dedup).
+#[test]
+fn duplicate_at_every_message_index() {
+    sweep(NetFaultKind::Duplicate);
+}
+
+/// A duplicated commit request is answered from the dedup window: the
+/// server executes it once and replays the recorded reply.
+#[test]
+fn duplicated_commit_applies_exactly_once() {
+    // (`run_case` itself pins the commit counters to the durable state;
+    // these cases additionally prove the dedup window was what saved us.)
+    let r = run_case(NetFaultKind::Duplicate, IDX_COMMIT);
+    assert!(r.a_ok && r.b_ok);
+    assert!(r.snap0.dedup_hits >= 1, "duplicate commit missed the dedup window");
+
+    let r = run_case(NetFaultKind::Duplicate, IDX_COMMIT_GLOBAL);
+    assert!(r.a_ok && r.b_ok);
+    assert_eq!(r.snap0.coordinated, 1);
+    assert!(r.snap0.dedup_hits >= 1, "duplicate global commit missed the dedup window");
+}
+
+/// The classic "did my commit land?" ambiguity: the commit executes but
+/// its reply is lost. The client retries with the same request id and the
+/// server answers from the dedup window instead of committing twice.
+#[test]
+fn lost_commit_reply_resolves_by_idempotent_retry() {
+    let r = run_case(NetFaultKind::DropReply, IDX_COMMIT);
+    assert!(r.b_ok, "retried commit should have been acknowledged");
+    assert!(r.snap0.dedup_hits >= 1);
+    assert!(r.client_retries >= 1);
+
+    let r = run_case(NetFaultKind::DropReply, IDX_COMMIT_GLOBAL);
+    assert!(r.a_ok, "retried global commit should have been acknowledged");
+    assert_eq!(r.snap0.coordinated, 1, "reply-dropped global commit ran 2PC twice");
+    assert!(r.snap0.dedup_hits >= 1);
+    assert!(r.client_retries >= 1);
+}
+
+/// A vanished request is invisible end-to-end: the retry layer absorbs it
+/// (representative indices; the full sweep runs under `crash-tests`).
+#[test]
+fn dropped_request_is_absorbed_by_retry_representative() {
+    for at in [0, 1, IDX_COMMIT_GLOBAL, IDX_COMMIT] {
+        let r = run_case(NetFaultKind::Drop, at);
+        assert_eq!(r.fired, 1);
+        assert!(r.a_ok && r.b_ok, "Drop at {at} was not absorbed");
+        assert!(r.client_retries >= 1);
+    }
+}
+
+#[cfg_attr(not(feature = "crash-tests"), ignore)]
+#[test]
+fn drop_at_every_message_index_full() {
+    sweep(NetFaultKind::Drop);
+}
+
+#[cfg_attr(not(feature = "crash-tests"), ignore)]
+#[test]
+fn drop_reply_at_every_message_index_full() {
+    sweep(NetFaultKind::DropReply);
+}
+
+#[cfg_attr(not(feature = "crash-tests"), ignore)]
+#[test]
+fn delay_at_every_message_index_full() {
+    // Shorter than the client's RPC timeout: pure latency, no failure.
+    sweep(NetFaultKind::Delay(Duration::from_millis(50)));
+}
+
+// ---- lease lifecycle -----------------------------------------------------
+
+/// Heartbeats keep an idle client alive through many reaper passes; once
+/// the client vanishes, the serve loop reaps it on its own (no manual
+/// `expire_lease`) and releases its locks.
+#[test]
+fn heartbeats_sustain_lease_and_silence_is_reaped() {
+    // One server with a short lease (the shared `build()` uses a long one
+    // precisely to keep the automatic reaper out of the fault matrix).
+    let net = Network::new(Duration::ZERO);
+    let dir = Arc::new(Directory::new());
+    let set = Arc::new(AreaSet::new());
+    set.add(Arc::new(
+        StorageArea::create_mem(AreaId(0), AreaConfig::default()).unwrap(),
+    ));
+    register_areas(&dir, SRV0, &set);
+    let mut scfg = ServerConfig::new(SRV0);
+    scfg.lease_duration = Duration::from_millis(300);
+    let (srv, _) = BessServer::start(scfg, set, LogManager::create_mem(), &net);
+    let seg = srv.areas().get(0).unwrap().alloc(1).unwrap();
+    let p0 = DbPage { area: 0, page: seg.start_page };
+
+    let mut cfg = ClientConfig::new(CLIENT, SRV0);
+    cfg.caching = false;
+    // The listener renews on its ~50 ms idle tick; 6× inside the lease.
+    cfg.heartbeat_interval = Duration::from_millis(10);
+    let client = ClientConn::connect(&net, Arc::clone(&dir), cfg);
+    client.begin().unwrap();
+    client.fetch_page(p0, LockMode::X).unwrap();
+
+    // Far longer than the lease: only heartbeats keep the client alive.
+    std::thread::sleep(Duration::from_millis(900));
+    assert!(srv.has_lease(CLIENT), "heartbeats failed to renew the lease");
+    assert!(
+        !srv.locks_held_by(CLIENT).is_empty(),
+        "live client's locks were reaped"
+    );
+    assert!(client.stats().snapshot().heartbeats > 0);
+
+    // Pull the cable; the serve loop's own reaper must collect the client.
+    net.partition(CLIENT);
+    std::thread::sleep(Duration::from_millis(900));
+    assert!(!srv.has_lease(CLIENT), "silent client's lease survived");
+    assert!(
+        srv.locks_held_by(CLIENT).is_empty(),
+        "silent client's locks survived"
+    );
+    assert!(srv.stats().snapshot().leases_expired >= 1);
+    client.disconnect();
+}
+
+/// Lease reclamation frees a dead lock-holder's resources for waiters.
+#[test]
+fn dead_lock_holder_is_reclaimed_for_the_next_client() {
+    let cluster = build();
+    let victim = connect(&cluster, CLIENT);
+    victim.begin().unwrap();
+    victim.fetch_page(cluster.p0, LockMode::X).unwrap();
+    cluster.net.partition(CLIENT);
+
+    cluster.servers[0].expire_lease(CLIENT);
+    assert!(cluster.servers[0].locks_held_by(CLIENT).is_empty());
+
+    let next = connect(&cluster, CHECKER);
+    next.begin().unwrap();
+    next.fetch_page(cluster.p0, LockMode::X)
+        .expect("reclaimed lock must be grantable immediately");
+    next.abort().unwrap();
+    next.disconnect();
+    victim.disconnect();
+}
+
+// ---- graceful degradation -------------------------------------------------
+
+/// Drain mode: in-flight transactions finish, new ones are turned away.
+#[test]
+fn draining_server_finishes_old_work_and_rejects_new() {
+    let cluster = build();
+    let client = connect(&cluster, CLIENT);
+    client.begin().unwrap();
+    client.fetch_page(cluster.p0, LockMode::X).unwrap();
+
+    cluster.servers[0].set_draining(true);
+    // The in-flight transaction runs to completion...
+    client.commit(vec![upd(cluster.p0, &[0; 2], b"dd")]).unwrap();
+    // ...but a new one is rejected.
+    assert!(matches!(client.begin(), Err(ClientError::Server(_))));
+    assert!(cluster.servers[0].stats().snapshot().drain_rejections >= 1);
+
+    cluster.servers[0].set_draining(false);
+    client.begin().unwrap();
+    client.abort().unwrap();
+    client.disconnect();
+}
+
+/// Read-only fallback: reads keep flowing, every mutation is refused.
+#[test]
+fn read_only_server_serves_reads_and_refuses_writes() {
+    let cluster = build();
+    let client = connect(&cluster, CLIENT);
+
+    client.begin().unwrap();
+    client.fetch_page(cluster.p0, LockMode::X).unwrap();
+    client.commit(vec![upd(cluster.p0, &[0; 2], b"rr")]).unwrap();
+
+    cluster.servers[0].set_read_only(true);
+    client.begin().unwrap();
+    let data = client.fetch_page(cluster.p0, LockMode::S).unwrap();
+    assert_eq!(&data[0..2], b"rr");
+    assert!(matches!(
+        client.commit(vec![upd(cluster.p0, b"rr", b"xx")]),
+        Err(ClientError::Server(_))
+    ));
+    assert!(cluster.servers[0].stats().snapshot().read_only_rejections >= 1);
+    // The refused commit changed nothing.
+    assert_eq!(&read_page_bytes(&cluster.servers[0], cluster.p0)[0..2], b"rr");
+
+    cluster.servers[0].set_read_only(false);
+    client.begin().unwrap();
+    client.fetch_page(cluster.p0, LockMode::X).unwrap();
+    client.commit(vec![upd(cluster.p0, b"rr", b"xx")]).unwrap();
+    assert_eq!(&read_page_bytes(&cluster.servers[0], cluster.p0)[0..2], b"xx");
+    client.disconnect();
+}
