@@ -206,12 +206,40 @@ pub struct ClientConn {
     /// session runs software object-level locking and serialises on object
     /// locks instead).
     read_mode: Mutex<LockMode>,
-    /// Request-id counter for the non-idempotent messages (commits); the
-    /// server's dedup window keys on `(node, req)`.
+    /// This connection's incarnation number, folded into the high bits of
+    /// every request id so the server's dedup window — keyed on
+    /// `(node, req)` — can never answer a reconnected client with a reply
+    /// recorded for a previous incarnation of the same node id.
+    incarnation: u64,
+    /// Low-bits request counter for the non-idempotent messages (commits);
+    /// see [`Self::fresh_req`].
     next_req: AtomicU64,
     running: Arc<AtomicBool>,
     listener: Mutex<Option<JoinHandle<()>>>,
     stats: ClientStats,
+}
+
+/// Incarnation source for request ids. Every connection — client or node
+/// server — draws a distinct value, so a process that crashes and
+/// reconnects under the same [`NodeId`] issues request ids disjoint from
+/// its previous life and cannot be answered from the server's dedup window
+/// with a dead incarnation's recorded reply. Starts at 1 so an id built
+/// from it is never 0 (`req == 0` opts out of deduplication). The network
+/// is in-process, so a process-wide counter covers every reconnect the
+/// fault matrix can produce — deterministically, with no randomness.
+static NEXT_INCARNATION: AtomicU64 = AtomicU64::new(1);
+
+/// Draws a fresh connection incarnation (also used by the node server's
+/// shipping path, which carries its own request-id counter).
+pub(crate) fn fresh_incarnation() -> u64 {
+    NEXT_INCARNATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Builds a request id from an incarnation and a per-connection sequence
+/// number: incarnation in the high 32 bits, sequence in the low 32. The
+/// incarnation is nonzero, so the id is never the `req == 0` opt-out.
+pub(crate) fn make_req(incarnation: u64, seq: u64) -> u64 {
+    ((incarnation & 0xFFFF_FFFF) << 32) | (seq & 0xFFFF_FFFF)
 }
 
 /// Capped exponential backoff with deterministic jitter: `base << attempt`
@@ -252,6 +280,7 @@ impl ClientConn {
             raced_callbacks: Mutex::new(std::collections::HashSet::new()),
             purge_hook: RwLock::new(None),
             read_mode: Mutex::new(LockMode::S),
+            incarnation: fresh_incarnation(),
             next_req: AtomicU64::new(1),
             running: Arc::new(AtomicBool::new(true)),
             listener: Mutex::new(None),
@@ -400,14 +429,25 @@ impl ClientConn {
         }
     }
 
+    /// A fresh request id for a non-idempotent RPC (see [`make_req`]).
+    fn fresh_req(&self) -> u64 {
+        make_req(self.incarnation, self.next_req.fetch_add(1, Ordering::Relaxed))
+    }
+
     /// Sends one RPC, retrying transient transport failures with capped
-    /// exponential backoff. Commits are safe to retry because they carry a
-    /// request id the server deduplicates on; `ShipUpdates` is the one
-    /// request that is neither idempotent nor deduplicated, so it is never
-    /// retried — a lost ship aborts the distributed commit instead.
+    /// exponential backoff. Only requests that are idempotent (reads,
+    /// locks, releases, raw I/O replays) or deduplicated by the server
+    /// (commits, which carry a request id) are retried. `ShipUpdates`,
+    /// `AllocSegment` and `FreeSegment` are neither, so they fail fast: a
+    /// reshipped update set would double-buffer, a retried alloc whose
+    /// first delivery executed leaks a segment, and a retried free can
+    /// free a segment another client was handed in the meantime.
     fn rpc(&self, to: NodeId, msg: Msg) -> ClientResult<Msg> {
         self.servers_touched.lock().insert(to);
-        let retryable = !matches!(msg, Msg::ShipUpdates { .. });
+        let retryable = !matches!(
+            msg,
+            Msg::ShipUpdates { .. } | Msg::AllocSegment { .. } | Msg::FreeSegment { .. }
+        );
         let mut attempt = 0u32;
         loop {
             match self.caller.call(to, msg.clone(), self.cfg.rpc_timeout) {
@@ -549,7 +589,7 @@ impl ClientConn {
             0 => Ok(()),
             1 => {
                 let (owner, updates) = by_owner.into_iter().next().expect("one entry");
-                let req = self.next_req.fetch_add(1, Ordering::Relaxed);
+                let req = self.fresh_req();
                 match self.rpc(owner, Msg::Commit { txn, updates, req })? {
                     Msg::Ok => Ok(()),
                     Msg::Err(e) => Err(ClientError::Server(e)),
@@ -573,7 +613,7 @@ impl ClientConn {
                         }
                     }
                 }
-                let req = self.next_req.fetch_add(1, Ordering::Relaxed);
+                let req = self.fresh_req();
                 match self.rpc(
                     self.cfg.home,
                     Msg::CommitGlobal {

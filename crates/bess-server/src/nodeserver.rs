@@ -151,7 +151,13 @@ struct NsInner {
     unshipped: Mutex<HashMap<u64, (Lsn, Vec<PageUpdate>)>>,
     ship_done: Condvar,
     next_txn: AtomicU64,
-    /// Request-id counter for shipped commits (server-side dedup keys).
+    /// This node server's incarnation, folded into the high bits of every
+    /// shipped request id (see `client::make_req`): a restarted node server
+    /// must never be answered from the servers' dedup window with a reply
+    /// recorded for its previous life.
+    incarnation: u64,
+    /// Low-bits request counter for shipped commits (server-side dedup
+    /// keys).
     next_req: AtomicU64,
     running: AtomicBool,
     stats: NodeServerStats,
@@ -208,6 +214,7 @@ impl NodeServer {
             cache,
             dir,
             next_txn: AtomicU64::new(1),
+            incarnation: crate::client::fresh_incarnation(),
             next_req: AtomicU64::new(1),
             running: AtomicBool::new(true),
             stats: NodeServerStats::default(),
@@ -749,7 +756,8 @@ impl NsInner {
             1 => {
                 AtomicU64::fetch_add(&self.stats.commits, 1, Ordering::Relaxed);
                 let (owner, ups) = by_owner.into_iter().next().expect("one");
-                let req = self.next_req.fetch_add(1, Ordering::Relaxed);
+                let req =
+                    crate::client::make_req(self.incarnation, self.next_req.fetch_add(1, Ordering::Relaxed));
                 match self.caller.call(
                     owner,
                     Msg::Commit {
@@ -791,7 +799,8 @@ impl NsInner {
                         Err(e) => return Err(e.to_string()),
                     }
                 }
-                let req = self.next_req.fetch_add(1, Ordering::Relaxed);
+                let req =
+                    crate::client::make_req(self.incarnation, self.next_req.fetch_add(1, Ordering::Relaxed));
                 match self.caller.call(
                     coordinator,
                     Msg::CommitGlobal {

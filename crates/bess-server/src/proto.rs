@@ -170,7 +170,9 @@ pub enum Msg {
         commit: bool,
     },
     /// Recovering participant asks the coordinator for a verdict; reply:
-    /// [`Msg::Decision`] or [`Msg::Unknown`].
+    /// [`Msg::Decision`], [`Msg::DecisionPending`] (the round is still
+    /// running — ask again later), or [`Msg::Unknown`] (no record at all —
+    /// presumed abort applies).
     QueryDecision {
         /// Global transaction.
         gtxn: GTxn,
@@ -236,6 +238,11 @@ pub enum Msg {
     },
     /// The coordinator has no record of the transaction.
     Unknown,
+    /// The coordinator's 2PC round for the queried transaction is still in
+    /// progress (phase 1 votes are being collected, or the decision record
+    /// is being forced). The querier must keep its prepared branch and ask
+    /// again — presumed abort applies only to [`Msg::Unknown`].
+    DecisionPending,
 }
 
 // ---- binary codec --------------------------------------------------------
@@ -602,6 +609,7 @@ impl Msg {
             }
             Msg::Unknown => b.push(33),
             Msg::Heartbeat => b.push(34),
+            Msg::DecisionPending => b.push(35),
         }
         b
     }
@@ -707,6 +715,7 @@ impl Msg {
             },
             33 => Msg::Unknown,
             34 => Msg::Heartbeat,
+            35 => Msg::DecisionPending,
             t => return Err(format!("bad message tag {t}")),
         };
         if c.pos != buf.len() {

@@ -54,10 +54,11 @@ pub struct ServerConfig {
     /// dropped, and its prepared 2PC branches resolved by presumed abort.
     pub lease_duration: Duration,
     /// How long a prepared 2PC branch must sit undecided before the reaper
-    /// asks the coordinator for a verdict. Covers the window where the
-    /// coordinator is still running phase 1/2 and its decision record is
-    /// not yet visible — querying earlier could presume abort on a branch
-    /// the coordinator is about to commit.
+    /// asks the coordinator for a verdict. This only rate-limits the
+    /// queries; correctness does not depend on it — a coordinator answers
+    /// [`Msg::DecisionPending`] for a round still in flight, and presumed
+    /// abort applies only when it affirmatively has no record of the
+    /// transaction at all.
     pub coordinator_grace: Duration,
     /// Consecutive storage-write failures tolerated before the server
     /// drops into read-only mode (media-failure containment).
@@ -243,6 +244,13 @@ struct ServerInner {
     log: Arc<LogManager>,
     caller: Caller<Msg>,
     decisions: Mutex<HashMap<GTxn, bool>>,
+    /// 2PC rounds this server is coordinating right now: registered before
+    /// phase 1 starts, removed once the decision is durably recorded (or
+    /// the round dies without one). `QueryDecision` answers
+    /// [`Msg::DecisionPending`] for these — a participant's reaper must
+    /// not read a mid-round "no decision yet" as "no record: presumed
+    /// abort" and undo a branch the round is about to commit.
+    coordinating: Mutex<std::collections::HashSet<GTxn>>,
     /// Updates shipped ahead of 2PC, keyed by global transaction, tagged
     /// with the shipping client node so the reaper can drop a dead
     /// client's unprepared branches.
@@ -336,6 +344,7 @@ impl BessServer {
             areas,
             log,
             decisions: Mutex::new(decisions),
+            coordinating: Mutex::new(std::collections::HashSet::new()),
             pending: Mutex::new(HashMap::new()),
             prepared: Mutex::new(HashMap::new()),
             callbacks_in_flight: Mutex::new(std::collections::HashSet::new()),
@@ -448,7 +457,8 @@ impl BessServer {
                 ) {
                     Ok(Msg::Decision { committed }) => Some(committed),
                     Ok(Msg::Unknown) => Some(false), // presumed abort
-                    _ => None,                       // coordinator unreachable: stay in doubt
+                    Ok(Msg::DecisionPending) => None, // round running: stay in doubt
+                    _ => None,                        // coordinator unreachable: stay in doubt
                 }
             };
             if let Some(commit) = verdict {
@@ -535,19 +545,30 @@ impl Drop for BessServer {
 }
 
 fn serve_loop(inner: Arc<ServerInner>, endpoint: Endpoint<Msg>) {
+    // Reaping must not depend on the loop going idle: a server under
+    // continuous load never hits the recv timeout, and a dead client's
+    // locks would be held forever. Reap on a time budget (a quarter of the
+    // lease, so expiry is noticed promptly) from the busy path too.
+    let reap_every = inner.cfg.lease_duration / 4;
+    let mut last_reap = Instant::now();
     while inner.running.load(Ordering::Relaxed) {
         match endpoint.recv(Duration::from_millis(50)) {
             Ok(env) => {
-                let inner = Arc::clone(&inner);
+                let handler = Arc::clone(&inner);
                 std::thread::spawn(move || {
                     let from = env.from;
                     let msg = env.msg.clone();
-                    let reply = inner.handle(from, msg);
+                    let reply = handler.handle(from, msg);
                     env.reply(reply);
                 });
+                if last_reap.elapsed() >= reap_every {
+                    last_reap = Instant::now();
+                    inner.reap_expired();
+                }
             }
             Err(bess_net::NetError::Timeout) => {
                 // Idle tick: reap clients whose lease ran out.
+                last_reap = Instant::now();
                 inner.reap_expired();
             }
             Err(_) => break,
@@ -562,13 +583,14 @@ impl ServerInner {
         // this request will take.
         self.leases.lock().insert(from.0, Instant::now());
 
-        if let Some(reject) = self.check_degraded(&msg) {
-            return reject;
-        }
-
         // At-most-once execution for the non-idempotent requests: a
         // retried commit with the same request id gets the recorded reply
-        // instead of applying twice. `req == 0` opts out.
+        // instead of applying twice. `req == 0` opts out. The dedup lookup
+        // runs *before* the degraded-mode gate: a retried commit whose
+        // first delivery already committed must be acknowledged from the
+        // window even if the server has since gone read-only or draining —
+        // rejecting it would report failure for a durably committed
+        // transaction.
         let dedup_key = match &msg {
             Msg::Commit { req, .. } | Msg::CommitGlobal { req, .. } if *req != 0 => {
                 Some((from.0, *req))
@@ -579,9 +601,16 @@ impl ServerInner {
             if let Some(replayed) = self.dedup_begin(key) {
                 return replayed;
             }
-            let reply = self.dispatch(from, msg);
+            let reply = match self.check_degraded(&msg) {
+                Some(reject) => reject,
+                None => self.dispatch(from, msg),
+            };
             self.dedup_finish(key, reply.clone());
             return reply;
+        }
+
+        if let Some(reject) = self.check_degraded(&msg) {
+            return reject;
         }
         self.dispatch(from, msg)
     }
@@ -749,8 +778,17 @@ impl ServerInner {
             let coord = coordinator_of(gtxn);
             let verdict = if coord == self.cfg.node.0 {
                 // We are the coordinator: our durable decision table is
-                // authoritative; absence means the round never decided.
-                Some(self.decisions.lock().get(&gtxn).copied().unwrap_or(false))
+                // authoritative — but only once the round is over. A round
+                // still collecting votes has no decision *yet*; presuming
+                // abort here would undo a branch it may be about to commit.
+                let decided = self.decisions.lock().get(&gtxn).copied();
+                match decided {
+                    Some(c) => Some(c),
+                    None if self.coordinating.lock().contains(&gtxn) => None,
+                    // Affirmatively no record and no in-flight round: the
+                    // round never decided — presumed abort.
+                    None => Some(false),
+                }
             } else {
                 match self.caller.call(
                     NodeId(coord),
@@ -758,8 +796,9 @@ impl ServerInner {
                     self.cfg.rpc_timeout,
                 ) {
                     Ok(Msg::Decision { committed }) => Some(committed),
-                    Ok(Msg::Unknown) => Some(false), // presumed abort
-                    _ => None,                       // unreachable: retry next tick
+                    Ok(Msg::Unknown) => Some(false),  // presumed abort
+                    Ok(Msg::DecisionPending) => None, // round running: retry next tick
+                    _ => None,                        // unreachable: retry next tick
                 }
             };
             if let Some(commit) = verdict {
@@ -902,10 +941,16 @@ impl ServerInner {
                 self.decide(gtxn, commit);
                 Msg::Ok
             }
-            Msg::QueryDecision { gtxn } => match self.decisions.lock().get(&gtxn) {
-                Some(&committed) => Msg::Decision { committed },
-                None => Msg::Unknown,
-            },
+            Msg::QueryDecision { gtxn } => {
+                let decided = self.decisions.lock().get(&gtxn).copied();
+                match decided {
+                    Some(committed) => Msg::Decision { committed },
+                    // Phase 1 in flight, or the decision record mid-force:
+                    // the querier must keep its prepared branch and retry.
+                    None if self.coordinating.lock().contains(&gtxn) => Msg::DecisionPending,
+                    None => Msg::Unknown,
+                }
+            }
             other => Msg::Err(format!("unexpected request: {other:?}")),
         }
     }
@@ -1111,6 +1156,11 @@ impl ServerInner {
     /// application establishes a connection with", §3).
     fn do_commit_global(&self, gtxn: GTxn, participants: &[u32]) -> Msg {
         AtomicU64::fetch_add(&self.stats.coordinated, 1, Ordering::Relaxed);
+        // Register the round before phase 1 starts: from here until the
+        // decision is recorded, `QueryDecision` answers "in progress", so
+        // a participant's reaper cannot mistake a mid-round silence for
+        // "no record" and presume abort on a branch this round commits.
+        self.coordinating.lock().insert(gtxn);
         let mut all_yes = true;
         for &p in participants {
             let vote = if p == self.cfg.node.0 {
@@ -1133,9 +1183,13 @@ impl ServerInner {
         };
         let l = self.log.append(gtxn, Lsn::NULL, body);
         if self.log.flush(l).is_err() {
+            // The round dies with no durable decision; once it is
+            // deregistered, presumed abort legitimately applies.
+            self.coordinating.lock().remove(&gtxn);
             return Msg::Err("coordinator log force failed".into());
         }
         self.decisions.lock().insert(gtxn, all_yes);
+        self.coordinating.lock().remove(&gtxn);
         // Phase 2.
         for &p in participants {
             if p == self.cfg.node.0 {

@@ -1,10 +1,11 @@
 //! Property-based round-trip coverage for the wire codec.
 //!
 //! Every [`Msg`] variant — including the failure-containment additions
-//! ([`Msg::Heartbeat`] and the `req` request ids on [`Msg::Commit`] /
-//! [`Msg::CommitGlobal`]) — must satisfy `decode(encode(m)) == Ok(m)`.
-//! The strategy below gives each of the 35 variants equal weight so a few
-//! hundred cases exercise all of them many times over.
+//! ([`Msg::Heartbeat`], [`Msg::DecisionPending`] and the `req` request ids
+//! on [`Msg::Commit`] / [`Msg::CommitGlobal`]) — must satisfy
+//! `decode(encode(m)) == Ok(m)`. The strategy below gives each of the 36
+//! variants equal weight so a few hundred cases exercise all of them many
+//! times over.
 
 use bess_cache::DbPage;
 use bess_lock::{LockMode, LockName};
@@ -106,6 +107,7 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
         Just(Msg::VoteNo),
         any::<bool>().prop_map(|committed| Msg::Decision { committed }),
         Just(Msg::Unknown),
+        Just(Msg::DecisionPending),
     ]
 }
 
@@ -131,9 +133,13 @@ proptest! {
 
 /// Deterministic spot-check that the strategy above really can emit every
 /// tag: decode must reject an unknown tag byte, and the highest known tag
-/// (Heartbeat = 34) must round-trip.
+/// (DecisionPending = 35) must round-trip.
 #[test]
 fn unknown_tag_is_rejected() {
     assert!(Msg::decode(&[200u8]).is_err());
     assert_eq!(Msg::decode(&Msg::Heartbeat.encode()), Ok(Msg::Heartbeat));
+    assert_eq!(
+        Msg::decode(&Msg::DecisionPending.encode()),
+        Ok(Msg::DecisionPending)
+    );
 }

@@ -34,7 +34,7 @@ use bess_lock::LockMode;
 use bess_net::{NetFaultKind, NetFaultPlan, Network, NodeId};
 use bess_server::{
     register_areas, BessServer, ClientConfig, ClientConn, ClientError, ClientResult, Directory,
-    Msg, PageUpdate, ServerConfig, ServerStatsSnapshot,
+    Msg, PageUpdate, RemoteSpace, ServerConfig, ServerStatsSnapshot,
 };
 use bess_storage::{AreaConfig, AreaId, StorageArea};
 use bess_wal::LogManager;
@@ -528,4 +528,254 @@ fn read_only_server_serves_reads_and_refuses_writes() {
     client.commit(vec![upd(cluster.p0, b"rr", b"xx")]).unwrap();
     assert_eq!(&read_page_bytes(&cluster.servers[0], cluster.p0)[0..2], b"xx");
     client.disconnect();
+}
+
+// ---- presumed-abort vs in-flight coordinator rounds ------------------------
+
+/// The atomicity race of presumed abort: a participant's reaper queries the
+/// coordinator about a dead client's prepared branch *while the coordinator
+/// is still collecting phase-1 votes*. The coordinator must answer
+/// `DecisionPending` — not `Unknown` — so the branch stays prepared and
+/// commits when the round's `Decide` arrives. Reading the mid-round silence
+/// as "no record" would abort and undo a branch every other node commits.
+#[test]
+fn prepared_branch_survives_reaper_while_coordinator_round_runs() {
+    const STALL: NodeId = NodeId(102);
+    const DRIVER: NodeId = NodeId(3);
+    let cluster = build(); // coordinator_grace is zero: reaper queries immediately
+    let t = Duration::from_secs(5);
+    let gtxn = (u64::from(SRV0.0) << 32) | 7;
+    let p1 = cluster.p1;
+
+    // A third participant that votes yes only after a long think, pinning
+    // the coordinator's round mid-phase-1 for a deterministic window.
+    let stall_ep = cluster.net.register(STALL);
+    let stall = std::thread::spawn(move || loop {
+        let Ok(env) = stall_ep.recv(Duration::from_secs(5)) else {
+            return;
+        };
+        match &env.msg {
+            Msg::Prepare { .. } => {
+                std::thread::sleep(Duration::from_millis(400));
+                env.reply(Msg::VoteYes);
+            }
+            Msg::Decide { .. } => {
+                env.reply(Msg::Ok);
+                return;
+            }
+            _ => env.reply(Msg::Ok),
+        }
+    });
+
+    // The doomed client ships srv1's branch, then "crashes".
+    let cl = cluster.net.register(CLIENT);
+    assert_eq!(
+        cl.call(
+            SRV1,
+            Msg::ShipUpdates { gtxn, updates: vec![upd(p1, &[0; 2], b"zz")] },
+            t
+        )
+        .unwrap(),
+        Msg::Ok
+    );
+
+    // The round runs from a separate driver; srv1 prepares first (votes
+    // yes), then the stalled participant holds phase 1 open.
+    let driver_net = Arc::clone(&cluster.net);
+    let driver = std::thread::spawn(move || {
+        let ep = driver_net.register(DRIVER);
+        ep.call(
+            SRV0,
+            Msg::CommitGlobal { gtxn, participants: vec![SRV1.0, STALL.0], req: 0 },
+            t,
+        )
+        .unwrap()
+    });
+
+    // Mid-round: srv1 is prepared, the coordinator has no decision yet.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        cl.call(SRV0, Msg::QueryDecision { gtxn }, t).unwrap(),
+        Msg::DecisionPending,
+        "mid-round query must report the round as in progress"
+    );
+
+    // The shipping client dies; srv1's reaper resolves its prepared branch
+    // right now (zero grace). It must be told "retry later", not abort.
+    cluster.servers[1].expire_lease(CLIENT);
+    assert_eq!(
+        cluster.servers[1].in_doubt(),
+        vec![gtxn],
+        "reaper presumed abort on a branch whose round is still running"
+    );
+    assert_eq!(cluster.servers[1].stats().snapshot().aborts, 0);
+
+    // The stalled vote lands, the round commits, and the branch follows.
+    assert_eq!(driver.join().unwrap(), Msg::Decision { committed: true });
+    stall.join().unwrap();
+    assert!(cluster.servers[1].in_doubt().is_empty());
+    assert_eq!(
+        &read_page_bytes(&cluster.servers[1], p1)[0..2],
+        b"zz",
+        "committed branch lost at the participant"
+    );
+    assert_eq!(cluster.servers[1].stats().snapshot().commits, 1);
+
+    // With the round over and the client dead, an unknown transaction is
+    // still presumed abort — `DecisionPending` must not linger.
+    assert_eq!(
+        cl.call(SRV0, Msg::QueryDecision { gtxn: gtxn + 1 }, t).unwrap(),
+        Msg::Unknown
+    );
+}
+
+// ---- dedup across client incarnations --------------------------------------
+
+/// A client that crashes and reconnects under the same node id starts a new
+/// request-id incarnation: its first commits must execute, not be answered
+/// with the previous life's recorded replies from the dedup window.
+#[test]
+fn reconnected_client_commits_are_not_replayed_from_old_incarnation() {
+    let cluster = build();
+    let first = connect(&cluster, CLIENT);
+    first.begin().unwrap();
+    first.fetch_page(cluster.p0, LockMode::X).unwrap();
+    first.commit(vec![upd(cluster.p0, &[0; 2], b"11")]).unwrap();
+    first.disconnect();
+
+    // Same node id, fresh connection — its first request id must not
+    // collide with the dead incarnation's.
+    let second = connect(&cluster, CLIENT);
+    second.begin().unwrap();
+    second.fetch_page(cluster.p0, LockMode::X).unwrap();
+    second.commit(vec![upd(cluster.p0, b"11", b"22")]).unwrap();
+    second.disconnect();
+
+    assert_eq!(
+        &read_page_bytes(&cluster.servers[0], cluster.p0)[0..2],
+        b"22",
+        "reconnected client's commit was swallowed by a stale dedup entry"
+    );
+    let snap = cluster.servers[0].stats().snapshot();
+    assert_eq!(snap.dedup_hits, 0, "fresh commit hit a dead incarnation's entry");
+    assert_eq!(snap.commits, 2);
+}
+
+/// A retried commit whose first delivery already committed is acknowledged
+/// from the dedup window even if the server went read-only in between: the
+/// transaction is durable, and rejecting the retry would report a false
+/// failure. New mutations stay refused.
+#[test]
+fn degraded_mode_still_replays_recorded_commit_replies() {
+    let cluster = build();
+    let t = Duration::from_secs(2);
+    let ep = cluster.net.register(NodeId(7));
+    let txn = match ep.call(SRV0, Msg::BeginTxn, t).unwrap() {
+        Msg::TxnId(txn) => txn,
+        other => panic!("bad reply {other:?}"),
+    };
+    let commit = Msg::Commit {
+        txn,
+        updates: vec![upd(cluster.p0, &[0; 2], b"cc")],
+        req: (9 << 32) | 1,
+    };
+    assert_eq!(ep.call(SRV0, commit.clone(), t).unwrap(), Msg::Ok);
+
+    cluster.servers[0].set_read_only(true);
+    assert_eq!(
+        ep.call(SRV0, commit, t).unwrap(),
+        Msg::Ok,
+        "read-only gate rejected a retry of a durably committed transaction"
+    );
+    let snap = cluster.servers[0].stats().snapshot();
+    assert!(snap.dedup_hits >= 1);
+    assert_eq!(snap.commits, 1, "replayed commit applied twice");
+
+    // A commit the window has never seen is still refused.
+    let fresh = Msg::Commit {
+        txn,
+        updates: vec![upd(cluster.p0, b"cc", b"dd")],
+        req: (9 << 32) | 2,
+    };
+    assert!(matches!(ep.call(SRV0, fresh, t).unwrap(), Msg::Err(_)));
+    assert_eq!(&read_page_bytes(&cluster.servers[0], cluster.p0)[0..2], b"cc");
+}
+
+// ---- non-idempotent segment RPCs are never retried --------------------------
+
+/// `AllocSegment` and `FreeSegment` carry no request id and are not
+/// idempotent, so the transient-failure retry must not touch them: a
+/// retried free that already executed could free a segment handed to
+/// another client, and a retried alloc leaks the first segment.
+#[test]
+fn segment_rpcs_fail_fast_instead_of_retrying() {
+    use bess_storage::DiskSpace;
+
+    let cluster = build();
+    let client = connect(&cluster, CLIENT);
+    let space = RemoteSpace(Arc::clone(&client));
+    let ptr = space.alloc(0, 1).unwrap();
+
+    // The free executes but its reply is lost (the plan counts from its
+    // arming, so the next client message is index 0): the ambiguity must
+    // surface as an error, never as a blind re-send.
+    cluster
+        .net
+        .arm(NetFaultPlan::armed_from(CLIENT, 0, NetFaultKind::DropReply));
+    assert!(space.free(ptr).is_err(), "lost free reply must surface");
+    assert_eq!(client.stats().snapshot().retries, 0, "FreeSegment was retried");
+
+    // A dropped alloc request likewise fails fast.
+    cluster
+        .net
+        .arm(NetFaultPlan::armed_from(CLIENT, 0, NetFaultKind::Drop));
+    assert!(space.alloc(0, 1).is_err(), "dropped alloc must surface");
+    assert_eq!(client.stats().snapshot().retries, 0, "AllocSegment was retried");
+    client.disconnect();
+}
+
+// ---- reaping under continuous load ------------------------------------------
+
+/// Lease reaping must not depend on the serve loop going idle: a server
+/// under continuous traffic (its `recv` never times out) still collects a
+/// dead client's locks on the time-based reap budget.
+#[test]
+fn busy_server_still_reaps_expired_leases() {
+    let net = Network::new(Duration::ZERO);
+    let dir = Arc::new(Directory::new());
+    let set = Arc::new(AreaSet::new());
+    set.add(Arc::new(
+        StorageArea::create_mem(AreaId(0), AreaConfig::default()).unwrap(),
+    ));
+    register_areas(&dir, SRV0, &set);
+    let mut scfg = ServerConfig::new(SRV0);
+    scfg.lease_duration = Duration::from_millis(200);
+    let (srv, _) = BessServer::start(scfg, set, LogManager::create_mem(), &net);
+    let seg = srv.areas().get(0).unwrap().alloc(1).unwrap();
+    let p0 = DbPage { area: 0, page: seg.start_page };
+
+    let mut cfg = ClientConfig::new(CLIENT, SRV0);
+    cfg.caching = false;
+    cfg.heartbeat_interval = Duration::from_secs(60);
+    let victim = ClientConn::connect(&net, Arc::clone(&dir), cfg);
+    victim.begin().unwrap();
+    victim.fetch_page(p0, LockMode::X).unwrap();
+    net.partition(CLIENT);
+
+    // Hammer the server from another node so its recv loop never idles;
+    // the victim's lease expires under load and must still be reaped.
+    let pump = net.register(CHECKER);
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let mut reaped = false;
+    while std::time::Instant::now() < deadline {
+        let _ = pump.call(SRV0, Msg::ReadPage { page: p0 }, Duration::from_millis(200));
+        if srv.locks_held_by(CLIENT).is_empty() {
+            reaped = true;
+            break;
+        }
+    }
+    assert!(reaped, "busy server never reaped the dead client's lease");
+    assert!(!srv.has_lease(CLIENT));
+    assert!(srv.stats().snapshot().leases_expired >= 1);
+    victim.disconnect();
 }
