@@ -1,10 +1,19 @@
 //! The experiment report harness: regenerates every *counting* experiment
-//! of DESIGN.md §4 (E2-E5, E8-E10) and prints the tables recorded in
-//! EXPERIMENTS.md. Timing experiments (E1, E6, E7, E11-E14) live in the
+//! of DESIGN.md §4 (E2-E5, E8-E10, E17-E20) and prints the tables recorded
+//! in EXPERIMENTS.md. Timing experiments (E1, E6, E7, E11-E14) live in the
 //! criterion benches.
+//!
+//! Every experiment measures an interval the same way: take a
+//! [`bess_obs::Registry`] snapshot, run the workload, and diff with
+//! [`bess_obs::RegistrySnapshot::delta`] — one generic helper instead of a
+//! hand-written before/after block per stats struct. Each experiment also
+//! records its headline numbers into a [`JsonReport`], written to
+//! `BENCH_report.json` at the end for machine consumption (CI uploads it
+//! as an artifact).
 //!
 //! Run with: `cargo run --release -p bess-bench --bin report`
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -12,30 +21,114 @@ use bess_bench::workload::{rng, HotCold, Scan, Zipf};
 use bess_bench::{make_manager, segment_env, World};
 use bess_cache::{DbPage, MapIo, PageIo, PrivatePool};
 use bess_lock::LockMode;
+use bess_obs::{json_string, RegistrySnapshot};
 use bess_segment::{ProtectionPolicy, TypeDesc, TYPE_BYTES};
 use bess_server::PageUpdate;
 use bess_vm::{AddressSpace, Protect, VRange};
 use rand::rngs::StdRng;
 
+/// Machine-readable companion to the printed tables: a two-level map of
+/// `experiment -> key -> value`, serialised to `BENCH_report.json`.
+#[derive(Default)]
+struct JsonReport {
+    sections: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+impl JsonReport {
+    /// Records an integer metric.
+    fn int(&mut self, section: &str, key: &str, v: u64) {
+        self.raw(section, key, v.to_string());
+    }
+
+    /// Records a float metric (two decimals is plenty for a report).
+    fn num(&mut self, section: &str, key: &str, v: f64) {
+        self.raw(section, key, format!("{v:.3}"));
+    }
+
+    /// Records a string metric.
+    fn text(&mut self, section: &str, key: &str, v: &str) {
+        self.raw(section, key, json_string(v));
+    }
+
+    fn raw(&mut self, section: &str, key: &str, v: String) {
+        self.sections
+            .entry(section.to_string())
+            .or_default()
+            .insert(key.to_string(), v);
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first_s = true;
+        for (section, entries) in &self.sections {
+            if !first_s {
+                out.push_str(",\n");
+            }
+            first_s = false;
+            out.push_str(&format!("  {}: {{", json_string(section)));
+            let mut first_e = true;
+            for (k, v) in entries {
+                if !first_e {
+                    out.push(',');
+                }
+                first_e = false;
+                out.push_str(&format!("\n    {}: {v}", json_string(k)));
+            }
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Prints one `| metric | count | p50 | p99 |` row per `*.ns` histogram in
+/// the snapshot, and records the quantiles into the report.
+fn latency_rows(snap: &RegistrySnapshot, report: &mut JsonReport, section: &str) {
+    for (name, value) in &snap.entries {
+        let bess_obs::MetricValue::Histogram(h) = value else {
+            continue;
+        };
+        if !name.ends_with(".ns") || h.count() == 0 {
+            continue;
+        }
+        println!(
+            "| {name} | {} | {}ns | {}ns |",
+            h.count(),
+            h.p50(),
+            h.p99()
+        );
+        report.int(section, &format!("{name}.count"), h.count());
+        report.int(section, &format!("{name}.p50"), h.p50());
+        report.int(section, &format!("{name}.p99"), h.p99());
+    }
+}
+
 fn main() {
+    let mut report = JsonReport::default();
+    let r = &mut report;
     println!("# BeSS experiment report\n");
-    e2_reservation();
-    e3_waves();
-    e4_reorg();
-    e5_protection();
-    e8_hit_rates();
-    e9_callback();
-    e10_two_pc();
-    e17_deadlock_policy();
-    e18_recovery_under_faults();
-    e19_failure_containment();
-    println!("\nreport complete.");
+    e2_reservation(r);
+    e3_waves(r);
+    e4_reorg(r);
+    e5_protection(r);
+    e8_hit_rates(r);
+    e9_callback(r);
+    e10_two_pc(r);
+    e17_deadlock_policy(r);
+    e18_recovery_under_faults(r);
+    e19_failure_containment(r);
+    e20_obs_overhead(r);
+    hot_path_latencies(r);
+    let json = report.to_json();
+    std::fs::write("BENCH_report.json", &json).expect("write BENCH_report.json");
+    println!("\nreport complete ({} experiment sections in BENCH_report.json).",
+        report.sections.len());
 }
 
 // ---------------------------------------------------------------------------
 // E2 — address-space greed: lazy (BeSS) vs greedy (ObjectStore-style).
 // ---------------------------------------------------------------------------
-fn e2_reservation() {
+fn e2_reservation(report: &mut JsonReport) {
     println!("## E2 — address-space reservation: lazy (BeSS) vs greedy\n");
     const SEGMENTS: usize = 64;
     const OBJS_PER_SEG: usize = 16;
@@ -66,25 +159,25 @@ fn e2_reservation() {
     // Fresh epoch, BeSS-lazy: touch ONE object.
     let areas = _areas;
     let mgr2 = make_manager(&areas, &types, &catalog, ProtectionPolicy::Protected, 8192);
-    let before = mgr2.space().stats().snapshot();
+    let before = mgr2.metrics().registry().snapshot();
     let addr = mgr2.resolve_oid(roots[0]).unwrap();
     let _ = mgr2.read_object(addr).unwrap();
-    let after = mgr2.space().stats().snapshot();
-    let lazy_reserved = after.reserved_bytes - before.reserved_bytes;
-    let lazy_mapped = (after.map_calls - before.map_calls) * 4096;
+    let d = mgr2.metrics().registry().snapshot().delta(&before);
+    let lazy_reserved = d.counter("vm.reserved_bytes");
+    let lazy_mapped = d.counter("vm.map_calls") * 4096;
 
     // Greedy baseline: reserve every known segment's ranges up front, as
     // the reserve-on-open schemes of [19,30,34] would.
     let mgr3 = make_manager(&areas, &types, &catalog, ProtectionPolicy::Protected, 8192);
-    let before = mgr3.space().stats().snapshot();
+    let before = mgr3.metrics().registry().snapshot();
     for seg in catalog.list() {
         mgr3.load_segment(seg).unwrap(); // maps slotted + reserves data
     }
     let addr = mgr3.resolve_oid(roots[0]).unwrap();
     let _ = mgr3.read_object(addr).unwrap();
-    let after = mgr3.space().stats().snapshot();
-    let greedy_reserved = after.reserved_bytes - before.reserved_bytes;
-    let greedy_mapped = (after.map_calls - before.map_calls) * 4096;
+    let d = mgr3.metrics().registry().snapshot().delta(&before);
+    let greedy_reserved = d.counter("vm.reserved_bytes");
+    let greedy_mapped = d.counter("vm.map_calls") * 4096;
 
     println!("| scheme | segments touched | bytes reserved | bytes mapped |");
     println!("|---|---|---|---|");
@@ -95,12 +188,19 @@ fn e2_reservation() {
         greedy_reserved as f64 / lazy_reserved as f64,
         greedy_mapped as f64 / lazy_mapped.max(1) as f64
     );
+    report.int("E2", "lazy_reserved_bytes", lazy_reserved);
+    report.int("E2", "greedy_reserved_bytes", greedy_reserved);
+    report.num(
+        "E2",
+        "reservation_ratio",
+        greedy_reserved as f64 / lazy_reserved as f64,
+    );
 }
 
 // ---------------------------------------------------------------------------
 // E3 — the three fault waves (§2.1).
 // ---------------------------------------------------------------------------
-fn e3_waves() {
+fn e3_waves(report: &mut JsonReport) {
     println!("## E3 — three-wave faulting: cold vs warm traversal\n");
     const CHAIN: usize = 10;
 
@@ -136,39 +236,47 @@ fn e3_waves() {
         n
     };
 
-    let s0 = mgr2.stats().snapshot();
-    let v0 = mgr2.space().stats().snapshot();
+    // The manager and its address space share one registry, so a single
+    // snapshot covers both the vm.* fault counters and the seg.* waves.
+    let reg = mgr2.metrics().registry();
+    let before = reg.snapshot();
     let start = mgr2.resolve_oid(head.unwrap()).unwrap();
     let n = walk(&mgr2, start);
-    let s1 = mgr2.stats().snapshot();
-    let v1 = mgr2.space().stats().snapshot();
+    let cold = reg.snapshot().delta(&before);
     assert_eq!(n, CHAIN);
 
     println!("| traversal | faults | wave1 reservations | wave2 slotted loads | wave3 data loads | DP fixups | refs swizzled |");
     println!("|---|---|---|---|---|---|---|");
     println!(
         "| cold ({CHAIN}-segment chain) | {} | {} | {} | {} | {} | {} |",
-        v1.faults() - v0.faults(),
-        s1.slotted_reserved - s0.slotted_reserved,
-        s1.slotted_loads - s0.slotted_loads,
-        s1.data_loads - s0.data_loads,
-        s1.dp_fixups - s0.dp_fixups,
-        s1.refs_swizzled - s0.refs_swizzled,
+        cold.counter("vm.read_faults") + cold.counter("vm.write_faults"),
+        cold.counter("seg.slotted_reserved"),
+        cold.counter("seg.slotted_loads"),
+        cold.counter("seg.data_loads"),
+        cold.counter("seg.dp_fixups"),
+        cold.counter("seg.refs_swizzled"),
     );
-    let v2 = mgr2.space().stats().snapshot();
+    let before = reg.snapshot();
     let n = walk(&mgr2, start);
     assert_eq!(n, CHAIN);
-    let v3 = mgr2.space().stats().snapshot();
-    println!(
-        "| warm (same chain) | {} | 0 | 0 | 0 | 0 | 0 |\n",
-        v3.faults() - v2.faults()
+    let warm = reg.snapshot().delta(&before);
+    let warm_faults = warm.counter("vm.read_faults") + warm.counter("vm.write_faults");
+    println!("| warm (same chain) | {warm_faults} | 0 | 0 | 0 | 0 | 0 |\n");
+    report.int(
+        "E3",
+        "cold_faults",
+        cold.counter("vm.read_faults") + cold.counter("vm.write_faults"),
     );
+    report.int("E3", "cold_wave1", cold.counter("seg.slotted_reserved"));
+    report.int("E3", "cold_wave2", cold.counter("seg.slotted_loads"));
+    report.int("E3", "cold_wave3", cold.counter("seg.data_loads"));
+    report.int("E3", "warm_faults", warm_faults);
 }
 
 // ---------------------------------------------------------------------------
 // E4 — on-the-fly reorganisation (§2.1).
 // ---------------------------------------------------------------------------
-fn e4_reorg() {
+fn e4_reorg(report: &mut JsonReport) {
     println!("## E4 — reorganisation with live references\n");
     let (_areas, types, catalog, mgr) = segment_env(ProtectionPolicy::Protected, 8192);
     let _ = (&types, &catalog);
@@ -205,6 +313,11 @@ fn e4_reorg() {
         let dt = t.elapsed();
         verify(name);
         println!("| {name} | {dt:?} | yes (200/200 objects) |");
+        report.num(
+            "E4",
+            &format!("{}_ms", name.replace(' ', "_")),
+            dt.as_secs_f64() * 1e3,
+        );
     }
     println!();
 }
@@ -212,7 +325,7 @@ fn e4_reorg() {
 // ---------------------------------------------------------------------------
 // E5 — corruption prevention cost (§2.2).
 // ---------------------------------------------------------------------------
-fn e5_protection() {
+fn e5_protection(report: &mut JsonReport) {
     println!("## E5 — protection: cost and coverage\n");
     println!("(workload: 2000 object create+delete pairs — every slot mutation");
     println!("unprotects and reprotects the slotted segment, §2.2)\n");
@@ -222,8 +335,10 @@ fn e5_protection() {
         let (_areas, _t, _c, mgr) = segment_env(policy, 8192);
         let seg = mgr.create_segment(0, 128, 16).unwrap();
         let probe = mgr.create_object(seg, TYPE_BYTES, 64).unwrap();
-        let v0 = mgr.space().stats().snapshot();
-        let s0 = mgr.stats().snapshot();
+        // One registry covers the manager (seg.*) and its address space
+        // (vm.*), so a single delta yields both columns.
+        let reg = mgr.metrics().registry();
+        let before = reg.snapshot();
         let t = Instant::now();
         for k in 0..2000u64 {
             let o = mgr.create_object(seg, TYPE_BYTES, 64).unwrap();
@@ -231,16 +346,22 @@ fn e5_protection() {
             mgr.delete_object(o.addr).unwrap();
         }
         let dt = t.elapsed();
-        let v1 = mgr.space().stats().snapshot();
-        let s1 = mgr.stats().snapshot();
+        let d = reg.snapshot().delta(&before);
         // Fault-inject: one stray write aimed at a slot header.
         let caught = mgr.space().write_u64(probe.addr, 0xBAD).is_err();
         println!(
             "| {policy:?} | {} | {} | {} | {dt:?} |",
-            v1.protect_calls - v0.protect_calls,
-            s1.protect_cycles - s0.protect_cycles,
+            d.counter("vm.protect_calls"),
+            d.counter("seg.protect_cycles"),
             if caught { "yes" } else { "NO (silent corruption)" },
         );
+        let tag = format!("{policy:?}").to_lowercase();
+        report.int(
+            "E5",
+            &format!("{tag}_protect_calls"),
+            d.counter("vm.protect_calls"),
+        );
+        report.num("E5", &format!("{tag}_ms"), dt.as_secs_f64() * 1e3);
     }
     println!();
 }
@@ -288,13 +409,15 @@ impl FifoSim {
     }
 }
 
-fn e8_hit_rates() {
+fn e8_hit_rates(report: &mut JsonReport) {
     println!("## E8 — replacement: frame-state clock vs LRU vs FIFO (cap 256 of 1024 pages, 20k accesses)\n");
     const N: usize = 1024;
     const CAP: usize = 256;
     const ACCESSES: usize = 20_000;
 
-    let trace = |name: &str, mut next: Box<dyn FnMut(&mut StdRng) -> usize>| {
+    let trace = |name: &str,
+                 mut next: Box<dyn FnMut(&mut StdRng) -> usize>,
+                 report: &mut JsonReport| {
         let mut r = rng(2024);
         // Clock (the real pool).
         let space = Arc::new(AddressSpace::new());
@@ -311,8 +434,12 @@ fn e8_hit_rates() {
             )
             .unwrap();
         }
-        let s = pool.stats().snapshot();
-        let clock_hit = s.hits as f64 / (s.hits + s.loads) as f64;
+        let snap = pool.metrics().registry().snapshot();
+        let (hits, loads) = (
+            snap.counter("cache.private.hits"),
+            snap.counter("cache.private.loads"),
+        );
+        let clock_hit = hits as f64 / (hits + loads) as f64;
 
         // LRU and FIFO models on the same trace.
         let mut r = rng(2024);
@@ -337,27 +464,36 @@ fn e8_hit_rates() {
             lru_hits as f64 / ACCESSES as f64 * 100.0,
             fifo_hits as f64 / ACCESSES as f64 * 100.0
         );
+        report.num(
+            "E8",
+            &format!("{}_clock_hit_pct", name.replace(' ', "_")),
+            clock_hit * 100.0,
+        );
     };
 
     println!("| workload | clock (BeSS) | LRU | FIFO |");
     println!("|---|---|---|---|");
     let zipf = Zipf::new(N, 0.99);
-    trace("zipf 0.99", Box::new(move |r| zipf.sample(r)));
+    trace("zipf 0.99", Box::new(move |r| zipf.sample(r)), report);
     let hot = HotCold::new(N, 0.1, 0.8);
-    trace("hotcold 80/10", Box::new(move |r| hot.sample(r)));
-    trace("uniform", Box::new(move |r| {
-        use rand::Rng;
-        r.gen_range(0..N)
-    }));
+    trace("hotcold 80/10", Box::new(move |r| hot.sample(r)), report);
+    trace(
+        "uniform",
+        Box::new(move |r| {
+            use rand::Rng;
+            r.gen_range(0..N)
+        }),
+        report,
+    );
     let mut scan = Scan::new(N);
-    trace("scan", Box::new(move |_| scan.sample()));
+    trace("scan", Box::new(move |_| scan.sample()), report);
     println!();
 }
 
 // ---------------------------------------------------------------------------
 // E9 — callback locking: inter-transaction caching vs per-transaction locks.
 // ---------------------------------------------------------------------------
-fn e9_callback() {
+fn e9_callback(report: &mut JsonReport) {
     // Full sessions: inter-transaction caching covers data (pool) AND
     // locks (lock cache); callbacks keep both consistent (§3).
     println!("## E9 — callback locking: messages per transaction (100 txns, 8 object reads + 1 write)\n");
@@ -408,7 +544,8 @@ fn e9_callback() {
 
             let mut r = rng(7);
             let hot = HotCold::new(64, 0.25, 0.9);
-            let before = world.net.stats().snapshot();
+            let wreg = world.metrics();
+            let before = wreg.snapshot();
             const TXNS: usize = 100;
             for t in 0..TXNS {
                 loop {
@@ -447,14 +584,25 @@ fn e9_callback() {
                     }
                 }
             }
-            let delta = world.net.stats().snapshot().since(&before);
-            let srv = world.servers[0].stats().snapshot();
+            let snap = wreg.snapshot();
+            let d = snap.delta(&before);
+            // A call is two messages on the wire (request + reply).
+            let messages = d.counter("net.sends") + 2 * d.counter("net.calls");
             println!(
                 "| {label} | {} | {:.1} | {} | {} |",
                 if caching { "callback caching" } else { "per-txn locks (C2PL)" },
-                delta.messages() as f64 / TXNS as f64,
-                srv.callbacks_sent,
-                srv.locks_granted + srv.fetches,
+                messages as f64 / TXNS as f64,
+                snap.counter("s0.server.callbacks_sent"),
+                snap.counter("s0.server.locks_granted") + snap.counter("s0.server.fetches"),
+            );
+            report.num(
+                "E9",
+                &format!(
+                    "{}_{}_msgs_per_txn",
+                    if shared_writer { "shared" } else { "private" },
+                    if caching { "caching" } else { "c2pl" }
+                ),
+                messages as f64 / TXNS as f64,
             );
         }
     }
@@ -465,7 +613,7 @@ fn e9_callback() {
 // E17 (ablation) — deadlock resolution: the paper's timeouts vs a
 // waits-for-graph detector.
 // ---------------------------------------------------------------------------
-fn e17_deadlock_policy() {
+fn e17_deadlock_policy(report: &mut JsonReport) {
     use bess_lock::{DeadlockPolicy, LockManager, LockMode, LockName, TxnId};
     println!("## E17 — deadlock resolution: timeout (paper) vs waits-for detection (ablation)\n");
     println!("| policy | resolution latency (2-txn cycle) | victim work wasted |");
@@ -504,6 +652,18 @@ fn e17_deadlock_policy() {
                 "one full timeout of blocking"
             }
         );
+        report.int(
+            "E17",
+            &format!(
+                "{}_resolution_ns",
+                if policy == DeadlockPolicy::Detect {
+                    "detect".to_string()
+                } else {
+                    format!("timeout{}ms", timeout.as_millis())
+                }
+            ),
+            (total / ROUNDS).as_nanos() as u64,
+        );
     }
     println!();
 }
@@ -511,7 +671,7 @@ fn e17_deadlock_policy() {
 // ---------------------------------------------------------------------------
 // E10 — two-phase commit across servers.
 // ---------------------------------------------------------------------------
-fn e10_two_pc() {
+fn e10_two_pc(report: &mut JsonReport) {
     println!("## E10 — distributed commit: cost vs participating servers (30us wire latency)\n");
     println!("| servers | messages/commit | wall time/commit |");
     println!("|---|---|---|");
@@ -527,7 +687,8 @@ fn e10_two_pc() {
             .collect();
         let c = world.client(1, true);
         const TXNS: usize = 20;
-        let before = world.net.stats().snapshot();
+        let wreg = world.metrics();
+        let before = wreg.snapshot();
         let t0 = Instant::now();
         for t in 0..TXNS {
             c.begin().unwrap();
@@ -544,10 +705,21 @@ fn e10_two_pc() {
             c.commit(updates).unwrap();
         }
         let wall = t0.elapsed() / TXNS as u32;
-        let delta = world.net.stats().snapshot().since(&before);
+        let d = wreg.snapshot().delta(&before);
+        let messages = d.counter("net.sends") + 2 * d.counter("net.calls");
         println!(
             "| {n_servers} | {:.1} | {wall:?} |",
-            delta.messages() as f64 / TXNS as f64
+            messages as f64 / TXNS as f64
+        );
+        report.num(
+            "E10",
+            &format!("servers{n_servers}_msgs_per_commit"),
+            messages as f64 / TXNS as f64,
+        );
+        report.int(
+            "E10",
+            &format!("servers{n_servers}_wall_ns_per_commit"),
+            wall.as_nanos() as u64,
         );
     }
     println!();
@@ -556,7 +728,7 @@ fn e10_two_pc() {
 // ---------------------------------------------------------------------------
 // E18 — restart recovery under deterministic crash injection.
 // ---------------------------------------------------------------------------
-fn e18_recovery_under_faults() {
+fn e18_recovery_under_faults(report: &mut JsonReport) {
     use bess_storage::{FaultDisk, FaultKind, FaultPlan, OpClass};
     use bess_wal::{recover, take_checkpoint, LogBody, LogManager, LogPageId, Lsn, MemTarget};
 
@@ -618,7 +790,7 @@ fn e18_recovery_under_faults() {
         // failure is followed by another crash and a clean retry.
         disk.reopen(FaultPlan::armed(OpClass::Read, 2, FaultKind::Eio));
         let mut attempts = 1u32;
-        let report = loop {
+        let rep = loop {
             let res = LogManager::open_faulty(Arc::clone(&disk)).and_then(|log| {
                 let mut target = MemTarget::default();
                 recover(&log, &mut target)
@@ -634,11 +806,11 @@ fn e18_recovery_under_faults() {
         };
         println!(
             "| {nth} | {} | {} | {} | {} | {} | {attempts} |",
-            report.scanned,
-            report.winners.len(),
-            report.losers.len(),
-            report.redone,
-            report.undone,
+            rep.scanned,
+            rep.winners.len(),
+            rep.losers.len(),
+            rep.redone,
+            rep.undone,
         );
     }
 
@@ -652,15 +824,21 @@ fn e18_recovery_under_faults() {
     disk.reopen(FaultPlan::unarmed());
     let log = LogManager::open_faulty(Arc::clone(&disk)).unwrap();
     let mut target = MemTarget::default();
-    let report = recover(&log, &mut target).unwrap();
+    let rep = recover(&log, &mut target).unwrap();
     println!(
         "| after final flush | {} | {} | {} | {} | {} | 1 |",
-        report.scanned,
-        report.winners.len(),
-        report.losers.len(),
-        report.redone,
-        report.undone,
+        rep.scanned,
+        rep.winners.len(),
+        rep.losers.len(),
+        rep.redone,
+        rep.undone,
     );
+    report.int("E18", "crash_points", total_writes);
+    report.int("E18", "final_scanned", rep.scanned);
+    report.int("E18", "final_winners", rep.winners.len() as u64);
+    report.int("E18", "final_losers", rep.losers.len() as u64);
+    report.int("E18", "final_redone", rep.redone);
+    report.int("E18", "final_undone", rep.undone);
     println!();
 }
 
@@ -668,7 +846,7 @@ fn e18_recovery_under_faults() {
 // E19 — failure containment in the client-server layer: idempotent retry,
 // commit dedup, and dead-client lease reclamation.
 // ---------------------------------------------------------------------------
-fn e19_failure_containment() {
+fn e19_failure_containment(report: &mut JsonReport) {
     use bess_net::{NetFaultKind, NetFaultPlan, NodeId};
     use bess_server::{ClientConfig, ClientConn, PageUpdate};
     use std::time::Duration;
@@ -717,8 +895,8 @@ fn e19_failure_containment() {
         world.net.partition(NodeId(1));
         client.disconnect();
         world.servers[0].expire_lease(NodeId(1));
-        let srv = world.servers[0].stats().snapshot();
-        let cli = client.stats().snapshot();
+        let srv = world.metrics().snapshot();
+        let cli = client.metrics().registry().snapshot();
         (committed, cli, srv, world)
     };
 
@@ -735,10 +913,18 @@ fn e19_failure_containment() {
         println!(
             "| {label} | {} | {} | {} | {} | {} |",
             if committed { "yes" } else { "no (reaped)" },
-            cli.retries,
-            srv.dedup_hits,
-            srv.commits,
+            cli.counter("client.retries"),
+            srv.counter("s0.server.dedup_hits"),
+            srv.counter("s0.server.commits"),
             world.servers[0].locks_held_by(bess_net::NodeId(1)).is_empty(),
+        );
+        let tag = label.replace(' ', "_");
+        report.int("E19", &format!("{tag}.committed"), u64::from(committed));
+        report.int("E19", &format!("{tag}.retries"), cli.counter("client.retries"));
+        report.int(
+            "E19",
+            &format!("{tag}.dedup_hits"),
+            srv.counter("s0.server.dedup_hits"),
         );
     }
     println!();
@@ -763,10 +949,194 @@ fn e19_failure_containment() {
         .is_err();
     world.servers[0].set_read_only(false);
     client.disconnect();
-    let srv = world.servers[0].stats().snapshot();
+    let srv = world.metrics().snapshot();
     println!("| degraded mode | new txn rejected | mutation rejected | counter |");
     println!("|---|---|---|---|");
-    println!("| draining | {drained} | n/a | drain_rejections = {} |", srv.drain_rejections);
-    println!("| read-only | n/a | {rejected} | read_only_rejections = {} |", srv.read_only_rejections);
+    println!(
+        "| draining | {drained} | n/a | drain_rejections = {} |",
+        srv.counter("s0.server.drain_rejections")
+    );
+    println!(
+        "| read-only | n/a | {rejected} | read_only_rejections = {} |",
+        srv.counter("s0.server.read_only_rejections")
+    );
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E20 — instrumentation overhead: the observability layer's own cost.
+// ---------------------------------------------------------------------------
+fn e20_obs_overhead(report: &mut JsonReport) {
+    use bess_wal::{LogBody, LogManager, LogPageId, Lsn};
+    println!("## E20 — instrumentation overhead: WAL append with timing on vs off\n");
+    const OPS: u64 = 200_000;
+    let run = |timing: bool| -> f64 {
+        let log = LogManager::create_mem();
+        log.metrics().registry().set_timing(timing);
+        let t0 = Instant::now();
+        let mut prev = Lsn::NULL;
+        for i in 0..OPS {
+            prev = log.append(
+                1,
+                prev,
+                LogBody::Update {
+                    page: LogPageId { area: 0, page: i % 64 },
+                    offset: 0,
+                    before: vec![0; 8],
+                    after: vec![1; 8],
+                },
+            );
+        }
+        OPS as f64 / t0.elapsed().as_secs_f64()
+    };
+    // Alternate the two configurations and keep the best pass of each, so
+    // scheduler noise doesn't masquerade as instrumentation cost.
+    let _ = run(true);
+    let _ = run(false);
+    let (mut on, mut off) = (0.0f64, 0.0f64);
+    for _ in 0..5 {
+        on = on.max(run(true));
+        off = off.max(run(false));
+    }
+    let overhead = ((off - on) / off * 100.0).max(0.0);
+    println!("| timing | appends/sec |");
+    println!("|---|---|");
+    println!("| on (sampled 1-in-16) | {on:.0} |");
+    println!("| off (`set_timing(false)`) | {off:.0} |");
+    println!(
+        "| overhead | {overhead:.1}% (target <=5%; `--features bess-obs/noop` \
+         compiles recording out entirely) |\n"
+    );
+    report.num("E20", "appends_per_sec_timing_on", on);
+    report.num("E20", "appends_per_sec_timing_off", off);
+    report.num("E20", "overhead_pct", overhead);
+    report.text("E20", "target", "<=5%");
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path latency summary: drive each instrumented path briefly, merge the
+// registries' snapshots, and print p50/p99 for every `*.ns` histogram.
+// ---------------------------------------------------------------------------
+fn hot_path_latencies(report: &mut JsonReport) {
+    use bess_cache::{GetOutcome, SharedCache};
+    use bess_lock::{LockManager, LockName, TxnId};
+    use bess_wal::{LogBody, LogManager, LogPageId, Lsn};
+
+    println!("## Hot-path latencies (bess-obs histograms, p50/p99)\n");
+    let mut merged = RegistrySnapshot::default();
+
+    // WAL: appends (sampled 1-in-16) and flushes.
+    let log = LogManager::create_mem();
+    let mut prev = Lsn::NULL;
+    for i in 0..4096u64 {
+        prev = log.append(
+            1,
+            prev,
+            LogBody::Update {
+                page: LogPageId { area: 0, page: i % 64 },
+                offset: 0,
+                before: vec![0; 8],
+                after: vec![1; 8],
+            },
+        );
+        if i % 256 == 255 {
+            log.flush_all().unwrap();
+        }
+    }
+    merged.merge("", &log.metrics().registry().snapshot());
+
+    // VM fault waves + private-pool fault-ins: a cold chain traversal.
+    {
+        let (areas, types, catalog, mgr) = segment_env(ProtectionPolicy::Protected, 8192);
+        let node = types.register(TypeDesc {
+            name: "HotNode".into(),
+            size: 32,
+            ref_offsets: vec![24],
+        });
+        let mut prev = None;
+        let mut head = None;
+        for _ in 0..32 {
+            let seg = mgr.create_segment(0, 8, 2).unwrap();
+            let o = mgr.create_object(seg, node, 32).unwrap();
+            if let Some(p) = prev {
+                mgr.store_ref(p, 24, Some(o.addr)).unwrap();
+            } else {
+                head = Some(mgr.oid_of(o.addr).unwrap());
+            }
+            prev = Some(o.addr);
+        }
+        mgr.flush_all().unwrap();
+        let mgr2 = make_manager(&areas, &types, &catalog, ProtectionPolicy::Protected, 8192);
+        let mut cursor = Some(mgr2.resolve_oid(head.unwrap()).unwrap());
+        while let Some(a) = cursor {
+            cursor = mgr2.load_ref(a, 24).unwrap();
+        }
+        merged.merge("", &mgr2.metrics().registry().snapshot());
+    }
+
+    // Lock waits: two threads trading an exclusive page lock.
+    {
+        let m = Arc::new(LockManager::new(Duration::from_secs(5)));
+        let name = LockName::Page { area: 0, page: 0 };
+        for round in 0..32u64 {
+            m.lock(TxnId(1), name, LockMode::X).unwrap();
+            let m2 = Arc::clone(&m);
+            let h = std::thread::spawn(move || {
+                m2.lock(TxnId(2), name, LockMode::X).unwrap();
+                m2.unlock_all(TxnId(2));
+            });
+            std::thread::sleep(Duration::from_micros(50 + round % 7));
+            m.unlock_all(TxnId(1));
+            h.join().unwrap();
+        }
+        merged.merge("", &m.metrics().registry().snapshot());
+    }
+
+    // Shared-cache lookups (sampled 1-in-8).
+    {
+        // Vframes are PVMA-style permanent assignments, so size the table
+        // for every distinct page the loop touches.
+        let cache = SharedCache::new(64, 128, 4096);
+        for i in 0..2048u64 {
+            let page = DbPage { area: 0, page: i % 96 };
+            let slot = match cache.get(page).unwrap() {
+                GetOutcome::Resident { slot, .. } => slot,
+                GetOutcome::MustLoad { slot, .. } => {
+                    cache.finish_load(slot, page);
+                    slot
+                }
+            };
+            // Drop the access reference right away (first-level clock
+            // invalidation) so the slot stays evictable.
+            cache.dec_access(slot);
+        }
+        merged.merge("", &cache.metrics().registry().snapshot());
+    }
+
+    // Client/server round-trips and commits.
+    {
+        let world = World::new(&[&[0]], Duration::ZERO);
+        let seg = world.area_sets[0].get(0).unwrap().alloc(1).unwrap();
+        let page = DbPage { area: 0, page: seg.start_page };
+        let client = world.client(1, true);
+        for t in 0..64u64 {
+            client.begin().unwrap();
+            let d = client.fetch_page(page, LockMode::X).unwrap();
+            client
+                .commit(vec![PageUpdate {
+                    page,
+                    offset: 0,
+                    before: d[0..8].to_vec(),
+                    after: t.to_le_bytes().to_vec(),
+                }])
+                .unwrap();
+        }
+        merged.merge("", &world.metrics().snapshot());
+        merged.merge("", &client.metrics().registry().snapshot());
+    }
+
+    println!("| metric | samples | p50 | p99 |");
+    println!("|---|---|---|---|");
+    latency_rows(&merged, report, "hot_paths");
     println!();
 }

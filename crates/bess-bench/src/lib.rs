@@ -137,6 +137,18 @@ impl World {
     pub fn node_server(&self, node: u32) -> NodeServer {
         NodeServer::start(NodeServerConfig::new(NodeId(node)), Arc::clone(&self.dir), &self.net)
     }
+
+    /// One registry over the whole world: `net.*` plus every server's
+    /// metrics under `s<i>.` (live aliases, so snapshot/delta over it
+    /// measures an experiment interval across all nodes at once).
+    pub fn metrics(&self) -> Arc<bess_obs::Registry> {
+        let reg = bess_obs::Registry::new();
+        reg.adopt("", self.net.metrics().registry());
+        for (i, server) in self.servers.iter().enumerate() {
+            reg.adopt(&format!("s{i}"), server.metrics().registry());
+        }
+        reg
+    }
 }
 
 /// Workload generators.

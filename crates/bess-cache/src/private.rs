@@ -14,10 +14,10 @@
 //! records where each page is mapped in order to flip its protection.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bess_lock::order::{OrderedMutex, Rank};
+use bess_obs::{Counter, Group, LatencyHistogram, Registry};
 use bess_vm::{AddressSpace, FrameId, FrameState, HeapStore, PageStore, Protect, VAddr, VRange};
 
 use crate::page::{DbPage, PageIo};
@@ -78,30 +78,47 @@ struct PoolInner {
     hand: usize,
 }
 
-/// Counters kept by a [`PrivatePool`].
-#[derive(Debug, Default)]
+/// Counters kept by a [`PrivatePool`] — [`bess_obs`] handles registered
+/// under the `cache.private.` prefix of [`PrivatePool::metrics`].
+#[derive(Debug)]
 pub struct PoolStats {
-    /// Pages faulted in (loads from the page source).
-    pub loads: AtomicU64,
-    /// Faults satisfied by a resident frame (re-protection only).
-    pub hits: AtomicU64,
-    /// Frames evicted.
-    pub evictions: AtomicU64,
-    /// Dirty evictions written back.
-    pub write_backs: AtomicU64,
-    /// Accessible -> protected clock demotions.
-    pub clock_protected: AtomicU64,
+    /// Pages faulted in, loads from the page source (`cache.private.loads`).
+    pub loads: Counter,
+    /// Faults satisfied by a resident frame, re-protection only
+    /// (`cache.private.hits`).
+    pub hits: Counter,
+    /// Frames evicted (`cache.private.evictions`).
+    pub evictions: Counter,
+    /// Dirty evictions written back (`cache.private.write_backs`).
+    pub write_backs: Counter,
+    /// Accessible -> protected clock demotions
+    /// (`cache.private.clock_protected`).
+    pub clock_protected: Counter,
 }
 
 impl PoolStats {
+    fn new(group: &Group) -> PoolStats {
+        PoolStats {
+            loads: group.counter("loads"),
+            hits: group.counter("hits"),
+            evictions: group.counter("evictions"),
+            write_backs: group.counter("write_backs"),
+            clock_protected: group.counter("clock_protected"),
+        }
+    }
+
     /// Takes a snapshot for reporting.
+    ///
+    /// Deprecated shim: prefer [`PrivatePool::metrics`] and
+    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
+    /// callers migrate incrementally.
     pub fn snapshot(&self) -> PoolStatsSnapshot {
         PoolStatsSnapshot {
-            loads: self.loads.load(Ordering::Relaxed),
-            hits: self.hits.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            write_backs: self.write_backs.load(Ordering::Relaxed),
-            clock_protected: self.clock_protected.load(Ordering::Relaxed),
+            loads: self.loads.get(),
+            hits: self.hits.get(),
+            evictions: self.evictions.get(),
+            write_backs: self.write_backs.get(),
+            clock_protected: self.clock_protected.get(),
         }
     }
 }
@@ -129,7 +146,9 @@ pub struct PrivatePool {
     io: Arc<dyn PageIo>,
     capacity: usize,
     inner: OrderedMutex<PoolInner>,
+    group: Group,
     stats: PoolStats,
+    fault_ns: LatencyHistogram,
 }
 
 impl PrivatePool {
@@ -138,6 +157,9 @@ impl PrivatePool {
     pub fn new(space: Arc<AddressSpace>, io: Arc<dyn PageIo>, capacity: usize) -> Self {
         assert!(capacity > 0, "pool needs at least one frame");
         let store = Arc::new(HeapStore::new(space.page_size() as usize));
+        let group = Registry::new().group("cache.private");
+        let stats = PoolStats::new(&group);
+        let fault_ns = group.histogram("fault.ns");
         PrivatePool {
             space,
             store,
@@ -152,7 +174,9 @@ impl PrivatePool {
                     hand: 0,
                 },
             ),
-            stats: PoolStats::default(),
+            group,
+            stats,
+            fault_ns,
         }
     }
 
@@ -164,6 +188,12 @@ impl PrivatePool {
     /// Activity counters.
     pub fn stats(&self) -> &PoolStats {
         &self.stats
+    }
+
+    /// The pool's metric group (`cache.private.*`), including the
+    /// `cache.private.fault.ns` histogram over [`PrivatePool::fault_in`].
+    pub fn metrics(&self) -> &Group {
+        &self.group
     }
 
     /// Frames currently resident.
@@ -184,6 +214,7 @@ impl PrivatePool {
     /// `want`. If the page is already resident at `addr`, only its
     /// protection is raised. Evicts via the clock when full.
     pub fn fault_in(&self, page: DbPage, addr: VAddr, want: Protect) -> Result<FrameId, PoolError> {
+        let _timer = self.fault_ns.start();
         let addr = addr.page_base(self.space.page_size());
         {
             let mut inner = self.inner.lock();
@@ -199,7 +230,7 @@ impl PrivatePool {
                 self.space
                     .protect(self.page_range(addr), want)
                     .expect("page reserved by segment layer");
-                AtomicU64::fetch_add(&self.stats.hits, 1, Ordering::Relaxed);
+                self.stats.hits.inc();
                 return Ok(frame);
             }
             if inner.resident.len() >= self.capacity {
@@ -230,7 +261,7 @@ impl PrivatePool {
             );
             inner.ring.push(page);
         }
-        AtomicU64::fetch_add(&self.stats.loads, 1, Ordering::Relaxed);
+        self.stats.loads.inc();
         Ok(frame)
     }
 
@@ -254,7 +285,7 @@ impl PrivatePool {
                     self.space
                         .protect(self.page_range(res.addr), Protect::None)
                         .expect("mapped page");
-                    AtomicU64::fetch_add(&self.stats.clock_protected, 1, Ordering::Relaxed);
+                    self.stats.clock_protected.inc();
                     inner.hand = (inner.hand + 1) % inner.ring.len();
                 }
                 FrameState::Protected => {
@@ -284,7 +315,7 @@ impl PrivatePool {
             self.store.read(res.frame, 0, &mut buf);
             match self.io.write_back(page, &buf) {
                 Ok(()) => {
-                    AtomicU64::fetch_add(&self.stats.write_backs, 1, Ordering::Relaxed);
+                    self.stats.write_backs.inc();
                 }
                 Err(reason) => write_back_failure = Some(reason),
             }
@@ -293,7 +324,7 @@ impl PrivatePool {
             self.space.unmap_page(res.addr).expect("mapped page");
         }
         self.store.free(res.frame);
-        AtomicU64::fetch_add(&self.stats.evictions, 1, Ordering::Relaxed);
+        self.stats.evictions.inc();
         match write_back_failure {
             Some(reason) => Err(PoolError::WriteBackFailed { page, reason }),
             None => Ok(()),
@@ -394,7 +425,7 @@ impl PrivatePool {
                     .write_back(*page, &buf)
                     .map_err(|reason| PoolError::WriteBackFailed { page: *page, reason })?;
                 res.dirty = false;
-                AtomicU64::fetch_add(&self.stats.write_backs, 1, Ordering::Relaxed);
+                self.stats.write_backs.inc();
             }
         }
         Ok(())

@@ -13,10 +13,10 @@
 //! invalidating their PVMA frames; a slot with counter zero may be evicted.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bess_lock::order::{OrderedMutex, Rank};
+use bess_obs::{Counter, Group, LatencyHistogram, Registry};
 use bess_vm::{FrameId, HeapStore, PageStore};
 use parking_lot::Condvar;
 
@@ -78,30 +78,46 @@ struct Inner {
     by_page: HashMap<DbPage, PageState>,
 }
 
-/// Counters kept by a [`SharedCache`].
-#[derive(Debug, Default)]
+/// Counters kept by a [`SharedCache`] — [`bess_obs`] handles registered
+/// under the `cache.shared.` prefix of [`SharedCache::metrics`].
+#[derive(Debug)]
 pub struct SharedCacheStats {
-    /// `get` calls finding the page resident.
-    pub hits: AtomicU64,
-    /// `get` calls that had to load.
-    pub loads: AtomicU64,
-    /// Slots evicted by the second-level clock.
-    pub evictions: AtomicU64,
-    /// Dirty evictions (write-backs required).
-    pub dirty_evictions: AtomicU64,
-    /// Virtual frames assigned.
-    pub vframe_assigns: AtomicU64,
+    /// `get` calls finding the page resident (`cache.shared.hits`).
+    pub hits: Counter,
+    /// `get` calls that had to load (`cache.shared.loads`).
+    pub loads: Counter,
+    /// Slots evicted by the second-level clock (`cache.shared.evictions`).
+    pub evictions: Counter,
+    /// Dirty evictions requiring write-back
+    /// (`cache.shared.dirty_evictions`).
+    pub dirty_evictions: Counter,
+    /// Virtual frames assigned (`cache.shared.vframe_assigns`).
+    pub vframe_assigns: Counter,
 }
 
 impl SharedCacheStats {
+    fn new(group: &Group) -> SharedCacheStats {
+        SharedCacheStats {
+            hits: group.counter("hits"),
+            loads: group.counter("loads"),
+            evictions: group.counter("evictions"),
+            dirty_evictions: group.counter("dirty_evictions"),
+            vframe_assigns: group.counter("vframe_assigns"),
+        }
+    }
+
     /// Takes a snapshot for reporting.
+    ///
+    /// Deprecated shim: prefer [`SharedCache::metrics`] and
+    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
+    /// callers migrate incrementally.
     pub fn snapshot(&self) -> SharedCacheSnapshot {
         SharedCacheSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            loads: self.loads.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            dirty_evictions: self.dirty_evictions.load(Ordering::Relaxed),
-            vframe_assigns: self.vframe_assigns.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            loads: self.loads.get(),
+            evictions: self.evictions.get(),
+            dirty_evictions: self.dirty_evictions.get(),
+            vframe_assigns: self.vframe_assigns.get(),
         }
     }
 }
@@ -160,7 +176,9 @@ pub struct SharedCache {
     page_size: usize,
     inner: OrderedMutex<Inner>,
     load_done: Condvar,
+    group: Group,
     stats: SharedCacheStats,
+    lookup_ns: LatencyHistogram,
 }
 
 impl SharedCache {
@@ -174,6 +192,9 @@ impl SharedCache {
             "virtual frames must cover the cache"
         );
         let store = Arc::new(HeapStore::new(page_size));
+        let group = Registry::new().group("cache.shared");
+        let stats = SharedCacheStats::new(&group);
+        let lookup_ns = group.histogram("lookup.ns");
         let slots = (0..num_slots)
             .map(|_| Slot {
                 frame: store.alloc(),
@@ -198,7 +219,9 @@ impl SharedCache {
                 },
             ),
             load_done: Condvar::new(),
-            stats: SharedCacheStats::default(),
+            group,
+            stats,
+            lookup_ns,
         })
     }
 
@@ -211,6 +234,13 @@ impl SharedCache {
     /// Bytes per frame.
     pub fn page_size(&self) -> usize {
         self.page_size
+    }
+
+    /// The cache's metric group (`cache.shared.*`), including the
+    /// `cache.shared.lookup.ns` histogram over [`SharedCache::get`]
+    /// (sampled 1-in-8).
+    pub fn metrics(&self) -> &Group {
+        &self.group
     }
 
     /// Number of cache slots.
@@ -241,7 +271,7 @@ impl SharedCache {
         };
         inner.vframes[vf] = Some(page);
         inner.by_page.insert(page, PageState { vframe: vf, slot: None });
-        AtomicU64::fetch_add(&self.stats.vframe_assigns, 1, Ordering::Relaxed);
+        self.stats.vframe_assigns.inc();
         Ok(vf)
     }
 
@@ -271,6 +301,10 @@ impl SharedCache {
     /// Makes `page` resident, counting the caller as an accessor of the
     /// slot. Blocks while another caller is loading the same page.
     pub fn get(&self, page: DbPage) -> Result<GetOutcome, CacheError> {
+        // Sampled 1-in-8: the resident path is a map probe plus a counter,
+        // and an unconditional pair of clock reads would dominate it.
+        let probes = self.stats.hits.get() + self.stats.loads.get();
+        let _timer = self.lookup_ns.start_if(probes & 7 == 0);
         let mut inner = self.inner.lock();
         loop {
             // Ensure the page has a vframe (SMT entry).
@@ -280,14 +314,14 @@ impl SharedCache {
                 };
                 inner.vframes[vf] = Some(page);
                 inner.by_page.insert(page, PageState { vframe: vf, slot: None });
-                AtomicU64::fetch_add(&self.stats.vframe_assigns, 1, Ordering::Relaxed);
+                self.stats.vframe_assigns.inc();
             }
             if let Some(slot_idx) = inner.by_page[&page].slot {
                 match inner.slots[slot_idx].state {
                     SlotState::Resident(p) => {
                         debug_assert_eq!(p, page);
                         inner.slots[slot_idx].access += 1;
-                        AtomicU64::fetch_add(&self.stats.hits, 1, Ordering::Relaxed);
+                        self.stats.hits.inc();
                         return Ok(GetOutcome::Resident {
                             slot: slot_idx,
                             frame: inner.slots[slot_idx].frame,
@@ -310,7 +344,7 @@ impl SharedCache {
             if let Some(state) = inner.by_page.get_mut(&page) {
                 state.slot = Some(slot_idx);
             }
-            AtomicU64::fetch_add(&self.stats.loads, 1, Ordering::Relaxed);
+            self.stats.loads.inc();
             return Ok(GetOutcome::MustLoad {
                 slot: slot_idx,
                 frame,
@@ -345,7 +379,7 @@ impl SharedCache {
             let evicted = if slot.dirty {
                 let mut data = vec![0u8; self.page_size];
                 self.store.read(slot.frame, 0, &mut data);
-                AtomicU64::fetch_add(&self.stats.dirty_evictions, 1, Ordering::Relaxed);
+                self.stats.dirty_evictions.inc();
                 Some(Evicted {
                     page: old_page,
                     data,
@@ -353,7 +387,7 @@ impl SharedCache {
             } else {
                 None
             };
-            AtomicU64::fetch_add(&self.stats.evictions, 1, Ordering::Relaxed);
+            self.stats.evictions.inc();
             let slot = &mut inner.slots[idx];
             slot.state = SlotState::Empty;
             slot.dirty = false;

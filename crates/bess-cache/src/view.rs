@@ -14,8 +14,10 @@
 //! slot currently holds the page the SMT assigns to that virtual frame. A
 //! shared pointer is an [`Svma`] offset, valid in every process.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
+
+use bess_obs::{Counter, Group, Registry};
 
 use bess_vm::{
     Access, AddressSpace, Fault, FaultHandler, FaultOutcome, FrameState, PageStore, Protect,
@@ -32,30 +34,50 @@ use crate::shared::{CacheError, GetOutcome, SharedCache};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Svma(pub u64);
 
-/// Counters kept by a [`SharedView`].
-#[derive(Debug, Default)]
+/// Counters kept by a [`SharedView`] — [`bess_obs`] handles registered
+/// under the `cache.view.` prefix of [`SharedView::metrics`].
+#[derive(Debug)]
 pub struct ViewStats {
-    /// Faults that only re-enabled a protected frame.
-    pub revalidations: AtomicU64,
-    /// Faults that mapped a frame to a resident slot.
-    pub attach_hits: AtomicU64,
-    /// Faults that loaded the page into the cache.
-    pub attach_loads: AtomicU64,
-    /// Frames moved accessible -> protected by the first-level clock.
-    pub clock_protected: AtomicU64,
-    /// Frames invalidated (unmapped, access count released).
-    pub clock_invalidated: AtomicU64,
+    /// Faults that only re-enabled a protected frame
+    /// (`cache.view.revalidations`).
+    pub revalidations: Counter,
+    /// Faults that mapped a frame to a resident slot
+    /// (`cache.view.attach_hits`).
+    pub attach_hits: Counter,
+    /// Faults that loaded the page into the cache
+    /// (`cache.view.attach_loads`).
+    pub attach_loads: Counter,
+    /// Frames moved accessible -> protected by the first-level clock
+    /// (`cache.view.clock_protected`).
+    pub clock_protected: Counter,
+    /// Frames invalidated (unmapped, access count released) —
+    /// `cache.view.clock_invalidated`.
+    pub clock_invalidated: Counter,
 }
 
 impl ViewStats {
+    fn new(group: &Group) -> ViewStats {
+        ViewStats {
+            revalidations: group.counter("revalidations"),
+            attach_hits: group.counter("attach_hits"),
+            attach_loads: group.counter("attach_loads"),
+            clock_protected: group.counter("clock_protected"),
+            clock_invalidated: group.counter("clock_invalidated"),
+        }
+    }
+
     /// Takes a snapshot for reporting.
+    ///
+    /// Deprecated shim: prefer [`SharedView::metrics`] and
+    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
+    /// callers migrate incrementally.
     pub fn snapshot(&self) -> ViewStatsSnapshot {
         ViewStatsSnapshot {
-            revalidations: self.revalidations.load(Ordering::Relaxed),
-            attach_hits: self.attach_hits.load(Ordering::Relaxed),
-            attach_loads: self.attach_loads.load(Ordering::Relaxed),
-            clock_protected: self.clock_protected.load(Ordering::Relaxed),
-            clock_invalidated: self.clock_invalidated.load(Ordering::Relaxed),
+            revalidations: self.revalidations.get(),
+            attach_hits: self.attach_hits.get(),
+            attach_loads: self.attach_loads.get(),
+            clock_protected: self.clock_protected.get(),
+            clock_invalidated: self.clock_invalidated.get(),
         }
     }
 }
@@ -84,6 +106,7 @@ pub struct SharedView {
     /// vframe -> slot currently mapped by *this* process.
     mapped: OrderedMutex<std::collections::HashMap<usize, usize>>,
     hand: AtomicUsize,
+    group: Group,
     stats: ViewStats,
 }
 
@@ -115,6 +138,8 @@ impl SharedView {
         );
         let len = cache.num_vframes() as u64 * space.page_size();
         let base = space.reserve(len, None);
+        let group = Registry::new().group("cache.view");
+        let stats = ViewStats::new(&group);
         let view = Arc::new(SharedView {
             space: Arc::clone(&space),
             cache,
@@ -122,7 +147,8 @@ impl SharedView {
             base,
             mapped: OrderedMutex::new(Rank::ViewMap, "view.mapped", std::collections::HashMap::new()),
             hand: AtomicUsize::new(0),
-            stats: ViewStats::default(),
+            group,
+            stats,
         });
         let handler: Arc<dyn FaultHandler> = Arc::new(ViewHandler(Arc::downgrade(&view)));
         space
@@ -139,6 +165,11 @@ impl SharedView {
     /// The attached shared cache.
     pub fn cache(&self) -> &Arc<SharedCache> {
         &self.cache
+    }
+
+    /// The view's metric group (`cache.view.*` in its registry).
+    pub fn metrics(&self) -> &Group {
+        &self.group
     }
 
     /// Activity counters.
@@ -205,7 +236,7 @@ impl SharedView {
                 self.space
                     .protect(page_range, want)
                     .expect("pvma page reserved");
-                AtomicU64::fetch_add(&self.stats.revalidations, 1, Ordering::Relaxed);
+                self.stats.revalidations.inc();
                 return FaultOutcome::Resume;
             }
         }
@@ -219,7 +250,7 @@ impl SharedView {
             match self.cache.get(page) {
                 Ok(GetOutcome::Resident { slot, frame }) => {
                     self.attach_frame(vframe, addr, slot, frame, want, fault.access);
-                    AtomicU64::fetch_add(&self.stats.attach_hits, 1, Ordering::Relaxed);
+                    self.stats.attach_hits.inc();
                     return FaultOutcome::Resume;
                 }
                 Ok(GetOutcome::MustLoad {
@@ -243,7 +274,7 @@ impl SharedView {
                     self.cache.store().write(frame, 0, &buf);
                     self.cache.finish_load(slot, page);
                     self.attach_frame(vframe, addr, slot, frame, want, fault.access);
-                    AtomicU64::fetch_add(&self.stats.attach_loads, 1, Ordering::Relaxed);
+                    self.stats.attach_loads.inc();
                     return FaultOutcome::Resume;
                 }
                 Err(CacheError::NoEvictableSlot) if attempts < 200 => {
@@ -297,13 +328,13 @@ impl SharedView {
                     self.space
                         .protect(page_range, Protect::None)
                         .expect("pvma page reserved");
-                    AtomicU64::fetch_add(&self.stats.clock_protected, 1, Ordering::Relaxed);
+                    self.stats.clock_protected.inc();
                 }
                 FrameState::Protected => {
                     if let Some(slot) = self.mapped.lock().remove(&vf) {
                         self.space.unmap_page(addr).expect("pvma page reserved");
                         self.cache.dec_access(slot);
-                        AtomicU64::fetch_add(&self.stats.clock_invalidated, 1, Ordering::Relaxed);
+                        self.stats.clock_invalidated.inc();
                         invalidated += 1;
                     }
                 }
@@ -320,7 +351,7 @@ impl SharedView {
             let addr = self.frame_addr(vf);
             self.space.unmap_page(addr).expect("pvma page reserved");
             self.cache.dec_access(slot);
-            AtomicU64::fetch_add(&self.stats.clock_invalidated, 1, Ordering::Relaxed);
+            self.stats.clock_invalidated.inc();
         }
     }
 

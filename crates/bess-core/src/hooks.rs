@@ -80,6 +80,7 @@ pub type ByteHook = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
 pub struct HookRegistry {
     hooks: RwLock<HashMap<EventKind, Vec<Hook>>>,
     compress: RwLock<Option<(ByteHook, ByteHook)>>,
+    // LINT: allow(raw-counter) — single-shot fault-hook trip latch, read back by the fault matrix tests
     fired: AtomicU64,
 }
 

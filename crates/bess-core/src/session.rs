@@ -193,9 +193,14 @@ pub struct Session {
     pool: Arc<PrivatePool>,
     hooks: Arc<HookRegistry>,
     txn: Mutex<Option<TxnState>>,
+    // LINT: allow(raw-counter) — local transaction-id allocator, not a metric
     next_local_txn: AtomicU64,
     type_ids: Mutex<HashMap<&'static str, TypeId>>,
     object_locking: bool,
+    /// The session-wide metric registry: every subsystem this session
+    /// composes (segment manager, VM, pools, and the embedded WAL/locks or
+    /// the remote connection) aliased into one namespace.
+    registry: Arc<bess_obs::Registry>,
 }
 
 struct SessionObserver(Weak<Session>);
@@ -267,6 +272,32 @@ impl Session {
             db.host(),
             db.db_id(),
         );
+        // One registry for the whole session: the manager's (vm.*, seg.*,
+        // cache.private.*) plus whatever the backing contributes —
+        // embedded areas/WAL/locks, or the client connection's client.*
+        // and lock.cache.*.
+        let registry = bess_obs::Registry::new();
+        registry.adopt("", mgr.metrics().registry());
+        match &backing {
+            Backing::Embedded {
+                areas, log, locks, ..
+            } => {
+                for id in areas.ids() {
+                    if let Some(area) = areas.get(id) {
+                        registry.adopt("", area.metrics().registry());
+                    }
+                }
+                if let Some(log) = log {
+                    registry.adopt("", log.metrics().registry());
+                }
+                if let Some(locks) = locks {
+                    registry.adopt("", locks.metrics().registry());
+                }
+            }
+            Backing::Remote { conn } => {
+                registry.adopt("", conn.metrics().registry());
+            }
+        }
         let session = Arc::new_cyclic(|weak: &Weak<Session>| {
             mgr.set_write_observer(Some(Arc::new(SessionObserver(weak.clone()))));
             Session {
@@ -280,6 +311,7 @@ impl Session {
                 next_local_txn: AtomicU64::new(1),
                 type_ids: Mutex::new(HashMap::new()),
                 object_locking: config.object_locking,
+                registry,
             }
         });
         // Cache consistency: callbacks from servers evict pages from this
@@ -319,6 +351,16 @@ impl Session {
     /// The hook registry (§2.4).
     pub fn hooks(&self) -> &Arc<HookRegistry> {
         &self.hooks
+    }
+
+    /// The session-wide metric registry: one namespace spanning every
+    /// subsystem the session composes (`vm.*`, `seg.*`, `cache.private.*`,
+    /// plus `storage.a*.*`/`wal.*`/`lock.*` when embedded or
+    /// `client.*`/`lock.cache.*` when remote). Handles are live aliases —
+    /// `metrics().snapshot()` then [`bess_obs::RegistrySnapshot::delta`]
+    /// measures an interval.
+    pub fn metrics(&self) -> &Arc<bess_obs::Registry> {
+        &self.registry
     }
 
     /// The underlying segment manager (advanced use, benches).

@@ -1,0 +1,26 @@
+// Fixture: raw AtomicU64 declarations that should trip the raw-counter
+// rule, plus shapes that must pass.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    hits: AtomicU64,                           // flagged: bare field
+    misses: std::sync::atomic::AtomicU64,      // flagged: qualified field
+}
+
+static TOTAL: AtomicU64 = AtomicU64::new(0); // flagged (type position only)
+
+// LINT: allow(raw-counter)
+static BAD_ANNOTATION: AtomicU64 = AtomicU64::new(0); // flagged: no reason
+
+// LINT: allow(raw-counter) — request-id allocator, not a metric
+static NEXT_ID: AtomicU64 = AtomicU64::new(1); // passes: annotated
+
+pub fn bump(s: &Stats) {
+    s.hits.fetch_add(1, Ordering::Relaxed); // passes: not a declaration
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    static TEST_COUNTER: AtomicU64 = AtomicU64::new(0); // passes: test code
+}

@@ -1,10 +1,11 @@
 //! Offline static-analysis checks for the BeSS workspace.
 //!
 //! `cargo run -p bess-lint` walks every `.rs` file under `crates/` and
-//! enforces four invariants (see [`rules`]): SAFETY comments on `unsafe`,
+//! enforces five invariants (see [`rules`]): SAFETY comments on `unsafe`,
 //! a shrinking baseline of panic sites, the declared lock-acquisition
-//! hierarchy of `lock_order.toml`, and no bare narrowing casts on
-//! page/LSN/offset arithmetic. It is pure `std` — no proc macros, no
+//! hierarchy of `lock_order.toml`, no bare narrowing casts on
+//! page/LSN/offset arithmetic, and no unregistered raw `AtomicU64`
+//! counters outside `bess-obs`. It is pure `std` — no proc macros, no
 //! syn — so it runs offline and builds in well under a second.
 //!
 //! The static lock-order rule is the compile-time half of a pair: the
@@ -102,6 +103,9 @@ pub fn lint_workspace(root: &Path, update_baseline: bool) -> Result<LintReport, 
             let (sites, annotation_violations) = rules::panic_sites(&ctx);
             violations.extend(annotation_violations);
             violations.extend(rules::check_casts(&ctx));
+            if !rel.starts_with("crates/bess-obs/") {
+                violations.extend(rules::check_raw_counters(&ctx));
+            }
             panic_total += sites.len();
             if !sites.is_empty() {
                 let allowed = baseline_for(&rel);

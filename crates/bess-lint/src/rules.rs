@@ -1,4 +1,4 @@
-//! The four workspace invariants, as substring-level scans over masked
+//! The five workspace invariants, as substring-level scans over masked
 //! source (see [`crate::lexer`]).
 //!
 //! 1. `unsafe` requires an immediately preceding `// SAFETY:` comment.
@@ -9,6 +9,9 @@
 //!    ascending rank order within each function.
 //! 4. Narrowing `as` casts on page/LSN/offset/extent arithmetic must use
 //!    `try_into`/`try_from` or carry a `// LINT: allow(cast) — reason`.
+//! 5. Bare `AtomicU64` declarations outside `bess-obs` must carry a
+//!    `// LINT: allow(raw-counter) — reason` — counters belong in the
+//!    metrics registry, where snapshots and exposition can see them.
 
 use std::collections::HashMap;
 
@@ -502,6 +505,86 @@ pub fn check_casts(ctx: &FileCtx) -> Vec<Violation> {
                      use `try_from`/`try_into`, a typed helper, or annotate \
                      `// LINT: allow(cast) — reason`"
                 ),
+            )),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: raw AtomicU64 counters outside bess-obs
+// ---------------------------------------------------------------------------
+
+/// Flags `AtomicU64` in type position (a field, static, or parameter
+/// declaration) outside `bess-obs` and test code. A raw atomic counter is
+/// invisible to [`Registry::snapshot`]-style exposition; product metrics
+/// belong in `bess_obs::Counter`. Non-metric uses (ID allocators,
+/// fault-plan bookkeeping) stay, annotated
+/// `// LINT: allow(raw-counter) — reason`.
+pub fn check_raw_counters(ctx: &FileCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let text = &ctx.masked.text;
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    while let Some(at) = find_word(text, "AtomicU64", pos) {
+        pos = at + "AtomicU64".len();
+        // `AtomicU64::new(...)` and other associated calls are initialiser
+        // expressions, not declarations; the matching type position on the
+        // same statement is what gets flagged.
+        if text[pos..].trim_start().starts_with("::") {
+            continue;
+        }
+        let line = ctx.line_of(at);
+        if ctx.in_test_item(line) {
+            continue;
+        }
+        // Skip imports (`use std::sync::atomic::AtomicU64;`).
+        let line_start = ctx.line_starts[line - 1];
+        if text[line_start..at].trim_start().starts_with("use ") {
+            continue;
+        }
+        // Only type positions: the previous non-whitespace run must end in
+        // `:`, `<`, `[`, `&`, or `(` — a declaration, generic argument, or
+        // parameter, possibly `::`-qualified.
+        let mut i = at;
+        while i > 0 && (bytes[i - 1] as char).is_whitespace() {
+            i -= 1;
+        }
+        // Walk back over a `path::` qualifier to the introducing token.
+        loop {
+            while i > 0 && is_ident(bytes[i - 1] as char) {
+                i -= 1;
+            }
+            if i >= 2 && &text[i - 2..i] == "::" {
+                i -= 2;
+            } else {
+                break;
+            }
+        }
+        while i > 0 && (bytes[i - 1] as char).is_whitespace() {
+            i -= 1;
+        }
+        if i == 0 || !matches!(bytes[i - 1], b':' | b'<' | b'[' | b'&' | b'(') {
+            continue;
+        }
+        match ctx.annotation(line, "LINT: allow(raw-counter)") {
+            Some(comment) => {
+                if !annotation_reason_ok(comment, "LINT: allow(raw-counter)") {
+                    out.push(ctx.violation(
+                        at,
+                        "raw-counter",
+                        "`LINT: allow(raw-counter)` annotation is missing a reason".into(),
+                    ));
+                }
+            }
+            None => out.push(ctx.violation(
+                at,
+                "raw-counter",
+                "bare `AtomicU64` declaration outside bess-obs; use a registered \
+                 `bess_obs::Counter` so snapshots and exposition can see it, or \
+                 annotate `// LINT: allow(raw-counter) — reason` for non-metric \
+                 uses (ID allocators, fault-plan bookkeeping)"
+                    .into(),
             )),
         }
     }

@@ -109,6 +109,22 @@ fn checked_annotated_and_widening_casts_pass() {
 }
 
 #[test]
+fn raw_counters_flagged_and_annotations_respected() {
+    let m = mask(include_str!("../fixtures/counter_bad.rs"));
+    let ctx = FileCtx::new("fixtures/counter_bad.rs", &m);
+    let v = rules::check_raw_counters(&ctx);
+    // Two bare fields, one bare static, one reason-less annotation; the
+    // annotated static, the use, the fetch_add, the constructor calls, and
+    // the test-module counter all pass.
+    assert_eq!(v.len(), 4, "{v:?}");
+    assert!(v.iter().all(|v| v.rule == "raw-counter"));
+    assert!(
+        v.iter().any(|v| v.message.contains("missing a reason")),
+        "{v:?}"
+    );
+}
+
+#[test]
 fn rank_sync_catches_drift() {
     let order_rs = "pub enum Rank {\n    Alpha = 10,\n    Beta = 20,\n}\n";
     let m = mask(order_rs);

@@ -14,7 +14,8 @@
 //! callback is deferred until the last local user finishes.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+
+use bess_obs::{Counter, Group, Registry};
 
 use crate::mode::LockMode;
 use crate::name::{LockName, TxnId};
@@ -54,30 +55,47 @@ struct CachedLock {
     callback_pending: bool,
 }
 
-/// Counters kept by a [`LockCache`].
-#[derive(Debug, Default)]
+/// Counters kept by a [`LockCache`] — [`bess_obs`] handles registered
+/// under the `lock.cache.` prefix of [`LockCache::metrics`].
+#[derive(Debug)]
 pub struct CacheStats {
-    /// Probes answered from the cache.
-    pub hits: AtomicU64,
-    /// Probes that required a server request.
-    pub misses: AtomicU64,
-    /// Callbacks received.
-    pub callbacks: AtomicU64,
-    /// Callbacks answered with immediate release.
-    pub callback_released: AtomicU64,
-    /// Callbacks deferred because the lock was in use.
-    pub callback_deferred: AtomicU64,
+    /// Probes answered from the cache (`lock.cache.hits`).
+    pub hits: Counter,
+    /// Probes that required a server request (`lock.cache.misses`).
+    pub misses: Counter,
+    /// Callbacks received (`lock.cache.callbacks`).
+    pub callbacks: Counter,
+    /// Callbacks answered with immediate release
+    /// (`lock.cache.callback_released`).
+    pub callback_released: Counter,
+    /// Callbacks deferred because the lock was in use
+    /// (`lock.cache.callback_deferred`).
+    pub callback_deferred: Counter,
 }
 
 impl CacheStats {
+    fn new(group: &Group) -> CacheStats {
+        CacheStats {
+            hits: group.counter("hits"),
+            misses: group.counter("misses"),
+            callbacks: group.counter("callbacks"),
+            callback_released: group.counter("callback_released"),
+            callback_deferred: group.counter("callback_deferred"),
+        }
+    }
+
     /// Takes a snapshot for reporting.
+    ///
+    /// Deprecated shim: prefer [`LockCache::metrics`] and
+    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
+    /// callers migrate incrementally.
     pub fn snapshot(&self) -> CacheStatsSnapshot {
         CacheStatsSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            callbacks: self.callbacks.load(Ordering::Relaxed),
-            callback_released: self.callback_released.load(Ordering::Relaxed),
-            callback_deferred: self.callback_deferred.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            callbacks: self.callbacks.get(),
+            callback_released: self.callback_released.get(),
+            callback_deferred: self.callback_deferred.get(),
         }
     }
 }
@@ -100,21 +118,30 @@ pub struct CacheStatsSnapshot {
 /// The per-client cache of locks granted by servers.
 pub struct LockCache {
     locks: OrderedMutex<HashMap<LockName, CachedLock>>,
+    group: Group,
     stats: CacheStats,
 }
 
 impl LockCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
+        let group = Registry::new().group("lock.cache");
+        let stats = CacheStats::new(&group);
         LockCache {
             locks: OrderedMutex::new(Rank::LockCache, "lock.cache", HashMap::new()),
-            stats: CacheStats::default(),
+            group,
+            stats,
         }
     }
 
     /// Cache activity counters.
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// The cache's metric group (`lock.cache.*`).
+    pub fn metrics(&self) -> &Group {
+        &self.group
     }
 
     /// Probes the cache on behalf of local transaction `txn` wanting
@@ -125,19 +152,19 @@ impl LockCache {
         match locks.get_mut(&name) {
             Some(cached) if cached.mode.covers(mode) && !cached.callback_pending => {
                 cached.users.insert(txn);
-                AtomicU64::fetch_add(&self.stats.hits, 1, Ordering::Relaxed);
+                self.stats.hits.inc();
                 CacheDecision::Hit
             }
             Some(cached) if !cached.callback_pending => {
                 // Cached but too weak: the server must upgrade to the
                 // supremum of what is cached and what is wanted.
-                AtomicU64::fetch_add(&self.stats.misses, 1, Ordering::Relaxed);
+                self.stats.misses.inc();
                 CacheDecision::Miss {
                     need: cached.mode.supremum(mode),
                 }
             }
             _ => {
-                AtomicU64::fetch_add(&self.stats.misses, 1, Ordering::Relaxed);
+                self.stats.misses.inc();
                 CacheDecision::Miss { need: mode }
             }
         }
@@ -159,18 +186,18 @@ impl LockCache {
     /// responded; on [`CallbackResponse::Deferred`] the eventual release is
     /// reported by [`Self::finish_txn`].
     pub fn callback(&self, name: LockName) -> CallbackResponse {
-        AtomicU64::fetch_add(&self.stats.callbacks, 1, Ordering::Relaxed);
+        self.stats.callbacks.inc();
         let mut locks = self.locks.lock();
         match locks.get_mut(&name) {
             None => CallbackResponse::NotCached,
             Some(cached) if cached.users.is_empty() => {
                 locks.remove(&name);
-                AtomicU64::fetch_add(&self.stats.callback_released, 1, Ordering::Relaxed);
+                self.stats.callback_released.inc();
                 CallbackResponse::Released
             }
             Some(cached) => {
                 cached.callback_pending = true;
-                AtomicU64::fetch_add(&self.stats.callback_deferred, 1, Ordering::Relaxed);
+                self.stats.callback_deferred.inc();
                 CallbackResponse::Deferred
             }
         }
@@ -180,12 +207,12 @@ impl LockCache {
     /// for a remote reader). If no local user holds it, the cached mode is
     /// weakened in place and `true` is returned.
     pub fn callback_downgrade(&self, name: LockName, to: LockMode) -> bool {
-        AtomicU64::fetch_add(&self.stats.callbacks, 1, Ordering::Relaxed);
+        self.stats.callbacks.inc();
         let mut locks = self.locks.lock();
         match locks.get_mut(&name) {
             Some(cached) if cached.users.is_empty() && cached.mode.covers(to) => {
                 cached.mode = to;
-                AtomicU64::fetch_add(&self.stats.callback_released, 1, Ordering::Relaxed);
+                self.stats.callback_released.inc();
                 true
             }
             None => true,
@@ -193,7 +220,7 @@ impl LockCache {
                 if let Some(cached) = locks.get_mut(&name) {
                     cached.callback_pending = true;
                 }
-                AtomicU64::fetch_add(&self.stats.callback_deferred, 1, Ordering::Relaxed);
+                self.stats.callback_deferred.inc();
                 false
             }
         }

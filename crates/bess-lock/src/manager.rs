@@ -8,10 +8,10 @@
 //! resolves both local and distributed deadlocks by timing out waiters.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bess_obs::{Counter, Group, LatencyHistogram, Registry};
 use parking_lot::Condvar;
 
 use crate::mode::LockMode;
@@ -154,30 +154,45 @@ fn wake(woken: Vec<Arc<Waiter>>) {
     }
 }
 
-/// Counters kept by the lock manager.
-#[derive(Debug, Default)]
+/// Counters kept by the lock manager — [`bess_obs`] handles registered
+/// under the `lock.` prefix of [`LockManager::metrics`].
+#[derive(Debug)]
 pub struct LockStats {
-    /// Total lock requests.
-    pub requests: AtomicU64,
-    /// Requests granted without waiting.
-    pub immediate: AtomicU64,
-    /// Requests that waited.
-    pub waits: AtomicU64,
-    /// Requests that timed out (deadlock victims).
-    pub timeouts: AtomicU64,
-    /// Upgrade requests.
-    pub upgrades: AtomicU64,
+    /// Total lock requests (`lock.requests`).
+    pub requests: Counter,
+    /// Requests granted without waiting (`lock.immediate`).
+    pub immediate: Counter,
+    /// Requests that waited (`lock.waits`).
+    pub waits: Counter,
+    /// Requests that timed out, deadlock victims (`lock.timeouts`).
+    pub timeouts: Counter,
+    /// Upgrade requests (`lock.upgrades`).
+    pub upgrades: Counter,
 }
 
 impl LockStats {
+    fn new(group: &Group) -> LockStats {
+        LockStats {
+            requests: group.counter("requests"),
+            immediate: group.counter("immediate"),
+            waits: group.counter("waits"),
+            timeouts: group.counter("timeouts"),
+            upgrades: group.counter("upgrades"),
+        }
+    }
+
     /// Takes a snapshot for reporting.
+    ///
+    /// Deprecated shim: prefer [`LockManager::metrics`] and
+    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
+    /// callers migrate incrementally.
     pub fn snapshot(&self) -> LockStatsSnapshot {
         LockStatsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            immediate: self.immediate.load(Ordering::Relaxed),
-            waits: self.waits.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            upgrades: self.upgrades.load(Ordering::Relaxed),
+            requests: self.requests.get(),
+            immediate: self.immediate.get(),
+            waits: self.waits.get(),
+            timeouts: self.timeouts.get(),
+            upgrades: self.upgrades.get(),
         }
     }
 }
@@ -211,7 +226,9 @@ pub struct LockManager {
     waits: OrderedMutex<HashMap<TxnId, HashSet<TxnId>>>,
     policy: DeadlockPolicy,
     default_timeout: Duration,
+    group: Group,
     stats: LockStats,
+    wait_ns: LatencyHistogram,
 }
 
 impl LockManager {
@@ -223,6 +240,9 @@ impl LockManager {
 
     /// Creates a manager with an explicit deadlock policy.
     pub fn with_policy(default_timeout: Duration, policy: DeadlockPolicy) -> Self {
+        let group = Registry::new().group("lock");
+        let stats = LockStats::new(&group);
+        let wait_ns = group.histogram("wait.ns");
         LockManager {
             shards: (0..SHARDS)
                 .map(|_| OrderedMutex::new(Rank::LockManagerShard, "lock.shard", HashMap::new()))
@@ -231,7 +251,9 @@ impl LockManager {
             waits: OrderedMutex::new(Rank::LockManagerWaits, "lock.waits", HashMap::new()),
             policy,
             default_timeout,
-            stats: LockStats::default(),
+            group,
+            stats,
+            wait_ns,
         }
     }
 
@@ -263,6 +285,12 @@ impl LockManager {
         &self.stats
     }
 
+    /// The manager's metric group (`lock.*`), including the `lock.wait.ns`
+    /// histogram of time spent blocked in [`LockManager::lock_timeout`].
+    pub fn metrics(&self) -> &Group {
+        &self.group
+    }
+
     fn shard(&self, name: &LockName) -> &OrderedMutex<HashMap<LockName, LockEntry>> {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -290,7 +318,7 @@ impl LockManager {
         mode: LockMode,
         timeout: Duration,
     ) -> LockResult<()> {
-        AtomicU64::fetch_add(&self.stats.requests, 1, Ordering::Relaxed);
+        self.stats.requests.inc();
         let waiter = {
             let mut shard = self.shard(&name).lock();
             let entry = shard.entry(name).or_default();
@@ -309,7 +337,7 @@ impl LockManager {
                         .iter()
                         .any(|&b| Self::reaches(&waits, b, txn))
                     {
-                        AtomicU64::fetch_add(&self.stats.timeouts, 1, Ordering::Relaxed);
+                        self.stats.timeouts.inc();
                         return Err(LockError::DeadlockDetected { txn, name });
                     }
                     waits.entry(txn).or_default().extend(blockers.iter());
@@ -319,13 +347,13 @@ impl LockManager {
                 let current = entry.granted[pos].1;
                 let needed = current.supremum(mode);
                 if needed == current {
-                    AtomicU64::fetch_add(&self.stats.immediate, 1, Ordering::Relaxed);
+                    self.stats.immediate.inc();
                     return Ok(());
                 }
-                AtomicU64::fetch_add(&self.stats.upgrades, 1, Ordering::Relaxed);
+                self.stats.upgrades.inc();
                 if entry.can_grant(txn, needed) {
                     entry.granted[pos].1 = needed;
-                    AtomicU64::fetch_add(&self.stats.immediate, 1, Ordering::Relaxed);
+                    self.stats.immediate.inc();
                     return Ok(());
                 }
                 let w = Arc::new(Waiter {
@@ -342,7 +370,7 @@ impl LockManager {
             } else {
                 if entry.queue.is_empty() && entry.can_grant(txn, mode) {
                     entry.granted.push((txn, mode));
-                    AtomicU64::fetch_add(&self.stats.immediate, 1, Ordering::Relaxed);
+                    self.stats.immediate.inc();
                     drop(shard);
                     self.record_held(txn, name);
                     return Ok(());
@@ -358,7 +386,10 @@ impl LockManager {
                 w
             }
         };
-        AtomicU64::fetch_add(&self.stats.waits, 1, Ordering::Relaxed);
+        self.stats.waits.inc();
+        // Records the blocked time into `lock.wait.ns` on every exit from
+        // the wait loop (grant, late grant, or timeout) when it drops.
+        let _wait_timer = self.wait_ns.start();
 
         let deadline = Instant::now() + timeout;
         let mut state = waiter.state.lock();
@@ -395,7 +426,7 @@ impl LockManager {
                     drop(shard);
                     wake(woken);
                 }
-                AtomicU64::fetch_add(&self.stats.timeouts, 1, Ordering::Relaxed);
+                self.stats.timeouts.inc();
                 return Err(LockError::Timeout { txn, name, mode });
             }
         }
@@ -404,7 +435,7 @@ impl LockManager {
     /// Attempts to acquire without waiting. Returns `false` if it would
     /// have to wait.
     pub fn try_lock(&self, txn: TxnId, name: LockName, mode: LockMode) -> bool {
-        AtomicU64::fetch_add(&self.stats.requests, 1, Ordering::Relaxed);
+        self.stats.requests.inc();
         let mut shard = self.shard(&name).lock();
         let entry = shard.entry(name).or_default();
         if let Some(pos) = entry.granted.iter().position(|(t, _)| *t == txn) {
@@ -412,7 +443,7 @@ impl LockManager {
             let needed = current.supremum(mode);
             if needed == current || entry.can_grant(txn, needed) {
                 entry.granted[pos].1 = needed;
-                AtomicU64::fetch_add(&self.stats.immediate, 1, Ordering::Relaxed);
+                self.stats.immediate.inc();
                 return true;
             }
             return false;
@@ -421,7 +452,7 @@ impl LockManager {
             entry.granted.push((txn, mode));
             drop(shard);
             self.record_held(txn, name);
-            AtomicU64::fetch_add(&self.stats.immediate, 1, Ordering::Relaxed);
+            self.stats.immediate.inc();
             return true;
         }
         false

@@ -99,6 +99,12 @@ pub enum Rank {
     NetPlanSlot = 62,
     /// `NetFaultPlan::armed` — the single-shot armed fault inside a plan.
     NetFaultArmed = 64,
+    /// `Registry::metrics` — the bess-obs metric name table. Taken on
+    /// registration and snapshot only (recording is lock-free); a leaf.
+    ObsRegistry = 66,
+    /// `Journal::events` — the bess-obs trace ring buffer. A leaf, taken
+    /// per traced event under any of the locks above.
+    ObsJournal = 68,
 }
 
 impl Rank {
@@ -127,6 +133,8 @@ impl Rank {
         Rank::NetPartition,
         Rank::NetPlanSlot,
         Rank::NetFaultArmed,
+        Rank::ObsRegistry,
+        Rank::ObsJournal,
     ];
 
     /// The numeric rank value (as written in `lock_order.toml`).
@@ -159,6 +167,8 @@ impl Rank {
             Rank::NetPartition => "NetPartition",
             Rank::NetPlanSlot => "NetPlanSlot",
             Rank::NetFaultArmed => "NetFaultArmed",
+            Rank::ObsRegistry => "ObsRegistry",
+            Rank::ObsJournal => "ObsJournal",
         }
     }
 }
@@ -170,6 +180,7 @@ mod validator {
     use std::cell::RefCell;
     use std::sync::atomic::{AtomicU64, Ordering};
 
+    // LINT: allow(raw-counter) — debug-validator token allocator, not a metric
     static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
 
     struct Held {

@@ -46,6 +46,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bess_lock::order::{OrderedMutex, Rank};
+use bess_obs::{Counter, Group, LatencyHistogram, Registry};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
@@ -160,8 +161,10 @@ struct ArmedNetFault {
 /// which keeps the index deterministic even while other nodes chatter
 /// concurrently.
 pub struct NetFaultPlan {
+    // LINT: allow(raw-counter) — fault-plan op counter consulted by the armed trigger, not a metric
     count: AtomicU64,
     armed: OrderedMutex<Option<ArmedNetFault>>,
+    // LINT: allow(raw-counter) — single-shot fault-plan trip latch, not a metric
     fired: AtomicU64,
 }
 
@@ -243,30 +246,46 @@ impl NetFaultPlan {
     }
 }
 
-/// Counters kept by a [`Network`].
-#[derive(Debug, Default)]
+/// Counters kept by a [`Network`] — [`bess_obs`] handles registered under
+/// the `net.` prefix of [`Network::metrics`].
+#[derive(Debug)]
 pub struct NetStats {
-    /// One-way messages sent.
-    pub sends: AtomicU64,
-    /// RPC calls completed (request + reply pairs).
-    pub calls: AtomicU64,
-    /// Messages dropped for unreachable (or partitioned) nodes.
-    pub unreachable: AtomicU64,
-    /// Requests or replies swallowed by an injected fault.
-    pub faulted: AtomicU64,
-    /// Extra copies delivered by injected duplication.
-    pub duplicated: AtomicU64,
+    /// One-way messages sent (`net.sends`).
+    pub sends: Counter,
+    /// RPC calls completed, request + reply pairs (`net.calls`).
+    pub calls: Counter,
+    /// Messages dropped for unreachable (or partitioned) nodes
+    /// (`net.unreachable`).
+    pub unreachable: Counter,
+    /// Requests or replies swallowed by an injected fault (`net.faulted`).
+    pub faulted: Counter,
+    /// Extra copies delivered by injected duplication (`net.duplicated`).
+    pub duplicated: Counter,
 }
 
 impl NetStats {
+    fn new(group: &Group) -> NetStats {
+        NetStats {
+            sends: group.counter("sends"),
+            calls: group.counter("calls"),
+            unreachable: group.counter("unreachable"),
+            faulted: group.counter("faulted"),
+            duplicated: group.counter("duplicated"),
+        }
+    }
+
     /// Takes a snapshot for reporting.
+    ///
+    /// Deprecated shim: prefer [`Network::metrics`] and
+    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
+    /// callers migrate incrementally.
     pub fn snapshot(&self) -> NetStatsSnapshot {
         NetStatsSnapshot {
-            sends: self.sends.load(Ordering::Relaxed),
-            calls: self.calls.load(Ordering::Relaxed),
-            unreachable: self.unreachable.load(Ordering::Relaxed),
-            faulted: self.faulted.load(Ordering::Relaxed),
-            duplicated: self.duplicated.load(Ordering::Relaxed),
+            sends: self.sends.get(),
+            calls: self.calls.get(),
+            unreachable: self.unreachable.get(),
+            faulted: self.faulted.get(),
+            duplicated: self.duplicated.get(),
         }
     }
 }
@@ -310,19 +329,32 @@ pub struct Network<M> {
     partitioned: OrderedMutex<HashSet<u32>>,
     plan: OrderedMutex<Arc<NetFaultPlan>>,
     latency: Duration,
+    group: Group,
     stats: NetStats,
+    /// Round-trip latency of successful RPCs (`net.rtt.ns`).
+    rtt_ns: LatencyHistogram,
 }
 
 impl<M: Clone + Send + 'static> Network<M> {
     /// Creates a network whose RPCs incur `latency` per direction.
     pub fn new(latency: Duration) -> Arc<Self> {
+        let group = Registry::new().group("net");
+        let stats = NetStats::new(&group);
+        let rtt_ns = group.histogram("rtt.ns");
         Arc::new(Network {
             endpoints: Mutex::new(HashMap::new()),
             partitioned: OrderedMutex::new(Rank::NetPartition, "net.partitioned", HashSet::new()),
             plan: OrderedMutex::new(Rank::NetPlanSlot, "net.plan", NetFaultPlan::unarmed()),
             latency,
-            stats: NetStats::default(),
+            group,
+            stats,
+            rtt_ns,
         })
+    }
+
+    /// The network's metric group (`net.*` in its registry).
+    pub fn metrics(&self) -> &Group {
+        &self.group
     }
 
     /// Message counters.
@@ -394,7 +426,7 @@ impl<M: Clone + Send + 'static> Network<M> {
         let partitioned = self.partitioned.lock();
         if partitioned.contains(&from.0) || partitioned.contains(&to.0) {
             drop(partitioned);
-            AtomicU64::fetch_add(&self.stats.unreachable, 1, Ordering::Relaxed);
+            self.stats.unreachable.inc();
             return Err(NetError::Unreachable(to));
         }
         Ok(())
@@ -407,12 +439,12 @@ impl<M: Clone + Send + 'static> Network<M> {
         match fault {
             Some(NetFaultKind::Drop) => {
                 // The datagram vanishes; a one-way sender cannot tell.
-                AtomicU64::fetch_add(&self.stats.faulted, 1, Ordering::Relaxed);
+                self.stats.faulted.inc();
                 return Ok(());
             }
             Some(NetFaultKind::Disconnect) => {
                 self.partition(from);
-                AtomicU64::fetch_add(&self.stats.faulted, 1, Ordering::Relaxed);
+                self.stats.faulted.inc();
                 return Err(NetError::Disconnected);
             }
             Some(NetFaultKind::Delay(d)) => std::thread::sleep(d),
@@ -420,7 +452,7 @@ impl<M: Clone + Send + 'static> Network<M> {
             Some(NetFaultKind::Duplicate) | Some(NetFaultKind::DropReply) | None => {}
         }
         let tx = self.sender_to(to).inspect_err(|_| {
-            AtomicU64::fetch_add(&self.stats.unreachable, 1, Ordering::Relaxed);
+            self.stats.unreachable.inc();
         })?;
         if fault == Some(NetFaultKind::Duplicate) {
             tx.send(Envelope {
@@ -429,7 +461,7 @@ impl<M: Clone + Send + 'static> Network<M> {
                 reply: None,
             })
             .map_err(|_| NetError::Disconnected)?;
-            AtomicU64::fetch_add(&self.stats.duplicated, 1, Ordering::Relaxed);
+            self.stats.duplicated.inc();
         }
         tx.send(Envelope {
             from,
@@ -437,31 +469,34 @@ impl<M: Clone + Send + 'static> Network<M> {
             reply: None,
         })
         .map_err(|_| NetError::Disconnected)?;
-        AtomicU64::fetch_add(&self.stats.sends, 1, Ordering::Relaxed);
+        self.stats.sends.inc();
         Ok(())
     }
 
     /// The single outbound path for RPCs. All faults hook here.
     fn do_call(&self, from: NodeId, to: NodeId, msg: M, timeout: Duration) -> Result<M, NetError> {
+        // Recorded into net.rtt.ns only on the success exit below, so
+        // injected timeouts and partitions don't pollute the latency tail.
+        let started = std::time::Instant::now();
         self.check_partition(from, to)?;
         let fault = self.plan().on_msg(from);
         match fault {
             Some(NetFaultKind::Drop) => {
                 // The request never arrives; the caller's wait is the
                 // timeout itself, reported without actually sleeping it.
-                AtomicU64::fetch_add(&self.stats.faulted, 1, Ordering::Relaxed);
+                self.stats.faulted.inc();
                 return Err(NetError::Timeout);
             }
             Some(NetFaultKind::Disconnect) => {
                 self.partition(from);
-                AtomicU64::fetch_add(&self.stats.faulted, 1, Ordering::Relaxed);
+                self.stats.faulted.inc();
                 return Err(NetError::Disconnected);
             }
             Some(NetFaultKind::Delay(d)) => std::thread::sleep(d),
             Some(NetFaultKind::Duplicate) | Some(NetFaultKind::DropReply) | None => {}
         }
         let tx = self.sender_to(to).inspect_err(|_| {
-            AtomicU64::fetch_add(&self.stats.unreachable, 1, Ordering::Relaxed);
+            self.stats.unreachable.inc();
         })?;
         let (reply_tx, reply_rx) = bounded(1);
         if !self.latency.is_zero() {
@@ -478,7 +513,7 @@ impl<M: Clone + Send + 'static> Network<M> {
                     reply: Some(dead_tx),
                 })
                 .map_err(|_| NetError::Disconnected)?;
-                AtomicU64::fetch_add(&self.stats.faulted, 1, Ordering::Relaxed);
+                self.stats.faulted.inc();
             }
             Some(NetFaultKind::Duplicate) => {
                 tx.send(Envelope {
@@ -493,7 +528,7 @@ impl<M: Clone + Send + 'static> Network<M> {
                     reply: Some(reply_tx),
                 })
                 .map_err(|_| NetError::Disconnected)?;
-                AtomicU64::fetch_add(&self.stats.duplicated, 1, Ordering::Relaxed);
+                self.stats.duplicated.inc();
             }
             _ => {
                 tx.send(Envelope {
@@ -511,7 +546,8 @@ impl<M: Clone + Send + 'static> Network<M> {
         if !self.latency.is_zero() {
             std::thread::sleep(self.latency);
         }
-        AtomicU64::fetch_add(&self.stats.calls, 1, Ordering::Relaxed);
+        self.stats.calls.inc();
+        self.rtt_ns.record(started.elapsed().as_nanos() as u64);
         Ok(reply)
     }
 

@@ -1,0 +1,162 @@
+//! The `obs-trace` event journal: a fixed-capacity ring buffer of span
+//! events for tracing the commit and fault-wave paths.
+//!
+//! The journal is always compiled (so it can be tested and embedded
+//! elsewhere); the `obs-trace` feature only controls whether
+//! [`crate::Registry`] carries one and whether [`crate::Registry::trace`]
+//! records into it. Recording takes a short mutex (rank `ObsJournal` in
+//! `lock_order.toml`) — acceptable for a diagnostics path that is off by
+//! default, and bounded: when full, the oldest event is dropped and a
+//! drop counter keeps the loss observable.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// What a [`SpanEvent`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// Entry into a span.
+    Begin,
+    /// Exit from a span.
+    End,
+    /// A point event with no duration.
+    Mark,
+}
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Monotonic sequence number (never reused, survives ring wrap).
+    pub seq: u64,
+    /// Nanoseconds since the journal was created.
+    pub t_ns: u64,
+    /// Span name (`server.commit`, `vm.fault.wave2`, …).
+    pub name: &'static str,
+    /// Begin / End / Mark.
+    pub phase: SpanPhase,
+    /// Caller-defined argument (transaction id, segment id, …).
+    pub arg: u64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<SpanEvent>,
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded ring of [`SpanEvent`]s.
+#[derive(Debug)]
+pub struct Journal {
+    epoch: Instant,
+    events: Mutex<Ring>,
+}
+
+impl Journal {
+    /// A journal holding at most `cap` events (oldest evicted first).
+    pub fn new(cap: usize) -> Journal {
+        assert!(cap > 0, "journal needs capacity");
+        Journal {
+            epoch: Instant::now(),
+            events: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(cap),
+                cap,
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Appends one event, evicting the oldest when full.
+    pub fn record(&self, name: &'static str, phase: SpanPhase, arg: u64) {
+        // Truncation unreachable: 2^64 ns since epoch is ~584 years.
+        let t_ns = self.epoch.elapsed().as_nanos() as u64;
+        let mut events = self.events.lock();
+        let seq = events.next_seq;
+        events.next_seq += 1;
+        if events.buf.len() == events.cap {
+            events.buf.pop_front();
+            events.dropped += 1;
+        }
+        events.buf.push_back(SpanEvent { seq, t_ns, name, phase, arg });
+    }
+
+    /// A copy of the current contents, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let events = self.events.lock();
+        events.buf.iter().copied().collect()
+    }
+
+    /// How many events were evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        let events = self.events.lock();
+        events.dropped
+    }
+
+    /// Empties the ring (the drop counter and sequence numbers persist).
+    pub fn clear(&self) {
+        let mut events = self.events.lock();
+        events.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let j = Journal::new(8);
+        j.record("a", SpanPhase::Begin, 1);
+        j.record("a", SpanPhase::End, 1);
+        j.record("b", SpanPhase::Mark, 7);
+        let ev = j.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].name, "a");
+        assert_eq!(ev[0].phase, SpanPhase::Begin);
+        assert_eq!(ev[2].arg, 7);
+        assert!(ev[0].seq < ev[1].seq && ev[1].seq < ev[2].seq);
+        assert!(ev[0].t_ns <= ev[1].t_ns && ev[1].t_ns <= ev[2].t_ns);
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let j = Journal::new(4);
+        for i in 0..10 {
+            j.record("tick", SpanPhase::Mark, i);
+        }
+        let ev = j.events();
+        assert_eq!(ev.len(), 4);
+        assert_eq!(ev.iter().map(|e| e.arg).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert_eq!(j.dropped(), 6);
+        j.clear();
+        assert!(j.events().is_empty());
+        j.record("tick", SpanPhase::Mark, 42);
+        assert_eq!(j.events()[0].seq, 10);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_within_capacity() {
+        let j = std::sync::Arc::new(Journal::new(100_000));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let j = std::sync::Arc::clone(&j);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        j.record("t", SpanPhase::Mark, i);
+                    }
+                });
+            }
+        });
+        let ev = j.events();
+        assert_eq!(ev.len(), 4000);
+        assert_eq!(j.dropped(), 0);
+        // Sequence numbers are unique and dense.
+        let mut seqs: Vec<u64> = ev.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..4000).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the log-bucketed histogram: the bucket scheme tiles
+//! the u64 domain, quantiles never undershoot the recorded value's bucket,
+//! and snapshot merge is associative/commutative with exact counts.
+
+use bess_obs::{bucket_bounds, bucket_of, HistogramSnapshot, LatencyHistogram, BUCKETS};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::unregistered();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bucket_bounds_contain_their_values(v in any::<u64>()) {
+        let b = bucket_of(v);
+        prop_assert!(b < BUCKETS);
+        let (lo, hi) = bucket_bounds(b);
+        prop_assert!(lo <= v && v <= hi, "value {v} outside bucket {b} [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn buckets_tile_without_gaps(i in 1usize..BUCKETS) {
+        let (_, prev_hi) = bucket_bounds(i - 1);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert_eq!(lo, prev_hi + 1);
+        prop_assert!(lo <= hi);
+        // Boundary values land exactly where the bounds promise.
+        prop_assert_eq!(bucket_of(lo), i);
+        prop_assert_eq!(bucket_of(hi), i);
+        prop_assert_eq!(bucket_of(prev_hi), i - 1);
+    }
+
+    #[test]
+    fn quantile_upper_bounds_the_data(values in prop::collection::vec(any::<u64>(), 1..64)) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        let max = *values.iter().max().unwrap();
+        // p100 reports the upper bound of the max value's bucket: at least
+        // the max itself, at most one power of two above it.
+        let p100 = snap.quantile(1.0);
+        prop_assert!(p100 >= max);
+        prop_assert!(p100 <= bucket_bounds(bucket_of(max)).1);
+        // Quantiles are monotone.
+        prop_assert!(snap.p50() <= snap.p99());
+        prop_assert!(snap.p99() <= p100);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..32),
+        b in prop::collection::vec(any::<u64>(), 0..32),
+        c in prop::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let ab_c = sa.merge(&sb).merge(&sc);
+        let a_bc = sa.merge(&sb.merge(&sc));
+        prop_assert_eq!(ab_c.buckets, a_bc.buckets);
+        prop_assert_eq!(ab_c.sum, a_bc.sum);
+
+        let ba = sb.merge(&sa);
+        let ab = sa.merge(&sb);
+        prop_assert_eq!(ab.buckets, ba.buckets);
+        prop_assert_eq!(ab.sum, ba.sum);
+
+        // Merging matches recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let direct = snapshot_of(&all);
+        prop_assert_eq!(ab_c.buckets, direct.buckets);
+        prop_assert_eq!(ab_c.sum, direct.sum);
+        prop_assert_eq!(ab_c.count(), (a.len() + b.len() + c.len()) as u64);
+    }
+
+    #[test]
+    fn since_inverts_merge(
+        before in prop::collection::vec(any::<u64>(), 0..32),
+        extra in prop::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let early = snapshot_of(&before);
+        let mut all = before.clone();
+        all.extend_from_slice(&extra);
+        let late = snapshot_of(&all);
+        let diff = late.since(&early);
+        let expect = snapshot_of(&extra);
+        prop_assert_eq!(diff.buckets, expect.buckets);
+        prop_assert_eq!(diff.sum, expect.sum);
+    }
+}

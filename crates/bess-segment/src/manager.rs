@@ -28,9 +28,9 @@
 //! and logs), and then grants write access.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
+use bess_obs::{Counter, Group, LatencyHistogram};
 use bess_cache::{DbPage, PoolError, PrivatePool};
 use bess_largeobj::{LargeObject, LoConfig, LoError};
 use bess_storage::{DiskPtr, DiskSpace, StorageError};
@@ -136,49 +136,77 @@ pub trait WriteObserver: Send + Sync {
     fn on_first_write(&self, page: DbPage) -> Result<(), String>;
 }
 
-/// Counters kept by a [`SegmentManager`].
-#[derive(Debug, Default)]
+/// Counters kept by a [`SegmentManager`] — [`bess_obs`] handles registered
+/// under the `seg.` prefix of the owning address space's registry, so one
+/// [`SegmentManager::metrics`] dump shows the segment activity beside the
+/// `vm.*` fault counters it drives.
+#[derive(Debug)]
 pub struct SegStats {
-    /// Wave-1 reservations of slotted ranges.
-    pub slotted_reserved: AtomicU64,
-    /// Wave-2 loads (slotted segments fetched + DPs fixed).
-    pub slotted_loads: AtomicU64,
-    /// Wave-3 loads (data segments fetched + refs swizzled).
-    pub data_loads: AtomicU64,
-    /// DP fields adjusted (two arithmetic ops each).
-    pub dp_fixups: AtomicU64,
-    /// References swizzled to current addresses.
-    pub refs_swizzled: AtomicU64,
-    /// References that resolved to no known segment (corruption).
-    pub refs_unresolved: AtomicU64,
-    /// Protect/unprotect cycles around engine updates (each is two
-    /// `mprotect` system calls, §2.2).
-    pub protect_cycles: AtomicU64,
-    /// Stray writes into protected structures that were denied.
-    pub stray_writes_denied: AtomicU64,
-    /// First-write notifications delivered (update detection, §2.3).
-    pub write_detections: AtomicU64,
-    /// Objects created.
-    pub objects_created: AtomicU64,
-    /// Objects deleted.
-    pub objects_deleted: AtomicU64,
+    /// Wave-1 reservations of slotted ranges (`seg.slotted_reserved`).
+    pub slotted_reserved: Counter,
+    /// Wave-2 loads: slotted segments fetched + DPs fixed
+    /// (`seg.slotted_loads`).
+    pub slotted_loads: Counter,
+    /// Wave-3 loads: data segments fetched + refs swizzled
+    /// (`seg.data_loads`).
+    pub data_loads: Counter,
+    /// DP fields adjusted, two arithmetic ops each (`seg.dp_fixups`).
+    pub dp_fixups: Counter,
+    /// References swizzled to current addresses (`seg.refs_swizzled`).
+    pub refs_swizzled: Counter,
+    /// References that resolved to no known segment — corruption
+    /// (`seg.refs_unresolved`).
+    pub refs_unresolved: Counter,
+    /// Protect/unprotect cycles around engine updates, each two `mprotect`
+    /// system calls, §2.2 (`seg.protect_cycles`).
+    pub protect_cycles: Counter,
+    /// Stray writes into protected structures that were denied
+    /// (`seg.stray_writes_denied`).
+    pub stray_writes_denied: Counter,
+    /// First-write notifications delivered — update detection, §2.3
+    /// (`seg.write_detections`).
+    pub write_detections: Counter,
+    /// Objects created (`seg.objects_created`).
+    pub objects_created: Counter,
+    /// Objects deleted (`seg.objects_deleted`).
+    pub objects_deleted: Counter,
 }
 
 impl SegStats {
+    fn new(group: &Group) -> SegStats {
+        SegStats {
+            slotted_reserved: group.counter("slotted_reserved"),
+            slotted_loads: group.counter("slotted_loads"),
+            data_loads: group.counter("data_loads"),
+            dp_fixups: group.counter("dp_fixups"),
+            refs_swizzled: group.counter("refs_swizzled"),
+            refs_unresolved: group.counter("refs_unresolved"),
+            protect_cycles: group.counter("protect_cycles"),
+            stray_writes_denied: group.counter("stray_writes_denied"),
+            write_detections: group.counter("write_detections"),
+            objects_created: group.counter("objects_created"),
+            objects_deleted: group.counter("objects_deleted"),
+        }
+    }
+
     /// Takes a snapshot for reporting.
+    ///
+    /// Deprecated shim: prefer [`SegmentManager::metrics`] and
+    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
+    /// callers migrate incrementally.
     pub fn snapshot(&self) -> SegStatsSnapshot {
         SegStatsSnapshot {
-            slotted_reserved: self.slotted_reserved.load(Ordering::Relaxed),
-            slotted_loads: self.slotted_loads.load(Ordering::Relaxed),
-            data_loads: self.data_loads.load(Ordering::Relaxed),
-            dp_fixups: self.dp_fixups.load(Ordering::Relaxed),
-            refs_swizzled: self.refs_swizzled.load(Ordering::Relaxed),
-            refs_unresolved: self.refs_unresolved.load(Ordering::Relaxed),
-            protect_cycles: self.protect_cycles.load(Ordering::Relaxed),
-            stray_writes_denied: self.stray_writes_denied.load(Ordering::Relaxed),
-            write_detections: self.write_detections.load(Ordering::Relaxed),
-            objects_created: self.objects_created.load(Ordering::Relaxed),
-            objects_deleted: self.objects_deleted.load(Ordering::Relaxed),
+            slotted_reserved: self.slotted_reserved.get(),
+            slotted_loads: self.slotted_loads.get(),
+            data_loads: self.data_loads.get(),
+            dp_fixups: self.dp_fixups.get(),
+            refs_swizzled: self.refs_swizzled.get(),
+            refs_unresolved: self.refs_unresolved.get(),
+            protect_cycles: self.protect_cycles.get(),
+            stray_writes_denied: self.stray_writes_denied.get(),
+            write_detections: self.write_detections.get(),
+            objects_created: self.objects_created.get(),
+            objects_deleted: self.objects_deleted.get(),
         }
     }
 }
@@ -285,7 +313,16 @@ pub struct SegmentManager {
     db: u16,
     inner: Mutex<MgrInner>,
     observer: RwLock<Option<Arc<dyn WriteObserver>>>,
+    group: Group,
     stats: SegStats,
+    /// Wave-1 latency: reserve + register the slotted range
+    /// (`vm.fault.wave1.ns`).
+    wave1_ns: LatencyHistogram,
+    /// Wave-2 latency: fetch slotted pages + fix DPs (`vm.fault.wave2.ns`).
+    wave2_ns: LatencyHistogram,
+    /// Wave-3 latency: fetch data segment + swizzle refs
+    /// (`vm.fault.wave3.ns`).
+    wave3_ns: LatencyHistogram,
 }
 
 struct SlottedHandler {
@@ -344,6 +381,18 @@ impl SegmentManager {
         host: u16,
         db: u16,
     ) -> Arc<SegmentManager> {
+        // Both the seg.* counters and the vm.fault.wave*.ns histograms live
+        // in the address space's registry, so the fault-wave latencies sit
+        // beside the vm.* fault counters they explain.
+        let group = space.metrics().registry().group("seg");
+        // The private pool keeps its own registry; alias its handles here
+        // so the manager's dump includes cache.private.* too.
+        group.registry().adopt("", pool.metrics().registry());
+        let stats = SegStats::new(&group);
+        let fault = space.metrics().sub("fault");
+        let wave1_ns = fault.histogram("wave1.ns");
+        let wave2_ns = fault.histogram("wave2.ns");
+        let wave3_ns = fault.histogram("wave3.ns");
         Arc::new(SegmentManager {
             space,
             pool,
@@ -359,7 +408,11 @@ impl SegmentManager {
                 by_data_base: BTreeMap::new(),
             }),
             observer: RwLock::new(None),
-            stats: SegStats::default(),
+            group,
+            stats,
+            wave1_ns,
+            wave2_ns,
+            wave3_ns,
         })
     }
 
@@ -376,6 +429,12 @@ impl SegmentManager {
     /// The segment catalog.
     pub fn catalog(&self) -> &Arc<SegmentCatalog> {
         &self.catalog
+    }
+
+    /// The manager's metric group (`seg.*` in the address space's
+    /// registry, beside `vm.*`).
+    pub fn metrics(&self) -> &Group {
+        &self.group
     }
 
     /// Activity counters.
@@ -409,6 +468,10 @@ impl SegmentManager {
                 return Ok(Arc::clone(rt));
             }
         }
+        // Timed from here (past the idempotent fast path) so re-opens of an
+        // already-reserved segment don't flood the wave-1 histogram.
+        let _timer = self.wave1_ns.start();
+        let _span = self.group.registry().span("fault.wave1", id.start_page);
         let entry = self
             .catalog
             .get(id)
@@ -441,7 +504,7 @@ impl SegmentManager {
             .by_slotted_base
             .insert(range.start().raw(), (id, range.len()));
         drop(inner);
-        AtomicU64::fetch_add(&self.stats.slotted_reserved, 1, Ordering::Relaxed);
+        self.stats.slotted_reserved.inc();
         Ok(rt)
     }
 
@@ -463,7 +526,7 @@ impl SegmentManager {
         // Stray writes into the write-protected slotted segment are caught
         // here — the §2.2 corruption prevention.
         if fault.access == Access::Write && self.policy == ProtectionPolicy::Protected {
-            AtomicU64::fetch_add(&self.stats.stray_writes_denied, 1, Ordering::Relaxed);
+            self.stats.stray_writes_denied.inc();
             return FaultOutcome::Deny;
         }
         let mut state = rt.state.lock();
@@ -497,6 +560,11 @@ impl SegmentManager {
         rt: &Arc<SegRuntime>,
         state: &mut SegState,
     ) -> SegResult<()> {
+        let _timer = self.wave2_ns.start();
+        let _span = self
+            .group
+            .registry()
+            .span("fault.wave2", rt.id.start_page);
         let prot = match self.policy {
             ProtectionPolicy::Protected => Protect::Read,
             ProtectionPolicy::Unprotected => Protect::ReadWrite,
@@ -541,7 +609,7 @@ impl SegmentManager {
                 SlotKind::Small | SlotKind::Forward => {
                     let dp = slot.dp - old_base + new_base;
                     view.set_slot_dp(i, dp)?;
-                    AtomicU64::fetch_add(&self.stats.dp_fixups, 1, Ordering::Relaxed);
+                    self.stats.dp_fixups.inc();
                 }
                 SlotKind::BigFixed => {
                     // Reserve a fresh protected range sized for the object;
@@ -560,7 +628,7 @@ impl SegmentManager {
                         .space
                         .reserve(u64::from(disk.pages) * self.psz(), Some(handler));
                     view.set_slot_dp(i, range.start().raw())?;
-                    AtomicU64::fetch_add(&self.stats.dp_fixups, 1, Ordering::Relaxed);
+                    self.stats.dp_fixups.inc();
                 }
                 SlotKind::Huge => {}
             }
@@ -572,7 +640,7 @@ impl SegmentManager {
             data_disk: data_ptr,
             data_loaded: false,
         };
-        AtomicU64::fetch_add(&self.stats.slotted_loads, 1, Ordering::Relaxed);
+        self.stats.slotted_loads.inc();
         Ok(())
     }
 
@@ -636,7 +704,7 @@ impl SegmentManager {
                     return FaultOutcome::Deny;
                 }
             }
-            AtomicU64::fetch_add(&self.stats.write_detections, 1, Ordering::Relaxed);
+            self.stats.write_detections.inc();
         }
         match self.pool.fault_in(db_page, addr, prot) {
             Ok(_) => FaultOutcome::Resume,
@@ -646,6 +714,11 @@ impl SegmentManager {
 
     /// Wave 3: fetch the whole data segment and swizzle outgoing refs.
     fn load_data(self: &Arc<Self>, rt: &Arc<SegRuntime>, data_range: VRange) -> SegResult<()> {
+        let _timer = self.wave3_ns.start();
+        let _span = self
+            .group
+            .registry()
+            .span("fault.wave3", rt.id.start_page);
         let view = SlottedView::new(&self.space, rt.slotted_range.start());
         let data_ptr = view.data_ptr()?;
         for i in 0..u64::from(data_ptr.pages) {
@@ -660,7 +733,7 @@ impl SegmentManager {
             )?;
         }
         self.swizzle_segment(rt, &view)?;
-        AtomicU64::fetch_add(&self.stats.data_loads, 1, Ordering::Relaxed);
+        self.stats.data_loads.inc();
         Ok(())
     }
 
@@ -718,7 +791,7 @@ impl SegmentManager {
                         if new != old {
                             self.space
                                 .write_unchecked(ref_addr, &new.to_le_bytes())?;
-                            AtomicU64::fetch_add(&self.stats.refs_swizzled, 1, Ordering::Relaxed);
+                            self.stats.refs_swizzled.inc();
                         }
                         touched_targets.insert(target);
                     }
@@ -729,11 +802,7 @@ impl SegmentManager {
                             touched_targets.insert(seg);
                         }
                         None => {
-                            AtomicU64::fetch_add(
-                                &self.stats.refs_unresolved,
-                                1,
-                                Ordering::Relaxed,
-                            );
+                            self.stats.refs_unresolved.inc();
                         }
                     },
                 }
@@ -807,7 +876,7 @@ impl SegmentManager {
                         return FaultOutcome::Deny;
                     }
                 }
-                AtomicU64::fetch_add(&self.stats.write_detections, 1, Ordering::Relaxed);
+                self.stats.write_detections.inc();
             }
             if self.pool.fault_in(db_page, addr, want).is_err() {
                 return FaultOutcome::Deny;
@@ -850,7 +919,7 @@ impl SegmentManager {
             self.space.protect(rt.slotted_range, Protect::ReadWrite)?;
             let out = f();
             self.space.protect(rt.slotted_range, Protect::Read)?;
-            AtomicU64::fetch_add(&self.stats.protect_cycles, 1, Ordering::Relaxed);
+            self.stats.protect_cycles.inc();
             Ok(out?)
         } else {
             Ok(f()?)
@@ -1226,7 +1295,7 @@ impl SegmentManager {
         };
         let _ = dp;
         self.mark_slotted_dirty(&rt);
-        AtomicU64::fetch_add(&self.stats.objects_created, 1, Ordering::Relaxed);
+        self.stats.objects_created.inc();
         Ok(ObjRef {
             addr: view.slot_addr(idx),
             oid: Oid {
@@ -1273,7 +1342,7 @@ impl SegmentManager {
             view.set_live_objects(view.live_objects()?.saturating_sub(1))
         })?;
         self.mark_slotted_dirty(&rt);
-        AtomicU64::fetch_add(&self.stats.objects_deleted, 1, Ordering::Relaxed);
+        self.stats.objects_deleted.inc();
         Ok(())
     }
 
@@ -1497,7 +1566,7 @@ impl SegmentManager {
             view.set_live_objects(view.live_objects()? + 1)
         })?;
         self.mark_slotted_dirty(&rt);
-        AtomicU64::fetch_add(&self.stats.objects_created, 1, Ordering::Relaxed);
+        self.stats.objects_created.inc();
         Ok(ObjRef {
             addr: view.slot_addr(idx),
             oid: Oid {
@@ -1559,7 +1628,7 @@ impl SegmentManager {
             },
         };
         self.save_huge_object(objref.addr, &lo)?;
-        AtomicU64::fetch_add(&self.stats.objects_created, 1, Ordering::Relaxed);
+        self.stats.objects_created.inc();
         Ok((objref, lo))
     }
 

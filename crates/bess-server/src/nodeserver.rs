@@ -22,6 +22,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use bess_obs::{Counter, Group, Registry};
 use bess_cache::{DbPage, GetOutcome, PageIo, SharedCache};
 use bess_lock::{CacheDecision, CallbackResponse, LockCache, LockManager, LockMode, LockName, TxnId};
 use bess_net::{Caller, Endpoint, NetError, Network, NodeId};
@@ -68,43 +69,67 @@ impl NodeServerConfig {
     }
 }
 
-/// Counters kept by a node server.
-#[derive(Debug, Default)]
+/// Counters kept by a node server — [`bess_obs`] handles registered under
+/// the `nodeserver.` prefix of [`NodeServer::metrics`].
+#[derive(Debug)]
 pub struct NodeServerStats {
-    /// Requests served from the shared cache without contacting a server.
-    pub cache_hits: AtomicU64,
-    /// Pages fetched from owning servers.
-    pub remote_fetches: AtomicU64,
-    /// Lock requests resolved locally (node-level lock already cached).
-    pub lock_local: AtomicU64,
-    /// Lock requests forwarded to owning servers.
-    pub lock_remote: AtomicU64,
-    /// Callbacks received from servers.
-    pub callbacks: AtomicU64,
-    /// Commits forwarded.
-    pub commits: AtomicU64,
-    /// Distributed (2PC) commits forwarded.
-    pub global_commits: AtomicU64,
-    /// Commits made durable on the node's local log before shipping
-    /// (§6 client logging).
-    pub local_commits: AtomicU64,
-    /// Locally-committed transactions re-shipped after a node restart.
-    pub reshipped: AtomicU64,
+    /// Requests served from the shared cache without contacting a server
+    /// (`nodeserver.cache_hits`).
+    pub cache_hits: Counter,
+    /// Pages fetched from owning servers (`nodeserver.remote_fetches`).
+    pub remote_fetches: Counter,
+    /// Lock requests resolved locally, node-level lock already cached
+    /// (`nodeserver.lock_local`).
+    pub lock_local: Counter,
+    /// Lock requests forwarded to owning servers
+    /// (`nodeserver.lock_remote`).
+    pub lock_remote: Counter,
+    /// Callbacks received from servers (`nodeserver.callbacks`).
+    pub callbacks: Counter,
+    /// Commits forwarded (`nodeserver.commits`).
+    pub commits: Counter,
+    /// Distributed (2PC) commits forwarded
+    /// (`nodeserver.global_commits`).
+    pub global_commits: Counter,
+    /// Commits made durable on the node's local log before shipping, §6
+    /// client logging (`nodeserver.local_commits`).
+    pub local_commits: Counter,
+    /// Locally-committed transactions re-shipped after a node restart
+    /// (`nodeserver.reshipped`).
+    pub reshipped: Counter,
 }
 
 impl NodeServerStats {
+    fn new(group: &Group) -> NodeServerStats {
+        NodeServerStats {
+            cache_hits: group.counter("cache_hits"),
+            remote_fetches: group.counter("remote_fetches"),
+            lock_local: group.counter("lock_local"),
+            lock_remote: group.counter("lock_remote"),
+            callbacks: group.counter("callbacks"),
+            commits: group.counter("commits"),
+            global_commits: group.counter("global_commits"),
+            local_commits: group.counter("local_commits"),
+            reshipped: group.counter("reshipped"),
+        }
+    }
+
     /// Takes a snapshot for reporting.
+    ///
+    /// Deprecated shim: prefer [`NodeServer::metrics`] and
+    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
+    /// callers migrate incrementally.
     pub fn snapshot(&self) -> NodeServerStatsSnapshot {
         NodeServerStatsSnapshot {
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            remote_fetches: self.remote_fetches.load(Ordering::Relaxed),
-            lock_local: self.lock_local.load(Ordering::Relaxed),
-            lock_remote: self.lock_remote.load(Ordering::Relaxed),
-            callbacks: self.callbacks.load(Ordering::Relaxed),
-            commits: self.commits.load(Ordering::Relaxed),
-            global_commits: self.global_commits.load(Ordering::Relaxed),
-            local_commits: self.local_commits.load(Ordering::Relaxed),
-            reshipped: self.reshipped.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.get(),
+            remote_fetches: self.remote_fetches.get(),
+            lock_local: self.lock_local.get(),
+            lock_remote: self.lock_remote.get(),
+            callbacks: self.callbacks.get(),
+            commits: self.commits.get(),
+            global_commits: self.global_commits.get(),
+            local_commits: self.local_commits.get(),
+            reshipped: self.reshipped.get(),
         }
     }
 }
@@ -150,6 +175,7 @@ struct NsInner {
     /// owning servers: `txn -> (commit LSN, updates)`.
     unshipped: Mutex<HashMap<u64, (Lsn, Vec<PageUpdate>)>>,
     ship_done: Condvar,
+    // LINT: allow(raw-counter) — local transaction-id allocator, not a metric
     next_txn: AtomicU64,
     /// This node server's incarnation, folded into the high bits of every
     /// shipped request id (see `client::make_req`): a restarted node server
@@ -158,8 +184,10 @@ struct NsInner {
     incarnation: u64,
     /// Low-bits request counter for shipped commits (server-side dedup
     /// keys).
+    // LINT: allow(raw-counter) — request-id allocator for upstream idempotent retry, not a metric
     next_req: AtomicU64,
     running: AtomicBool,
+    group: Group,
     stats: NodeServerStats,
 }
 
@@ -202,6 +230,7 @@ impl NodeServer {
         local_log: Option<Arc<LogManager>>,
     ) -> (NodeServer, u64) {
         let cache = SharedCache::new(cfg.cache_slots, cfg.cache_vframes, cfg.page_size);
+        let group = Registry::new().group("nodeserver");
         let inner = Arc::new(NsInner {
             caller: net.caller(cfg.node),
             local_locks: LockManager::new(cfg.lock_timeout),
@@ -217,9 +246,22 @@ impl NodeServer {
             incarnation: crate::client::fresh_incarnation(),
             next_req: AtomicU64::new(1),
             running: AtomicBool::new(true),
-            stats: NodeServerStats::default(),
+            stats: NodeServerStats::new(&group),
+            group,
             cfg,
         });
+        // Fold the node's subsystem registries into its own: one dump of
+        // NodeServer::metrics shows nodeserver.*, cache.shared.*, lock.*,
+        // lock.cache.* and (with client logging) wal.* together.
+        {
+            let reg = inner.group.registry();
+            reg.adopt("", inner.cache.metrics().registry());
+            reg.adopt("", inner.local_locks.metrics().registry());
+            reg.adopt("", inner.lock_cache.metrics().registry());
+            if let Some(log) = &inner.local_log {
+                reg.adopt("", log.metrics().registry());
+            }
+        }
         // Node-crash recovery: re-ship locally-committed transactions the
         // owners never acknowledged.
         let reshipped = inner.recover_local_log();
@@ -265,6 +307,11 @@ impl NodeServer {
     /// server under the node's identity) without any IPC.
     pub fn shared_io(&self) -> Arc<dyn PageIo> {
         Arc::new(NsIo(Arc::clone(&self.inner)))
+    }
+
+    /// The node server's metric group (`nodeserver.*` in its registry).
+    pub fn metrics(&self) -> &Group {
+        &self.inner.group
     }
 
     /// Activity counters.
@@ -473,7 +520,7 @@ impl NsInner {
             },
             // A server calls back a lock this node caches.
             Msg::Callback { name } => {
-                AtomicU64::fetch_add(&self.stats.callbacks, 1, Ordering::Relaxed);
+                self.stats.callbacks.inc();
                 self.wait_unshipped_for(&name);
                 match self.lock_cache.callback(name) {
                     CallbackResponse::Released => {
@@ -497,7 +544,7 @@ impl NsInner {
                 }
             }
             Msg::CallbackDowngrade { name, to } => {
-                AtomicU64::fetch_add(&self.stats.callbacks, 1, Ordering::Relaxed);
+                self.stats.callbacks.inc();
                 self.wait_unshipped_for(&name);
                 if self.lock_cache.callback_downgrade(name, to) {
                     Msg::CallbackReleased
@@ -518,11 +565,11 @@ impl NsInner {
             .map_err(|e| e.to_string())?;
         match self.lock_cache.acquire(txn, name, mode) {
             CacheDecision::Hit => {
-                AtomicU64::fetch_add(&self.stats.lock_local, 1, Ordering::Relaxed);
+                self.stats.lock_local.inc();
                 Ok(())
             }
             CacheDecision::Miss { need } => {
-                AtomicU64::fetch_add(&self.stats.lock_remote, 1, Ordering::Relaxed);
+                self.stats.lock_remote.inc();
                 let owner = match name {
                     LockName::Page { area, .. }
                     | LockName::Segment { area, .. }
@@ -567,7 +614,7 @@ impl NsInner {
     fn page_bytes(&self, page: DbPage) -> Result<Vec<u8>, String> {
         match self.cache.get(page) {
             Ok(GetOutcome::Resident { slot, frame }) => {
-                AtomicU64::fetch_add(&self.stats.cache_hits, 1, Ordering::Relaxed);
+                self.stats.cache_hits.inc();
                 let mut buf = vec![0u8; self.cfg.page_size];
                 self.cache.store().read(frame, 0, &mut buf);
                 self.cache.dec_access(slot);
@@ -603,7 +650,7 @@ impl NsInner {
     }
 
     fn fetch_remote(&self, page: DbPage) -> Result<Vec<u8>, String> {
-        AtomicU64::fetch_add(&self.stats.remote_fetches, 1, Ordering::Relaxed);
+        self.stats.remote_fetches.inc();
         let owner = self
             .dir
             .owner(page.area)
@@ -646,7 +693,7 @@ impl NsInner {
                 }
                 let commit = log.append(txn, prev, LogBody::Commit);
                 log.flush(commit).map_err(|e| e.to_string())?;
-                AtomicU64::fetch_add(&self.stats.local_commits, 1, Ordering::Relaxed);
+                self.stats.local_commits.inc();
                 // 2. Refresh the shared cache now: the node is the
                 //    authority for its committed transactions.
                 self.refresh_cache(&updates);
@@ -733,7 +780,7 @@ impl NsInner {
             if self.ship(txn, &updates).is_ok() {
                 log.append(txn, commit, LogBody::End);
                 reshipped += 1;
-                AtomicU64::fetch_add(&self.stats.reshipped, 1, Ordering::Relaxed);
+                self.stats.reshipped.inc();
             }
         }
         let _ = log.flush_all();
@@ -754,7 +801,7 @@ impl NsInner {
         let outcome = match by_owner.len() {
             0 => Ok(()),
             1 => {
-                AtomicU64::fetch_add(&self.stats.commits, 1, Ordering::Relaxed);
+                self.stats.commits.inc();
                 let (owner, ups) = by_owner.into_iter().next().expect("one");
                 let req =
                     crate::client::make_req(self.incarnation, self.next_req.fetch_add(1, Ordering::Relaxed));
@@ -774,7 +821,7 @@ impl NsInner {
                 }
             }
             _ => {
-                AtomicU64::fetch_add(&self.stats.global_commits, 1, Ordering::Relaxed);
+                self.stats.global_commits.inc();
                 let coordinator = *by_owner.keys().min().expect("nonempty");
                 let gtxn = match self
                     .caller

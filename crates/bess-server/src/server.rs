@@ -25,6 +25,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bess_obs::{Counter, Group, LatencyHistogram, Registry};
 use bess_cache::AreaSet;
 use bess_lock::{LockManager, LockMode, LockName, OrderedMutex, Rank, TxnId};
 use bess_net::{Caller, Endpoint, Network, NodeId};
@@ -79,71 +80,106 @@ impl ServerConfig {
     }
 }
 
-/// Counters kept by a server.
-#[derive(Debug, Default)]
+/// Counters kept by a server — [`bess_obs`] handles registered under the
+/// `server.` prefix of [`BessServer::metrics`].
+#[derive(Debug)]
 pub struct ServerStats {
-    /// Transactions begun.
-    pub txns: AtomicU64,
-    /// Local commits.
-    pub commits: AtomicU64,
-    /// Aborts processed.
-    pub aborts: AtomicU64,
-    /// Page fetches served.
-    pub fetches: AtomicU64,
-    /// Lock-free page reads served.
-    pub reads: AtomicU64,
-    /// Lock requests granted.
-    pub locks_granted: AtomicU64,
-    /// Lock requests denied (deadlock timeouts).
-    pub locks_denied: AtomicU64,
-    /// Callbacks sent to clients.
-    pub callbacks_sent: AtomicU64,
-    /// Callbacks answered with an immediate release.
-    pub callback_releases: AtomicU64,
-    /// Callbacks deferred by clients.
-    pub callback_deferred: AtomicU64,
-    /// Downgrade callbacks answered with a downgrade (callback-read).
-    pub callback_downgrades: AtomicU64,
-    /// 2PC prepares voted yes.
-    pub prepares: AtomicU64,
-    /// 2PC transactions coordinated.
-    pub coordinated: AtomicU64,
-    /// Client leases that expired (dead-client reclamation runs).
-    pub leases_expired: AtomicU64,
-    /// In-flight transactions reaped on behalf of dead clients (dropped
-    /// unshipped update sets plus force-resolved prepared branches).
-    pub txns_reaped: AtomicU64,
+    /// Transactions begun (`server.txns`).
+    pub txns: Counter,
+    /// Local commits (`server.commits`).
+    pub commits: Counter,
+    /// Aborts processed (`server.aborts`).
+    pub aborts: Counter,
+    /// Page fetches served (`server.fetches`).
+    pub fetches: Counter,
+    /// Lock-free page reads served (`server.reads`).
+    pub reads: Counter,
+    /// Lock requests granted (`server.locks_granted`).
+    pub locks_granted: Counter,
+    /// Lock requests denied — deadlock timeouts
+    /// (`server.locks_denied`).
+    pub locks_denied: Counter,
+    /// Callbacks sent to clients (`server.callbacks_sent`).
+    pub callbacks_sent: Counter,
+    /// Callbacks answered with an immediate release
+    /// (`server.callback_releases`).
+    pub callback_releases: Counter,
+    /// Callbacks deferred by clients (`server.callback_deferred`).
+    pub callback_deferred: Counter,
+    /// Downgrade callbacks answered with a downgrade — callback-read
+    /// (`server.callback_downgrades`).
+    pub callback_downgrades: Counter,
+    /// 2PC prepares voted yes (`server.prepares`).
+    pub prepares: Counter,
+    /// 2PC transactions coordinated (`server.coordinated`).
+    pub coordinated: Counter,
+    /// Client leases that expired — dead-client reclamation runs
+    /// (`server.leases_expired`).
+    pub leases_expired: Counter,
+    /// In-flight transactions reaped on behalf of dead clients: dropped
+    /// unshipped update sets plus force-resolved prepared branches
+    /// (`server.txns_reaped`).
+    pub txns_reaped: Counter,
     /// Retried requests answered from the dedup window instead of being
-    /// re-executed.
-    pub dedup_hits: AtomicU64,
-    /// New transactions rejected while draining.
-    pub drain_rejections: AtomicU64,
-    /// Mutating requests rejected while read-only.
-    pub read_only_rejections: AtomicU64,
+    /// re-executed (`server.dedup_hits`).
+    pub dedup_hits: Counter,
+    /// New transactions rejected while draining
+    /// (`server.drain_rejections`).
+    pub drain_rejections: Counter,
+    /// Mutating requests rejected while read-only
+    /// (`server.read_only_rejections`).
+    pub read_only_rejections: Counter,
 }
 
 impl ServerStats {
+    fn new(group: &Group) -> ServerStats {
+        ServerStats {
+            txns: group.counter("txns"),
+            commits: group.counter("commits"),
+            aborts: group.counter("aborts"),
+            fetches: group.counter("fetches"),
+            reads: group.counter("reads"),
+            locks_granted: group.counter("locks_granted"),
+            locks_denied: group.counter("locks_denied"),
+            callbacks_sent: group.counter("callbacks_sent"),
+            callback_releases: group.counter("callback_releases"),
+            callback_deferred: group.counter("callback_deferred"),
+            callback_downgrades: group.counter("callback_downgrades"),
+            prepares: group.counter("prepares"),
+            coordinated: group.counter("coordinated"),
+            leases_expired: group.counter("leases_expired"),
+            txns_reaped: group.counter("txns_reaped"),
+            dedup_hits: group.counter("dedup_hits"),
+            drain_rejections: group.counter("drain_rejections"),
+            read_only_rejections: group.counter("read_only_rejections"),
+        }
+    }
+
     /// Takes a snapshot for reporting.
+    ///
+    /// Deprecated shim: prefer [`BessServer::metrics`] and
+    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
+    /// callers migrate incrementally.
     pub fn snapshot(&self) -> ServerStatsSnapshot {
         ServerStatsSnapshot {
-            txns: self.txns.load(Ordering::Relaxed),
-            commits: self.commits.load(Ordering::Relaxed),
-            aborts: self.aborts.load(Ordering::Relaxed),
-            fetches: self.fetches.load(Ordering::Relaxed),
-            reads: self.reads.load(Ordering::Relaxed),
-            locks_granted: self.locks_granted.load(Ordering::Relaxed),
-            locks_denied: self.locks_denied.load(Ordering::Relaxed),
-            callbacks_sent: self.callbacks_sent.load(Ordering::Relaxed),
-            callback_releases: self.callback_releases.load(Ordering::Relaxed),
-            callback_deferred: self.callback_deferred.load(Ordering::Relaxed),
-            callback_downgrades: self.callback_downgrades.load(Ordering::Relaxed),
-            prepares: self.prepares.load(Ordering::Relaxed),
-            coordinated: self.coordinated.load(Ordering::Relaxed),
-            leases_expired: self.leases_expired.load(Ordering::Relaxed),
-            txns_reaped: self.txns_reaped.load(Ordering::Relaxed),
-            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
-            drain_rejections: self.drain_rejections.load(Ordering::Relaxed),
-            read_only_rejections: self.read_only_rejections.load(Ordering::Relaxed),
+            txns: self.txns.get(),
+            commits: self.commits.get(),
+            aborts: self.aborts.get(),
+            fetches: self.fetches.get(),
+            reads: self.reads.get(),
+            locks_granted: self.locks_granted.get(),
+            locks_denied: self.locks_denied.get(),
+            callbacks_sent: self.callbacks_sent.get(),
+            callback_releases: self.callback_releases.get(),
+            callback_deferred: self.callback_deferred.get(),
+            callback_downgrades: self.callback_downgrades.get(),
+            prepares: self.prepares.get(),
+            coordinated: self.coordinated.get(),
+            leases_expired: self.leases_expired.get(),
+            txns_reaped: self.txns_reaped.get(),
+            dedup_hits: self.dedup_hits.get(),
+            drain_rejections: self.drain_rejections.get(),
+            read_only_rejections: self.read_only_rejections.get(),
         }
     }
 }
@@ -271,10 +307,19 @@ struct ServerInner {
     /// Read-only fallback after repeated media errors.
     read_only: AtomicBool,
     /// Consecutive storage-write failures (reset on success).
+    // LINT: allow(raw-counter) — fail-stop latch checked on every request, not an exported metric
     media_errors: AtomicU64,
+    // LINT: allow(raw-counter) — transaction-id allocator, not a metric
     next_txn: AtomicU64,
     running: AtomicBool,
+    group: Group,
     stats: ServerStats,
+    /// Server-side latency of a local commit: log force + page apply
+    /// (`server.commit.ns`).
+    commit_ns: LatencyHistogram,
+    /// Server-side latency of a coordinated 2PC round
+    /// (`server.commit.global.ns`).
+    commit_global_ns: LatencyHistogram,
 }
 
 /// A running BeSS server.
@@ -337,6 +382,7 @@ impl BessServer {
             }
         }
 
+        let group = Registry::new().group("server");
         let inner = Arc::new(ServerInner {
             locks: LockManager::new(cfg.lock_timeout),
             caller: net.caller(cfg.node),
@@ -362,8 +408,25 @@ impl BessServer {
             media_errors: AtomicU64::new(0),
             next_txn: AtomicU64::new(1),
             running: AtomicBool::new(true),
-            stats: ServerStats::default(),
+            stats: ServerStats::new(&group),
+            commit_ns: group.histogram("commit.ns"),
+            commit_global_ns: group.histogram("commit.global.ns"),
+            group,
         });
+
+        // Fold the subsystem registries into the server's, so one dump of
+        // BessServer::metrics shows server.*, lock.*, wal.* and
+        // storage.a*.* side by side (live handles, not copies).
+        {
+            let reg = inner.group.registry();
+            reg.adopt("", inner.locks.metrics().registry());
+            reg.adopt("", inner.log.metrics().registry());
+            for id in inner.areas.ids() {
+                if let Some(area) = inner.areas.get(id) {
+                    reg.adopt("", area.metrics().registry());
+                }
+            }
+        }
 
         // In-doubt transactions keep exclusive locks on the pages they
         // updated until the coordinator's verdict arrives.
@@ -412,6 +475,11 @@ impl BessServer {
     /// benches).
     pub fn log(&self) -> &Arc<LogManager> {
         &self.inner.log
+    }
+
+    /// The server's metric group (`server.*` in its registry).
+    pub fn metrics(&self) -> &Group {
+        &self.inner.group
     }
 
     /// Activity counters.
@@ -621,7 +689,7 @@ impl ServerInner {
         if self.draining.load(Ordering::Relaxed)
             && matches!(msg, Msg::BeginTxn | Msg::BeginGlobal)
         {
-            AtomicU64::fetch_add(&self.stats.drain_rejections, 1, Ordering::Relaxed);
+            self.stats.drain_rejections.inc();
             return Some(Msg::Err("server draining: not accepting new transactions".into()));
         }
         if self.read_only.load(Ordering::Relaxed) {
@@ -632,13 +700,13 @@ impl ServerInner {
                 | Msg::ShipUpdates { .. }
                 | Msg::AllocSegment { .. }
                 | Msg::FreeSegment { .. } => {
-                    AtomicU64::fetch_add(&self.stats.read_only_rejections, 1, Ordering::Relaxed);
+                    self.stats.read_only_rejections.inc();
                     return Some(Msg::Err(
                         "server read-only after repeated media errors".into(),
                     ));
                 }
                 Msg::Prepare { .. } => {
-                    AtomicU64::fetch_add(&self.stats.read_only_rejections, 1, Ordering::Relaxed);
+                    self.stats.read_only_rejections.inc();
                     return Some(Msg::VoteNo);
                 }
                 _ => {}
@@ -674,7 +742,7 @@ impl ServerInner {
                     return None;
                 }
                 Some(DedupState::Done(reply)) => {
-                    AtomicU64::fetch_add(&self.stats.dedup_hits, 1, Ordering::Relaxed);
+                    self.stats.dedup_hits.inc();
                     return Some(reply.clone());
                 }
                 Some(DedupState::InFlight) => {}
@@ -690,7 +758,7 @@ impl ServerInner {
                 let w = self.dedup.lock();
                 match w.entries.get(&key) {
                     Some(DedupState::Done(reply)) => {
-                        AtomicU64::fetch_add(&self.stats.dedup_hits, 1, Ordering::Relaxed);
+                        self.stats.dedup_hits.inc();
                         return Some(reply.clone());
                     }
                     Some(DedupState::InFlight) => {}
@@ -734,7 +802,7 @@ impl ServerInner {
     /// are left to [`Self::resolve_stale_prepared`], which honours the
     /// coordinator grace period.
     fn reap_node(&self, node: u32) {
-        AtomicU64::fetch_add(&self.stats.leases_expired, 1, Ordering::Relaxed);
+        self.stats.leases_expired.inc();
         // Unshipped/unprepared branches: nothing was logged, so dropping
         // the buffered updates aborts them.
         let dropped: Vec<GTxn> = {
@@ -749,7 +817,7 @@ impl ServerInner {
             }
             gone
         };
-        AtomicU64::fetch_add(&self.stats.txns_reaped, dropped.len() as u64, Ordering::Relaxed);
+        self.stats.txns_reaped.add(dropped.len() as u64);
         // Locks and callback copies are both grants to the client node;
         // one sweep releases them all and wakes any waiters.
         self.locks.unlock_all(TxnId(u64::from(node)));
@@ -802,7 +870,7 @@ impl ServerInner {
                 }
             };
             if let Some(commit) = verdict {
-                AtomicU64::fetch_add(&self.stats.txns_reaped, 1, Ordering::Relaxed);
+                self.stats.txns_reaped.inc();
                 self.decide(gtxn, commit);
             }
         }
@@ -823,7 +891,7 @@ impl ServerInner {
     fn dispatch(&self, from: NodeId, msg: Msg) -> Msg {
         match msg {
             Msg::BeginTxn => {
-                AtomicU64::fetch_add(&self.stats.txns, 1, Ordering::Relaxed);
+                self.stats.txns.inc();
                 let seq = self.next_txn.fetch_add(1, Ordering::Relaxed);
                 Msg::TxnId((u64::from(self.cfg.node.0) << 32) | seq)
             }
@@ -833,7 +901,7 @@ impl ServerInner {
                 Msg::TxnId((u64::from(self.cfg.node.0) << 32) | seq)
             }
             Msg::FetchPage { page, mode } => {
-                AtomicU64::fetch_add(&self.stats.fetches, 1, Ordering::Relaxed);
+                self.stats.fetches.inc();
                 let name = LockName::Page {
                     area: page.area,
                     page: page.page,
@@ -844,7 +912,7 @@ impl ServerInner {
                 }
             }
             Msg::ReadPage { page } => {
-                AtomicU64::fetch_add(&self.stats.reads, 1, Ordering::Relaxed);
+                self.stats.reads.inc();
                 self.do_read(page)
             }
             Msg::Lock { name, mode } => self.do_lock(from, name, mode),
@@ -920,7 +988,7 @@ impl ServerInner {
             },
             Msg::Commit { txn, updates, .. } => self.do_commit(txn, &updates),
             Msg::Abort { txn } => {
-                AtomicU64::fetch_add(&self.stats.aborts, 1, Ordering::Relaxed);
+                self.stats.aborts.inc();
                 let _ = txn;
                 Msg::Ok
             }
@@ -983,7 +1051,7 @@ impl ServerInner {
             std::thread::sleep(Duration::from_millis(1));
         }
         if self.locks.try_lock(owner, name, mode) {
-            AtomicU64::fetch_add(&self.stats.locks_granted, 1, Ordering::Relaxed);
+            self.stats.locks_granted.inc();
             return Msg::Granted;
         }
         // Callback every conflicting holder (§3).
@@ -991,7 +1059,7 @@ impl ServerInner {
             if holder == owner || hmode.compatible(mode) {
                 continue;
             }
-            AtomicU64::fetch_add(&self.stats.callbacks_sent, 1, Ordering::Relaxed);
+            self.stats.callbacks_sent.inc();
             self.callbacks_in_flight.lock().insert((name, holder));
             // The callback-read optimisation: an S requester facing an X
             // holder asks for a *downgrade* — the holder keeps S cached
@@ -1017,19 +1085,15 @@ impl ServerInner {
             match reply {
                 Ok(Msg::CallbackReleased) => {
                     if downgrade {
-                        AtomicU64::fetch_add(
-                            &self.stats.callback_downgrades,
-                            1,
-                            Ordering::Relaxed,
-                        );
+                        self.stats.callback_downgrades.inc();
                         let _ = self.locks.downgrade(holder, name, LockMode::S);
                     } else {
-                        AtomicU64::fetch_add(&self.stats.callback_releases, 1, Ordering::Relaxed);
+                        self.stats.callback_releases.inc();
                         let _ = self.locks.unlock(holder, name);
                     }
                 }
                 Ok(Msg::CallbackDeferred) => {
-                    AtomicU64::fetch_add(&self.stats.callback_deferred, 1, Ordering::Relaxed);
+                    self.stats.callback_deferred.inc();
                     // The holder will send ReleaseCached when its local
                     // transaction finishes; we wait below.
                 }
@@ -1045,11 +1109,11 @@ impl ServerInner {
             .lock_timeout(owner, name, mode, self.cfg.lock_timeout)
         {
             Ok(()) => {
-                AtomicU64::fetch_add(&self.stats.locks_granted, 1, Ordering::Relaxed);
+                self.stats.locks_granted.inc();
                 Msg::Granted
             }
             Err(e) => {
-                AtomicU64::fetch_add(&self.stats.locks_denied, 1, Ordering::Relaxed);
+                self.stats.locks_denied.inc();
                 Msg::Denied(e.to_string())
             }
         }
@@ -1091,6 +1155,8 @@ impl ServerInner {
 
     /// Single-server commit: WAL (force) then apply.
     fn do_commit(&self, txn: u64, updates: &[PageUpdate]) -> Msg {
+        let _timer = self.commit_ns.start();
+        let _span = self.group.registry().span("commit", txn);
         let begin = self.log.append(txn, Lsn::NULL, LogBody::Begin);
         let prev = self.append_updates(txn, begin, updates);
         let commit = self.log.append(txn, prev, LogBody::Commit);
@@ -1101,7 +1167,7 @@ impl ServerInner {
             return Msg::Err(e);
         }
         self.log.append(txn, commit, LogBody::End);
-        AtomicU64::fetch_add(&self.stats.commits, 1, Ordering::Relaxed);
+        self.stats.commits.inc();
         Msg::Ok
     }
 
@@ -1126,7 +1192,7 @@ impl ServerInner {
                 prepared_at: Instant::now(),
             },
         );
-        AtomicU64::fetch_add(&self.stats.prepares, 1, Ordering::Relaxed);
+        self.stats.prepares.inc();
         Msg::VoteYes
     }
 
@@ -1140,13 +1206,13 @@ impl ServerInner {
             let _ = self.log.flush(c);
             let _ = self.apply_updates(&p.updates);
             self.log.append(gtxn, c, LogBody::End);
-            AtomicU64::fetch_add(&self.stats.commits, 1, Ordering::Relaxed);
+            self.stats.commits.inc();
         } else {
             let a = self.log.append(gtxn, p.last_lsn, LogBody::Abort);
             let mut target = AreaTarget(Arc::clone(&self.areas));
             let _ = undo_transactions(&self.log, vec![(gtxn, a)], &mut target);
             let _ = self.log.flush_all();
-            AtomicU64::fetch_add(&self.stats.aborts, 1, Ordering::Relaxed);
+            self.stats.aborts.inc();
         }
         // Release the in-doubt page locks, if recovery took them.
         self.locks.unlock_all(TxnId(gtxn));
@@ -1155,7 +1221,9 @@ impl ServerInner {
     /// Coordinates a 2PC round (this server is "the first BeSS server the
     /// application establishes a connection with", §3).
     fn do_commit_global(&self, gtxn: GTxn, participants: &[u32]) -> Msg {
-        AtomicU64::fetch_add(&self.stats.coordinated, 1, Ordering::Relaxed);
+        let _timer = self.commit_global_ns.start();
+        let _span = self.group.registry().span("commit.global", gtxn);
+        self.stats.coordinated.inc();
         // Register the round before phase 1 starts: from here until the
         // decision is recorded, `QueryDecision` answers "in progress", so
         // a participant's reaper cannot mistake a mid-round silence for

@@ -22,10 +22,10 @@
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bess_lock::order::{OrderedMutex, OrderedRwLock, Rank};
+use bess_obs::{Counter, Group, Registry};
 
 use crate::buddy::BuddyExtent;
 use crate::error::{StorageError, StorageResult};
@@ -105,7 +105,7 @@ fn read_exact_retrying<R>(
     mut read_once: R,
     buf: &mut [u8],
     offset: u64,
-    retries: &AtomicU64,
+    retries: &Counter,
 ) -> StorageResult<()>
 where
     R: FnMut(&mut [u8], u64) -> std::io::Result<usize>,
@@ -127,7 +127,7 @@ where
                     return Err(e.into());
                 }
                 attempts += 1;
-                retries.fetch_add(1, Ordering::Relaxed);
+                retries.inc();
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
         }
@@ -136,7 +136,7 @@ where
 }
 
 impl Backend {
-    fn read_at(&self, buf: &mut [u8], offset: u64, retries: &AtomicU64) -> StorageResult<()> {
+    fn read_at(&self, buf: &mut [u8], offset: u64, retries: &Counter) -> StorageResult<()> {
         match self {
             Backend::Mem(data) => {
                 let data = data.read();
@@ -225,7 +225,14 @@ pub struct StorageArea {
     config: AreaConfig,
     backend: Backend,
     extents: OrderedMutex<Vec<BuddyExtent>>,
+    group: Group,
     stats: IoStats,
+}
+
+fn area_obs(id: AreaId) -> (Group, IoStats) {
+    let group = Registry::new().group(&format!("storage.a{}", id.0));
+    let stats = IoStats::new(&group);
+    (group, stats)
 }
 
 impl StorageArea {
@@ -261,12 +268,14 @@ impl StorageArea {
     fn initialise(id: AreaId, config: AreaConfig, backend: Backend) -> StorageResult<Self> {
         assert!(config.page_size >= 64, "page size too small for headers");
         assert!(config.initial_extents >= 1, "area needs at least one extent");
+        let (group, stats) = area_obs(id);
         let area = StorageArea {
             id,
             config,
             backend,
             extents: OrderedMutex::new(Rank::AreaExtents, "area.extents", Vec::new()),
-            stats: IoStats::default(),
+            group,
+            stats,
         };
         // Room for header + initial extents.
         let total_pages = 1 + config.extent_footprint() * u64::from(config.initial_extents);
@@ -302,7 +311,7 @@ impl StorageArea {
         // stats object doesn't exist yet; header-read retries go to a
         // throwaway counter.
         let mut head = [0u8; 24];
-        backend.read_at(&mut head, 0, &AtomicU64::new(0))?;
+        backend.read_at(&mut head, 0, &Counter::unregistered())?;
         let magic = le_u32(&head[0..4]);
         if magic != AREA_MAGIC {
             return Err(StorageError::Corrupt("bad area magic".into()));
@@ -320,12 +329,14 @@ impl StorageArea {
             initial_extents: num_extents.max(1),
             expandable,
         };
+        let (group, stats) = area_obs(id);
         let area = StorageArea {
             id,
             config,
             backend,
             extents: OrderedMutex::new(Rank::AreaExtents, "area.extents", Vec::new()),
-            stats: IoStats::default(),
+            group,
+            stats,
         };
         let mut extents = Vec::with_capacity(num_extents as usize);
         for i in 0..num_extents {
@@ -381,6 +392,11 @@ impl StorageArea {
             return 0.0;
         }
         extents.iter().map(|e| e.fragmentation()).sum::<f64>() / extents.len() as f64
+    }
+
+    /// The area's metric group (`storage.a<id>.*` in its registry).
+    pub fn metrics(&self) -> &Group {
+        &self.group
     }
 
     /// I/O counters.
@@ -841,7 +857,7 @@ mod tests {
     #[test]
     fn persistent_read_eio_propagates_after_retry_budget() {
         let mut buf = vec![0u8; 64];
-        let retries = AtomicU64::new(0);
+        let retries = Counter::unregistered();
         let err = read_exact_retrying(
             |_b: &mut [u8], _off| Err(std::io::Error::other("injected: read EIO")),
             &mut buf,
@@ -849,6 +865,6 @@ mod tests {
             &retries,
         );
         assert!(err.is_err(), "persistent EIO propagates after retries");
-        assert_eq!(retries.load(Ordering::Relaxed), u64::from(MAX_READ_RETRIES));
+        assert_eq!(retries.get(), u64::from(MAX_READ_RETRIES));
     }
 }

@@ -91,8 +91,10 @@ struct ArmedFault {
 /// an unarmed plan to learn how many operations it issues, then enumerate
 /// `(class, n, kind)` triples, arming a fresh plan for each run.
 pub struct FaultPlan {
+    // LINT: allow(raw-counter) — fault-plan op counters consulted by the armed trigger, not a metric
     counts: [AtomicU64; 3],
     armed: OrderedMutex<Option<ArmedFault>>,
+    // LINT: allow(raw-counter) — single-shot fault-plan trip latch, not a metric
     fired: AtomicU64,
 }
 

@@ -1,42 +1,59 @@
 //! I/O accounting for storage areas.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use bess_obs::{Counter, Group};
 
-/// Counters maintained by a [`crate::StorageArea`].
+/// Counters maintained by a [`crate::StorageArea`] — [`bess_obs`] handles
+/// registered under the `storage.a<id>.` prefix of
+/// [`crate::StorageArea::metrics`].
 ///
 /// The paper's evaluation environment measured real disk traffic; these
 /// counters let the benchmark harness report page reads/writes, syncs, and
 /// extent growth for every experiment.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct IoStats {
-    /// Pages read from the backend.
-    pub page_reads: AtomicU64,
-    /// Pages written to the backend.
-    pub page_writes: AtomicU64,
-    /// Durability syncs (`fsync`-equivalents).
-    pub syncs: AtomicU64,
+    /// Pages read from the backend (`storage.a<id>.page_reads`).
+    pub page_reads: Counter,
+    /// Pages written to the backend (`storage.a<id>.page_writes`).
+    pub page_writes: Counter,
+    /// Durability syncs, `fsync`-equivalents (`storage.a<id>.syncs`).
+    pub syncs: Counter,
     /// Times the area grew by one extent (§2: "storage areas that
     /// correspond to UNIX files may expand in size by one extent at a
-    /// time").
-    pub extends: AtomicU64,
+    /// time") — `storage.a<id>.extends`.
+    pub extends: Counter,
     /// Transient read errors absorbed by the bounded retry in the read
-    /// path (each increment is one retried attempt, not one failed page).
-    pub read_retries: AtomicU64,
+    /// path, one increment per retried attempt
+    /// (`storage.a<id>.read_retries`).
+    pub read_retries: Counter,
 }
 
 impl IoStats {
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn new(group: &Group) -> IoStats {
+        IoStats {
+            page_reads: group.counter("page_reads"),
+            page_writes: group.counter("page_writes"),
+            syncs: group.counter("syncs"),
+            extends: group.counter("extends"),
+            read_retries: group.counter("read_retries"),
+        }
+    }
+
+    pub(crate) fn bump(counter: &Counter) {
+        counter.inc();
     }
 
     /// Takes a snapshot for reporting.
+    ///
+    /// Deprecated shim: prefer [`crate::StorageArea::metrics`] and
+    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
+    /// callers migrate incrementally.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
-            page_reads: self.page_reads.load(Ordering::Relaxed),
-            page_writes: self.page_writes.load(Ordering::Relaxed),
-            syncs: self.syncs.load(Ordering::Relaxed),
-            extends: self.extends.load(Ordering::Relaxed),
-            read_retries: self.read_retries.load(Ordering::Relaxed),
+            page_reads: self.page_reads.get(),
+            page_writes: self.page_writes.get(),
+            syncs: self.syncs.get(),
+            extends: self.extends.get(),
+            read_retries: self.read_retries.get(),
         }
     }
 }

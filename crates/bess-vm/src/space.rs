@@ -96,6 +96,7 @@ pub struct AddressSpace {
     pages: RwLock<HashMap<u64, PageEntry>>,
     regions: RwLock<BTreeMap<u64, Region>>,
     anon: Arc<HeapStore>,
+    group: bess_obs::Group,
     stats: MemStats,
 }
 
@@ -118,9 +119,12 @@ impl AddressSpace {
         // "epochs" would accidentally reuse identical addresses and hide
         // unswizzled references.
         use std::sync::atomic::AtomicU64;
+        // LINT: allow(raw-counter) — address-space epoch-id allocator, not a metric
         static SPACE_COUNTER: AtomicU64 = AtomicU64::new(1);
         let instance = SPACE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let base = (instance % (1 << 20)) << 33;
+        let group = bess_obs::Registry::new().group("vm");
+        let stats = MemStats::new(&group);
         AddressSpace {
             page_size,
             // Start above zero so address 0 stays null; one unreserved guard
@@ -129,7 +133,8 @@ impl AddressSpace {
             pages: RwLock::new(HashMap::new()),
             regions: RwLock::new(BTreeMap::new()),
             anon: Arc::new(HeapStore::new(page_size as usize)),
-            stats: MemStats::default(),
+            group,
+            stats,
         }
     }
 
@@ -141,6 +146,13 @@ impl AddressSpace {
     /// Activity counters for this space.
     pub fn stats(&self) -> &MemStats {
         &self.stats
+    }
+
+    /// The space's metric group (`vm.*`). The segment manager registers its
+    /// `vm.fault.wave{1,2,3}.ns` histograms here so fault-wave latency sits
+    /// beside the fault counters it explains.
+    pub fn metrics(&self) -> &bess_obs::Group {
+        &self.group
     }
 
     fn round_up(&self, len: u64) -> u64 {

@@ -7,60 +7,84 @@
 //! These counters make both observable: every reservation, protection
 //! change ("system call"), mapping, and fault is counted.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use bess_obs::{Counter, Group};
 
-/// Atomic counters maintained by an [`crate::AddressSpace`].
-#[derive(Debug, Default)]
+/// Counters maintained by an [`crate::AddressSpace`] — [`bess_obs`]
+/// handles registered under the `vm.` prefix of
+/// [`crate::AddressSpace::metrics`].
+#[derive(Debug)]
 pub struct MemStats {
-    /// Calls to `reserve`.
-    pub reserve_calls: AtomicU64,
-    /// Total bytes ever reserved.
-    pub reserved_bytes: AtomicU64,
-    /// Calls to `unreserve`.
-    pub unreserve_calls: AtomicU64,
-    /// Protection changes — each models one `mprotect(2)` system call.
-    pub protect_calls: AtomicU64,
-    /// Pages mapped onto store frames.
-    pub map_calls: AtomicU64,
-    /// Pages unmapped.
-    pub unmap_calls: AtomicU64,
-    /// Faults taken on loads.
-    pub read_faults: AtomicU64,
-    /// Faults taken on stores.
-    pub write_faults: AtomicU64,
+    /// Calls to `reserve` (`vm.reserve_calls`).
+    pub reserve_calls: Counter,
+    /// Total bytes ever reserved (`vm.reserved_bytes`).
+    pub reserved_bytes: Counter,
+    /// Calls to `unreserve` (`vm.unreserve_calls`).
+    pub unreserve_calls: Counter,
+    /// Protection changes — each models one `mprotect(2)` system call
+    /// (`vm.protect_calls`).
+    pub protect_calls: Counter,
+    /// Pages mapped onto store frames (`vm.map_calls`).
+    pub map_calls: Counter,
+    /// Pages unmapped (`vm.unmap_calls`).
+    pub unmap_calls: Counter,
+    /// Faults taken on loads (`vm.read_faults`).
+    pub read_faults: Counter,
+    /// Faults taken on stores (`vm.write_faults`).
+    pub write_faults: Counter,
     /// Faults that no handler resolved (the SIGSEGV that would have killed
-    /// the process — or, for BeSS, caught a stray pointer; §2.2).
-    pub denied_faults: AtomicU64,
-    /// Bytes copied out of mapped frames.
-    pub bytes_read: AtomicU64,
-    /// Bytes copied into mapped frames.
-    pub bytes_written: AtomicU64,
+    /// the process — or, for BeSS, caught a stray pointer; §2.2) —
+    /// `vm.denied_faults`.
+    pub denied_faults: Counter,
+    /// Bytes copied out of mapped frames (`vm.read_bytes`).
+    pub bytes_read: Counter,
+    /// Bytes copied into mapped frames (`vm.write_bytes`).
+    pub bytes_written: Counter,
 }
 
 impl MemStats {
-    /// Takes a consistent-enough snapshot for reporting.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            reserve_calls: self.reserve_calls.load(Ordering::Relaxed),
-            reserved_bytes: self.reserved_bytes.load(Ordering::Relaxed),
-            unreserve_calls: self.unreserve_calls.load(Ordering::Relaxed),
-            protect_calls: self.protect_calls.load(Ordering::Relaxed),
-            map_calls: self.map_calls.load(Ordering::Relaxed),
-            unmap_calls: self.unmap_calls.load(Ordering::Relaxed),
-            read_faults: self.read_faults.load(Ordering::Relaxed),
-            write_faults: self.write_faults.load(Ordering::Relaxed),
-            denied_faults: self.denied_faults.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+    pub(crate) fn new(group: &Group) -> MemStats {
+        MemStats {
+            reserve_calls: group.counter("reserve_calls"),
+            reserved_bytes: group.counter("reserved_bytes"),
+            unreserve_calls: group.counter("unreserve_calls"),
+            protect_calls: group.counter("protect_calls"),
+            map_calls: group.counter("map_calls"),
+            unmap_calls: group.counter("unmap_calls"),
+            read_faults: group.counter("read_faults"),
+            write_faults: group.counter("write_faults"),
+            denied_faults: group.counter("denied_faults"),
+            bytes_read: group.counter("read_bytes"),
+            bytes_written: group.counter("write_bytes"),
         }
     }
 
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Takes a consistent-enough snapshot for reporting.
+    ///
+    /// Deprecated shim: prefer [`crate::AddressSpace::metrics`] and
+    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
+    /// callers migrate incrementally.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reserve_calls: self.reserve_calls.get(),
+            reserved_bytes: self.reserved_bytes.get(),
+            unreserve_calls: self.unreserve_calls.get(),
+            protect_calls: self.protect_calls.get(),
+            map_calls: self.map_calls.get(),
+            unmap_calls: self.unmap_calls.get(),
+            read_faults: self.read_faults.get(),
+            write_faults: self.write_faults.get(),
+            denied_faults: self.denied_faults.get(),
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
+        }
     }
 
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    pub(crate) fn bump(counter: &Counter) {
+        counter.inc();
+    }
+
+    pub(crate) fn add(counter: &Counter, n: u64) {
+        counter.add(n);
     }
 }
 
@@ -121,7 +145,7 @@ mod tests {
 
     #[test]
     fn snapshot_and_since() {
-        let stats = MemStats::default();
+        let stats = MemStats::new(&bess_obs::Registry::new().group("vm"));
         MemStats::bump(&stats.read_faults);
         MemStats::add(&stats.reserved_bytes, 4096);
         let a = stats.snapshot();

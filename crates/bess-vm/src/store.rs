@@ -46,6 +46,7 @@ pub struct HeapStore {
     frame_size: usize,
     frames: RwLock<Vec<Option<Box<[u8]>>>>,
     free: RwLock<Vec<u64>>,
+    // LINT: allow(raw-counter) — frame-store high-water bookkeeping asserted on by tests, not a metric
     allocated: AtomicU64,
 }
 
