@@ -1,5 +1,5 @@
 //! The experiment report harness: regenerates every *counting* experiment
-//! of DESIGN.md §4 (E2-E5, E8-E10, E17-E20) and prints the tables recorded
+//! of DESIGN.md §4 (E2-E5, E8-E10, E17-E21) and prints the tables recorded
 //! in EXPERIMENTS.md. Timing experiments (E1, E6, E7, E11-E14) live in the
 //! criterion benches.
 //!
@@ -118,6 +118,7 @@ fn main() {
     e18_recovery_under_faults(r);
     e19_failure_containment(r);
     e20_obs_overhead(r);
+    e21_group_commit(r);
     hot_path_latencies(r);
     let json = report.to_json();
     std::fs::write("BENCH_report.json", &json).expect("write BENCH_report.json");
@@ -1011,6 +1012,91 @@ fn e20_obs_overhead(report: &mut JsonReport) {
     report.num("E20", "appends_per_sec_timing_off", off);
     report.num("E20", "overhead_pct", overhead);
     report.text("E20", "target", "<=5%");
+}
+
+// ---------------------------------------------------------------------------
+// E21 — group commit: multi-threaded commit throughput, per-commit forcing
+// vs the leader-elected batched log force.
+// ---------------------------------------------------------------------------
+fn e21_group_commit(report: &mut JsonReport) {
+    use bess_wal::{GroupCommitConfig, LogBody, LogManager, LogPageId, Lsn};
+
+    println!("## E21 — group commit: batched log force vs per-commit fsync\n");
+    // The memory backend charges a fixed latency per sync — the proxy for a
+    // device fsync, so batching shows up in wall-clock and not only in the
+    // fsync count.
+    const SYNC_COST: Duration = Duration::from_micros(100);
+    const COMMITS_PER_THREAD: u64 = 200;
+
+    // One thread-count's run under one config; returns (tps, fsyncs/commit).
+    let run = |threads: u64, cfg: GroupCommitConfig| -> (f64, f64) {
+        let log = Arc::new(LogManager::create_mem_slow(SYNC_COST));
+        log.set_group_commit(cfg);
+        let barrier = Arc::new(std::sync::Barrier::new(threads as usize + 1));
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let log = Arc::clone(&log);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut prev = Lsn::NULL;
+                    let txn = t + 1;
+                    for _ in 0..COMMITS_PER_THREAD {
+                        let u = log.append(
+                            txn,
+                            prev,
+                            LogBody::Update {
+                                page: LogPageId { area: 0, page: t % 64 },
+                                offset: 0,
+                                before: vec![0; 16],
+                                after: vec![1; 16],
+                            },
+                        );
+                        let c = log.append(txn, u, LogBody::Commit);
+                        log.flush(c).unwrap();
+                        prev = c;
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let commits = (threads * COMMITS_PER_THREAD) as f64;
+        let fsyncs = log.stats().flushes.get() as f64;
+        (commits / secs, fsyncs / commits)
+    };
+
+    println!("| threads | solo tps | group tps | speedup | solo fsync/commit | group fsync/commit |");
+    println!("|---|---|---|---|---|---|");
+    for threads in [1u64, 4, 16, 64] {
+        let (solo_tps, solo_ratio) = run(threads, GroupCommitConfig::disabled());
+        let (group_tps, group_ratio) = run(threads, GroupCommitConfig::default());
+        let speedup = group_tps / solo_tps;
+        println!(
+            "| {threads} | {solo_tps:.0} | {group_tps:.0} | {speedup:.2}x | \
+             {solo_ratio:.3} | {group_ratio:.3} |"
+        );
+        let sec = "E21";
+        report.num(sec, &format!("t{threads}.solo_commits_per_sec"), solo_tps);
+        report.num(sec, &format!("t{threads}.group_commits_per_sec"), group_tps);
+        report.num(sec, &format!("t{threads}.speedup"), speedup);
+        report.num(sec, &format!("t{threads}.solo_fsyncs_per_commit"), solo_ratio);
+        report.num(sec, &format!("t{threads}.group_fsyncs_per_commit"), group_ratio);
+    }
+    report.text(
+        "E21",
+        "target",
+        ">=2x commit tps and <0.5 fsyncs/commit at 16+ threads",
+    );
+    println!(
+        "\n(fsync proxy: {}us charged per sync on the memory backend; \
+         solo = per-commit forcing, group = leader-elected batched force)\n",
+        SYNC_COST.as_micros()
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -68,8 +68,14 @@ pub enum Rank {
     TestPageIo = 28,
     /// `AreaSet::areas` — the area-id → `StorageArea` routing table.
     AreaSet = 30,
-    /// `LogManager::state` — WAL append/flush state, held across backend
-    /// writes on the flush path.
+    /// `LogManager::gc` — group-commit coordination (leader election and
+    /// follower wakeup). A leader holds it while taking the WAL state
+    /// lock to swap tail buffers, so it ranks below `WalLog`. Followers
+    /// condvar-wait on it (the rank stays registered across the wait).
+    WalGroup = 38,
+    /// `LogManager::state` — WAL append/flush state. Held only for short
+    /// critical sections (append framing, buffer swap); the group-commit
+    /// leader performs device I/O with no log locks held.
     WalLog = 40,
     /// `LogBackend::Mem` — the in-memory log image behind the WAL.
     WalBackendMem = 42,
@@ -121,6 +127,7 @@ impl Rank {
         Rank::PrivatePool,
         Rank::TestPageIo,
         Rank::AreaSet,
+        Rank::WalGroup,
         Rank::WalLog,
         Rank::WalBackendMem,
         Rank::AreaExtents,
@@ -155,6 +162,7 @@ impl Rank {
             Rank::PrivatePool => "PrivatePool",
             Rank::TestPageIo => "TestPageIo",
             Rank::AreaSet => "AreaSet",
+            Rank::WalGroup => "WalGroup",
             Rank::WalLog => "WalLog",
             Rank::WalBackendMem => "WalBackendMem",
             Rank::AreaExtents => "AreaExtents",

@@ -31,8 +31,8 @@ use bess_lock::{LockManager, LockMode, LockName, OrderedMutex, Rank, TxnId};
 use bess_net::{Caller, Endpoint, Network, NodeId};
 use bess_storage::{AreaId, DiskPtr};
 use bess_wal::{
-    recover, take_checkpoint, undo_transactions, LogBody, LogManager, LogPageId, Lsn,
-    RecoveryReport, RedoTarget, TxnStatus,
+    recover, take_checkpoint, undo_transactions, GroupCommitConfig, LogBody, LogManager,
+    LogPageId, Lsn, RecoveryReport, RedoTarget, TxnStatus,
 };
 use parking_lot::Mutex;
 
@@ -64,6 +64,9 @@ pub struct ServerConfig {
     /// Consecutive storage-write failures tolerated before the server
     /// drops into read-only mode (media-failure containment).
     pub media_error_threshold: u64,
+    /// Group-commit tuning applied to the server's WAL at startup: how
+    /// concurrent commit forces batch into one device sync.
+    pub group_commit: GroupCommitConfig,
 }
 
 impl ServerConfig {
@@ -76,6 +79,7 @@ impl ServerConfig {
             lease_duration: Duration::from_secs(10),
             coordinator_grace: Duration::from_secs(1),
             media_error_threshold: 3,
+            group_commit: GroupCommitConfig::default(),
         }
     }
 }
@@ -129,6 +133,10 @@ pub struct ServerStats {
     /// Mutating requests rejected while read-only
     /// (`server.read_only_rejections`).
     pub read_only_rejections: Counter,
+    /// Log forces that failed (`server.log_force_failures`). Each one also
+    /// counts toward the media-error threshold, so a persistently failing
+    /// log device trips auto read-only like a failing storage area does.
+    pub log_force_failures: Counter,
 }
 
 impl ServerStats {
@@ -152,6 +160,7 @@ impl ServerStats {
             dedup_hits: group.counter("dedup_hits"),
             drain_rejections: group.counter("drain_rejections"),
             read_only_rejections: group.counter("read_only_rejections"),
+            log_force_failures: group.counter("log_force_failures"),
         }
     }
 
@@ -180,6 +189,7 @@ impl ServerStats {
             dedup_hits: self.dedup_hits.get(),
             drain_rejections: self.drain_rejections.get(),
             read_only_rejections: self.read_only_rejections.get(),
+            log_force_failures: self.log_force_failures.get(),
         }
     }
 }
@@ -223,6 +233,8 @@ pub struct ServerStatsSnapshot {
     pub drain_rejections: u64,
     /// Mutations rejected while read-only.
     pub read_only_rejections: u64,
+    /// Log forces that failed.
+    pub log_force_failures: u64,
 }
 
 /// Applies redo/undo images to the server's storage areas.
@@ -338,6 +350,7 @@ impl BessServer {
         net: &Arc<Network<Msg>>,
     ) -> (BessServer, RecoveryReport) {
         let log = Arc::new(log);
+        log.set_group_commit(cfg.group_commit);
         let mut target = AreaTarget(Arc::clone(&areas));
         let report = recover(&log, &mut target).expect("restart recovery");
 
@@ -876,6 +889,16 @@ impl ServerInner {
         }
     }
 
+    /// Records a failed log force: counted in `server.log_force_failures`
+    /// and fed into the media-error threshold, so a persistently failing
+    /// log device trips auto read-only exactly like a failing storage
+    /// area. (Successful forces do not reset the streak themselves — the
+    /// storage-side `note_media(true)` of the next applied commit does.)
+    fn note_log_force_failure(&self) {
+        self.stats.log_force_failures.inc();
+        self.note_media(false);
+    }
+
     /// Tracks a storage-write outcome; repeated failures trip read-only.
     fn note_media(&self, ok: bool) {
         if ok {
@@ -1161,6 +1184,7 @@ impl ServerInner {
         let prev = self.append_updates(txn, begin, updates);
         let commit = self.log.append(txn, prev, LogBody::Commit);
         if let Err(e) = self.log.flush(commit) {
+            self.note_log_force_failure();
             return Msg::Err(format!("log force failed: {e}"));
         }
         if let Err(e) = self.apply_updates(updates) {
@@ -1181,6 +1205,7 @@ impl ServerInner {
         let prev = self.append_updates(gtxn, begin, &updates);
         let prepare = self.log.append(gtxn, prev, LogBody::Prepare);
         if self.log.flush(prepare).is_err() {
+            self.note_log_force_failure();
             return Msg::VoteNo;
         }
         self.prepared.lock().insert(
@@ -1203,7 +1228,18 @@ impl ServerInner {
         };
         if commit {
             let c = self.log.append(gtxn, p.last_lsn, LogBody::Commit);
-            let _ = self.log.flush(c);
+            if self.log.flush(c).is_err() {
+                // A participant that cannot force the Commit record must
+                // not pretend phase 2 happened: the branch goes back to
+                // prepared (locks stay held, still in doubt) and the
+                // reaper re-queries the coordinator once the log heals.
+                // The coordinator's decision is already durable, so retry
+                // is safe; swallowing the error here would apply pages
+                // whose commit could be lost by the next crash.
+                self.note_log_force_failure();
+                self.prepared.lock().insert(gtxn, p);
+                return;
+            }
             let _ = self.apply_updates(&p.updates);
             self.log.append(gtxn, c, LogBody::End);
             self.stats.commits.inc();
@@ -1211,7 +1247,12 @@ impl ServerInner {
             let a = self.log.append(gtxn, p.last_lsn, LogBody::Abort);
             let mut target = AreaTarget(Arc::clone(&self.areas));
             let _ = undo_transactions(&self.log, vec![(gtxn, a)], &mut target);
-            let _ = self.log.flush_all();
+            if self.log.flush_all().is_err() {
+                // Safe to continue — presumed abort means a lost Abort
+                // record re-aborts on recovery — but the failure counts
+                // toward the read-only threshold instead of vanishing.
+                self.note_log_force_failure();
+            }
             self.stats.aborts.inc();
         }
         // Release the in-doubt page locks, if recovery took them.
@@ -1253,6 +1294,7 @@ impl ServerInner {
         if self.log.flush(l).is_err() {
             // The round dies with no durable decision; once it is
             // deregistered, presumed abort legitimately applies.
+            self.note_log_force_failure();
             self.coordinating.lock().remove(&gtxn);
             return Msg::Err("coordinator log force failed".into());
         }

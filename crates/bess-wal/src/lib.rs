@@ -44,7 +44,10 @@ mod record;
 mod recovery;
 
 pub use enc::{checksum, DecodeError};
-pub use log::{LogIter, LogManager, WalError, WalResult, WalStats, WalStatsSnapshot, LOG_START};
+pub use log::{
+    ForceHook, ForcePoint, GroupCommitConfig, LogIter, LogManager, WalError, WalResult, WalStats,
+    WalStatsSnapshot, LOG_START,
+};
 pub use lsn::Lsn;
 pub use record::{LogBody, LogPageId, LogRecord, TxnStatus};
 pub use recovery::{

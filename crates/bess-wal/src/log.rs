@@ -9,11 +9,14 @@
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bess_lock::order::{OrderedMutex, OrderedRwLock, Rank};
 use bess_obs::{Counter, Group, LatencyHistogram, Registry};
 use bess_storage::fault::FaultDisk;
+use parking_lot::{Condvar, Mutex};
 
 use crate::enc::checksum;
 use crate::lsn::Lsn;
@@ -60,13 +63,26 @@ impl From<std::io::Error> for WalError {
 pub type WalResult<T> = Result<T, WalError>;
 
 enum LogBackend {
-    Mem(OrderedRwLock<Vec<u8>>),
+    Mem {
+        bytes: OrderedRwLock<Vec<u8>>,
+        /// Simulated device-sync latency. Zero for plain in-memory logs;
+        /// benchmarks use a nonzero delay as an fsync-cost proxy so group
+        /// commit's sync amortization is measurable without a real disk.
+        sync_delay: Duration,
+    },
     File(File),
     Faulty(Arc<FaultDisk>),
 }
 
 fn mem_backend(bytes: Vec<u8>) -> LogBackend {
-    LogBackend::Mem(OrderedRwLock::new(Rank::WalBackendMem, "wal.backend.mem", bytes))
+    mem_backend_slow(bytes, Duration::ZERO)
+}
+
+fn mem_backend_slow(bytes: Vec<u8>, sync_delay: Duration) -> LogBackend {
+    LogBackend::Mem {
+        bytes: OrderedRwLock::new(Rank::WalBackendMem, "wal.backend.mem", bytes),
+        sync_delay,
+    }
 }
 
 /// Little-endian `u32` from the first four bytes of `b`; shorter input is
@@ -111,7 +127,7 @@ where
 impl LogBackend {
     fn len(&self) -> WalResult<u64> {
         match self {
-            LogBackend::Mem(v) => Ok(v.read().len() as u64),
+            LogBackend::Mem { bytes, .. } => Ok(bytes.read().len() as u64),
             LogBackend::File(f) => Ok(f.metadata()?.len()),
             LogBackend::Faulty(d) => Ok(d.len()),
         }
@@ -119,8 +135,8 @@ impl LogBackend {
 
     fn read_at(&self, buf: &mut [u8], offset: u64) -> WalResult<usize> {
         match self {
-            LogBackend::Mem(v) => {
-                let v = v.read();
+            LogBackend::Mem { bytes, .. } => {
+                let v = bytes.read();
                 if offset >= v.len() as u64 {
                     return Ok(0);
                 }
@@ -136,8 +152,8 @@ impl LogBackend {
 
     fn write_at(&self, data: &[u8], offset: u64) -> WalResult<()> {
         match self {
-            LogBackend::Mem(v) => {
-                let mut v = v.write();
+            LogBackend::Mem { bytes, .. } => {
+                let mut v = bytes.write();
                 let end = offset as usize + data.len();
                 if v.len() < end {
                     v.resize(end, 0);
@@ -158,7 +174,12 @@ impl LogBackend {
 
     fn sync(&self) -> WalResult<()> {
         match self {
-            LogBackend::Mem(_) => Ok(()),
+            LogBackend::Mem { sync_delay, .. } => {
+                if !sync_delay.is_zero() {
+                    std::thread::sleep(*sync_delay);
+                }
+                Ok(())
+            }
             LogBackend::File(f) => {
                 f.sync_data()?;
                 Ok(())
@@ -172,8 +193,14 @@ impl LogBackend {
 }
 
 struct LogState {
-    /// Framed bytes of records not yet forced.
+    /// Framed bytes of records not yet forced: the *active* buffer of the
+    /// double-buffered tail. Appends always land here.
     tail: Vec<u8>,
+    /// The swapped-out buffer a group-commit leader is writing right now
+    /// (`Some` exactly while a force is in flight). Its bytes start at
+    /// `flushed_lsn`; keeping them here lets `read_record_at` serve
+    /// in-flight records while the device works.
+    flushing: Option<Arc<Vec<u8>>>,
     /// LSN the next record will receive.
     next_lsn: u64,
     /// Everything below this byte offset is durable.
@@ -181,6 +208,87 @@ struct LogState {
     /// LSN of the last checkpoint's `CheckpointBegin`, or null.
     master: Lsn,
 }
+
+/// Tuning for the group-commit log force (DESIGN.md §13).
+///
+/// With grouping enabled, concurrent [`LogManager::flush`] calls form a
+/// *commit group*: one leader performs a single `write` + `sync` for every
+/// member. `max_wait` optionally holds the leader back so late committers
+/// can pile in; `max_group_bytes` releases it early once the batch is big
+/// enough.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Grouping on/off. Off reproduces per-commit forcing — one
+    /// write + sync per `flush` call, serialized under the state lock —
+    /// kept as the E21 ablation baseline and as an escape hatch.
+    pub enabled: bool,
+    /// A gathering leader forces immediately once the active buffer holds
+    /// this many bytes.
+    pub max_group_bytes: usize,
+    /// How long a leader may wait for more committers before forcing.
+    /// Zero (the default) adds no commit latency: batching still emerges
+    /// whenever a force is already in flight, because arrivals during the
+    /// device sync share the next leader's write.
+    pub max_wait: Duration,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig {
+            enabled: true,
+            max_group_bytes: 256 << 10,
+            max_wait: Duration::ZERO,
+        }
+    }
+}
+
+impl GroupCommitConfig {
+    /// Per-commit forcing (no grouping); the E21 baseline.
+    pub fn disabled() -> Self {
+        GroupCommitConfig {
+            enabled: false,
+            ..GroupCommitConfig::default()
+        }
+    }
+}
+
+/// Group-commit coordination, under its own lock (rank `WalGroup`, *below*
+/// `WalLog`: the leader holds this while taking the state lock to swap
+/// buffers).
+struct GroupState {
+    cfg: GroupCommitConfig,
+    /// A leader is between claiming the round and waking its group.
+    force_in_progress: bool,
+    /// Exclusive end (LSN) of the in-flight group. `u64::MAX` while the
+    /// leader is still gathering — everything appended before the swap
+    /// will be covered, so any waiter arriving in that window may join.
+    force_upto: u64,
+    /// Completed forces, success or failure. A waiter snapshots this when
+    /// it joins a group and matches it against `failed` after wakeup.
+    generation: u64,
+    /// Generation and message of the most recent failed force. A failed
+    /// sync must fail **every** member of its group — durability is never
+    /// acked on the strength of a force that did not finish.
+    failed: Option<(u64, String)>,
+    /// Flush calls riding the in-flight group, leader included.
+    members: u64,
+}
+
+/// Labelled points inside a group force where crash tests may intervene
+/// (see [`LogManager::set_force_hook`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForcePoint {
+    /// The leader swapped buffers and released every lock, but has not
+    /// written or synced yet. A crash here loses the whole group.
+    AfterSwap,
+    /// The device sync finished, but `flushed_lsn` is not yet published
+    /// and no waiter has been woken. A crash here leaves the group
+    /// durable yet unacknowledged.
+    AfterSync,
+}
+
+/// A test hook called at [`ForcePoint`]s with no log locks held.
+pub type ForceHook = Box<dyn Fn(ForcePoint) + Send + Sync>;
 
 /// Counters kept by the log manager — [`bess_obs`] handles registered
 /// under the `wal.` prefix of [`LogManager::metrics`].
@@ -194,6 +302,11 @@ pub struct WalStats {
     pub flushes: Counter,
     /// Records read back for undo/recovery (`wal.reads`).
     pub reads: Counter,
+    /// Commit groups led — one device sync each (`wal.group.leaders`).
+    pub group_leaders: Counter,
+    /// Flush calls that rode another thread's force instead of syncing
+    /// themselves (`wal.group.followers`).
+    pub group_followers: Counter,
 }
 
 impl WalStats {
@@ -203,6 +316,8 @@ impl WalStats {
             bytes_appended: group.counter("append_bytes"),
             flushes: group.counter("flushes"),
             reads: group.counter("reads"),
+            group_leaders: group.counter("group.leaders"),
+            group_followers: group.counter("group.followers"),
         }
     }
 
@@ -238,10 +353,25 @@ pub struct WalStatsSnapshot {
 pub struct LogManager {
     backend: LogBackend,
     state: OrderedMutex<LogState>,
+    /// Group-commit coordination; rank `WalGroup` (below `WalLog`).
+    gc: OrderedMutex<GroupState>,
+    /// Wakes a group's followers when its force completes, and a gathering
+    /// leader when the tail reaches `max_group_bytes`.
+    group_cv: Condvar,
+    /// True while a leader sits in its gather window. Mirrored out of
+    /// `GroupState` so `append` — which holds the higher-ranked state
+    /// lock — can decide to wake the leader without taking `gc`.
+    gather_active: AtomicBool,
+    /// Mirror of `GroupCommitConfig::max_group_bytes`, same reason.
+    gather_bytes: AtomicUsize,
+    /// Crash-test seam: called at labelled force points, no locks held.
+    force_hook: Mutex<Option<ForceHook>>,
     group: Group,
     stats: WalStats,
     append_ns: LatencyHistogram,
     flush_ns: LatencyHistogram,
+    /// Flush calls served per device sync (`wal.group.size`).
+    group_size: LatencyHistogram,
 }
 
 fn log_parts(backend: LogBackend, state: OrderedMutex<LogState>) -> LogManager {
@@ -249,13 +379,32 @@ fn log_parts(backend: LogBackend, state: OrderedMutex<LogState>) -> LogManager {
     let stats = WalStats::new(&group);
     let append_ns = group.histogram("append.ns");
     let flush_ns = group.histogram("flush.ns");
+    let group_size = group.histogram("group.size");
+    let cfg = GroupCommitConfig::default();
     LogManager {
         backend,
         state,
+        gc: OrderedMutex::new(
+            Rank::WalGroup,
+            "wal.group",
+            GroupState {
+                cfg,
+                force_in_progress: false,
+                force_upto: 0,
+                generation: 0,
+                failed: None,
+                members: 0,
+            },
+        ),
+        group_cv: Condvar::new(),
+        gather_active: AtomicBool::new(false),
+        gather_bytes: AtomicUsize::new(cfg.max_group_bytes),
+        force_hook: Mutex::new(None),
         group,
         stats,
         append_ns,
         flush_ns,
+        group_size,
     }
 }
 
@@ -265,6 +414,7 @@ fn log_state(next_lsn: u64, flushed_lsn: u64, master: Lsn) -> OrderedMutex<LogSt
         "wal.state",
         LogState {
             tail: Vec::new(),
+            flushing: None,
             next_lsn,
             flushed_lsn,
             master,
@@ -281,6 +431,20 @@ impl LogManager {
         );
         // Writes to the Mem backend are infallible (a Vec resize), so this
         // cannot panic; file/faulty constructors return the error instead.
+        // LINT: allow(panic) — mem backend writes are infallible
+        mgr.write_header(Lsn::NULL).expect("mem header");
+        mgr
+    }
+
+    /// An in-memory log whose `sync` sleeps for `sync_delay` — an fsync
+    /// latency proxy for benchmarks (E21): group commit's value is sync
+    /// amortization, which a zero-cost sync would hide entirely.
+    pub fn create_mem_slow(sync_delay: Duration) -> Self {
+        let mgr = log_parts(
+            mem_backend_slow(Vec::new(), sync_delay),
+            log_state(LOG_START.0, LOG_START.0, Lsn::NULL),
+        );
+        // Same infallible-Mem-write argument as `create_mem`.
         // LINT: allow(panic) — mem backend writes are infallible
         mgr.write_header(Lsn::NULL).expect("mem header");
         mgr
@@ -362,7 +526,7 @@ impl LogManager {
     /// that were flushed. Memory-backed logs only (file-backed logs are
     /// crash-tested by reopening the file).
     pub fn simulate_crash(&self) -> WalResult<Self> {
-        let LogBackend::Mem(bytes) = &self.backend else {
+        let LogBackend::Mem { bytes, .. } = &self.backend else {
             return Err(WalError::Corrupt(
                 "simulate_crash only supported on memory logs".into(),
             ));
@@ -387,9 +551,37 @@ impl LogManager {
     }
 
     /// The log's metric group (`wal.*`), including `wal.append.ns` (sampled
-    /// 1-in-16) and `wal.flush.ns` histograms.
+    /// 1-in-16), `wal.flush.ns`, and `wal.group.size` histograms.
     pub fn metrics(&self) -> &Group {
         &self.group
+    }
+
+    /// Replaces the group-commit tuning. Normally set once at startup
+    /// (servers and sessions plumb it from their own config structs);
+    /// switching modes is safe at any time, but takes effect per `flush`
+    /// call.
+    pub fn set_group_commit(&self, cfg: GroupCommitConfig) {
+        self.gather_bytes.store(cfg.max_group_bytes, Ordering::Relaxed);
+        self.gc.lock().cfg = cfg;
+    }
+
+    /// The current group-commit tuning.
+    pub fn group_commit(&self) -> GroupCommitConfig {
+        self.gc.lock().cfg
+    }
+
+    /// Installs (or clears) a hook called at labelled points of a group
+    /// force, with no log locks held. Crash tests use it to kill the
+    /// backing disk at exact protocol steps (between swap and sync, or
+    /// after sync but before waiters wake).
+    pub fn set_force_hook(&self, hook: Option<ForceHook>) {
+        *self.force_hook.lock() = hook;
+    }
+
+    fn at_force_point(&self, p: ForcePoint) {
+        if let Some(h) = self.force_hook.lock().as_ref() {
+            h(p);
+        }
     }
 
     /// Appends a record, returning its LSN. The record is *not* durable
@@ -409,40 +601,212 @@ impl LogManager {
         let framed = rec.frame();
         state.next_lsn += framed.len() as u64;
         state.tail.extend_from_slice(&framed);
+        let tail_len = state.tail.len();
+        drop(state);
         self.stats.bytes_appended.add(framed.len() as u64);
+        // A leader waiting out its gather window is woken early once the
+        // batch is big enough. (Atomics, not `gc`: append holds the
+        // higher-ranked state lock just above, and this is the hot path.)
+        if self.gather_active.load(Ordering::Relaxed)
+            && tail_len >= self.gather_bytes.load(Ordering::Relaxed)
+        {
+            self.group_cv.notify_all();
+        }
         lsn
     }
 
     /// Forces the log so every record with `lsn <= upto` is durable.
+    ///
+    /// Concurrent callers form a *commit group*: the first becomes the
+    /// leader, swaps the tail buffer out of the append path, and performs
+    /// one `write` + `sync` on behalf of everyone; the rest wait on a
+    /// condvar and share the outcome. An I/O error fails every member of
+    /// the group — durability is never acknowledged spuriously.
     pub fn flush(&self, upto: Lsn) -> WalResult<()> {
+        self.force(Some(upto.0))
+    }
+
+    /// Forces everything appended so far.
+    pub fn flush_all(&self) -> WalResult<()> {
+        self.force(None)
+    }
+
+    /// The force protocol. `upto = None` means "everything appended so
+    /// far" (`flush_all`), resolved under the same state acquisition as
+    /// the first watermark check.
+    fn force(&self, upto: Option<u64>) -> WalResult<()> {
+        if !self.group_commit().enabled {
+            return self.force_solo(upto);
+        }
+        // Resolve the target and take the fast exit in one state
+        // acquisition.
+        let want = {
+            let state = self.state.lock();
+            let want = upto.unwrap_or(state.next_lsn);
+            if want < state.flushed_lsn
+                || (state.tail.is_empty() && state.flushing.is_none())
+            {
+                return Ok(());
+            }
+            want
+        };
+        // Generation of the in-flight group this call joined, if any.
+        let mut joined: Option<u64> = None;
+        let mut counted_follower = false;
+        loop {
+            let mut g = self.gc.lock();
+            // Re-check the watermark under `gc`, so the check and the
+            // join-or-lead decision are one atomic step.
+            {
+                let state = self.state.lock();
+                if want < state.flushed_lsn
+                    || (state.tail.is_empty() && state.flushing.is_none())
+                {
+                    return Ok(());
+                }
+            }
+            if g.force_in_progress {
+                // Follower. Ride the in-flight group if it covers this
+                // call's bytes (it always does when the leader is still
+                // gathering); otherwise just wait for the next round.
+                let in_group = want < g.force_upto;
+                if in_group && joined != Some(g.generation) {
+                    joined = Some(g.generation);
+                    g.members += 1;
+                    if !counted_follower {
+                        self.stats.group_followers.inc();
+                        counted_follower = true;
+                    }
+                }
+                self.group_cv.wait(g.raw());
+                // A failed force fails every member of its group.
+                if let (Some(mine), Some((gen, msg))) = (joined, g.failed.as_ref()) {
+                    if mine == *gen {
+                        return Err(WalError::Io(std::io::Error::other(format!(
+                            "group force failed: {msg}"
+                        ))));
+                    }
+                }
+                continue;
+            }
+
+            // Leader. Claim the round; waiters arriving from here on
+            // join this group (force_upto = MAX: everything appended
+            // before the swap below will be covered).
+            g.force_in_progress = true;
+            g.force_upto = u64::MAX;
+            g.members = 1;
+            let my_gen = g.generation;
+            let cfg = g.cfg;
+            self.stats.group_leaders.inc();
+
+            // Optional gather window: wait for more committers, leave
+            // early once the batch reaches max_group_bytes. The condvar
+            // wait releases `gc`, so joiners get in.
+            if !cfg.max_wait.is_zero() {
+                let deadline = Instant::now() + cfg.max_wait;
+                self.gather_active.store(true, Ordering::Relaxed);
+                loop {
+                    if self.state.lock().tail.len() >= cfg.max_group_bytes {
+                        break;
+                    }
+                    if self.group_cv.wait_until(g.raw(), deadline).timed_out() {
+                        break;
+                    }
+                }
+                self.gather_active.store(false, Ordering::Relaxed);
+            }
+
+            // Swap: the group's bytes leave the append path but stay
+            // readable through `LogState::flushing` until durable.
+            let (offset, target, buf) = {
+                let mut state = self.state.lock();
+                let offset = state.flushed_lsn;
+                let target = state.next_lsn;
+                let buf = Arc::new(std::mem::take(&mut state.tail));
+                state.flushing = Some(Arc::clone(&buf));
+                (offset, target, buf)
+            };
+            g.force_upto = target;
+            drop(g);
+
+            self.at_force_point(ForcePoint::AfterSwap);
+
+            // One write + one sync for the whole group, no locks held:
+            // appends and new flush arrivals proceed while the device
+            // works.
+            let timer = self.flush_ns.start();
+            let res = self
+                .backend
+                .write_at(&buf, offset)
+                .and_then(|()| self.backend.sync());
+            drop(timer);
+            if res.is_ok() {
+                self.at_force_point(ForcePoint::AfterSync);
+            }
+
+            // Publish the outcome and wake the group.
+            let mut g = self.gc.lock();
+            {
+                let mut state = self.state.lock();
+                state.flushing = None;
+                match &res {
+                    Ok(()) => {
+                        state.flushed_lsn = target;
+                        self.stats.flushes.inc();
+                        self.group_size.record(g.members);
+                    }
+                    Err(e) => {
+                        // Failed force: splice the group's bytes back in
+                        // front of the tail. The in-memory log is exactly
+                        // as if the force never started — no hole, and a
+                        // later force (or recovery from the durable
+                        // prefix) stays consistent.
+                        let mut restored = match Arc::try_unwrap(buf) {
+                            Ok(v) => v,
+                            Err(shared) => (*shared).clone(),
+                        };
+                        restored.extend_from_slice(&state.tail);
+                        state.tail = restored;
+                        g.failed = Some((my_gen, e.to_string()));
+                    }
+                }
+            }
+            g.generation += 1;
+            g.force_in_progress = false;
+            g.members = 0;
+            drop(g);
+            self.group_cv.notify_all();
+            return res;
+        }
+    }
+
+    /// Per-commit forcing (group commit disabled): one write + sync per
+    /// call, with the state lock held across the I/O so appends wait.
+    fn force_solo(&self, upto: Option<u64>) -> WalResult<()> {
         let mut state = self.state.lock();
-        if upto.0 < state.flushed_lsn && !state.tail.is_empty() {
-            // Records below upto are already durable, nothing to do unless
-            // upto is in the tail.
-        }
-        if upto.0 < state.flushed_lsn {
-            return Ok(());
-        }
-        if state.tail.is_empty() {
+        let upto = upto.unwrap_or(state.next_lsn);
+        if upto < state.flushed_lsn || state.tail.is_empty() {
             return Ok(());
         }
         let offset = state.flushed_lsn;
         let tail = std::mem::take(&mut state.tail);
         state.flushed_lsn = state.next_lsn;
-        // Hold the state lock across the write: appends must wait so tail
-        // bytes land in order. (Fine for this simulator; a production log
-        // would double-buffer.)
         let _timer = self.flush_ns.start();
-        self.backend.write_at(&tail, offset)?;
-        self.backend.sync()?;
+        if let Err(e) = self
+            .backend
+            .write_at(&tail, offset)
+            .and_then(|()| self.backend.sync())
+        {
+            // Nothing was acknowledged; restore the tail (no appends
+            // could interleave — the state lock is held) so a retry can
+            // still force these bytes.
+            state.flushed_lsn = offset;
+            state.tail = tail;
+            return Err(e);
+        }
         self.stats.flushes.inc();
         Ok(())
-    }
-
-    /// Forces everything appended so far.
-    pub fn flush_all(&self) -> WalResult<()> {
-        let upto = Lsn(self.state.lock().next_lsn);
-        self.flush(upto)
     }
 
     /// The LSN below which all records are durable.
@@ -473,27 +837,40 @@ impl LogManager {
     /// corrupt record begins.
     pub fn read_record_at(&self, lsn: Lsn) -> WalResult<Option<LogRecord>> {
         self.stats.reads.inc();
-        let (flushed, next) = {
-            let state = self.state.lock();
-            (state.flushed_lsn, state.next_lsn)
-        };
+        let next = self.state.lock().next_lsn;
         if lsn.0 >= next {
             return Ok(None);
         }
         let read_bytes = |offset: u64, buf: &mut [u8]| -> WalResult<usize> {
-            if offset >= flushed {
-                // In the tail.
+            {
                 let state = self.state.lock();
-                let tail_off = (offset - state.flushed_lsn) as usize;
-                if tail_off >= state.tail.len() {
-                    return Ok(0);
+                if offset >= state.flushed_lsn {
+                    // In memory: the in-flight group (if a force is
+                    // running) followed by the active tail, addressed as
+                    // one virtual byte string starting at `flushed_lsn`.
+                    let mut skip = (offset - state.flushed_lsn) as usize;
+                    let flushing: &[u8] = match &state.flushing {
+                        Some(b) => b,
+                        None => &[],
+                    };
+                    let mut done = 0;
+                    for chunk in [flushing, state.tail.as_slice()] {
+                        if done == buf.len() {
+                            break;
+                        }
+                        if skip >= chunk.len() {
+                            skip -= chunk.len();
+                            continue;
+                        }
+                        let n = (chunk.len() - skip).min(buf.len() - done);
+                        buf[done..done + n].copy_from_slice(&chunk[skip..skip + n]);
+                        done += n;
+                        skip = 0;
+                    }
+                    return Ok(done);
                 }
-                let n = buf.len().min(state.tail.len() - tail_off);
-                buf[..n].copy_from_slice(&state.tail[tail_off..tail_off + n]);
-                Ok(n)
-            } else {
-                self.backend.read_at(buf, offset)
             }
+            self.backend.read_at(buf, offset)
         };
         let mut head = [0u8; 12];
         if read_bytes(lsn.0, &mut head)? < 12 {

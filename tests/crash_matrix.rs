@@ -771,3 +771,208 @@ fn repeated_crash_mid_undo_converges() {
     assert_eq!(report.losers, vec![6]);
     assert_eq!(report.undone, 1, "t6 rolled back exactly once");
 }
+
+// ---------------------------------------------------------------------------
+// Group-commit fault points (PR 5): a concurrent commit workload crashed at
+// exact steps of the leader's force protocol, via the WAL's force hook.
+// Group commit must be crash-equivalent to per-commit forcing: an
+// acknowledged flush is always in the durable image, and a failed or
+// killed force never acknowledges anyone.
+// ---------------------------------------------------------------------------
+
+/// Spawns `n` committer threads against `log`; each appends
+/// Begin/Update/Commit for its own transaction, forces the commit, and
+/// appends End on success. Returns each thread's `(txn, flush result)`.
+fn concurrent_commits(
+    log: &Arc<LogManager>,
+    n: u64,
+) -> Vec<(u64, Result<(), String>)> {
+    let barrier = Arc::new(std::sync::Barrier::new(n as usize));
+    let workers: Vec<_> = (1..=n)
+        .map(|txn| {
+            let log = Arc::clone(log);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let b = log.append(txn, Lsn::NULL, LogBody::Begin);
+                let u = log.append(
+                    txn,
+                    b,
+                    LogBody::Update {
+                        page: LogPageId { area: 0, page: txn },
+                        offset: 0,
+                        before: vec![0; 8],
+                        after: vec![txn as u8; 8],
+                    },
+                );
+                let c = log.append(txn, u, LogBody::Commit);
+                let res = log.flush(c).map_err(|e| e.to_string());
+                if res.is_ok() {
+                    log.append(txn, c, LogBody::End);
+                }
+                (txn, res)
+            })
+        })
+        .collect();
+    workers.into_iter().map(|w| w.join().unwrap()).collect()
+}
+
+/// Transactions with a durable Commit record in the reopened log.
+fn durable_committers(log: &LogManager) -> BTreeSet<u64> {
+    log.iter()
+        .filter(|r| r.body == LogBody::Commit)
+        .map(|r| r.txn)
+        .collect()
+}
+
+/// Crash between the buffer swap and the device sync: the group's bytes
+/// never reach the durable image, so every member must be failed and the
+/// reopened log must contain only what was durable before — exactly the
+/// per-commit-forcing outcome of dying before fsync returns.
+#[test]
+fn group_commit_crash_between_swap_and_sync() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let disk = FaultDisk::new(FaultPlan::unarmed());
+    let log = Arc::new(LogManager::create_faulty(Arc::clone(&disk)).unwrap());
+    log.set_master(Lsn::NULL).unwrap();
+
+    // One transaction committed durably before the fault point.
+    let b = log.append(100, Lsn::NULL, LogBody::Begin);
+    let c = log.append(100, b, LogBody::Commit);
+    log.flush(c).unwrap();
+
+    // The next force dies after swapping buffers, before writing: the
+    // "process" is killed mid-protocol.
+    let fired = Arc::new(AtomicBool::new(false));
+    {
+        let disk = Arc::clone(&disk);
+        let fired = Arc::clone(&fired);
+        log.set_force_hook(Some(Box::new(move |p| {
+            if p == bess_wal::ForcePoint::AfterSwap
+                && !fired.swap(true, Ordering::Relaxed)
+            {
+                disk.crash();
+            }
+        })));
+    }
+
+    let results = concurrent_commits(&log, 4);
+    assert!(fired.load(Ordering::Relaxed), "fault point never reached");
+    // Every committer died with the group (later groups hit the poisoned
+    // disk); nobody was acked.
+    for (txn, res) in &results {
+        assert!(res.is_err(), "txn {txn} acked by a force that never synced");
+    }
+
+    // Reopen: only the pre-fault commit survived, and recovery over the
+    // durable prefix is clean and idempotent.
+    disk.reopen(FaultPlan::unarmed());
+    let log2 = LogManager::open_faulty(Arc::clone(&disk)).unwrap();
+    assert_eq!(
+        durable_committers(&log2),
+        BTreeSet::from([100]),
+        "the killed group must be absent from the durable image"
+    );
+    let set = Arc::new(AreaSet::new()); // updates target no mounted area
+    let report = recover_embedded(&log2, &set).unwrap();
+    assert!(report.in_doubt.is_empty());
+    let report2 = recover_embedded(&log2, &set).unwrap();
+    assert!(report2.losers.is_empty(), "recovery idempotent");
+}
+
+/// Crash after the sync but before followers wake: the group *is* durable
+/// (the sync completed) even though, had the process died there, no
+/// client would have seen the ack. Recovery must honor the durable
+/// Commit records exactly once; commits whose bytes missed that final
+/// sync must not be acked and must be absent after the crash.
+#[test]
+fn group_commit_crash_after_sync_before_wakeup() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let disk = FaultDisk::new(FaultPlan::unarmed());
+    let log = Arc::new(LogManager::create_faulty(Arc::clone(&disk)).unwrap());
+    log.set_master(Lsn::NULL).unwrap();
+
+    // The first completed sync is also the disk's last: the crash lands
+    // after the durable image caught up, before any waiter is woken.
+    let fired = Arc::new(AtomicBool::new(false));
+    {
+        let disk = Arc::clone(&disk);
+        let fired = Arc::clone(&fired);
+        log.set_force_hook(Some(Box::new(move |p| {
+            if p == bess_wal::ForcePoint::AfterSync
+                && !fired.swap(true, Ordering::Relaxed)
+            {
+                disk.crash();
+            }
+        })));
+    }
+
+    let results = concurrent_commits(&log, 4);
+    assert!(fired.load(Ordering::Relaxed), "fault point never reached");
+    let acked: BTreeSet<u64> = results
+        .iter()
+        .filter(|(_, r)| r.is_ok())
+        .map(|(t, _)| *t)
+        .collect();
+    assert!(!acked.is_empty(), "the synced group's members were acked");
+
+    // Crash-equivalence both ways: acked == durable, exactly.
+    disk.reopen(FaultPlan::unarmed());
+    let log2 = LogManager::open_faulty(Arc::clone(&disk)).unwrap();
+    assert_eq!(
+        durable_committers(&log2),
+        acked,
+        "durable commits must be exactly the acknowledged ones"
+    );
+    let set = Arc::new(AreaSet::new());
+    let report = recover_embedded(&log2, &set).unwrap();
+    for txn in &acked {
+        assert!(
+            !report.losers.contains(txn),
+            "acked txn {txn} rolled back by recovery"
+        );
+    }
+    let report2 = recover_embedded(&log2, &set).unwrap();
+    assert!(report2.losers.is_empty(), "recovery idempotent");
+}
+
+/// The full write-index sweep over a *concurrent* group-commit workload:
+/// arm a kill at each log write. Whatever interleaving the scheduler
+/// produced, acked commits must survive the crash and unacked ones whose
+/// group died must not leak an ack.
+#[test]
+fn group_commit_concurrent_write_crash_sweep() {
+    for nth in 0..4 {
+        let disk = FaultDisk::new(FaultPlan::unarmed());
+        let log = Arc::new(LogManager::create_faulty(Arc::clone(&disk)).unwrap());
+        log.set_master(Lsn::NULL).unwrap();
+        disk.arm(FaultPlan::armed(OpClass::Write, nth, FaultKind::Crash));
+
+        let results = concurrent_commits(&log, 6);
+        let acked: BTreeSet<u64> = results
+            .iter()
+            .filter(|(_, r)| r.is_ok())
+            .map(|(t, _)| *t)
+            .collect();
+
+        disk.reopen(FaultPlan::unarmed());
+        let log2 = LogManager::open_faulty(Arc::clone(&disk)).unwrap();
+        let durable = durable_committers(&log2);
+        // Acks imply durability; a commit killed before its sync is not
+        // durable and must not have been acked.
+        for txn in &acked {
+            assert!(
+                durable.contains(txn),
+                "nth={nth}: txn {txn} acked but not durable"
+            );
+        }
+        for txn in &durable {
+            // The converse need not hold (a group can be durable yet
+            // unacked if the crash raced the wakeup), but any durable
+            // commit must at least have been submitted.
+            assert!(*txn >= 1 && *txn <= 6);
+        }
+    }
+}

@@ -61,6 +61,10 @@ const EMBEDDED_GOLDEN: &[&str] = &[
     "wal.append_bytes",
     "wal.flushes",
     "wal.reads",
+    // Group commit (PR 5): the batched log force.
+    "wal.group.leaders",
+    "wal.group.followers",
+    "wal.group.size",
     // LockStats (bess-lock manager)
     "lock.requests",
     "lock.immediate",
@@ -89,9 +93,11 @@ const SERVER_GOLDEN: &[&str] = &[
     "server.dedup_hits",
     "server.drain_rejections",
     "server.read_only_rejections",
+    "server.log_force_failures",
     // The server's adopted subsystems.
     "lock.requests",
     "wal.appends",
+    "wal.group.size",
     "storage.a0.page_reads",
 ];
 
