@@ -120,6 +120,7 @@ fn main() {
     e20_obs_overhead(r);
     e21_group_commit(r);
     hot_path_latencies(r);
+    e22_scenarios(r);
     let json = report.to_json();
     std::fs::write("BENCH_report.json", &json).expect("write BENCH_report.json");
     println!("\nreport complete ({} experiment sections in BENCH_report.json).",
@@ -1103,6 +1104,35 @@ fn e21_group_commit(report: &mut JsonReport) {
 // Hot-path latency summary: drive each instrumented path briefly, merge the
 // registries' snapshots, and print p50/p99 for every `*.ns` histogram.
 // ---------------------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// E22 — the production workload harness (smoke profile): scenario-diverse
+// load with SLO verdicts. `DESIGN.md` §14 describes the harness; the
+// standalone `scenarios` binary runs the full profile and gates CI.
+// ---------------------------------------------------------------------------
+fn e22_scenarios(report: &mut JsonReport) {
+    use bess_bench::scenario::{e22_entries, run_all, Profile, ScenarioCfg};
+
+    println!("## E22 — workload harness: scenario SLO verdicts (smoke profile)\n");
+    let cfg = ScenarioCfg::new(Profile::Smoke);
+    let results = run_all(&cfg);
+    println!("| scenario | ops | wall ms | digest | verdict |");
+    println!("|---|---|---|---|---|");
+    for r in &results {
+        println!(
+            "| {} | {} | {} | {:016x} | {} |",
+            r.name,
+            r.ops,
+            r.wall_ms,
+            r.digest,
+            r.verdict()
+        );
+    }
+    println!();
+    for (key, value) in e22_entries(&cfg, &results) {
+        report.raw("E22", &key, value);
+    }
+}
+
 fn hot_path_latencies(report: &mut JsonReport) {
     use bess_cache::{GetOutcome, SharedCache};
     use bess_lock::{LockManager, LockName, TxnId};

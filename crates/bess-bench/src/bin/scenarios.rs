@@ -1,0 +1,86 @@
+//! The workload-harness CLI (§E22): runs the scenario library and gates on
+//! SLO verdicts.
+//!
+//! ```text
+//! cargo run --release -p bess-bench --bin scenarios -- [--profile smoke|full]
+//!                                                      [--seed N] [--only NAME]
+//! ```
+//!
+//! Prints a per-scenario table plus every SLO check, then the raw `§E22`
+//! JSON block. Exits non-zero when any scenario's verdict is `fail`, which
+//! is what lets CI run `--profile smoke` as a regression gate.
+
+use bess_bench::scenario::{
+    e22_entries, render_e22, run_all, run_one, Profile, ScenarioCfg, SCENARIO_NAMES,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenarios [--profile smoke|full] [--seed N] [--only NAME]\n\
+         scenarios: {}",
+        SCENARIO_NAMES.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut profile = Profile::Smoke;
+    let mut seed = 42u64;
+    let mut only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => match args.next().as_deref().and_then(Profile::parse) {
+                Some(p) => profile = p,
+                None => usage(),
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => usage(),
+            },
+            "--only" => match args.next() {
+                Some(n) if SCENARIO_NAMES.contains(&n.as_str()) => only = Some(n),
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let cfg = ScenarioCfg { profile, seed };
+    println!(
+        "# BeSS workload harness — profile {}, seed {seed}\n",
+        profile.name()
+    );
+
+    let results = match &only {
+        Some(name) => vec![run_one(name, &cfg).unwrap()],
+        None => run_all(&cfg),
+    };
+
+    println!("| scenario | ops | wall ms | digest | verdict |");
+    println!("|---|---|---|---|---|");
+    for r in &results {
+        println!(
+            "| {} | {} | {} | {:016x} | {} |",
+            r.name, r.ops, r.wall_ms, r.digest, r.verdict()
+        );
+    }
+    println!();
+    println!("| scenario | check | measured | limit | verdict |");
+    println!("|---|---|---|---|---|");
+    for r in &results {
+        for c in &r.checks {
+            println!(
+                "| {} | {}.{} | {} | {} | {} |",
+                r.name, c.metric, c.quantity, c.measured, c.limit, c.verdict()
+            );
+        }
+    }
+    println!();
+    println!("{}", render_e22(&e22_entries(&cfg, &results)));
+
+    if results.iter().any(|r| !r.passed()) {
+        eprintln!("\nSLO verdict: FAIL");
+        std::process::exit(1);
+    }
+    println!("\nSLO verdict: pass");
+}

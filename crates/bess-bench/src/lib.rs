@@ -11,6 +11,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod scenario;
+pub mod slo;
+
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -1,0 +1,208 @@
+//! SLO declaration and verdict evaluation for the scenario harness.
+//!
+//! A scenario declares latency objectives against named [`bess_obs`]
+//! histograms (`client.commit.rtt.ns`, `cache.shared.lookup.ns`,
+//! `wal.flush.ns`, …) plus scalar bounds on counters and gauges; after the
+//! run, [`check_histogram`] and [`SloCheck`] turn the measured snapshot
+//! into pass/fail verdicts. Quantiles come from
+//! [`bess_obs::HistogramSnapshot::p50`]/[`p99`](bess_obs::HistogramSnapshot::p99),
+//! which report the *upper bound* of the log bucket holding the rank — a
+//! conservative estimate, so limits here should be set with 2x headroom
+//! over the expected value.
+//!
+//! Verdict stability under a fixed seed is a harness requirement
+//! (ISSUE 6): schedules are deterministic, and limits are set an order of
+//! magnitude above the measured values of a healthy build, so a `fail`
+//! verdict means a real regression (or a starved CI machine), not timing
+//! noise.
+
+use bess_obs::RegistrySnapshot;
+
+/// A latency objective against one histogram: optional p50 and p99
+/// ceilings in nanoseconds.
+#[derive(Clone, Debug)]
+pub struct Slo {
+    /// Histogram name in the merged scenario snapshot.
+    pub metric: String,
+    /// Median ceiling (ns), if declared.
+    pub p50_ns: Option<u64>,
+    /// Tail ceiling (ns), if declared.
+    pub p99_ns: Option<u64>,
+}
+
+impl Slo {
+    /// An SLO on the p99 only.
+    pub fn p99(metric: &str, limit_ns: u64) -> Slo {
+        Slo { metric: metric.to_string(), p50_ns: None, p99_ns: Some(limit_ns) }
+    }
+
+    /// An SLO on both quantiles.
+    pub fn p50_p99(metric: &str, p50_ns: u64, p99_ns: u64) -> Slo {
+        Slo {
+            metric: metric.to_string(),
+            p50_ns: Some(p50_ns),
+            p99_ns: Some(p99_ns),
+        }
+    }
+}
+
+/// One evaluated objective: what was measured, the declared limit, and
+/// the verdict. `quantity` says how `measured` relates to `limit`:
+/// `"p50"`/`"p99"` are histogram quantiles bounded above, `"max"` is a
+/// scalar bounded above, `"min"` a scalar bounded below, and `"samples"`
+/// marks a histogram that recorded nothing (always a failure — a
+/// scenario that measured nothing proves nothing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SloCheck {
+    /// The metric (or derived quantity) the check is about.
+    pub metric: String,
+    /// `"p50"`, `"p99"`, `"max"`, `"min"`, or `"samples"`.
+    pub quantity: &'static str,
+    /// Measured value.
+    pub measured: u64,
+    /// Declared limit.
+    pub limit: u64,
+    /// Whether the objective held.
+    pub pass: bool,
+}
+
+impl SloCheck {
+    /// A scalar bounded above: passes when `measured <= limit`.
+    pub fn at_most(metric: &str, measured: u64, limit: u64) -> SloCheck {
+        SloCheck {
+            metric: metric.to_string(),
+            quantity: "max",
+            measured,
+            limit,
+            pass: measured <= limit,
+        }
+    }
+
+    /// A scalar bounded below: passes when `measured >= limit`.
+    pub fn at_least(metric: &str, measured: u64, limit: u64) -> SloCheck {
+        SloCheck {
+            metric: metric.to_string(),
+            quantity: "min",
+            measured,
+            limit,
+            pass: measured >= limit,
+        }
+    }
+
+    /// Verdict as the string recorded in `§E22`.
+    pub fn verdict(&self) -> &'static str {
+        if self.pass {
+            "pass"
+        } else {
+            "fail"
+        }
+    }
+}
+
+/// Evaluates `slo` against the named histogram in `snap`. A missing or
+/// empty histogram produces a single failing `"samples"` check.
+pub fn check_histogram(snap: &RegistrySnapshot, slo: &Slo) -> Vec<SloCheck> {
+    let Some(h) = snap.histogram(&slo.metric).filter(|h| h.count() > 0) else {
+        return vec![SloCheck {
+            metric: slo.metric.clone(),
+            quantity: "samples",
+            measured: 0,
+            limit: 1,
+            pass: false,
+        }];
+    };
+    let mut out = Vec::new();
+    if let Some(limit) = slo.p50_ns {
+        let measured = h.p50();
+        out.push(SloCheck {
+            metric: slo.metric.clone(),
+            quantity: "p50",
+            measured,
+            limit,
+            pass: measured <= limit,
+        });
+    }
+    if let Some(limit) = slo.p99_ns {
+        let measured = h.p99();
+        out.push(SloCheck {
+            metric: slo.metric.clone(),
+            quantity: "p99",
+            measured,
+            limit,
+            pass: measured <= limit,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bess_obs::Registry;
+
+    /// A registry with one histogram fed the given samples.
+    fn snap_with(samples: &[u64]) -> RegistrySnapshot {
+        let reg = Registry::new();
+        let h = reg.histogram("t.op.ns");
+        for &s in samples {
+            h.record(s);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn meeting_thresholds_passes() {
+        // 99 fast samples and one 1ms outlier: p50 ≈ 1us, p99 ≈ 1ms.
+        let mut samples = vec![1_000u64; 99];
+        samples.push(1_000_000);
+        let snap = snap_with(&samples);
+        let checks =
+            check_histogram(&snap, &Slo::p50_p99("t.op.ns", 10_000, 10_000_000));
+        assert_eq!(checks.len(), 2);
+        assert!(checks.iter().all(|c| c.pass), "{checks:?}");
+        assert_eq!(checks[0].quantity, "p50");
+        assert_eq!(checks[1].quantity, "p99");
+    }
+
+    #[test]
+    fn violating_p99_fails_only_the_tail() {
+        // Median fine, tail blown: 2% of samples at 100ms against a 10ms
+        // p99 ceiling (rank ceil(0.99·100) = 99 lands in the slow bucket).
+        let mut samples = vec![1_000u64; 98];
+        samples.extend([100_000_000, 100_000_000]);
+        let snap = snap_with(&samples);
+        let checks =
+            check_histogram(&snap, &Slo::p50_p99("t.op.ns", 10_000, 10_000_000));
+        assert!(checks[0].pass, "p50 within budget: {checks:?}");
+        assert!(!checks[1].pass, "p99 breach must fail: {checks:?}");
+        assert_eq!(checks[1].verdict(), "fail");
+        assert!(checks[1].measured >= 100_000_000, "conservative upper bound");
+    }
+
+    #[test]
+    fn violating_p50_fails_the_median() {
+        let snap = snap_with(&[5_000_000; 100]);
+        let checks = check_histogram(&snap, &Slo::p50_p99("t.op.ns", 1_000_000, 100_000_000));
+        assert!(!checks[0].pass, "{checks:?}");
+        assert!(checks[1].pass, "{checks:?}");
+    }
+
+    #[test]
+    fn empty_or_missing_histogram_fails_loudly() {
+        let snap = snap_with(&[]);
+        for metric in ["t.op.ns", "no.such.ns"] {
+            let checks = check_histogram(&snap, &Slo::p99(metric, u64::MAX));
+            assert_eq!(checks.len(), 1);
+            assert_eq!(checks[0].quantity, "samples");
+            assert!(!checks[0].pass, "absent data must not pass: {checks:?}");
+        }
+    }
+
+    #[test]
+    fn scalar_bounds() {
+        assert!(SloCheck::at_most("aborts", 3, 10).pass);
+        assert!(!SloCheck::at_most("aborts", 11, 10).pass);
+        assert!(SloCheck::at_least("coordinated", 5, 1).pass);
+        assert!(!SloCheck::at_least("coordinated", 0, 1).pass);
+    }
+}

@@ -732,6 +732,34 @@ impl RegistrySnapshot {
         }
     }
 
+    /// Adds `other` into `self` under `prefix`: counters sum, histograms
+    /// merge bucket-wise, and gauges take `other`'s value. Where
+    /// [`RegistrySnapshot::merge`] composes *disjoint* registries (first
+    /// entry wins on collision), `absorb` aggregates *homologous* ones —
+    /// e.g. rolling the `client.commit.rtt.ns` histograms of many client
+    /// connections into a single fleet-wide distribution.
+    pub fn absorb(&mut self, prefix: &str, other: &RegistrySnapshot) {
+        for (name, v) in &other.entries {
+            let key = join(prefix, name);
+            match self.entries.get_mut(&key) {
+                None => {
+                    self.entries.insert(key, *v);
+                }
+                Some(mine) => {
+                    *mine = match (&*mine, v) {
+                        (MetricValue::Counter(a), MetricValue::Counter(b)) => {
+                            MetricValue::Counter(a.saturating_add(*b))
+                        }
+                        (MetricValue::Histogram(a), MetricValue::Histogram(b)) => {
+                            MetricValue::Histogram(a.merge(b))
+                        }
+                        _ => *v,
+                    };
+                }
+            }
+        }
+    }
+
     /// Text exposition: `name value` per line; histograms render as
     /// `name count=N sum=N p50=N p99=N`.
     pub fn dump(&self) -> String {
@@ -828,6 +856,37 @@ pub fn json_string(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn absorb_aggregates_where_merge_keeps_first() {
+        let mk = |n: u64, ns: u64| {
+            let reg = Registry::new();
+            reg.counter("c").add(n);
+            reg.histogram("h.ns").record(ns);
+            reg.gauge("g").set(n as i64);
+            reg.snapshot()
+        };
+        let a = mk(3, 100);
+        let b = mk(5, 100_000);
+
+        let mut merged = a.clone();
+        merged.merge("", &b);
+        assert_eq!(merged.counter("c"), 3, "merge keeps the existing entry");
+
+        let mut absorbed = a.clone();
+        absorbed.absorb("", &b);
+        assert_eq!(absorbed.counter("c"), 8, "absorb sums counters");
+        assert_eq!(absorbed.gauge("g"), 5, "absorb takes the newest gauge");
+        let h = absorbed.histogram("h.ns").unwrap();
+        assert_eq!(h.count(), 2, "absorb merges histogram buckets");
+        assert!(h.p99() >= 100_000, "slow shard's tail survives the union");
+
+        // Prefixed absorb lands under the prefix.
+        let mut pre = RegistrySnapshot::default();
+        pre.absorb("s0", &a);
+        pre.absorb("s0", &b);
+        assert_eq!(pre.counter("s0.c"), 8);
+    }
 
     #[test]
     fn counter_and_gauge_basics() {

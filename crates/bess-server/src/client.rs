@@ -136,8 +136,14 @@ pub struct ClientStats {
     pub fetch_rpcs: Counter,
     /// Data-only read RPCs (`client.read_rpcs`).
     pub read_rpcs: Counter,
-    /// Commits performed (`client.commits`).
+    /// Commits acknowledged to the caller (`client.commits`). Failed
+    /// commit attempts count under [`ClientStats::commit_failures`]
+    /// instead — the scenario harness cross-checks acked client commits
+    /// against server commits, which a combined counter double-counts.
     pub commits: Counter,
+    /// Commit attempts that returned an error — server rejection, global
+    /// abort, or exhausted retries (`client.commit_failures`).
+    pub commit_failures: Counter,
     /// Aborts performed (`client.aborts`).
     pub aborts: Counter,
     /// Callbacks received (`client.callbacks`).
@@ -156,6 +162,7 @@ impl ClientStats {
             fetch_rpcs: group.counter("fetch_rpcs"),
             read_rpcs: group.counter("read_rpcs"),
             commits: group.counter("commits"),
+            commit_failures: group.counter("commit_failures"),
             aborts: group.counter("aborts"),
             callbacks: group.counter("callbacks"),
             retries: group.counter("retries"),
@@ -175,6 +182,7 @@ impl ClientStats {
             fetch_rpcs: self.fetch_rpcs.get(),
             read_rpcs: self.read_rpcs.get(),
             commits: self.commits.get(),
+            commit_failures: self.commit_failures.get(),
             aborts: self.aborts.get(),
             callbacks: self.callbacks.get(),
             retries: self.retries.get(),
@@ -194,8 +202,10 @@ pub struct ClientStatsSnapshot {
     pub fetch_rpcs: u64,
     /// Read RPCs.
     pub read_rpcs: u64,
-    /// Commits.
+    /// Commits acknowledged.
     pub commits: u64,
+    /// Commit attempts that failed.
+    pub commit_failures: u64,
     /// Aborts.
     pub aborts: u64,
     /// Callbacks received.
@@ -672,7 +682,15 @@ impl ClientConn {
                 }
             }
         };
-        self.stats.commits.inc();
+        // Only an acknowledged commit counts as a commit; a rejection or
+        // global abort is a distinct outcome (previously both paths bumped
+        // `client.commits`, so the counter drifted from reality under
+        // faults).
+        if result.is_ok() {
+            self.stats.commits.inc();
+        } else {
+            self.stats.commit_failures.inc();
+        }
         self.end_txn(txn)?;
         result
     }

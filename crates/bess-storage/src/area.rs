@@ -285,6 +285,7 @@ impl StorageArea {
             for _ in 0..config.initial_extents {
                 extents.push(BuddyExtent::new(config.extent_pages_log2));
             }
+            area.refresh_alloc_gauges(&extents);
         }
         area.write_header()?;
         for i in 0..config.initial_extents {
@@ -342,6 +343,7 @@ impl StorageArea {
         for i in 0..num_extents {
             extents.push(area.load_extent_meta(i)?);
         }
+        area.refresh_alloc_gauges(&extents);
         *area.extents.lock() = extents;
         Ok(area)
     }
@@ -397,6 +399,31 @@ impl StorageArea {
     /// The area's metric group (`storage.a<id>.*` in its registry).
     pub fn metrics(&self) -> &Group {
         &self.group
+    }
+
+    /// Recomputes the fragmentation and free-page gauges from the extent
+    /// list. Called with the extents lock held so the published values
+    /// always correspond to a consistent allocator state.
+    fn refresh_alloc_gauges(&self, extents: &[BuddyExtent]) {
+        let free: u64 = extents.iter().map(|e| u64::from(e.free_pages())).sum();
+        let frag = if extents.is_empty() {
+            0.0
+        } else {
+            extents.iter().map(|e| e.fragmentation()).sum::<f64>() / extents.len() as f64
+        };
+        // LINT: allow(cast) — permille of a [0,1] ratio fits in i64.
+        self.stats.frag_permille.set((frag * 1000.0).round() as i64);
+        // LINT: allow(cast) — page counts are far below i64::MAX.
+        self.stats.free_pages.set(free as i64);
+    }
+
+    /// Test hook: asserts every extent's buddy free lists and allocation
+    /// table tile the extent exactly (see [`BuddyExtent::check_invariants`]).
+    #[doc(hidden)]
+    pub fn check_allocator_invariants(&self) {
+        for e in self.extents.lock().iter() {
+            e.check_invariants();
+        }
     }
 
     /// I/O counters.
@@ -457,6 +484,7 @@ impl StorageArea {
             if let Some(offset) = extent.alloc(order) {
                 let i = u32::try_from(i).map_err(|_| StorageError::OutOfSpace)?;
                 let start_page = self.first_data_page(i) + u64::from(offset);
+                self.refresh_alloc_gauges(&extents);
                 drop(extents);
                 self.write_extent_meta_locked(i)?;
                 return Ok(DiskPtr {
@@ -481,6 +509,7 @@ impl StorageArea {
         self.backend
             .grow_to(total_pages * self.config.page_size as u64)?;
         IoStats::bump(&self.stats.extends);
+        self.refresh_alloc_gauges(&extents);
         drop(extents);
         self.write_header()?;
         self.write_extent_meta_locked(new_index)?;
@@ -502,6 +531,7 @@ impl StorageArea {
         {
             let mut extents = self.extents.lock();
             extents[extent as usize].free(offset, ptr.order())?;
+            self.refresh_alloc_gauges(&extents);
         }
         self.write_extent_meta_locked(extent)
     }

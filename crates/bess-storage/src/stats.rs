@@ -1,6 +1,6 @@
 //! I/O accounting for storage areas.
 
-use bess_obs::{Counter, Group};
+use bess_obs::{Counter, Gauge, Group};
 
 /// Counters maintained by a [`crate::StorageArea`] — [`bess_obs`] handles
 /// registered under the `storage.a<id>.` prefix of
@@ -25,6 +25,15 @@ pub struct IoStats {
     /// path, one increment per retried attempt
     /// (`storage.a<id>.read_retries`).
     pub read_retries: Counter,
+    /// Mean external buddy fragmentation across extents, in permille of
+    /// `1 - largest_free/total_free` (`storage.a<id>.frag_permille`).
+    /// 0 means every extent's free space is one maximal block; refreshed
+    /// on every segment allocation and free, so the aging scenarios can
+    /// chart fragmentation over time without polling allocator locks.
+    pub frag_permille: Gauge,
+    /// Free data pages across all extents (`storage.a<id>.free_pages`),
+    /// refreshed alongside [`IoStats::frag_permille`].
+    pub free_pages: Gauge,
 }
 
 impl IoStats {
@@ -35,6 +44,8 @@ impl IoStats {
             syncs: group.counter("syncs"),
             extends: group.counter("extends"),
             read_retries: group.counter("read_retries"),
+            frag_permille: group.gauge("frag_permille"),
+            free_pages: group.gauge("free_pages"),
         }
     }
 

@@ -56,6 +56,10 @@ const EMBEDDED_GOLDEN: &[&str] = &[
     "storage.a0.syncs",
     "storage.a0.extends",
     "storage.a0.read_retries",
+    // Allocator health gauges (§E22 harness): fragmentation and free
+    // pages, refreshed on every alloc/free.
+    "storage.a0.frag_permille",
+    "storage.a0.free_pages",
     // WalStats (bess-wal)
     "wal.appends",
     "wal.append_bytes",
@@ -108,6 +112,7 @@ const CLIENT_GOLDEN: &[&str] = &[
     "client.fetch_rpcs",
     "client.read_rpcs",
     "client.commits",
+    "client.commit_failures",
     "client.aborts",
     "client.callbacks",
     "client.retries",
@@ -275,6 +280,29 @@ fn shared_view_dump_covers_old_snapshot() {
             "shared view: metric `{want}` missing from dump:\n{dump}"
         );
     }
+}
+
+/// The workload harness's own `scenario.*` histogram namespace is pinned:
+/// every timer the scenarios register must be declared in
+/// `bess_bench::scenario::SCENARIO_HISTOGRAMS` (renames have to be
+/// acknowledged both there and here).
+#[test]
+fn scenario_harness_names_are_pinned() {
+    const SCENARIO_GOLDEN: &[&str] = &[
+        "scenario.txn.ns",
+        "scenario.scan.ns",
+        "scenario.aging.op.ns",
+        "scenario.cold.fetch.ns",
+        "scenario.warm.fetch.ns",
+        "scenario.recovery.ns",
+    ];
+    let dump = bess_bench::scenario::register_all_metrics().dump();
+    assert_all_present(&dump, SCENARIO_GOLDEN, "scenario harness");
+    assert_eq!(
+        bess_bench::scenario::SCENARIO_HISTOGRAMS.len(),
+        SCENARIO_GOLDEN.len(),
+        "a scenario histogram was added without pinning it here"
+    );
 }
 
 /// JSON exposition parses and covers the same names as the text dump.
