@@ -351,6 +351,7 @@ impl PrivatePool {
         if inner.resident.contains_key(&page) {
             // Cannot fail: the dirty flag was just cleared, so no
             // write-back happens.
+            // LINT: allow(blocking-under-lock) — dirty flag cleared above, so do_evict cannot reach the write-back I/O.
             let _ = self.do_evict(&mut inner, page);
         }
     }
@@ -406,6 +407,7 @@ impl PrivatePool {
     pub fn evict(&self, page: DbPage) -> Result<(), PoolError> {
         let mut inner = self.inner.lock();
         if inner.resident.contains_key(&page) {
+            // LINT: allow(blocking-under-lock) — the private pool is per-transaction state; synchronous eviction write-back under its uncontended lock is the design until the async Backend lands (ROADMAP).
             self.do_evict(&mut inner, page)?;
         }
         Ok(())
@@ -422,6 +424,7 @@ impl PrivatePool {
                 let mut buf = vec![0u8; page_size];
                 self.store.read(res.frame, 0, &mut buf);
                 self.io
+                    // LINT: allow(blocking-under-lock) — the private pool is per-transaction state; synchronous write-back under its uncontended lock is the design until the async Backend lands (ROADMAP).
                     .write_back(*page, &buf)
                     .map_err(|reason| PoolError::WriteBackFailed { page: *page, reason })?;
                 res.dirty = false;

@@ -329,6 +329,7 @@ impl SharedCache {
                     }
                     SlotState::Loading(p) => {
                         debug_assert_eq!(p, page);
+                        // LINT: allow(blocking-under-lock) — condvar wait atomically releases `inner` via raw().
                         self.load_done.wait(inner.raw());
                         continue; // re-evaluate from scratch
                     }

@@ -1,0 +1,41 @@
+// Fixture: blocking operations while an ordered guard is live — direct
+// device I/O, a direct sleep, and a chained block through DevIo::flush_all.
+
+pub struct BadFlush {
+    state: Mutex<u32>,
+    dev: Disk,
+}
+
+impl BadFlush {
+    pub fn direct(&self) {
+        let state = self.state.lock();
+        self.dev.write_at(&[0u8], 0);
+        drop(state);
+    }
+
+    pub fn sleepy(&self) {
+        let state = self.state.lock();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(state);
+    }
+
+    pub fn chained(&self, d: &DevIo) {
+        let state = self.state.lock();
+        d.flush_all();
+        drop(state);
+    }
+}
+
+pub struct DevIo {
+    file: File,
+}
+
+impl DevIo {
+    pub fn flush_all(&self) {
+        self.sync_dev();
+    }
+
+    fn sync_dev(&self) {
+        self.file.sync_all();
+    }
+}

@@ -1,0 +1,25 @@
+// Fixture: ordered guards escaping their function — returned explicitly,
+// returned as the tail expression, and stored into a struct. All three
+// defeat static rank tracking and must be flagged.
+
+pub struct Escapes {
+    m: Mutex<u32>,
+}
+
+pub struct Stash<'a> {
+    guard: MutexGuard<'a, u32>,
+}
+
+impl Escapes {
+    pub fn returned(&self) -> MutexGuard<'_, u32> {
+        return self.m.lock();
+    }
+
+    pub fn tail(&self) -> MutexGuard<'_, u32> {
+        self.m.lock()
+    }
+
+    pub fn stored(&self) -> Stash<'_> {
+        Stash { guard: self.m.lock() }
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: guard uses that stay local — a scoped binding, an annotated
+// deliberate escape, and a guard temporary inside a larger expression
+// (only the cloned value escapes, not the guard).
+
+pub struct Fine {
+    m: Mutex<u32>,
+}
+
+impl Fine {
+    pub fn local(&self) -> u32 {
+        let g = self.m.lock();
+        *g
+    }
+
+    pub fn annotated(&self) -> MutexGuard<'_, u32> {
+        // LINT: allow(guard-escape) — fixture: accessor deliberately hands the guard out.
+        self.m.lock()
+    }
+
+    pub fn clones_inner(&self) -> u32 {
+        u32::clone(&self.m.lock())
+    }
+}

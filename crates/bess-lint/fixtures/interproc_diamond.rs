@@ -1,0 +1,31 @@
+// Fixture: diamond call graph. `top` holds `hi` (rank 30) and calls both
+// `via1` and `via2`; each reaches `bottom`, which acquires `lo` (rank 10).
+// Both call sites in `top` must be reported — and the shared `bottom`
+// node must not confuse the fixpoint.
+
+pub struct Diamond {
+    hi: Mutex<u32>,
+    lo: Mutex<u32>,
+}
+
+impl Diamond {
+    pub fn top(&self) {
+        let hi = self.hi.lock();
+        self.via1();
+        self.via2();
+        drop(hi);
+    }
+
+    fn via1(&self) {
+        self.bottom();
+    }
+
+    fn via2(&self) {
+        self.bottom();
+    }
+
+    fn bottom(&self) {
+        let lo = self.lo.lock();
+        drop(lo);
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: entry point of a 3-deep cross-crate inversion chain. `entry`
+// holds `state` (rank 40) while calling MidCoord::middle (another
+// "crate"), which reaches LeafPool::acquire_pool and its rank-20 `pool`
+// lock — an inversion no single function exhibits. `clean` drops the
+// guard first and must pass.
+
+pub struct WalHold {
+    state: Mutex<u32>,
+}
+
+impl WalHold {
+    pub fn entry(&self, m: &MidCoord, l: &LeafPool) {
+        let state = self.state.lock();
+        m.middle(l);
+        drop(state);
+    }
+
+    pub fn clean(&self, m: &MidCoord, l: &LeafPool) {
+        let state = self.state.lock();
+        drop(state);
+        m.middle(l);
+    }
+}

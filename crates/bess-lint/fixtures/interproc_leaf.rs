@@ -1,0 +1,13 @@
+// Fixture: the leaf of the 3-deep chain — acquires `pool` (rank 20),
+// which is fine locally but inverts under interproc_hold's rank-40 guard.
+
+pub struct LeafPool {
+    pool: Mutex<Vec<u8>>,
+}
+
+impl LeafPool {
+    pub fn acquire_pool(&self) {
+        let pool = self.pool.lock();
+        drop(pool);
+    }
+}

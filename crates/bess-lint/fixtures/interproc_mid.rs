@@ -1,0 +1,15 @@
+// Fixture: the middle hop of the 3-deep chain — acquires nothing itself,
+// just forwards to the leaf.
+
+pub struct MidCoord {
+    hops: u32,
+}
+
+impl MidCoord {
+    pub fn middle(&self, l: &LeafPool) {
+        self.note();
+        l.acquire_pool();
+    }
+
+    fn note(&self) {}
+}

@@ -1,0 +1,28 @@
+// Fixture: mutual recursion (`ping` <-> `pong`). The fixpoint must
+// terminate, and `entry` — which holds `h` (rank 20) while calling into
+// the cycle that acquires `r` (rank 10) — must still be flagged.
+
+pub struct Recur {
+    h: Mutex<u32>,
+    r: Mutex<u32>,
+}
+
+impl Recur {
+    pub fn entry(&self) {
+        let h = self.h.lock();
+        self.ping(3);
+        drop(h);
+    }
+
+    fn ping(&self, n: u32) {
+        let r = self.r.lock();
+        drop(r);
+        if n > 0 {
+            self.pong(n - 1);
+        }
+    }
+
+    fn pong(&self, n: u32) {
+        self.ping(n);
+    }
+}

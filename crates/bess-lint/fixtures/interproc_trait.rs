@@ -1,0 +1,30 @@
+// Fixture: a `dyn Trait` call the type index cannot resolve. The
+// conservative any-callee fallback must still connect `run` — which holds
+// `gate` (rank 20) — to DiskFlusher::flush_now and its rank-10 `dev` lock.
+
+pub trait Flusher {
+    fn flush_now(&self);
+}
+
+pub struct DiskFlusher {
+    dev: Mutex<u32>,
+}
+
+impl Flusher for DiskFlusher {
+    fn flush_now(&self) {
+        let dev = self.dev.lock();
+        drop(dev);
+    }
+}
+
+pub struct Driver {
+    gate: Mutex<u32>,
+}
+
+impl Driver {
+    pub fn run(&self, f: &dyn Flusher) {
+        let gate = self.gate.lock();
+        f.flush_now();
+        drop(gate);
+    }
+}

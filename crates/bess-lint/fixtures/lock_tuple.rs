@@ -1,0 +1,39 @@
+// Fixture: guard bindings the original scanner lost — tuple destructuring
+// and `if let` — now tracked. `tuple_inverted` and `if_let_inverted` must
+// be flagged; `tuple_held` (ascending) and `if_let_scoped` (guard dies
+// with its block) must pass.
+
+pub struct T {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+}
+
+impl T {
+    pub fn tuple_held(&self) {
+        let (b, c) = (self.b.lock(), self.c.lock());
+        drop(c);
+        drop(b);
+    }
+
+    pub fn tuple_inverted(&self) {
+        let (b, a) = (self.b.lock(), self.a.lock());
+        drop(a);
+        drop(b);
+    }
+
+    pub fn if_let_scoped(&self) {
+        if let Some(b) = self.b.try_lock() {
+            let _x = *b;
+        }
+        let a = self.a.lock();
+        drop(a);
+    }
+
+    pub fn if_let_inverted(&self) {
+        if let Some(b) = self.b.try_lock() {
+            let a = self.a.lock();
+            drop(a);
+        }
+    }
+}

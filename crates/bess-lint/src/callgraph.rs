@@ -1,0 +1,384 @@
+//! Whole-workspace call graph and summary propagation — the
+//! interprocedural half of the analysis (DESIGN.md §15).
+//!
+//! Nodes are the [`crate::summary::FnSummary`]s from every scanned file.
+//! Edges come from call-site name resolution:
+//!
+//! * `Type::method(..)` / `Self::method(..)` → the method on that type;
+//! * `self.method(..)` → the method on the enclosing `impl` type;
+//! * `self.field.method(..)` / `var.method(..)` / `var.field.method(..)`
+//!   → resolved through struct field and local variable types;
+//! * anything unresolvable (trait objects, closures, complex receivers)
+//!   falls back to **any workspace method of that name**, minus a list of
+//!   ubiquitous names (`len`, `get`, `clone`, …) that would connect
+//!   everything to everything.
+//!
+//! Two facts propagate to a fixpoint over the condensed graph:
+//!
+//! * `min_acquire`: the minimum lock rank a function may acquire,
+//!   transitively. A call site holding rank R with a callee whose
+//!   `min_acquire ≤ R` is an inversion, no matter the call depth.
+//! * `may_block`: the function may reach a lexically blocking operation
+//!   (device I/O, condvar wait, `thread::sleep`, channel `recv`). A call
+//!   site holding any ordered guard with a blocking callee violates
+//!   no-blocking-under-lock.
+//!
+//! Each fact carries a provenance link ([`Via`]) so diagnostics print the
+//! full call chain down to the offending acquisition or blocking call.
+//! Facts only ever tighten (rank strictly decreases, blocking flips once),
+//! so the fixpoint terminates and provenance links cannot form cycles.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::summary::{CallSite, CallTarget, FileSummary, FnSummary};
+use crate::Violation;
+
+/// Method names excluded from the any-callee fallback: they are so common
+/// that an unresolved receiver would link the whole workspace into one
+/// blob of false positives. Calls to these still resolve through *typed*
+/// receivers.
+const FALLBACK_EXCLUDE: &[&str] = &[
+    "new", "default", "clone", "fmt", "eq", "ne", "cmp", "partial_cmp", "hash", "drop", "deref",
+    "from", "into", "try_from", "try_into", "as_ref", "as_mut", "borrow", "to_string", "to_owned",
+    "to_vec", "len", "is_empty", "get", "get_mut", "insert", "remove", "push", "pop", "iter",
+    "iter_mut", "into_iter", "next", "contains", "contains_key", "extend", "clear", "drain",
+    "retain", "take", "replace", "swap", "min", "max", "map", "filter", "find", "position",
+    "count", "sum", "fold", "all", "any", "collect", "join", "split", "starts_with", "ends_with",
+    "trim", "parse", "push_str", "chars", "bytes", "value", "name", "label", "id", "index",
+    // Atomic operations: `x.load(Ordering::..)` / `x.store(..)` on an
+    // untyped receiver must not link to workspace methods that happen to
+    // share the name (e.g. a pool's `load`).
+    "load", "store", "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+    "fetch_update", "fetch_max", "fetch_min", "compare_exchange", "compare_exchange_weak",
+    // Lock tokens with arguments (`mgr.lock(txn, page, mode)`): an untyped
+    // receiver must resolve through its type or not at all — falling back
+    // would wire every caller to `LockManager::lock`.
+    "lock", "read", "write", "try_lock",
+];
+
+/// Provenance of a propagated fact: either this function does the thing
+/// directly, or it calls a function that (transitively) does.
+#[derive(Debug, Clone)]
+enum Via {
+    /// The fact originates in this function at `line` (`what` is the lock
+    /// receiver or the blocking operation).
+    Direct { what: String, line: usize },
+    /// The fact flows in from `callee` (node index).
+    Call { callee: usize },
+}
+
+/// Result of the whole-workspace pass.
+pub struct GraphReport {
+    /// Interprocedural lock-order inversions.
+    pub lock_order: Vec<Violation>,
+    /// Interprocedural blocking-under-lock findings (pre-baseline; the
+    /// caller merges them with direct findings and applies `[blocking]`).
+    pub blocking: Vec<Violation>,
+    /// Number of functions in the graph.
+    pub functions: usize,
+    /// Number of resolved call edges.
+    pub call_edges: usize,
+}
+
+struct Node<'a> {
+    file: &'a str,
+    fun: &'a FnSummary,
+}
+
+/// Builds the call graph over all file summaries, propagates lock/blocking
+/// facts to a fixpoint, and reports violations at the outermost call site
+/// where a guard is held.
+pub fn check_workspace(files: &[FileSummary]) -> GraphReport {
+    let mut nodes: Vec<Node> = Vec::new();
+    for fs in files {
+        for fun in &fs.fns {
+            nodes.push(Node { file: &fs.file, fun });
+        }
+    }
+
+    // Name/type indexes.
+    let mut methods_by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut free_by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut by_type_name: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
+    let mut workspace_types: HashSet<&str> = HashSet::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if n.fun.is_method || n.fun.impl_type.is_some() {
+            methods_by_name.entry(&n.fun.name).or_default().push(i);
+        } else {
+            free_by_name.entry(&n.fun.name).or_default().push(i);
+        }
+        if let Some(ty) = &n.fun.impl_type {
+            by_type_name.entry((ty.as_str(), &n.fun.name)).or_default().push(i);
+            workspace_types.insert(ty.as_str());
+        }
+    }
+    let mut field_types: HashMap<(&str, &str), &str> = HashMap::new();
+    for fs in files {
+        for s in &fs.structs {
+            workspace_types.insert(&s.name);
+            for (fname, fty) in &s.fields {
+                field_types.insert((s.name.as_str(), fname.as_str()), fty.as_str());
+            }
+        }
+    }
+
+    // Resolve every call site to candidate node indexes.
+    let resolved: Vec<Vec<Vec<usize>>> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            n.fun
+                .calls
+                .iter()
+                .map(|c| {
+                    resolve(
+                        i,
+                        n,
+                        c,
+                        &methods_by_name,
+                        &free_by_name,
+                        &by_type_name,
+                        &field_types,
+                        &workspace_types,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let call_edges: usize = resolved.iter().flatten().map(Vec::len).sum();
+
+    // Fixpoint: per node, the minimum rank transitively acquirable and
+    // whether a blocking operation is transitively reachable.
+    let mut min_acq: Vec<Option<(u16, Via)>> = nodes
+        .iter()
+        .map(|n| {
+            n.fun
+                .acquires
+                .iter()
+                .min_by_key(|a| a.rank)
+                .map(|a| (a.rank, Via::Direct { what: a.recv.clone(), line: a.line }))
+        })
+        .collect();
+    let mut may_block: Vec<Option<Via>> = nodes
+        .iter()
+        .map(|n| {
+            n.fun
+                .blocks
+                .first()
+                .map(|b| Via::Direct { what: b.what.clone(), line: b.line })
+        })
+        .collect();
+
+    loop {
+        let mut changed = false;
+        for (i, n) in nodes.iter().enumerate() {
+            for (ci, _call) in n.fun.calls.iter().enumerate() {
+                for &t in &resolved[i][ci] {
+                    if let Some((trank, _)) = &min_acq[t] {
+                        let better = match &min_acq[i] {
+                            Some((r, _)) => *trank < *r,
+                            None => true,
+                        };
+                        if better {
+                            min_acq[i] = Some((*trank, Via::Call { callee: t }));
+                            changed = true;
+                        }
+                    }
+                    if may_block[i].is_none() && may_block[t].is_some() {
+                        may_block[i] = Some(Via::Call { callee: t });
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Report at the outermost call site where an ordered guard is held.
+    let mut lock_order = Vec::new();
+    let mut blocking = Vec::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if n.fun.in_test {
+            continue;
+        }
+        for (ci, call) in n.fun.calls.iter().enumerate() {
+            if call.held.is_empty() {
+                continue;
+            }
+            let Some(max_held) = call.held.iter().max_by_key(|h| h.rank) else {
+                continue;
+            };
+            if !call.allow_lock_order {
+                // The worst acquisition among this site's candidates.
+                let offender = resolved[i][ci]
+                    .iter()
+                    .filter_map(|&t| min_acq[t].as_ref().map(|(r, _)| (*r, t)))
+                    .min();
+                if let Some((rank, t)) = offender {
+                    if rank <= max_held.rank {
+                        let (chain, origin) = describe_chain(&nodes, &min_acq, t, chain_acq);
+                        lock_order.push(Violation {
+                            file: n.file.to_string(),
+                            line: call.line,
+                            rule: "lock-order",
+                            message: format!(
+                                "calling `{}` while `{}` (rank {}, bound as `{}` on line {}) \
+                                 is held may acquire `{origin}` (rank {rank}); ranks must \
+                                 strictly ascend — call chain: {} -> {chain}",
+                                call.name,
+                                max_held.recv,
+                                max_held.rank,
+                                max_held.binding,
+                                max_held.line,
+                                n.fun.name,
+                            ),
+                        });
+                    }
+                }
+            }
+            if !call.allow_blocking {
+                let sink = resolved[i][ci].iter().find(|&&t| may_block[t].is_some());
+                if let Some(&t) = sink {
+                    let (chain, origin) = describe_chain(&nodes, &may_block, t, chain_block);
+                    blocking.push(Violation {
+                        file: n.file.to_string(),
+                        line: call.line,
+                        rule: "blocking-under-lock",
+                        message: format!(
+                            "calling `{}` while `{}` (rank {}, bound as `{}` on line {}) is \
+                             held may block on {origin} — drop ordered guards before blocking \
+                             calls or annotate `LINT: allow(blocking-under-lock) — reason`; \
+                             call chain: {} -> {chain}",
+                            call.name,
+                            max_held.recv,
+                            max_held.rank,
+                            max_held.binding,
+                            max_held.line,
+                            n.fun.name,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    GraphReport { lock_order, blocking, functions: nodes.len(), call_edges }
+}
+
+fn chain_acq(fact: &Option<(u16, Via)>) -> Option<&Via> {
+    fact.as_ref().map(|(_, v)| v)
+}
+
+fn chain_block(fact: &Option<Via>) -> Option<&Via> {
+    fact.as_ref()
+}
+
+/// Renders the provenance chain from node `start` down to the originating
+/// site: `("middle -> leaf_acquire", "`pool`.lock() at crates/.../leaf.rs:12")`.
+fn describe_chain<T>(
+    nodes: &[Node],
+    facts: &[T],
+    start: usize,
+    via_of: impl Fn(&T) -> Option<&Via>,
+) -> (String, String) {
+    let mut names: Vec<&str> = Vec::new();
+    let mut seen = HashSet::new();
+    let mut cur = start;
+    loop {
+        if !seen.insert(cur) {
+            break;
+        }
+        names.push(&nodes[cur].fun.name);
+        match via_of(&facts[cur]) {
+            Some(Via::Call { callee }) => cur = *callee,
+            Some(Via::Direct { what, line }) => {
+                return (
+                    names.join(" -> "),
+                    format!("`{what}` at {}:{line}", nodes[cur].file),
+                );
+            }
+            None => break,
+        }
+    }
+    (names.join(" -> "), "<unknown>".to_string())
+}
+
+/// Resolves one call site to candidate callee nodes.
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    node_idx: usize,
+    node: &Node,
+    call: &CallSite,
+    methods_by_name: &HashMap<&str, Vec<usize>>,
+    free_by_name: &HashMap<&str, Vec<usize>>,
+    by_type_name: &HashMap<(&str, &str), Vec<usize>>,
+    field_types: &HashMap<(&str, &str), &str>,
+    workspace_types: &HashSet<&str>,
+) -> Vec<usize> {
+    // `LINT: allow(callgraph)` severs this site from resolution entirely —
+    // the documented escape hatch for fallback imprecision.
+    if call.allow_callgraph {
+        return Vec::new();
+    }
+    let name = call.name.as_str();
+    let fallback = || -> Vec<usize> {
+        if FALLBACK_EXCLUDE.contains(&name) {
+            return Vec::new();
+        }
+        // The caller itself never joins its own fallback set: a same-name
+        // "recursion" through an unresolved receiver is noise, while real
+        // recursion resolves through `self`/typed receivers.
+        methods_by_name
+            .get(name)
+            .map(|ids| ids.iter().copied().filter(|&t| t != node_idx).collect())
+            .unwrap_or_default()
+    };
+    match &call.target {
+        CallTarget::Free => free_by_name.get(name).cloned().unwrap_or_default(),
+        CallTarget::Qualified { qualifier } => {
+            let ty = if qualifier == "Self" {
+                node.fun.impl_type.clone()
+            } else if qualifier.starts_with(|c: char| c.is_ascii_uppercase()) {
+                Some(qualifier.clone())
+            } else {
+                // Module-qualified free function (`log::replay(..)`).
+                return free_by_name.get(name).cloned().unwrap_or_default();
+            };
+            match ty {
+                Some(t) => by_type_name.get(&(t.as_str(), name)).cloned().unwrap_or_default(),
+                None => Vec::new(),
+            }
+        }
+        CallTarget::Method { chain, complex } => {
+            if *complex || chain.is_empty() || chain.len() > 2 {
+                return fallback();
+            }
+            let root_ty: Option<&str> = if chain[0] == "self" {
+                node.fun.impl_type.as_deref()
+            } else {
+                node.fun.var_types.get(&chain[0]).map(String::as_str)
+            };
+            let ty: Option<&str> = match (root_ty, chain.len()) {
+                (Some(t), 1) if chain[0] == "self" || !chain[0].is_empty() => Some(t),
+                (Some(t), 2) => field_types.get(&(t, chain[1].as_str())).copied(),
+                _ => None,
+            };
+            // `self.field.method()` where the field type is unknown: fall
+            // back; `var.method()` with an unknown local type: fall back.
+            let ty = match ty {
+                Some(t) => t,
+                None => return fallback(),
+            };
+            match by_type_name.get(&(ty, name)) {
+                Some(ids) => ids.clone(),
+                // A known workspace type without this method: the callee is
+                // foreign (std, a trait default elsewhere) — assume clean
+                // rather than linking to every same-named method.
+                None if workspace_types.contains(ty) => Vec::new(),
+                None => fallback(),
+            }
+        }
+    }
+}

@@ -115,11 +115,40 @@ pub fn parse_lock_order(text: &str) -> Result<LockOrder, String> {
     Ok(out)
 }
 
-/// Parses `lint_baseline.toml` (section `[panics]`, lines `"file" = count`).
-/// A missing file is represented by the caller as an empty baseline.
-pub fn parse_baseline(text: &str) -> Result<Vec<(String, usize)>, String> {
-    let mut out = Vec::new();
-    let mut in_panics = false;
+/// Parsed contents of `lint_baseline.toml`: per-file grandfather counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `[panics]`: unannotated panic/unwrap/expect sites allowed per file.
+    pub panics: Vec<(String, usize)>,
+    /// `[blocking]`: unannotated blocking-under-lock findings allowed per
+    /// file (prefer `LINT: allow(blocking-under-lock)` annotations; this
+    /// section exists for sites the annotation cannot reach, e.g. findings
+    /// attributed to call sites in generated or churn-heavy code).
+    pub blocking: Vec<(String, usize)>,
+}
+
+impl Baseline {
+    fn count_in(entries: &[(String, usize)], file: &str) -> usize {
+        entries.iter().find(|(f, _)| f == file).map(|&(_, c)| c).unwrap_or(0)
+    }
+
+    /// Grandfathered panic-site count for `file`.
+    pub fn panics_for(&self, file: &str) -> usize {
+        Self::count_in(&self.panics, file)
+    }
+
+    /// Grandfathered blocking-under-lock count for `file`.
+    pub fn blocking_for(&self, file: &str) -> usize {
+        Self::count_in(&self.blocking, file)
+    }
+}
+
+/// Parses `lint_baseline.toml` (sections `[panics]` and `[blocking]`,
+/// lines `"file" = count`). A missing file is represented by the caller as
+/// an empty baseline.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let mut out = Baseline::default();
+    let mut section: Option<bool> = None; // Some(true) = panics, Some(false) = blocking
     for (idx, raw) in text.lines().enumerate() {
         let line = strip_comment(raw).trim();
         if line.is_empty() {
@@ -127,36 +156,50 @@ pub fn parse_baseline(text: &str) -> Result<Vec<(String, usize)>, String> {
         }
         let err = |msg: &str| format!("lint_baseline.toml:{}: {}", idx + 1, msg);
         if line == "[panics]" {
-            in_panics = true;
+            section = Some(true);
+            continue;
+        }
+        if line == "[blocking]" {
+            section = Some(false);
             continue;
         }
         if line.starts_with('[') {
             return Err(err("unknown section"));
         }
-        if !in_panics {
-            return Err(err("key outside [panics]"));
-        }
+        let Some(is_panics) = section else {
+            return Err(err("key outside [panics]/[blocking]"));
+        };
         let (key, value) = split_kv(line).ok_or_else(|| err("expected `\"file\" = count`"))?;
         let file = parse_str(key).ok_or_else(|| err("file key must be quoted"))?;
         let count = parse_int(value).ok_or_else(|| err("count must be an integer"))? as usize;
-        out.push((file, count));
+        if is_panics {
+            out.panics.push((file, count));
+        } else {
+            out.blocking.push((file, count));
+        }
     }
     Ok(out)
 }
 
 /// Renders the baseline file, sorted by path for stable diffs.
-pub fn render_baseline(entries: &[(String, usize)]) -> String {
-    let mut sorted: Vec<&(String, usize)> = entries.iter().filter(|(_, c)| *c > 0).collect();
-    sorted.sort();
+pub fn render_baseline(baseline: &Baseline) -> String {
     let mut out = String::from(
-        "# Grandfathered panic/unwrap/expect sites per file, maintained by\n\
+        "# Grandfathered lint findings per file, maintained by\n\
          # `cargo run -p bess-lint -- --update-baseline`. Counts may only go\n\
          # down: new panic sites need a `// LINT: allow(panic) — reason`\n\
-         # annotation or a typed error instead.\n\n[panics]\n",
+         # annotation or a typed error instead, and new blocking-under-lock\n\
+         # sites need `// LINT: allow(blocking-under-lock) — reason`.\n\n[panics]\n",
     );
-    for (file, count) in sorted {
-        out.push_str(&format!("\"{file}\" = {count}\n"));
-    }
+    let render = |out: &mut String, entries: &[(String, usize)]| {
+        let mut sorted: Vec<&(String, usize)> = entries.iter().filter(|(_, c)| *c > 0).collect();
+        sorted.sort();
+        for (file, count) in sorted {
+            out.push_str(&format!("\"{file}\" = {count}\n"));
+        }
+    };
+    render(&mut out, &baseline.panics);
+    out.push_str("\n[blocking]\n");
+    render(&mut out, &baseline.blocking);
     out
 }
 
@@ -222,9 +265,16 @@ mod tests {
 
     #[test]
     fn baseline_round_trips() {
-        let entries = vec![("src/b.rs".to_string(), 2), ("src/a.rs".to_string(), 1)];
-        let text = render_baseline(&entries);
+        let baseline = Baseline {
+            panics: vec![("src/b.rs".to_string(), 2), ("src/a.rs".to_string(), 1)],
+            blocking: vec![("src/c.rs".to_string(), 3)],
+        };
+        let text = render_baseline(&baseline);
         let back = parse_baseline(&text).unwrap();
-        assert_eq!(back, vec![("src/a.rs".into(), 1), ("src/b.rs".into(), 2)]);
+        assert_eq!(back.panics, vec![("src/a.rs".to_string(), 1), ("src/b.rs".to_string(), 2)]);
+        assert_eq!(back.blocking, vec![("src/c.rs".to_string(), 3)]);
+        assert_eq!(back.panics_for("src/b.rs"), 2);
+        assert_eq!(back.blocking_for("src/c.rs"), 3);
+        assert_eq!(back.blocking_for("src/a.rs"), 0);
     }
 }

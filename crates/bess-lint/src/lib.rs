@@ -1,25 +1,38 @@
 //! Offline static-analysis checks for the BeSS workspace.
 //!
 //! `cargo run -p bess-lint` walks every `.rs` file under `crates/` and
-//! enforces five invariants (see [`rules`]): SAFETY comments on `unsafe`,
+//! enforces eight invariants (see [`rules`]): SAFETY comments on `unsafe`,
 //! a shrinking baseline of panic sites, the declared lock-acquisition
-//! hierarchy of `lock_order.toml`, no bare narrowing casts on
-//! page/LSN/offset arithmetic, and no unregistered raw `AtomicU64`
-//! counters outside `bess-obs`. It is pure `std` — no proc macros, no
-//! syn — so it runs offline and builds in well under a second.
+//! hierarchy of `lock_order.toml` (both within each function and across
+//! arbitrary call chains), no blocking operations while an ordered guard
+//! is held, no ordered guards escaping their function, no bare narrowing
+//! casts on page/LSN/offset arithmetic, and no unregistered raw
+//! `AtomicU64` counters outside `bess-obs`. It is pure `std` — no proc
+//! macros, no syn — so it runs offline and builds in well under a second.
+//!
+//! The interprocedural half works in two passes: [`summary`] computes a
+//! per-function lock summary (acquisitions, call sites with held-guard
+//! sets, blocking operations, escapes) in a single scan per file, then
+//! [`callgraph`] resolves call sites across the workspace and propagates
+//! the summaries to a fixpoint, reporting inversions and blocking calls
+//! with the full call chain (DESIGN.md §15).
 //!
 //! The static lock-order rule is the compile-time half of a pair: the
-//! `cfg(debug_assertions)` runtime validator in `bess_lock::order` catches
-//! whatever a linear intra-function scan cannot (guards held across
-//! `if let` temporaries, cross-function nesting).
+//! `cfg(debug_assertions)` runtime validator in `bess_lock::order` (and
+//! the ThreadSanitizer CI job) catch whatever the static approximation
+//! cannot — dynamic dispatch, function pointers, data races outside the
+//! ordered-lock API.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod rules;
+pub mod summary;
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -52,6 +65,10 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Total unannotated panic sites in non-test code (baseline or not).
     pub panic_total: usize,
+    /// Number of functions in the interprocedural call graph.
+    pub functions: usize,
+    /// Number of resolved call edges in the graph.
+    pub call_edges: usize,
 }
 
 /// Name of the lock-hierarchy declaration file at the workspace root.
@@ -69,14 +86,7 @@ pub fn lint_workspace(root: &Path, update_baseline: bool) -> Result<LintReport, 
 
     let baseline = match fs::read_to_string(root.join(BASELINE_FILE)) {
         Ok(text) => config::parse_baseline(&text)?,
-        Err(_) => Vec::new(),
-    };
-    let baseline_for = |file: &str| {
-        baseline
-            .iter()
-            .find(|(f, _)| f == file)
-            .map(|&(_, c)| c)
-            .unwrap_or(0)
+        Err(_) => config::Baseline::default(),
     };
 
     let mut files = Vec::new();
@@ -88,6 +98,7 @@ pub fn lint_workspace(root: &Path, update_baseline: bool) -> Result<LintReport, 
     let mut panic_total = 0usize;
     let mut seen_order_rs = false;
     let mut scanned_rel: Vec<String> = Vec::new();
+    let mut summaries: Vec<summary::FileSummary> = Vec::new();
 
     for path in &files {
         let rel = rel_path(root, path);
@@ -97,7 +108,10 @@ pub fn lint_workspace(root: &Path, update_baseline: bool) -> Result<LintReport, 
         let ctx = rules::FileCtx::new(&rel, &masked);
 
         violations.extend(rules::check_unsafe(&ctx));
-        violations.extend(rules::check_lock_order(&ctx, &cfg));
+        // Intra-function lock order, guard escapes, and direct blocking
+        // sites, plus the call-graph inputs for the second pass.
+        let file_summary = summary::summarize(&ctx, &cfg, is_test_context(&rel));
+        violations.extend(file_summary.violations.iter().cloned());
 
         if !is_test_context(&rel) {
             let (sites, annotation_violations) = rules::panic_sites(&ctx);
@@ -108,7 +122,7 @@ pub fn lint_workspace(root: &Path, update_baseline: bool) -> Result<LintReport, 
             }
             panic_total += sites.len();
             if !sites.is_empty() {
-                let allowed = baseline_for(&rel);
+                let allowed = baseline.panics_for(&rel);
                 if sites.len() > allowed && !update_baseline {
                     let first = &sites[0];
                     violations.push(Violation {
@@ -134,6 +148,31 @@ pub fn lint_workspace(root: &Path, update_baseline: bool) -> Result<LintReport, 
             violations.extend(rules::check_rank_sync(&ctx, &cfg));
         }
         scanned_rel.push(rel);
+        summaries.push(file_summary);
+    }
+
+    // Second pass: the interprocedural fixpoint over all summaries.
+    let graph = callgraph::check_workspace(&summaries);
+    violations.extend(graph.lock_order);
+
+    // Blocking-under-lock findings (direct + chained) gate per file
+    // against the `[blocking]` baseline.
+    let mut blocking_by_file: BTreeMap<String, Vec<Violation>> = BTreeMap::new();
+    for v in summaries
+        .iter()
+        .flat_map(|s| s.blocking.iter().cloned())
+        .chain(graph.blocking)
+    {
+        blocking_by_file.entry(v.file.clone()).or_default().push(v);
+    }
+    let mut blocking_counts: Vec<(String, usize)> = Vec::new();
+    for (file, found) in blocking_by_file {
+        let allowed = baseline.blocking_for(&file);
+        let count = found.len();
+        if count > allowed && !update_baseline {
+            violations.extend(found);
+        }
+        blocking_counts.push((file, count));
     }
 
     if !seen_order_rs {
@@ -159,13 +198,22 @@ pub fn lint_workspace(root: &Path, update_baseline: bool) -> Result<LintReport, 
     }
 
     if update_baseline {
-        let rendered = config::render_baseline(&panic_counts);
+        let rendered = config::render_baseline(&config::Baseline {
+            panics: panic_counts,
+            blocking: blocking_counts,
+        });
         fs::write(root.join(BASELINE_FILE), rendered)
             .map_err(|e| format!("cannot write {BASELINE_FILE}: {e}"))?;
     }
 
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(LintReport { violations, files_scanned: files.len(), panic_total })
+    Ok(LintReport {
+        violations,
+        files_scanned: files.len(),
+        panic_total,
+        functions: graph.functions,
+        call_edges: graph.call_edges,
+    })
 }
 
 /// Crates whose non-test code is still exempt from the panic/cast rules:

@@ -36,8 +36,11 @@ fn main() -> ExitCode {
                 println!("{v}");
             }
             println!(
-                "bess-lint: {} file(s) scanned, {} violation(s), {} grandfathered panic site(s)",
+                "bess-lint: {} file(s) scanned, {} function(s), {} call edge(s), \
+                 {} violation(s), {} grandfathered panic site(s)",
                 report.files_scanned,
+                report.functions,
+                report.call_edges,
                 report.violations.len(),
                 report.panic_total
             );

@@ -1,4 +1,4 @@
-//! The five workspace invariants, as substring-level scans over masked
+//! The eight workspace invariants, as substring-level scans over masked
 //! source (see [`crate::lexer`]).
 //!
 //! 1. `unsafe` requires an immediately preceding `// SAFETY:` comment.
@@ -6,12 +6,24 @@
 //!    `// LINT: allow(panic) — reason` or stay within the per-file
 //!    grandfather baseline.
 //! 3. Locks declared in `lock_order.toml` must be acquired in strictly
-//!    ascending rank order within each function.
+//!    ascending rank order within each function (see [`crate::summary`]).
 //! 4. Narrowing `as` casts on page/LSN/offset/extent arithmetic must use
 //!    `try_into`/`try_from` or carry a `// LINT: allow(cast) — reason`.
 //! 5. Bare `AtomicU64` declarations outside `bess-obs` must carry a
 //!    `// LINT: allow(raw-counter) — reason` — counters belong in the
 //!    metrics registry, where snapshots and exposition can see them.
+//! 6. Lock-order, interprocedurally: a call chain that may acquire a rank
+//!    at or below one already held is an inversion no matter how many
+//!    functions (or crates) separate the two acquisitions
+//!    (see [`crate::callgraph`]).
+//! 7. No blocking under an ordered lock: device I/O, condvar waits,
+//!    channel `recv`, and `thread::sleep` must not run while an
+//!    OrderedMutex/OrderedRwLock guard is live, directly or through any
+//!    call chain — baseline-able via `[blocking]` in `lint_baseline.toml`
+//!    or `// LINT: allow(blocking-under-lock) — reason`.
+//! 8. Ordered guards stay local: a guard that is returned or stored
+//!    escapes static rank tracking and must carry a
+//!    `// LINT: allow(guard-escape) — reason`.
 
 use std::collections::HashMap;
 
@@ -59,13 +71,14 @@ impl<'a> FileCtx<'a> {
         }
     }
 
-    fn in_test_item(&self, line: usize) -> bool {
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_item(&self, line: usize) -> bool {
         self.test_ranges.iter().any(|&(a, b)| line >= a && line <= b)
     }
 
     /// The annotation comment covering `line`: a trailing comment on the
     /// same line or a comment on the line directly above.
-    fn annotation(&self, line: usize, marker: &str) -> Option<&str> {
+    pub(crate) fn annotation(&self, line: usize, marker: &str) -> Option<&str> {
         for l in [line, line.saturating_sub(1)] {
             if l == 0 {
                 continue;
@@ -116,7 +129,7 @@ fn line_no(line_starts: &[usize], offset: usize) -> usize {
 
 /// Byte offset just past the brace matching the `{` at `open` (masked text,
 /// so literal braces cannot confuse the count).
-fn match_brace(text: &str, open: usize) -> usize {
+pub(crate) fn match_brace(text: &str, open: usize) -> usize {
     let bytes = text.as_bytes();
     let mut depth = 0usize;
     for (i, &b) in bytes.iter().enumerate().skip(open) {
@@ -135,7 +148,7 @@ fn match_brace(text: &str, open: usize) -> usize {
 }
 
 /// Finds the next word-boundary occurrence of `word` at or after `from`.
-fn find_word(text: &str, word: &str, from: usize) -> Option<usize> {
+pub(crate) fn find_word(text: &str, word: &str, from: usize) -> Option<usize> {
     let bytes = text.as_bytes();
     let mut pos = from;
     while let Some(rel) = text[pos..].find(word) {
@@ -153,7 +166,7 @@ fn find_word(text: &str, word: &str, from: usize) -> Option<usize> {
 
 /// Checks that an annotation carries a non-empty reason after the marker,
 /// e.g. `// LINT: allow(panic) — guarded by the assert above`.
-fn annotation_reason_ok(text: &str, marker: &str) -> bool {
+pub(crate) fn annotation_reason_ok(text: &str, marker: &str) -> bool {
     match text.find(marker) {
         Some(at) => {
             let rest = text[at + marker.len()..]
@@ -270,188 +283,16 @@ pub fn panic_sites(ctx: &FileCtx) -> (Vec<PanicSite>, Vec<Violation>) {
 
 /// Checks that, within each function, locks registered in `lock_order.toml`
 /// for this file are acquired in strictly ascending rank order. Guard
-/// bindings (`let g = recv.lock();`) hold their rank until `drop(g)` or the
-/// end of the function; other acquisitions are treated as released at the
-/// end of the statement.
+/// bindings — plain `let g = recv.lock();`, tuple-destructured
+/// `let (a, b) = ...`, and `if let Some(g) = recv.try_lock()` — hold their
+/// rank until `drop(g)` or the end of their scope.
+///
+/// This is a thin wrapper over [`crate::summary::summarize`], which also
+/// feeds the interprocedural pass; it exists so the intra-function rule can
+/// be exercised on fixtures in isolation.
 pub fn check_lock_order(ctx: &FileCtx, cfg: &LockOrder) -> Vec<Violation> {
-    let decls: Vec<_> = cfg.locks.iter().filter(|d| d.file == ctx.file).collect();
-    if decls.is_empty() {
-        return Vec::new();
-    }
-    let rank_of = |recv: &str| decls.iter().find(|d| d.recv == recv).map(|d| d.rank);
-    let text = &ctx.masked.text;
-    let mut out = Vec::new();
-    let mut pos = 0;
-    while let Some(at) = find_word(text, "fn", pos) {
-        let Some(d) = text[at..].find(['{', ';']) else { break };
-        if text.as_bytes()[at + d] == b';' {
-            pos = at + d + 1;
-            continue;
-        }
-        let open = at + d;
-        let close = match_brace(text, open);
-        scan_function(ctx, open, close, &rank_of, &mut out);
-        pos = close;
-    }
-    out
-}
-
-/// One function body: a linear scan tracking held guard bindings.
-fn scan_function(
-    ctx: &FileCtx,
-    open: usize,
-    close: usize,
-    rank_of: &dyn Fn(&str) -> Option<u16>,
-    out: &mut Vec<Violation>,
-) {
-    let text = &ctx.masked.text;
-    // (binding name, rank, receiver, line, brace depth at acquisition)
-    let mut held: Vec<(String, u16, String, usize, usize)> = Vec::new();
-    let mut depth = 0usize;
-    let mut pos = open;
-    // Counts braces between events so guards bound inside a block are
-    // released when that block closes.
-    let advance = |held: &mut Vec<(String, u16, String, usize, usize)>,
-                       depth: &mut usize,
-                       from: usize,
-                       to: usize| {
-        for b in text[from..to].bytes() {
-            match b {
-                b'{' => *depth += 1,
-                b'}' => {
-                    *depth = depth.saturating_sub(1);
-                    held.retain(|&(.., d)| d <= *depth);
-                }
-                _ => {}
-            }
-        }
-    };
-    while pos < close {
-        let next_lock = [".lock()", ".read()", ".write()"]
-            .iter()
-            .filter_map(|t| text[pos..close].find(t).map(|r| (pos + r, t.len())))
-            .min();
-        let next_drop = find_word(text, "drop", pos).filter(|&at| {
-            at < close && text[at + 4..].trim_start().starts_with('(')
-        });
-        match (next_lock, next_drop) {
-            (Some((lock_at, token_len)), drop_at)
-                if drop_at.map(|d| lock_at < d).unwrap_or(true) =>
-            {
-                advance(&mut held, &mut depth, pos, lock_at);
-                pos = lock_at + token_len;
-                let Some(recv) = receiver_before(text, lock_at) else { continue };
-                let Some(rank) = rank_of(&recv) else { continue };
-                let line = ctx.line_of(lock_at);
-                if let Some(annotation) = ctx.annotation(line, "LINT: allow(lock-order)") {
-                    if annotation_reason_ok(annotation, "LINT: allow(lock-order)") {
-                        continue;
-                    }
-                    out.push(ctx.violation(
-                        lock_at,
-                        "lock-order",
-                        "`LINT: allow(lock-order)` annotation is missing a reason".into(),
-                    ));
-                }
-                for (name, hrank, hrecv, hline, _) in &held {
-                    if *hrank >= rank {
-                        out.push(ctx.violation(
-                            lock_at,
-                            "lock-order",
-                            format!(
-                                "`{recv}` (rank {rank}) acquired while `{hrecv}` \
-                                 (rank {hrank}, bound as `{name}` on line {hline}) is held; \
-                                 ranks must strictly ascend"
-                            ),
-                        ));
-                    }
-                }
-                // A plain `let g = recv.lock();` keeps the guard alive; any
-                // other shape releases it at the end of the statement.
-                if let Some(name) = guard_binding(text, lock_at, pos) {
-                    held.push((name, rank, recv, line, depth));
-                }
-            }
-            (_, Some(drop_at)) => {
-                advance(&mut held, &mut depth, pos, drop_at);
-                let inner = text[drop_at + 4..].trim_start();
-                // drop(name) with a single identifier argument.
-                let arg: String = inner[1..].chars().take_while(|&c| is_ident(c)).collect();
-                if inner[1 + arg.len()..].trim_start().starts_with(')') {
-                    if let Some(i) = held.iter().rposition(|(n, ..)| *n == arg) {
-                        held.remove(i);
-                    }
-                }
-                pos = drop_at + 4;
-            }
-            _ => break,
-        }
-    }
-}
-
-/// Walks backwards from the `.` of a `.lock()` call to extract the last
-/// path segment of the receiver: `self.shard(&name).lock()` -> `shard`,
-/// `self.extents.lock()` -> `extents`.
-fn receiver_before(text: &str, dot_at: usize) -> Option<String> {
-    let bytes = text.as_bytes();
-    let mut i = dot_at;
-    // Skip whitespace (the call may be split across lines).
-    while i > 0 && (bytes[i - 1] as char).is_whitespace() {
-        i -= 1;
-    }
-    // Skip one balanced () or [] group (a method call or index).
-    if i > 0 && (bytes[i - 1] == b')' || bytes[i - 1] == b']') {
-        let (open, shut) = if bytes[i - 1] == b')' { (b'(', b')') } else { (b'[', b']') };
-        let mut depth = 0usize;
-        while i > 0 {
-            i -= 1;
-            if bytes[i] == shut {
-                depth += 1;
-            } else if bytes[i] == open {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            }
-        }
-        while i > 0 && (bytes[i - 1] as char).is_whitespace() {
-            i -= 1;
-        }
-    }
-    let end = i;
-    while i > 0 && is_ident(bytes[i - 1] as char) {
-        i -= 1;
-    }
-    if i == end {
-        return None;
-    }
-    Some(text[i..end].to_string())
-}
-
-/// If the statement containing the lock call is exactly
-/// `let [mut] NAME = <receiver>.lock();`, returns `NAME`.
-fn guard_binding(text: &str, lock_at: usize, after: usize) -> Option<String> {
-    // The guard survives the statement only if the lock call ends it.
-    if !text[after..].trim_start().starts_with(';') {
-        return None;
-    }
-    // Back up to the start of the statement.
-    let stmt_start = text[..lock_at]
-        .rfind([';', '{', '}'])
-        .map(|i| i + 1)
-        .unwrap_or(0);
-    let stmt = &text[stmt_start..lock_at];
-    let let_at = find_word(stmt, "let", 0)?;
-    let mut rest = stmt[let_at + 3..].trim_start();
-    if let Some(stripped) = rest.strip_prefix("mut ") {
-        rest = stripped.trim_start();
-    }
-    let name: String = rest.chars().take_while(|&c| is_ident(c)).collect();
-    if name.is_empty() || name == "_" {
-        None
-    } else {
-        Some(name)
-    }
+    let summary = crate::summary::summarize(ctx, cfg, false);
+    summary.violations.into_iter().filter(|v| v.rule == "lock-order").collect()
 }
 
 // ---------------------------------------------------------------------------

@@ -137,3 +137,27 @@ fn rank_sync_catches_drift() {
     let v = rules::check_rank_sync(&ctx, &cfg);
     assert_eq!(v.len(), 2, "{v:?}");
 }
+
+#[test]
+fn tuple_and_if_let_guard_bindings_are_tracked() {
+    let file = "fixtures/lock_tuple.rs";
+    let m = mask(include_str!("../fixtures/lock_tuple.rs"));
+    let ctx = FileCtx::new(file, &m);
+    let cfg = LockOrder {
+        ranks: vec![("A".into(), 10), ("B".into(), 20), ("C".into(), 30)],
+        locks: vec![
+            LockDecl { file: file.into(), recv: "a".into(), rank: 10 },
+            LockDecl { file: file.into(), recv: "b".into(), rank: 20 },
+            LockDecl { file: file.into(), recv: "c".into(), rank: 30 },
+        ],
+    };
+    let v = rules::check_lock_order(&ctx, &cfg);
+    // `tuple_inverted` and `if_let_inverted` only; the ascending tuple and
+    // the block-scoped `if let` guard must pass.
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v.iter().all(|v| v.rule == "lock-order"), "{v:?}");
+    assert_eq!(v[0].line, 20, "{v:?}");
+    assert!(v[0].message.contains("bound as `b`"), "{}", v[0].message);
+    assert_eq!(v[1].line, 35, "{v:?}");
+    assert!(v[1].message.contains("rank 20"), "{}", v[1].message);
+}

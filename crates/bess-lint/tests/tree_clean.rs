@@ -12,6 +12,10 @@ fn workspace_lints_clean() {
         Err(e) => panic!("lint configuration error: {e}"),
     };
     assert!(report.files_scanned > 50, "suspiciously few files scanned");
+    // The interprocedural pass really ran: the workspace has far more
+    // functions and call edges than this floor.
+    assert!(report.functions > 500, "suspiciously few functions summarized: {}", report.functions);
+    assert!(report.call_edges > 1000, "suspiciously few call edges: {}", report.call_edges);
     let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
     assert!(
         report.violations.is_empty(),

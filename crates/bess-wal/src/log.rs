@@ -678,6 +678,7 @@ impl LogManager {
                         counted_follower = true;
                     }
                 }
+                // LINT: allow(blocking-under-lock) — condvar wait atomically releases `gc` via raw().
                 self.group_cv.wait(g.raw());
                 // A failed force fails every member of its group.
                 if let (Some(mine), Some((gen, msg))) = (joined, g.failed.as_ref()) {
@@ -710,6 +711,7 @@ impl LogManager {
                     if self.state.lock().tail.len() >= cfg.max_group_bytes {
                         break;
                     }
+                    // LINT: allow(blocking-under-lock) — condvar wait atomically releases `gc` via raw().
                     if self.group_cv.wait_until(g.raw(), deadline).timed_out() {
                         break;
                     }
@@ -793,9 +795,14 @@ impl LogManager {
         let tail = std::mem::take(&mut state.tail);
         state.flushed_lsn = state.next_lsn;
         let _timer = self.flush_ns.start();
+        // The E21 ablation baseline: solo forcing deliberately holds
+        // `state` across the device force so appends wait, measuring the
+        // cost of ungrouped commits.
         if let Err(e) = self
             .backend
+            // LINT: allow(blocking-under-lock) — E21 solo force, see above.
             .write_at(&tail, offset)
+            // LINT: allow(blocking-under-lock) — E21 solo force, see above.
             .and_then(|()| self.backend.sync())
         {
             // Nothing was acknowledged; restore the tail (no appends
