@@ -121,6 +121,7 @@ fn main() {
     e21_group_commit(r);
     hot_path_latencies(r);
     e22_scenarios(r);
+    e23_checksum_overhead(r);
     let json = report.to_json();
     std::fs::write("BENCH_report.json", &json).expect("write BENCH_report.json");
     println!("\nreport complete ({} experiment sections in BENCH_report.json).",
@@ -1131,6 +1132,134 @@ fn e22_scenarios(report: &mut JsonReport) {
     for (key, value) in e22_entries(&cfg, &results) {
         report.raw("E22", &key, value);
     }
+}
+
+// ---------------------------------------------------------------------------
+// E23 — checksum-verify overhead on the cached-read hot path. Every page
+// read off the disk re-derives the 32-byte integrity header (DESIGN.md
+// §16); the budget is that with a warm cache in front — where most reads
+// are hits that never touch the area — end-to-end read cost rises ≤ 5%.
+// The uncached (every-read-verifies) cost is reported alongside for
+// contrast: that is the price the cache hides.
+// ---------------------------------------------------------------------------
+fn e23_checksum_overhead(report: &mut JsonReport) {
+    use bess_cache::AreaSet;
+    use bess_storage::{AreaConfig, AreaId, StorageArea};
+
+    println!("## E23 — checksum verify overhead: cached-read hot path (budget ≤ 5%)\n");
+    const N_PAGES: usize = 1024;
+    const CAP: usize = 640;
+    const WARMUP: usize = 10_000;
+    const ACCESSES: usize = 60_000;
+
+    // One rig per verify setting: a private pool (cap 256) over an area
+    // set whose single area either verifies page checksums on every disk
+    // read or trusts the bytes. Same pages, same zipf trace, same seed.
+    let build = |verify: bool| -> (Arc<AreaSet>, Vec<u64>) {
+        let cfg = AreaConfig {
+            verify_on_read: verify,
+            ..AreaConfig::default()
+        };
+        let area = Arc::new(StorageArea::create_mem(AreaId(0), cfg).unwrap());
+        let mut pages = Vec::with_capacity(N_PAGES);
+        while pages.len() < N_PAGES {
+            let ptr = area.alloc(64).unwrap();
+            for p in 0..u64::from(ptr.pages) {
+                pages.push(ptr.start_page + p);
+            }
+        }
+        pages.truncate(N_PAGES);
+        let mut data = vec![0u8; area.page_size()];
+        for (i, &p) in pages.iter().enumerate() {
+            data[0] = i as u8;
+            area.write_page(p, &data).unwrap();
+        }
+        let set = Arc::new(AreaSet::new());
+        set.add(area);
+        (set, pages)
+    };
+
+    // Cached path: pool in front, zipf 0.99 trace, warm before timing.
+    let cached_ns = |verify: bool| -> (f64, f64) {
+        let (set, pages) = build(verify);
+        let space = Arc::new(AddressSpace::new());
+        let pool = PrivatePool::new(
+            Arc::clone(&space),
+            Arc::clone(&set) as Arc<dyn PageIo>,
+            CAP,
+        );
+        let ranges: Vec<VRange> = (0..N_PAGES).map(|_| space.reserve(4096, None)).collect();
+        let zipf = Zipf::new(N_PAGES, 0.99);
+        let mut r = rng(2026);
+        let touch = |i: usize| {
+            pool.fault_in(
+                DbPage { area: 0, page: pages[i] },
+                ranges[i].start(),
+                Protect::Read,
+            )
+            .unwrap();
+        };
+        for _ in 0..WARMUP {
+            touch(zipf.sample(&mut r));
+        }
+        let started = Instant::now();
+        for _ in 0..ACCESSES {
+            touch(zipf.sample(&mut r));
+        }
+        let ns = started.elapsed().as_nanos() as f64 / ACCESSES as f64;
+        (ns, {
+            let s = pool.metrics().registry().snapshot();
+            let (h, l) = (
+                s.counter("cache.private.hits"),
+                s.counter("cache.private.loads"),
+            );
+            h as f64 / (h + l) as f64 * 100.0
+        })
+    };
+
+    // Uncached path: every read goes to the area (read_page), so every
+    // read pays (or skips) the verify.
+    let raw_ns = |verify: bool| -> f64 {
+        let (set, pages) = build(verify);
+        let area = set.get(0).unwrap();
+        let mut buf = vec![0u8; area.page_size()];
+        let zipf = Zipf::new(N_PAGES, 0.99);
+        let mut r = rng(2026);
+        let started = Instant::now();
+        for _ in 0..ACCESSES {
+            area.read_page(pages[zipf.sample(&mut r)], &mut buf).unwrap();
+        }
+        started.elapsed().as_nanos() as f64 / ACCESSES as f64
+    };
+
+    // Best-of-three per configuration: the gate compares medians of cheap
+    // in-memory loops, so pick the least-noisy observation of each.
+    let best = |f: &dyn Fn() -> f64| (0..3).map(|_| f()).fold(f64::MAX, f64::min);
+    let cached_off = best(&|| cached_ns(false).0);
+    let (_, hit_pct) = cached_ns(true);
+    let cached_on = best(&|| cached_ns(true).0);
+    let raw_off = best(&|| raw_ns(false));
+    let raw_on = best(&|| raw_ns(true));
+
+    let cached_pct = (cached_on - cached_off) / cached_off * 100.0;
+    let raw_pct = (raw_on - raw_off) / raw_off * 100.0;
+    let verdict = if cached_pct <= 5.0 { "pass" } else { "fail" };
+
+    println!("| path | verify off | verify on | overhead |");
+    println!("|---|---|---|---|");
+    println!("| cached read (pool, zipf 0.99, {hit_pct:.1}% hits) | {cached_off:.0}ns | {cached_on:.0}ns | {cached_pct:.2}% |");
+    println!("| uncached read (read_page) | {raw_off:.0}ns | {raw_on:.0}ns | {raw_pct:.2}% |");
+    println!("\ncached-read budget 5%: {verdict}\n");
+
+    report.num("E23", "cached.verify_off.ns", cached_off);
+    report.num("E23", "cached.verify_on.ns", cached_on);
+    report.num("E23", "cached.overhead_pct", cached_pct);
+    report.num("E23", "cached.hit_pct", hit_pct);
+    report.num("E23", "uncached.verify_off.ns", raw_off);
+    report.num("E23", "uncached.verify_on.ns", raw_on);
+    report.num("E23", "uncached.overhead_pct", raw_pct);
+    report.num("E23", "budget_pct", 5.0);
+    report.text("E23", "verdict", verdict);
 }
 
 fn hot_path_latencies(report: &mut JsonReport) {

@@ -30,7 +30,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bess_cache::DbPage;
+use bess_cache::{AreaSet, DbPage};
 use bess_lock::LockMode;
 use bess_net::{NetFaultKind, NetFaultPlan, Network, NodeId};
 use bess_obs::{json_string, LatencyHistogram, Registry, RegistrySnapshot};
@@ -38,7 +38,7 @@ use bess_server::{
     register_areas, BessServer, ClientConfig, ClientConn, Directory, Msg, PageUpdate,
     ServerConfig,
 };
-use bess_storage::{AreaConfig, AreaId, StorageArea};
+use bess_storage::{AreaConfig, AreaId, FaultDisk, FaultPlan, StorageArea, PAGE_HDR};
 use bess_wal::LogManager;
 use rand::Rng;
 
@@ -125,6 +125,10 @@ struct Scale {
     cold_pages: usize,
     /// Transactions in the crash+recovery leg (half before the crash).
     crash_txns: usize,
+    /// Object slots in the scrub-under-load point-op farm.
+    scrub_objects: usize,
+    /// Cold pages bit-rotted while the scrub scenario's load runs.
+    scrub_rots: usize,
 }
 
 impl Scale {
@@ -143,6 +147,8 @@ impl Scale {
                 aging_pool: 48,
                 cold_pages: 96,
                 crash_txns: 24,
+                scrub_objects: 1 << 12,
+                scrub_rots: 24,
             },
             Profile::Full => Scale {
                 conns: 16,
@@ -157,6 +163,8 @@ impl Scale {
                 aging_pool: 96,
                 cold_pages: 224,
                 crash_txns: 400,
+                scrub_objects: 1 << 15,
+                scrub_rots: 200,
             },
         }
     }
@@ -682,6 +690,7 @@ fn largeobj_aging(cfg: &ScenarioCfg, scale: &Scale) -> ScenarioResult {
                 extent_pages_log2: 6,
                 initial_extents: 2,
                 expandable: true,
+                verify_on_read: true,
             },
         )
         .unwrap(),
@@ -1012,6 +1021,263 @@ pub fn run_crash_leg(cfg: &ScenarioCfg) -> CrashLegReport {
 }
 
 // ---------------------------------------------------------------------------
+// Scrub under load: zipf traffic + silent bit rot + the background scrubber
+// ---------------------------------------------------------------------------
+
+/// Zipf point traffic against a server whose **background scrubber is on**,
+/// while a gremlin thread silently rots bytes of cold committed pages on
+/// the (fault-injectable) disk under it. Gates three things at once:
+///
+/// - the scrubber finds and repairs every rotted page from WAL history
+///   without any foreground read ever touching those pages
+///   (`storage.corruption.repaired ≥` rotted pages, `unrepairable == 0`,
+///   and an exact byte-for-byte read-back of every rotted page);
+/// - scrubbing never invents damage: nothing ends up quarantined and the
+///   area converges to a clean steady state (two consecutive clean passes);
+/// - foreground latency SLOs still hold with the scrubber competing for
+///   the disk (commit RTT and txn ceilings below).
+fn scrub_under_load(cfg: &ScenarioCfg, scale: &Scale) -> ScenarioResult {
+    let name = "scrub_under_load";
+    // Hand-built world (like the crash leg): the area must sit on a
+    // `FaultDisk` so rot can be injected under the live server, and the
+    // server config must switch the scrubber thread on.
+    let net: Arc<Network<Msg>> = Network::new(Duration::ZERO);
+    let dir = Arc::new(Directory::new());
+    let disk = FaultDisk::new(FaultPlan::unarmed());
+    let area = Arc::new(
+        StorageArea::create_faulty(AreaId(0), AreaConfig::default(), Arc::clone(&disk)).unwrap(),
+    );
+    let page_size = area.page_size();
+    let farm = PageFarm::provision(&area, scale.scrub_objects);
+    // Rot targets live *outside* the farm: cold pages only the scrubber
+    // will ever visit, so healing is attributable to the scrubber alone.
+    let mut rot_pages: Vec<u64> = Vec::new();
+    while rot_pages.len() < scale.scrub_rots {
+        let ptr = area.alloc(32).unwrap();
+        for p in 0..u64::from(ptr.pages) {
+            rot_pages.push(ptr.start_page + p);
+        }
+    }
+    rot_pages.truncate(scale.scrub_rots);
+
+    let set = Arc::new(AreaSet::new());
+    set.add(Arc::clone(&area));
+    register_areas(&dir, NodeId(100), &set);
+    let mut scfg = ServerConfig::new(NodeId(100));
+    scfg.scrub.enabled = true;
+    scfg.scrub.interval = Duration::from_millis(1);
+    scfg.scrub.pages_per_pass = 1 << 12;
+    let (server, _) = BessServer::start(scfg, Arc::clone(&set), LogManager::create_mem(), &net);
+
+    let zipf = Zipf::new(scale.scrub_objects, 0.99);
+    let marker = |i: usize| 0x5eed_0000_0000_0000u64 + i as u64;
+
+    // Schedules and the rot plan, single-threaded and digested up front:
+    // which pages rot, where, and what the load does are all seed-stable;
+    // only *when* a flip lands relative to the traffic is scheduling.
+    let mut digest = Digest::new();
+    digest.mix(cfg.seed);
+    let mut rot_plan: Vec<(u64, usize)> = Vec::new();
+    {
+        let mut r = rng(cfg.seed ^ salt(name));
+        for &p in &rot_pages {
+            let off = r.gen_range(0..page_size);
+            digest.mix(p);
+            digest.mix(off as u64);
+            rot_plan.push((p, off));
+        }
+    }
+    let mut schedules: Vec<Vec<Vec<Op>>> = Vec::with_capacity(scale.clients);
+    for lc in 0..scale.clients {
+        let mut r = rng(cfg.seed ^ salt(name) ^ (lc as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut txns = Vec::with_capacity(scale.txns_per_client);
+        for _ in 0..scale.txns_per_client {
+            let mut ops: Vec<Op> = Vec::with_capacity(4);
+            while ops.len() < 4 {
+                let obj = zipf.sample(&mut r);
+                if ops.iter().any(|&(o, _)| o == obj) {
+                    continue;
+                }
+                let write = r.gen_range(0..100) < 50;
+                digest.mix(obj as u64);
+                digest.mix(u64::from(write));
+                ops.push((obj, write));
+            }
+            txns.push(ops);
+        }
+        schedules.push(txns);
+    }
+
+    let connect = |node: u32| {
+        let ccfg = ClientConfig::new(NodeId(node), NodeId(100));
+        ClientConn::connect(&net, Arc::clone(&dir), ccfg)
+    };
+
+    // Seed every rot target with a committed marker through the normal WAL
+    // path, so each has reconstructable history *before* any byte rots.
+    let setup = connect(99);
+    for (i, &p) in rot_pages.iter().enumerate() {
+        let page = DbPage { area: 0, page: p };
+        setup.begin().unwrap();
+        let d = setup.fetch_page(page, LockMode::X).unwrap();
+        setup
+            .commit(vec![PageUpdate {
+                page,
+                offset: 0,
+                before: d[0..8].to_vec(),
+                after: marker(i).to_le_bytes().to_vec(),
+            }])
+            .unwrap();
+    }
+    setup.disconnect();
+
+    let reg = Registry::new();
+    let txn_ns = scenario_hist(&reg, "txn.ns");
+    let started = Instant::now();
+    let per_conn: Vec<(RegistrySnapshot, u64, u64)> = std::thread::scope(|s| {
+        // The gremlin: one silent XOR flip per target page, spread over
+        // the run, landing in the page *data* past the sealed header. The
+        // server is never told; only verify-on-read / the scrubber can
+        // notice.
+        {
+            let disk = &disk;
+            let rot_plan = &rot_plan;
+            s.spawn(move || {
+                for &(p, off) in rot_plan.iter() {
+                    let at = p * (PAGE_HDR + page_size) as u64 + (PAGE_HDR + off) as u64;
+                    let mut b = [0u8; 1];
+                    disk.read_at(&mut b, at).unwrap();
+                    b[0] ^= 0x40;
+                    disk.write_at(&b, at).unwrap();
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+            });
+        }
+        let handles: Vec<_> = (0..scale.conns)
+            .map(|c| {
+                let schedules = &schedules;
+                let farm = &farm;
+                let txn_ns = &txn_ns;
+                let connect = &connect;
+                s.spawn(move || {
+                    let conn = connect(1 + c as u32);
+                    let mut aborts = 0u64;
+                    let mut ops_done = 0u64;
+                    #[allow(clippy::needless_range_loop)]
+                    for t in 0..scale.txns_per_client {
+                        for lc in (c..scale.clients).step_by(scale.conns) {
+                            let _timer = txn_ns.start();
+                            match run_txn(&conn, farm, &schedules[lc][t]) {
+                                Ok(n) => ops_done += n,
+                                Err(_) => {
+                                    let _ = conn.abort();
+                                    aborts += 1;
+                                }
+                            }
+                        }
+                    }
+                    let snap = conn.metrics().registry().snapshot();
+                    conn.disconnect();
+                    (snap, aborts, ops_done)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Drain: let the scrubber converge to a clean steady state — two
+    // consecutive full passes that find nothing corrupt.
+    let mut clean = 0;
+    for _ in 0..64 {
+        if server.scrub_once().corrupt == 0 {
+            clean += 1;
+            if clean >= 2 {
+                break;
+            }
+        } else {
+            clean = 0;
+        }
+    }
+    let wall_ms = started.elapsed().as_millis() as u64;
+
+    // Oracle read-back through the server: every rotted page must carry
+    // exactly its committed marker again, byte for byte.
+    let check_conn = connect(98);
+    let mut lost = 0u64;
+    for (i, &p) in rot_pages.iter().enumerate() {
+        let page = DbPage { area: 0, page: p };
+        check_conn.begin().unwrap();
+        let ok = match check_conn.fetch_page(page, LockMode::S) {
+            Ok(d) => {
+                d[0..8] == marker(i).to_le_bytes()
+                    && d[8..].iter().all(|&b| b == 0)
+            }
+            Err(_) => false,
+        };
+        let _ = check_conn.commit(vec![]);
+        if !ok {
+            lost += 1;
+        }
+    }
+    let check_snap = check_conn.metrics().registry().snapshot();
+    check_conn.disconnect();
+
+    let sreg = server.metrics().registry();
+    let detected = sreg.counter("storage.corruption.detected").get();
+    let repaired = sreg.counter("storage.corruption.repaired").get();
+    let unrepairable = sreg.counter("storage.corruption.unrepairable").get();
+    let passes = sreg.counter("storage.scrub.passes").get();
+    let quarantined = area.quarantined_pages().len() as u64;
+
+    let mut merged = reg.snapshot();
+    let mut aborts = 0u64;
+    let mut ops = 0u64;
+    for (snap, a, o) in &per_conn {
+        merged.absorb("", snap);
+        aborts += a;
+        ops += o;
+    }
+    merged.absorb("", &check_snap);
+    merged.absorb("", &server.metrics().registry().snapshot());
+    server.shutdown();
+
+    let total_txns = (scale.clients * scale.txns_per_client) as u64;
+    // Ceilings sit above the zipf baselines: the scrubber shares the disk
+    // with the foreground, and a txn that trips over fresh rot pays one
+    // in-line repair. Still bounded by the same lock-timeout logic as
+    // zipf (§E22 calibration).
+    let mut checks = check_histogram(
+        &merged,
+        &Slo::p50_p99("client.commit.rtt.ns", 16_777_216, 268_435_456),
+    );
+    checks.extend(check_histogram(&merged, &Slo::p99("scenario.txn.ns", 1_073_741_824)));
+    checks.push(SloCheck::at_most("client.aborts", aborts, total_txns / 4));
+    checks.push(SloCheck::at_least(
+        "storage.corruption.detected",
+        detected,
+        rot_pages.len() as u64,
+    ));
+    checks.push(SloCheck::at_least(
+        "storage.corruption.repaired",
+        repaired,
+        rot_pages.len() as u64,
+    ));
+    checks.push(SloCheck::at_most("storage.corruption.unrepairable", unrepairable, 0));
+    checks.push(SloCheck::at_least("storage.scrub.passes", passes, 1));
+    checks.push(SloCheck::at_most("storage.quarantined_pages", quarantined, 0));
+    checks.push(SloCheck::at_most("scrub.lost_pages", lost, 0));
+
+    ScenarioResult {
+        name,
+        ops,
+        wall_ms,
+        digest: digest.value(),
+        checks,
+        curve: vec![],
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The library of scenarios
 // ---------------------------------------------------------------------------
 
@@ -1024,6 +1290,7 @@ pub const SCENARIO_NAMES: &[&str] = &[
     "largeobj_aging",
     "cold_start",
     "crash_recovery",
+    "scrub_under_load",
 ];
 
 /// Runs one scenario by name.
@@ -1037,6 +1304,7 @@ pub fn run_one(name: &str, cfg: &ScenarioCfg) -> Option<ScenarioResult> {
         "largeobj_aging" => largeobj_aging(cfg, &scale),
         "cold_start" => cold_start(cfg, &scale),
         "crash_recovery" => run_crash_leg(cfg).result,
+        "scrub_under_load" => scrub_under_load(cfg, &scale),
         _ => return None,
     })
 }

@@ -146,6 +146,37 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_page_surfaces_through_load() {
+        use bess_storage::fault::{FaultDisk, FaultPlan};
+        use bess_storage::PAGE_HDR;
+        let disk = FaultDisk::new(FaultPlan::unarmed());
+        let area = Arc::new(
+            StorageArea::create_faulty(AreaId(1), AreaConfig::default(), Arc::clone(&disk))
+                .unwrap(),
+        );
+        let seg = area.alloc(1).unwrap();
+        let ps = area.page_size();
+        let set = AreaSet::new();
+        let page = DbPage {
+            area: 1,
+            page: seg.start_page,
+        };
+        set.add(Arc::clone(&area));
+        set.write_back(page, &vec![0x5A; ps]).unwrap();
+
+        // Durably rot one data byte inside the page's slot: the cache must
+        // get a typed error, never the rotted bytes.
+        let off = seg.start_page * (PAGE_HDR + ps) as u64 + PAGE_HDR as u64 + 3;
+        let mut b = [0u8; 1];
+        disk.read_at(&mut b, off).unwrap();
+        disk.write_at(&[b[0] ^ 0x80], off).unwrap();
+
+        let mut buf = vec![0u8; ps];
+        let err = set.load(page, &mut buf).unwrap_err();
+        assert!(err.contains("corrupt page"), "got: {err}");
+    }
+
+    #[test]
     fn missing_area_errors() {
         let set = AreaSet::new();
         let mut buf = vec![0u8; 4096];

@@ -333,7 +333,10 @@ pub fn base_type(s: &str) -> Option<String> {
         break;
     }
     let (head, inner) = match t.find('<') {
-        Some(d) => (&t[..d], t.rfind('>').map(|e| &t[d + 1..e])),
+        // `rfind` can land *before* the `<` on closure-typed params whose
+        // `->` arrow supplies the last `>` (`impl FnMut() -> Result<T`,
+        // already clipped at a top-level comma); treat that as no generics.
+        Some(d) => (&t[..d], t.rfind('>').filter(|&e| e > d).map(|e| &t[d + 1..e])),
         None => (t, None),
     };
     let head = head.trim();
@@ -1112,5 +1115,22 @@ fn guard_binding(text: &str, recv_start: usize, after: usize) -> Option<(String,
         None
     } else {
         Some((name, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::base_type;
+
+    #[test]
+    fn base_type_survives_closure_params() {
+        // A closure-typed parameter clipped at its generics' top-level
+        // comma: the last `>` in the string is the `->` arrow, *before*
+        // the `<`. Must not slice backwards (panic), must not resolve.
+        assert_eq!(base_type("impl FnMut() -> Result<T"), None);
+        assert_eq!(base_type("impl FnOnce() -> u64"), None);
+        // Sanity: the usual shapes still resolve.
+        assert_eq!(base_type("&Arc<StorageArea>"), Some("StorageArea".into()));
+        assert_eq!(base_type("Result<T, E>"), Some("Result".into()));
     }
 }

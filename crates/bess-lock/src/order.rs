@@ -82,6 +82,11 @@ pub enum Rank {
     /// `StorageArea::extents` — the buddy-allocator extent table, held
     /// across backend growth when expanding an area.
     AreaExtents = 44,
+    /// `StorageArea::quarantined` — the set of pages whose integrity
+    /// verification failed unrepairably. Checked before every backend
+    /// read and never held across I/O (blocking-under-lock enforces
+    /// that statically).
+    AreaQuarantine = 45,
     /// `Backend::Mem` — the in-memory disk image behind a storage area.
     AreaBackendMem = 46,
     /// `FaultDisk::images` — the two-image (durable/volatile) state of the
@@ -91,6 +96,12 @@ pub enum Rank {
     FaultPlanSlot = 52,
     /// `FaultPlan::armed` — the single-shot armed fault inside a plan.
     FaultArmed = 54,
+    /// `Scrubber::cursor` — the background scrubber's walk position and
+    /// bookkeeping. Ranks *above* every storage/WAL/fault lock so that
+    /// holding it across a page verification (which acquires those) is
+    /// itself a reported inversion: the scrubber must snapshot its cursor,
+    /// drop the guard, then do I/O.
+    ServerScrub = 55,
     /// `ServerInner::leases` — the per-client lease table. Taken briefly on
     /// every received message and by the reaper; never held across lock
     /// manager, log, or network calls.
@@ -131,10 +142,12 @@ impl Rank {
         Rank::WalLog,
         Rank::WalBackendMem,
         Rank::AreaExtents,
+        Rank::AreaQuarantine,
         Rank::AreaBackendMem,
         Rank::FaultImages,
         Rank::FaultPlanSlot,
         Rank::FaultArmed,
+        Rank::ServerScrub,
         Rank::ServerLeases,
         Rank::ServerDedup,
         Rank::NetPartition,
@@ -166,10 +179,12 @@ impl Rank {
             Rank::WalLog => "WalLog",
             Rank::WalBackendMem => "WalBackendMem",
             Rank::AreaExtents => "AreaExtents",
+            Rank::AreaQuarantine => "AreaQuarantine",
             Rank::AreaBackendMem => "AreaBackendMem",
             Rank::FaultImages => "FaultImages",
             Rank::FaultPlanSlot => "FaultPlanSlot",
             Rank::FaultArmed => "FaultArmed",
+            Rank::ServerScrub => "ServerScrub",
             Rank::ServerLeases => "ServerLeases",
             Rank::ServerDedup => "ServerDedup",
             Rank::NetPartition => "NetPartition",

@@ -25,6 +25,7 @@ mod client;
 mod directory;
 mod nodeserver;
 mod proto;
+mod scrub;
 mod server;
 
 pub use client::{
@@ -34,6 +35,7 @@ pub use client::{
 pub use directory::Directory;
 pub use nodeserver::{NodeHandle, NodeServer, NodeServerConfig, NodeServerStats, NodeServerStatsSnapshot};
 pub use proto::{coordinator_of, GTxn, Msg, PageUpdate};
+pub use scrub::{ScrubConfig, ScrubPassReport};
 pub use server::{
     register_areas, AreaTarget, BessServer, ServerConfig, ServerStats, ServerStatsSnapshot,
 };
@@ -794,5 +796,220 @@ mod client_logging_tests {
             with_log < without / 2,
             "local-log commit {with_log:?} should be much faster than synchronous ship {without:?}"
         );
+    }
+}
+
+#[cfg(test)]
+mod integrity_tests {
+    //! End-to-end data-integrity tests (§16): silent corruption injected
+    //! under the server, detected by checksummed reads, repaired from the
+    //! WAL — foreground on the read path and background by the scrubber.
+
+    use super::*;
+    use bess_cache::{AreaSet, DbPage};
+    use bess_lock::LockMode;
+    use bess_net::{Network, NodeId};
+    use bess_storage::fault::{FaultDisk, FaultPlan};
+    use bess_storage::{AreaConfig, AreaId, StorageArea, PAGE_HDR};
+    use bess_wal::LogManager;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    struct Rig {
+        net: Arc<Network<Msg>>,
+        dir: Arc<Directory>,
+        server: BessServer,
+        disk: Arc<FaultDisk>,
+        area: Arc<StorageArea>,
+    }
+
+    /// One server over a single fault-injectable area.
+    fn rig(tune: impl FnOnce(&mut ServerConfig)) -> Rig {
+        let net = Network::new(Duration::ZERO);
+        let dir = Arc::new(Directory::new());
+        let disk = FaultDisk::new(FaultPlan::unarmed());
+        let area = Arc::new(
+            StorageArea::create_faulty(AreaId(1), AreaConfig::default(), Arc::clone(&disk))
+                .unwrap(),
+        );
+        let set = Arc::new(AreaSet::new());
+        set.add(Arc::clone(&area));
+        let node = NodeId(100);
+        register_areas(&dir, node, &set);
+        let mut cfg = ServerConfig::new(node);
+        tune(&mut cfg);
+        let (server, report) = BessServer::start(cfg, set, LogManager::create_mem(), &net);
+        assert!(report.losers.is_empty());
+        Rig { net, dir, server, disk, area }
+    }
+
+    fn client(r: &Rig) -> Arc<ClientConn> {
+        let mut cfg = ClientConfig::new(NodeId(1), r.server.node());
+        cfg.caching = false;
+        ClientConn::connect(&r.net, Arc::clone(&r.dir), cfg)
+    }
+
+    fn slot_off(r: &Rig, page: u64) -> u64 {
+        page * (PAGE_HDR + r.area.page_size()) as u64
+    }
+
+    /// Durably flips one data byte inside the page's slot, behind the
+    /// server's back — the signature of silent media corruption.
+    fn rot(r: &Rig, page: u64, byte: u64) {
+        let off = slot_off(r, page) + PAGE_HDR as u64 + byte;
+        let mut b = [0u8; 1];
+        r.disk.read_at(&mut b, off).unwrap();
+        r.disk.write_at(&[b[0] ^ 0x40], off).unwrap();
+    }
+
+    fn counter(r: &Rig, name: &str) -> u64 {
+        r.server.metrics().registry().counter(name).get()
+    }
+
+    /// Allocates a page and commits `bytes` at offset 0 through the
+    /// normal WAL path, so the page has committed history to rebuild from.
+    fn committed_page(r: &Rig, bytes: &[u8]) -> DbPage {
+        let seg = r.area.alloc(1).unwrap();
+        let p = DbPage { area: 1, page: seg.start_page };
+        let c = client(r);
+        c.begin().unwrap();
+        c.fetch_page(p, LockMode::X).unwrap();
+        c.commit(vec![PageUpdate {
+            page: p,
+            offset: 0,
+            before: vec![0; bytes.len()],
+            after: bytes.to_vec(),
+        }])
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn silent_bit_rot_is_repaired_on_read() {
+        let r = rig(|_| {});
+        let p = committed_page(&r, b"hi");
+        rot(&r, p.page, 0);
+
+        let c = client(&r);
+        c.begin().unwrap();
+        let data = c.fetch_page(p, LockMode::S).unwrap();
+        assert_eq!(&data[0..2], b"hi", "read must return repaired bytes, never rot");
+        c.commit(vec![]).unwrap();
+
+        assert!(counter(&r, "storage.corruption.detected") >= 1);
+        assert!(counter(&r, "storage.corruption.repaired") >= 1);
+        assert_eq!(counter(&r, "storage.corruption.unrepairable"), 0);
+        assert!(!r.server.is_read_only());
+        assert!(!r.area.is_quarantined(p.page));
+    }
+
+    #[test]
+    fn unrepairable_corruption_quarantines_and_trips_read_only() {
+        let r = rig(|cfg| cfg.media_error_threshold = 1);
+        let seg = r.area.alloc(1).unwrap();
+        let page = seg.start_page;
+        // Written behind the WAL's back: no committed history to rebuild.
+        r.area.write_page(page, &vec![0x5A; r.area.page_size()]).unwrap();
+        rot(&r, page, 7);
+
+        let c = client(&r);
+        c.begin().unwrap();
+        let err = c.fetch_page(DbPage { area: 1, page }, LockMode::S).unwrap_err();
+        assert!(
+            format!("{err:?}").contains("corrupt page"),
+            "want typed corruption error, got: {err:?}"
+        );
+        assert!(r.area.is_quarantined(page));
+        assert!(counter(&r, "storage.corruption.unrepairable") >= 1);
+        assert!(r.server.is_read_only(), "unrepairable corruption must count toward read-only");
+
+        // A quarantined page fails fast: no second repair attempt.
+        let detected = counter(&r, "storage.corruption.detected");
+        let c2 = client(&r);
+        c2.begin().unwrap();
+        let err = c2.fetch_page(DbPage { area: 1, page }, LockMode::S).unwrap_err();
+        assert!(format!("{err:?}").contains("corrupt page"), "got: {err:?}");
+        assert_eq!(counter(&r, "storage.corruption.detected"), detected);
+    }
+
+    #[test]
+    fn scrub_pass_repairs_rotted_page() {
+        let r = rig(|_| {});
+        let p = committed_page(&r, b"scrubbed");
+        rot(&r, p.page, 2);
+
+        let mut repaired = 0;
+        for _ in 0..64 {
+            repaired += r.server.scrub_once().repaired;
+            if repaired > 0 {
+                break;
+            }
+        }
+        assert!(repaired >= 1, "scrubber never reached the rotted page");
+        assert!(counter(&r, "storage.scrub.passes") >= 1);
+        assert!(counter(&r, "storage.scrub.pages") >= 1);
+        assert!(counter(&r, "storage.corruption.repaired") >= 1);
+
+        let c = client(&r);
+        c.begin().unwrap();
+        let data = c.fetch_page(p, LockMode::S).unwrap();
+        assert_eq!(&data[..8], b"scrubbed");
+    }
+
+    #[test]
+    fn deep_scrub_catches_lost_write() {
+        let r = rig(|cfg| cfg.scrub.deep = true);
+        let seg = r.area.alloc(1).unwrap();
+        let p = DbPage { area: 1, page: seg.start_page };
+
+        // Snapshot the slot before the commit, then put it back after: a
+        // lost write — stale content under a perfectly valid checksum,
+        // invisible to the shallow checksum pass.
+        let slot = slot_off(&r, p.page);
+        let mut stale = vec![0u8; PAGE_HDR + r.area.page_size()];
+        r.disk.read_at(&mut stale, slot).unwrap();
+
+        let c = client(&r);
+        c.begin().unwrap();
+        c.fetch_page(p, LockMode::X).unwrap();
+        c.commit(vec![PageUpdate {
+            page: p,
+            offset: 0,
+            before: vec![0; 4],
+            after: b"deep".to_vec(),
+        }])
+        .unwrap();
+        r.disk.write_at(&stale, slot).unwrap();
+
+        for _ in 0..64 {
+            r.server.scrub_once();
+            if counter(&r, "storage.scrub.stale") >= 1 {
+                break;
+            }
+        }
+        assert!(counter(&r, "storage.scrub.stale") >= 1, "lost write never flagged");
+        assert!(counter(&r, "storage.corruption.repaired") >= 1);
+
+        c.begin().unwrap();
+        let data = c.fetch_page(p, LockMode::S).unwrap();
+        assert_eq!(&data[..4], b"deep", "deep scrub must reinstall the committed image");
+    }
+
+    #[test]
+    fn background_scrubber_repairs_without_reads() {
+        let r = rig(|cfg| {
+            cfg.scrub.enabled = true;
+            cfg.scrub.interval = Duration::from_millis(2);
+            cfg.scrub.pages_per_pass = 256;
+        });
+        let p = committed_page(&r, b"bg");
+        rot(&r, p.page, 1);
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while counter(&r, "storage.corruption.repaired") == 0 {
+            assert!(Instant::now() < deadline, "background scrubber never repaired the page");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!r.area.is_quarantined(p.page));
     }
 }

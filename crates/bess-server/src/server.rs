@@ -29,7 +29,7 @@ use bess_obs::{Counter, Group, LatencyHistogram, Registry};
 use bess_cache::AreaSet;
 use bess_lock::{LockManager, LockMode, LockName, OrderedMutex, Rank, TxnId};
 use bess_net::{Caller, Endpoint, Network, NodeId};
-use bess_storage::{AreaId, DiskPtr};
+use bess_storage::{AreaId, CorruptKind, DiskPtr, StorageArea, StorageError};
 use bess_wal::{
     recover, take_checkpoint, undo_transactions, GroupCommitConfig, LogBody, LogManager,
     LogPageId, Lsn, RecoveryReport, RedoTarget, TxnStatus,
@@ -38,6 +38,7 @@ use parking_lot::Mutex;
 
 use crate::directory::Directory;
 use crate::proto::{coordinator_of, GTxn, Msg, PageUpdate};
+use crate::scrub::{repair_page, IntegrityStats, MediaGate, ScrubConfig, ScrubPassReport, Scrubber};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -67,6 +68,10 @@ pub struct ServerConfig {
     /// Group-commit tuning applied to the server's WAL at startup: how
     /// concurrent commit forces batch into one device sync.
     pub group_commit: GroupCommitConfig,
+    /// Background integrity scrubbing (off by default; see
+    /// [`ScrubConfig`]). [`BessServer::scrub_once`] works even when the
+    /// background thread is disabled.
+    pub scrub: ScrubConfig,
 }
 
 impl ServerConfig {
@@ -80,6 +85,7 @@ impl ServerConfig {
             coordinator_grace: Duration::from_secs(1),
             media_error_threshold: 3,
             group_commit: GroupCommitConfig::default(),
+            scrub: ScrubConfig::default(),
         }
     }
 }
@@ -242,13 +248,29 @@ pub struct AreaTarget(pub Arc<AreaSet>);
 
 impl RedoTarget for AreaTarget {
     fn apply(&mut self, page: LogPageId, offset: u32, bytes: &[u8]) -> Result<(), String> {
+        self.apply_lsn(page, offset, bytes, Lsn::NULL)
+    }
+
+    fn apply_lsn(
+        &mut self,
+        page: LogPageId,
+        offset: u32,
+        bytes: &[u8],
+        lsn: Lsn,
+    ) -> Result<(), String> {
         // Pages for unregistered areas are skipped: the log may describe
         // areas this server no longer mounts, and recovery must not fail
         // on them. Mounted areas must accept the write, or recovery fails.
         let Some(area) = self.0.get(page.area) else {
             return Ok(());
         };
-        area.write_at(page.page, offset as usize, bytes)
+        // Recovery writes go through the *restore* path: the slot being
+        // repaired may be torn or rotted, so its old checksum legitimately
+        // fails — redo's after-image restores the bytes and the reseal
+        // (stamped with the record's LSN) restores the header. The
+        // verified-RMW `write_at` would refuse exactly the slots recovery
+        // exists to fix.
+        area.restore_at(page.page, offset as usize, bytes, lsn.0)
             .map_err(|e| format!("redo write to {page:?} failed: {e}"))
     }
 }
@@ -316,11 +338,13 @@ struct ServerInner {
     dedup: OrderedMutex<DedupWindow>,
     /// Drain mode: finish in-flight work, reject new transactions.
     draining: AtomicBool,
-    /// Read-only fallback after repeated media errors.
-    read_only: AtomicBool,
-    /// Consecutive storage-write failures (reset on success).
-    // LINT: allow(raw-counter) — fail-stop latch checked on every request, not an exported metric
-    media_errors: AtomicU64,
+    /// Media-failure containment (read-only fallback), shared with the
+    /// background scrubber so unrepairable corruption degrades the server
+    /// exactly like a failing write path.
+    media: Arc<MediaGate>,
+    /// Corruption accounting, shared with the scrubber
+    /// (`storage.corruption.*`).
+    integrity: Arc<IntegrityStats>,
     // LINT: allow(raw-counter) — transaction-id allocator, not a metric
     next_txn: AtomicU64,
     running: AtomicBool,
@@ -338,6 +362,8 @@ struct ServerInner {
 pub struct BessServer {
     inner: Arc<ServerInner>,
     handle: Option<JoinHandle<()>>,
+    scrubber: Arc<Scrubber>,
+    scrub_handle: Option<JoinHandle<()>>,
 }
 
 impl BessServer {
@@ -396,6 +422,10 @@ impl BessServer {
         }
 
         let group = Registry::new().group("server");
+        let integrity = Arc::new(IntegrityStats::new(
+            &group.registry().group("storage.corruption"),
+        ));
+        let media = Arc::new(MediaGate::new(cfg.media_error_threshold));
         let inner = Arc::new(ServerInner {
             locks: LockManager::new(cfg.lock_timeout),
             caller: net.caller(cfg.node),
@@ -417,8 +447,8 @@ impl BessServer {
                 },
             ),
             draining: AtomicBool::new(false),
-            read_only: AtomicBool::new(false),
-            media_errors: AtomicU64::new(0),
+            media,
+            integrity,
             next_txn: AtomicU64::new(1),
             running: AtomicBool::new(true),
             stats: ServerStats::new(&group),
@@ -462,6 +492,23 @@ impl BessServer {
             );
         }
 
+        // The scrubber exists even when the background thread is off, so
+        // `scrub_once` stays available for deterministic tests and tools.
+        let scrubber = Arc::new(Scrubber::new(
+            Arc::clone(&inner.areas),
+            Arc::clone(&inner.log),
+            inner.cfg.scrub,
+            Arc::clone(&inner.media),
+            Arc::clone(&inner.integrity),
+            &inner.group.registry().group("storage.scrub"),
+        ));
+        let scrub_handle = if inner.cfg.scrub.enabled {
+            let s = Arc::clone(&scrubber);
+            Some(std::thread::spawn(move || s.run()))
+        } else {
+            None
+        };
+
         let endpoint = net.register(inner.cfg.node);
         let loop_inner = Arc::clone(&inner);
         let handle = std::thread::spawn(move || serve_loop(loop_inner, endpoint));
@@ -469,6 +516,8 @@ impl BessServer {
             BessServer {
                 inner,
                 handle: Some(handle),
+                scrubber,
+                scrub_handle,
             },
             report,
         )
@@ -593,23 +642,35 @@ impl BessServer {
     }
 
     /// Forces (or clears) read-only mode. Entered automatically after
-    /// `media_error_threshold` consecutive storage-write failures.
+    /// `media_error_threshold` consecutive storage-write failures (or
+    /// unrepairable corruption findings).
     pub fn set_read_only(&self, on: bool) {
-        self.inner.read_only.store(on, Ordering::Relaxed);
-        if !on {
-            self.inner.media_errors.store(0, Ordering::Relaxed);
-        }
+        self.inner.media.set_read_only(on);
     }
 
     /// Whether the server is read-only.
     pub fn is_read_only(&self) -> bool {
-        self.inner.read_only.load(Ordering::Relaxed)
+        self.inner.media.is_read_only()
+    }
+
+    /// Runs one deterministic scrub pass (regardless of whether the
+    /// background scrub thread is enabled) and reports what it did.
+    pub fn scrub_once(&self) -> ScrubPassReport {
+        self.scrubber.scrub_once()
     }
 
     /// Stops the server loop (the "machine" stays reachable until the
     /// network entry is dropped).
     pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
         self.inner.running.store(false, Ordering::Relaxed);
+        self.scrubber.halt();
+        if let Some(h) = self.scrub_handle.take() {
+            let _ = h.join();
+        }
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -618,10 +679,7 @@ impl BessServer {
 
 impl Drop for BessServer {
     fn drop(&mut self) {
-        self.inner.running.store(false, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+        self.stop_threads();
     }
 }
 
@@ -705,7 +763,7 @@ impl ServerInner {
             self.stats.drain_rejections.inc();
             return Some(Msg::Err("server draining: not accepting new transactions".into()));
         }
-        if self.read_only.load(Ordering::Relaxed) {
+        if self.media.is_read_only() {
             match msg {
                 Msg::WriteAt { .. }
                 | Msg::Commit { .. }
@@ -901,14 +959,7 @@ impl ServerInner {
 
     /// Tracks a storage-write outcome; repeated failures trip read-only.
     fn note_media(&self, ok: bool) {
-        if ok {
-            self.media_errors.store(0, Ordering::Relaxed);
-        } else {
-            let n = self.media_errors.fetch_add(1, Ordering::Relaxed) + 1;
-            if n >= self.cfg.media_error_threshold {
-                self.read_only.store(true, Ordering::Relaxed);
-            }
-        }
+        self.media.note(ok);
     }
 
     fn dispatch(&self, from: NodeId, msg: Msg) -> Msg {
@@ -984,7 +1035,8 @@ impl ServerInner {
             } => match self.areas.get(area) {
                 Some(a) => {
                     let mut buf = vec![0u8; len as usize];
-                    match a.read_at(page, offset as usize, &mut buf) {
+                    match self.with_repair(&a, page, || a.read_at(page, offset as usize, &mut buf))
+                    {
                         Ok(()) => Msg::Bytes(buf),
                         Err(e) => Msg::Err(e.to_string()),
                     }
@@ -997,16 +1049,18 @@ impl ServerInner {
                 offset,
                 data,
             } => match self.areas.get(area) {
-                Some(a) => match a.write_at(page, offset as usize, &data) {
-                    Ok(()) => {
-                        self.note_media(true);
-                        Msg::Ok
+                Some(a) => {
+                    match self.with_repair(&a, page, || a.write_at(page, offset as usize, &data)) {
+                        Ok(()) => {
+                            self.note_media(true);
+                            Msg::Ok
+                        }
+                        Err(e) => {
+                            self.note_media(false);
+                            Msg::Err(e.to_string())
+                        }
                     }
-                    Err(e) => {
-                        self.note_media(false);
-                        Msg::Err(e.to_string())
-                    }
-                },
+                }
                 None => Msg::Err(format!("no area {area}")),
             },
             Msg::Commit { txn, updates, .. } => self.do_commit(txn, &updates),
@@ -1050,12 +1104,43 @@ impl ServerInner {
         match self.areas.get(page.area) {
             Some(a) => {
                 let mut buf = vec![0u8; a.page_size()];
-                match a.read_page(page.page, &mut buf) {
+                match self.with_repair(&a, page.page, || a.read_page(page.page, &mut buf)) {
                     Ok(()) => Msg::PageData(buf),
                     Err(e) => Msg::Err(e.to_string()),
                 }
             }
             None => Msg::Err(format!("no area {}", page.area)),
+        }
+    }
+
+    /// Runs a verified storage operation with the detect-and-repair
+    /// ladder: the area itself already re-read once, so a surviving
+    /// checksum/identity failure is escalated to WAL-based page
+    /// reconstruction and the operation retried exactly once.
+    /// Unrepairable pages are quarantined inside [`repair_page`] and the
+    /// failure feeds the media-error threshold; already-quarantined pages
+    /// are never re-repaired here (the error passes straight through).
+    fn with_repair<T>(
+        &self,
+        a: &Arc<StorageArea>,
+        page: u64,
+        mut op: impl FnMut() -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
+        let first = op();
+        let repairable = matches!(
+            &first,
+            Err(StorageError::CorruptPage { reason, .. })
+                if !matches!(reason, CorruptKind::Quarantined)
+        );
+        if !repairable {
+            return first;
+        }
+        if repair_page(a, &self.log, page, &self.integrity) {
+            self.note_media(true);
+            op()
+        } else {
+            self.note_media(false);
+            first
         }
     }
 
@@ -1161,13 +1246,21 @@ impl ServerInner {
         prev
     }
 
-    fn apply_updates(&self, updates: &[PageUpdate]) -> Result<(), String> {
+    /// Applies committed updates, stamping each touched page's header
+    /// with the commit LSN (the page-LSN invariant the deep scrubber's
+    /// lost-write check relies on, §16). A corrupt destination page is
+    /// repaired from the WAL first — the repair replays this very
+    /// transaction too, since its commit record is already durable.
+    fn apply_updates(&self, updates: &[PageUpdate], lsn: Lsn) -> Result<(), String> {
         for u in updates {
             let area = self
                 .areas
                 .get(u.page.area)
                 .ok_or_else(|| format!("no area {}", u.page.area))?;
-            if let Err(e) = area.write_at(u.page.page, u.offset as usize, &u.after) {
+            let r = self.with_repair(&area, u.page.page, || {
+                area.write_at_lsn(u.page.page, u.offset as usize, &u.after, lsn.0)
+            });
+            if let Err(e) = r {
                 self.note_media(false);
                 return Err(e.to_string());
             }
@@ -1187,7 +1280,7 @@ impl ServerInner {
             self.note_log_force_failure();
             return Msg::Err(format!("log force failed: {e}"));
         }
-        if let Err(e) = self.apply_updates(updates) {
+        if let Err(e) = self.apply_updates(updates, commit) {
             return Msg::Err(e);
         }
         self.log.append(txn, commit, LogBody::End);
@@ -1240,7 +1333,7 @@ impl ServerInner {
                 self.prepared.lock().insert(gtxn, p);
                 return;
             }
-            let _ = self.apply_updates(&p.updates);
+            let _ = self.apply_updates(&p.updates, c);
             self.log.append(gtxn, c, LogBody::End);
             self.stats.commits.inc();
         } else {

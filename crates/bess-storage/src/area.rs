@@ -9,16 +9,37 @@
 //!
 //! ## On-disk layout
 //!
+//! Every page (header, metadata, and data alike) occupies a *slot* of
+//! `PAGE_HDR + page_size` bytes: a 32-byte integrity header (checksum,
+//! page LSN, page identity — see [`crate::integrity`]) followed by the
+//! page's bytes. Slots are sealed on write and verified on read, so bit
+//! rot, lost writes, and misdirected writes surface as typed
+//! [`StorageError::CorruptPage`] errors instead of garbage.
+//!
 //! ```text
-//! page 0                 area header (magic, geometry, extent count)
-//! pages 1 + i*(E+1)      metadata page of extent i (allocation table)
-//! following E pages      data pages of extent i
+//! slot 0                 area header (magic, geometry, extent count)
+//! slots 1 + i*(E+1)      metadata page of extent i (allocation table)
+//! following E slots      data pages of extent i
 //! ```
 //!
 //! Keeping each extent's allocation table on its own metadata page bounds
 //! metadata size per extent and lets the allocator state be rebuilt page by
 //! page on open.
+//!
+//! ## Read verification and repair hooks
+//!
+//! A verified read that fails re-reads the slot once (transient transfer
+//! corruption cures itself; `storage.a<id>.reread_repairs` counts those)
+//! before surfacing `CorruptPage`. Higher layers (bess-server) may then
+//! attempt WAL reconstruction and write the page back through
+//! [`StorageArea::restore_page`] — the only write path that does not
+//! verify the existing slot first. Ordinary [`StorageArea::write_at`] is a
+//! verified read-modify-write precisely so resealing can never launder a
+//! corrupt slot into a "valid" one. Pages that cannot be repaired are
+//! quarantined: further reads and writes fail fast without touching the
+//! backend.
 
+use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
@@ -28,14 +49,18 @@ use bess_lock::order::{OrderedMutex, OrderedRwLock, Rank};
 use bess_obs::{Counter, Group, Registry};
 
 use crate::buddy::BuddyExtent;
-use crate::error::{StorageError, StorageResult};
+use crate::error::{CorruptKind, StorageError, StorageResult};
 use crate::fault::FaultDisk;
+use crate::integrity::{self, PAGE_HDR};
 use crate::page::{order_for_pages, AreaId, DiskPtr};
 use crate::stats::IoStats;
 
 const AREA_MAGIC: u32 = 0x42455341; // "BESA"
 const EXTENT_MAGIC: u32 = 0x42455854; // "BEXT"
-const FORMAT_VERSION: u32 = 1;
+/// Version 2: every page occupies a `PAGE_HDR + page_size` slot with a
+/// sealed integrity header. Version-1 images (raw pages, no headers) are
+/// rejected with a typed error.
+const FORMAT_VERSION: u32 = 2;
 
 /// Geometry and policy for a storage area.
 #[derive(Clone, Copy, Debug)]
@@ -51,6 +76,10 @@ pub struct AreaConfig {
     /// Whether the area may grow one extent at a time when full. `false`
     /// models a raw disk partition of fixed size.
     pub expandable: bool,
+    /// Whether reads verify the page's integrity header (default `true`).
+    /// Disabling is for measuring the verification overhead (§E23) only;
+    /// quarantine checks still apply.
+    pub verify_on_read: bool,
 }
 
 impl Default for AreaConfig {
@@ -60,6 +89,7 @@ impl Default for AreaConfig {
             extent_pages_log2: 8,
             initial_extents: 1,
             expandable: true,
+            verify_on_read: true,
         }
     }
 }
@@ -225,6 +255,9 @@ pub struct StorageArea {
     config: AreaConfig,
     backend: Backend,
     extents: OrderedMutex<Vec<BuddyExtent>>,
+    /// Pages whose verification failed unrepairably. Checked (and released)
+    /// under its own short-lived lock, never held across backend I/O.
+    quarantined: OrderedMutex<HashSet<u64>>,
     group: Group,
     stats: IoStats,
 }
@@ -274,12 +307,13 @@ impl StorageArea {
             config,
             backend,
             extents: OrderedMutex::new(Rank::AreaExtents, "area.extents", Vec::new()),
+            quarantined: OrderedMutex::new(Rank::AreaQuarantine, "area.quarantined", HashSet::new()),
             group,
             stats,
         };
         // Room for header + initial extents.
         let total_pages = 1 + config.extent_footprint() * u64::from(config.initial_extents);
-        area.backend.grow_to(total_pages * config.page_size as u64)?;
+        area.backend.grow_to(total_pages * area.slot_bytes())?;
         {
             let mut extents = area.extents.lock();
             for _ in 0..config.initial_extents {
@@ -308,27 +342,35 @@ impl StorageArea {
     }
 
     fn open_with_backend(id: AreaId, backend: Backend, expandable: bool) -> StorageResult<Self> {
-        // Read enough of the header to learn the page size. The area's
-        // stats object doesn't exist yet; header-read retries go to a
-        // throwaway counter.
-        let mut head = [0u8; 24];
+        // Bootstrap: the area header lives *inside* slot 0, after the
+        // integrity header, so read enough raw bytes to learn the page
+        // size, then verify the whole slot below. The area's stats object
+        // doesn't exist yet; header-read retries go to a throwaway counter.
+        let mut head = [0u8; PAGE_HDR + 24];
         backend.read_at(&mut head, 0, &Counter::unregistered())?;
-        let magic = le_u32(&head[0..4]);
+        let body = &head[PAGE_HDR..];
+        let magic = le_u32(&body[0..4]);
         if magic != AREA_MAGIC {
             return Err(StorageError::Corrupt("bad area magic".into()));
         }
-        let version = le_u32(&head[4..8]);
+        let version = le_u32(&body[4..8]);
         if version != FORMAT_VERSION {
             return Err(StorageError::Corrupt(format!("unsupported version {version}")));
         }
-        let page_size = le_u32(&head[8..12]) as usize;
-        let extent_pages_log2 = head[12];
-        let num_extents = le_u32(&head[16..20]);
+        let page_size = le_u32(&body[8..12]) as usize;
+        if !(64..=1 << 24).contains(&page_size) {
+            return Err(StorageError::Corrupt(format!(
+                "implausible page size {page_size}"
+            )));
+        }
+        let extent_pages_log2 = body[12];
+        let num_extents = le_u32(&body[16..20]);
         let config = AreaConfig {
             page_size,
             extent_pages_log2,
             initial_extents: num_extents.max(1),
             expandable,
+            verify_on_read: true,
         };
         let (group, stats) = area_obs(id);
         let area = StorageArea {
@@ -336,9 +378,13 @@ impl StorageArea {
             config,
             backend,
             extents: OrderedMutex::new(Rank::AreaExtents, "area.extents", Vec::new()),
+            quarantined: OrderedMutex::new(Rank::AreaQuarantine, "area.quarantined", HashSet::new()),
             group,
             stats,
         };
+        // Now that the geometry is known, verify the header slot proper.
+        let mut slot = vec![0u8; PAGE_HDR + page_size];
+        area.read_slot_verified(0, &mut slot)?;
         let mut extents = Vec::with_capacity(num_extents as usize);
         for i in 0..num_extents {
             extents.push(area.load_extent_meta(i)?);
@@ -366,6 +412,19 @@ impl StorageArea {
     /// Number of extents currently in the area.
     pub fn num_extents(&self) -> u32 {
         u32::try_from(self.extents.lock().len()).unwrap_or(u32::MAX)
+    }
+
+    /// Total pages in the area (header + metadata + data), i.e. the
+    /// exclusive upper bound on addressable page numbers. The scrubber
+    /// walks `0..num_pages()`.
+    pub fn num_pages(&self) -> u64 {
+        1 + self.config.extent_footprint() * u64::from(self.num_extents())
+    }
+
+    /// Whether `page` is a data page (not the area header or an extent
+    /// metadata page) inside the current geometry.
+    pub fn is_data_page(&self, page: u64) -> bool {
+        self.locate(page).is_ok()
     }
 
     /// Total free data pages across all extents.
@@ -434,6 +493,15 @@ impl StorageArea {
     }
 
     // ---- geometry ------------------------------------------------------
+
+    /// Bytes one page occupies on the backend: integrity header + data.
+    fn slot_bytes(&self) -> u64 {
+        (PAGE_HDR + self.config.page_size) as u64
+    }
+
+    fn slot_offset(&self, page: u64) -> u64 {
+        page * self.slot_bytes()
+    }
 
     fn first_data_page(&self, extent: u32) -> u64 {
         1 + u64::from(extent) * self.config.extent_footprint() + 1
@@ -508,8 +576,7 @@ impl StorageArea {
         let offset = extent.alloc(order).ok_or(StorageError::OutOfSpace)?;
         extents.push(extent);
         let total_pages = 1 + self.config.extent_footprint() * (u64::from(new_index) + 1);
-        self.backend
-            .grow_to(total_pages * self.config.page_size as u64)?;
+        self.backend.grow_to(total_pages * self.slot_bytes())?;
         IoStats::bump(&self.stats.extends);
         self.refresh_alloc_gauges(&extents);
         drop(extents);
@@ -539,48 +606,187 @@ impl StorageArea {
         self.write_extent_meta_locked(extent)
     }
 
+    // ---- quarantine ------------------------------------------------------
+
+    /// Fails with [`CorruptKind::Quarantined`] if `page` is quarantined.
+    /// The quarantine guard is released before any backend I/O.
+    fn check_quarantine(&self, page: u64) -> StorageResult<()> {
+        if self.quarantined.lock().contains(&page) {
+            return Err(StorageError::CorruptPage {
+                area: self.id.0,
+                page,
+                reason: CorruptKind::Quarantined,
+            });
+        }
+        Ok(())
+    }
+
+    /// Marks `page` unreadable/unwritable until [`Self::unquarantine`].
+    /// Used when verification failed and repair was impossible.
+    pub fn quarantine(&self, page: u64) {
+        self.quarantined.lock().insert(page);
+    }
+
+    /// Lifts a quarantine, typically after [`Self::restore_page`] followed
+    /// by a successful verified read-back.
+    pub fn unquarantine(&self, page: u64) {
+        self.quarantined.lock().remove(&page);
+    }
+
+    /// Whether `page` is currently quarantined.
+    pub fn is_quarantined(&self, page: u64) -> bool {
+        self.quarantined.lock().contains(&page)
+    }
+
+    /// The currently quarantined pages, in ascending order.
+    pub fn quarantined_pages(&self) -> Vec<u64> {
+        let mut pages: Vec<u64> = self.quarantined.lock().iter().copied().collect();
+        pages.sort_unstable();
+        pages
+    }
+
     // ---- page I/O --------------------------------------------------------
 
-    /// Reads an absolute page into `buf` (`buf.len() == page_size`).
+    fn read_slot_raw(&self, page: u64, slot: &mut [u8]) -> StorageResult<()> {
+        self.backend
+            .read_at(slot, self.slot_offset(page), &self.stats.read_retries)
+    }
+
+    /// Reads `page`'s full slot and verifies it, re-reading once on a
+    /// verification failure (a flip in transfer, not on the platter, cures
+    /// itself). Returns the page LSN from the header.
+    fn read_slot_verified(&self, page: u64, slot: &mut [u8]) -> StorageResult<u64> {
+        self.check_quarantine(page)?;
+        self.read_slot_raw(page, slot)?;
+        if !self.config.verify_on_read {
+            return Ok(integrity::header_lsn(slot));
+        }
+        match integrity::verify(self.id.0, page, slot) {
+            Ok(lsn) => Ok(lsn),
+            Err(first) => {
+                self.read_slot_raw(page, slot)?;
+                match integrity::verify(self.id.0, page, slot) {
+                    Ok(lsn) => {
+                        IoStats::bump(&self.stats.reread_repairs);
+                        Ok(lsn)
+                    }
+                    Err(_) => {
+                        IoStats::bump(&self.stats.verify_failures);
+                        Err(first)
+                    }
+                }
+            }
+        }
+    }
+
+    fn seal_and_write(&self, page: u64, lsn: u64, slot: &mut [u8]) -> StorageResult<()> {
+        integrity::reseal(self.id.0, page, lsn, slot);
+        self.backend.write_at(slot, self.slot_offset(page))?;
+        IoStats::bump(&self.stats.page_writes);
+        Ok(())
+    }
+
+    /// Reads an absolute page into `buf` (`buf.len() == page_size`),
+    /// verifying its integrity header first. A page never written since
+    /// its extent grew reads as zeros.
     pub fn read_page(&self, page: u64, buf: &mut [u8]) -> StorageResult<()> {
         assert_eq!(buf.len(), self.config.page_size, "buffer must be one page");
-        self.backend.read_at(
-            buf,
-            page * self.config.page_size as u64,
-            &self.stats.read_retries,
-        )?;
+        let mut slot = vec![0u8; PAGE_HDR + self.config.page_size];
+        self.read_slot_verified(page, &mut slot)?;
+        buf.copy_from_slice(&slot[PAGE_HDR..]);
         IoStats::bump(&self.stats.page_reads);
         Ok(())
     }
 
-    /// Writes an absolute page from `data` (`data.len() == page_size`).
+    /// Writes an absolute page from `data` (`data.len() == page_size`),
+    /// sealing it with page LSN 0 (an out-of-log write, e.g. cache
+    /// write-back of a page whose recovery LSN the caller doesn't track).
     pub fn write_page(&self, page: u64, data: &[u8]) -> StorageResult<()> {
-        assert_eq!(data.len(), self.config.page_size, "buffer must be one page");
-        self.backend
-            .write_at(data, page * self.config.page_size as u64)?;
-        IoStats::bump(&self.stats.page_writes);
-        Ok(())
+        self.write_page_lsn(page, data, 0)
     }
 
-    /// Reads `buf.len()` bytes starting at byte `offset` of `page`.
+    /// Writes an absolute page, sealing `lsn` into the integrity header as
+    /// the page's recovery LSN.
+    pub fn write_page_lsn(&self, page: u64, data: &[u8], lsn: u64) -> StorageResult<()> {
+        assert_eq!(data.len(), self.config.page_size, "buffer must be one page");
+        self.check_quarantine(page)?;
+        let mut slot = vec![0u8; PAGE_HDR + data.len()];
+        slot[PAGE_HDR..].copy_from_slice(data);
+        self.seal_and_write(page, lsn, &mut slot)
+    }
+
+    /// Reads `buf.len()` bytes starting at byte `offset` of `page`. The
+    /// whole slot is read and verified; the requested range is copied out.
     pub fn read_at(&self, page: u64, offset: usize, buf: &mut [u8]) -> StorageResult<()> {
         assert!(offset + buf.len() <= self.config.page_size);
-        self.backend.read_at(
-            buf,
-            page * self.config.page_size as u64 + offset as u64,
-            &self.stats.read_retries,
-        )?;
+        let mut slot = vec![0u8; PAGE_HDR + self.config.page_size];
+        self.read_slot_verified(page, &mut slot)?;
+        buf.copy_from_slice(&slot[PAGE_HDR + offset..PAGE_HDR + offset + buf.len()]);
         IoStats::bump(&self.stats.page_reads);
         Ok(())
     }
 
-    /// Writes `data` at byte `offset` of `page`.
+    /// Writes `data` at byte `offset` of `page`, preserving the page LSN
+    /// already sealed in the slot.
+    ///
+    /// This is a *verified* read-modify-write: the existing slot must pass
+    /// verification before it is patched and resealed, so a sub-page write
+    /// can never launder a corrupt page into a freshly-checksummed one.
     pub fn write_at(&self, page: u64, offset: usize, data: &[u8]) -> StorageResult<()> {
         assert!(offset + data.len() <= self.config.page_size);
-        self.backend
-            .write_at(data, page * self.config.page_size as u64 + offset as u64)?;
-        IoStats::bump(&self.stats.page_writes);
-        Ok(())
+        let mut slot = vec![0u8; PAGE_HDR + self.config.page_size];
+        let lsn = self.read_slot_verified(page, &mut slot)?;
+        slot[PAGE_HDR + offset..PAGE_HDR + offset + data.len()].copy_from_slice(data);
+        self.seal_and_write(page, lsn, &mut slot)
+    }
+
+    /// Like [`Self::write_at`], but stamps `lsn` as the page's new recovery
+    /// LSN — used by the transactional apply path, where the commit
+    /// record's LSN is known.
+    pub fn write_at_lsn(
+        &self,
+        page: u64,
+        offset: usize,
+        data: &[u8],
+        lsn: u64,
+    ) -> StorageResult<()> {
+        assert!(offset + data.len() <= self.config.page_size);
+        let mut slot = vec![0u8; PAGE_HDR + self.config.page_size];
+        self.read_slot_verified(page, &mut slot)?;
+        slot[PAGE_HDR + offset..PAGE_HDR + offset + data.len()].copy_from_slice(data);
+        self.seal_and_write(page, lsn, &mut slot)
+    }
+
+    /// Verifies `page` without returning its contents; `Ok(lsn)` on
+    /// success. The scrubber's unit of work.
+    pub fn verify_page(&self, page: u64) -> StorageResult<u64> {
+        let mut slot = vec![0u8; PAGE_HDR + self.config.page_size];
+        self.read_slot_verified(page, &mut slot)
+    }
+
+    /// Recovery/repair write: seals `data` with `lsn` and writes the slot
+    /// **without** verifying what it overwrites. This is the only full-page
+    /// path allowed to clobber a corrupt slot (WAL redo resealing a torn
+    /// page, read-repair installing a reconstructed image). Does not check
+    /// or lift quarantine — callers unquarantine after a verified read-back.
+    pub fn restore_page(&self, page: u64, data: &[u8], lsn: u64) -> StorageResult<()> {
+        assert_eq!(data.len(), self.config.page_size, "buffer must be one page");
+        let mut slot = vec![0u8; PAGE_HDR + data.len()];
+        slot[PAGE_HDR..].copy_from_slice(data);
+        self.seal_and_write(page, lsn, &mut slot)
+    }
+
+    /// Recovery sub-page write: patches `offset..offset+data.len()` of the
+    /// raw (unverified) slot and reseals it with `lsn`. WAL redo and undo
+    /// go through here — the slot they are repairing may be torn, so its
+    /// old checksum legitimately doesn't match; redo's after-images restore
+    /// the bytes and the reseal restores the header.
+    pub fn restore_at(&self, page: u64, offset: usize, data: &[u8], lsn: u64) -> StorageResult<()> {
+        assert!(offset + data.len() <= self.config.page_size);
+        let mut slot = vec![0u8; PAGE_HDR + self.config.page_size];
+        self.read_slot_raw(page, &mut slot)?;
+        slot[PAGE_HDR + offset..PAGE_HDR + offset + data.len()].copy_from_slice(data);
+        self.seal_and_write(page, lsn, &mut slot)
     }
 
     /// Forces all written pages to stable storage.
@@ -601,7 +807,10 @@ impl StorageArea {
         page[12] = self.config.extent_pages_log2;
         page[16..20].copy_from_slice(&self.num_extents().to_le_bytes());
         page[20..24].copy_from_slice(&self.id.0.to_le_bytes());
-        self.backend.write_at(&page, 0)
+        let mut slot = vec![0u8; PAGE_HDR + self.config.page_size];
+        slot[PAGE_HDR..].copy_from_slice(&page);
+        integrity::reseal(self.id.0, 0, 0, &mut slot);
+        self.backend.write_at(&slot, 0)
     }
 
     fn write_extent_meta(&self, extent: u32) -> StorageResult<()> {
@@ -629,19 +838,17 @@ impl StorageArea {
             page[pos + 4] = order;
             pos += 5;
         }
-        self.backend.write_at(
-            &page,
-            self.meta_page(extent) * self.config.page_size as u64,
-        )
+        let meta = self.meta_page(extent);
+        let mut slot = vec![0u8; PAGE_HDR + self.config.page_size];
+        slot[PAGE_HDR..].copy_from_slice(&page);
+        integrity::reseal(self.id.0, meta, 0, &mut slot);
+        self.backend.write_at(&slot, self.slot_offset(meta))
     }
 
     fn load_extent_meta(&self, extent: u32) -> StorageResult<BuddyExtent> {
-        let mut page = vec![0u8; self.config.page_size];
-        self.backend.read_at(
-            &mut page,
-            self.meta_page(extent) * self.config.page_size as u64,
-            &self.stats.read_retries,
-        )?;
+        let mut slot = vec![0u8; PAGE_HDR + self.config.page_size];
+        self.read_slot_verified(self.meta_page(extent), &mut slot)?;
+        let page = &slot[PAGE_HDR..];
         let magic = le_u32(&page[0..4]);
         if magic != EXTENT_MAGIC {
             return Err(StorageError::Corrupt(format!(
@@ -679,6 +886,7 @@ impl std::fmt::Debug for StorageArea {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultPlan, OpClass};
     use std::sync::atomic::{AtomicU32, Ordering};
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -864,8 +1072,6 @@ mod tests {
 
     #[test]
     fn transient_read_eio_is_absorbed_by_retry() {
-        use crate::fault::{FaultDisk, FaultKind, FaultPlan, OpClass};
-
         let disk = FaultDisk::new(FaultPlan::unarmed());
         let area =
             StorageArea::create_faulty(AreaId(3), AreaConfig::default(), Arc::clone(&disk))
@@ -899,5 +1105,246 @@ mod tests {
         );
         assert!(err.is_err(), "persistent EIO propagates after retries");
         assert_eq!(retries.get(), u64::from(MAX_READ_RETRIES));
+    }
+
+    // ---- integrity ------------------------------------------------------
+
+    /// Absolute backend offset of byte `off` inside `page`'s data.
+    fn data_byte(area: &StorageArea, page: u64, off: u64) -> u64 {
+        page * area.slot_bytes() + PAGE_HDR as u64 + off
+    }
+
+    #[test]
+    fn unwritten_page_reads_as_zeros() {
+        let area = StorageArea::create_mem(AreaId(1), AreaConfig::default()).unwrap();
+        let seg = area.alloc(1).unwrap();
+        let mut buf = vec![0xFFu8; area.page_size()];
+        area.read_page(seg.start_page, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn durable_bit_rot_is_detected_on_read() {
+        let disk = FaultDisk::new(FaultPlan::unarmed());
+        let area =
+            StorageArea::create_faulty(AreaId(3), AreaConfig::default(), Arc::clone(&disk))
+                .unwrap();
+        let seg = area.alloc(1).unwrap();
+        let page = vec![0x5Au8; area.page_size()];
+        // Rot one data byte of the page as its write-back lands.
+        disk.arm(FaultPlan::armed(
+            OpClass::Write,
+            0,
+            FaultKind::BitRot {
+                offset: data_byte(&area, seg.start_page, 9),
+                mask: 0x10,
+            },
+        ));
+        area.write_page(seg.start_page, &page).unwrap();
+        let mut back = vec![0u8; area.page_size()];
+        match area.read_page(seg.start_page, &mut back) {
+            Err(StorageError::CorruptPage {
+                area: 3,
+                reason: CorruptKind::Checksum,
+                ..
+            }) => {}
+            other => panic!("expected CorruptPage, got {other:?}"),
+        }
+        assert_eq!(area.stats().snapshot().verify_failures, 1);
+    }
+
+    #[test]
+    fn transient_bit_rot_is_cured_by_reread() {
+        let disk = FaultDisk::new(FaultPlan::unarmed());
+        let area =
+            StorageArea::create_faulty(AreaId(3), AreaConfig::default(), Arc::clone(&disk))
+                .unwrap();
+        let seg = area.alloc(1).unwrap();
+        let page = vec![0x5Au8; area.page_size()];
+        area.write_page(seg.start_page, &page).unwrap();
+        // Rot a byte in transfer on the next read only.
+        disk.arm(FaultPlan::armed(
+            OpClass::Read,
+            0,
+            FaultKind::BitRot {
+                offset: data_byte(&area, seg.start_page, 0),
+                mask: 0x01,
+            },
+        ));
+        let mut back = vec![0u8; area.page_size()];
+        area.read_page(seg.start_page, &mut back).unwrap();
+        assert_eq!(back, page, "the re-read served clean data");
+        let snap = area.stats().snapshot();
+        assert_eq!(snap.reread_repairs, 1);
+        assert_eq!(snap.verify_failures, 0);
+    }
+
+    #[test]
+    fn misdirected_write_clobbers_victim_detectably() {
+        let disk = FaultDisk::new(FaultPlan::unarmed());
+        let area =
+            StorageArea::create_faulty(AreaId(3), AreaConfig::default(), Arc::clone(&disk))
+                .unwrap();
+        let a = area.alloc(1).unwrap();
+        let b = area.alloc(1).unwrap();
+        let page = vec![0x11u8; area.page_size()];
+        area.write_page(b.start_page, &page).unwrap();
+        // Page a's write is misdirected onto page b's slot.
+        disk.arm(FaultPlan::armed(
+            OpClass::Write,
+            0,
+            FaultKind::Misdirected {
+                to: b.start_page * area.slot_bytes(),
+            },
+        ));
+        let page_a = vec![0x22u8; area.page_size()];
+        area.write_page(a.start_page, &page_a).unwrap(); // acked, misdirected
+        // The victim's slot now carries page a's identity: WrongPage.
+        let mut buf = vec![0u8; area.page_size()];
+        match area.read_page(b.start_page, &mut buf) {
+            Err(StorageError::CorruptPage {
+                reason: CorruptKind::WrongPage { found_page, .. },
+                ..
+            }) => assert_eq!(found_page, a.start_page),
+            other => panic!("expected WrongPage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_at_refuses_to_launder_a_corrupt_slot() {
+        let disk = FaultDisk::new(FaultPlan::unarmed());
+        let area =
+            StorageArea::create_faulty(AreaId(3), AreaConfig::default(), Arc::clone(&disk))
+                .unwrap();
+        let seg = area.alloc(1).unwrap();
+        let page = vec![0x5Au8; area.page_size()];
+        disk.arm(FaultPlan::armed(
+            OpClass::Write,
+            0,
+            FaultKind::BitRot {
+                offset: data_byte(&area, seg.start_page, 3),
+                mask: 0x80,
+            },
+        ));
+        area.write_page(seg.start_page, &page).unwrap();
+        // The RMW verifies before resealing, so the rot is not laundered.
+        assert!(matches!(
+            area.write_at(seg.start_page, 0, b"zz"),
+            Err(StorageError::CorruptPage { .. })
+        ));
+        // restore_page is the designated repair path.
+        area.restore_page(seg.start_page, &page, 7).unwrap();
+        assert_eq!(area.verify_page(seg.start_page).unwrap(), 7);
+        let mut back = vec![0u8; area.page_size()];
+        area.read_page(seg.start_page, &mut back).unwrap();
+        assert_eq!(back, page);
+    }
+
+    #[test]
+    fn write_at_preserves_lsn_and_write_at_lsn_stamps_it() {
+        let area = StorageArea::create_mem(AreaId(1), AreaConfig::default()).unwrap();
+        let seg = area.alloc(1).unwrap();
+        let page = vec![0u8; area.page_size()];
+        area.write_page_lsn(seg.start_page, &page, 41).unwrap();
+        area.write_at(seg.start_page, 4, b"keep").unwrap();
+        assert_eq!(area.verify_page(seg.start_page).unwrap(), 41);
+        area.write_at_lsn(seg.start_page, 4, b"bump", 42).unwrap();
+        assert_eq!(area.verify_page(seg.start_page).unwrap(), 42);
+        let mut back = vec![0u8; area.page_size()];
+        area.read_page(seg.start_page, &mut back).unwrap();
+        assert_eq!(&back[4..8], b"bump");
+    }
+
+    #[test]
+    fn quarantined_page_refuses_io_without_touching_backend() {
+        let area = StorageArea::create_mem(AreaId(1), AreaConfig::default()).unwrap();
+        let seg = area.alloc(1).unwrap();
+        let page = vec![1u8; area.page_size()];
+        area.write_page(seg.start_page, &page).unwrap();
+        area.quarantine(seg.start_page);
+        assert!(area.is_quarantined(seg.start_page));
+        assert_eq!(area.quarantined_pages(), vec![seg.start_page]);
+        let before = area.stats().snapshot();
+        let mut buf = vec![0u8; area.page_size()];
+        assert!(matches!(
+            area.read_page(seg.start_page, &mut buf),
+            Err(StorageError::CorruptPage {
+                reason: CorruptKind::Quarantined,
+                ..
+            })
+        ));
+        assert!(matches!(
+            area.write_page(seg.start_page, &page),
+            Err(StorageError::CorruptPage {
+                reason: CorruptKind::Quarantined,
+                ..
+            })
+        ));
+        let delta = area.stats().snapshot().since(&before);
+        assert_eq!(delta.page_reads + delta.page_writes, 0);
+        // Repair ladder: restore, verify, release.
+        area.restore_page(seg.start_page, &page, 0).unwrap();
+        area.unquarantine(seg.start_page);
+        area.read_page(seg.start_page, &mut buf).unwrap();
+        assert_eq!(buf, page);
+    }
+
+    #[test]
+    fn restore_at_reseals_a_torn_slot() {
+        let disk = FaultDisk::new(FaultPlan::unarmed());
+        let area =
+            StorageArea::create_faulty(AreaId(3), AreaConfig::default(), Arc::clone(&disk))
+                .unwrap();
+        let seg = area.alloc(1).unwrap();
+        let old = vec![0xAAu8; area.page_size()];
+        area.write_page(seg.start_page, &old).unwrap();
+        area.sync().unwrap();
+        // Tear the next full-slot write halfway through.
+        disk.arm(FaultPlan::armed(
+            OpClass::Write,
+            0,
+            FaultKind::Torn {
+                keep: area.page_size() / 2,
+            },
+        ));
+        let new = vec![0xBBu8; area.page_size()];
+        assert!(area.write_page(seg.start_page, &new).is_err());
+        disk.reopen(FaultPlan::unarmed());
+        let area = StorageArea::open_faulty(AreaId(3), Arc::clone(&disk), true).unwrap();
+        // The torn slot fails verification...
+        assert!(matches!(
+            area.verify_page(seg.start_page),
+            Err(StorageError::CorruptPage { .. })
+        ));
+        // ...and a redo-style restore_at reseals it.
+        area.restore_at(seg.start_page, 0, &new, 5).unwrap();
+        assert_eq!(area.verify_page(seg.start_page).unwrap(), 5);
+    }
+
+    #[test]
+    fn verify_disabled_skips_checks_but_not_quarantine() {
+        let config = AreaConfig {
+            verify_on_read: false,
+            ..AreaConfig::default()
+        };
+        let disk = FaultDisk::new(FaultPlan::unarmed());
+        let area = StorageArea::create_faulty(AreaId(3), config, Arc::clone(&disk)).unwrap();
+        let seg = area.alloc(1).unwrap();
+        let page = vec![0x5Au8; area.page_size()];
+        disk.arm(FaultPlan::armed(
+            OpClass::Write,
+            0,
+            FaultKind::BitRot {
+                offset: data_byte(&area, seg.start_page, 9),
+                mask: 0x10,
+            },
+        ));
+        area.write_page(seg.start_page, &page).unwrap();
+        let mut back = vec![0u8; area.page_size()];
+        // Verification off: the rotted page is served (measurement mode).
+        area.read_page(seg.start_page, &mut back).unwrap();
+        assert_ne!(back, page);
+        area.quarantine(seg.start_page);
+        assert!(area.read_page(seg.start_page, &mut back).is_err());
     }
 }

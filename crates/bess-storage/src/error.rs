@@ -23,6 +23,52 @@ pub enum StorageError {
     BadBlock(String),
     /// A page number lies outside the area.
     BadPage(u64),
+    /// A page failed integrity verification on read (and, when repair was
+    /// attempted, could not be repaired). The caller must never see the
+    /// page's bytes alongside this error.
+    CorruptPage {
+        /// Area the read was addressed to.
+        area: u32,
+        /// Page the read was addressed to.
+        page: u64,
+        /// What the verification found.
+        reason: CorruptKind,
+    },
+}
+
+/// How a page failed integrity verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// The FNV-1a checksum over header + data does not match (bit rot,
+    /// torn write, or a never-sealed slot holding nonzero data).
+    Checksum,
+    /// The checksum is intact but the header identifies a different page:
+    /// a misdirected write landed here.
+    WrongPage {
+        /// Area id recorded in the slot's header.
+        found_area: u32,
+        /// Page number recorded in the slot's header.
+        found_page: u64,
+    },
+    /// The page is quarantined: verification failed earlier and repair was
+    /// impossible, so reads are refused without touching the backend.
+    Quarantined,
+}
+
+impl fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptKind::Checksum => write!(f, "checksum mismatch"),
+            CorruptKind::WrongPage {
+                found_area,
+                found_page,
+            } => write!(
+                f,
+                "misdirected write: slot holds area {found_area} page {found_page}"
+            ),
+            CorruptKind::Quarantined => write!(f, "page is quarantined"),
+        }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -36,6 +82,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::BadBlock(msg) => write!(f, "bad block operation: {msg}"),
             StorageError::BadPage(p) => write!(f, "page {p} outside storage area"),
+            StorageError::CorruptPage { area, page, reason } => {
+                write!(f, "corrupt page: area {area} page {page}: {reason}")
+            }
         }
     }
 }

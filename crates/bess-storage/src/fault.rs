@@ -76,6 +76,29 @@ pub enum FaultKind {
     /// The operation fails and the disk is poisoned, as if the process died
     /// at this exact I/O.
     Crash,
+    /// Silent corruption: one byte at absolute disk `offset` has `mask`
+    /// XOR-ed into it. On a **read** the flip lands in the returned buffer
+    /// only (a transient transfer error — re-reading sees clean data); on a
+    /// **write** the flip lands in the volatile image after the write
+    /// applies (platter rot — it persists and reaches the durable image on
+    /// the next sync). The operation reports success either way.
+    BitRot {
+        /// Absolute disk offset of the rotted byte.
+        offset: u64,
+        /// Bits to flip (XOR mask; must be nonzero to corrupt).
+        mask: u8,
+    },
+    /// Silent misdirection: the operation is served at absolute offset `to`
+    /// instead of the requested one. A misdirected **write** deposits its
+    /// bytes at `to` and acks; a misdirected **read** returns the bytes
+    /// stored at `to`. The classic firmware addressing bug.
+    Misdirected {
+        /// Absolute disk offset the operation is redirected to.
+        to: u64,
+    },
+    /// (Writes) the write is acknowledged but never applied to either
+    /// image — a lost write. Reads and syncs treat it as a no-op.
+    LostWrite,
 }
 
 struct ArmedFault {
@@ -256,19 +279,32 @@ impl FaultDisk {
                 self.crash();
                 return Err(injected("crash during read"));
             }
-            Some(FaultKind::Short { .. }) | Some(FaultKind::DropSync) | None => {}
+            _ => {}
         }
+        // A misdirected read is served from the wrong address.
+        let src = match fault {
+            Some(FaultKind::Misdirected { to }) => to,
+            _ => offset,
+        };
         let images = self.images.lock();
         let data = &images.volatile;
-        if offset >= data.len() as u64 {
+        if src >= data.len() as u64 {
             return Ok(0);
         }
-        let avail = (data.len() as u64 - offset) as usize;
+        let avail = (data.len() as u64 - src) as usize;
         let mut n = buf.len().min(avail);
         if let Some(FaultKind::Short { len }) = fault {
             n = n.min(len);
         }
-        buf[..n].copy_from_slice(&data[offset as usize..offset as usize + n]);
+        buf[..n].copy_from_slice(&data[src as usize..src as usize + n]);
+        drop(images);
+        // Transient transfer rot: the flip lands in the caller's buffer
+        // only, so an immediate re-read observes clean data.
+        if let Some(FaultKind::BitRot { offset: rot, mask }) = fault {
+            if rot >= offset && rot < offset + n as u64 {
+                buf[(rot - offset) as usize] ^= mask;
+            }
+        }
         Ok(n)
     }
 
@@ -292,6 +328,25 @@ impl FaultDisk {
                 drop(images);
                 self.crash();
                 return Err(injected("torn write"));
+            }
+            Some(FaultKind::LostWrite) => return Ok(()), // acked, never applied
+            Some(FaultKind::Misdirected { to }) => {
+                // The bytes land at the wrong address and the intended
+                // slot keeps its stale contents; the caller sees success.
+                write_into(&mut self.images.lock().volatile, data, to);
+                return Ok(());
+            }
+            Some(FaultKind::BitRot { offset: rot, mask }) => {
+                // The write applies, then one byte rots on the platter:
+                // the flip persists in the volatile image and reaches the
+                // durable one on the next sync.
+                let mut images = self.images.lock();
+                write_into(&mut images.volatile, data, offset);
+                let rot = rot as usize;
+                if rot < images.volatile.len() {
+                    images.volatile[rot] ^= mask;
+                }
+                return Ok(());
             }
             Some(FaultKind::Short { .. }) | Some(FaultKind::DropSync) | None => {}
         }
@@ -325,7 +380,11 @@ impl FaultDisk {
                 return Err(injected("crash during sync"));
             }
             Some(FaultKind::DropSync) => return Ok(()), // the lie
-            Some(FaultKind::Short { .. }) | None => {}
+            Some(FaultKind::Short { .. })
+            | Some(FaultKind::BitRot { .. })
+            | Some(FaultKind::Misdirected { .. })
+            | Some(FaultKind::LostWrite)
+            | None => {}
         }
         let mut images = self.images.lock();
         let volatile = images.volatile.clone();
@@ -392,6 +451,65 @@ mod tests {
         disk.crash();
         disk.reopen(FaultPlan::unarmed());
         assert_eq!(disk.len(), 0, "the 'synced' bytes were lost");
+    }
+
+    #[test]
+    fn read_bit_rot_is_transient() {
+        let plan = FaultPlan::armed(OpClass::Read, 0, FaultKind::BitRot { offset: 2, mask: 0x80 });
+        let disk = FaultDisk::new(plan);
+        disk.write_at(b"abcdef", 0).unwrap();
+        let mut buf = [0u8; 6];
+        disk.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"ab\xe3def", "bit 7 of byte 2 flipped");
+        disk.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"abcdef", "re-read sees clean data");
+    }
+
+    #[test]
+    fn write_bit_rot_persists_and_syncs() {
+        let plan = FaultPlan::armed(OpClass::Write, 0, FaultKind::BitRot { offset: 1, mask: 0x01 });
+        let disk = FaultDisk::new(plan);
+        disk.write_at(b"abc", 0).unwrap();
+        disk.sync().unwrap();
+        disk.crash();
+        disk.reopen(FaultPlan::unarmed());
+        let mut buf = [0u8; 3];
+        disk.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"ac\x63", "rot survived the sync durably");
+    }
+
+    #[test]
+    fn misdirected_write_lands_at_wrong_offset() {
+        let plan = FaultPlan::armed(OpClass::Write, 1, FaultKind::Misdirected { to: 0 });
+        let disk = FaultDisk::new(plan);
+        disk.write_at(b"aaaa", 0).unwrap();
+        disk.write_at(b"bbbb", 4).unwrap(); // acked, but lands at 0
+        let mut buf = [0u8; 8];
+        let n = disk.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf[..n], b"bbbb", "offset 4 never got its bytes");
+    }
+
+    #[test]
+    fn misdirected_read_serves_wrong_sector() {
+        let plan = FaultPlan::armed(OpClass::Read, 0, FaultKind::Misdirected { to: 4 });
+        let disk = FaultDisk::new(plan);
+        disk.write_at(b"aaaabbbb", 0).unwrap();
+        let mut buf = [0u8; 4];
+        disk.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"bbbb", "served the wrong sector");
+        disk.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"aaaa", "next read is clean");
+    }
+
+    #[test]
+    fn lost_write_is_acked_but_never_applied() {
+        let plan = FaultPlan::armed(OpClass::Write, 1, FaultKind::LostWrite);
+        let disk = FaultDisk::new(plan);
+        disk.write_at(b"old", 0).unwrap();
+        disk.write_at(b"new", 0).unwrap(); // lost
+        let mut buf = [0u8; 3];
+        disk.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"old");
     }
 
     #[test]

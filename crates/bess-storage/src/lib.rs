@@ -28,6 +28,7 @@ mod area;
 mod buddy;
 mod error;
 pub mod fault;
+pub mod integrity;
 mod page;
 mod space;
 mod stats;
@@ -35,7 +36,8 @@ mod stats;
 pub use area::{AreaConfig, StorageArea};
 pub use fault::{FaultDisk, FaultKind, FaultPlan, OpClass};
 pub use buddy::BuddyExtent;
-pub use error::{StorageError, StorageResult};
+pub use error::{CorruptKind, StorageError, StorageResult};
+pub use integrity::PAGE_HDR;
 pub use page::{order_for_pages, AreaId, DiskPtr, PageId, PAGE_SIZE};
 pub use space::DiskSpace;
 pub use stats::{IoSnapshot, IoStats};

@@ -25,6 +25,14 @@ pub struct IoStats {
     /// path, one increment per retried attempt
     /// (`storage.a<id>.read_retries`).
     pub read_retries: Counter,
+    /// Integrity verification failures surfaced by the read path, one per
+    /// failed verification that survived the internal re-read
+    /// (`storage.a<id>.verify_failures`).
+    pub verify_failures: Counter,
+    /// Verification failures that turned out transient: the immediate
+    /// re-read of the same slot verified clean
+    /// (`storage.a<id>.reread_repairs`).
+    pub reread_repairs: Counter,
     /// Mean external buddy fragmentation across extents, in permille of
     /// `1 - largest_free/total_free` (`storage.a<id>.frag_permille`).
     /// 0 means every extent's free space is one maximal block; refreshed
@@ -44,6 +52,8 @@ impl IoStats {
             syncs: group.counter("syncs"),
             extends: group.counter("extends"),
             read_retries: group.counter("read_retries"),
+            verify_failures: group.counter("verify_failures"),
+            reread_repairs: group.counter("reread_repairs"),
             frag_permille: group.gauge("frag_permille"),
             free_pages: group.gauge("free_pages"),
         }
@@ -65,6 +75,8 @@ impl IoStats {
             syncs: self.syncs.get(),
             extends: self.extends.get(),
             read_retries: self.read_retries.get(),
+            verify_failures: self.verify_failures.get(),
+            reread_repairs: self.reread_repairs.get(),
         }
     }
 }
@@ -82,6 +94,10 @@ pub struct IoSnapshot {
     pub extends: u64,
     /// Transient read errors absorbed by retry.
     pub read_retries: u64,
+    /// Integrity verification failures surfaced by reads.
+    pub verify_failures: u64,
+    /// Verification failures cured by the immediate re-read.
+    pub reread_repairs: u64,
 }
 
 impl IoSnapshot {
@@ -93,6 +109,8 @@ impl IoSnapshot {
             syncs: self.syncs - earlier.syncs,
             extends: self.extends - earlier.extends,
             read_retries: self.read_retries - earlier.read_retries,
+            verify_failures: self.verify_failures - earlier.verify_failures,
+            reread_repairs: self.reread_repairs - earlier.reread_repairs,
         }
     }
 }

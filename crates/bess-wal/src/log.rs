@@ -38,6 +38,12 @@ pub enum WalError {
     BadLsn(Lsn),
     /// A redo/undo target refused to apply an image during recovery.
     RedoFailed(String),
+    /// A fully-framed record in the *middle* of the log failed its
+    /// checksum or decode. Unlike a torn tail (an incomplete frame where
+    /// the crash interrupted the final append — expected, truncated
+    /// silently), this is silent corruption of durable history and must
+    /// surface rather than be treated as end-of-log.
+    CorruptRecord(Lsn),
 }
 
 impl std::fmt::Display for WalError {
@@ -47,6 +53,9 @@ impl std::fmt::Display for WalError {
             WalError::Corrupt(m) => write!(f, "corrupt log: {m}"),
             WalError::BadLsn(l) => write!(f, "no record at {l}"),
             WalError::RedoFailed(m) => write!(f, "recovery apply failed: {m}"),
+            WalError::CorruptRecord(l) => {
+                write!(f, "corrupt log record at {l} (not a torn tail)")
+            }
         }
     }
 }
@@ -840,13 +849,30 @@ impl LogManager {
     }
 
     /// Reads the record at `lsn`, whether flushed or still in the tail.
-    /// Returns `None` at (or past) the end of the log, or where a torn or
-    /// corrupt record begins.
+    ///
+    /// Returns `Ok(None)` at (or past) the end of the log and where a
+    /// *torn tail* begins — an incomplete frame (short header, implausible
+    /// length, short payload), the expected shape of a crash mid-append.
+    /// A frame that reads back **complete** but fails its checksum, fails
+    /// to decode, or carries the wrong LSN is silent corruption of durable
+    /// history: the frame is re-read once (curing a transient transfer
+    /// flip), then [`WalError::CorruptRecord`] surfaces.
     pub fn read_record_at(&self, lsn: Lsn) -> WalResult<Option<LogRecord>> {
         self.stats.reads.inc();
+        match self.read_record_attempt(lsn)? {
+            Attempt::End => Ok(None),
+            Attempt::Record(rec) => Ok(Some(rec)),
+            Attempt::Corrupt => match self.read_record_attempt(lsn)? {
+                Attempt::Record(rec) => Ok(Some(rec)), // transient flip
+                _ => Err(WalError::CorruptRecord(lsn)),
+            },
+        }
+    }
+
+    fn read_record_attempt(&self, lsn: Lsn) -> WalResult<Attempt> {
         let next = self.state.lock().next_lsn;
         if lsn.0 >= next {
-            return Ok(None);
+            return Ok(Attempt::End);
         }
         let read_bytes = |offset: u64, buf: &mut [u8]| -> WalResult<usize> {
             {
@@ -881,29 +907,35 @@ impl LogManager {
         };
         let mut head = [0u8; 12];
         if read_bytes(lsn.0, &mut head)? < 12 {
-            return Ok(None);
+            return Ok(Attempt::End); // torn: frame header incomplete
         }
         let len = le_u32(&head[0..4]) as usize;
         let sum = le_u64(&head[4..12]);
         if len == 0 || len > 1 << 24 {
-            return Ok(None);
+            return Ok(Attempt::End); // torn: no plausible frame here
         }
         let mut payload = vec![0u8; len];
         if read_bytes(lsn.0 + 12, &mut payload)? < len {
-            return Ok(None);
+            return Ok(Attempt::End); // torn: payload cut off by the crash
         }
+        // From here the frame is complete: any failure is corruption of
+        // bytes that were durably written, not an interrupted append.
         if checksum(&payload) != sum {
-            return Ok(None);
+            return Ok(Attempt::Corrupt);
         }
         match LogRecord::decode(&payload) {
-            Ok(rec) if rec.lsn == lsn => Ok(Some(rec)),
-            _ => Ok(None),
+            Ok(rec) if rec.lsn == lsn => Ok(Attempt::Record(rec)),
+            _ => Ok(Attempt::Corrupt),
         }
     }
 
     /// Iterates records starting at `from` until the end of the log.
     pub fn iter_from(&self, from: Lsn) -> LogIter<'_> {
-        LogIter { log: self, next: from }
+        LogIter {
+            log: self,
+            next: from,
+            error: None,
+        }
     }
 
     /// Iterates all records from the beginning.
@@ -912,19 +944,54 @@ impl LogManager {
     }
 }
 
-/// Iterator over log records. Stops at the first invalid/torn record.
+/// One parse attempt at a frame: the log ends (or tears) here, a valid
+/// record, or a complete-but-invalid frame (silent corruption).
+enum Attempt {
+    End,
+    Record(LogRecord),
+    Corrupt,
+}
+
+/// Iterator over log records. Stops at the end of the log, at a torn
+/// tail, or at the first corrupt mid-log record — callers that must
+/// distinguish the last case check [`LogIter::finish`] after draining.
 pub struct LogIter<'a> {
     log: &'a LogManager,
     next: Lsn,
+    error: Option<WalError>,
+}
+
+impl LogIter<'_> {
+    /// `Err` if iteration stopped on a corrupt mid-log record (rather
+    /// than the end of the log or a torn tail). Recovery's analysis and
+    /// redo passes call this after each scan so silent log corruption is
+    /// never mistaken for a clean end-of-log.
+    pub fn finish(&mut self) -> WalResult<()> {
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
 }
 
 impl Iterator for LogIter<'_> {
     type Item = LogRecord;
 
     fn next(&mut self) -> Option<LogRecord> {
-        let rec = self.log.read_record_at(self.next).ok().flatten()?;
-        self.next = Lsn(self.next.0 + rec.framed_len());
-        Some(rec)
+        if self.error.is_some() {
+            return None;
+        }
+        match self.log.read_record_at(self.next) {
+            Ok(Some(rec)) => {
+                self.next = Lsn(self.next.0 + rec.framed_len());
+                Some(rec)
+            }
+            Ok(None) => None,
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
     }
 }
 
@@ -1035,6 +1102,73 @@ mod tests {
             assert_eq!(log.iter().count(), 1, "garbage tail ignored");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_typed_error_not_a_torn_tail() {
+        use bess_storage::fault::FaultPlan;
+        let disk = FaultDisk::new(FaultPlan::unarmed());
+        let log = LogManager::create_faulty(Arc::clone(&disk)).unwrap();
+        let l1 = log.append(1, Lsn::NULL, LogBody::Begin);
+        let l2 = log.append(1, l1, upd(5, 0, 1));
+        let l3 = log.append(1, l2, LogBody::Commit);
+        log.flush(l3).unwrap();
+
+        // Durably flip one payload byte of the *middle* record: a complete
+        // frame that fails its checksum, i.e. silent corruption — not a
+        // crash-torn tail.
+        let mut b = [0u8; 1];
+        disk.read_at(&mut b, l2.0 + 12).unwrap();
+        disk.write_at(&[b[0] ^ 0x01], l2.0 + 12).unwrap();
+
+        match log.read_record_at(l2) {
+            Err(WalError::CorruptRecord(l)) => assert_eq!(l, l2),
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+        // Iteration stops at the bad record and finish() reports why.
+        let mut it = log.iter();
+        assert_eq!(it.by_ref().count(), 1, "only the record before the rot");
+        assert!(matches!(it.finish(), Err(WalError::CorruptRecord(l)) if l == l2));
+        // Recovery refuses to mistake the corruption for end-of-log.
+        let mut target = crate::recovery::MemTarget::default();
+        assert!(matches!(
+            crate::recovery::recover(&log, &mut target),
+            Err(WalError::CorruptRecord(_))
+        ));
+    }
+
+    #[test]
+    fn transient_read_flip_is_cured_by_reread() {
+        use bess_storage::fault::{FaultKind, FaultPlan, OpClass};
+        let disk = FaultDisk::new(FaultPlan::unarmed());
+        let log = LogManager::create_faulty(Arc::clone(&disk)).unwrap();
+        let l1 = log.append(1, Lsn::NULL, LogBody::Begin);
+        let l2 = log.append(1, l1, LogBody::Commit);
+        log.flush(l2).unwrap();
+
+        // Arm a one-shot bit flip on the next read — the 12-byte frame
+        // head: the first attempt sees a bad checksum, the retry reads
+        // clean bytes.
+        disk.arm(FaultPlan::armed(
+            OpClass::Read,
+            0,
+            FaultKind::BitRot {
+                offset: l1.0 + 4,
+                mask: 0x20,
+            },
+        ));
+        let rec = log.read_record_at(l1).unwrap().unwrap();
+        assert_eq!(rec.body, LogBody::Begin);
+    }
+
+    #[test]
+    fn clean_log_iteration_finishes_ok() {
+        let log = LogManager::create_mem();
+        let l1 = log.append(1, Lsn::NULL, LogBody::Begin);
+        log.append(1, l1, LogBody::Commit);
+        let mut it = log.iter();
+        assert_eq!(it.by_ref().count(), 2);
+        assert!(it.finish().is_ok(), "end-of-log is not an error");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use crate::log::{LogManager, WalResult, LOG_START};
+use crate::log::{LogManager, WalError, WalResult, LOG_START};
 use crate::lsn::Lsn;
 use crate::record::{LogBody, LogPageId, TxnStatus};
 
@@ -28,6 +28,20 @@ pub trait RedoTarget {
     /// An `Err` aborts recovery with [`WalError::RedoFailed`] — a target
     /// that cannot persist an image must not let recovery report success.
     fn apply(&mut self, page: LogPageId, offset: u32, bytes: &[u8]) -> Result<(), String>;
+
+    /// Like [`RedoTarget::apply`], but carries the log record's LSN.
+    /// Targets that seal per-page integrity headers (storage areas) stamp
+    /// it as the page's recovery LSN; the default ignores it.
+    fn apply_lsn(
+        &mut self,
+        page: LogPageId,
+        offset: u32,
+        bytes: &[u8],
+        lsn: Lsn,
+    ) -> Result<(), String> {
+        let _ = lsn;
+        self.apply(page, offset, bytes)
+    }
 }
 
 /// A trivial in-memory [`RedoTarget`] keyed by page, used in tests and by
@@ -92,7 +106,8 @@ pub fn recover(log: &LogManager, target: &mut dyn RedoTarget) -> WalResult<Recov
     };
     let mut att: HashMap<u64, AttEntry> = HashMap::new();
     let mut dpt: HashMap<LogPageId, Lsn> = HashMap::new();
-    for rec in log.iter_from(start) {
+    let mut scan = log.iter_from(start);
+    for rec in scan.by_ref() {
         report.scanned += 1;
         match &rec.body {
             LogBody::Begin => {
@@ -150,12 +165,16 @@ pub fn recover(log: &LogManager, target: &mut dyn RedoTarget) -> WalResult<Recov
             }
         }
     }
+    // An iterator stopping early because a mid-log record is corrupt must
+    // abort recovery, not silently truncate history at the bad record.
+    scan.finish()?;
 
     // ---- Redo ----------------------------------------------------------
     let redo_start = dpt.values().min().copied().unwrap_or(Lsn::NULL);
     report.redo_start = redo_start;
     if !dpt.is_empty() {
-        for rec in log.iter_from(redo_start) {
+        let mut redo = log.iter_from(redo_start);
+        for rec in redo.by_ref() {
             match &rec.body {
                 LogBody::Update {
                     page,
@@ -165,7 +184,7 @@ pub fn recover(log: &LogManager, target: &mut dyn RedoTarget) -> WalResult<Recov
                 }
                     if dpt.get(page).is_some_and(|&rl| rec.lsn >= rl) => {
                         target
-                            .apply(*page, *offset, after)
+                            .apply_lsn(*page, *offset, after, rec.lsn)
                             .map_err(crate::log::WalError::RedoFailed)?;
                         report.redone += 1;
                     }
@@ -177,13 +196,14 @@ pub fn recover(log: &LogManager, target: &mut dyn RedoTarget) -> WalResult<Recov
                 }
                     if dpt.get(page).is_some_and(|&rl| rec.lsn >= rl) => {
                         target
-                            .apply(*page, *offset, image)
+                            .apply_lsn(*page, *offset, image, rec.lsn)
                             .map_err(crate::log::WalError::RedoFailed)?;
                         report.redone += 1;
                     }
                 _ => {}
             }
         }
+        redo.finish()?;
     }
 
     // ---- Classify ------------------------------------------------------
@@ -254,20 +274,24 @@ pub fn undo_transactions(
                 before,
                 ..
             } => {
-                target
-                    .apply(page, offset, &before)
-                    .map_err(crate::log::WalError::RedoFailed)?;
-                undone += 1;
+                // CLR first, apply second: the page is stamped with the
+                // CLR's LSN (ARIES page-LSN discipline), and if the apply
+                // fails recovery aborts — a logged-but-unapplied CLR is
+                // harmless because redo repeats its image.
                 let clr = log.append(
                     txn,
                     chain_lsn(&last_lsn, txn)?,
                     LogBody::Clr {
                         page,
                         offset,
-                        image: before,
+                        image: before.clone(),
                         undo_next: rec.prev_lsn,
                     },
                 );
+                target
+                    .apply_lsn(page, offset, &before, clr)
+                    .map_err(crate::log::WalError::RedoFailed)?;
+                undone += 1;
                 last_lsn.insert(txn, clr);
                 clrs += 1;
                 push_or_end(log, &mut heap, txn, rec.prev_lsn, &last_lsn)?;
@@ -360,6 +384,113 @@ pub fn replay_all(log: &LogManager) -> MemTarget {
         }
     }
     target
+}
+
+/// The LSN of the newest *committed* update record touching each page,
+/// from a full (error-checked) log scan.
+///
+/// A correctly written page carries a header LSN **at or above** this
+/// floor: the server stamps the commit LSN (which is newer than every
+/// update it covers) on apply, and recovery stamps each redone update's
+/// own LSN. A page whose header LSN is *below* the floor never saw its
+/// newest committed update hit the disk — a lost write, which the deep
+/// scrub pass flags even though the stale image checksums perfectly.
+pub fn committed_page_lsns(log: &LogManager) -> WalResult<HashMap<LogPageId, Lsn>> {
+    let mut commit_lsn: HashMap<u64, Lsn> = HashMap::new();
+    let mut scan = log.iter();
+    for rec in scan.by_ref() {
+        if let LogBody::Commit = rec.body {
+            commit_lsn.insert(rec.txn, rec.lsn);
+        }
+    }
+    scan.finish()?;
+
+    let mut pages: HashMap<LogPageId, Lsn> = HashMap::new();
+    let mut scan = log.iter();
+    for rec in scan.by_ref() {
+        if let LogBody::Update { page, .. } = rec.body {
+            // Only updates covered by a *later* commit of the same txn
+            // count — guards against transaction-id reuse across runs.
+            if let Some(&c) = commit_lsn.get(&rec.txn) {
+                if c > rec.lsn {
+                    let entry = pages.entry(page).or_insert(Lsn::NULL);
+                    if rec.lsn > *entry {
+                        *entry = rec.lsn;
+                    }
+                }
+            }
+        }
+    }
+    scan.finish()?;
+    Ok(pages)
+}
+
+/// Rebuilds the committed image of one page by replaying every committed
+/// update to it in log order over a zeroed `page_size` buffer — the last
+/// rung of the read-repair ladder, used when both the cached and durable
+/// copies of a page fail verification.
+///
+/// Returns the image together with the commit LSN of the newest
+/// transaction that touched the page (the LSN to reseal the slot with),
+/// or `None` if no committed update covers the page — in which case the
+/// log cannot vouch for any content and the page must be quarantined.
+///
+/// Sound only for pages whose every mutation is logged (the server's
+/// transactional data pages); pages written outside the log's view cannot
+/// be reconstructed from it.
+pub fn reconstruct_page(
+    log: &LogManager,
+    page: LogPageId,
+    page_size: usize,
+) -> WalResult<Option<(Vec<u8>, Lsn)>> {
+    let mut commit_lsn: HashMap<u64, Lsn> = HashMap::new();
+    let mut scan = log.iter();
+    for rec in scan.by_ref() {
+        if let LogBody::Commit = rec.body {
+            commit_lsn.insert(rec.txn, rec.lsn);
+        }
+    }
+    scan.finish()?;
+
+    let mut image = vec![0u8; page_size];
+    let mut newest = Lsn::NULL;
+    let mut touched = false;
+    let mut scan = log.iter();
+    for rec in scan.by_ref() {
+        let LogBody::Update {
+            page: p,
+            offset,
+            ref after,
+            ..
+        } = rec.body
+        else {
+            continue;
+        };
+        if p != page {
+            continue;
+        }
+        let Some(&c) = commit_lsn.get(&rec.txn) else {
+            continue;
+        };
+        if c < rec.lsn {
+            continue; // update from a later, uncommitted reuse of the id
+        }
+        let start = offset as usize;
+        let end = start.saturating_add(after.len());
+        if end > page_size {
+            return Err(WalError::Corrupt(format!(
+                "update at {} overflows the {page_size}-byte page",
+                rec.lsn
+            )));
+        }
+        image[start..end].copy_from_slice(after);
+        touched = true;
+        if c > newest {
+            newest = c;
+        }
+    }
+    scan.finish()?;
+    Ok(if touched { Some((image, newest)) } else { None })
 }
 
 #[cfg(test)]
@@ -602,6 +733,31 @@ mod tests {
         let (undone, clrs) = undo_transactions(&log, vec![(1, abort_lsn)], &mut cache).unwrap();
         assert_eq!((undone, clrs), (1, 1));
         assert_eq!(cache.pages[&page(1)][0], 0);
+    }
+
+    #[test]
+    fn reconstruct_page_replays_committed_updates_only() {
+        let log = LogManager::create_mem();
+        let mut cache = MemTarget::default();
+        run_txn(&log, &mut cache, 1, &[(1, 0, 7), (2, 0, 3)], true, true);
+        run_txn(&log, &mut cache, 2, &[(1, 7, 9)], false, true); // loser
+
+        let (image, lsn) = reconstruct_page(&log, page(1), 16).unwrap().unwrap();
+        assert_eq!(image.len(), 16);
+        assert_eq!(image[0], 7, "committed write replayed, loser's excluded");
+        assert!(image[1..].iter().all(|&b| b == 0));
+
+        let lsns = committed_page_lsns(&log).unwrap();
+        assert!(
+            lsns[&page(1)] < lsn,
+            "reconstruction stamp (commit LSN) sits above the update floor"
+        );
+        assert!(!lsns[&page(1)].is_null());
+        assert!(lsns.contains_key(&page(2)));
+        assert!(
+            reconstruct_page(&log, page(5), 16).unwrap().is_none(),
+            "a page with no committed history cannot be vouched for"
+        );
     }
 
     #[test]

@@ -98,6 +98,14 @@ const SERVER_GOLDEN: &[&str] = &[
     "server.drain_rejections",
     "server.read_only_rejections",
     "server.log_force_failures",
+    // End-to-end integrity (PR 8): detect-and-repair reads plus the
+    // background scrubber.
+    "storage.corruption.detected",
+    "storage.corruption.repaired",
+    "storage.corruption.unrepairable",
+    "storage.scrub.passes",
+    "storage.scrub.pages",
+    "storage.scrub.stale",
     // The server's adopted subsystems.
     "lock.requests",
     "wal.appends",
