@@ -62,6 +62,32 @@ impl PageIo for AreaSet {
         area.write_page(page.page, data)
             .map_err(|e| format!("write-back of {page} failed: {e}"))
     }
+
+    fn load_batch(&self, pages: &[DbPage], _page_size: usize) -> Vec<Result<Vec<u8>, String>> {
+        // Group by area in first-appearance order and submit each group as
+        // one scatter-gather read; results scatter back to request order.
+        let mut out: Vec<Result<Vec<u8>, String>> = pages
+            .iter()
+            .map(|p| Err(format!("no storage area {}", p.area)))
+            .collect();
+        let mut groups: Vec<(u32, Vec<usize>)> = Vec::new();
+        for (i, p) in pages.iter().enumerate() {
+            match groups.iter_mut().find(|(a, _)| *a == p.area) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((p.area, vec![i])),
+            }
+        }
+        for (area_id, idxs) in groups {
+            let Some(area) = self.get(area_id) else {
+                continue; // the prefilled "no storage area" error stands
+            };
+            let group_pages: Vec<u64> = idxs.iter().map(|&i| pages[i].page).collect();
+            for (&i, res) in idxs.iter().zip(area.read_pages_batch(&group_pages)) {
+                out[i] = res.map_err(|e| e.to_string());
+            }
+        }
+        out
+    }
 }
 
 impl std::fmt::Debug for AreaSet {

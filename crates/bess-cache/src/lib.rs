@@ -32,8 +32,6 @@ mod view;
 
 pub use areaset::AreaSet;
 pub use page::{DbPage, MapIo, PageIo};
-pub use private::{PoolError, PoolStats, PoolStatsSnapshot, PrivatePool};
-pub use shared::{
-    CacheError, Evicted, GetOutcome, SharedCache, SharedCacheSnapshot, SharedCacheStats,
-};
-pub use view::{SharedView, Svma, ViewStats, ViewStatsSnapshot};
+pub use private::{PoolError, PoolStats, PrivatePool};
+pub use shared::{CacheError, Evicted, GetOutcome, SharedCache, SharedCacheStats};
+pub use view::{SharedView, Svma, ViewStats};

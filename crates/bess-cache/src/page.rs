@@ -30,6 +30,22 @@ pub trait PageIo: Send + Sync {
     /// on the backing area; the caller decides whether to surface it or
     /// rely on the WAL to repair the page at recovery.
     fn write_back(&self, page: DbPage, data: &[u8]) -> Result<(), String>;
+
+    /// Loads several pages in one call, returning each page's content (one
+    /// `page_size`-byte buffer) or error in request order. Failures are
+    /// per-page. The default loops over [`PageIo::load`]; backends sitting
+    /// on a batched device (e.g. `AreaSet` over
+    /// `StorageArea::read_pages_batch`) override it to submit the whole
+    /// batch as one scatter-gather read.
+    fn load_batch(&self, pages: &[DbPage], page_size: usize) -> Vec<Result<Vec<u8>, String>> {
+        pages
+            .iter()
+            .map(|&p| {
+                let mut buf = vec![0u8; page_size];
+                self.load(p, &mut buf).map(|()| buf)
+            })
+            .collect()
+    }
 }
 
 /// A [`PageIo`] over an in-memory map, for tests and benchmarks.

@@ -106,36 +106,6 @@ impl PoolStats {
             clock_protected: group.counter("clock_protected"),
         }
     }
-
-    /// Takes a snapshot for reporting.
-    ///
-    /// Deprecated shim: prefer [`PrivatePool::metrics`] and
-    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
-    /// callers migrate incrementally.
-    pub fn snapshot(&self) -> PoolStatsSnapshot {
-        PoolStatsSnapshot {
-            loads: self.loads.get(),
-            hits: self.hits.get(),
-            evictions: self.evictions.get(),
-            write_backs: self.write_backs.get(),
-            clock_protected: self.clock_protected.get(),
-        }
-    }
-}
-
-/// A point-in-time copy of [`PoolStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PoolStatsSnapshot {
-    /// Pages faulted in.
-    pub loads: u64,
-    /// Resident re-protections.
-    pub hits: u64,
-    /// Frames evicted.
-    pub evictions: u64,
-    /// Dirty evictions.
-    pub write_backs: u64,
-    /// Clock demotions.
-    pub clock_protected: u64,
 }
 
 /// A fixed-capacity private buffer pool bound to one process's address
@@ -263,6 +233,90 @@ impl PrivatePool {
         }
         self.stats.loads.inc();
         Ok(frame)
+    }
+
+    /// Faults a run of pages in with one batched load — the wave-2/-3
+    /// prefetch path. Resident pages are re-protected exactly as in
+    /// [`PrivatePool::fault_in`]; all misses go to the page source in a
+    /// single [`PageIo::load_batch`] call (one scatter-gather submission
+    /// on a batched backend) and are then mapped one by one under the
+    /// same capacity/eviction rules as the single-page path. Stops at the
+    /// first page that cannot be loaded or evicted for, leaving the pages
+    /// before it resident.
+    pub fn fault_in_batch(
+        &self,
+        pages: &[(DbPage, VAddr)],
+        want: Protect,
+    ) -> Result<(), PoolError> {
+        let _timer = self.fault_ns.start();
+        let psz = self.space.page_size();
+        let mut hits: Vec<VAddr> = Vec::new();
+        let mut misses: Vec<(DbPage, VAddr)> = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            for &(page, addr) in pages {
+                let addr = addr.page_base(psz);
+                match inner.resident.get_mut(&page) {
+                    Some(res) => {
+                        if res.addr != addr {
+                            return Err(PoolError::AlreadyMapped { page });
+                        }
+                        if want == Protect::ReadWrite {
+                            res.dirty = true;
+                        }
+                        hits.push(addr);
+                    }
+                    None => misses.push((page, addr)),
+                }
+            }
+        }
+        for addr in hits {
+            self.space
+                .protect(self.page_range(addr), want)
+                // LINT: allow(panic) — page reserved by the segment layer before fault-in
+                .expect("page reserved by segment layer");
+            self.stats.hits.inc();
+        }
+        // Load every miss outside the lock, as one submission.
+        let miss_pages: Vec<DbPage> = misses.iter().map(|&(p, _)| p).collect();
+        let loaded = self.io.load_batch(&miss_pages, psz as usize);
+        for ((page, addr), data) in misses.into_iter().zip(loaded) {
+            let Ok(data) = data else {
+                return Err(PoolError::LoadFailed { page });
+            };
+            {
+                let mut inner = self.inner.lock();
+                if inner.resident.contains_key(&page) {
+                    continue; // raced in since classification; keep it
+                }
+                if inner.resident.len() >= self.capacity {
+                    // LINT: allow(blocking-under-lock) — the private pool is per-transaction state; synchronous eviction write-back under its uncontended lock is the design until the async Backend lands (ROADMAP).
+                    self.evict_one(&mut inner)?;
+                }
+            }
+            let frame = self.store.alloc();
+            self.store.write(frame, 0, &data);
+            let store: Arc<dyn PageStore> = Arc::clone(&self.store) as Arc<dyn PageStore>;
+            self.space
+                .map_page(addr, store, frame, want)
+                // LINT: allow(panic) — page reserved by the segment layer before fault-in
+                .expect("page reserved by segment layer");
+            {
+                let mut inner = self.inner.lock();
+                inner.resident.insert(
+                    page,
+                    Resident {
+                        frame,
+                        addr,
+                        dirty: want == Protect::ReadWrite,
+                        pinned: false,
+                    },
+                );
+                inner.ring.push(page);
+            }
+            self.stats.loads.inc();
+        }
+        Ok(())
     }
 
     /// One full clock rotation (at most), evicting the first victim.
@@ -505,7 +559,7 @@ mod tests {
         // victim among untouched frames.
         pool.fault_in(page(2), ranges[2].start(), Protect::Read).unwrap();
         assert_eq!(pool.resident_count(), 2);
-        assert_eq!(pool.stats().snapshot().evictions, 1);
+        assert_eq!(pool.stats().evictions.get(), 1);
     }
 
     #[test]
@@ -541,7 +595,7 @@ mod tests {
         // fault_in (the segment layer's handler does this in real use).
         pool.fault_in(page(survivor), addr, Protect::Read).unwrap();
         assert_eq!(space.frame_state(addr), FrameState::Accessible);
-        assert_eq!(pool.stats().snapshot().hits, 1);
+        assert_eq!(pool.stats().hits.get(), 1);
     }
 
     #[test]

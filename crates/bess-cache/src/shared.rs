@@ -105,36 +105,6 @@ impl SharedCacheStats {
             vframe_assigns: group.counter("vframe_assigns"),
         }
     }
-
-    /// Takes a snapshot for reporting.
-    ///
-    /// Deprecated shim: prefer [`SharedCache::metrics`] and
-    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
-    /// callers migrate incrementally.
-    pub fn snapshot(&self) -> SharedCacheSnapshot {
-        SharedCacheSnapshot {
-            hits: self.hits.get(),
-            loads: self.loads.get(),
-            evictions: self.evictions.get(),
-            dirty_evictions: self.dirty_evictions.get(),
-            vframe_assigns: self.vframe_assigns.get(),
-        }
-    }
-}
-
-/// A point-in-time copy of [`SharedCacheStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct SharedCacheSnapshot {
-    /// `get` calls finding the page resident.
-    pub hits: u64,
-    /// `get` calls that had to load.
-    pub loads: u64,
-    /// Slots evicted.
-    pub evictions: u64,
-    /// Dirty evictions.
-    pub dirty_evictions: u64,
-    /// Virtual frames assigned.
-    pub vframe_assigns: u64,
 }
 
 /// Outcome of [`SharedCache::get`].
@@ -550,8 +520,8 @@ mod tests {
         cache.store().read(frame, 0, &mut buf);
         assert_eq!(buf[0], 0xAA);
         assert_eq!(cache.access_count(slot), 2);
-        let s = cache.stats().snapshot();
-        assert_eq!((s.hits, s.loads), (1, 1));
+        let s = cache.stats();
+        assert_eq!((s.hits.get(), s.loads.get()), (1, 1));
     }
 
     #[test]
@@ -668,7 +638,7 @@ mod tests {
         cache.store().write(frame, 0, &[9u8; 64]);
         cache.finish_load(slot, page(1));
         assert!(waiter.join().unwrap());
-        assert_eq!(cache.stats().snapshot().loads, 1, "only one real load");
+        assert_eq!(cache.stats().loads.get(), 1, "only one real load");
     }
 
     #[test]

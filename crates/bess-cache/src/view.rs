@@ -65,36 +65,6 @@ impl ViewStats {
             clock_invalidated: group.counter("clock_invalidated"),
         }
     }
-
-    /// Takes a snapshot for reporting.
-    ///
-    /// Deprecated shim: prefer [`SharedView::metrics`] and
-    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
-    /// callers migrate incrementally.
-    pub fn snapshot(&self) -> ViewStatsSnapshot {
-        ViewStatsSnapshot {
-            revalidations: self.revalidations.get(),
-            attach_hits: self.attach_hits.get(),
-            attach_loads: self.attach_loads.get(),
-            clock_protected: self.clock_protected.get(),
-            clock_invalidated: self.clock_invalidated.get(),
-        }
-    }
-}
-
-/// A point-in-time copy of [`ViewStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ViewStatsSnapshot {
-    /// Faults that only re-enabled a protected frame.
-    pub revalidations: u64,
-    /// Faults mapped to already-resident slots.
-    pub attach_hits: u64,
-    /// Faults that loaded pages.
-    pub attach_loads: u64,
-    /// Accessible -> protected transitions.
-    pub clock_protected: u64,
-    /// Invalidations.
-    pub clock_invalidated: u64,
 }
 
 /// One process's attachment to the shared cache (Figure 4's P1/P2).
@@ -410,10 +380,10 @@ mod tests {
         let mut buf = [0u8; 1];
         view.read(svma, &mut buf).unwrap();
         assert_eq!(buf[0], 0x5A);
-        assert_eq!(view.stats().snapshot().attach_loads, 1);
+        assert_eq!(view.stats().attach_loads.get(), 1);
         // Second read: no fault at all.
         view.read(svma, &mut buf).unwrap();
-        assert_eq!(view.space().stats().snapshot().read_faults, 1);
+        assert_eq!(view.space().stats().read_faults.get(), 1);
     }
 
     #[test]
@@ -429,7 +399,7 @@ mod tests {
         let mut buf = [0u8; 7];
         p2.read(svma, &mut buf).unwrap();
         assert_eq!(&buf, b"shared!");
-        assert_eq!(cache.stats().snapshot().loads, 1, "one load served both");
+        assert_eq!(cache.stats().loads.get(), 1, "one load served both");
     }
 
     #[test]
@@ -479,10 +449,10 @@ mod tests {
         view.read(svma, &mut buf).unwrap();
         // Demote to protected; next access revalidates without cache calls.
         view.sweep(8);
-        let loads_before = cache.stats().snapshot().loads;
+        let loads_before = cache.stats().loads.get();
         view.read(svma, &mut buf).unwrap();
-        assert_eq!(view.stats().snapshot().revalidations, 1);
-        assert_eq!(cache.stats().snapshot().loads, loads_before);
+        assert_eq!(view.stats().revalidations.get(), 1);
+        assert_eq!(cache.stats().loads.get(), loads_before);
     }
 
     #[test]
@@ -597,7 +567,7 @@ mod concurrency_tests {
         for h in handles {
             h.join().unwrap();
         }
-        let s = cache.stats().snapshot();
-        assert!(s.evictions > 0, "an 8-slot cache must churn: {s:?}");
+        let s = cache.stats();
+        assert!(s.evictions.get() > 0, "an 8-slot cache must churn: {s:?}");
     }
 }

@@ -1,0 +1,190 @@
+//! Shared short-read / `EINTR` handling for positioned reads.
+//!
+//! Every BeSS device exposes the raw positioned-read contract (`Ok(n)`
+//! with `n <= buf.len()`, `Ok(0)` at end of store, spurious
+//! `ErrorKind::Interrupted`), and every consumer used to carry its own
+//! copy of the loop that papers over it. The two policies live here once:
+//!
+//! * [`read_exact_retrying`] — storage-area semantics: the buffer must
+//!   fill completely, transient I/O errors are retried a bounded number
+//!   of times, and hitting end-of-store early is an error.
+//! * [`read_accumulating`] — log semantics: accumulate what the store
+//!   holds and report how much that was; a short count means the end was
+//!   reached (normal at a log tail).
+
+use bess_obs::Counter;
+
+/// Transient read errors (a flaky disk returning `EIO`) are retried this
+/// many times with a short pause before the error propagates.
+pub const MAX_READ_RETRIES: u32 = 3;
+
+/// Fills `buf` from a positioned reader, retrying interrupted reads and
+/// accumulating short ones. `Ok(0)` before the buffer fills is an
+/// unexpected end of the backing store. Other I/O errors are treated as
+/// transient media glitches and retried up to [`MAX_READ_RETRIES`] times
+/// (counted in `retries`) before propagating.
+pub fn read_exact_retrying<R>(
+    mut read_once: R,
+    buf: &mut [u8],
+    offset: u64,
+    retries: &Counter,
+) -> std::io::Result<()>
+where
+    R: FnMut(&mut [u8], u64) -> std::io::Result<usize>,
+{
+    let mut done = 0;
+    let mut attempts = 0u32;
+    while done < buf.len() {
+        match read_once(&mut buf[done..], offset + done as u64) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("short read at byte {}", offset + done as u64),
+                ))
+            }
+            Ok(n) => done += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                if attempts >= MAX_READ_RETRIES {
+                    return Err(e);
+                }
+                attempts += 1;
+                retries.inc();
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads as much of `buf` as the backing store holds, retrying interrupted
+/// reads and accumulating short ones. Returns the bytes read; fewer than
+/// `buf.len()` means the end of the store was reached (a short read at a
+/// log tail is normal — the caller treats it as "no more records").
+/// Unlike [`read_exact_retrying`], I/O errors propagate immediately.
+pub fn read_accumulating<R>(mut read_once: R, buf: &mut [u8], offset: u64) -> std::io::Result<usize>
+where
+    R: FnMut(&mut [u8], u64) -> std::io::Result<usize>,
+{
+    let mut done = 0;
+    while done < buf.len() {
+        match read_once(&mut buf[done..], offset + done as u64) {
+            Ok(0) => break,
+            Ok(n) => done += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted positioned reader: each call pops the next step of the
+    /// schedule. `Short(n)` serves `n` bytes (of value `offset as u8`),
+    /// `Eintr` fails with `Interrupted`, `Eio` with a generic error,
+    /// `Eof` returns `Ok(0)`.
+    #[derive(Clone, Copy, Debug)]
+    enum Step {
+        Short(usize),
+        Eintr,
+        Eio,
+        Eof,
+    }
+
+    fn scripted(schedule: Vec<Step>) -> impl FnMut(&mut [u8], u64) -> std::io::Result<usize> {
+        let mut steps = schedule.into_iter();
+        move |buf: &mut [u8], offset: u64| match steps.next() {
+            Some(Step::Short(n)) => {
+                let n = n.min(buf.len());
+                for (i, b) in buf[..n].iter_mut().enumerate() {
+                    *b = (offset + i as u64) as u8;
+                }
+                Ok(n)
+            }
+            Some(Step::Eintr) => Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected EINTR",
+            )),
+            Some(Step::Eio) => Err(std::io::Error::other("injected EIO")),
+            Some(Step::Eof) | None => Ok(0),
+        }
+    }
+
+    #[test]
+    fn exact_survives_a_short_read_eintr_schedule() {
+        // 3 bytes, EINTR, 2 bytes, EIO (retried), 3 bytes: the caller
+        // sees one seamless 8-byte read and one counted retry.
+        let retries = Counter::unregistered();
+        let mut buf = [0u8; 8];
+        read_exact_retrying(
+            scripted(vec![
+                Step::Short(3),
+                Step::Eintr,
+                Step::Short(2),
+                Step::Eio,
+                Step::Short(3),
+            ]),
+            &mut buf,
+            100,
+            &retries,
+        )
+        .unwrap();
+        // Each chunk was served at the right resumption offset.
+        let want: Vec<u8> = (100u64..108).map(|o| o as u8).collect();
+        assert_eq!(&buf[..], &want[..]);
+        assert_eq!(retries.get(), 1);
+    }
+
+    #[test]
+    fn exact_treats_early_eof_as_error() {
+        let retries = Counter::unregistered();
+        let mut buf = [0u8; 8];
+        let err = read_exact_retrying(
+            scripted(vec![Step::Short(3), Step::Eof]),
+            &mut buf,
+            0,
+            &retries,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        assert_eq!(retries.get(), 0);
+    }
+
+    #[test]
+    fn exact_gives_up_after_retry_budget() {
+        let retries = Counter::unregistered();
+        let mut buf = [0u8; 4];
+        let err = read_exact_retrying(
+            |_b: &mut [u8], _off| Err(std::io::Error::other("injected: read EIO")),
+            &mut buf,
+            0,
+            &retries,
+        );
+        assert!(err.is_err(), "persistent EIO propagates after retries");
+        assert_eq!(retries.get(), u64::from(MAX_READ_RETRIES));
+    }
+
+    #[test]
+    fn accumulating_stops_at_eof_and_reports_count() {
+        let mut buf = [0u8; 8];
+        let n = read_accumulating(
+            scripted(vec![Step::Short(2), Step::Eintr, Step::Short(3), Step::Eof]),
+            &mut buf,
+            0,
+        )
+        .unwrap();
+        assert_eq!(n, 5);
+        let want: Vec<u8> = (0u64..5).map(|o| o as u8).collect();
+        assert_eq!(&buf[..5], &want[..]);
+    }
+
+    #[test]
+    fn accumulating_propagates_hard_errors() {
+        let mut buf = [0u8; 8];
+        let err = read_accumulating(scripted(vec![Step::Short(2), Step::Eio]), &mut buf, 0);
+        assert!(err.is_err());
+    }
+}

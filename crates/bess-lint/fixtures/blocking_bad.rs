@@ -24,6 +24,18 @@ impl BadFlush {
         d.flush_all();
         drop(state);
     }
+
+    pub fn completes(&self, q: &IoQueue, t: Ticket) {
+        let state = self.state.lock();
+        q.complete(t);
+        drop(state);
+    }
+
+    pub fn drains(&self, q: &IoQueue) {
+        let state = self.state.lock();
+        q.drain();
+        drop(state);
+    }
 }
 
 pub struct DevIo {

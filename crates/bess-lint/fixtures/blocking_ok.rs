@@ -22,6 +22,13 @@ impl OkFlush {
         self.dev.sync();
         drop(state);
     }
+
+    pub fn drains_after_drop(&self, q: &IoQueue) {
+        let state = self.state.lock();
+        drop(state);
+        q.drain();
+        q.complete(0);
+    }
 }
 
 pub struct DevIo2 {

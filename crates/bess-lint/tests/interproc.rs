@@ -102,12 +102,16 @@ fn blocking_under_lock_direct_and_chained() {
     let file = "fixtures/blocking_bad.rs";
     let c = cfg(&[(file, "state", 40)]);
     let files = vec![summarize(file, include_str!("../fixtures/blocking_bad.rs"), &c)];
-    // Direct findings: device write and thread::sleep under `state`.
+    // Direct findings: device write, thread::sleep, and the completion-queue
+    // primitives (`complete`/`drain` block until the executor finishes the op)
+    // under `state`.
     let direct = &files[0].blocking;
-    assert_eq!(direct.len(), 2, "{direct:?}");
+    assert_eq!(direct.len(), 4, "{direct:?}");
     assert!(direct.iter().all(|v| v.rule == "blocking-under-lock"), "{direct:?}");
     assert!(direct.iter().any(|v| v.message.contains("write_at")), "{direct:?}");
     assert!(direct.iter().any(|v| v.message.contains("thread::sleep")), "{direct:?}");
+    assert!(direct.iter().any(|v| v.message.contains("complete")), "{direct:?}");
+    assert!(direct.iter().any(|v| v.message.contains("drain")), "{direct:?}");
     // Chained finding: `chained` -> flush_all -> sync_dev -> sync_all().
     let report = callgraph::check_workspace(&files);
     assert_eq!(report.blocking.len(), 1, "{:?}", report.blocking);

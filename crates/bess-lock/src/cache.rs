@@ -83,36 +83,6 @@ impl CacheStats {
             callback_deferred: group.counter("callback_deferred"),
         }
     }
-
-    /// Takes a snapshot for reporting.
-    ///
-    /// Deprecated shim: prefer [`LockCache::metrics`] and
-    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
-    /// callers migrate incrementally.
-    pub fn snapshot(&self) -> CacheStatsSnapshot {
-        CacheStatsSnapshot {
-            hits: self.hits.get(),
-            misses: self.misses.get(),
-            callbacks: self.callbacks.get(),
-            callback_released: self.callback_released.get(),
-            callback_deferred: self.callback_deferred.get(),
-        }
-    }
-}
-
-/// A point-in-time copy of [`CacheStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CacheStatsSnapshot {
-    /// Probes answered from the cache.
-    pub hits: u64,
-    /// Probes that required a server request.
-    pub misses: u64,
-    /// Callbacks received.
-    pub callbacks: u64,
-    /// Callbacks answered with immediate release.
-    pub callback_released: u64,
-    /// Callbacks deferred.
-    pub callback_deferred: u64,
 }
 
 /// The per-client cache of locks granted by servers.
@@ -311,8 +281,8 @@ mod tests {
         cache.finish_txn(TxnId(1));
         // Next transaction hits without a server message.
         assert_eq!(cache.acquire(TxnId(2), page(1), LockMode::S), CacheDecision::Hit);
-        let s = cache.stats().snapshot();
-        assert_eq!((s.hits, s.misses), (1, 1));
+        let s = cache.stats();
+        assert_eq!((s.hits.get(), s.misses.get()), (1, 1));
     }
 
     #[test]

@@ -31,8 +31,8 @@ mod mode;
 mod name;
 pub mod order;
 
-pub use cache::{CacheDecision, CacheStats, CacheStatsSnapshot, CallbackResponse, LockCache};
+pub use cache::{CacheDecision, CacheStats, CallbackResponse, LockCache};
 pub use order::{OrderedMutex, OrderedRwLock, Rank};
-pub use manager::{DeadlockPolicy, LockError, LockManager, LockResult, LockStats, LockStatsSnapshot};
+pub use manager::{DeadlockPolicy, LockError, LockManager, LockResult, LockStats};
 pub use mode::LockMode;
 pub use name::{LockName, TxnId};

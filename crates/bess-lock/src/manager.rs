@@ -180,36 +180,6 @@ impl LockStats {
             upgrades: group.counter("upgrades"),
         }
     }
-
-    /// Takes a snapshot for reporting.
-    ///
-    /// Deprecated shim: prefer [`LockManager::metrics`] and
-    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
-    /// callers migrate incrementally.
-    pub fn snapshot(&self) -> LockStatsSnapshot {
-        LockStatsSnapshot {
-            requests: self.requests.get(),
-            immediate: self.immediate.get(),
-            waits: self.waits.get(),
-            timeouts: self.timeouts.get(),
-            upgrades: self.upgrades.get(),
-        }
-    }
-}
-
-/// A point-in-time copy of [`LockStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct LockStatsSnapshot {
-    /// Total lock requests.
-    pub requests: u64,
-    /// Requests granted without waiting.
-    pub immediate: u64,
-    /// Requests that waited.
-    pub waits: u64,
-    /// Requests that timed out.
-    pub timeouts: u64,
-    /// Upgrade requests.
-    pub upgrades: u64,
 }
 
 const SHARDS: usize = 16;
@@ -597,7 +567,7 @@ mod tests {
             .lock_timeout(TxnId(2), page(1), LockMode::S, Duration::from_millis(50))
             .unwrap_err();
         assert!(matches!(err, LockError::Timeout { .. }));
-        assert_eq!(m.stats().snapshot().timeouts, 1);
+        assert_eq!(m.stats().timeouts.get(), 1);
     }
 
     #[test]

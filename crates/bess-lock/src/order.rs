@@ -77,8 +77,6 @@ pub enum Rank {
     /// critical sections (append framing, buffer swap); the group-commit
     /// leader performs device I/O with no log locks held.
     WalLog = 40,
-    /// `LogBackend::Mem` — the in-memory log image behind the WAL.
-    WalBackendMem = 42,
     /// `StorageArea::extents` — the buddy-allocator extent table, held
     /// across backend growth when expanding an area.
     AreaExtents = 44,
@@ -87,8 +85,16 @@ pub enum Rank {
     /// read and never held across I/O (blocking-under-lock enforces
     /// that statically).
     AreaQuarantine = 45,
-    /// `Backend::Mem` — the in-memory disk image behind a storage area.
-    AreaBackendMem = 46,
+    /// `IoQueue::state` — the submission/completion bookkeeping of the
+    /// async I/O runtime. Taken briefly at submit, dequeue, and completion
+    /// publication; never held across a device call. Ranks above every
+    /// lock a submitter may hold (WAL state, area extents) and below the
+    /// device-side leaves.
+    IoQueue = 48,
+    /// `MemDevice::bytes` — the in-memory disk image behind an
+    /// [`bess-io`] memory device (storage areas, the WAL's memory log).
+    /// A device-side leaf: nothing is acquired under it.
+    IoMemDevice = 49,
     /// `FaultDisk::images` — the two-image (durable/volatile) state of the
     /// fault-injection disk; `reopen` takes the plan slot under it.
     FaultImages = 50,
@@ -140,10 +146,10 @@ impl Rank {
         Rank::AreaSet,
         Rank::WalGroup,
         Rank::WalLog,
-        Rank::WalBackendMem,
         Rank::AreaExtents,
         Rank::AreaQuarantine,
-        Rank::AreaBackendMem,
+        Rank::IoQueue,
+        Rank::IoMemDevice,
         Rank::FaultImages,
         Rank::FaultPlanSlot,
         Rank::FaultArmed,
@@ -177,10 +183,10 @@ impl Rank {
             Rank::AreaSet => "AreaSet",
             Rank::WalGroup => "WalGroup",
             Rank::WalLog => "WalLog",
-            Rank::WalBackendMem => "WalBackendMem",
             Rank::AreaExtents => "AreaExtents",
             Rank::AreaQuarantine => "AreaQuarantine",
-            Rank::AreaBackendMem => "AreaBackendMem",
+            Rank::IoQueue => "IoQueue",
+            Rank::IoMemDevice => "IoMemDevice",
             Rank::FaultImages => "FaultImages",
             Rank::FaultPlanSlot => "FaultPlanSlot",
             Rank::FaultArmed => "FaultArmed",

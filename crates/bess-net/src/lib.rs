@@ -274,52 +274,10 @@ impl NetStats {
         }
     }
 
-    /// Takes a snapshot for reporting.
-    ///
-    /// Deprecated shim: prefer [`Network::metrics`] and
-    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
-    /// callers migrate incrementally.
-    pub fn snapshot(&self) -> NetStatsSnapshot {
-        NetStatsSnapshot {
-            sends: self.sends.get(),
-            calls: self.calls.get(),
-            unreachable: self.unreachable.get(),
-            faulted: self.faulted.get(),
-            duplicated: self.duplicated.get(),
-        }
-    }
-}
-
-/// A point-in-time copy of [`NetStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct NetStatsSnapshot {
-    /// One-way messages sent.
-    pub sends: u64,
-    /// RPC calls completed.
-    pub calls: u64,
-    /// Undeliverable messages.
-    pub unreachable: u64,
-    /// Requests or replies swallowed by an injected fault.
-    pub faulted: u64,
-    /// Extra copies delivered by injected duplication.
-    pub duplicated: u64,
-}
-
-impl NetStatsSnapshot {
-    /// Total messages on the wire (a call is two messages).
+    /// Messages on the wire right now: a send is one, a call is two
+    /// (request + reply).
     pub fn messages(&self) -> u64 {
-        self.sends + 2 * self.calls
-    }
-
-    /// Element-wise difference `self - earlier`.
-    pub fn since(&self, earlier: &NetStatsSnapshot) -> NetStatsSnapshot {
-        NetStatsSnapshot {
-            sends: self.sends - earlier.sends,
-            calls: self.calls - earlier.calls,
-            unreachable: self.unreachable - earlier.unreachable,
-            faulted: self.faulted - earlier.faulted,
-            duplicated: self.duplicated - earlier.duplicated,
-        }
+        self.sends.get() + 2 * self.calls.get()
     }
 }
 
@@ -644,7 +602,7 @@ mod tests {
         assert_eq!(env.msg, 42);
         assert_eq!(env.from, NodeId(1));
         assert!(!env.wants_reply());
-        assert_eq!(net.stats().snapshot().sends, 1);
+        assert_eq!(net.stats().sends.get(), 1);
     }
 
     #[test]
@@ -663,8 +621,8 @@ mod tests {
             .unwrap();
         assert_eq!(reply, "echo:hi");
         server.join().unwrap();
-        assert_eq!(net.stats().snapshot().calls, 1);
-        assert_eq!(net.stats().snapshot().messages(), 2);
+        assert_eq!(net.stats().calls.get(), 1);
+        assert_eq!(net.stats().messages(), 2);
     }
 
     #[test]
@@ -672,7 +630,7 @@ mod tests {
         let net = Network::<u32>::new(Duration::ZERO);
         let a = net.register(NodeId(1));
         assert_eq!(a.send(NodeId(9), 1), Err(NetError::Unreachable(NodeId(9))));
-        assert_eq!(net.stats().snapshot().unreachable, 1);
+        assert_eq!(net.stats().unreachable.get(), 1);
     }
 
     #[test]
@@ -765,7 +723,7 @@ mod tests {
         assert_eq!(a.call(NodeId(2), 2, Duration::from_secs(1)), Ok(2));
         assert_eq!(plan.fired(), 1);
         assert_eq!(server.join().unwrap(), 2, "dropped request never arrived");
-        assert_eq!(net.stats().snapshot().faulted, 1);
+        assert_eq!(net.stats().faulted.get(), 1);
     }
 
     #[test]
@@ -785,7 +743,7 @@ mod tests {
         net.arm(NetFaultPlan::armed(0, NetFaultKind::Duplicate));
         assert_eq!(a.call(NodeId(2), 7, Duration::from_secs(1)), Ok(7));
         assert_eq!(server.join().unwrap(), 2, "one request, two deliveries");
-        assert_eq!(net.stats().snapshot().duplicated, 1);
+        assert_eq!(net.stats().duplicated.get(), 1);
     }
 
     #[test]

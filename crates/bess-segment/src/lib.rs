@@ -30,7 +30,7 @@ pub use layout::{
     SEG_MAGIC, SLOT_SIZE,
 };
 pub use manager::{
-    ObjInfo, ObjRef, ProtectionPolicy, SegError, SegResult, SegStats, SegStatsSnapshot,
+    ObjInfo, ObjRef, ProtectionPolicy, SegError, SegResult, SegStats,
     SegmentManager, WriteObserver,
 };
 pub use oid::{Oid, SegId};
@@ -132,11 +132,11 @@ mod tests {
         assert_eq!(&data[..7], b"durable");
         // The three waves ran: one reservation, one slotted load, one data
         // load.
-        let s = mgr2.stats().snapshot();
-        assert_eq!(s.slotted_reserved, 1);
-        assert_eq!(s.slotted_loads, 1);
-        assert_eq!(s.data_loads, 1);
-        assert!(s.dp_fixups >= 1);
+        let s = mgr2.stats();
+        assert_eq!(s.slotted_reserved.get(), 1);
+        assert_eq!(s.slotted_loads.get(), 1);
+        assert_eq!(s.data_loads.get(), 1);
+        assert!(s.dp_fixups.get() >= 1);
     }
 
     #[test]
@@ -164,8 +164,8 @@ mod tests {
         let bob_addr = mgr2.load_ref(alice2, 16).unwrap().unwrap();
         let data = mgr2.read_object(bob_addr).unwrap();
         assert_eq!(&data[..3], b"bob");
-        assert!(mgr2.stats().snapshot().refs_swizzled >= 1);
-        assert_eq!(mgr2.stats().snapshot().refs_unresolved, 0);
+        assert!(mgr2.stats().refs_swizzled.get() >= 1);
+        assert_eq!(mgr2.stats().refs_unresolved.get(), 0);
     }
 
     #[test]
@@ -185,17 +185,15 @@ mod tests {
 
         let mgr2 = new_epoch(&env);
         let a2 = mgr2.resolve_oid(a.oid).unwrap();
-        let before = mgr2.stats().snapshot();
+        let before = mgr2.stats().slotted_reserved.get();
         // Reading A's data segment swizzles the ref to B, reserving B's
         // slotted range (wave 1) without loading it.
         let b_addr = mgr2.load_ref(a2, 8).unwrap().unwrap();
-        let mid = mgr2.stats().snapshot();
-        assert_eq!(mid.slotted_reserved - before.slotted_reserved, 1);
+        assert_eq!(mgr2.stats().slotted_reserved.get() - before, 1);
         // Only dereferencing B loads it (wave 2 + 3).
         let data = mgr2.read_object(b_addr).unwrap();
         assert_eq!(&data[..8], b"targetB!");
-        let after = mgr2.stats().snapshot();
-        assert_eq!(after.slotted_loads, 2); // A and B
+        assert_eq!(mgr2.stats().slotted_loads.get(), 2); // A and B
     }
 
     #[test]
@@ -207,7 +205,7 @@ mod tests {
         // §2.2 scenario — must be denied by the protection hardware.
         let err = env.mgr.space().write_u64(obj.addr, 0xBAD).unwrap_err();
         assert!(matches!(err, VmError::ProtectionViolation { .. }));
-        assert!(env.mgr.stats().snapshot().stray_writes_denied >= 1);
+        assert!(env.mgr.stats().stray_writes_denied.get() >= 1);
         // The object is intact.
         assert!(env.mgr.deref(obj.addr).is_ok());
     }
@@ -227,7 +225,7 @@ mod tests {
         // With protection off the stray write silently corrupts — the
         // baseline the paper argues against.
         mgr.space().write_u64(obj.addr, 0xBAD).unwrap();
-        assert_eq!(mgr.stats().snapshot().stray_writes_denied, 0);
+        assert_eq!(mgr.stats().stray_writes_denied.get(), 0);
     }
 
     #[test]
@@ -463,19 +461,19 @@ mod tests {
         let mgr2 = new_epoch(&env);
         let head = mgr2.resolve_oid(objs[0].oid).unwrap();
         let _ = mgr2.load_ref(head, 8).unwrap();
-        let s = mgr2.stats().snapshot();
-        assert_eq!(s.slotted_loads, 1, "only the head segment loaded");
-        assert_eq!(s.data_loads, 1);
-        assert_eq!(s.slotted_reserved, 2, "head + its direct target only");
+        let s = mgr2.stats();
+        assert_eq!(s.slotted_loads.get(), 1, "only the head segment loaded");
+        assert_eq!(s.data_loads.get(), 1);
+        assert_eq!(s.slotted_reserved.get(), 2, "head + its direct target only");
     }
 
     #[test]
     fn protection_cycles_are_counted() {
         let env = fresh_env();
-        let before = env.mgr.stats().snapshot().protect_cycles;
+        let before = env.mgr.stats().protect_cycles.get();
         let seg = env.mgr.create_segment(0, 16, 2).unwrap();
         env.mgr.create_object(seg, TYPE_BYTES, 8).unwrap();
-        let after = env.mgr.stats().snapshot().protect_cycles;
+        let after = env.mgr.stats().protect_cycles.get();
         assert!(after > before, "engine updates unprotect/reprotect");
 
         // Unprotected ablation performs none.
@@ -488,7 +486,7 @@ mod tests {
         );
         let seg2 = mgr_u.create_segment(0, 16, 2).unwrap();
         mgr_u.create_object(seg2, TYPE_BYTES, 8).unwrap();
-        assert_eq!(mgr_u.stats().snapshot().protect_cycles, 0);
+        assert_eq!(mgr_u.stats().protect_cycles.get(), 0);
     }
 
     #[test]
@@ -527,7 +525,7 @@ mod tests {
             let data = mgr.read_object(o.addr).unwrap();
             assert_eq!(u32::from_le_bytes(data[0..4].try_into().unwrap()), i as u32);
         }
-        assert!(mgr.stats().snapshot().objects_created == 100);
+        assert!(mgr.stats().objects_created.get() == 100);
     }
 }
 

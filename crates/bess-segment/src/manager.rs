@@ -188,54 +188,6 @@ impl SegStats {
             objects_deleted: group.counter("objects_deleted"),
         }
     }
-
-    /// Takes a snapshot for reporting.
-    ///
-    /// Deprecated shim: prefer [`SegmentManager::metrics`] and
-    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
-    /// callers migrate incrementally.
-    pub fn snapshot(&self) -> SegStatsSnapshot {
-        SegStatsSnapshot {
-            slotted_reserved: self.slotted_reserved.get(),
-            slotted_loads: self.slotted_loads.get(),
-            data_loads: self.data_loads.get(),
-            dp_fixups: self.dp_fixups.get(),
-            refs_swizzled: self.refs_swizzled.get(),
-            refs_unresolved: self.refs_unresolved.get(),
-            protect_cycles: self.protect_cycles.get(),
-            stray_writes_denied: self.stray_writes_denied.get(),
-            write_detections: self.write_detections.get(),
-            objects_created: self.objects_created.get(),
-            objects_deleted: self.objects_deleted.get(),
-        }
-    }
-}
-
-/// A point-in-time copy of [`SegStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct SegStatsSnapshot {
-    /// Wave-1 reservations.
-    pub slotted_reserved: u64,
-    /// Wave-2 loads.
-    pub slotted_loads: u64,
-    /// Wave-3 loads.
-    pub data_loads: u64,
-    /// DP fixups.
-    pub dp_fixups: u64,
-    /// References swizzled.
-    pub refs_swizzled: u64,
-    /// Unresolvable references.
-    pub refs_unresolved: u64,
-    /// Protect/unprotect cycles.
-    pub protect_cycles: u64,
-    /// Stray writes denied.
-    pub stray_writes_denied: u64,
-    /// First-write detections.
-    pub write_detections: u64,
-    /// Objects created.
-    pub objects_created: u64,
-    /// Objects deleted.
-    pub objects_deleted: u64,
 }
 
 /// A handle to a live object: the virtual address of its header (slot) —
@@ -569,11 +521,18 @@ impl SegmentManager {
             ProtectionPolicy::Protected => Protect::Read,
             ProtectionPolicy::Unprotected => Protect::ReadWrite,
         };
-        for i in 0..u64::from(rt.slotted_disk.pages) {
-            let addr = rt.slotted_range.start().add(i * self.psz());
-            self.pool
-                .fault_in(rt.slotted_db_page(i), addr, prot)?;
-        }
+        // Prefetch pipelining: the whole slotted run goes to the pool as
+        // one batch, which the I/O queue submits as a single
+        // scatter-gather read instead of one device wait per page.
+        let pages: Vec<(DbPage, VAddr)> = (0..u64::from(rt.slotted_disk.pages))
+            .map(|i| {
+                (
+                    rt.slotted_db_page(i),
+                    rt.slotted_range.start().add(i * self.psz()),
+                )
+            })
+            .collect();
+        self.pool.fault_in_batch(&pages, prot)?;
         let view = SlottedView::new(&self.space, rt.slotted_range.start());
         if !view.is_initialised()? {
             return Err(SegError::Corrupt(format!(
@@ -721,17 +680,20 @@ impl SegmentManager {
             .span("fault.wave3", rt.id.start_page);
         let view = SlottedView::new(&self.space, rt.slotted_range.start());
         let data_ptr = view.data_ptr()?;
-        for i in 0..u64::from(data_ptr.pages) {
-            let addr = data_range.start().add(i * self.psz());
-            self.pool.fault_in(
-                DbPage {
-                    area: data_ptr.area.0,
-                    page: data_ptr.start_page + i,
-                },
-                addr,
-                Protect::Read,
-            )?;
-        }
+        // Same prefetch pipelining as wave 2: one batched submission for
+        // the whole data run.
+        let pages: Vec<(DbPage, VAddr)> = (0..u64::from(data_ptr.pages))
+            .map(|i| {
+                (
+                    DbPage {
+                        area: data_ptr.area.0,
+                        page: data_ptr.start_page + i,
+                    },
+                    data_range.start().add(i * self.psz()),
+                )
+            })
+            .collect();
+        self.pool.fault_in_batch(&pages, Protect::Read)?;
         self.swizzle_segment(rt, &view)?;
         self.stats.data_loads.inc();
         Ok(())

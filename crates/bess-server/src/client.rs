@@ -169,51 +169,6 @@ impl ClientStats {
             heartbeats: group.counter("heartbeats"),
         }
     }
-
-    /// Takes a snapshot for reporting.
-    ///
-    /// Deprecated shim: prefer [`ClientConn::metrics`] and
-    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
-    /// callers migrate incrementally.
-    pub fn snapshot(&self) -> ClientStatsSnapshot {
-        ClientStatsSnapshot {
-            lock_rpcs: self.lock_rpcs.get(),
-            lock_cache_hits: self.lock_cache_hits.get(),
-            fetch_rpcs: self.fetch_rpcs.get(),
-            read_rpcs: self.read_rpcs.get(),
-            commits: self.commits.get(),
-            commit_failures: self.commit_failures.get(),
-            aborts: self.aborts.get(),
-            callbacks: self.callbacks.get(),
-            retries: self.retries.get(),
-            heartbeats: self.heartbeats.get(),
-        }
-    }
-}
-
-/// A point-in-time copy of [`ClientStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ClientStatsSnapshot {
-    /// Lock RPCs sent.
-    pub lock_rpcs: u64,
-    /// Lock-cache hits.
-    pub lock_cache_hits: u64,
-    /// Fetch RPCs.
-    pub fetch_rpcs: u64,
-    /// Read RPCs.
-    pub read_rpcs: u64,
-    /// Commits acknowledged.
-    pub commits: u64,
-    /// Commit attempts that failed.
-    pub commit_failures: u64,
-    /// Aborts.
-    pub aborts: u64,
-    /// Callbacks received.
-    pub callbacks: u64,
-    /// Transient-failure retries.
-    pub retries: u64,
-    /// Heartbeats sent.
-    pub heartbeats: u64,
 }
 
 /// A client machine's connection to the BeSS servers.

@@ -29,15 +29,15 @@ mod scrub;
 mod server;
 
 pub use client::{
-    ClientConfig, ClientConn, ClientError, ClientResult, ClientStats, ClientStatsSnapshot,
+    ClientConfig, ClientConn, ClientError, ClientResult, ClientStats,
     RemoteIo, RemoteSpace,
 };
 pub use directory::Directory;
-pub use nodeserver::{NodeHandle, NodeServer, NodeServerConfig, NodeServerStats, NodeServerStatsSnapshot};
+pub use nodeserver::{NodeHandle, NodeServer, NodeServerConfig, NodeServerStats};
 pub use proto::{coordinator_of, GTxn, Msg, PageUpdate};
 pub use scrub::{ScrubConfig, ScrubPassReport};
 pub use server::{
-    register_areas, AreaTarget, BessServer, ServerConfig, ServerStats, ServerStatsSnapshot,
+    register_areas, AreaTarget, BessServer, ServerConfig, ServerStats,
 };
 
 #[cfg(test)]
@@ -129,7 +129,7 @@ mod tests {
         let data = c.fetch_page(p, LockMode::S).unwrap();
         assert_eq!(&data[0..2], b"hi");
         c.commit(vec![]).unwrap();
-        assert_eq!(w.servers[0].stats().snapshot().commits, 1);
+        assert_eq!(w.servers[0].stats().commits.get(), 1);
     }
 
     #[test]
@@ -140,7 +140,7 @@ mod tests {
         c.begin().unwrap();
         c.fetch_page(p, LockMode::S).unwrap();
         c.commit(vec![]).unwrap();
-        let before = c.stats().snapshot();
+        let (rpcs0, hits0) = (c.stats().lock_rpcs.get(), c.stats().lock_cache_hits.get());
         c.begin().unwrap();
         // Lock is cached from the previous transaction: no lock RPC.
         c.lock(
@@ -152,9 +152,8 @@ mod tests {
         )
         .unwrap();
         c.commit(vec![]).unwrap();
-        let after = c.stats().snapshot();
-        assert_eq!(after.lock_rpcs, before.lock_rpcs);
-        assert_eq!(after.lock_cache_hits, before.lock_cache_hits + 1);
+        assert_eq!(c.stats().lock_rpcs.get(), rpcs0);
+        assert_eq!(c.stats().lock_cache_hits.get(), hits0 + 1);
     }
 
     #[test]
@@ -190,9 +189,9 @@ mod tests {
             }),
             Some(LockMode::S)
         );
-        assert!(w.servers[0].stats().snapshot().callbacks_sent >= 1);
-        assert!(w.servers[0].stats().snapshot().callback_downgrades >= 1);
-        assert!(a.stats().snapshot().callbacks >= 1);
+        assert!(w.servers[0].stats().callbacks_sent.get() >= 1);
+        assert!(w.servers[0].stats().callback_downgrades.get() >= 1);
+        assert!(a.stats().callbacks.get() >= 1);
 
         // A full revocation still happens when B wants X.
         b.begin().unwrap();
@@ -227,7 +226,7 @@ mod tests {
         let data = fetcher.join().unwrap().unwrap();
         assert_eq!(data[0], 9);
         b.commit(vec![]).unwrap();
-        assert!(w.servers[0].stats().snapshot().callback_deferred >= 1);
+        assert!(w.servers[0].stats().callback_deferred.get() >= 1);
     }
 
     #[test]
@@ -324,8 +323,8 @@ mod tests {
             area.read_page(p.page, &mut buf).unwrap();
             assert_eq!(&buf[0..4], format!("2pc{i}").as_bytes());
         }
-        assert!(w.servers[0].stats().snapshot().coordinated >= 1);
-        assert_eq!(w.servers[1].stats().snapshot().prepares, 1);
+        assert!(w.servers[0].stats().coordinated.get() >= 1);
+        assert_eq!(w.servers[1].stats().prepares.get(), 1);
     }
 
     #[test]
@@ -490,9 +489,9 @@ mod tests {
         app.begin().unwrap();
         let _d2 = app.fetch_page(p, LockMode::S).unwrap();
         app.commit(vec![]).unwrap();
-        let s = ns.stats().snapshot();
-        assert_eq!(s.remote_fetches, 1, "second fetch served from node cache");
-        assert!(s.cache_hits >= 1);
+        let s = ns.stats();
+        assert_eq!(s.remote_fetches.get(), 1, "second fetch served from node cache");
+        assert!(s.cache_hits.get() >= 1);
     }
 
     #[test]
@@ -550,7 +549,7 @@ mod tests {
         let data = direct.fetch_page(p, LockMode::X).unwrap();
         assert_eq!(data[0], 3);
         direct.commit(vec![update(p, 0, &[3], &[4])]).unwrap();
-        assert!(ns.stats().snapshot().callbacks >= 1);
+        assert!(ns.stats().callbacks.get() >= 1);
     }
 
     #[test]
@@ -591,7 +590,7 @@ mod tests {
         b.begin().unwrap();
         b.fetch_page(p, LockMode::X).unwrap();
         b.commit(vec![update(p, 0, &[1], &[2])]).unwrap();
-        assert_eq!(w.servers[0].stats().snapshot().callbacks_sent, 0);
+        assert_eq!(w.servers[0].stats().callbacks_sent.get(), 0);
     }
 }
 
@@ -672,7 +671,7 @@ mod client_logging_tests {
         let mut buf = vec![0u8; area.page_size()];
         area.read_page(page.page, &mut buf).unwrap();
         assert_eq!(&buf[0..4], b"ship");
-        assert_eq!(ns.stats().snapshot().local_commits, 1);
+        assert_eq!(ns.stats().local_commits.get(), 1);
     }
 
     #[test]
@@ -695,7 +694,7 @@ mod client_logging_tests {
         // The commit still succeeds: it is durable on the node's log (§6:
         // "the BeSS node server will be able to commit local transactions").
         a.commit(vec![upd(page, &[0; 7], b"durable")]).unwrap();
-        assert_eq!(ns.stats().snapshot().local_commits, 1);
+        assert_eq!(ns.stats().local_commits.get(), 1);
 
         // Node crashes before ever shipping. Keep only the flushed log.
         let node_log = ns.local_log().unwrap().simulate_crash().unwrap();
@@ -719,7 +718,7 @@ mod client_logging_tests {
             node_log,
         );
         assert_eq!(reshipped, 1);
-        assert_eq!(ns2.stats().snapshot().reshipped, 1);
+        assert_eq!(ns2.stats().reshipped.get(), 1);
         let area = set.get(0).unwrap();
         let mut buf = vec![0u8; area.page_size()];
         area.read_page(page.page, &mut buf).unwrap();

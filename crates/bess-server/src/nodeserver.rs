@@ -113,48 +113,6 @@ impl NodeServerStats {
             reshipped: group.counter("reshipped"),
         }
     }
-
-    /// Takes a snapshot for reporting.
-    ///
-    /// Deprecated shim: prefer [`NodeServer::metrics`] and
-    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
-    /// callers migrate incrementally.
-    pub fn snapshot(&self) -> NodeServerStatsSnapshot {
-        NodeServerStatsSnapshot {
-            cache_hits: self.cache_hits.get(),
-            remote_fetches: self.remote_fetches.get(),
-            lock_local: self.lock_local.get(),
-            lock_remote: self.lock_remote.get(),
-            callbacks: self.callbacks.get(),
-            commits: self.commits.get(),
-            global_commits: self.global_commits.get(),
-            local_commits: self.local_commits.get(),
-            reshipped: self.reshipped.get(),
-        }
-    }
-}
-
-/// A point-in-time copy of [`NodeServerStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct NodeServerStatsSnapshot {
-    /// Cache hits.
-    pub cache_hits: u64,
-    /// Remote fetches.
-    pub remote_fetches: u64,
-    /// Locally-resolved lock requests.
-    pub lock_local: u64,
-    /// Forwarded lock requests.
-    pub lock_remote: u64,
-    /// Callbacks received.
-    pub callbacks: u64,
-    /// Commits forwarded.
-    pub commits: u64,
-    /// 2PC commits forwarded.
-    pub global_commits: u64,
-    /// Local-log commits.
-    pub local_commits: u64,
-    /// Re-shipped after restart.
-    pub reshipped: u64,
 }
 
 struct NsInner {

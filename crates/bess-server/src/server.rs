@@ -169,78 +169,6 @@ impl ServerStats {
             log_force_failures: group.counter("log_force_failures"),
         }
     }
-
-    /// Takes a snapshot for reporting.
-    ///
-    /// Deprecated shim: prefer [`BessServer::metrics`] and
-    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
-    /// callers migrate incrementally.
-    pub fn snapshot(&self) -> ServerStatsSnapshot {
-        ServerStatsSnapshot {
-            txns: self.txns.get(),
-            commits: self.commits.get(),
-            aborts: self.aborts.get(),
-            fetches: self.fetches.get(),
-            reads: self.reads.get(),
-            locks_granted: self.locks_granted.get(),
-            locks_denied: self.locks_denied.get(),
-            callbacks_sent: self.callbacks_sent.get(),
-            callback_releases: self.callback_releases.get(),
-            callback_deferred: self.callback_deferred.get(),
-            callback_downgrades: self.callback_downgrades.get(),
-            prepares: self.prepares.get(),
-            coordinated: self.coordinated.get(),
-            leases_expired: self.leases_expired.get(),
-            txns_reaped: self.txns_reaped.get(),
-            dedup_hits: self.dedup_hits.get(),
-            drain_rejections: self.drain_rejections.get(),
-            read_only_rejections: self.read_only_rejections.get(),
-            log_force_failures: self.log_force_failures.get(),
-        }
-    }
-}
-
-/// A point-in-time copy of [`ServerStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ServerStatsSnapshot {
-    /// Transactions begun.
-    pub txns: u64,
-    /// Local commits.
-    pub commits: u64,
-    /// Aborts processed.
-    pub aborts: u64,
-    /// Page fetches served.
-    pub fetches: u64,
-    /// Lock-free page reads served.
-    pub reads: u64,
-    /// Lock requests granted.
-    pub locks_granted: u64,
-    /// Lock requests denied.
-    pub locks_denied: u64,
-    /// Callbacks sent.
-    pub callbacks_sent: u64,
-    /// Immediate callback releases.
-    pub callback_releases: u64,
-    /// Deferred callbacks.
-    pub callback_deferred: u64,
-    /// Downgrades performed.
-    pub callback_downgrades: u64,
-    /// Prepares voted yes.
-    pub prepares: u64,
-    /// 2PC rounds coordinated.
-    pub coordinated: u64,
-    /// Client leases expired.
-    pub leases_expired: u64,
-    /// Transactions reaped for dead clients.
-    pub txns_reaped: u64,
-    /// Retries answered from the dedup window.
-    pub dedup_hits: u64,
-    /// Transactions rejected while draining.
-    pub drain_rejections: u64,
-    /// Mutations rejected while read-only.
-    pub read_only_rejections: u64,
-    /// Log forces that failed.
-    pub log_force_failures: u64,
 }
 
 /// Applies redo/undo images to the server's storage areas.
@@ -1252,17 +1180,49 @@ impl ServerInner {
     /// repaired from the WAL first — the repair replays this very
     /// transaction too, since its commit record is already durable.
     fn apply_updates(&self, updates: &[PageUpdate], lsn: Lsn) -> Result<(), String> {
+        // One scatter-gather submission per area: the area reads each
+        // distinct destination page once, patches every update into it and
+        // writes each page back once ([`StorageArea::write_at_lsn_batch`]).
+        // Pages the batch could not apply fall back to the
+        // detect-and-repair ladder one page at a time.
+        let mut by_area: Vec<(u32, Vec<&PageUpdate>)> = Vec::new();
         for u in updates {
+            match by_area.iter_mut().find(|(a, _)| *a == u.page.area) {
+                Some((_, v)) => v.push(u),
+                None => by_area.push((u.page.area, vec![u])),
+            }
+        }
+        for (area_id, batch) in by_area {
             let area = self
                 .areas
-                .get(u.page.area)
-                .ok_or_else(|| format!("no area {}", u.page.area))?;
-            let r = self.with_repair(&area, u.page.page, || {
-                area.write_at_lsn(u.page.page, u.offset as usize, &u.after, lsn.0)
-            });
-            if let Err(e) = r {
-                self.note_media(false);
-                return Err(e.to_string());
+                .get(area_id)
+                .ok_or_else(|| format!("no area {area_id}"))?;
+            let store: Vec<bess_storage::PageUpdate<'_>> = batch
+                .iter()
+                .map(|u| bess_storage::PageUpdate {
+                    page: u.page.page,
+                    offset: u.offset as usize,
+                    data: &u.after,
+                    lsn: lsn.0,
+                })
+                .collect();
+            for (page, res) in area.write_at_lsn_batch(&store) {
+                if res.is_ok() {
+                    continue;
+                }
+                // Replay this page's updates individually under the
+                // repair ladder; `with_repair` escalates a surviving
+                // corruption to WAL reconstruction and retries once.
+                let r = self.with_repair(&area, page, || {
+                    for u in batch.iter().filter(|u| u.page.page == page) {
+                        area.write_at_lsn(u.page.page, u.offset as usize, &u.after, lsn.0)?;
+                    }
+                    Ok(())
+                });
+                if let Err(e) = r {
+                    self.note_media(false);
+                    return Err(e.to_string());
+                }
             }
         }
         self.note_media(true);

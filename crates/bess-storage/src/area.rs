@@ -40,12 +40,12 @@
 //! backend.
 
 use std::collections::HashSet;
-use std::fs::{File, OpenOptions};
-use std::os::unix::fs::FileExt;
+use std::fs::OpenOptions;
 use std::path::Path;
 use std::sync::Arc;
 
-use bess_lock::order::{OrderedMutex, OrderedRwLock, Rank};
+use bess_io::{FileDevice, IoDevice, IoOp, IoOutput, IoQueue, IoResult, IoRuntimeConfig, MemDevice};
+use bess_lock::order::{OrderedMutex, Rank};
 use bess_obs::{Counter, Group, Registry};
 
 use crate::buddy::BuddyExtent;
@@ -105,10 +105,18 @@ impl AreaConfig {
     }
 }
 
-enum Backend {
-    Mem(OrderedRwLock<Vec<u8>>),
-    File(File),
-    Faulty(Arc<FaultDisk>),
+/// One sub-page patch of a transactional apply batch — the unit of
+/// [`StorageArea::write_at_lsn_batch`].
+#[derive(Clone, Copy, Debug)]
+pub struct PageUpdate<'a> {
+    /// Absolute page number.
+    pub page: u64,
+    /// Byte offset within the page.
+    pub offset: usize,
+    /// Replacement bytes.
+    pub data: &'a [u8],
+    /// Recovery LSN sealed into the page's integrity header.
+    pub lsn: u64,
 }
 
 /// Little-endian `u32` from the first four bytes of `b`. Shorter input is
@@ -122,126 +130,74 @@ fn le_u32(b: &[u8]) -> u32 {
     u32::from_le_bytes(raw)
 }
 
-/// Transient read errors (a flaky disk returning `EIO`) are retried this
-/// many times with a short pause before the error propagates.
-const MAX_READ_RETRIES: u32 = 3;
-
-/// Fills `buf` from a positioned reader, retrying interrupted reads and
-/// accumulating short ones. `Ok(0)` before the buffer fills is an
-/// unexpected end of the backing store. Other I/O errors are treated as
-/// transient media glitches and retried up to [`MAX_READ_RETRIES`] times
-/// (counted in `retries`) before propagating.
-fn read_exact_retrying<R>(
-    mut read_once: R,
-    buf: &mut [u8],
-    offset: u64,
-    retries: &Counter,
-) -> StorageResult<()>
-where
-    R: FnMut(&mut [u8], u64) -> std::io::Result<usize>,
-{
-    let mut done = 0;
-    let mut attempts = 0u32;
-    while done < buf.len() {
-        match read_once(&mut buf[done..], offset + done as u64) {
-            Ok(0) => {
-                return Err(StorageError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    format!("short read at byte {}", offset + done as u64),
-                )))
-            }
-            Ok(n) => done += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => {
-                if attempts >= MAX_READ_RETRIES {
-                    return Err(e.into());
-                }
-                attempts += 1;
-                retries.inc();
-                std::thread::sleep(std::time::Duration::from_millis(1));
-            }
-        }
-    }
-    Ok(())
+/// The area's seat on the async I/O runtime: an [`IoQueue`] with exactly
+/// one registered device. The legacy blocking entry points shim through
+/// one-element batches ([`IoQueue::run_one`]), so the device observes the
+/// same op sequence as before the redesign — which is what keeps the
+/// fault-injection matrices (calibrated to the Nth device op per class)
+/// valid. The batched entry points ([`StorageArea::read_pages_batch`],
+/// [`StorageArea::write_at_lsn_batch`]) submit real multi-op batches that
+/// the thread-pool executor overlaps.
+struct Backend {
+    queue: IoQueue,
+    file: bess_io::FileId,
 }
 
 impl Backend {
-    fn read_at(&self, buf: &mut [u8], offset: u64, retries: &Counter) -> StorageResult<()> {
-        match self {
-            Backend::Mem(data) => {
-                let data = data.read();
-                let start = offset as usize;
-                let end = start + buf.len();
-                if end > data.len() {
-                    return Err(StorageError::BadPage(offset));
-                }
-                buf.copy_from_slice(&data[start..end]);
-                Ok(())
-            }
-            Backend::File(f) => {
-                read_exact_retrying(|b, off| f.read_at(b, off), buf, offset, retries)
-            }
-            Backend::Faulty(d) => {
-                read_exact_retrying(|b, off| d.read_at(b, off), buf, offset, retries)
-            }
+    /// Builds the queue (executor per [`IoRuntimeConfig::from_env`], so
+    /// `BESS_IO_EXEC=pool` flips the whole suite) and registers `dev`,
+    /// charging transient read retries to `retries`.
+    fn new(dev: Arc<dyn IoDevice>, group: &Group, retries: Counter) -> Self {
+        let queue = IoQueue::new(IoRuntimeConfig::from_env(), group);
+        let file = queue.register(dev, retries);
+        Backend { queue, file }
+    }
+
+    fn read_op(&self, offset: u64, len: usize) -> IoOp {
+        IoOp::Read {
+            file: self.file,
+            offset,
+            len,
+            exact: true,
         }
     }
 
-    fn write_at(&self, data_in: &[u8], offset: u64) -> StorageResult<()> {
-        match self {
-            Backend::Mem(data) => {
-                let mut data = data.write();
-                let start = offset as usize;
-                let end = start + data_in.len();
-                if end > data.len() {
-                    return Err(StorageError::BadPage(offset));
-                }
-                data[start..end].copy_from_slice(data_in);
-                Ok(())
-            }
-            Backend::File(f) => {
-                f.write_all_at(data_in, offset)?;
-                Ok(())
-            }
-            Backend::Faulty(d) => {
-                d.write_at(data_in, offset)?;
-                Ok(())
-            }
+    /// Unwraps a read completion into its buffer.
+    fn expect_read(res: IoResult) -> StorageResult<Vec<u8>> {
+        match res? {
+            IoOutput::Read { data, .. } => Ok(data),
+            other => Err(StorageError::Io(std::io::Error::other(format!(
+                "io queue returned {other:?} for a read op"
+            )))),
         }
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> StorageResult<()> {
+        let data = Self::expect_read(self.queue.run_one(self.read_op(offset, buf.len())))?;
+        buf.copy_from_slice(&data[..buf.len()]);
+        Ok(())
+    }
+
+    fn write_at(&self, data: &[u8], offset: u64) -> StorageResult<()> {
+        self.queue.run_one(IoOp::Write {
+            file: self.file,
+            offset,
+            data: data.to_vec(),
+        })?;
+        Ok(())
     }
 
     fn grow_to(&self, bytes: u64) -> StorageResult<()> {
-        match self {
-            Backend::Mem(data) => {
-                let mut data = data.write();
-                if (data.len() as u64) < bytes {
-                    data.resize(bytes as usize, 0);
-                }
-                Ok(())
-            }
-            Backend::File(f) => {
-                f.set_len(bytes)?;
-                Ok(())
-            }
-            Backend::Faulty(d) => {
-                d.grow_to(bytes)?;
-                Ok(())
-            }
-        }
+        self.queue.run_one(IoOp::Grow {
+            file: self.file,
+            len: bytes,
+        })?;
+        Ok(())
     }
 
     fn sync(&self) -> StorageResult<()> {
-        match self {
-            Backend::Mem(_) => Ok(()),
-            Backend::File(f) => {
-                f.sync_data()?;
-                Ok(())
-            }
-            Backend::Faulty(d) => {
-                d.sync()?;
-                Ok(())
-            }
-        }
+        self.queue.run_one(IoOp::Sync { file: self.file })?;
+        Ok(())
     }
 }
 
@@ -271,12 +227,7 @@ fn area_obs(id: AreaId) -> (Group, IoStats) {
 impl StorageArea {
     /// Creates a new in-memory area (used for tests and volatile caches).
     pub fn create_mem(id: AreaId, config: AreaConfig) -> StorageResult<Self> {
-        let backend = Backend::Mem(OrderedRwLock::new(
-            Rank::AreaBackendMem,
-            "area.backend.mem",
-            Vec::new(),
-        ));
-        Self::initialise(id, config, backend)
+        Self::create_on_device(id, config, MemDevice::new())
     }
 
     /// Creates a new file-backed area at `path`, failing if the file exists.
@@ -286,7 +237,7 @@ impl StorageArea {
             .write(true)
             .create_new(true)
             .open(path)?;
-        Self::initialise(id, config, Backend::File(file))
+        Self::create_on_device(id, config, FileDevice::new(file))
     }
 
     /// Creates a new area on a fault-injecting disk (crash testing).
@@ -295,13 +246,21 @@ impl StorageArea {
         config: AreaConfig,
         disk: Arc<FaultDisk>,
     ) -> StorageResult<Self> {
-        Self::initialise(id, config, Backend::Faulty(disk))
+        Self::create_on_device(id, config, disk)
     }
 
-    fn initialise(id: AreaId, config: AreaConfig, backend: Backend) -> StorageResult<Self> {
+    /// Creates a new area on an arbitrary [`IoDevice`] — the seam the
+    /// benchmarks use to put an area on a latency-injecting
+    /// [`bess_io::SlowDevice`] proxy.
+    pub fn create_on_device(
+        id: AreaId,
+        config: AreaConfig,
+        dev: Arc<dyn IoDevice>,
+    ) -> StorageResult<Self> {
         assert!(config.page_size >= 64, "page size too small for headers");
         assert!(config.initial_extents >= 1, "area needs at least one extent");
         let (group, stats) = area_obs(id);
+        let backend = Backend::new(dev, &group, stats.read_retries.clone());
         let area = StorageArea {
             id,
             config,
@@ -332,22 +291,38 @@ impl StorageArea {
     /// the persisted per-extent allocation tables.
     pub fn open_file(id: AreaId, path: &Path, expandable: bool) -> StorageResult<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
-        Self::open_with_backend(id, Backend::File(file), expandable)
+        Self::open_device(id, FileDevice::new(file), expandable)
     }
 
     /// Opens an existing area living on a fault-injecting disk (typically
     /// after [`FaultDisk::reopen`] following a simulated crash).
     pub fn open_faulty(id: AreaId, disk: Arc<FaultDisk>, expandable: bool) -> StorageResult<Self> {
-        Self::open_with_backend(id, Backend::Faulty(disk), expandable)
+        Self::open_device(id, disk, expandable)
     }
 
-    fn open_with_backend(id: AreaId, backend: Backend, expandable: bool) -> StorageResult<Self> {
+    /// Opens an existing area on an arbitrary [`IoDevice`].
+    pub fn open_device(
+        id: AreaId,
+        dev: Arc<dyn IoDevice>,
+        expandable: bool,
+    ) -> StorageResult<Self> {
         // Bootstrap: the area header lives *inside* slot 0, after the
         // integrity header, so read enough raw bytes to learn the page
         // size, then verify the whole slot below. The area's stats object
-        // doesn't exist yet; header-read retries go to a throwaway counter.
+        // doesn't exist yet; header-read retries go to a throwaway counter,
+        // exactly as before the queue redesign.
+        let bootstrap = IoQueue::unregistered(IoRuntimeConfig::from_env());
+        let boot_file = bootstrap.register(Arc::clone(&dev), Counter::unregistered());
         let mut head = [0u8; PAGE_HDR + 24];
-        backend.read_at(&mut head, 0, &Counter::unregistered())?;
+        let data = Backend::expect_read(bootstrap.run_one(IoOp::Read {
+            file: boot_file,
+            offset: 0,
+            len: head.len(),
+            exact: true,
+        }))?;
+        let head_len = head.len();
+        head.copy_from_slice(&data[..head_len]);
+        drop(bootstrap);
         let body = &head[PAGE_HDR..];
         let magic = le_u32(&body[0..4]);
         if magic != AREA_MAGIC {
@@ -373,6 +348,7 @@ impl StorageArea {
             verify_on_read: true,
         };
         let (group, stats) = area_obs(id);
+        let backend = Backend::new(dev, &group, stats.read_retries.clone());
         let area = StorageArea {
             id,
             config,
@@ -648,8 +624,7 @@ impl StorageArea {
     // ---- page I/O --------------------------------------------------------
 
     fn read_slot_raw(&self, page: u64, slot: &mut [u8]) -> StorageResult<()> {
-        self.backend
-            .read_at(slot, self.slot_offset(page), &self.stats.read_retries)
+        self.backend.read_at(slot, self.slot_offset(page))
     }
 
     /// Reads `page`'s full slot and verifies it, re-reading once on a
@@ -658,6 +633,14 @@ impl StorageArea {
     fn read_slot_verified(&self, page: u64, slot: &mut [u8]) -> StorageResult<u64> {
         self.check_quarantine(page)?;
         self.read_slot_raw(page, slot)?;
+        self.verify_with_reread(page, slot)
+    }
+
+    /// The verification half of a verified read: checks the already-read
+    /// `slot`, re-reading it once on failure. Shared between the single-op
+    /// path and [`Self::read_pages_batch`], where the first read arrives
+    /// via a batched completion instead of a blocking call.
+    fn verify_with_reread(&self, page: u64, slot: &mut [u8]) -> StorageResult<u64> {
         if !self.config.verify_on_read {
             return Ok(integrity::header_lsn(slot));
         }
@@ -696,6 +679,42 @@ impl StorageArea {
         buf.copy_from_slice(&slot[PAGE_HDR..]);
         IoStats::bump(&self.stats.page_reads);
         Ok(())
+    }
+
+    /// Reads many absolute pages in one scatter-gather submission: every
+    /// slot read enters the [`IoQueue`] as a single batch — which the
+    /// thread-pool executor overlaps, turning N serial device waits into
+    /// one — then each completion is verified independently with the same
+    /// single re-read repair as [`Self::read_page`]. Returns one result
+    /// per requested page, in request order; each failure is per-page
+    /// (a corrupt or quarantined page never poisons its neighbors).
+    pub fn read_pages_batch(&self, pages: &[u64]) -> Vec<StorageResult<Vec<u8>>> {
+        let slot_len = PAGE_HDR + self.config.page_size;
+        // Quarantined pages fail fast without touching the backend; the
+        // rest go out as one submission.
+        let gate: Vec<StorageResult<()>> =
+            pages.iter().map(|&p| self.check_quarantine(p)).collect();
+        let ops: Vec<IoOp> = pages
+            .iter()
+            .zip(&gate)
+            .filter(|(_, g)| g.is_ok())
+            .map(|(&p, _)| self.backend.read_op(self.slot_offset(p), slot_len))
+            .collect();
+        let mut tickets = self.backend.queue.submit_owned(ops).into_iter();
+        pages
+            .iter()
+            .zip(gate)
+            .map(|(&page, gate)| {
+                gate?;
+                let ticket = tickets.next().ok_or_else(|| {
+                    StorageError::Io(std::io::Error::other("io queue lost a submitted read"))
+                })?;
+                let mut slot = Backend::expect_read(self.backend.queue.complete(ticket))?;
+                self.verify_with_reread(page, &mut slot)?;
+                IoStats::bump(&self.stats.page_reads);
+                Ok(slot.split_off(PAGE_HDR))
+            })
+            .collect()
     }
 
     /// Writes an absolute page from `data` (`data.len() == page_size`),
@@ -755,6 +774,86 @@ impl StorageArea {
         self.read_slot_verified(page, &mut slot)?;
         slot[PAGE_HDR + offset..PAGE_HDR + offset + data.len()].copy_from_slice(data);
         self.seal_and_write(page, lsn, &mut slot)
+    }
+
+    /// Applies a batch of sub-page patches as scatter-gather I/O: one
+    /// verified read per *distinct* page (all reads submitted as a single
+    /// batch), every patch for a page applied to its slot in memory, then
+    /// one sealed write per page (again a single batch). Patches to the
+    /// same page coalesce into one read-modify-write, the last patch's
+    /// `lsn` winning — exactly what the serial per-update loop would leave
+    /// on disk, in half the device ops.
+    ///
+    /// Returns one result per distinct page in first-appearance order, so
+    /// a caller can repair-and-retry exactly the pages that failed.
+    pub fn write_at_lsn_batch(
+        &self,
+        updates: &[PageUpdate<'_>],
+    ) -> Vec<(u64, StorageResult<()>)> {
+        for u in updates {
+            assert!(u.offset + u.data.len() <= self.config.page_size);
+        }
+        // Distinct pages, first-appearance order.
+        let mut pages: Vec<u64> = Vec::new();
+        for u in updates {
+            if !pages.contains(&u.page) {
+                pages.push(u.page);
+            }
+        }
+        let slot_len = PAGE_HDR + self.config.page_size;
+        let gate: Vec<StorageResult<()>> =
+            pages.iter().map(|&p| self.check_quarantine(p)).collect();
+        let read_ops: Vec<IoOp> = pages
+            .iter()
+            .zip(&gate)
+            .filter(|(_, g)| g.is_ok())
+            .map(|(&p, _)| self.backend.read_op(self.slot_offset(p), slot_len))
+            .collect();
+        let mut read_tickets = self.backend.queue.submit_owned(read_ops).into_iter();
+
+        // Phase 1: complete each read, verify, patch, reseal. Slots that
+        // survive queue up as write ops; failures keep their per-page error.
+        let mut results: Vec<(u64, StorageResult<()>)> = Vec::with_capacity(pages.len());
+        let mut write_ops: Vec<IoOp> = Vec::new();
+        let mut write_pages: Vec<usize> = Vec::new(); // index into `results`
+        for (&page, gate) in pages.iter().zip(gate) {
+            let prepared = gate.and_then(|()| {
+                let ticket = read_tickets.next().ok_or_else(|| {
+                    StorageError::Io(std::io::Error::other("io queue lost a submitted read"))
+                })?;
+                let mut slot = Backend::expect_read(self.backend.queue.complete(ticket))?;
+                let mut lsn = self.verify_with_reread(page, &mut slot)?;
+                for u in updates.iter().filter(|u| u.page == page) {
+                    slot[PAGE_HDR + u.offset..PAGE_HDR + u.offset + u.data.len()]
+                        .copy_from_slice(u.data);
+                    lsn = u.lsn;
+                }
+                integrity::reseal(self.id.0, page, lsn, &mut slot);
+                Ok(slot)
+            });
+            match prepared {
+                Ok(slot) => {
+                    write_pages.push(results.len());
+                    write_ops.push(IoOp::Write {
+                        file: self.backend.file,
+                        offset: self.slot_offset(page),
+                        data: slot,
+                    });
+                    results.push((page, Ok(())));
+                }
+                Err(e) => results.push((page, Err(e))),
+            }
+        }
+
+        // Phase 2: all surviving writes as one submission.
+        let tickets = self.backend.queue.submit_owned(write_ops);
+        for (idx, ticket) in write_pages.into_iter().zip(tickets) {
+            match self.backend.queue.complete(ticket) {
+                Ok(_) => IoStats::bump(&self.stats.page_writes),
+                Err(e) => results[idx].1 = Err(e.into()),
+            }
+        }
+        results
     }
 
     /// Verifies `page` without returning its contents; `Ok(lsn)` on
@@ -944,7 +1043,7 @@ mod tests {
         let _a = area.alloc(4).unwrap();
         let _b = area.alloc(4).unwrap(); // forces expansion
         assert_eq!(area.num_extents(), 2);
-        assert_eq!(area.stats().snapshot().extends, 1);
+        assert_eq!(area.stats().extends.get(), 1);
     }
 
     #[test]
@@ -1059,15 +1158,15 @@ mod tests {
     fn io_stats_count() {
         let area = StorageArea::create_mem(AreaId(1), AreaConfig::default()).unwrap();
         let seg = area.alloc(1).unwrap();
-        let before = area.stats().snapshot();
+        let s = area.stats();
+        let (r0, w0, s0) = (s.page_reads.get(), s.page_writes.get(), s.syncs.get());
         let mut page = vec![0u8; area.page_size()];
         area.read_page(seg.start_page, &mut page).unwrap();
         area.write_page(seg.start_page, &page).unwrap();
         area.sync().unwrap();
-        let delta = area.stats().snapshot().since(&before);
-        assert_eq!(delta.page_reads, 1);
-        assert_eq!(delta.page_writes, 1);
-        assert_eq!(delta.syncs, 1);
+        assert_eq!(s.page_reads.get() - r0, 1);
+        assert_eq!(s.page_writes.get() - w0, 1);
+        assert_eq!(s.syncs.get() - s0, 1);
     }
 
     #[test]
@@ -1090,11 +1189,14 @@ mod tests {
         area.read_page(seg.start_page, &mut back).unwrap();
         assert_eq!(&back[..5], b"hello");
         assert_eq!(plan.fired(), 1, "the injected fault fired");
-        assert_eq!(area.stats().snapshot().read_retries, 1);
+        assert_eq!(area.stats().read_retries.get(), 1);
     }
 
     #[test]
     fn persistent_read_eio_propagates_after_retry_budget() {
+        // The retry loop itself lives in bess-io now; this pins the
+        // budget the storage read path inherits from it.
+        use bess_io::{read_exact_retrying, MAX_READ_RETRIES};
         let mut buf = vec![0u8; 64];
         let retries = Counter::unregistered();
         let err = read_exact_retrying(
@@ -1150,7 +1252,7 @@ mod tests {
             }) => {}
             other => panic!("expected CorruptPage, got {other:?}"),
         }
-        assert_eq!(area.stats().snapshot().verify_failures, 1);
+        assert_eq!(area.stats().verify_failures.get(), 1);
     }
 
     #[test]
@@ -1174,9 +1276,9 @@ mod tests {
         let mut back = vec![0u8; area.page_size()];
         area.read_page(seg.start_page, &mut back).unwrap();
         assert_eq!(back, page, "the re-read served clean data");
-        let snap = area.stats().snapshot();
-        assert_eq!(snap.reread_repairs, 1);
-        assert_eq!(snap.verify_failures, 0);
+        let snap = area.stats();
+        assert_eq!(snap.reread_repairs.get(), 1);
+        assert_eq!(snap.verify_failures.get(), 0);
     }
 
     #[test]
@@ -1264,7 +1366,8 @@ mod tests {
         area.quarantine(seg.start_page);
         assert!(area.is_quarantined(seg.start_page));
         assert_eq!(area.quarantined_pages(), vec![seg.start_page]);
-        let before = area.stats().snapshot();
+        let s = area.stats();
+        let (r0, w0) = (s.page_reads.get(), s.page_writes.get());
         let mut buf = vec![0u8; area.page_size()];
         assert!(matches!(
             area.read_page(seg.start_page, &mut buf),
@@ -1280,8 +1383,7 @@ mod tests {
                 ..
             })
         ));
-        let delta = area.stats().snapshot().since(&before);
-        assert_eq!(delta.page_reads + delta.page_writes, 0);
+        assert_eq!(s.page_reads.get() - r0 + s.page_writes.get() - w0, 0);
         // Repair ladder: restore, verify, release.
         area.restore_page(seg.start_page, &page, 0).unwrap();
         area.unquarantine(seg.start_page);

@@ -393,6 +393,33 @@ impl FaultDisk {
     }
 }
 
+/// The fault disk is an [`bess_io::IoDevice`], so it slots under the async
+/// I/O queue as middleware: the two-image durable/volatile model observes
+/// exactly the op stream the queue issues, and the crash/corruption
+/// matrices — calibrated to the Nth device op per [`OpClass`] — run
+/// unchanged against either executor.
+impl bess_io::IoDevice for FaultDisk {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<usize> {
+        FaultDisk::read_at(self, buf, offset)
+    }
+
+    fn write_at(&self, data: &[u8], offset: u64) -> std::io::Result<()> {
+        FaultDisk::write_at(self, data, offset)
+    }
+
+    fn grow_to(&self, bytes: u64) -> std::io::Result<()> {
+        FaultDisk::grow_to(self, bytes)
+    }
+
+    fn sync(&self) -> std::io::Result<()> {
+        FaultDisk::sync(self)
+    }
+
+    fn len(&self) -> std::io::Result<u64> {
+        Ok(FaultDisk::len(self))
+    }
+}
+
 fn write_into(image: &mut Vec<u8>, data: &[u8], offset: u64) {
     let end = offset as usize + data.len();
     if image.len() < end {

@@ -33,11 +33,11 @@ mod page;
 mod space;
 mod stats;
 
-pub use area::{AreaConfig, StorageArea};
+pub use area::{AreaConfig, PageUpdate, StorageArea};
 pub use fault::{FaultDisk, FaultKind, FaultPlan, OpClass};
 pub use buddy::BuddyExtent;
 pub use error::{CorruptKind, StorageError, StorageResult};
 pub use integrity::PAGE_HDR;
 pub use page::{order_for_pages, AreaId, DiskPtr, PageId, PAGE_SIZE};
 pub use space::DiskSpace;
-pub use stats::{IoSnapshot, IoStats};
+pub use stats::IoStats;

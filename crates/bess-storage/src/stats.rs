@@ -62,55 +62,4 @@ impl IoStats {
     pub(crate) fn bump(counter: &Counter) {
         counter.inc();
     }
-
-    /// Takes a snapshot for reporting.
-    ///
-    /// Deprecated shim: prefer [`crate::StorageArea::metrics`] and
-    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
-    /// callers migrate incrementally.
-    pub fn snapshot(&self) -> IoSnapshot {
-        IoSnapshot {
-            page_reads: self.page_reads.get(),
-            page_writes: self.page_writes.get(),
-            syncs: self.syncs.get(),
-            extends: self.extends.get(),
-            read_retries: self.read_retries.get(),
-            verify_failures: self.verify_failures.get(),
-            reread_repairs: self.reread_repairs.get(),
-        }
-    }
-}
-
-/// A point-in-time copy of [`IoStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct IoSnapshot {
-    /// Pages read from the backend.
-    pub page_reads: u64,
-    /// Pages written to the backend.
-    pub page_writes: u64,
-    /// Durability syncs.
-    pub syncs: u64,
-    /// Extent expansions.
-    pub extends: u64,
-    /// Transient read errors absorbed by retry.
-    pub read_retries: u64,
-    /// Integrity verification failures surfaced by reads.
-    pub verify_failures: u64,
-    /// Verification failures cured by the immediate re-read.
-    pub reread_repairs: u64,
-}
-
-impl IoSnapshot {
-    /// Element-wise difference `self - earlier`.
-    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
-        IoSnapshot {
-            page_reads: self.page_reads - earlier.page_reads,
-            page_writes: self.page_writes - earlier.page_writes,
-            syncs: self.syncs - earlier.syncs,
-            extends: self.extends - earlier.extends,
-            read_retries: self.read_retries - earlier.read_retries,
-            verify_failures: self.verify_failures - earlier.verify_failures,
-            reread_repairs: self.reread_repairs - earlier.reread_repairs,
-        }
-    }
 }

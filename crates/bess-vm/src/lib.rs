@@ -37,7 +37,7 @@
 //! let range = space.reserve(8192, Some(handler));
 //! space.write_u64(range.start(), 7).unwrap(); // faults once, then resumes
 //! assert_eq!(space.read_u64(range.start()).unwrap(), 7);
-//! assert_eq!(space.stats().snapshot().write_faults, 1);
+//! assert_eq!(space.stats().write_faults.get(), 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -54,5 +54,5 @@ pub use addr::{VAddr, VRange};
 pub use handler::{handler_fn, Fault, FaultHandler, FaultOutcome, FnHandler};
 pub use prot::{Access, FrameState, Protect};
 pub use space::{AddressSpace, VmError, VmResult, DEFAULT_PAGE_SIZE};
-pub use stats::{MemStats, StatsSnapshot};
+pub use stats::MemStats;
 pub use store::{FrameId, HeapStore, PageStore};

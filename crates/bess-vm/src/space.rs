@@ -641,7 +641,7 @@ mod tests {
         let range = space.reserve(4096, None);
         let err = space.read_u64(range.start()).unwrap_err();
         assert!(matches!(err, VmError::ProtectionViolation { .. }));
-        assert_eq!(space.stats().snapshot().denied_faults, 1);
+        assert_eq!(space.stats().denied_faults.get(), 1);
     }
 
     #[test]
@@ -663,13 +663,13 @@ mod tests {
 
         // Reads do not fault.
         assert_eq!(space.read_u64(range.start()).unwrap(), 0);
-        assert_eq!(space.stats().snapshot().write_faults, 0);
+        assert_eq!(space.stats().write_faults.get(), 0);
 
         // First write faults once; later writes to the same page do not.
         space.write_u64(range.start(), 42).unwrap();
         space.write_u64(range.start().add(8), 43).unwrap();
         assert_eq!(writes_seen.load(Ordering::Relaxed), 1);
-        assert_eq!(space.stats().snapshot().write_faults, 1);
+        assert_eq!(space.stats().write_faults.get(), 1);
 
         // A write to the second page faults again.
         space.write_u64(range.start().add(4096), 44).unwrap();
@@ -701,11 +701,10 @@ mod tests {
     #[test]
     fn lazy_reservation_allocates_no_frames() {
         let space = AddressSpace::new();
-        let before = space.stats().snapshot();
+        let (rb0, mc0) = (space.stats().reserved_bytes.get(), space.stats().map_calls.get());
         space.reserve(1 << 20, None);
-        let after = space.stats().snapshot();
-        assert_eq!(after.reserved_bytes - before.reserved_bytes, 1 << 20);
-        assert_eq!(after.map_calls, before.map_calls, "no frames mapped");
+        assert_eq!(space.stats().reserved_bytes.get() - rb0, 1 << 20);
+        assert_eq!(space.stats().map_calls.get(), mc0, "no frames mapped");
     }
 
     #[test]
@@ -785,24 +784,24 @@ mod tests {
         let a = space.reserve(4096, Some(Arc::clone(&mapper)));
         let b = space.reserve(4096, Some(mapper));
 
-        assert_eq!(space.stats().snapshot().faults(), 0);
+        assert_eq!(space.stats().faults(), 0);
         space.read_u64(a.start()).unwrap();
-        assert_eq!(space.stats().snapshot().faults(), 1);
+        assert_eq!(space.stats().faults(), 1);
         space.read_u64(b.start()).unwrap();
-        assert_eq!(space.stats().snapshot().faults(), 2);
+        assert_eq!(space.stats().faults(), 2);
         // Warm accesses are fault-free.
         space.read_u64(a.start()).unwrap();
         space.read_u64(b.start()).unwrap();
-        assert_eq!(space.stats().snapshot().faults(), 2);
+        assert_eq!(space.stats().faults(), 2);
     }
 
     #[test]
     fn protect_counts_one_syscall_per_call() {
         let space = AddressSpace::new();
         let range = space.alloc_anon(16 * 4096, Protect::Read);
-        let before = space.stats().snapshot().protect_calls;
+        let before = space.stats().protect_calls.get();
         space.protect(range, Protect::ReadWrite).unwrap();
-        assert_eq!(space.stats().snapshot().protect_calls, before + 1);
+        assert_eq!(space.stats().protect_calls.get(), before + 1);
     }
 }
 

@@ -58,25 +58,10 @@ impl MemStats {
         }
     }
 
-    /// Takes a consistent-enough snapshot for reporting.
-    ///
-    /// Deprecated shim: prefer [`crate::AddressSpace::metrics`] and
-    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
-    /// callers migrate incrementally.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            reserve_calls: self.reserve_calls.get(),
-            reserved_bytes: self.reserved_bytes.get(),
-            unreserve_calls: self.unreserve_calls.get(),
-            protect_calls: self.protect_calls.get(),
-            map_calls: self.map_calls.get(),
-            unmap_calls: self.unmap_calls.get(),
-            read_faults: self.read_faults.get(),
-            write_faults: self.write_faults.get(),
-            denied_faults: self.denied_faults.get(),
-            bytes_read: self.bytes_read.get(),
-            bytes_written: self.bytes_written.get(),
-        }
+
+    /// Total faults taken, read and write combined.
+    pub fn faults(&self) -> u64 {
+        self.read_faults.get() + self.write_faults.get()
     }
 
     pub(crate) fn bump(counter: &Counter) {
@@ -88,75 +73,21 @@ impl MemStats {
     }
 }
 
-/// A point-in-time copy of [`MemStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct StatsSnapshot {
-    /// Calls to `reserve`.
-    pub reserve_calls: u64,
-    /// Total bytes ever reserved.
-    pub reserved_bytes: u64,
-    /// Calls to `unreserve`.
-    pub unreserve_calls: u64,
-    /// Protection changes (modelled `mprotect` system calls).
-    pub protect_calls: u64,
-    /// Pages mapped onto store frames.
-    pub map_calls: u64,
-    /// Pages unmapped.
-    pub unmap_calls: u64,
-    /// Faults taken on loads.
-    pub read_faults: u64,
-    /// Faults taken on stores.
-    pub write_faults: u64,
-    /// Faults no handler resolved.
-    pub denied_faults: u64,
-    /// Bytes copied out of mapped frames.
-    pub bytes_read: u64,
-    /// Bytes copied into mapped frames.
-    pub bytes_written: u64,
-}
-
-impl StatsSnapshot {
-    /// Total faults of both kinds.
-    pub fn faults(&self) -> u64 {
-        self.read_faults + self.write_faults
-    }
-
-    /// Element-wise difference `self - earlier`, for measuring an interval.
-    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
-        StatsSnapshot {
-            reserve_calls: self.reserve_calls - earlier.reserve_calls,
-            reserved_bytes: self.reserved_bytes - earlier.reserved_bytes,
-            unreserve_calls: self.unreserve_calls - earlier.unreserve_calls,
-            protect_calls: self.protect_calls - earlier.protect_calls,
-            map_calls: self.map_calls - earlier.map_calls,
-            unmap_calls: self.unmap_calls - earlier.unmap_calls,
-            read_faults: self.read_faults - earlier.read_faults,
-            write_faults: self.write_faults - earlier.write_faults,
-            denied_faults: self.denied_faults - earlier.denied_faults,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            bytes_written: self.bytes_written - earlier.bytes_written,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn snapshot_and_since() {
+    fn counters_and_faults() {
         let stats = MemStats::new(&bess_obs::Registry::new().group("vm"));
         MemStats::bump(&stats.read_faults);
         MemStats::add(&stats.reserved_bytes, 4096);
-        let a = stats.snapshot();
+        let (rf0, wf0) = (stats.read_faults.get(), stats.write_faults.get());
         MemStats::bump(&stats.read_faults);
         MemStats::bump(&stats.write_faults);
-        let b = stats.snapshot();
-        let d = b.since(&a);
-        assert_eq!(d.read_faults, 1);
-        assert_eq!(d.write_faults, 1);
-        assert_eq!(d.faults(), 2);
-        assert_eq!(d.reserved_bytes, 0);
-        assert_eq!(b.reserved_bytes, 4096);
+        assert_eq!(stats.read_faults.get() - rf0, 1);
+        assert_eq!(stats.write_faults.get() - wf0, 1);
+        assert_eq!(stats.faults(), 3);
+        assert_eq!(stats.reserved_bytes.get(), 4096);
     }
 }

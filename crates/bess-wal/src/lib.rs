@@ -46,7 +46,7 @@ mod recovery;
 pub use enc::{checksum, DecodeError};
 pub use log::{
     ForceHook, ForcePoint, GroupCommitConfig, LogIter, LogManager, WalError, WalResult, WalStats,
-    WalStatsSnapshot, LOG_START,
+    LOG_START,
 };
 pub use lsn::Lsn;
 pub use record::{LogBody, LogPageId, LogRecord, TxnStatus};

@@ -6,14 +6,14 @@
 //! implements the WAL rule (force the log up to an LSN before the
 //! corresponding page leaves the cache, and at commit).
 
-use std::fs::{File, OpenOptions};
-use std::os::unix::fs::FileExt;
+use std::fs::OpenOptions;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bess_lock::order::{OrderedMutex, OrderedRwLock, Rank};
+use bess_io::{FileDevice, IoDevice, IoOp, IoOutput, IoQueue, IoRuntimeConfig, MemDevice};
+use bess_lock::order::{OrderedMutex, Rank};
 use bess_obs::{Counter, Group, LatencyHistogram, Registry};
 use bess_storage::fault::FaultDisk;
 use parking_lot::{Condvar, Mutex};
@@ -71,26 +71,70 @@ impl From<std::io::Error> for WalError {
 /// Result alias for log operations.
 pub type WalResult<T> = Result<T, WalError>;
 
-enum LogBackend {
-    Mem {
-        bytes: OrderedRwLock<Vec<u8>>,
-        /// Simulated device-sync latency. Zero for plain in-memory logs;
-        /// benchmarks use a nonzero delay as an fsync-cost proxy so group
-        /// commit's sync amortization is measurable without a real disk.
-        sync_delay: Duration,
-    },
-    File(File),
-    Faulty(Arc<FaultDisk>),
+/// The log's seat on the async I/O runtime: an [`IoQueue`] with exactly
+/// one registered device. The legacy blocking entry points shim through
+/// one-element batches ([`IoQueue::run_one`]), preserving the exact device
+/// op sequence the crash matrices are calibrated to; the group-commit
+/// force submits its whole round as a single chained
+/// [`IoOp::WriteSync`] — one ticket, write then sync, fail-fast.
+struct LogBackend {
+    queue: IoQueue,
+    file: bess_io::FileId,
+    /// In-memory device handle, kept so [`LogManager::simulate_crash`] can
+    /// snapshot the volatile image out-of-band (not a queue op — no
+    /// fault-plan count impact).
+    mem: Option<Arc<MemDevice>>,
 }
 
-fn mem_backend(bytes: Vec<u8>) -> LogBackend {
-    mem_backend_slow(bytes, Duration::ZERO)
-}
+impl LogBackend {
+    fn new(dev: Arc<dyn IoDevice>, mem: Option<Arc<MemDevice>>, group: &Group) -> Self {
+        let queue = IoQueue::new(IoRuntimeConfig::from_env(), group);
+        let file = queue.register(dev, Counter::unregistered());
+        LogBackend { queue, file, mem }
+    }
 
-fn mem_backend_slow(bytes: Vec<u8>, sync_delay: Duration) -> LogBackend {
-    LogBackend::Mem {
-        bytes: OrderedRwLock::new(Rank::WalBackendMem, "wal.backend.mem", bytes),
-        sync_delay,
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> WalResult<usize> {
+        match self.queue.run_one(IoOp::Read {
+            file: self.file,
+            offset,
+            len: buf.len(),
+            exact: false,
+        })? {
+            IoOutput::Read { data, n } => {
+                buf[..n].copy_from_slice(&data[..n]);
+                Ok(n)
+            }
+            other => Err(WalError::Io(std::io::Error::other(format!(
+                "io queue returned {other:?} for a read op"
+            )))),
+        }
+    }
+
+    fn write_at(&self, data: &[u8], offset: u64) -> WalResult<()> {
+        self.queue.run_one(IoOp::Write {
+            file: self.file,
+            offset,
+            data: data.to_vec(),
+        })?;
+        Ok(())
+    }
+
+    fn sync(&self) -> WalResult<()> {
+        self.queue.run_one(IoOp::Sync { file: self.file })?;
+        Ok(())
+    }
+
+    /// The group-commit force: the round's write and sync as one chained
+    /// submission under a single ticket. The device still observes
+    /// write-then-sync (fail-fast), so fault plans armed on either op
+    /// class fire exactly as they did on the two-call path.
+    fn write_sync(&self, data: Vec<u8>, offset: u64) -> WalResult<()> {
+        self.queue.run_one(IoOp::WriteSync {
+            file: self.file,
+            offset,
+            data,
+        })?;
+        Ok(())
     }
 }
 
@@ -111,94 +155,6 @@ fn le_u64(b: &[u8]) -> u64 {
         *dst = *src;
     }
     u64::from_le_bytes(raw)
-}
-
-/// Reads as much of `buf` as the backing store holds, retrying interrupted
-/// reads and accumulating short ones. Returns the bytes read; fewer than
-/// `buf.len()` means the end of the store was reached (a short read at the
-/// log tail is normal — the caller treats it as "no more records").
-fn read_accumulating<R>(mut read_once: R, buf: &mut [u8], offset: u64) -> WalResult<usize>
-where
-    R: FnMut(&mut [u8], u64) -> std::io::Result<usize>,
-{
-    let mut done = 0;
-    while done < buf.len() {
-        match read_once(&mut buf[done..], offset + done as u64) {
-            Ok(0) => break,
-            Ok(n) => done += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e.into()),
-        }
-    }
-    Ok(done)
-}
-
-impl LogBackend {
-    fn len(&self) -> WalResult<u64> {
-        match self {
-            LogBackend::Mem { bytes, .. } => Ok(bytes.read().len() as u64),
-            LogBackend::File(f) => Ok(f.metadata()?.len()),
-            LogBackend::Faulty(d) => Ok(d.len()),
-        }
-    }
-
-    fn read_at(&self, buf: &mut [u8], offset: u64) -> WalResult<usize> {
-        match self {
-            LogBackend::Mem { bytes, .. } => {
-                let v = bytes.read();
-                if offset >= v.len() as u64 {
-                    return Ok(0);
-                }
-                let avail = (v.len() as u64 - offset) as usize;
-                let n = buf.len().min(avail);
-                buf[..n].copy_from_slice(&v[offset as usize..offset as usize + n]);
-                Ok(n)
-            }
-            LogBackend::File(f) => read_accumulating(|b, off| f.read_at(b, off), buf, offset),
-            LogBackend::Faulty(d) => read_accumulating(|b, off| d.read_at(b, off), buf, offset),
-        }
-    }
-
-    fn write_at(&self, data: &[u8], offset: u64) -> WalResult<()> {
-        match self {
-            LogBackend::Mem { bytes, .. } => {
-                let mut v = bytes.write();
-                let end = offset as usize + data.len();
-                if v.len() < end {
-                    v.resize(end, 0);
-                }
-                v[offset as usize..end].copy_from_slice(data);
-                Ok(())
-            }
-            LogBackend::File(f) => {
-                f.write_all_at(data, offset)?;
-                Ok(())
-            }
-            LogBackend::Faulty(d) => {
-                d.write_at(data, offset)?;
-                Ok(())
-            }
-        }
-    }
-
-    fn sync(&self) -> WalResult<()> {
-        match self {
-            LogBackend::Mem { sync_delay, .. } => {
-                if !sync_delay.is_zero() {
-                    std::thread::sleep(*sync_delay);
-                }
-                Ok(())
-            }
-            LogBackend::File(f) => {
-                f.sync_data()?;
-                Ok(())
-            }
-            LogBackend::Faulty(d) => {
-                d.sync()?;
-                Ok(())
-            }
-        }
-    }
 }
 
 struct LogState {
@@ -329,33 +285,6 @@ impl WalStats {
             group_followers: group.counter("group.followers"),
         }
     }
-
-    /// Takes a snapshot for reporting.
-    ///
-    /// Deprecated shim: prefer [`LogManager::metrics`] and
-    /// [`bess_obs::Registry::snapshot`]; this stays one PR so downstream
-    /// callers migrate incrementally.
-    pub fn snapshot(&self) -> WalStatsSnapshot {
-        WalStatsSnapshot {
-            appends: self.appends.get(),
-            bytes_appended: self.bytes_appended.get(),
-            flushes: self.flushes.get(),
-            reads: self.reads.get(),
-        }
-    }
-}
-
-/// A point-in-time copy of [`WalStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct WalStatsSnapshot {
-    /// Records appended.
-    pub appends: u64,
-    /// Bytes appended (framed).
-    pub bytes_appended: u64,
-    /// Log forces.
-    pub flushes: u64,
-    /// Records read back.
-    pub reads: u64,
 }
 
 /// The write-ahead log.
@@ -383,8 +312,13 @@ pub struct LogManager {
     group_size: LatencyHistogram,
 }
 
-fn log_parts(backend: LogBackend, state: OrderedMutex<LogState>) -> LogManager {
+fn log_parts(
+    dev: Arc<dyn IoDevice>,
+    mem: Option<Arc<MemDevice>>,
+    state: OrderedMutex<LogState>,
+) -> LogManager {
     let group = Registry::new().group("wal");
+    let backend = LogBackend::new(dev, mem, &group);
     let stats = WalStats::new(&group);
     let append_ns = group.histogram("append.ns");
     let flush_ns = group.histogram("flush.ns");
@@ -434,27 +368,23 @@ fn log_state(next_lsn: u64, flushed_lsn: u64, master: Lsn) -> OrderedMutex<LogSt
 impl LogManager {
     /// Creates an in-memory log (tests, benchmarks, volatile scratch).
     pub fn create_mem() -> Self {
-        let mgr = log_parts(
-            mem_backend(Vec::new()),
-            log_state(LOG_START.0, LOG_START.0, Lsn::NULL),
-        );
-        // Writes to the Mem backend are infallible (a Vec resize), so this
-        // cannot panic; file/faulty constructors return the error instead.
-        // LINT: allow(panic) — mem backend writes are infallible
-        mgr.write_header(Lsn::NULL).expect("mem header");
-        mgr
+        Self::create_mem_slow(Duration::ZERO)
     }
 
     /// An in-memory log whose `sync` sleeps for `sync_delay` — an fsync
     /// latency proxy for benchmarks (E21): group commit's value is sync
     /// amortization, which a zero-cost sync would hide entirely.
     pub fn create_mem_slow(sync_delay: Duration) -> Self {
+        let mem = MemDevice::with_sync_delay(Vec::new(), sync_delay);
         let mgr = log_parts(
-            mem_backend_slow(Vec::new(), sync_delay),
+            Arc::clone(&mem) as Arc<dyn IoDevice>,
+            Some(mem),
             log_state(LOG_START.0, LOG_START.0, Lsn::NULL),
         );
-        // Same infallible-Mem-write argument as `create_mem`.
-        // LINT: allow(panic) — mem backend writes are infallible
+        // Writes to the memory device are infallible (a Vec resize), so
+        // this cannot panic; file/faulty constructors return the error
+        // instead.
+        // LINT: allow(panic) — mem device writes are infallible
         mgr.write_header(Lsn::NULL).expect("mem header");
         mgr
     }
@@ -467,7 +397,8 @@ impl LogManager {
             .create_new(true)
             .open(path)?;
         let mgr = log_parts(
-            LogBackend::File(file),
+            FileDevice::new(file),
+            None,
             log_state(LOG_START.0, LOG_START.0, Lsn::NULL),
         );
         mgr.write_header(Lsn::NULL)?;
@@ -476,10 +407,7 @@ impl LogManager {
 
     /// Creates a new log on a fault-injecting disk (crash testing).
     pub fn create_faulty(disk: Arc<FaultDisk>) -> WalResult<Self> {
-        let mgr = log_parts(
-            LogBackend::Faulty(disk),
-            log_state(LOG_START.0, LOG_START.0, Lsn::NULL),
-        );
+        let mgr = log_parts(disk, None, log_state(LOG_START.0, LOG_START.0, Lsn::NULL));
         mgr.write_header(Lsn::NULL)?;
         Ok(mgr)
     }
@@ -488,20 +416,36 @@ impl LogManager {
     /// torn tail from a crash is truncated here).
     pub fn open_file(path: &Path) -> WalResult<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
-        let backend = LogBackend::File(file);
-        Self::open_backend(backend)
+        Self::open_device(FileDevice::new(file), None)
     }
 
     /// Opens an existing log living on a fault-injecting disk (typically
     /// after [`FaultDisk::reopen`] following a simulated crash). The same
     /// torn-tail scan as [`Self::open_file`] applies.
     pub fn open_faulty(disk: Arc<FaultDisk>) -> WalResult<Self> {
-        Self::open_backend(LogBackend::Faulty(disk))
+        Self::open_device(disk, None)
     }
 
-    fn open_backend(backend: LogBackend) -> WalResult<Self> {
+    fn open_device(dev: Arc<dyn IoDevice>, mem: Option<Arc<MemDevice>>) -> WalResult<Self> {
+        // Bootstrap: read the header through a throwaway queue (one device
+        // read op, exactly as before the redesign); the manager's own
+        // queue takes over once its metric group exists.
+        let bootstrap = IoQueue::unregistered(IoRuntimeConfig::from_env());
+        let boot_file = bootstrap.register(Arc::clone(&dev), Counter::unregistered());
         let mut head = [0u8; 32];
-        let n = backend.read_at(&mut head, 0)?;
+        let n = match bootstrap.run_one(IoOp::Read {
+            file: boot_file,
+            offset: 0,
+            len: head.len(),
+            exact: false,
+        })? {
+            IoOutput::Read { data, n } => {
+                head[..n].copy_from_slice(&data[..n]);
+                n
+            }
+            _ => 0,
+        };
+        drop(bootstrap);
         if n < 16 {
             return Err(WalError::Corrupt("log shorter than header".into()));
         }
@@ -516,8 +460,8 @@ impl LogManager {
         let master = Lsn(le_u64(&head[8..16]));
         // Until the valid end is known, let reads range over every byte
         // present in the backend.
-        let backend_len = backend.len()?.max(LOG_START.0);
-        let mgr = log_parts(backend, log_state(backend_len, backend_len, master));
+        let backend_len = dev.len()?.max(LOG_START.0);
+        let mgr = log_parts(dev, mem, log_state(backend_len, backend_len, master));
         // Scan to the valid end.
         let mut lsn = LOG_START;
         while let Some(rec) = mgr.read_record_at(lsn)? {
@@ -535,15 +479,16 @@ impl LogManager {
     /// that were flushed. Memory-backed logs only (file-backed logs are
     /// crash-tested by reopening the file).
     pub fn simulate_crash(&self) -> WalResult<Self> {
-        let LogBackend::Mem { bytes, .. } = &self.backend else {
+        let Some(mem) = &self.backend.mem else {
             return Err(WalError::Corrupt(
                 "simulate_crash only supported on memory logs".into(),
             ));
         };
         let flushed = self.state.lock().flushed_lsn;
-        let mut snapshot = bytes.read().clone();
+        let mut snapshot = mem.image();
         snapshot.truncate(flushed as usize);
-        Self::open_backend(mem_backend(snapshot))
+        let dev = MemDevice::with_contents(snapshot);
+        Self::open_device(Arc::clone(&dev) as Arc<dyn IoDevice>, Some(dev))
     }
 
     fn write_header(&self, master: Lsn) -> WalResult<()> {
@@ -743,14 +688,12 @@ impl LogManager {
 
             self.at_force_point(ForcePoint::AfterSwap);
 
-            // One write + one sync for the whole group, no locks held:
-            // appends and new flush arrivals proceed while the device
-            // works.
+            // The whole group as ONE chained write+sync submission, no
+            // locks held: appends and new flush arrivals proceed while
+            // the device works, and the queue delivers a single
+            // completion for the round.
             let timer = self.flush_ns.start();
-            let res = self
-                .backend
-                .write_at(&buf, offset)
-                .and_then(|()| self.backend.sync());
+            let res = self.backend.write_sync((*buf).clone(), offset);
             drop(timer);
             if res.is_ok() {
                 self.at_force_point(ForcePoint::AfterSync);

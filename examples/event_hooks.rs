@@ -85,7 +85,7 @@ fn main() {
     let stray = session.manager().space().write_u64(a.addr(), 0xDEAD);
     println!("stray write into a slotted segment: {stray:?}");
     assert!(stray.is_err());
-    let denied = session.manager().stats().snapshot().stray_writes_denied;
+    let denied = session.manager().stats().stray_writes_denied.get();
     println!("stray writes denied so far: {denied}");
     assert!(denied >= 1);
     // The object is intact:

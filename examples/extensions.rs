@@ -127,7 +127,7 @@ fn main() {
     assert_eq!(kept, Some(LockMode::S));
     println!(
         "  server downgrade callbacks: {}",
-        server.stats().snapshot().callback_downgrades
+        server.stats().callback_downgrades.get()
     );
 
     // ---- 3. client logging at the node server (§6) -----------------------
@@ -165,8 +165,8 @@ fn main() {
     ns.drain_shipments();
     println!(
         "  shipped to the owner afterwards: local_commits={}, server commits={}",
-        ns.stats().snapshot().local_commits,
-        server.stats().snapshot().commits
+        ns.stats().local_commits.get(),
+        server.stats().commits.get()
     );
     let area = set.get(0).unwrap();
     let mut buf = vec![0u8; area.page_size()];

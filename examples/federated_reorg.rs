@@ -139,11 +139,12 @@ fn main() {
     assert_eq!((n, s5), (100, sum));
     println!("after restart: {n} records reachable, id-sum unchanged");
 
-    let st = session2.manager().stats().snapshot();
+    let st = session2.manager().stats();
     println!(
         "restart session swizzled {} refs with {} unresolved",
-        st.refs_swizzled, st.refs_unresolved
+        st.refs_swizzled.get(),
+        st.refs_unresolved.get()
     );
-    assert_eq!(st.refs_unresolved, 0);
+    assert_eq!(st.refs_unresolved.get(), 0);
     println!("federated reorganisation OK — no reference ever broke");
 }

@@ -112,10 +112,13 @@ fn main() {
     println!("after reopen: {} -> {}", alice2.name, spouse2.name);
     assert_eq!(spouse2.name, "Bob");
 
-    let stats = session2.manager().stats().snapshot();
+    let stats = session2.manager().stats();
     println!(
         "second session: {} slotted loads, {} data loads, {} DP fixups, {} refs swizzled",
-        stats.slotted_loads, stats.data_loads, stats.dp_fixups, stats.refs_swizzled
+        stats.slotted_loads.get(),
+        stats.data_loads.get(),
+        stats.dp_fixups.get(),
+        stats.refs_swizzled.get()
     );
     println!("quickstart OK");
 }

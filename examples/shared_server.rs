@@ -128,15 +128,20 @@ fn main() {
     println!("final counter at the owning server: {total}");
     assert_eq!(total, 5 * 20, "3 shm + 2 copy-on-access processes * 20");
 
-    let ns_stats = ns.stats().snapshot();
+    let ns_stats = ns.stats();
     println!(
         "node server: {} cache hits, {} remote fetches, {} lock RPCs avoided locally",
-        ns_stats.cache_hits, ns_stats.remote_fetches, ns_stats.lock_local
+        ns_stats.cache_hits.get(),
+        ns_stats.remote_fetches.get(),
+        ns_stats.lock_local.get()
     );
-    let sv = server.stats().snapshot();
+    let sv = server.stats();
     println!(
         "server: {} commits, {} callbacks sent ({} released, {} deferred)",
-        sv.commits, sv.callbacks_sent, sv.callback_releases, sv.callback_deferred
+        sv.commits.get(),
+        sv.callbacks_sent.get(),
+        sv.callback_releases.get(),
+        sv.callback_deferred.get()
     );
     println!("shared server OK");
 }

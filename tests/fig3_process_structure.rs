@@ -88,9 +88,9 @@ fn figure3_direct_and_indirect_clients_coexist() {
 
     // One remote fetch total: A's first touch loaded the page; B and A's
     // re-read were served from the shared cache (Figure 3's point).
-    let s = ns.stats().snapshot();
-    assert_eq!(s.remote_fetches, 1, "only the cold miss hit the server");
-    assert!(s.cache_hits >= 1);
+    let s = ns.stats();
+    assert_eq!(s.remote_fetches.get(), 1, "only the cold miss hit the server");
+    assert!(s.cache_hits.get() >= 1);
 
     // The server holds the durable truth.
     let area = server.areas().get(0).unwrap();
@@ -114,24 +114,24 @@ fn figure3_ipc_cost_difference_is_observable() {
     warm.commit().unwrap();
 
     // Shared-memory reads: zero messages.
-    let before = net.stats().snapshot();
+    let before = net.stats().messages();
     let shm = ShmSession::attach(ns.handle());
     shm.begin().unwrap();
     for i in 0..50 {
         shm.read(page, i % 64, &mut b).unwrap();
     }
     shm.commit().unwrap();
-    let shm_msgs = net.stats().snapshot().since(&before).messages();
+    let shm_msgs = net.stats().messages() - before;
     assert_eq!(shm_msgs, 0, "in-place access does no IPC");
 
     // Copy-on-access: every page fetch is at least one message.
     let mut cfg = ClientConfig::new(NodeId(52), ns.node());
     cfg.gateway = Some(ns.node());
     let coa = ClientConn::connect(&net, Arc::clone(&dir), cfg);
-    let before = net.stats().snapshot();
+    let before = net.stats().messages();
     coa.begin().unwrap();
     let _ = coa.fetch_page(page, LockMode::S).unwrap();
     coa.commit(vec![]).unwrap();
-    let coa_msgs = net.stats().snapshot().since(&before).messages();
+    let coa_msgs = net.stats().messages() - before;
     assert!(coa_msgs > 0, "copy-on-access pays IPC: {coa_msgs} messages");
 }

@@ -102,10 +102,10 @@ fn figure4_walkthrough() {
 
     // ...and when P1 accesses C, the SVMA mapping leads its PVMA frame to
     // the cache slot that holds C — no second load.
-    let loads_before = cache.stats().snapshot().loads;
+    let loads_before = cache.stats().loads.get();
     p1.read(svma_c, &mut buf).unwrap();
     assert_eq!(buf[0], 0xCC);
-    assert_eq!(cache.stats().snapshot().loads, loads_before, "no new load");
+    assert_eq!(cache.stats().loads.get(), loads_before, "no new load");
     // Both processes now claim C's slot.
     assert_eq!(cache.access_count(c_slot), 2);
 

@@ -34,7 +34,7 @@ use bess_lock::LockMode;
 use bess_net::{NetFaultKind, NetFaultPlan, Network, NodeId};
 use bess_server::{
     register_areas, BessServer, ClientConfig, ClientConn, ClientError, ClientResult, Directory,
-    Msg, PageUpdate, RemoteSpace, ServerConfig, ServerStatsSnapshot,
+    Msg, PageUpdate, RemoteSpace, ServerConfig,
 };
 use bess_storage::{AreaConfig, AreaId, StorageArea};
 use bess_wal::LogManager;
@@ -145,9 +145,10 @@ struct CaseResult {
     /// only — once a plan fires it disarms and counts everyone).
     msgs: u64,
     fired: u64,
-    snap0: ServerStatsSnapshot,
-    #[allow(dead_code)]
-    snap1: ServerStatsSnapshot,
+    /// `server.dedup_hits` at SRV0 after the case ran.
+    dedup_hits0: u64,
+    /// `server.coordinated` at SRV0 after the case ran.
+    coordinated0: u64,
     client_retries: u64,
     /// Durable page images after reclamation.
     d0: Vec<u8>,
@@ -187,7 +188,7 @@ fn run_case(kind: NetFaultKind, at: u64) -> CaseResult {
     }
     let msgs = plan.msgs();
     let fired = plan.fired();
-    let client_retries = client.stats().snapshot().retries;
+    let client_retries = client.stats().retries.get();
 
     // The client machine goes away — whatever it was doing stays behind
     // on the servers until lease reclamation collects it.
@@ -253,24 +254,24 @@ fn run_case(kind: NetFaultKind, at: u64) -> CaseResult {
     // `commits` counts local commits plus committed 2PC branches, so each
     // server's total is pinned exactly by what is durably on disk: a
     // duplicated or retried commit that executed twice would overshoot.
-    let snap0 = cluster.servers[0].stats().snapshot();
-    let snap1 = cluster.servers[1].stats().snapshot();
+    let snap0 = cluster.servers[0].stats();
+    let snap1 = cluster.servers[1].stats();
     assert_eq!(
-        snap0.commits,
+        snap0.commits.get(),
         u64::from(a_durable) + u64::from(b_durable),
         "[{label}] commit applied more than once at {}",
         SRV0
     );
     assert_eq!(
-        snap1.commits,
+        snap1.commits.get(),
         u64::from(a_durable),
         "[{label}] commit applied more than once at {}",
         SRV1
     );
     assert!(
-        snap0.coordinated <= 1,
+        snap0.coordinated.get() <= 1,
         "[{label}] global commit coordinated {} times",
-        snap0.coordinated
+        snap0.coordinated.get()
     );
 
     // ---- a fresh client inherits the world cleanly ----------------------
@@ -285,7 +286,9 @@ fn run_case(kind: NetFaultKind, at: u64) -> CaseResult {
     checker.abort().unwrap();
     checker.disconnect();
 
-    CaseResult { a_ok, b_ok, msgs, fired, snap0, snap1, client_retries, d0, d1 }
+    let dedup_hits0 = snap0.dedup_hits.get();
+    let coordinated0 = snap0.coordinated.get();
+    CaseResult { a_ok, b_ok, msgs, fired, dedup_hits0, coordinated0, client_retries, d0, d1 }
 }
 
 /// Fault-free control: the workload commits both transactions, produces
@@ -349,12 +352,12 @@ fn duplicated_commit_applies_exactly_once() {
     // these cases additionally prove the dedup window was what saved us.)
     let r = run_case(NetFaultKind::Duplicate, IDX_COMMIT);
     assert!(r.a_ok && r.b_ok);
-    assert!(r.snap0.dedup_hits >= 1, "duplicate commit missed the dedup window");
+    assert!(r.dedup_hits0 >= 1, "duplicate commit missed the dedup window");
 
     let r = run_case(NetFaultKind::Duplicate, IDX_COMMIT_GLOBAL);
     assert!(r.a_ok && r.b_ok);
-    assert_eq!(r.snap0.coordinated, 1);
-    assert!(r.snap0.dedup_hits >= 1, "duplicate global commit missed the dedup window");
+    assert_eq!(r.coordinated0, 1);
+    assert!(r.dedup_hits0 >= 1, "duplicate global commit missed the dedup window");
 }
 
 /// The classic "did my commit land?" ambiguity: the commit executes but
@@ -364,13 +367,13 @@ fn duplicated_commit_applies_exactly_once() {
 fn lost_commit_reply_resolves_by_idempotent_retry() {
     let r = run_case(NetFaultKind::DropReply, IDX_COMMIT);
     assert!(r.b_ok, "retried commit should have been acknowledged");
-    assert!(r.snap0.dedup_hits >= 1);
+    assert!(r.dedup_hits0 >= 1);
     assert!(r.client_retries >= 1);
 
     let r = run_case(NetFaultKind::DropReply, IDX_COMMIT_GLOBAL);
     assert!(r.a_ok, "retried global commit should have been acknowledged");
-    assert_eq!(r.snap0.coordinated, 1, "reply-dropped global commit ran 2PC twice");
-    assert!(r.snap0.dedup_hits >= 1);
+    assert_eq!(r.coordinated0, 1, "reply-dropped global commit ran 2PC twice");
+    assert!(r.dedup_hits0 >= 1);
     assert!(r.client_retries >= 1);
 }
 
@@ -442,7 +445,7 @@ fn heartbeats_sustain_lease_and_silence_is_reaped() {
         !srv.locks_held_by(CLIENT).is_empty(),
         "live client's locks were reaped"
     );
-    assert!(client.stats().snapshot().heartbeats > 0);
+    assert!(client.stats().heartbeats.get() > 0);
 
     // Pull the cable; the serve loop's own reaper must collect the client.
     net.partition(CLIENT);
@@ -452,7 +455,7 @@ fn heartbeats_sustain_lease_and_silence_is_reaped() {
         srv.locks_held_by(CLIENT).is_empty(),
         "silent client's locks survived"
     );
-    assert!(srv.stats().snapshot().leases_expired >= 1);
+    assert!(srv.stats().leases_expired.get() >= 1);
     client.disconnect();
 }
 
@@ -492,7 +495,7 @@ fn draining_server_finishes_old_work_and_rejects_new() {
     client.commit(vec![upd(cluster.p0, &[0; 2], b"dd")]).unwrap();
     // ...but a new one is rejected.
     assert!(matches!(client.begin(), Err(ClientError::Server(_))));
-    assert!(cluster.servers[0].stats().snapshot().drain_rejections >= 1);
+    assert!(cluster.servers[0].stats().drain_rejections.get() >= 1);
 
     cluster.servers[0].set_draining(false);
     client.begin().unwrap();
@@ -518,7 +521,7 @@ fn read_only_server_serves_reads_and_refuses_writes() {
         client.commit(vec![upd(cluster.p0, b"rr", b"xx")]),
         Err(ClientError::Server(_))
     ));
-    assert!(cluster.servers[0].stats().snapshot().read_only_rejections >= 1);
+    assert!(cluster.servers[0].stats().read_only_rejections.get() >= 1);
     // The refused commit changed nothing.
     assert_eq!(&read_page_bytes(&cluster.servers[0], cluster.p0)[0..2], b"rr");
 
@@ -608,7 +611,7 @@ fn prepared_branch_survives_reaper_while_coordinator_round_runs() {
         vec![gtxn],
         "reaper presumed abort on a branch whose round is still running"
     );
-    assert_eq!(cluster.servers[1].stats().snapshot().aborts, 0);
+    assert_eq!(cluster.servers[1].stats().aborts.get(), 0);
 
     // The stalled vote lands, the round commits, and the branch follows.
     assert_eq!(driver.join().unwrap(), Msg::Decision { committed: true });
@@ -619,7 +622,7 @@ fn prepared_branch_survives_reaper_while_coordinator_round_runs() {
         b"zz",
         "committed branch lost at the participant"
     );
-    assert_eq!(cluster.servers[1].stats().snapshot().commits, 1);
+    assert_eq!(cluster.servers[1].stats().commits.get(), 1);
 
     // With the round over and the client dead, an unknown transaction is
     // still presumed abort — `DecisionPending` must not linger.
@@ -656,9 +659,9 @@ fn reconnected_client_commits_are_not_replayed_from_old_incarnation() {
         b"22",
         "reconnected client's commit was swallowed by a stale dedup entry"
     );
-    let snap = cluster.servers[0].stats().snapshot();
-    assert_eq!(snap.dedup_hits, 0, "fresh commit hit a dead incarnation's entry");
-    assert_eq!(snap.commits, 2);
+    let snap = cluster.servers[0].stats();
+    assert_eq!(snap.dedup_hits.get(), 0, "fresh commit hit a dead incarnation's entry");
+    assert_eq!(snap.commits.get(), 2);
 }
 
 /// A retried commit whose first delivery already committed is acknowledged
@@ -687,9 +690,9 @@ fn degraded_mode_still_replays_recorded_commit_replies() {
         Msg::Ok,
         "read-only gate rejected a retry of a durably committed transaction"
     );
-    let snap = cluster.servers[0].stats().snapshot();
-    assert!(snap.dedup_hits >= 1);
-    assert_eq!(snap.commits, 1, "replayed commit applied twice");
+    let snap = cluster.servers[0].stats();
+    assert!(snap.dedup_hits.get() >= 1);
+    assert_eq!(snap.commits.get(), 1, "replayed commit applied twice");
 
     // A commit the window has never seen is still refused.
     let fresh = Msg::Commit {
@@ -723,14 +726,14 @@ fn segment_rpcs_fail_fast_instead_of_retrying() {
         .net
         .arm(NetFaultPlan::armed_from(CLIENT, 0, NetFaultKind::DropReply));
     assert!(space.free(ptr).is_err(), "lost free reply must surface");
-    assert_eq!(client.stats().snapshot().retries, 0, "FreeSegment was retried");
+    assert_eq!(client.stats().retries.get(), 0, "FreeSegment was retried");
 
     // A dropped alloc request likewise fails fast.
     cluster
         .net
         .arm(NetFaultPlan::armed_from(CLIENT, 0, NetFaultKind::Drop));
     assert!(space.alloc(0, 1).is_err(), "dropped alloc must surface");
-    assert_eq!(client.stats().snapshot().retries, 0, "AllocSegment was retried");
+    assert_eq!(client.stats().retries.get(), 0, "AllocSegment was retried");
     client.disconnect();
 }
 
@@ -776,6 +779,6 @@ fn busy_server_still_reaps_expired_leases() {
     }
     assert!(reaped, "busy server never reaped the dead client's lease");
     assert!(!srv.has_lease(CLIENT));
-    assert!(srv.stats().snapshot().leases_expired >= 1);
+    assert!(srv.stats().leases_expired.get() >= 1);
     victim.disconnect();
 }
