@@ -123,6 +123,7 @@ fn main() {
     e22_scenarios(r);
     e23_checksum_overhead(r);
     e24_batched_io(r);
+    e25_sublinear_2pc(r);
     let json = report.to_json();
     std::fs::write("BENCH_report.json", &json).expect("write BENCH_report.json");
     println!("\nreport complete ({} experiment sections in BENCH_report.json).",
@@ -1462,4 +1463,192 @@ fn hot_path_latencies(report: &mut JsonReport) {
     println!("|---|---|---|---|");
     latency_rows(&merged, report, "hot_paths");
     println!();
+}
+
+// ---------------------------------------------------------------------------
+// E25 — sublinear distributed commit: presumed commit, read-only voters,
+// coordinator batching, piggybacked control traffic.
+// ---------------------------------------------------------------------------
+fn e25_sublinear_2pc(report: &mut JsonReport) {
+    use bess_server::ClientOpts;
+
+    println!("## E25 — sublinear distributed commit\n");
+    println!(
+        "Baseline: servers in presumed-abort compatibility mode \
+         (`TwoPcConfig::compat_presumed_abort`), client with every \
+         message-saving opt off — the pre-optimisation protocol. \
+         Optimised: presumed-commit one-way decides, batched concurrent \
+         phase 1, read-only participant votes, and the client opts \
+         (`ClientOpts::turbo`): lazy begin, prefetched global ids, \
+         piggybacked ship + release trailers. Non-caching clients \
+         throughout.\n"
+    );
+
+    // ---- A: messages per commit vs participating servers -----------------
+    let run_msgs = |n_servers: usize, compat: bool, read_mostly: bool| -> (f64, Duration) {
+        let area_lists: Vec<Vec<u32>> = (0..n_servers).map(|i| vec![i as u32]).collect();
+        let refs: Vec<&[u32]> = area_lists.iter().map(|v| v.as_slice()).collect();
+        let world = World::new_configured(&refs, Duration::from_micros(30), |cfg| {
+            cfg.two_pc.compat_presumed_abort = compat;
+        });
+        let pages: Vec<DbPage> = (0..n_servers)
+            .map(|i| {
+                let seg = world.area_sets[i].get(i as u32).unwrap().alloc(1).unwrap();
+                DbPage { area: i as u32, page: seg.start_page }
+            })
+            .collect();
+        let opts = if compat { ClientOpts::default() } else { ClientOpts::turbo() };
+        let c = world.client_with_opts(1, false, opts);
+        const WARMUP: usize = 3;
+        const TXNS: usize = 16;
+        let wreg = world.metrics();
+        let mut before = wreg.snapshot();
+        let mut t0 = Instant::now();
+        for t in 0..WARMUP + TXNS {
+            if t == WARMUP {
+                before = wreg.snapshot();
+                t0 = Instant::now();
+            }
+            c.begin().unwrap();
+            let mut updates = Vec::new();
+            for (i, p) in pages.iter().enumerate() {
+                let write = !read_mostly || i == 0;
+                let mode = if write { LockMode::X } else { LockMode::S };
+                let d = c.fetch_page(*p, mode).unwrap();
+                if write {
+                    updates.push(PageUpdate {
+                        page: *p,
+                        offset: 0,
+                        before: d[0..8].to_vec(),
+                        after: (t as u64).to_le_bytes().to_vec(),
+                    });
+                }
+            }
+            c.commit(updates).unwrap();
+        }
+        let wall = t0.elapsed() / TXNS as u32;
+        let d = wreg.snapshot().delta(&before);
+        let msgs = d.counter("net.sends") + 2 * d.counter("net.calls");
+        c.disconnect();
+        (msgs as f64 / TXNS as f64, wall)
+    };
+
+    println!("### E25a — every server written (the E10 workload, 30us wire latency)\n");
+    println!("| servers | baseline msgs/commit | optimised msgs/commit | baseline wall | optimised wall |");
+    println!("|---|---|---|---|---|");
+    for &n in &[1usize, 2, 3, 4] {
+        let (base, base_wall) = run_msgs(n, true, false);
+        let (opt, opt_wall) = run_msgs(n, false, false);
+        println!("| {n} | {base:.1} | {opt:.1} | {base_wall:?} | {opt_wall:?} |");
+        report.num("E25", &format!("servers{n}_base_msgs_per_commit"), base);
+        report.num("E25", &format!("servers{n}_opt_msgs_per_commit"), opt);
+    }
+    println!();
+
+    println!("### E25a' — one write (coordinator), reads everywhere else\n");
+    println!("| servers | baseline msgs/commit | optimised msgs/commit |");
+    println!("|---|---|---|");
+    for &n in &[1usize, 2, 3, 4] {
+        let (base, _) = run_msgs(n, true, true);
+        let (opt, _) = run_msgs(n, false, true);
+        println!("| {n} | {base:.1} | {opt:.1} |");
+        report.num("E25", &format!("servers{n}_base_readonly_msgs_per_commit"), base);
+        report.num("E25", &format!("servers{n}_opt_readonly_msgs_per_commit"), opt);
+        if n == 4 {
+            report.num("E25", "servers4_readonly_msgs_per_commit", opt);
+            assert!(
+                opt <= 16.0,
+                "E25a gate: read-only-participant commit costs {opt:.1} msgs at 4 servers (budget 16)"
+            );
+        }
+    }
+    println!();
+
+    // ---- B: concurrent distributed commit throughput ----------------------
+    // Eight clients, disjoint write sets spanning all four servers, one
+    // shared coordinator, 500us one-way wire latency (a period LAN hop).
+    // The optimised stack ships every branch inside the CommitGlobal
+    // frame, overlaps its phase-1 fan-out, and merges concurrent rounds'
+    // prepares into shared PrepareBatch frames; phase 2 is a one-way send.
+    let run_tps = |compat: bool| -> (f64, f64) {
+        const N: usize = 4;
+        const CLIENTS: usize = 8;
+        const TXNS: usize = 12;
+        let area_lists: Vec<Vec<u32>> = (0..N).map(|i| vec![i as u32]).collect();
+        let refs: Vec<&[u32]> = area_lists.iter().map(|v| v.as_slice()).collect();
+        let world = World::new_configured(&refs, Duration::from_micros(500), |cfg| {
+            cfg.two_pc.compat_presumed_abort = compat;
+        });
+        let mut pages: Vec<Vec<DbPage>> = Vec::new();
+        for _c in 0..CLIENTS {
+            let mut row = Vec::new();
+            for s in 0..N {
+                let seg = world.area_sets[s].get(s as u32).unwrap().alloc(1).unwrap();
+                row.push(DbPage { area: s as u32, page: seg.start_page });
+            }
+            pages.push(row);
+        }
+        let opts = if compat { ClientOpts::default() } else { ClientOpts::turbo() };
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| world.client_with_opts(1 + c as u32, false, opts))
+            .collect();
+        let commit_once = |ci: usize, t: usize| {
+            let c = &clients[ci];
+            c.begin().unwrap();
+            let updates: Vec<PageUpdate> = pages[ci]
+                .iter()
+                .map(|p| PageUpdate {
+                    page: *p,
+                    offset: 0,
+                    before: vec![0; 8],
+                    after: (t as u64).to_le_bytes().to_vec(),
+                })
+                .collect();
+            c.commit(updates).unwrap();
+        };
+        // Warmup primes the prefetched gtxn pool and the release debts.
+        for ci in 0..CLIENTS {
+            commit_once(ci, 0);
+        }
+        let wreg = world.metrics();
+        let before = wreg.snapshot();
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for ci in 0..CLIENTS {
+                let commit_once = &commit_once;
+                scope.spawn(move || {
+                    for t in 1..=TXNS {
+                        commit_once(ci, t);
+                    }
+                });
+            }
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let d = wreg.snapshot().delta(&before);
+        let batches = d.counter("s0.server.2pc.prepare_batches");
+        let batched = d.counter("s0.server.2pc.batched_prepares");
+        let avg_batch = if batches > 0 { batched as f64 / batches as f64 } else { 0.0 };
+        for c in clients {
+            c.disconnect();
+        }
+        ((CLIENTS * TXNS) as f64 / secs, avg_batch)
+    };
+
+    println!("### E25b — concurrent commit throughput, 4 servers x 8 clients, 500us wire latency (gate >= 5x)\n");
+    let (base_tps, _) = run_tps(true);
+    let (opt_tps, avg_batch) = run_tps(false);
+    let speedup = opt_tps / base_tps;
+    println!("| protocol | commits/sec | avg prepares per batch frame |");
+    println!("|---|---|---|");
+    println!("| presumed abort, serial, unbatched | {base_tps:.0} | - |");
+    println!("| presumed commit, concurrent, batched | {opt_tps:.0} | {avg_batch:.2} |");
+    println!("\nspeedup: {speedup:.1}x\n");
+    report.num("E25", "base_commits_per_sec", base_tps);
+    report.num("E25", "opt_commits_per_sec", opt_tps);
+    report.num("E25", "batch_speedup", speedup);
+    report.num("E25", "avg_prepare_batch", avg_batch);
+    assert!(
+        speedup >= 5.0,
+        "E25b gate: batched presumed-commit speedup {speedup:.2}x < 5x"
+    );
 }

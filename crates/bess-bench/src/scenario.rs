@@ -580,64 +580,96 @@ fn range_scan(cfg: &ScenarioCfg, scale: &Scale) -> ScenarioResult {
 
 fn bulk_load(cfg: &ScenarioCfg, scale: &Scale) -> ScenarioResult {
     let name = "bulk_load";
-    let world = World::new(&[&[0], &[1]], Duration::ZERO);
     // Pre-allocate fresh pages on both owners; each batch takes half its
     // pages from each, so every batch commit is a coordinated 2PC round.
-    let mut batches: Vec<Vec<DbPage>> = Vec::with_capacity(scale.bulk_batches);
+    let make_batches = |world: &World| -> Vec<Vec<DbPage>> {
+        let mut batches: Vec<Vec<DbPage>> = Vec::with_capacity(scale.bulk_batches);
+        for _ in 0..scale.bulk_batches {
+            let mut batch = Vec::with_capacity(scale.bulk_batch_pages);
+            for half in 0..2u32 {
+                let area = world.area_sets[half as usize].get(half).unwrap();
+                let ptr = area.alloc(scale.bulk_batch_pages as u32 / 2).unwrap();
+                for p in 0..u64::from(ptr.pages).min(scale.bulk_batch_pages as u64 / 2) {
+                    batch.push(DbPage { area: half, page: ptr.start_page + p });
+                }
+            }
+            batches.push(batch);
+        }
+        batches
+    };
+
+    // One leg of the load: every batch through `conns` connections.
+    // Returns the per-connection snapshots plus the leg's total wire
+    // messages (a one-way send counts one, a call two) and the world's
+    // metric delta over the leg.
+    let run_leg = |world: &World,
+                   batches: &[Vec<DbPage>],
+                   txn_ns: &LatencyHistogram|
+     -> (Vec<(RegistrySnapshot, u64)>, u64, RegistrySnapshot) {
+        let wreg = world.metrics();
+        let before = wreg.snapshot();
+        let per_conn: Vec<(RegistrySnapshot, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..scale.conns)
+                .map(|c| {
+                    s.spawn(move || {
+                        let conn = world.client(1 + c as u32, false);
+                        let mut ops = 0u64;
+                        for b in (c..batches.len()).step_by(scale.conns) {
+                            let _timer = txn_ns.start();
+                            conn.begin().unwrap();
+                            let mut updates = Vec::new();
+                            for page in &batches[b] {
+                                let data = conn.fetch_page(*page, LockMode::X).unwrap();
+                                updates.push(PageUpdate {
+                                    page: *page,
+                                    offset: 0,
+                                    before: data[0..SLOT_BYTES].to_vec(),
+                                    after: vec![0xb5; SLOT_BYTES],
+                                });
+                            }
+                            conn.commit(updates).unwrap();
+                            ops += batches[b].len() as u64;
+                        }
+                        let snap = conn.metrics().registry().snapshot();
+                        conn.disconnect();
+                        (snap, ops)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let delta = wreg.snapshot().delta(&before);
+        let msgs = delta.counter("net.sends") + 2 * delta.counter("net.calls");
+        (per_conn, msgs, delta)
+    };
+
+    // The distributed-commit smoke gate's baseline: the same load against
+    // servers in presumed-abort compatibility mode. Only its message
+    // count matters — its latencies go to a scratch histogram.
+    let scratch_ns = Registry::new().group("scenario").histogram("txn.ns");
+    let base_world = World::new_configured(&[&[0], &[1]], Duration::ZERO, |scfg| {
+        scfg.two_pc.compat_presumed_abort = true;
+    });
+    let base_batches = make_batches(&base_world);
+    let (_, base_msgs, _) = run_leg(&base_world, &base_batches, &scratch_ns);
+
+    // The measured leg: the shipped default protocol (presumed commit,
+    // batched phase 1, one-way decides).
+    let world = World::new(&[&[0], &[1]], Duration::ZERO);
+    let batches = make_batches(&world);
     let mut digest = Digest::new();
     digest.mix(cfg.seed);
-    for _ in 0..scale.bulk_batches {
-        let mut batch = Vec::with_capacity(scale.bulk_batch_pages);
-        for half in 0..2u32 {
-            let area = world.area_sets[half as usize].get(half).unwrap();
-            let ptr = area.alloc(scale.bulk_batch_pages as u32 / 2).unwrap();
-            for p in 0..u64::from(ptr.pages).min(scale.bulk_batch_pages as u64 / 2) {
-                let page = DbPage { area: half, page: ptr.start_page + p };
-                digest.mix(u64::from(page.area));
-                digest.mix(page.page);
-                batch.push(page);
-            }
+    for batch in &batches {
+        for page in batch {
+            digest.mix(u64::from(page.area));
+            digest.mix(page.page);
         }
-        batches.push(batch);
     }
 
     let reg = Registry::new();
     let txn_ns = scenario_hist(&reg, "txn.ns");
-    let world_before = world.metrics().snapshot();
     let started = Instant::now();
-    let per_conn: Vec<(RegistrySnapshot, u64)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..scale.conns)
-            .map(|c| {
-                let world = &world;
-                let batches = &batches;
-                let txn_ns = &txn_ns;
-                s.spawn(move || {
-                    let conn = world.client(1 + c as u32, false);
-                    let mut ops = 0u64;
-                    for b in (c..batches.len()).step_by(scale.conns) {
-                        let _timer = txn_ns.start();
-                        conn.begin().unwrap();
-                        let mut updates = Vec::new();
-                        for page in &batches[b] {
-                            let data = conn.fetch_page(*page, LockMode::X).unwrap();
-                            updates.push(PageUpdate {
-                                page: *page,
-                                offset: 0,
-                                before: data[0..SLOT_BYTES].to_vec(),
-                                after: vec![0xb5; SLOT_BYTES],
-                            });
-                        }
-                        conn.commit(updates).unwrap();
-                        ops += batches[b].len() as u64;
-                    }
-                    let snap = conn.metrics().registry().snapshot();
-                    conn.disconnect();
-                    (snap, ops)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+    let (per_conn, opt_msgs, world_delta) = run_leg(&world, &batches, &txn_ns);
     let wall_ms = started.elapsed().as_millis() as u64;
 
     let mut merged = reg.snapshot();
@@ -646,13 +678,28 @@ fn bulk_load(cfg: &ScenarioCfg, scale: &Scale) -> ScenarioResult {
         merged.absorb("", snap);
         ops += o;
     }
-    merged.absorb("", &world.metrics().snapshot().delta(&world_before));
+    merged.absorb("", &world_delta);
 
     let mut checks = check_histogram(&merged, &Slo::p99("client.commit.rtt.ns", 268_435_456));
     checks.extend(check_histogram(&merged, &Slo::p99("s0.wal.flush.ns", 67_108_864)));
     checks.push(SloCheck::at_least(
         "s0.server.coordinated",
         merged.counter("s0.server.coordinated"),
+        1,
+    ));
+    // The distributed-commit smoke gate (ISSUE 10): the default protocol
+    // must spend strictly fewer wire messages per 2PC commit than the
+    // presumed-abort baseline, and the presumed-commit machinery must
+    // actually have run (at least one unacked decide).
+    let commits = scale.bulk_batches as u64;
+    checks.push(SloCheck::at_most(
+        "2pc.msgs_per_commit_x100",
+        opt_msgs * 100 / commits,
+        (base_msgs * 100 / commits).saturating_sub(1),
+    ));
+    checks.push(SloCheck::at_least(
+        "s0.server.2pc.oneway_decides",
+        merged.counter("s0.server.2pc.oneway_decides"),
         1,
     ));
 

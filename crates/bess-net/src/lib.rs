@@ -261,6 +261,14 @@ pub struct NetStats {
     pub faulted: Counter,
     /// Extra copies delivered by injected duplication (`net.duplicated`).
     pub duplicated: Counter,
+    /// Control messages that rode an existing frame as piggybacked
+    /// trailers instead of travelling standalone (`net.trailers.carried`).
+    /// Incremented by the protocol layer at each wrap site.
+    pub trailers: Counter,
+    /// Standalone heartbeats suppressed because recent traffic already
+    /// renewed the lease (`net.heartbeats.suppressed`). Incremented by the
+    /// protocol layer's idle tick.
+    pub heartbeats_suppressed: Counter,
 }
 
 impl NetStats {
@@ -271,6 +279,8 @@ impl NetStats {
             unreachable: group.counter("unreachable"),
             faulted: group.counter("faulted"),
             duplicated: group.counter("duplicated"),
+            trailers: group.counter("trailers.carried"),
+            heartbeats_suppressed: group.counter("heartbeats.suppressed"),
         }
     }
 
@@ -531,6 +541,12 @@ impl<M: Clone + Send + 'static> Caller<M> {
     /// The identity messages are sent as.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The owning network's message counters (for protocol layers that
+    /// account piggybacked trailers and suppressed heartbeats).
+    pub fn stats(&self) -> &NetStats {
+        self.net.stats()
     }
 
     /// Sends a one-way message. See [`Endpoint::send`].

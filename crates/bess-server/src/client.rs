@@ -73,6 +73,56 @@ impl From<NetError> for ClientError {
 /// Result alias for client operations.
 pub type ClientResult<T> = Result<T, ClientError>;
 
+/// Opt-in message-saving behaviours. All default **off**: each one changes
+/// the wire conversation, and fault-injection tests pin exact message
+/// sequences for the default client.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientOpts {
+    /// Allocate local transaction ids client-side instead of calling
+    /// `BeginTxn` at the home server. Ids carry the node in bits 32..63
+    /// and a set top bit, so they can never collide with server-issued
+    /// ids. Saves a round trip per transaction.
+    pub lazy_begin: bool,
+    /// At end of transaction (non-caching clients), piggyback `ReleaseAll`
+    /// as a trailer on the next message to each touched server instead of
+    /// sending it standalone; the listener's idle tick flushes releases
+    /// that found no carrier in time.
+    pub defer_release: bool,
+    /// Keep a small pool of global transaction ids, refilled by a
+    /// `BeginGlobal` trailer riding each `CommitGlobal` frame, so the next
+    /// distributed commit skips the explicit `BeginGlobal` round trip.
+    pub prefetch_gtxn: bool,
+    /// Ship every branch's updates inside the `CommitGlobal` frame
+    /// itself: the coordinator stages its own branch and forwards each
+    /// remote branch in that participant's phase-1 entry, replacing every
+    /// standalone `ShipUpdates` round trip.
+    pub piggyback_ship: bool,
+    /// Enrol every touched server as a 2PC participant and let read-only
+    /// participants release this client's locks when they vote, dropping
+    /// both the `ReleaseAll` to them and their phase-2 traffic. Only
+    /// applied to non-caching connections: a caching client's locks must
+    /// survive the transaction, so vote-time release would be unsound.
+    pub release_read_locks: bool,
+    /// Ship each remote branch's updates from its own thread instead of a
+    /// serial loop, overlapping the per-participant wire round trips.
+    /// Saves latency, not messages.
+    pub concurrent_ship: bool,
+}
+
+impl ClientOpts {
+    /// Every message-saving behaviour at once (bench/turbo preset).
+    pub fn turbo() -> Self {
+        ClientOpts {
+            lazy_begin: true,
+            defer_release: true,
+            prefetch_gtxn: true,
+            piggyback_ship: true,
+            release_read_locks: true,
+            concurrent_ship: true,
+        }
+    }
+}
+
 /// Client configuration.
 #[derive(Clone, Debug)]
 pub struct ClientConfig {
@@ -104,6 +154,8 @@ pub struct ClientConfig {
     pub max_retries: u32,
     /// Base delay for the capped exponential retry backoff.
     pub retry_base: Duration,
+    /// Opt-in message-saving behaviours (all off by default).
+    pub opts: ClientOpts,
 }
 
 impl ClientConfig {
@@ -119,6 +171,7 @@ impl ClientConfig {
             heartbeat_interval: Duration::from_millis(500),
             max_retries: 3,
             retry_base: Duration::from_millis(10),
+            opts: ClientOpts::default(),
         }
     }
 }
@@ -201,6 +254,24 @@ pub struct ClientConn {
     /// see [`Self::fresh_req`].
     // LINT: allow(raw-counter) — request-id allocator for idempotent retry, not a metric
     next_req: AtomicU64,
+    /// Sequence for client-allocated local transaction ids (`lazy_begin`).
+    // LINT: allow(raw-counter) — txn-id allocator, not a metric
+    next_local_txn: AtomicU64,
+    /// Prefetched global transaction ids (`prefetch_gtxn`), refilled from
+    /// `TxnId` reply trailers.
+    gtxn_pool: Mutex<Vec<u64>>,
+    /// Servers owed a `ReleaseAll` (`defer_release`), with the time the
+    /// debt was incurred; paid as a trailer on the next message there, or
+    /// flushed by the listener's idle tick once it has waited a heartbeat
+    /// interval without finding a carrier.
+    pending_releases: Mutex<HashMap<NodeId, Instant>>,
+    /// Servers whose locks a read-only 2PC vote already released
+    /// (`release_read_locks`); end-of-transaction skips them.
+    released_by_vote: Mutex<HashSet<NodeId>>,
+    /// Last time any message went to each server. The listener suppresses
+    /// a standalone heartbeat when real traffic already renewed the lease
+    /// within the heartbeat interval.
+    last_sent: Mutex<HashMap<u32, Instant>>,
     running: Arc<AtomicBool>,
     listener: Mutex<Option<JoinHandle<()>>>,
     group: Group,
@@ -275,6 +346,11 @@ impl ClientConn {
             read_mode: Mutex::new(LockMode::S),
             incarnation: fresh_incarnation(),
             next_req: AtomicU64::new(1),
+            next_local_txn: AtomicU64::new(1),
+            gtxn_pool: Mutex::new(Vec::new()),
+            pending_releases: Mutex::new(HashMap::new()),
+            released_by_vote: Mutex::new(HashSet::new()),
+            last_sent: Mutex::new(HashMap::new()),
             running: Arc::new(AtomicBool::new(true)),
             listener: Mutex::new(None),
             stats: ClientStats::new(&group),
@@ -297,8 +373,10 @@ impl ClientConn {
                         env.reply(reply);
                     }
                     Err(NetError::Timeout) => {
-                        // Idle tick: renew our lease at every server that
-                        // could be holding state for us.
+                        // Idle tick: pay release debts that found no
+                        // carrier, then renew our lease at every server
+                        // that could be holding state for us.
+                        listener_conn.flush_stale_releases();
                         if last_heartbeat.elapsed() >= listener_conn.cfg.heartbeat_interval {
                             last_heartbeat = Instant::now();
                             listener_conn.send_heartbeats();
@@ -423,14 +501,85 @@ impl ClientConn {
     }
 
     /// One-way lease renewals to the home/gateway server and every server
-    /// touched so far.
+    /// touched so far. A server renews the lease on *every* message, so a
+    /// standalone heartbeat is pure overhead whenever real traffic went to
+    /// that server recently — those are suppressed and counted under
+    /// `net.heartbeats.suppressed`.
     fn send_heartbeats(&self) {
         let mut targets: HashSet<NodeId> = self.servers_touched.lock().clone();
         targets.insert(self.cfg.gateway.unwrap_or(self.cfg.home));
+        let now = Instant::now();
         for t in targets {
+            let recent = self
+                .last_sent
+                .lock()
+                .get(&t.0)
+                .is_some_and(|at| now.duration_since(*at) < self.cfg.heartbeat_interval);
+            if recent {
+                self.caller.stats().heartbeats_suppressed.inc();
+                continue;
+            }
             if self.caller.send(t, Msg::Heartbeat).is_ok() {
+                self.note_sent(t);
                 self.stats.heartbeats.inc();
             }
+        }
+    }
+
+    /// Records outbound traffic to `to` (feeds heartbeat suppression).
+    fn note_sent(&self, to: NodeId) {
+        self.last_sent.lock().insert(to.0, Instant::now());
+    }
+
+    /// Sends any `ReleaseAll` debts that have waited longer than a
+    /// heartbeat interval without a carrier message to ride on.
+    fn flush_stale_releases(&self) {
+        let now = Instant::now();
+        let stale: Vec<NodeId> = {
+            let mut pending = self.pending_releases.lock();
+            let stale: Vec<NodeId> = pending
+                .iter()
+                .filter(|(_, since)| {
+                    now.duration_since(**since) >= self.cfg.heartbeat_interval
+                })
+                .map(|(n, _)| *n)
+                .collect();
+            for n in &stale {
+                pending.remove(n);
+            }
+            stale
+        };
+        for server in stale {
+            // One-way is enough: `ReleaseAll` is idempotent and renews the
+            // lease like any other message.
+            let _ = self.caller.send(server, Msg::ReleaseAll);
+            self.note_sent(server);
+        }
+    }
+
+    /// Trailers owed to `to` that should ride the next frame there.
+    fn take_trailers_for(&self, to: NodeId) -> Vec<Msg> {
+        let mut trailers = Vec::new();
+        if self.cfg.opts.defer_release && self.pending_releases.lock().remove(&to).is_some() {
+            trailers.push(Msg::ReleaseAll);
+        }
+        trailers
+    }
+
+    /// Absorbs a reply's trailers (gtxn-pool refills), returning the
+    /// carrier reply.
+    fn absorb_reply(&self, reply: Msg) -> Msg {
+        match reply {
+            Msg::WithTrailers { msg, trailers } => {
+                self.caller.stats().trailers.add(trailers.len() as u64);
+                for t in trailers {
+                    if let Msg::TxnId(g) = t {
+                        self.gtxn_pool.lock().push(g);
+                    }
+                }
+                *msg
+            }
+            m => m,
         }
     }
 
@@ -448,15 +597,33 @@ impl ClientConn {
     /// first delivery executed leaks a segment, and a retried free can
     /// free a segment another client was handed in the meantime.
     fn rpc(&self, to: NodeId, msg: Msg) -> ClientResult<Msg> {
+        self.rpc_with_trailers(to, msg, Vec::new())
+    }
+
+    /// [`Self::rpc`] with caller-supplied trailers riding the same frame
+    /// (any `ReleaseAll` debt for `to` joins them).
+    fn rpc_with_trailers(
+        &self,
+        to: NodeId,
+        msg: Msg,
+        mut trailers: Vec<Msg>,
+    ) -> ClientResult<Msg> {
         self.servers_touched.lock().insert(to);
         let retryable = !matches!(
             msg,
             Msg::ShipUpdates { .. } | Msg::AllocSegment { .. } | Msg::FreeSegment { .. }
         );
+        // Piggyback any control debt for this server on the frame. A
+        // retried frame re-runs non-deduplicated trailers server-side;
+        // everything we attach here (`ReleaseAll`) is idempotent, and
+        // deduplicated carriers never re-run their trailers at all.
+        trailers.extend(self.take_trailers_for(to));
+        let msg = Msg::with_trailers(msg, trailers);
+        self.note_sent(to);
         let mut attempt = 0u32;
         loop {
             match self.caller.call(to, msg.clone(), self.cfg.rpc_timeout) {
-                Ok(reply) => return Ok(reply),
+                Ok(reply) => return Ok(self.absorb_reply(reply)),
                 Err(e) if retryable && e.is_transient() && attempt < self.cfg.max_retries => {
                     attempt += 1;
                     self.stats.retries.inc();
@@ -473,8 +640,17 @@ impl ClientConn {
 
     // ---- transactions ----------------------------------------------------
 
-    /// Begins a transaction at the home server.
+    /// Begins a transaction. By default the id comes from the home server
+    /// (`BeginTxn`); with [`ClientOpts::lazy_begin`] it is allocated
+    /// locally — top bit set, node in bits 32..63 — which no server-issued
+    /// id can collide with, and the round trip is saved.
     pub fn begin(&self) -> ClientResult<u64> {
+        if self.cfg.opts.lazy_begin {
+            let seq = self.next_local_txn.fetch_add(1, Ordering::Relaxed);
+            let t = (1u64 << 63) | (u64::from(self.cfg.node.0) << 32) | (seq & 0xFFFF_FFFF);
+            *self.current_txn.lock() = Some(t);
+            return Ok(t);
+        }
         match self.rpc(self.cfg.home, Msg::BeginTxn)? {
             Msg::TxnId(t) => {
                 *self.current_txn.lock() = Some(t);
@@ -593,9 +769,21 @@ impl ClientConn {
         for u in updates {
             by_owner.entry(self.owner_of(u.page.area)?).or_default().push(u);
         }
+        // A single write owner normally takes the one-message fast path;
+        // with `release_read_locks` on, a transaction that also *read* from
+        // other servers goes through 2PC anyway, so those servers join the
+        // round as read-only participants and shed their locks at phase 1
+        // instead of waiting for a ReleaseAll.
+        let enrol_readers = self.cfg.opts.release_read_locks
+            && !self.effective_caching()
+            && self
+                .servers_touched
+                .lock()
+                .iter()
+                .any(|s| !by_owner.contains_key(s));
         let result = match by_owner.len() {
             0 => Ok(()),
-            1 => {
+            1 if !enrol_readers => {
                 let (owner, updates) = by_owner.into_iter().next().expect("one entry");
                 let req = self.fresh_req();
                 match self.rpc(owner, Msg::Commit { txn, updates, req })? {
@@ -604,38 +792,7 @@ impl ClientConn {
                     other => Err(ClientError::Server(format!("bad reply {other:?}"))),
                 }
             }
-            _ => {
-                // Distributed commit: ship updates, then ask the home
-                // server to coordinate.
-                let gtxn = match self.rpc(self.cfg.home, Msg::BeginGlobal)? {
-                    Msg::TxnId(g) => g,
-                    other => return Err(ClientError::Server(format!("bad reply {other:?}"))),
-                };
-                let participants: Vec<u32> = by_owner.keys().map(|n| n.0).collect();
-                for (owner, updates) in by_owner {
-                    match self.rpc(owner, Msg::ShipUpdates { gtxn, updates })? {
-                        Msg::Ok => {}
-                        Msg::Err(e) => return Err(ClientError::Server(e)),
-                        other => {
-                            return Err(ClientError::Server(format!("bad reply {other:?}")))
-                        }
-                    }
-                }
-                let req = self.fresh_req();
-                match self.rpc(
-                    self.cfg.home,
-                    Msg::CommitGlobal {
-                        gtxn,
-                        participants,
-                        req,
-                    },
-                )? {
-                    Msg::Decision { committed: true } => Ok(()),
-                    Msg::Decision { committed: false } => Err(ClientError::GlobalAbort),
-                    Msg::Err(e) => Err(ClientError::Server(e)),
-                    other => Err(ClientError::Server(format!("bad reply {other:?}"))),
-                }
-            }
+            _ => self.commit_global(by_owner),
         };
         // Only an acknowledged commit counts as a commit; a rejection or
         // global abort is a distinct outcome (previously both paths bumped
@@ -648,6 +805,124 @@ impl ClientConn {
         }
         self.end_txn(txn)?;
         result
+    }
+
+    /// Distributed commit: ship updates, then ask the home server to
+    /// coordinate. With the message-saving opts on, the `BeginGlobal` comes
+    /// from the prefetched pool (refilled by a trailer on this very frame),
+    /// the home server's updates ride the `CommitGlobal` frame as a
+    /// trailer, every touched server joins the round so read-only voters
+    /// release our locks at phase 1, and the whole conversation collapses
+    /// toward one frame per remote write participant plus one to the
+    /// coordinator.
+    fn commit_global(&self, by_owner: HashMap<NodeId, Vec<PageUpdate>>) -> ClientResult<()> {
+        let opts = self.cfg.opts;
+        let release_read_locks = opts.release_read_locks && !self.effective_caching();
+        // The pool only ever fills when `prefetch_gtxn` is on; an empty
+        // pool (or the opt off) falls back to the explicit round trip.
+        let gtxn = match self.gtxn_pool.lock().pop() {
+            Some(g) => g,
+            None => match self.rpc(self.cfg.home, Msg::BeginGlobal)? {
+                Msg::TxnId(g) => g,
+                other => return Err(ClientError::Server(format!("bad reply {other:?}"))),
+            },
+        };
+        let mut participants: Vec<u32> = by_owner.keys().map(|n| n.0).collect();
+        if release_read_locks {
+            // Enrol read-only touched servers: their phase-1 vote releases
+            // our locks and drops them from phase 2.
+            for s in self.servers_touched.lock().iter() {
+                if !participants.contains(&s.0) {
+                    participants.push(s.0);
+                }
+            }
+            participants.sort_unstable();
+        }
+        let write_owners: HashSet<u32> = by_owner.keys().map(|n| n.0).collect();
+        let mut commit_trailers: Vec<Msg> = Vec::new();
+        let mut branches: Vec<(u32, Vec<PageUpdate>)> = Vec::new();
+        let mut remote_ships: Vec<(NodeId, Vec<PageUpdate>)> = Vec::new();
+        for (owner, updates) in by_owner {
+            if opts.piggyback_ship {
+                // Every branch rides the CommitGlobal frame itself: the
+                // coordinator stages its own branch and forwards each
+                // remote branch inside that participant's phase-1 entry —
+                // zero standalone ship round trips.
+                branches.push((owner.0, updates));
+                continue;
+            }
+            remote_ships.push((owner, updates));
+        }
+        branches.sort_unstable_by_key(|(p, _)| *p);
+        // With `concurrent_ship`, ship every remote branch at once: the
+        // update sets are disjoint by construction (grouped by owner), so
+        // there is no ordering to preserve, and a serial loop would pay
+        // one wire round trip per participant.
+        let ship_replies: Vec<ClientResult<Msg>> = if opts.concurrent_ship {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = remote_ships
+                    .into_iter()
+                    .map(|(owner, updates)| {
+                        s.spawn(move || self.rpc(owner, Msg::ShipUpdates { gtxn, updates }))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    // LINT: allow(panic) — propagates a panic from the ship thread
+                    .map(|h| h.join().expect("ship thread panicked"))
+                    .collect()
+            })
+        } else {
+            remote_ships
+                .into_iter()
+                .map(|(owner, updates)| self.rpc(owner, Msg::ShipUpdates { gtxn, updates }))
+                .collect()
+        };
+        for reply in ship_replies {
+            match reply? {
+                Msg::Ok => {}
+                Msg::Err(e) => return Err(ClientError::Server(e)),
+                other => return Err(ClientError::Server(format!("bad reply {other:?}"))),
+            }
+        }
+        if opts.prefetch_gtxn && self.gtxn_pool.lock().is_empty() {
+            commit_trailers.push(Msg::BeginGlobal);
+        }
+        let req = self.fresh_req();
+        let reply = self.rpc_with_trailers(
+            self.cfg.home,
+            Msg::CommitGlobal {
+                gtxn,
+                participants: participants.clone(),
+                req,
+                release_read_locks,
+                branches,
+            },
+            commit_trailers,
+        )?;
+        match reply {
+            Msg::Decision { committed } => {
+                if release_read_locks {
+                    // Read-only participants released our locks when they
+                    // voted — phase 1 ran whatever the outcome, so the
+                    // end-of-transaction ReleaseAll can skip them. Write
+                    // participants keep our grants until then.
+                    let mut released = self.released_by_vote.lock();
+                    for p in &participants {
+                        if !write_owners.contains(p) {
+                            released.insert(NodeId(*p));
+                        }
+                    }
+                }
+                if committed {
+                    Ok(())
+                } else {
+                    Err(ClientError::GlobalAbort)
+                }
+            }
+            Msg::Err(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Server(format!("bad reply {other:?}"))),
+        }
     }
 
     /// Aborts the active transaction: uncommitted pages are discarded and
@@ -687,18 +962,45 @@ impl ClientConn {
                 let _ = self.rpc(owner, Msg::ReleaseCached { names });
             }
         } else {
-            // Transaction-duration caching (§3): drop everything.
+            // Transaction-duration caching (§3): drop everything. Servers
+            // whose read-only 2PC vote already released our locks are
+            // skipped; with `defer_release` the rest become debts paid as
+            // trailers on the next frame there (the listener's idle tick
+            // is the fallback carrier).
             self.lock_cache.clear();
+            let released: HashSet<NodeId> =
+                std::mem::take(&mut *self.released_by_vote.lock());
             let touched: Vec<NodeId> = self.servers_touched.lock().drain().collect();
             for server in touched {
-                let _ = self.caller.call(server, Msg::ReleaseAll, self.cfg.rpc_timeout);
+                if released.contains(&server) {
+                    continue;
+                }
+                if self.cfg.opts.defer_release {
+                    self.pending_releases
+                        .lock()
+                        .entry(server)
+                        .or_insert_with(Instant::now);
+                } else {
+                    let _ = self.caller.call(server, Msg::ReleaseAll, self.cfg.rpc_timeout);
+                    self.note_sent(server);
+                }
             }
         }
         Ok(())
     }
 
-    /// Disconnects: stops the listener and releases every cached lock.
+    /// Disconnects: stops the listener and releases every cached lock
+    /// (deferred release debts are paid immediately).
     pub fn disconnect(&self) {
+        let owed: Vec<NodeId> = self
+            .pending_releases
+            .lock()
+            .drain()
+            .map(|(n, _)| n)
+            .collect();
+        for server in owed {
+            let _ = self.caller.call(server, Msg::ReleaseAll, self.cfg.rpc_timeout);
+        }
         let names = self.lock_cache.clear();
         let mut by_owner: HashMap<NodeId, Vec<LockName>> = HashMap::new();
         for name in names {

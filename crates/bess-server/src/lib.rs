@@ -29,15 +29,16 @@ mod scrub;
 mod server;
 
 pub use client::{
-    ClientConfig, ClientConn, ClientError, ClientResult, ClientStats,
-    RemoteIo, RemoteSpace,
+    ClientConfig, ClientConn, ClientError, ClientOpts, ClientResult,
+    ClientStats, RemoteIo, RemoteSpace,
 };
 pub use directory::Directory;
 pub use nodeserver::{NodeHandle, NodeServer, NodeServerConfig, NodeServerStats};
-pub use proto::{coordinator_of, GTxn, Msg, PageUpdate};
+pub use proto::{coordinator_of, GTxn, Msg, PageUpdate, PrepareItem, Vote};
 pub use scrub::{ScrubConfig, ScrubPassReport};
 pub use server::{
     register_areas, AreaTarget, BessServer, ServerConfig, ServerStats,
+    TwoPcConfig,
 };
 
 #[cfg(test)]
@@ -317,11 +318,24 @@ mod tests {
         ])
         .unwrap();
 
+        // Commit decides are one-way under presumed commit: the remote
+        // branch lands shortly after the client's ack, not before it.
         for (i, p) in [(0usize, p0), (1usize, p1)] {
             let area = w.servers[i].areas().get(p.area).unwrap();
             let mut buf = vec![0u8; area.page_size()];
-            area.read_page(p.page, &mut buf).unwrap();
-            assert_eq!(&buf[0..4], format!("2pc{i}").as_bytes());
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            loop {
+                area.read_page(p.page, &mut buf).unwrap();
+                if &buf[0..4] == format!("2pc{i}").as_bytes() {
+                    break;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "server {i} never applied its branch: {:?}",
+                    &buf[0..4]
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
         }
         assert!(w.servers[0].stats().coordinated.get() >= 1);
         assert_eq!(w.servers[1].stats().prepares.get(), 1);
@@ -373,7 +387,7 @@ mod tests {
             .unwrap();
         assert!(matches!(
             driver
-                .call(NodeId(101), Msg::Prepare { gtxn }, Duration::from_secs(2))
+                .call(NodeId(101), Msg::Prepare { gtxn, locker: 0, release_locks: false }, Duration::from_secs(2))
                 .unwrap(),
             Msg::VoteYes
         ));
@@ -444,7 +458,7 @@ mod tests {
             )
             .unwrap();
         driver
-            .call(NodeId(101), Msg::Prepare { gtxn }, Duration::from_secs(2))
+            .call(NodeId(101), Msg::Prepare { gtxn, locker: 0, release_locks: false }, Duration::from_secs(2))
             .unwrap();
 
         let part_log = part.log().simulate_crash().unwrap();

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bess_obs::{Counter, Group, Registry};
 use bess_cache::{DbPage, GetOutcome, PageIo, SharedCache};
@@ -144,6 +144,10 @@ struct NsInner {
     /// keys).
     // LINT: allow(raw-counter) — request-id allocator for upstream idempotent retry, not a metric
     next_req: AtomicU64,
+    /// Last time any message went to each owning server; the idle tick
+    /// suppresses a standalone heartbeat when real traffic already renewed
+    /// the lease within the heartbeat interval.
+    last_sent: Mutex<HashMap<u32, Instant>>,
     running: AtomicBool,
     group: Group,
     stats: NodeServerStats,
@@ -203,6 +207,7 @@ impl NodeServer {
             next_txn: AtomicU64::new(1),
             incarnation: crate::client::fresh_incarnation(),
             next_req: AtomicU64::new(1),
+            last_sent: Mutex::new(HashMap::new()),
             running: AtomicBool::new(true),
             stats: NodeServerStats::new(&group),
             group,
@@ -402,11 +407,27 @@ fn ns_loop(inner: Arc<NsInner>, endpoint: Endpoint<Msg>) {
             }
             Err(NetError::Timeout) => {
                 // Idle tick: renew this node's lease at the owning
-                // servers so its cached locks aren't reaped.
+                // servers so its cached locks aren't reaped. Servers renew
+                // on every message, so a heartbeat is suppressed wherever
+                // real traffic went recently.
                 if last_heartbeat.elapsed() >= inner.cfg.heartbeat_interval {
                     last_heartbeat = std::time::Instant::now();
+                    let now = std::time::Instant::now();
                     for server in inner.dir.servers() {
-                        let _ = inner.caller.send(server, Msg::Heartbeat);
+                        let recent = inner
+                            .last_sent
+                            .lock()
+                            .get(&server.0)
+                            .is_some_and(|at| {
+                                now.duration_since(*at) < inner.cfg.heartbeat_interval
+                            });
+                        if recent {
+                            inner.caller.stats().heartbeats_suppressed.inc();
+                            continue;
+                        }
+                        if inner.caller.send(server, Msg::Heartbeat).is_ok() {
+                            inner.note_sent(server);
+                        }
                     }
                 }
             }
@@ -416,7 +437,39 @@ fn ns_loop(inner: Arc<NsInner>, endpoint: Endpoint<Msg>) {
 }
 
 impl NsInner {
+    /// Records outbound traffic to `to` (feeds heartbeat suppression).
+    fn note_sent(&self, to: NodeId) {
+        self.last_sent.lock().insert(to.0, Instant::now());
+    }
+
+    /// An upstream call with send-time tracking, so the idle tick knows
+    /// which servers real traffic already visited.
+    fn call_srv(&self, to: NodeId, msg: Msg) -> Result<Msg, NetError> {
+        self.note_sent(to);
+        self.caller.call(to, msg, self.cfg.rpc_timeout)
+    }
+
     fn handle(self: &Arc<Self>, from: NodeId, msg: Msg) -> Msg {
+        // Unwrap piggybacked trailers from local applications: run them in
+        // frame order before the carrier, returning only `TxnId` replies.
+        let (msg, trailers) = match msg {
+            Msg::WithTrailers { msg, trailers } => {
+                self.caller.stats().trailers.add(trailers.len() as u64);
+                (*msg, trailers)
+            }
+            m => (m, Vec::new()),
+        };
+        if !trailers.is_empty() {
+            let mut t_replies = Vec::new();
+            for t in trailers {
+                let r = self.handle(from, t);
+                if matches!(r, Msg::TxnId(_)) {
+                    t_replies.push(r);
+                }
+            }
+            let reply = self.handle(from, msg);
+            return Msg::with_trailers(reply, t_replies);
+        }
         match msg {
             Msg::BeginTxn => {
                 let seq = self.next_txn.fetch_add(1, Ordering::Relaxed);
@@ -471,8 +524,7 @@ impl NsInner {
             | Msg::ReadAt { area, .. }
             | Msg::WriteAt { area, .. } => match self.dir.owner(area) {
                 Some(owner) => self
-                    .caller
-                    .call(owner, msg, self.cfg.rpc_timeout)
+                    .call_srv(owner, msg)
                     .unwrap_or_else(|e| Msg::Err(e.to_string())),
                 None => Msg::Err(format!("no owner for area {area}")),
             },
@@ -543,9 +595,7 @@ impl NsInner {
                         .ok_or_else(|| "no servers".to_string())?,
                 };
                 self.pending_locks.lock().insert(name);
-                let reply = self
-                    .caller
-                    .call(owner, Msg::Lock { name, mode: need }, self.cfg.rpc_timeout);
+                let reply = self.call_srv(owner, Msg::Lock { name, mode: need });
                 let out = match reply {
                     Ok(Msg::Granted) => {
                         self.lock_cache.grant(txn, name, need);
@@ -613,10 +663,7 @@ impl NsInner {
             .dir
             .owner(page.area)
             .ok_or_else(|| format!("no owner for area {}", page.area))?;
-        match self
-            .caller
-            .call(owner, Msg::ReadPage { page }, self.cfg.rpc_timeout)
-        {
+        match self.call_srv(owner, Msg::ReadPage { page }) {
             Ok(Msg::PageData(data)) => Ok(data),
             Ok(Msg::Err(e)) => Err(e),
             Ok(other) => Err(format!("bad reply {other:?}")),
@@ -763,14 +810,13 @@ impl NsInner {
                 let (owner, ups) = by_owner.into_iter().next().expect("one");
                 let req =
                     crate::client::make_req(self.incarnation, self.next_req.fetch_add(1, Ordering::Relaxed));
-                match self.caller.call(
+                match self.call_srv(
                     owner,
                     Msg::Commit {
                         txn,
                         updates: ups,
                         req,
                     },
-                    self.cfg.rpc_timeout,
                 ) {
                     Ok(Msg::Ok) => Ok(()),
                     Ok(Msg::Err(e)) => Err(e),
@@ -781,23 +827,19 @@ impl NsInner {
             _ => {
                 self.stats.global_commits.inc();
                 let coordinator = *by_owner.keys().min().expect("nonempty");
-                let gtxn = match self
-                    .caller
-                    .call(coordinator, Msg::BeginGlobal, self.cfg.rpc_timeout)
-                {
+                let gtxn = match self.call_srv(coordinator, Msg::BeginGlobal) {
                     Ok(Msg::TxnId(g)) => g,
                     Ok(other) => return Err(format!("bad reply {other:?}")),
                     Err(e) => return Err(e.to_string()),
                 };
                 let participants: Vec<u32> = by_owner.keys().map(|n| n.0).collect();
                 for (owner, ups) in by_owner {
-                    match self.caller.call(
+                    match self.call_srv(
                         owner,
                         Msg::ShipUpdates {
                             gtxn,
                             updates: ups,
                         },
-                        self.cfg.rpc_timeout,
                     ) {
                         Ok(Msg::Ok) => {}
                         Ok(other) => return Err(format!("bad reply {other:?}")),
@@ -806,14 +848,15 @@ impl NsInner {
                 }
                 let req =
                     crate::client::make_req(self.incarnation, self.next_req.fetch_add(1, Ordering::Relaxed));
-                match self.caller.call(
+                match self.call_srv(
                     coordinator,
                     Msg::CommitGlobal {
                         gtxn,
                         participants,
                         req,
+                        release_read_locks: false,
+                        branches: Vec::new(),
                     },
-                    self.cfg.rpc_timeout,
                 ) {
                     Ok(Msg::Decision { committed: true }) => Ok(()),
                     Ok(Msg::Decision { committed: false }) => Err("2PC aborted".into()),
@@ -867,9 +910,7 @@ impl NsInner {
             }
         }
         for (owner, names) in by_owner {
-            let _ = self
-                .caller
-                .call(owner, Msg::ReleaseCached { names }, self.cfg.rpc_timeout);
+            let _ = self.call_srv(owner, Msg::ReleaseCached { names });
         }
     }
 }

@@ -27,6 +27,40 @@ pub fn coordinator_of(gtxn: GTxn) -> u32 {
     (gtxn >> 32) as u32
 }
 
+/// A participant's phase-1 vote, as carried in [`Msg::VoteBatch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vote {
+    /// The participant logged a prepare record and awaits phase 2.
+    Yes,
+    /// The participant cannot commit; the round must abort.
+    No,
+    /// The participant made no updates: it forgets the transaction at
+    /// once (optionally releasing the requester's locks) and must be
+    /// dropped from phase 2 entirely.
+    ReadOnly,
+}
+
+/// One entry of a [`Msg::PrepareBatch`]: a phase-1 request for a single
+/// global transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrepareItem {
+    /// Global transaction.
+    pub gtxn: GTxn,
+    /// The node whose locks cover this branch (the committing client),
+    /// or `0` when unknown/irrelevant.
+    pub locker: u32,
+    /// If the participant turns out to be read-only, release `locker`'s
+    /// locks at vote time (sound only for non-caching, one-transaction-
+    /// at-a-time clients that opted in).
+    pub release_locks: bool,
+    /// This branch's piggybacked page updates: a client that shipped its
+    /// write sets inside [`Msg::CommitGlobal`] (see its `branches` field)
+    /// has them forwarded here, so the participant stages and prepares
+    /// in one wire frame. Empty when the branch was shipped with a
+    /// standalone [`Msg::ShipUpdates`] beforehand.
+    pub updates: Vec<PageUpdate>,
+}
+
 /// A physical byte-range page update shipped at commit: the client's
 /// write-detection machinery captured the before-image at the first write
 /// fault (§2.3); the after-image is the page diff at commit.
@@ -155,12 +189,42 @@ pub enum Msg {
         /// Client-assigned request id for at-most-once retry; `0` opts out
         /// of deduplication.
         req: u64,
+        /// Ask read-only participants to release the requester's locks at
+        /// phase 1 (the read-only-participant optimisation; sound only
+        /// for non-caching, one-transaction-at-a-time clients).
+        release_read_locks: bool,
+        /// Per-participant write sets piggybacked on the commit request
+        /// itself (`(node, updates)`): the coordinator stages its own
+        /// branch and forwards each remote branch inside that
+        /// participant's [`PrepareItem`], replacing the per-participant
+        /// [`Msg::ShipUpdates`] round trips. Empty for clients that ship
+        /// ahead of commit.
+        branches: Vec<(u32, Vec<PageUpdate>)>,
     },
-    /// Coordinator → participant phase 1; reply: [`Msg::VoteYes`] or
-    /// [`Msg::VoteNo`].
+    /// Coordinator → participant phase 1; reply: [`Msg::VoteYes`],
+    /// [`Msg::VoteNo`], or [`Msg::VoteReadOnly`].
     Prepare {
         /// Global transaction.
         gtxn: GTxn,
+        /// The committing client's node (whose locks cover this branch),
+        /// or `0` when unknown.
+        locker: u32,
+        /// Release `locker`'s locks if this participant votes read-only.
+        release_locks: bool,
+    },
+    /// Coordinator → participant batched phase 1: one wire frame carrying
+    /// the prepare requests of several concurrent global transactions;
+    /// reply: [`Msg::VoteBatch`].
+    PrepareBatch {
+        /// One phase-1 request per concurrent global transaction.
+        items: Vec<PrepareItem>,
+    },
+    /// Coordinator → participant batched phase 2. Sent **one-way** when
+    /// every decision in the batch is a commit (presumed commit: no ack
+    /// round); sent as a call otherwise.
+    DecideBatch {
+        /// `(gtxn, commit)` verdicts.
+        decisions: Vec<(GTxn, bool)>,
     },
     /// Coordinator → participant phase 2; reply: [`Msg::Ok`].
     Decide {
@@ -231,6 +295,16 @@ pub enum Msg {
     VoteYes,
     /// Participant votes no.
     VoteNo,
+    /// Participant votes: it made no updates for this transaction. It has
+    /// already forgotten the branch (and released the requester's locks if
+    /// asked); the coordinator must drop it from phase 2.
+    VoteReadOnly,
+    /// Participant's batched phase-1 votes, one per [`Msg::PrepareBatch`]
+    /// entry, in the same order.
+    VoteBatch {
+        /// `(gtxn, vote)` pairs.
+        votes: Vec<(GTxn, Vote)>,
+    },
     /// Coordinator's 2PC verdict.
     Decision {
         /// Whether the transaction committed.
@@ -243,6 +317,22 @@ pub enum Msg {
     /// is being forced). The querier must keep its prepared branch and ask
     /// again — presumed abort applies only to [`Msg::Unknown`].
     DecisionPending,
+
+    // ---- piggybacking ----------------------------------------------------
+    /// A message with piggybacked control traffic ("trailers") riding the
+    /// same wire frame. The receiver processes each trailer first (no
+    /// individual replies), then dispatches `msg` as usual. A reply may
+    /// itself be `WithTrailers` carrying the values some trailers produce
+    /// (e.g. [`Msg::TxnId`] for a piggybacked [`Msg::BeginGlobal`]), in
+    /// trailer order. Deduplicated retries replay only the inner reply:
+    /// trailers are ephemeral control traffic and are never replayed.
+    WithTrailers {
+        /// The primary message.
+        msg: Box<Msg>,
+        /// Piggybacked control messages (lease renewals, deferred lock
+        /// releases, id prefetches, batched decides, ...).
+        trailers: Vec<Msg>,
+    },
 }
 
 // ---- binary codec --------------------------------------------------------
@@ -312,6 +402,21 @@ fn put_update(buf: &mut Vec<u8>, u: &PageUpdate) {
     put_u32(buf, u.offset);
     put_bytes(buf, &u.before);
     put_bytes(buf, &u.after);
+}
+
+fn put_vote(buf: &mut Vec<u8>, vote: Vote) {
+    buf.push(match vote {
+        Vote::Yes => 0,
+        Vote::No => 1,
+        Vote::ReadOnly => 2,
+    });
+}
+
+fn put_prepare_item(buf: &mut Vec<u8>, item: &PrepareItem) {
+    put_u64(buf, item.gtxn);
+    put_u32(buf, item.locker);
+    buf.push(u8::from(item.release_locks));
+    put_updates(buf, &item.updates);
 }
 
 fn put_updates(buf: &mut Vec<u8>, updates: &[PageUpdate]) {
@@ -443,9 +548,45 @@ impl<'a> Cursor<'a> {
         }
         Ok(v)
     }
+
+    fn vote(&mut self) -> Result<Vote, String> {
+        Ok(match self.u8()? {
+            0 => Vote::Yes,
+            1 => Vote::No,
+            2 => Vote::ReadOnly,
+            t => return Err(format!("bad vote tag {t}")),
+        })
+    }
+
+    fn prepare_item(&mut self) -> Result<PrepareItem, String> {
+        Ok(PrepareItem {
+            gtxn: self.u64()?,
+            locker: self.u32()?,
+            release_locks: self.bool()?,
+            updates: self.updates()?,
+        })
+    }
 }
 
+/// Maximum [`Msg::WithTrailers`] nesting the decoder accepts — trailers
+/// may themselves be envelopes in principle, but unbounded nesting from a
+/// hostile peer must not recurse the stack away.
+const MAX_TRAILER_DEPTH: u32 = 4;
+
 impl Msg {
+    /// Wraps `msg` in a [`Msg::WithTrailers`] envelope, collapsing to the
+    /// bare message when there is nothing to piggyback.
+    pub fn with_trailers(msg: Msg, trailers: Vec<Msg>) -> Msg {
+        if trailers.is_empty() {
+            msg
+        } else {
+            Msg::WithTrailers {
+                msg: Box::new(msg),
+                trailers,
+            }
+        }
+    }
+
     /// Encodes the message into its binary wire form.
     pub fn encode(&self) -> Vec<u8> {
         let mut b = Vec::new();
@@ -534,6 +675,8 @@ impl Msg {
                 gtxn,
                 participants,
                 req,
+                release_read_locks,
+                branches,
             } => {
                 b.push(13);
                 put_u64(&mut b, *gtxn);
@@ -543,10 +686,23 @@ impl Msg {
                 for p in participants {
                     put_u32(&mut b, *p);
                 }
+                b.push(u8::from(*release_read_locks));
+                // LINT: allow(cast) — one branch per participant node.
+                put_u32(&mut b, branches.len() as u32);
+                for (p, updates) in branches {
+                    put_u32(&mut b, *p);
+                    put_updates(&mut b, updates);
+                }
             }
-            Msg::Prepare { gtxn } => {
+            Msg::Prepare {
+                gtxn,
+                locker,
+                release_locks,
+            } => {
                 b.push(14);
                 put_u64(&mut b, *gtxn);
+                put_u32(&mut b, *locker);
+                b.push(u8::from(*release_locks));
             }
             Msg::Decide { gtxn, commit } => {
                 b.push(15);
@@ -610,12 +766,55 @@ impl Msg {
             Msg::Unknown => b.push(33),
             Msg::Heartbeat => b.push(34),
             Msg::DecisionPending => b.push(35),
+            Msg::VoteReadOnly => b.push(36),
+            Msg::PrepareBatch { items } => {
+                b.push(37);
+                // LINT: allow(cast) — a batch is capped by TwoPcConfig::max_batch.
+                put_u32(&mut b, items.len() as u32);
+                for item in items {
+                    put_prepare_item(&mut b, item);
+                }
+            }
+            Msg::VoteBatch { votes } => {
+                b.push(38);
+                // LINT: allow(cast) — one vote per batched prepare.
+                put_u32(&mut b, votes.len() as u32);
+                for (gtxn, vote) in votes {
+                    put_u64(&mut b, *gtxn);
+                    put_vote(&mut b, *vote);
+                }
+            }
+            Msg::DecideBatch { decisions } => {
+                b.push(39);
+                // LINT: allow(cast) — a batch is capped by TwoPcConfig::max_batch.
+                put_u32(&mut b, decisions.len() as u32);
+                for (gtxn, commit) in decisions {
+                    put_u64(&mut b, *gtxn);
+                    b.push(u8::from(*commit));
+                }
+            }
+            Msg::WithTrailers { msg, trailers } => {
+                b.push(40);
+                put_bytes(&mut b, &msg.encode());
+                // LINT: allow(cast) — a frame carries a handful of trailers.
+                put_u32(&mut b, trailers.len() as u32);
+                for t in trailers {
+                    put_bytes(&mut b, &t.encode());
+                }
+            }
         }
         b
     }
 
     /// Decodes a message from its binary wire form.
     pub fn decode(buf: &[u8]) -> Result<Msg, String> {
+        Self::decode_at(buf, 0)
+    }
+
+    fn decode_at(buf: &[u8], depth: u32) -> Result<Msg, String> {
+        if depth > MAX_TRAILER_DEPTH {
+            return Err("trailer nesting too deep".to_string());
+        }
         let mut c = Cursor { buf, pos: 0 };
         let msg = match c.u8()? {
             0 => Msg::BeginTxn,
@@ -676,13 +875,26 @@ impl Msg {
                 for _ in 0..n {
                     participants.push(c.u32()?);
                 }
+                let release_read_locks = c.bool()?;
+                let nb = c.u32()? as usize;
+                let mut branches = Vec::with_capacity(nb.min(1024));
+                for _ in 0..nb {
+                    let p = c.u32()?;
+                    branches.push((p, c.updates()?));
+                }
                 Msg::CommitGlobal {
                     gtxn,
                     participants,
                     req,
+                    release_read_locks,
+                    branches,
                 }
             }
-            14 => Msg::Prepare { gtxn: c.u64()? },
+            14 => Msg::Prepare {
+                gtxn: c.u64()?,
+                locker: c.u32()?,
+                release_locks: c.bool()?,
+            },
             15 => Msg::Decide {
                 gtxn: c.u64()?,
                 commit: c.bool()?,
@@ -716,6 +928,42 @@ impl Msg {
             33 => Msg::Unknown,
             34 => Msg::Heartbeat,
             35 => Msg::DecisionPending,
+            36 => Msg::VoteReadOnly,
+            37 => {
+                let n = c.u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    items.push(c.prepare_item()?);
+                }
+                Msg::PrepareBatch { items }
+            }
+            38 => {
+                let n = c.u32()? as usize;
+                let mut votes = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    votes.push((c.u64()?, c.vote()?));
+                }
+                Msg::VoteBatch { votes }
+            }
+            39 => {
+                let n = c.u32()? as usize;
+                let mut decisions = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    decisions.push((c.u64()?, c.bool()?));
+                }
+                Msg::DecideBatch { decisions }
+            }
+            40 => {
+                let inner = c.bytes()?;
+                let msg = Box::new(Msg::decode_at(&inner, depth + 1)?);
+                let n = c.u32()? as usize;
+                let mut trailers = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let raw = c.bytes()?;
+                    trailers.push(Msg::decode_at(&raw, depth + 1)?);
+                }
+                Msg::WithTrailers { msg, trailers }
+            }
             t => return Err(format!("bad message tag {t}")),
         };
         if c.pos != buf.len() {
@@ -751,6 +999,49 @@ mod tests {
             req: 9,
         };
         assert_eq!(Msg::decode(&msg.encode()), Ok(msg));
+    }
+
+    #[test]
+    fn codec_round_trips_trailers() {
+        let msg = Msg::with_trailers(
+            Msg::CommitGlobal {
+                gtxn: (100u64 << 32) | 5,
+                participants: vec![100, 101],
+                req: 3,
+                release_read_locks: true,
+                branches: vec![(
+                    101,
+                    vec![PageUpdate {
+                        page: DbPage { area: 2, page: 9 },
+                        offset: 0,
+                        before: vec![7],
+                        after: vec![8],
+                    }],
+                )],
+            },
+            vec![
+                Msg::BeginGlobal,
+                Msg::ReleaseAll,
+                Msg::DecideBatch {
+                    decisions: vec![((100u64 << 32) | 4, true)],
+                },
+            ],
+        );
+        assert_eq!(Msg::decode(&msg.encode()), Ok(msg));
+        // Empty trailer lists collapse to the bare message.
+        assert_eq!(Msg::with_trailers(Msg::Ok, vec![]), Msg::Ok);
+    }
+
+    #[test]
+    fn codec_rejects_runaway_trailer_nesting() {
+        let mut msg = Msg::Ok;
+        for _ in 0..8 {
+            msg = Msg::WithTrailers {
+                msg: Box::new(msg),
+                trailers: vec![],
+            };
+        }
+        assert!(Msg::decode(&msg.encode()).is_err(), "nesting past the depth cap");
     }
 
     #[test]

@@ -28,17 +28,47 @@ use std::time::{Duration, Instant};
 use bess_obs::{Counter, Group, LatencyHistogram, Registry};
 use bess_cache::AreaSet;
 use bess_lock::{LockManager, LockMode, LockName, OrderedMutex, Rank, TxnId};
-use bess_net::{Caller, Endpoint, Network, NodeId};
+use bess_net::{Caller, Endpoint, Envelope, Network, NodeId};
 use bess_storage::{AreaId, CorruptKind, DiskPtr, StorageArea, StorageError};
 use bess_wal::{
     recover, take_checkpoint, undo_transactions, GroupCommitConfig, LogBody, LogManager,
     LogPageId, Lsn, RecoveryReport, RedoTarget, TxnStatus,
 };
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::directory::Directory;
-use crate::proto::{coordinator_of, GTxn, Msg, PageUpdate};
+use crate::proto::{coordinator_of, GTxn, Msg, PageUpdate, PrepareItem, Vote};
 use crate::scrub::{repair_page, IntegrityStats, MediaGate, ScrubConfig, ScrubPassReport, Scrubber};
+
+/// Tuning for the distributed-commit fast path (presumed commit, batched
+/// phase fan-out).
+#[derive(Clone, Copy, Debug)]
+pub struct TwoPcConfig {
+    /// Most concurrent global transactions gathered into one
+    /// [`Msg::PrepareBatch`] wire frame per participant.
+    pub max_batch: usize,
+    /// How long a phase-1 leader holds the gather window open for
+    /// stragglers. `ZERO` (the default) still batches: while one leader's
+    /// frame is in flight, later rounds pile up behind it and the next
+    /// leader takes the whole queue — the same natural accumulation the
+    /// WAL's group commit exploits — without adding latency to an
+    /// uncontended round.
+    pub max_wait: Duration,
+    /// Pre-optimisation behaviour: serial phase-1 fan-out, acknowledged
+    /// per-transaction phase 2, no batching, read-only votes treated as
+    /// write participants. Kept as the A/B baseline for benchmarks.
+    pub compat_presumed_abort: bool,
+}
+
+impl Default for TwoPcConfig {
+    fn default() -> Self {
+        TwoPcConfig {
+            max_batch: 16,
+            max_wait: Duration::ZERO,
+            compat_presumed_abort: false,
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -72,6 +102,8 @@ pub struct ServerConfig {
     /// [`ScrubConfig`]). [`BessServer::scrub_once`] works even when the
     /// background thread is disabled.
     pub scrub: ScrubConfig,
+    /// Distributed-commit tuning (presumed commit, batched fan-out).
+    pub two_pc: TwoPcConfig,
 }
 
 impl ServerConfig {
@@ -86,6 +118,7 @@ impl ServerConfig {
             media_error_threshold: 3,
             group_commit: GroupCommitConfig::default(),
             scrub: ScrubConfig::default(),
+            two_pc: TwoPcConfig::default(),
         }
     }
 }
@@ -143,6 +176,28 @@ pub struct ServerStats {
     /// counts toward the media-error threshold, so a persistently failing
     /// log device trips auto read-only like a failing storage area does.
     pub log_force_failures: Counter,
+    /// Read-only votes cast by this server as a participant
+    /// (`server.2pc.readonly_votes`): nothing was shipped here, so the
+    /// branch is forgotten at phase 1 and drops out of phase 2.
+    pub two_pc_readonly_votes: Counter,
+    /// Coordinated rounds where *every* participant voted read-only
+    /// (`server.2pc.readonly_rounds`): no decision record, no phase 2.
+    pub two_pc_readonly_rounds: Counter,
+    /// `PrepareBatch` frames sent while coordinating
+    /// (`server.2pc.prepare_batches`).
+    pub two_pc_prepare_batches: Counter,
+    /// Prepare requests that rode those frames
+    /// (`server.2pc.batched_prepares`); minus `prepare_batches`, the
+    /// messages the gather window saved.
+    pub two_pc_batched_prepares: Counter,
+    /// Commit verdicts delivered as unacknowledged one-way sends
+    /// (`server.2pc.oneway_decides`) — the presumed-commit saving: no
+    /// participant ack round for commits.
+    pub two_pc_oneway_decides: Counter,
+    /// Commit verdicts re-sent at restart for rounds whose decision was
+    /// forced but whose `End` never made the log
+    /// (`server.2pc.decide_resends`).
+    pub two_pc_decide_resends: Counter,
 }
 
 impl ServerStats {
@@ -167,6 +222,12 @@ impl ServerStats {
             drain_rejections: group.counter("drain_rejections"),
             read_only_rejections: group.counter("read_only_rejections"),
             log_force_failures: group.counter("log_force_failures"),
+            two_pc_readonly_votes: group.counter("2pc.readonly_votes"),
+            two_pc_readonly_rounds: group.counter("2pc.readonly_rounds"),
+            two_pc_prepare_batches: group.counter("2pc.prepare_batches"),
+            two_pc_batched_prepares: group.counter("2pc.batched_prepares"),
+            two_pc_oneway_decides: group.counter("2pc.oneway_decides"),
+            two_pc_decide_resends: group.counter("2pc.decide_resends"),
         }
     }
 }
@@ -215,6 +276,36 @@ struct PreparedTxn {
     prepared_at: Instant,
 }
 
+/// Per-participant phase-1 gather state. Concurrent coordinated rounds
+/// preparing at the same participant enqueue here; a dedicated pump
+/// thread (started lazily per participant) drains up to `max_batch`
+/// items into a single [`Msg::PrepareBatch`] frame and distributes the
+/// votes. While every pump for a participant has a frame in flight,
+/// later rounds pile up in the queue — the WAL group commit's
+/// accumulation pattern applied to 2PC messaging.
+#[derive(Default)]
+struct PrepSlot {
+    queue: Vec<PrepareItem>,
+    votes: HashMap<GTxn, Vote>,
+}
+
+/// Pump threads — and therefore `PrepareBatch` frames possibly on the
+/// wire — per participant. A single frame at a time maximises merging
+/// but makes every item that misses the departing frame wait a full
+/// round trip; a shallow pipeline keeps the batching (items still pile
+/// up whenever all frames are out) while cutting that queueing delay
+/// under concurrent coordinators.
+const PREP_PIPELINE: u32 = 4;
+
+/// Per-participant phase-2 outbox. Commit verdicts are one-way under
+/// presumed commit, so the only coordination needed is merging whatever
+/// piles up behind an in-flight send into the next `DecideBatch` frame.
+#[derive(Default)]
+struct DecideOutbox {
+    queue: Vec<(GTxn, bool)>,
+    sending: bool,
+}
+
 /// State of one entry in the at-most-once dedup window.
 enum DedupState {
     /// The first delivery is still executing; duplicates wait for it.
@@ -254,6 +345,16 @@ struct ServerInner {
     /// client's unprepared branches.
     pending: Mutex<HashMap<GTxn, (u32, Vec<PageUpdate>)>>,
     prepared: Mutex<HashMap<GTxn, PreparedTxn>>,
+    /// Phase-1 gather queues, one slot per participant node.
+    prep_slots: Mutex<HashMap<u32, PrepSlot>>,
+    /// Wakes phase-1 waiters when a pump finishes (or new work lands).
+    prep_cv: Condvar,
+    /// Participants whose phase-1 pump threads are already running.
+    prep_pumps: Mutex<std::collections::HashSet<u32>>,
+    /// Back-reference for spawning pump threads that outlive a request.
+    self_ref: std::sync::Weak<ServerInner>,
+    /// Phase-2 one-way decide outboxes, one per participant node.
+    decide_outboxes: Mutex<HashMap<u32, DecideOutbox>>,
     /// Callbacks currently awaiting a client's answer. A new request from
     /// the *called-back holder* for the same resource must wait until the
     /// answer is processed, otherwise its covered-mode re-grant races the
@@ -308,8 +409,13 @@ impl BessServer {
         let mut target = AreaTarget(Arc::clone(&areas));
         let report = recover(&log, &mut target).expect("restart recovery");
 
-        // Rebuild the 2PC decision table and in-doubt transactions.
+        // Rebuild the 2PC decision table and in-doubt transactions. Under
+        // presumed commit, a `GlobalDecision` without a closing `End` means
+        // the coordinator may have crashed before its one-way commit
+        // verdicts reached every write participant — those are re-sent
+        // below once the network caller exists.
         let mut decisions = HashMap::new();
+        let mut undelivered: HashMap<GTxn, (bool, Vec<u32>, Lsn)> = HashMap::new();
         let mut in_doubt_updates: HashMap<GTxn, (Vec<PageUpdate>, Lsn)> = HashMap::new();
         for gtxn in &report.in_doubt {
             in_doubt_updates.insert(*gtxn, (Vec::new(), Lsn::NULL));
@@ -321,6 +427,19 @@ impl BessServer {
                 }
                 LogBody::Abort => {
                     decisions.insert(rec.txn, false);
+                }
+                LogBody::GlobalDecision {
+                    commit,
+                    participants,
+                } => {
+                    decisions.insert(rec.txn, *commit);
+                    undelivered.insert(rec.txn, (*commit, participants.clone(), rec.lsn));
+                }
+                LogBody::End => {
+                    // Closes a coordinator round (participant-branch `End`s
+                    // for the same gtxn come later in the log, after the
+                    // round's, so this never hides an unsent verdict).
+                    undelivered.remove(&rec.txn);
                 }
                 LogBody::Update {
                     page,
@@ -354,7 +473,7 @@ impl BessServer {
             &group.registry().group("storage.corruption"),
         ));
         let media = Arc::new(MediaGate::new(cfg.media_error_threshold));
-        let inner = Arc::new(ServerInner {
+        let inner = Arc::new_cyclic(|self_ref| ServerInner {
             locks: LockManager::new(cfg.lock_timeout),
             caller: net.caller(cfg.node),
             cfg,
@@ -364,6 +483,11 @@ impl BessServer {
             coordinating: Mutex::new(std::collections::HashSet::new()),
             pending: Mutex::new(HashMap::new()),
             prepared: Mutex::new(HashMap::new()),
+            prep_slots: Mutex::new(HashMap::new()),
+            prep_cv: Condvar::new(),
+            prep_pumps: Mutex::new(std::collections::HashSet::new()),
+            self_ref: self_ref.clone(),
+            decide_outboxes: Mutex::new(HashMap::new()),
             callbacks_in_flight: Mutex::new(std::collections::HashSet::new()),
             leases: OrderedMutex::new(Rank::ServerLeases, "server.leases", HashMap::new()),
             dedup: OrderedMutex::new(
@@ -418,6 +542,24 @@ impl BessServer {
                     prepared_at: Instant::now(),
                 },
             );
+        }
+
+        // Presumed-commit restart duty: re-send the verdict for every
+        // round whose decision was forced but never closed by an `End`.
+        // Best-effort one-way sends — a participant that is unreachable
+        // right now resolves via its reaper's `QueryDecision` instead
+        // (our decision table, rebuilt above, is authoritative forever).
+        for (gtxn, (commit, parts, decision_lsn)) in undelivered {
+            for p in &parts {
+                inner.stats.two_pc_decide_resends.inc();
+                let _ = inner.caller.send(
+                    NodeId(*p),
+                    Msg::DecideBatch {
+                        decisions: vec![(gtxn, commit)],
+                    },
+                );
+            }
+            inner.log.append(gtxn, decision_lsn, LogBody::End);
         }
 
         // The scrubber exists even when the background thread is off, so
@@ -595,6 +737,8 @@ impl BessServer {
 
     fn stop_threads(&mut self) {
         self.inner.running.store(false, Ordering::Relaxed);
+        // Wake parked phase-1 pumps so they observe the flag and exit.
+        self.inner.prep_cv.notify_all();
         self.scrubber.halt();
         if let Some(h) = self.scrub_handle.take() {
             let _ = h.join();
@@ -611,6 +755,13 @@ impl Drop for BessServer {
     }
 }
 
+/// Warm request-handler threads kept parked per server. Steady-state
+/// traffic is handed to one of these instead of paying a thread spawn per
+/// message; bursts (or messages arriving while every warm worker is busy
+/// in a long-blocking handler — a lock callback, a coordinator round)
+/// overflow to a transient spawn, so liveness never depends on pool size.
+const SERVE_POOL: usize = 4;
+
 fn serve_loop(inner: Arc<ServerInner>, endpoint: Endpoint<Msg>) {
     // Reaping must not depend on the loop going idle: a server under
     // continuous load never hits the recv timeout, and a dead client's
@@ -618,16 +769,49 @@ fn serve_loop(inner: Arc<ServerInner>, endpoint: Endpoint<Msg>) {
     // lease, so expiry is noticed promptly) from the busy path too.
     let reap_every = inner.cfg.lease_duration / 4;
     let mut last_reap = Instant::now();
+    // `idle` counts workers parked in `recv`. The dispatcher (this loop,
+    // the only sender) hands a message to the pool only after reserving a
+    // parked worker by decrementing the count, so a message can never
+    // queue behind a blocked handler — exactly-one-of handoff-or-spawn.
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<Envelope<Msg>>();
+    let idle = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::new();
+    for _ in 0..SERVE_POOL {
+        let rx = work_rx.clone();
+        let handler = Arc::clone(&inner);
+        let idle = Arc::clone(&idle);
+        workers.push(std::thread::spawn(move || {
+            idle.fetch_add(1, Ordering::SeqCst);
+            while let Ok(env) = rx.recv() {
+                let from = env.from;
+                let msg = env.msg.clone();
+                let reply = handler.handle(from, msg);
+                env.reply(reply);
+                idle.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+    }
+    drop(work_rx);
     while inner.running.load(Ordering::Relaxed) {
         match endpoint.recv(Duration::from_millis(50)) {
             Ok(env) => {
-                let handler = Arc::clone(&inner);
-                std::thread::spawn(move || {
-                    let from = env.from;
-                    let msg = env.msg.clone();
-                    let reply = handler.handle(from, msg);
-                    env.reply(reply);
-                });
+                let mut env = Some(env);
+                if idle.load(Ordering::SeqCst) > 0 {
+                    idle.fetch_sub(1, Ordering::SeqCst);
+                    // LINT: allow(panic) — env was set to Some one line up
+                    if let Err(back) = work_tx.send(env.take().expect("env present")) {
+                        env = Some(back.0);
+                    }
+                }
+                if let Some(env) = env {
+                    let handler = Arc::clone(&inner);
+                    std::thread::spawn(move || {
+                        let from = env.from;
+                        let msg = env.msg.clone();
+                        let reply = handler.handle(from, msg);
+                        env.reply(reply);
+                    });
+                }
                 if last_reap.elapsed() >= reap_every {
                     last_reap = Instant::now();
                     inner.reap_expired();
@@ -641,6 +825,10 @@ fn serve_loop(inner: Arc<ServerInner>, endpoint: Endpoint<Msg>) {
             Err(_) => break,
         }
     }
+    drop(work_tx);
+    for w in workers {
+        let _ = w.join();
+    }
 }
 
 impl ServerInner {
@@ -650,6 +838,18 @@ impl ServerInner {
         // this request will take.
         self.leases.lock().insert(from.0, Instant::now());
 
+        // Unwrap piggybacked control traffic. Trailers execute only when
+        // this delivery owns execution (i.e. after the dedup gate admits
+        // the carrier), so a network-duplicated frame cannot run its
+        // trailers twice or re-allocate a trailer-prefetched txn id.
+        let (msg, trailers) = match msg {
+            Msg::WithTrailers { msg, trailers } => {
+                self.caller.stats().trailers.add(trailers.len() as u64);
+                (*msg, trailers)
+            }
+            m => (m, Vec::new()),
+        };
+
         // At-most-once execution for the non-idempotent requests: a
         // retried commit with the same request id gets the recorded reply
         // instead of applying twice. `req == 0` opts out. The dedup lookup
@@ -657,7 +857,10 @@ impl ServerInner {
         // first delivery already committed must be acknowledged from the
         // window even if the server has since gone read-only or draining —
         // rejecting it would report failure for a durably committed
-        // transaction.
+        // transaction. Only the *carrier* reply is recorded and replayed;
+        // a retry never repeats the trailers, so the client must treat
+        // missing trailer replies on a retried frame as "fall back to an
+        // explicit call".
         let dedup_key = match &msg {
             Msg::Commit { req, .. } | Msg::CommitGlobal { req, .. } if *req != 0 => {
                 Some((from.0, *req))
@@ -668,18 +871,41 @@ impl ServerInner {
             if let Some(replayed) = self.dedup_begin(key) {
                 return replayed;
             }
+            let t_replies = self.run_trailers(from, trailers);
             let reply = match self.check_degraded(&msg) {
                 Some(reject) => reject,
                 None => self.dispatch(from, msg),
             };
             self.dedup_finish(key, reply.clone());
-            return reply;
+            return Msg::with_trailers(reply, t_replies);
         }
 
-        if let Some(reject) = self.check_degraded(&msg) {
-            return reject;
+        let t_replies = self.run_trailers(from, trailers);
+        let reply = match self.check_degraded(&msg) {
+            Some(reject) => reject,
+            None => self.dispatch(from, msg),
+        };
+        Msg::with_trailers(reply, t_replies)
+    }
+
+    /// Executes piggybacked trailers in frame order, before the carrier
+    /// message. Only [`Msg::TxnId`] replies ride back (the id-prefetch
+    /// case); everything else a trailer produces — `Ok`s from lease
+    /// renewals and lock releases, degraded-mode rejections — is dropped,
+    /// and the sender falls back to an explicit call when it needed the
+    /// answer.
+    fn run_trailers(&self, from: NodeId, trailers: Vec<Msg>) -> Vec<Msg> {
+        let mut replies = Vec::new();
+        for t in trailers {
+            let r = match self.check_degraded(&t) {
+                Some(reject) => reject,
+                None => self.dispatch(from, t),
+            };
+            if matches!(r, Msg::TxnId(_)) {
+                replies.push(r);
+            }
         }
-        self.dispatch(from, msg)
+        replies
     }
 
     /// Rejects requests the server's degraded modes forbid: new
@@ -707,6 +933,12 @@ impl ServerInner {
                 Msg::Prepare { .. } => {
                     self.stats.read_only_rejections.inc();
                     return Some(Msg::VoteNo);
+                }
+                Msg::PrepareBatch { items } => {
+                    self.stats.read_only_rejections.inc();
+                    return Some(Msg::VoteBatch {
+                        votes: items.iter().map(|i| (i.gtxn, Vote::No)).collect(),
+                    });
                 }
                 _ => {}
             }
@@ -1007,11 +1239,49 @@ impl ServerInner {
                 Msg::Ok
             }
             Msg::CommitGlobal {
-                gtxn, participants, ..
-            } => self.do_commit_global(gtxn, &participants),
-            Msg::Prepare { gtxn } => self.do_prepare(gtxn),
+                gtxn,
+                participants,
+                release_read_locks,
+                branches,
+                ..
+            } => self.do_commit_global(from, gtxn, &participants, release_read_locks, branches),
+            Msg::Prepare {
+                gtxn,
+                locker,
+                release_locks,
+            } => match self.do_prepare(gtxn, locker, release_locks) {
+                Vote::Yes => Msg::VoteYes,
+                Vote::No => Msg::VoteNo,
+                Vote::ReadOnly => Msg::VoteReadOnly,
+            },
+            Msg::PrepareBatch { items } => Msg::VoteBatch {
+                votes: items
+                    .into_iter()
+                    .map(|i| {
+                        // Stage the branch's piggybacked write set (if the
+                        // client shipped inside the commit frame) before
+                        // preparing, exactly as a standalone ShipUpdates
+                        // would have.
+                        if !i.updates.is_empty() {
+                            self.pending
+                                .lock()
+                                .entry(i.gtxn)
+                                .or_insert_with(|| (i.locker, Vec::new()))
+                                .1
+                                .extend(i.updates);
+                        }
+                        (i.gtxn, self.do_prepare(i.gtxn, i.locker, i.release_locks))
+                    })
+                    .collect(),
+            },
             Msg::Decide { gtxn, commit } => {
                 self.decide(gtxn, commit);
+                Msg::Ok
+            }
+            Msg::DecideBatch { decisions } => {
+                for (gtxn, commit) in decisions {
+                    self.decide(gtxn, commit);
+                }
                 Msg::Ok
             }
             Msg::QueryDecision { gtxn } => {
@@ -1249,17 +1519,30 @@ impl ServerInner {
     }
 
     /// 2PC phase 1 at a participant.
-    fn do_prepare(&self, gtxn: GTxn) -> Msg {
+    ///
+    /// A participant with no shipped updates is **read-only** for this
+    /// transaction: it has nothing to log, nothing to keep in doubt, and
+    /// no stake in the outcome — it votes [`Vote::ReadOnly`], forgets the
+    /// transaction immediately, and drops out of phase 2. When the client
+    /// opted in (`release_locks`), its read locks on `locker`'s behalf are
+    /// released right here, saving the trailing `ReleaseAll` message.
+    fn do_prepare(&self, gtxn: GTxn, locker: u32, release_locks: bool) -> Vote {
         let (shipper, updates) = match self.pending.lock().remove(&gtxn) {
             Some((s, u)) => (Some(s), u),
-            None => (None, Vec::new()),
+            None => {
+                self.stats.two_pc_readonly_votes.inc();
+                if release_locks && locker != 0 {
+                    self.locks.unlock_all(TxnId(u64::from(locker)));
+                }
+                return Vote::ReadOnly;
+            }
         };
         let begin = self.log.append(gtxn, Lsn::NULL, LogBody::Begin);
         let prev = self.append_updates(gtxn, begin, &updates);
         let prepare = self.log.append(gtxn, prev, LogBody::Prepare);
         if self.log.flush(prepare).is_err() {
             self.note_log_force_failure();
-            return Msg::VoteNo;
+            return Vote::No;
         }
         self.prepared.lock().insert(
             gtxn,
@@ -1271,7 +1554,7 @@ impl ServerInner {
             },
         );
         self.stats.prepares.inc();
-        Msg::VoteYes
+        Vote::Yes
     }
 
     /// 2PC phase 2 at a participant. Idempotent.
@@ -1314,7 +1597,25 @@ impl ServerInner {
 
     /// Coordinates a 2PC round (this server is "the first BeSS server the
     /// application establishes a connection with", §3).
-    fn do_commit_global(&self, gtxn: GTxn, participants: &[u32]) -> Msg {
+    ///
+    /// Presumed **commit**: the decision is force-logged exactly once as a
+    /// [`LogBody::GlobalDecision`] listing the write participants, then
+    /// commit verdicts go out as unacknowledged one-way sends — no
+    /// participant ack round. Recovery closes the loop: a restarting
+    /// coordinator re-sends verdicts for decisions without a closing
+    /// `End`, and the decision table (never pruned) still answers
+    /// `QueryDecision` exactly as before, so "no record" keeps meaning
+    /// presumed abort. Aborts stay on the acknowledged per-transaction
+    /// path — they are the rare case, and acking them lets the round
+    /// confirm the undo happened.
+    fn do_commit_global(
+        &self,
+        from: NodeId,
+        gtxn: GTxn,
+        participants: &[u32],
+        release_read_locks: bool,
+        branches: Vec<(u32, Vec<PageUpdate>)>,
+    ) -> Msg {
         let _timer = self.commit_global_ns.start();
         let _span = self.group.registry().span("commit.global", gtxn);
         self.stats.coordinated.inc();
@@ -1323,25 +1624,142 @@ impl ServerInner {
         // a participant's reaper cannot mistake a mid-round silence for
         // "no record" and presume abort on a branch this round commits.
         self.coordinating.lock().insert(gtxn);
-        let mut all_yes = true;
-        for &p in participants {
-            let vote = if p == self.cfg.node.0 {
-                self.do_prepare(gtxn)
+        let locker = from.0;
+        let compat = self.cfg.two_pc.compat_presumed_abort;
+
+        // Write sets piggybacked on the commit frame: stage the
+        // coordinator's own branch exactly as a standalone `ShipUpdates`
+        // would; remote branches are forwarded inside each participant's
+        // phase-1 entry (or, in compat mode, shipped with an explicit
+        // call just before the serial prepare).
+        let mut remote_branches: HashMap<u32, Vec<PageUpdate>> = HashMap::new();
+        for (p, updates) in branches {
+            if p == self.cfg.node.0 {
+                self.pending
+                    .lock()
+                    .entry(gtxn)
+                    .or_insert_with(|| (locker, Vec::new()))
+                    .1
+                    .extend(updates);
             } else {
-                self.caller
-                    .call(NodeId(p), Msg::Prepare { gtxn }, self.cfg.rpc_timeout)
-                    .unwrap_or(Msg::VoteNo)
-            };
-            if !matches!(vote, Msg::VoteYes) {
-                all_yes = false;
-                break;
+                remote_branches.entry(p).or_default().extend(updates);
             }
         }
-        // Durable decision at the coordinator.
-        let body = if all_yes {
-            LogBody::Commit
+
+        // Phase 1: issue every prepare before collecting any vote. Remote
+        // participants go through the per-participant gather queue, so
+        // concurrent rounds share `PrepareBatch` frames; the local branch
+        // prepares on this thread.
+        let votes: Vec<Vote> = if compat {
+            // Baseline: serial fan-out, first No short-circuits, read-only
+            // votes counted as write participants.
+            let mut votes = Vec::new();
+            for &p in participants {
+                let v = if p == self.cfg.node.0 {
+                    self.do_prepare(gtxn, locker, false)
+                } else {
+                    // A branch the client piggybacked must reach the
+                    // participant before its prepare; compat mode has no
+                    // batched frame to carry it, so ship explicitly.
+                    let shipped = match remote_branches.remove(&p) {
+                        Some(updates) => matches!(
+                            self.caller.call(
+                                NodeId(p),
+                                Msg::ShipUpdates { gtxn, updates },
+                                self.cfg.rpc_timeout,
+                            ),
+                            Ok(Msg::Ok)
+                        ),
+                        None => true,
+                    };
+                    if !shipped {
+                        Vote::No
+                    } else {
+                        match self.caller.call(
+                            NodeId(p),
+                            Msg::Prepare {
+                                gtxn,
+                                locker,
+                                release_locks: false,
+                            },
+                            self.cfg.rpc_timeout,
+                        ) {
+                            Ok(Msg::VoteYes) | Ok(Msg::VoteReadOnly) => Vote::Yes,
+                            _ => Vote::No,
+                        }
+                    }
+                };
+                let no = v == Vote::No;
+                votes.push(if v == Vote::ReadOnly { Vote::Yes } else { v });
+                if no {
+                    break;
+                }
+            }
+            votes
         } else {
-            LogBody::Abort
+            // Queue every remote branch first — the participants' pump
+            // threads fan the frames out concurrently — then prepare the
+            // local branch on this thread while those are on the wire,
+            // and only then sit down to collect votes.
+            for &p in participants {
+                if p != self.cfg.node.0 {
+                    self.enqueue_prepare(
+                        p,
+                        PrepareItem {
+                            gtxn,
+                            locker,
+                            release_locks: release_read_locks,
+                            updates: remote_branches.remove(&p).unwrap_or_default(),
+                        },
+                    );
+                }
+            }
+            participants
+                .iter()
+                .map(|&p| {
+                    if p == self.cfg.node.0 {
+                        self.do_prepare(gtxn, locker, release_read_locks)
+                    } else {
+                        self.await_vote(p, gtxn)
+                    }
+                })
+                .collect()
+        };
+
+        let all_yes = votes.len() == participants.len() && !votes.contains(&Vote::No);
+        // Write participants: everyone who voted Yes (and therefore holds
+        // a prepared branch). Read-only voters already forgot the
+        // transaction and are owed nothing.
+        let write_parts: Vec<u32> = participants
+            .iter()
+            .zip(votes.iter().chain(std::iter::repeat(&Vote::No)))
+            .filter(|(_, v)| **v == Vote::Yes)
+            .map(|(p, _)| *p)
+            .collect();
+
+        if all_yes && write_parts.is_empty() {
+            // Fully read-only round: nothing was written anywhere and
+            // every participant has already forgotten the transaction. No
+            // decision record, no phase 2 — the commit is free.
+            self.stats.two_pc_readonly_rounds.inc();
+            self.coordinating.lock().remove(&gtxn);
+            return Msg::Decision { committed: true };
+        }
+
+        let remote_writers: Vec<u32> = write_parts
+            .iter()
+            .copied()
+            .filter(|&p| p != self.cfg.node.0)
+            .collect();
+
+        // Durable decision at the coordinator: the one force of the round.
+        let body = LogBody::GlobalDecision {
+            commit: all_yes,
+            participants: if all_yes {
+                remote_writers.clone()
+            } else {
+                Vec::new() // aborts are acked below; restart owes nothing
+            },
         };
         let l = self.log.append(gtxn, Lsn::NULL, body);
         if self.log.flush(l).is_err() {
@@ -1353,23 +1771,199 @@ impl ServerInner {
         }
         self.decisions.lock().insert(gtxn, all_yes);
         self.coordinating.lock().remove(&gtxn);
+
         // Phase 2.
-        for &p in participants {
-            if p == self.cfg.node.0 {
-                self.decide(gtxn, all_yes);
-            } else {
-                let _ = self.caller.call(
-                    NodeId(p),
-                    Msg::Decide {
-                        gtxn,
-                        commit: all_yes,
-                    },
-                    self.cfg.rpc_timeout,
-                );
+        if all_yes && !compat {
+            // Presumed commit: one-way verdicts, merged opportunistically
+            // into `DecideBatch` frames. The `End` record (not forced)
+            // closes the round so restart knows the sends happened; the
+            // local branch applies before we reply, keeping the client's
+            // read-your-writes view.
+            for &p in &remote_writers {
+                self.send_decide(p, gtxn, true);
             }
+            self.log.append(gtxn, l, LogBody::End);
+            if write_parts.contains(&self.cfg.node.0) {
+                self.decide(gtxn, true);
+            }
+        } else {
+            // Aborts (and the compat baseline) use acknowledged calls.
+            for &p in &write_parts {
+                if p == self.cfg.node.0 {
+                    self.decide(gtxn, all_yes);
+                } else {
+                    let _ = self.caller.call(
+                        NodeId(p),
+                        Msg::Decide {
+                            gtxn,
+                            commit: all_yes,
+                        },
+                        self.cfg.rpc_timeout,
+                    );
+                }
+            }
+            self.log.append(gtxn, l, LogBody::End);
         }
         Msg::Decision {
             committed: all_yes,
+        }
+    }
+
+    /// Enqueues a phase-1 prepare for participant `p` on its gather
+    /// queue, starting the participant's pump threads on first use. The
+    /// caller collects the vote afterwards with [`Self::await_vote`];
+    /// queueing every participant before waiting on any is what makes the
+    /// fan-out concurrent without spawning per-round threads.
+    fn enqueue_prepare(&self, p: u32, item: PrepareItem) {
+        self.ensure_prep_pumps(p);
+        self.prep_slots.lock().entry(p).or_default().queue.push(item);
+        self.prep_cv.notify_all();
+    }
+
+    /// Waits for participant `p`'s vote on `gtxn`, previously enqueued
+    /// with [`Self::enqueue_prepare`]. A pump that dies or times out
+    /// resolves to [`Vote::No`].
+    fn await_vote(&self, p: u32, gtxn: GTxn) -> Vote {
+        let deadline = Instant::now()
+            + self.cfg.rpc_timeout
+            + self.cfg.two_pc.max_wait
+            + self.cfg.rpc_timeout;
+        let mut slots = self.prep_slots.lock();
+        loop {
+            if let Some(v) = slots.entry(p).or_default().votes.remove(&gtxn) {
+                return v;
+            }
+            if Instant::now() > deadline {
+                return Vote::No; // pump lost / timed out: vote abort
+            }
+            // LINT: allow(blocking-under-lock) — condvar wait releases
+            // the mutex while blocked (the group-commit idiom).
+            self.prep_cv.wait_for(&mut slots, Duration::from_millis(5));
+        }
+    }
+
+    /// Starts the [`PREP_PIPELINE`] pump threads for participant `p` the
+    /// first time a round prepares there. Pumps are persistent — spawning
+    /// threads per commit round costs more than every other per-message
+    /// overhead combined — and hold an `Arc` on the server, exiting when
+    /// `running` drops at shutdown.
+    fn ensure_prep_pumps(&self, p: u32) {
+        {
+            let mut started = self.prep_pumps.lock();
+            if !started.insert(p) {
+                return;
+            }
+        }
+        let Some(me) = self.self_ref.upgrade() else {
+            return;
+        };
+        for _ in 0..PREP_PIPELINE {
+            let inner = Arc::clone(&me);
+            std::thread::spawn(move || inner.prep_pump(p));
+        }
+    }
+
+    /// One phase-1 pump: gathers queued prepares for participant `p` into
+    /// [`Msg::PrepareBatch`] frames (optionally holding a `max_wait`
+    /// gather window), sends each frame outside the lock, and distributes
+    /// the votes; committers wake on the condvar. With `max_wait == 0`
+    /// batching still happens whenever every pump's frame is in flight —
+    /// later rounds pile up behind them and the next free pump takes the
+    /// whole queue at once.
+    fn prep_pump(&self, p: u32) {
+        let two_pc = self.cfg.two_pc;
+        loop {
+            let batch: Vec<PrepareItem> = {
+                let mut slots = self.prep_slots.lock();
+                loop {
+                    if !self.running.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if !slots.entry(p).or_default().queue.is_empty() {
+                        break;
+                    }
+                    // LINT: allow(blocking-under-lock) — condvar wait
+                    // releases the mutex while blocked.
+                    self.prep_cv
+                        .wait_for(&mut slots, Duration::from_millis(100));
+                }
+                if !two_pc.max_wait.is_zero() {
+                    // Optional gather window: hold the frame open for
+                    // stragglers until it fills or the window closes.
+                    let until = Instant::now() + two_pc.max_wait;
+                    loop {
+                        let n = slots.entry(p).or_default().queue.len();
+                        let now = Instant::now();
+                        if n >= two_pc.max_batch || now >= until {
+                            break;
+                        }
+                        // LINT: allow(blocking-under-lock) — condvar wait
+                        // releases the mutex while blocked.
+                        self.prep_cv.wait_for(&mut slots, until - now);
+                    }
+                }
+                let slot = slots.entry(p).or_default();
+                let take = slot.queue.len().min(two_pc.max_batch.max(1));
+                slot.queue.drain(..take).collect()
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            self.stats.two_pc_prepare_batches.inc();
+            self.stats.two_pc_batched_prepares.add(batch.len() as u64);
+            let reply = self.caller.call(
+                NodeId(p),
+                Msg::PrepareBatch {
+                    items: batch.clone(),
+                },
+                self.cfg.rpc_timeout,
+            );
+            let votes: Vec<(GTxn, Vote)> = match reply {
+                Ok(Msg::VoteBatch { votes }) => votes,
+                // Unreachable participant or a malformed reply: every
+                // transaction in the frame votes abort.
+                _ => batch.iter().map(|i| (i.gtxn, Vote::No)).collect(),
+            };
+            {
+                let mut slots = self.prep_slots.lock();
+                let slot = slots.entry(p).or_default();
+                for (g, v) in votes {
+                    slot.votes.insert(g, v);
+                }
+            }
+            self.prep_cv.notify_all();
+        }
+    }
+
+    /// Queues a one-way commit verdict for participant `p`. If a send to
+    /// `p` is already in flight, the current sender picks this verdict up
+    /// into its next `DecideBatch` frame; otherwise this thread drains the
+    /// outbox itself. Unacknowledged by design — restart re-send and the
+    /// participant reaper's `QueryDecision` cover losses.
+    fn send_decide(&self, p: u32, gtxn: GTxn, commit: bool) {
+        {
+            let mut boxes = self.decide_outboxes.lock();
+            let slot = boxes.entry(p).or_default();
+            slot.queue.push((gtxn, commit));
+            if slot.sending {
+                return;
+            }
+            slot.sending = true;
+        }
+        loop {
+            let batch: Vec<(GTxn, bool)> = {
+                let mut boxes = self.decide_outboxes.lock();
+                let slot = boxes.entry(p).or_default();
+                if slot.queue.is_empty() {
+                    slot.sending = false;
+                    return;
+                }
+                std::mem::take(&mut slot.queue)
+            };
+            self.stats.two_pc_oneway_decides.add(batch.len() as u64);
+            let _ = self
+                .caller
+                .send(NodeId(p), Msg::DecideBatch { decisions: batch });
         }
     }
 }

@@ -2,14 +2,16 @@
 //!
 //! Every [`Msg`] variant — including the failure-containment additions
 //! ([`Msg::Heartbeat`], [`Msg::DecisionPending`] and the `req` request ids
-//! on [`Msg::Commit`] / [`Msg::CommitGlobal`]) — must satisfy
-//! `decode(encode(m)) == Ok(m)`. The strategy below gives each of the 36
-//! variants equal weight so a few hundred cases exercise all of them many
-//! times over.
+//! on [`Msg::Commit`] / [`Msg::CommitGlobal`], and the sublinear-commit
+//! additions [`Msg::VoteReadOnly`], [`Msg::PrepareBatch`],
+//! [`Msg::VoteBatch`], [`Msg::DecideBatch`] and [`Msg::WithTrailers`]) —
+//! must satisfy `decode(encode(m)) == Ok(m)`. The strategy below gives
+//! each of the 41 variants equal weight so a few hundred cases exercise
+//! all of them many times over.
 
 use bess_cache::DbPage;
 use bess_lock::{LockMode, LockName};
-use bess_server::{Msg, PageUpdate};
+use bess_server::{Msg, PageUpdate, PrepareItem, Vote};
 use proptest::prelude::*;
 
 fn mode_strategy() -> impl Strategy<Value = LockMode> {
@@ -57,6 +59,37 @@ fn updates_strategy() -> impl Strategy<Value = Vec<PageUpdate>> {
     prop::collection::vec(update_strategy(), 0..4)
 }
 
+fn vote_strategy() -> impl Strategy<Value = Vote> {
+    prop_oneof![Just(Vote::Yes), Just(Vote::No), Just(Vote::ReadOnly)]
+}
+
+fn prepare_item_strategy() -> impl Strategy<Value = PrepareItem> {
+    (any::<u64>(), any::<u32>(), any::<bool>(), updates_strategy()).prop_map(
+        |(gtxn, locker, release_locks, updates)| PrepareItem {
+            gtxn,
+            locker,
+            release_locks,
+            updates,
+        },
+    )
+}
+
+fn branches_strategy() -> impl Strategy<Value = Vec<(u32, Vec<PageUpdate>)>> {
+    prop::collection::vec((any::<u32>(), updates_strategy()), 0..3)
+}
+
+/// A small pool of simple messages used as trailer payloads / carriers for
+/// [`Msg::WithTrailers`], so the strategy stays non-recursive.
+fn leaf_msg_strategy() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        Just(Msg::Heartbeat),
+        Just(Msg::ReleaseAll),
+        Just(Msg::BeginGlobal),
+        any::<u64>().prop_map(Msg::TxnId),
+        (any::<u64>(), any::<bool>()).prop_map(|(gtxn, commit)| Msg::Decide { gtxn, commit }),
+    ]
+}
+
 fn msg_strategy() -> impl Strategy<Value = Msg> {
     prop_oneof![
         // ---- client -> server requests --------------------------------
@@ -81,9 +114,25 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
         // ---- two-phase commit ------------------------------------------
         (any::<u64>(), updates_strategy())
             .prop_map(|(gtxn, updates)| Msg::ShipUpdates { gtxn, updates }),
-        (any::<u64>(), prop::collection::vec(any::<u32>(), 0..5), any::<u64>())
-            .prop_map(|(gtxn, participants, req)| Msg::CommitGlobal { gtxn, participants, req }),
-        any::<u64>().prop_map(|gtxn| Msg::Prepare { gtxn }),
+        (
+            (any::<u64>(), prop::collection::vec(any::<u32>(), 0..5)),
+            (any::<u64>(), any::<bool>(), branches_strategy())
+        )
+            .prop_map(|((gtxn, participants), (req, release_read_locks, branches))| {
+                Msg::CommitGlobal {
+                    gtxn,
+                    participants,
+                    req,
+                    release_read_locks,
+                    branches,
+                }
+            }),
+        (any::<u64>(), any::<u32>(), any::<bool>())
+            .prop_map(|(gtxn, locker, release_locks)| Msg::Prepare { gtxn, locker, release_locks }),
+        prop::collection::vec(prepare_item_strategy(), 0..5)
+            .prop_map(|items| Msg::PrepareBatch { items }),
+        prop::collection::vec((any::<u64>(), any::<bool>()), 0..5)
+            .prop_map(|decisions| Msg::DecideBatch { decisions }),
         (any::<u64>(), any::<bool>()).prop_map(|(gtxn, commit)| Msg::Decide { gtxn, commit }),
         any::<u64>().prop_map(|gtxn| Msg::QueryDecision { gtxn }),
         Just(Msg::BeginGlobal),
@@ -105,9 +154,15 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
         Just(Msg::CallbackDeferred),
         Just(Msg::VoteYes),
         Just(Msg::VoteNo),
+        Just(Msg::VoteReadOnly),
+        prop::collection::vec((any::<u64>(), vote_strategy()), 0..5)
+            .prop_map(|votes| Msg::VoteBatch { votes }),
         any::<bool>().prop_map(|committed| Msg::Decision { committed }),
         Just(Msg::Unknown),
         Just(Msg::DecisionPending),
+        // ---- piggybacked control traffic -------------------------------
+        (leaf_msg_strategy(), prop::collection::vec(leaf_msg_strategy(), 0..3))
+            .prop_map(|(msg, trailers)| Msg::WithTrailers { msg: Box::new(msg), trailers }),
     ]
 }
 
@@ -133,13 +188,14 @@ proptest! {
 
 /// Deterministic spot-check that the strategy above really can emit every
 /// tag: decode must reject an unknown tag byte, and the highest known tag
-/// (DecisionPending = 35) must round-trip.
+/// (WithTrailers = 40) must round-trip.
 #[test]
 fn unknown_tag_is_rejected() {
     assert!(Msg::decode(&[200u8]).is_err());
     assert_eq!(Msg::decode(&Msg::Heartbeat.encode()), Ok(Msg::Heartbeat));
-    assert_eq!(
-        Msg::decode(&Msg::DecisionPending.encode()),
-        Ok(Msg::DecisionPending)
-    );
+    let wrapped = Msg::WithTrailers {
+        msg: Box::new(Msg::DecisionPending),
+        trailers: vec![Msg::Heartbeat, Msg::ReleaseAll],
+    };
+    assert_eq!(Msg::decode(&wrapped.encode()), Ok(wrapped));
 }

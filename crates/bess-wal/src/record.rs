@@ -76,6 +76,19 @@ pub enum LogBody {
         /// Active transaction table: `(txn, last LSN, status)`.
         active_txns: Vec<(u64, Lsn, TxnStatus)>,
     },
+    /// A 2PC **coordinator's** decision record (presumed commit): forced
+    /// once per global transaction before any phase-2 message is sent, so
+    /// participants never need to acknowledge a commit. `txn` is the
+    /// global transaction id; `participants` are the write participants
+    /// still owed a decision — a restarting coordinator re-sends the
+    /// verdict to them until an `End` for the same `txn` closes the round.
+    GlobalDecision {
+        /// Whether the transaction committed.
+        commit: bool,
+        /// Write participants owed a phase-2 verdict (read-only voters
+        /// are already dropped from the round).
+        participants: Vec<u32>,
+    },
 }
 
 impl LogBody {
@@ -90,6 +103,7 @@ impl LogBody {
             LogBody::End => 7,
             LogBody::CheckpointBegin => 8,
             LogBody::CheckpointEnd { .. } => 9,
+            LogBody::GlobalDecision { .. } => 10,
         }
     }
 }
@@ -166,6 +180,17 @@ impl LogRecord {
                         TxnStatus::Prepared => 1,
                         TxnStatus::Committed => 2,
                     });
+                }
+            }
+            LogBody::GlobalDecision {
+                commit,
+                participants,
+            } => {
+                e.u8(u8::from(*commit));
+                // LINT: allow(cast) — participant lists are node counts.
+                e.u32(participants.len() as u32);
+                for p in participants {
+                    e.u32(*p);
                 }
             }
         }
@@ -247,6 +272,18 @@ impl LogRecord {
                     active_txns,
                 }
             }
+            10 => {
+                let commit = d.u8()? != 0;
+                let n = d.u32()? as usize;
+                let mut participants = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    participants.push(d.u32()?);
+                }
+                LogBody::GlobalDecision {
+                    commit,
+                    participants,
+                }
+            }
             _ => return Err(DecodeError),
         };
         if !d.at_end() {
@@ -314,6 +351,14 @@ mod tests {
                     (1, Lsn(10), TxnStatus::Active),
                     (2, Lsn(20), TxnStatus::Prepared),
                 ],
+            },
+            LogBody::GlobalDecision {
+                commit: true,
+                participants: vec![100, 101, 103],
+            },
+            LogBody::GlobalDecision {
+                commit: false,
+                participants: vec![],
             },
         ] {
             round_trip(LogRecord {

@@ -145,6 +145,22 @@ pub fn recover(log: &LogManager, target: &mut dyn RedoTarget) -> WalResult<Recov
                     entry.last_lsn = rec.lsn;
                 }
             }
+            // A 2PC coordinator's decision record. Coordinator rounds log
+            // no `Begin` and carry no page images, so there is normally no
+            // ATT entry to touch — the record matters to the *server's*
+            // restart pass (rebuilding the decision table and re-sending
+            // unacknowledged commit verdicts), not to redo/undo. Mirror
+            // the bare Commit/Abort handling for robustness.
+            LogBody::GlobalDecision { commit, .. } => {
+                if let Some(entry) = att.get_mut(&rec.txn) {
+                    entry.status = if *commit {
+                        TxnStatus::Committed
+                    } else {
+                        TxnStatus::Active
+                    };
+                    entry.last_lsn = rec.lsn;
+                }
+            }
             LogBody::End => {
                 att.remove(&rec.txn);
             }

@@ -98,6 +98,14 @@ const SERVER_GOLDEN: &[&str] = &[
     "server.drain_rejections",
     "server.read_only_rejections",
     "server.log_force_failures",
+    // Sublinear distributed commit (PR 10): presumed-commit 2PC,
+    // read-only participants, and coordinator batching.
+    "server.2pc.readonly_votes",
+    "server.2pc.readonly_rounds",
+    "server.2pc.prepare_batches",
+    "server.2pc.batched_prepares",
+    "server.2pc.oneway_decides",
+    "server.2pc.decide_resends",
     // End-to-end integrity (PR 8): detect-and-repair reads plus the
     // background scrubber.
     "storage.corruption.detected",
@@ -159,6 +167,9 @@ const NET_GOLDEN: &[&str] = &[
     "net.unreachable",
     "net.faulted",
     "net.duplicated",
+    // Piggybacked control traffic (PR 10).
+    "net.trailers.carried",
+    "net.heartbeats.suppressed",
 ];
 
 fn assert_all_present(dump: &str, golden: &[&str], what: &str) {
